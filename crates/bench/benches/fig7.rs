@@ -1,0 +1,33 @@
+//! Figure 7: Overhead of FT-Hess **Algorithm 3** (delayed checksum updates)
+//! without failures.
+//!
+//! Paper result: the penalty first drops with scale like Algorithm 2 but
+//! *rises again* at the largest grid (96×96) — the postponed checksum
+//! updates are applied sequentially per panel to tall-skinny column strips,
+//! serializing more work per scope as Q grows and breaking the PBLAS
+//! communication pipeline.
+
+use ft_bench::*;
+use ft_hess::Variant;
+
+fn main() {
+    println!("# Figure 7: overhead of FT-Hess (Algorithm 3, delayed), no failures");
+    println!("# paper: penalty decreases then rises again at the largest grid");
+    print_overhead_header("FT-d");
+    let r = reps();
+    for cfg in paper_sweep() {
+        let mut f_plain = 0;
+        let mut f_ft = 0;
+        let t_plain = best_of(r, |i| {
+            let (t, f) = time_plain(cfg, 300 + i as u64);
+            f_plain = f;
+            t
+        });
+        let t_ft = best_of(r, |i| {
+            let (t, f, _) = time_ft(cfg, 300 + i as u64, Variant::Delayed, None);
+            f_ft = f;
+            t
+        });
+        print_overhead_row(cfg, t_plain, t_ft, f_plain, f_ft);
+    }
+}

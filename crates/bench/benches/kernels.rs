@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks of the dense substrates every experiment sits
+//! on: GEMM, GEMV, the Householder panel kernel, and the distributed panel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_dense::gen::uniform;
+use ft_dense::level2::gemv;
+use ft_dense::level3::gemm;
+use ft_dense::{Matrix, Trans};
+use ft_lapack::{gehrd, lahr2};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(10);
+    for n in [128usize, 384] {
+        let a = uniform(n, n, 1);
+        let b = uniform(n, n, 2);
+        let mut out = Matrix::zeros(n, n);
+        g.throughput(criterion::Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_function(format!("{n}x{n}x{n}"), |bch| {
+            bch.iter(|| {
+                gemm(
+                    Trans::No, Trans::No, n, n, n, 1.0,
+                    black_box(a.as_slice()), n,
+                    black_box(b.as_slice()), n,
+                    0.0, out.as_mut_slice(), n,
+                );
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemv");
+    g.sample_size(20);
+    for n in [512usize, 1024] {
+        let a = uniform(n, n, 3);
+        let x = uniform(n, 1, 4).as_slice().to_vec();
+        let mut y = vec![0.0; n];
+        g.throughput(criterion::Throughput::Elements((2 * n * n) as u64));
+        g.bench_function(format!("n{n}"), |bch| {
+            bch.iter(|| gemv(Trans::No, n, n, 1.0, black_box(a.as_slice()), n, &x, 0.0, &mut y))
+        });
+    }
+    g.finish();
+}
+
+fn bench_panel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lahr2_panel");
+    g.sample_size(10);
+    for (n, nb) in [(512usize, 16usize), (512, 32)] {
+        let a0 = uniform(n, n, 5);
+        g.bench_function(format!("n{n}_nb{nb}"), |bch| {
+            bch.iter_batched(
+                || a0.clone(),
+                |mut a| {
+                    let mut tau = vec![0.0; nb];
+                    let mut t = Matrix::zeros(nb, nb);
+                    let mut y = Matrix::zeros(n, nb);
+                    lahr2(&mut a, 0, nb, &mut tau, &mut t, &mut y);
+                    a
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_gehrd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gehrd");
+    g.sample_size(10);
+    {
+        let n = 256usize;
+        let a0 = uniform(n, n, 6);
+        g.bench_function(format!("n{n}_blocked"), |bch| {
+            bch.iter_batched(
+                || a0.clone(),
+                |mut a| {
+                    let mut tau = vec![0.0; n - 1];
+                    gehrd(&mut a, 16, &mut tau);
+                    a
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(kernels, bench_gemm, bench_gemv, bench_panel, bench_gehrd);
+criterion_main!(kernels);

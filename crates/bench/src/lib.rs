@@ -1,0 +1,190 @@
+//! Shared harness utilities for the paper-reproduction benchmarks.
+//!
+//! Every figure/table of the paper's evaluation (§7) has a bench target
+//! that prints the same rows the paper reports (see DESIGN.md §4):
+//!
+//! * `fig6a` — FT-Hess (Algorithm 2) vs ScaLAPACK-Hess, no failures;
+//! * `fig6b` — same with one injected failure + recovery;
+//! * `fig7`  — FT-Hess (Algorithm 3, delayed);
+//! * `table1` — residual comparison after failure + recovery;
+//! * `model_validation` — §6 flop/storage model vs hardware counters;
+//! * `ablations` — NB sweep, grid-shape sweep, variant head-to-head,
+//!   recovery-cost breakdown;
+//! * `kernels` — criterion microbenchmarks of the dense substrates.
+//!
+//! The paper runs N = 1000·g on g×g grids (N up to 96,000 on 96×96). On
+//! this simulated machine the default is N = `FT_BENCH_SCALE`·g (scale
+//! defaults to 192) on g×g for g ∈ `FT_BENCH_GRIDS` (default `2,3,4,6,8`),
+//! with `FT_BENCH_REPS` repetitions (default 2, minimum taken).
+
+use ft_dense::counters;
+use ft_dense::gen::uniform_entry;
+use ft_hess::{failpoint, ft_pdgehrd, Encoded, FtReport, Phase, Variant};
+use ft_pblas::{pdgehrd, Desc, DistMatrix};
+use ft_runtime::{run_spmd, FaultScript};
+use std::time::Instant;
+
+/// One benchmark configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Process rows.
+    pub p: usize,
+    /// Process columns.
+    pub q: usize,
+    /// Matrix dimension.
+    pub n: usize,
+    /// Blocking factor / panel width.
+    pub nb: usize,
+}
+
+impl Config {
+    /// `P·Q`.
+    pub fn procs(&self) -> usize {
+        self.p * self.q
+    }
+
+    /// `"PxQ"`.
+    pub fn grid_label(&self) -> String {
+        format!("{}x{}", self.p, self.q)
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Repetitions per measurement (`FT_BENCH_REPS`, default 2).
+pub fn reps() -> usize {
+    env_usize("FT_BENCH_REPS", 2).max(1)
+}
+
+/// Default blocking factor (`FT_BENCH_NB`, default 16; the paper uses
+/// NB = 80 at its much larger N).
+pub fn default_nb() -> usize {
+    env_usize("FT_BENCH_NB", 16)
+}
+
+/// The grid sweep mimicking the paper's Figure 6/7 x-axis: square grids
+/// with N proportional to the grid dimension.
+pub fn paper_sweep() -> Vec<Config> {
+    let scale = env_usize("FT_BENCH_SCALE", 192);
+    let nb = default_nb();
+    let grids: Vec<usize> = std::env::var("FT_BENCH_GRIDS")
+        .unwrap_or_else(|_| "2,3,4,6,8".into())
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+    grids
+        .into_iter()
+        .map(|g| {
+            // Round N to a multiple of nb (the encoder requires it).
+            let n = (scale * g).div_ceil(nb) * nb;
+            Config { p: g, q: g, n, nb }
+        })
+        .collect()
+}
+
+/// Flops of the reduction, `10/3·N³` (the count the paper's GFLOPS use).
+pub fn hess_flops(n: usize) -> f64 {
+    10.0 / 3.0 * (n as f64).powi(3)
+}
+
+/// One fault-*intolerant* `pdgehrd` run: `(seconds, counted flops)`.
+pub fn time_plain(cfg: Config, seed: u64) -> (f64, u64) {
+    let Config { p, q, n, nb } = cfg;
+    counters::reset_flops();
+    let t = Instant::now();
+    run_spmd(p, q, FaultScript::none(), move |ctx| {
+        let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
+        let mut tau = vec![0.0; n - 1];
+        pdgehrd(&ctx, &mut a, &mut tau);
+    });
+    (t.elapsed().as_secs_f64(), counters::flops())
+}
+
+/// One fault-tolerant run: `(seconds, counted flops, rank-0 report)`.
+/// `fail` injects a single failure at `(panel, phase, victim)`.
+pub fn time_ft(cfg: Config, seed: u64, variant: Variant, fail: Option<(usize, Phase, usize)>) -> (f64, u64, FtReport) {
+    let Config { p, q, n, nb } = cfg;
+    let script = match fail {
+        Some((panel, phase, victim)) => FaultScript::one(victim, failpoint(panel, phase)),
+        None => FaultScript::none(),
+    };
+    counters::reset_flops();
+    let t = Instant::now();
+    let reports = run_spmd(p, q, script, move |ctx| {
+        let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
+        let mut tau = vec![0.0; n - 1];
+        ft_pdgehrd(&ctx, &mut enc, variant, &mut tau)
+    });
+    (t.elapsed().as_secs_f64(), counters::flops(), reports.into_iter().next().unwrap())
+}
+
+/// Minimum over `runs` evaluations of `f` — the usual noise filter on a
+/// shared machine.
+pub fn best_of(runs: usize, mut f: impl FnMut(usize) -> f64) -> f64 {
+    (0..runs).map(&mut f).fold(f64::INFINITY, f64::min)
+}
+
+/// Number of panel iterations of an `n`/`nb` reduction (for placing
+/// failures mid-run).
+pub fn panel_count(n: usize, nb: usize) -> usize {
+    let mut c = 0;
+    let mut k = 0;
+    while k + 2 < n {
+        k += nb.min(n - 2 - k);
+        c += 1;
+    }
+    c
+}
+
+/// Print one Figure 6/7-style row: effective GFLOP/s on both sides, the
+/// wall-clock penalty (noisy on the oversubscribed simulator) and the
+/// counted-flop penalty (deterministic — the clean trend signal).
+pub fn print_overhead_row(cfg: Config, t_plain: f64, t_ft: f64, f_plain: u64, f_ft: u64) {
+    let gf_plain = hess_flops(cfg.n) / t_plain / 1e9;
+    let gf_ft = hess_flops(cfg.n) / t_ft / 1e9;
+    let penalty = (t_ft - t_plain) / t_plain * 100.0;
+    let fpenalty = (f_ft as f64 - f_plain as f64) / f_plain as f64 * 100.0;
+    println!(
+        "{:>6}  {:>7}  {:>10.3}  {:>10.3}  {:>11.2}  {:>11.2}",
+        cfg.grid_label(),
+        cfg.n,
+        gf_plain,
+        gf_ft,
+        penalty,
+        fpenalty
+    );
+}
+
+/// Header matching [`print_overhead_row`].
+pub fn print_overhead_header(ft_name: &str) {
+    println!(
+        "{:>6}  {:>7}  {:>10}  {:>10}  {:>11}  {:>11}",
+        "grid",
+        "N",
+        "Hess GF/s",
+        format!("{ft_name} GF/s"),
+        "wall pen %",
+        "flop pen %"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_nonempty_and_divisible() {
+        for cfg in paper_sweep() {
+            assert!(cfg.n % cfg.nb == 0);
+            assert!(cfg.p >= 2 && cfg.q >= 2);
+        }
+    }
+
+    #[test]
+    fn panel_count_matches_loop() {
+        assert_eq!(panel_count(12, 2), 5);
+        assert_eq!(panel_count(16, 4), 4); // panels at 0, 4, 8 and ragged 12
+    }
+}

@@ -1,0 +1,426 @@
+//! The ABFT Hessenberg reduction driver — Algorithm 2 (non-delayed) and
+//! Algorithm 3 (delayed) of the paper.
+//!
+//! Per panel iteration:
+//!
+//! 1. at scope entry (`block_col ≡ 0 mod Q`): snapshot the panel scope
+//!    (Algorithm 2 line 4);
+//! 2. `PDLAHRD` (line 6);
+//! 3. pseudo checksum `Ve` of `V` (line 7) — Algorithm 2 computes it every
+//!    panel, Algorithm 3 only when it updates the checksums;
+//! 4. bookkeeping of `(panel, Y, T)` to the next process column (lines 8–9);
+//! 5. right update `trail(Aₑ) −= Y·(Vₑ)ᵀ` (line 10) — Algorithm 2 includes
+//!    the checksum columns of the groups after the scope, Algorithm 3 only
+//!    the original columns;
+//! 6. left update `trail(Aₑ) −= V·Tᵀ·Vᵀ·trail(Aₑ)` (line 11), same column
+//!    scope rule;
+//! 7. at scope end: Algorithm 3 catches the checksum columns up
+//!    (lines 10–17 of Algorithm 3), then the finished group's checksum is
+//!    recomputed once — it protects the finished columns (Area 2) forever.
+//!
+//! Fail points sit between the phases; on a failure every process runs the
+//! recovery procedure of §5.3 (see [`crate::recovery`]).
+
+use crate::encode::Encoded;
+use crate::recovery;
+use crate::scope::ScopeState;
+use ft_dense::Matrix;
+use ft_pblas::{left_update, pdlahrd, right_update, PanelFactors};
+use ft_runtime::{Ctx, FailCheck};
+use std::time::Instant;
+
+/// Which ABFT variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Algorithm 2: checksum columns are updated fused with the trailing
+    /// matrix, every iteration.
+    NonDelayed,
+    /// Algorithm 3: checksum updates are postponed to the end of each panel
+    /// scope and applied panel-by-panel (tall-skinny updates — the cause of
+    /// the overhead up-tick at large grids in Figure 7).
+    Delayed,
+}
+
+/// Phase boundaries within one panel iteration where failures can strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// After the scope snapshot, before the panel factorization.
+    BeforePanel,
+    /// After `PDLAHRD` + bookkeeping, before the right update.
+    AfterPanel,
+    /// After the right update (`PDGEMM`), before the left update.
+    AfterRightUpdate,
+    /// After the left update (`PDLARFB`).
+    AfterLeftUpdate,
+}
+
+impl Phase {
+    /// All phases, in iteration order.
+    pub const ALL: [Phase; 4] = [Phase::BeforePanel, Phase::AfterPanel, Phase::AfterRightUpdate, Phase::AfterLeftUpdate];
+
+    fn index(self) -> u64 {
+        match self {
+            Phase::BeforePanel => 0,
+            Phase::AfterPanel => 1,
+            Phase::AfterRightUpdate => 2,
+            Phase::AfterLeftUpdate => 3,
+        }
+    }
+}
+
+/// Encode a fail point id for [`ft_runtime::FaultScript`]: failure of panel
+/// iteration `panel` at `phase`.
+pub fn failpoint(panel: usize, phase: Phase) -> u64 {
+    (panel as u64) * 4 + phase.index()
+}
+
+/// Outcome statistics of a fault-tolerant reduction.
+#[derive(Debug, Clone, Default)]
+pub struct FtReport {
+    /// Number of recovery events (a multi-victim failure counts once).
+    pub recoveries: usize,
+    /// All victim ranks recovered, in event order.
+    pub victims: Vec<usize>,
+    /// Seconds in the initial checksum encoding (Algorithm 2 line 1).
+    pub encode_secs: f64,
+    /// Seconds in scope snapshots (line 4).
+    pub snapshot_secs: f64,
+    /// Seconds in per-panel bookkeeping sends (lines 8–9).
+    pub bookkeeping_secs: f64,
+    /// Seconds in scope-end work (checksum recompute; Algorithm 3 catch-up).
+    pub scope_end_secs: f64,
+    /// Seconds spent in recovery.
+    pub recovery_secs: f64,
+    /// Total wall seconds of the reduction on this process.
+    pub total_secs: f64,
+}
+
+/// Row index of checksum column `(g, copy, off)` inside the [`ve_rows`]
+/// matrix.
+#[inline]
+pub fn ve_row_index(enc: &Encoded, g: usize, copy: usize, off: usize) -> usize {
+    (copy * enc.groups() + g) * enc.nb() + off
+}
+
+/// Pseudo column checksums of `V` (paper §4): one row per checksum column
+/// `(g, copy, off)` (see [`ve_row_index`]), holding
+/// `Σ_q w(copy, q)·V((gQ+q)·nb + off, :)` — the "V row" of that checksum
+/// column in the extended right update. With [`crate::encode::Redundancy::Single`]
+/// the weights are 1 and the two copies' rows are identical; with `Dual`
+/// they carry the Vandermonde weights. Deterministic and identical on every
+/// process (computed from the replicated `V`).
+pub fn ve_rows(enc: &Encoded, f: &PanelFactors) -> Matrix {
+    let nb = enc.nb();
+    let ncopies = enc.ncopies();
+    let mut ve = Matrix::zeros(ncopies * enc.groups() * nb, f.w);
+    for copy in 0..ncopies {
+        for g in 0..enc.groups() {
+            for off in 0..nb {
+                let r = ve_row_index(enc, g, copy, off);
+                for c in enc.member_cols(g, off) {
+                    if c > f.k && c < f.n {
+                        let w = enc.col_weight(copy, c);
+                        for l in 0..f.w {
+                            ve[(r, l)] += w * f.vfull[(c - f.k - 1, l)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ve
+}
+
+/// Store `Ve` into the bottom pseudo-checksum rows (both copies) under the
+/// panel columns — the extra storage allocated at encoding time (§4).
+/// Purely local writes on the owners.
+pub fn store_ve(enc: &mut Encoded, f: &PanelFactors, ve: &Matrix) {
+    if !enc.a.owns_col(f.k) {
+        return;
+    }
+    let nb = enc.nb();
+    for copy in 0..enc.ncopies() {
+        for g in 0..enc.groups() {
+            for off in 0..nb {
+                let r = enc.chk_row(g, copy, off);
+                if enc.a.owns_row(r) {
+                    let vr = ve_row_index(enc, g, copy, off);
+                    for l in 0..f.w {
+                        enc.a.set(r, f.k + l, ve[(vr, l)]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// My local columns among the **original** columns `[from, to)`, with their
+/// global indices.
+fn local_orig_cols(enc: &Encoded, from: usize, to: usize) -> (Vec<usize>, Vec<usize>) {
+    let lc0 = enc.a.local_cols_below(from);
+    let lc1 = enc.a.local_cols_below(to.min(enc.n()));
+    let locals: Vec<usize> = (lc0..lc1).collect();
+    let globals = locals.iter().map(|&lc| enc.a.l2g_col(lc)).collect();
+    (locals, globals)
+}
+
+/// My local checksum columns of groups `> s` (all copies), with their
+/// `(g, copy, off)` identity.
+fn local_chk_cols_after(enc: &Encoded, s: usize) -> (Vec<usize>, Vec<(usize, usize, usize)>) {
+    let mut locals = Vec::new();
+    let mut meta = Vec::new();
+    for g in s + 1..enc.groups() {
+        for copy in 0..enc.ncopies() {
+            for off in 0..enc.nb() {
+                let cc = enc.chk_col(g, copy, off);
+                if enc.a.owns_col(cc) {
+                    locals.push(enc.a.g2l_col(cc));
+                    meta.push((g, copy, off));
+                }
+            }
+        }
+    }
+    // Keep the combined column list sorted by local index (checksum columns
+    // are globally after every original column, and locals are globally
+    // monotone, so appending preserves order; sort defensively anyway).
+    let mut idx: Vec<usize> = (0..locals.len()).collect();
+    idx.sort_by_key(|&i| locals[i]);
+    (idx.iter().map(|&i| locals[i]).collect(), idx.iter().map(|&i| meta[i]).collect())
+}
+
+/// Right update of panel `f` on the original columns `[from, to)` and —
+/// when `include_chk` — the checksum columns of groups after scope `s`.
+pub(crate) fn ft_right(enc: &mut Encoded, f: &PanelFactors, ve: &Matrix, from: usize, to: usize, include_chk: bool, s: usize) {
+    let (mut locals, orig_g) = local_orig_cols(enc, from, to);
+    let mut vrows = f.vrows_for(&orig_g);
+    if include_chk {
+        let (chk_locals, meta) = local_chk_cols_after(enc, s);
+        if !chk_locals.is_empty() {
+            let mut combined = Matrix::zeros(vrows.rows() + chk_locals.len(), f.w);
+            for i in 0..vrows.rows() {
+                for l in 0..f.w {
+                    combined[(i, l)] = vrows[(i, l)];
+                }
+            }
+            for (i, &(g, copy, off)) in meta.iter().enumerate() {
+                let vr = ve_row_index(enc, g, copy, off);
+                for l in 0..f.w {
+                    combined[(vrows.rows() + i, l)] = ve[(vr, l)];
+                }
+            }
+            locals.extend_from_slice(&chk_locals);
+            vrows = combined;
+        }
+    }
+    let n = enc.n();
+    right_update(&mut enc.a, n, &locals, &vrows, &f.y_loc);
+}
+
+/// Right update applied to the checksum columns only (Algorithm 3 catch-up).
+pub(crate) fn ft_right_chk_only(enc: &mut Encoded, f: &PanelFactors, ve: &Matrix, s: usize) {
+    let (locals, meta) = local_chk_cols_after(enc, s);
+    let vrows = Matrix::from_fn(locals.len(), f.w, |i, l| {
+        let (g, copy, off) = meta[i];
+        ve[(ve_row_index(enc, g, copy, off), l)]
+    });
+    let n = enc.n();
+    right_update(&mut enc.a, n, &locals, &vrows, &f.y_loc);
+}
+
+/// Left update of panel `f` on the original columns `[from, to)` and —
+/// when `include_chk` — the checksum columns of groups after scope `s`.
+/// Collective (column reductions): every process must call it.
+pub(crate) fn ft_left(ctx: &Ctx, enc: &mut Encoded, f: &PanelFactors, from: usize, to: usize, include_chk: bool, s: usize) {
+    let (mut locals, _) = local_orig_cols(enc, from, to);
+    if include_chk {
+        let (chk_locals, _) = local_chk_cols_after(enc, s);
+        locals.extend_from_slice(&chk_locals);
+    }
+    let v_myrows = f.v_for_local_rows(&enc.a);
+    let n = enc.n();
+    left_update(ctx, &mut enc.a, f.k, n, &locals, &v_myrows, &f.t);
+}
+
+/// Left update on the checksum columns only (Algorithm 3 catch-up).
+pub(crate) fn ft_left_chk_only(ctx: &Ctx, enc: &mut Encoded, f: &PanelFactors, s: usize) {
+    let (locals, _) = local_chk_cols_after(enc, s);
+    let v_myrows = f.v_for_local_rows(&enc.a);
+    let n = enc.n();
+    left_update(ctx, &mut enc.a, f.k, n, &locals, &v_myrows, &f.t);
+}
+
+/// Algorithm 3: bring the checksum columns up to date with the data state
+/// "(full updates of `factors[0..full]`) + (right update of `factors[full]`
+/// when `extra_right`)". Tracks progress in `st.chk` so updates are applied
+/// exactly once.
+pub(crate) fn alg3_catch_up(ctx: &Ctx, enc: &mut Encoded, st: &mut ScopeState, s: usize, full: usize, extra_right: bool) {
+    let mut done = st.chk.panels_done;
+    let mut right_done = st.chk.right_done_for_next;
+    while done < full {
+        let f = st.factors[done].clone();
+        let ve = ve_rows(enc, &f);
+        if !right_done {
+            ft_right_chk_only(enc, &f, &ve, s);
+        }
+        ft_left_chk_only(ctx, enc, &f, s);
+        done += 1;
+        right_done = false;
+    }
+    if extra_right && !right_done {
+        let f = st.factors[full].clone();
+        let ve = ve_rows(enc, &f);
+        ft_right_chk_only(enc, &f, &ve, s);
+        right_done = true;
+    }
+    st.chk.panels_done = done;
+    st.chk.right_done_for_next = extra_right && right_done;
+}
+
+/// The fault-tolerant distributed Hessenberg reduction (SPMD).
+///
+/// Reduces the logical `N×N` part of `enc` in place; on exit the Hessenberg
+/// entries and reflectors are stored exactly like [`ft_pblas::pdgehrd`]'s
+/// output and `tau` is replicated. Failures scripted through the runtime's
+/// [`ft_runtime::FaultScript`] at [`failpoint`] ids are detected at phase
+/// boundaries and repaired transparently; the returned [`FtReport`] counts
+/// them.
+///
+/// ```
+/// use ft_hess::{failpoint, ft_pdgehrd, Encoded, Phase, Variant};
+/// use ft_runtime::{run_spmd, FaultScript};
+///
+/// // Rank 2 dies right after the second panel's factorization …
+/// let script = FaultScript::one(2, failpoint(1, Phase::AfterPanel));
+/// let recoveries = run_spmd(2, 2, script, |ctx| {
+///     let mut enc = Encoded::from_global_fn(&ctx, 16, 2, |i, j| {
+///         ft_dense::gen::uniform_entry(42, i, j)
+///     });
+///     let mut tau = vec![0.0; 15];
+///     ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).recoveries
+/// });
+/// // … and every process reports exactly one transparent recovery.
+/// assert_eq!(recoveries, vec![1, 1, 1, 1]);
+/// ```
+pub fn ft_pdgehrd(ctx: &Ctx, enc: &mut Encoded, variant: Variant, tau: &mut [f64]) -> FtReport {
+    ft_pdgehrd_hooked(ctx, enc, variant, tau, &mut |_, _, _, _| {})
+}
+
+/// [`ft_pdgehrd`] with an observation hook called (collectively, on every
+/// process) after each phase boundary — used by the test suite to check the
+/// Theorem 1 checksum invariant at every step. The hook may run collectives
+/// but must not mutate algorithm state.
+pub fn ft_pdgehrd_hooked(
+    ctx: &Ctx,
+    enc: &mut Encoded,
+    variant: Variant,
+    tau: &mut [f64],
+    hook: &mut dyn FnMut(&Ctx, &Encoded, usize, Phase),
+) -> FtReport {
+    let n = enc.n();
+    let nb = enc.nb();
+    let q = ctx.npcol();
+    assert!(q >= 2, "the ABFT scheme needs Q ≥ 2 (duplicated checksums live on distinct process columns)");
+    if n > 1 {
+        assert!(tau.len() >= n - 1, "ft_pdgehrd: tau too short");
+    }
+
+    let mut report = FtReport::default();
+    let t_total = Instant::now();
+
+    let t0 = Instant::now();
+    enc.compute_initial_checksums(ctx);
+    report.encode_secs = t0.elapsed().as_secs_f64();
+
+    let mut scope: Option<ScopeState> = None;
+    let mut panel_idx = 0usize;
+    let mut k = 0usize;
+    while k + 2 < n {
+        let w = nb.min(n - 2 - k);
+        let bc = k / nb;
+        let s = bc / q;
+
+        if bc.is_multiple_of(q) {
+            let t = Instant::now();
+            scope = Some(ScopeState::begin(ctx, enc, s));
+            report.snapshot_secs += t.elapsed().as_secs_f64();
+        }
+        let st = scope.as_mut().expect("scope always begins before panels");
+
+        handle_failpoint(ctx, enc, st, variant, s, panel_idx, Phase::BeforePanel, &mut report);
+        hook(ctx, enc, panel_idx, Phase::BeforePanel);
+
+        let f = pdlahrd(ctx, &mut enc.a, n, k, w);
+        let ve = ve_rows(enc, &f);
+        if variant == Variant::NonDelayed {
+            store_ve(enc, &f, &ve);
+        }
+        {
+            let t = Instant::now();
+            st.bookkeep_panel(ctx, enc, &f);
+            report.bookkeeping_secs += t.elapsed().as_secs_f64();
+        }
+
+        handle_failpoint(ctx, enc, st, variant, s, panel_idx, Phase::AfterPanel, &mut report);
+        hook(ctx, enc, panel_idx, Phase::AfterPanel);
+
+        let include_chk = variant == Variant::NonDelayed;
+        ft_right(enc, &f, &ve, k + w, n, include_chk, s);
+
+        handle_failpoint(ctx, enc, st, variant, s, panel_idx, Phase::AfterRightUpdate, &mut report);
+        hook(ctx, enc, panel_idx, Phase::AfterRightUpdate);
+
+        ft_left(ctx, enc, &f, k + w, n, include_chk, s);
+
+        handle_failpoint(ctx, enc, st, variant, s, panel_idx, Phase::AfterLeftUpdate, &mut report);
+        hook(ctx, enc, panel_idx, Phase::AfterLeftUpdate);
+
+        if include_chk {
+            // Keep the progress marker meaningful for both variants.
+            let st = scope.as_mut().unwrap();
+            st.chk.panels_done = st.factors.len();
+        }
+        tau[k..k + w].copy_from_slice(&f.tau);
+
+        let last_panel_overall = k + w + 2 >= n;
+        if bc % q == q - 1 || last_panel_overall {
+            let t = Instant::now();
+            let st = scope.as_mut().unwrap();
+            if variant == Variant::Delayed {
+                alg3_catch_up(ctx, enc, st, s, st.factors.len(), false);
+            }
+            // Algorithm 2 line 16 analogue / §5: the finished group's
+            // checksum is recomputed once and protects Area 2 forever.
+            enc.compute_group_checksum(ctx, s);
+            report.scope_end_secs += t.elapsed().as_secs_f64();
+        }
+
+        panel_idx += 1;
+        k += w;
+    }
+
+    report.total_secs = t_total.elapsed().as_secs_f64();
+    report
+}
+
+#[allow(clippy::too_many_arguments)] // internal plumbing of the driver loop
+fn handle_failpoint(
+    ctx: &Ctx,
+    enc: &mut Encoded,
+    st: &mut ScopeState,
+    variant: Variant,
+    s: usize,
+    panel_idx: usize,
+    phase: Phase,
+    report: &mut FtReport,
+) {
+    match ctx.check_failpoint(failpoint(panel_idx, phase)) {
+        FailCheck::AllGood => {}
+        FailCheck::Failure { victims, me } => {
+            let t = Instant::now();
+            recovery::recover(ctx, enc, st, &victims, me, variant, phase, s);
+            report.recoveries += 1;
+            report.victims.extend_from_slice(&victims);
+            report.recovery_secs += t.elapsed().as_secs_f64();
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The Checkpoint/Restart baseline (paper §2).
+//!
+//! The paper motivates ABFT by arguing that classic C/R is a poor fit for
+//! the Hessenberg reduction: "the whole trailing matrix … is modified very
+//! frequently, annihilating even the potential benefits of incremental
+//! checkpointing", so every checkpoint must copy essentially the whole
+//! matrix. This module implements that comparison point faithfully as a
+//! *diskless* C/R (checkpoints to a neighbor's memory, the strongest
+//! variant discussed — refs [39, 25, 35]): a full local-state checkpoint
+//! every `interval` panels, global rollback on failure.
+//!
+//! Differences from the ABFT scheme that the `ablations` bench quantifies:
+//!
+//! * checkpoint volume is the **whole matrix** per checkpoint, vs the ABFT
+//!   scheme's one panel scope;
+//! * a failure loses **all work since the last checkpoint** on *every*
+//!   process (global rollback), vs the ABFT scheme's localized
+//!   reconstruction;
+//! * no extra flops during computation (no checksum updates), so the
+//!   fault-free overhead is pure copy/communication time.
+
+use ft_pblas::{apply_panel_updates, pdlahrd, DistMatrix};
+use ft_runtime::{Ctx, FailCheck};
+use std::time::Instant;
+
+const TAG_CKPT: u64 = 0x500;
+const TAG_CKPT_RESTORE: u64 = 0x502;
+const TAG_CKPT_REARM: u64 = 0x504;
+
+/// Outcome statistics of a C/R run.
+#[derive(Debug, Clone, Default)]
+pub struct CrReport {
+    /// Checkpoints taken.
+    pub checkpoints: usize,
+    /// Rollbacks performed (= failure events survived).
+    pub rollbacks: usize,
+    /// Panel iterations re-executed due to rollbacks (the lost work).
+    pub lost_panels: usize,
+    /// Seconds spent taking checkpoints.
+    pub checkpoint_secs: f64,
+    /// Seconds spent restoring state on rollback.
+    pub restore_secs: f64,
+    /// Total wall seconds.
+    pub total_secs: f64,
+}
+
+struct Checkpoint {
+    /// Global column the reduction resumes at.
+    k: usize,
+    /// Panel counter at the checkpoint (for lost-work accounting).
+    panel_idx: usize,
+    /// Full copy of this process's local matrix.
+    local: Vec<f64>,
+    /// Copy of tau.
+    tau: Vec<f64>,
+}
+
+/// Fail-point id for the C/R driver: the same `(panel, phase)` space as the
+/// ABFT driver, restricted to its two check locations (`BeforePanel` = even,
+/// `AfterIteration` = odd), so fault scripts are portable across both.
+pub fn cr_failpoint(panel: usize, after: bool) -> u64 {
+    crate::algorithm::failpoint(
+        panel,
+        if after { crate::algorithm::Phase::AfterLeftUpdate } else { crate::algorithm::Phase::BeforePanel },
+    )
+}
+
+/// Distributed Hessenberg reduction protected by diskless
+/// checkpoint/restart: checkpoint every `interval` panels, roll the whole
+/// computation back on failure. SPMD; fault script semantics as in
+/// [`crate::ft_pdgehrd`] (fail points fire once).
+pub fn cr_pdgehrd(ctx: &Ctx, a: &mut DistMatrix, interval: usize, tau: &mut [f64]) -> CrReport {
+    let n = a.desc().n;
+    let nb = a.desc().nb;
+    let q = ctx.npcol();
+    assert!(q >= 2, "C/R needs a neighbor process column to hold the remote checkpoint");
+    assert!(interval >= 1);
+    let mut report = CrReport::default();
+    let t_total = Instant::now();
+
+    let right = ctx.grid().rank_of(ctx.myrow(), (ctx.mycol() + 1) % q);
+    let left = ctx.grid().rank_of(ctx.myrow(), (ctx.mycol() + q - 1) % q);
+
+    let mut ckpt: Option<Checkpoint> = None;
+    // The left neighbor's checkpoint piece (this process is its holder).
+    let mut ckpt_backup: Vec<f64> = Vec::new();
+
+    let mut k = 0usize;
+    let mut panel_idx = 0usize;
+    while k + 2 < n {
+        let w = nb.min(n - 2 - k);
+
+        if panel_idx.is_multiple_of(interval) {
+            // ---- full diskless checkpoint --------------------------------
+            let t = Instant::now();
+            let local = a.local().as_slice().to_vec();
+            ctx.send(right, TAG_CKPT, &local);
+            ckpt_backup = ctx.recv(left, TAG_CKPT);
+            ckpt = Some(Checkpoint { k, panel_idx, local, tau: tau.to_vec() });
+            report.checkpoints += 1;
+            report.checkpoint_secs += t.elapsed().as_secs_f64();
+        }
+
+        // ---- fail point before the panel ---------------------------------
+        if let FailCheck::Failure { victims, me } = ctx.check_failpoint(cr_failpoint(panel_idx, false)) {
+            rollback(ctx, a, tau, ckpt.as_ref().expect("checkpoint exists"), &mut ckpt_backup, &victims, me, right, left, &mut report);
+            let c = ckpt.as_ref().unwrap();
+            report.lost_panels += panel_idx - c.panel_idx;
+            k = c.k;
+            panel_idx = c.panel_idx;
+            continue;
+        }
+
+        // ---- one unprotected iteration ------------------------------------
+        let f = pdlahrd(ctx, a, n, k, w);
+        apply_panel_updates(ctx, a, &f, n);
+        tau[k..k + w].copy_from_slice(&f.tau);
+
+        // ---- fail point after the iteration --------------------------------
+        if let FailCheck::Failure { victims, me } = ctx.check_failpoint(cr_failpoint(panel_idx, true)) {
+            rollback(ctx, a, tau, ckpt.as_ref().expect("checkpoint exists"), &mut ckpt_backup, &victims, me, right, left, &mut report);
+            let c = ckpt.as_ref().unwrap();
+            report.lost_panels += panel_idx + 1 - c.panel_idx;
+            k = c.k;
+            panel_idx = c.panel_idx;
+            continue;
+        }
+
+        k += w;
+        panel_idx += 1;
+    }
+
+    report.total_secs = t_total.elapsed().as_secs_f64();
+    report
+}
+
+/// Global rollback: the victims re-fetch their checkpoint piece from the
+/// right neighbor that holds it, everyone restores the checkpointed local
+/// state, and the victims' holder role is re-armed by the left neighbor.
+#[allow(clippy::too_many_arguments)]
+fn rollback(
+    ctx: &Ctx,
+    a: &mut DistMatrix,
+    tau: &mut [f64],
+    ckpt: &Checkpoint,
+    ckpt_backup: &mut Vec<f64>,
+    victims: &[usize],
+    me: bool,
+    right: usize,
+    left: usize,
+    report: &mut CrReport,
+) {
+    let t = Instant::now();
+    // One victim per process row, as in the ABFT scheme (the remote
+    // checkpoint has a single holder).
+    {
+        use std::collections::HashSet;
+        let mut rows = HashSet::new();
+        for &v in victims {
+            let (pv, _) = ctx.grid().coords_of(v);
+            assert!(rows.insert(pv), "C/R: two failures in one process row are unrecoverable");
+        }
+    }
+    // The victim's local checkpoint copy is gone with its memory; the
+    // holder returns it.
+    let mut restored: Option<Vec<f64>> = None;
+    for &v in victims {
+        let (pv, qv) = ctx.grid().coords_of(v);
+        let holder = ctx.grid().rank_of(pv, (qv + 1) % ctx.npcol());
+        if ctx.rank() == holder {
+            ctx.send(v, TAG_CKPT_RESTORE, ckpt_backup);
+        }
+        if ctx.rank() == v {
+            restored = Some(ctx.recv(holder, TAG_CKPT_RESTORE));
+        }
+    }
+    // Everyone rolls back to the checkpoint.
+    let state = if me { restored.expect("victim received its checkpoint") } else { ckpt.local.clone() };
+    a.local_mut().as_mut_slice().copy_from_slice(&state);
+    tau[..ckpt.tau.len()].copy_from_slice(&ckpt.tau);
+    // Re-arm the victims' holder role (they hold the left neighbor's piece).
+    for &v in victims {
+        let (pv, qv) = ctx.grid().coords_of(v);
+        let vleft = ctx.grid().rank_of(pv, (qv + ctx.npcol() - 1) % ctx.npcol());
+        if ctx.rank() == vleft {
+            ctx.send(v, TAG_CKPT_REARM, &ckpt.local);
+        }
+        if ctx.rank() == v {
+            *ckpt_backup = ctx.recv(vleft, TAG_CKPT_REARM);
+        }
+    }
+    let _ = (right, left);
+    report.rollbacks += 1;
+    report.restore_secs += t.elapsed().as_secs_f64();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_dense::gen::uniform_entry;
+    use ft_dense::Matrix;
+    use ft_pblas::{pdgehrd, Desc};
+    use ft_runtime::{run_spmd, FaultScript};
+
+    fn cr_result(n: usize, nb: usize, p: usize, q: usize, seed: u64, interval: usize, script: FaultScript) -> (Matrix, CrReport) {
+        run_spmd(p, q, script, move |ctx| {
+            let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
+            let mut tau = vec![0.0; n - 1];
+            let rep = cr_pdgehrd(&ctx, &mut a, interval, &mut tau);
+            (a.gather_all(&ctx, 640), rep)
+        })
+        .into_iter()
+        .next()
+        .unwrap()
+    }
+
+    fn plain_result(n: usize, nb: usize, p: usize, q: usize, seed: u64) -> Matrix {
+        run_spmd(p, q, FaultScript::none(), move |ctx| {
+            let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
+            let mut tau = vec![0.0; n - 1];
+            pdgehrd(&ctx, &mut a, &mut tau);
+            a.gather_all(&ctx, 642)
+        })
+        .into_iter()
+        .next()
+        .unwrap()
+    }
+
+    #[test]
+    fn cr_fault_free_matches_plain() {
+        let (n, nb, p, q) = (16, 2, 2, 2);
+        let plain = plain_result(n, nb, p, q, 60);
+        let (cr, rep) = cr_result(n, nb, p, q, 60, 2, FaultScript::none());
+        assert_eq!(cr.max_abs_diff(&plain), 0.0);
+        assert_eq!(rep.rollbacks, 0);
+        assert!(rep.checkpoints >= 3);
+    }
+
+    #[test]
+    fn cr_recovers_via_rollback() {
+        let (n, nb, p, q) = (16, 2, 2, 2);
+        let plain = plain_result(n, nb, p, q, 61);
+        for after in [false, true] {
+            let (cr, rep) = cr_result(n, nb, p, q, 61, 2, FaultScript::one(3, cr_failpoint(4, after)));
+            assert_eq!(rep.rollbacks, 1, "after={after}");
+            // Failing right after a fresh checkpoint (panel 4, interval 2,
+            // before the panel ran) legitimately loses zero panels; the
+            // after-iteration failure loses the iteration.
+            assert_eq!(rep.lost_panels, usize::from(after));
+            let d = cr.max_abs_diff(&plain);
+            assert_eq!(d, 0.0, "after={after}: rollback re-execution diverged by {d}");
+        }
+    }
+
+    #[test]
+    fn cr_lost_work_grows_with_interval() {
+        // A failure right before a would-be checkpoint loses interval−1
+        // panels of work.
+        let (n, nb, p, q) = (24, 2, 2, 2);
+        let (_, rep_small) = cr_result(n, nb, p, q, 62, 2, FaultScript::one(1, cr_failpoint(5, false)));
+        let (_, rep_large) = cr_result(n, nb, p, q, 62, 5, FaultScript::one(1, cr_failpoint(4, true)));
+        assert!(rep_large.lost_panels > rep_small.lost_panels,
+            "large interval {} vs small {}", rep_large.lost_panels, rep_small.lost_panels);
+    }
+
+    #[test]
+    fn cr_survives_multiple_failures() {
+        use ft_runtime::PlannedFailure;
+        let (n, nb, p, q) = (20, 2, 2, 3);
+        let plain = plain_result(n, nb, p, q, 63);
+        let script = FaultScript::new(vec![
+            PlannedFailure { victim: 2, point: cr_failpoint(2, true) },
+            PlannedFailure { victim: 4, point: cr_failpoint(6, false) },
+        ]);
+        let (cr, rep) = cr_result(n, nb, p, q, 63, 3, script);
+        assert_eq!(rep.rollbacks, 2);
+        assert_eq!(cr.max_abs_diff(&plain), 0.0);
+    }
+}

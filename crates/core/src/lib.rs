@@ -1,0 +1,41 @@
+//! # ft-hess — algorithm-based fault tolerant Hessenberg reduction
+//!
+//! The paper's contribution (Jia, Bosilca, Luszczek, Dongarra, SC '13): a
+//! hybrid ABFT + diskless-checkpointing scheme that makes the distributed
+//! blocked Hessenberg reduction resilient to fail-stop process failures.
+//!
+//! * [`encode`] — checksum encoding of the input matrix (§4): duplicated
+//!   row-checksum block columns on the right, pseudo-checksum rows at the
+//!   bottom for `Ve`.
+//! * [`algorithm`] — [`ft_pdgehrd`], Algorithm 2 (non-delayed) and
+//!   Algorithm 3 (delayed checksum updates), with scripted fail points
+//!   between the phases of every iteration.
+//! * [`scope`] — the panel-scope diskless checkpoints: snapshots and the
+//!   per-panel `(panel, Y, T)` bookkeeping on the next process column.
+//! * [`recovery`] — the §5.3 recovery procedure over the four areas of
+//!   Figure 5; tolerates any simultaneous failures with at most one victim
+//!   per process row.
+//! * [`model`] — the §6 flop/storage cost model (validated against runtime
+//!   flop counters by the `model_validation` bench).
+//!
+//! The fault-free output is element-wise identical to
+//! [`ft_pblas::pdgehrd`]'s (the checksum columns ride along without
+//! touching the logical computation), and a fault-injected run recovers to
+//! the exact same factorization — the property the integration tests sweep
+//! across every (iteration × phase × victim) combination.
+
+pub mod algorithm;
+pub mod checkpoint_restart;
+pub mod encode;
+pub mod model;
+pub mod recovery;
+pub mod scope;
+pub mod scrub;
+
+pub use algorithm::{failpoint, ft_pdgehrd, ft_pdgehrd_hooked, ve_rows, FtReport, Phase, Variant};
+pub use checkpoint_restart::{cr_failpoint, cr_pdgehrd, CrReport};
+pub use encode::{Encoded, Redundancy};
+pub use model::{asymptotic_overhead, flop_model, storage_overhead_elements, FlopModel};
+pub use recovery::recover;
+pub use scope::ScopeState;
+pub use scrub::{scrub_groups, ScrubFinding};

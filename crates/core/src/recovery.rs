@@ -1,0 +1,353 @@
+//! The recovery procedure (paper §5.3, Figure 5).
+//!
+//! Matrix areas at failure time (Figure 5):
+//!
+//! * **Area 1** — trailing columns after the panel scope (checksum groups
+//!   `> s`): recovered from the live row checksums by a re-reduction
+//!   (`lost = checksum − Σ live members`) — the dominant recovery cost the
+//!   paper measures in §7.2.
+//! * **Area 2** — finished columns (groups `< s`): same formula against the
+//!   checksums recomputed once at their scope's completion.
+//! * **Area 3** — factorized panel columns inside the scope: copied back
+//!   from the diskless bookkeeping on the next process column(s).
+//! * **Area 4** — not-yet-factorized scope columns: rolled back to the
+//!   scope snapshot and brought forward by replaying the saved per-panel
+//!   updates (right/left, phase-aware for the interrupted iteration).
+//!
+//! We restore Area 4 from the snapshot on **all** processes and replay
+//! everywhere: the collectives are deterministic, so survivors recompute
+//! bit-identical values and only the victims' blocks actually change. This
+//! covers simultaneous multi-row failures with the same code path (see
+//! DESIGN.md §6); the paper recovers only lost blocks, so our recovery does
+//! strictly more local work — the difference is noted in EXPERIMENTS.md.
+//!
+//! Tolerated failure set: any number of simultaneous victims with at most
+//! `max_failures_per_row()` per process row — 1 with the paper's duplicated
+//! checksums ([`Redundancy::Single`]), 2 with the weighted extension
+//! ([`Redundancy::Dual`], the paper's §8 future work). For multiple victims
+//! in one row, Areas 1/2 become a per-element Vandermonde solve: the
+//! surviving weighted checksums give as many independent equations as there
+//! are lost member blocks.
+
+use crate::algorithm::{alg3_catch_up, ft_left, ft_right, store_ve, ve_rows, Phase, Variant};
+use crate::encode::{Encoded, Redundancy};
+use crate::scope::ScopeState;
+use ft_runtime::Ctx;
+use std::collections::{BTreeSet, HashMap};
+
+const TAG_DUP: u64 = 0x400;
+const TAG_A12_RED: u64 = 0x402;
+const TAG_A12_CHK: u64 = 0x404;
+const TAG_A12_PEER: u64 = 0x406;
+
+/// Run the full §5.3 recovery. Collective: every process calls with the
+/// same `victims` list (as delivered by the fail-point check); `me` marks
+/// the victims themselves, which act as the replacement processes.
+#[allow(clippy::too_many_arguments)]
+pub fn recover(
+    ctx: &Ctx,
+    enc: &mut Encoded,
+    st: &mut ScopeState,
+    victims: &[usize],
+    me: bool,
+    variant: Variant,
+    phase: Phase,
+    s: usize,
+) {
+    // Group victims by process row and enforce the fault model.
+    let max_per_row = enc.redundancy().max_failures_per_row();
+    let mut rows: HashMap<usize, Vec<usize>> = HashMap::new();
+    for &v in victims {
+        let (pv, _) = ctx.grid().coords_of(v);
+        let e = rows.entry(pv).or_default();
+        e.push(v);
+        assert!(
+            e.len() <= max_per_row,
+            "unrecoverable: {} simultaneous failures in process row {pv} (max {max_per_row} — \
+             use Redundancy::Dual for two)",
+            e.len()
+        );
+    }
+
+    // Step 1 (§5.3 step 1 is grid repair — the replacement thread itself):
+    // the victim drops everything it had. This is the data loss.
+    if me {
+        enc.a.wipe_local();
+        st.factors.clear();
+        st.snapshot_own.clear();
+        st.snapshot_backups.clear();
+        st.panel_backups.clear();
+        st.my_panel_pieces.clear();
+    }
+
+    // Step 2: restore the victims' scope state (factors, snapshot pieces,
+    // Area-3 panel columns) and re-establish the backup chains.
+    st.repair_after_failure(ctx, enc, victims, me);
+
+    // Step 3 (Algorithm 3 only): bring the surviving checksum columns up to
+    // date with the data before using them (Algorithm 3 lines 18–21). The
+    // victims' checksum blocks stay garbage until step 6 recomputes or
+    // copies them — they are never read in between.
+    if variant == Variant::Delayed && !st.factors.is_empty() {
+        let (full, extra_right) = match phase {
+            Phase::BeforePanel | Phase::AfterLeftUpdate => (st.factors.len(), false),
+            Phase::AfterPanel => (st.factors.len() - 1, false),
+            Phase::AfterRightUpdate => (st.factors.len() - 1, true),
+        };
+        alg3_catch_up(ctx, enc, st, s, full, extra_right);
+    }
+
+    // Step 4: Areas 1 and 2 — per process row, solve for the lost member
+    // blocks of every group except the scope's own.
+    recover_areas_1_2(ctx, enc, &rows, s);
+
+    // Step 5: Area 4 — roll the unfactorized scope columns back to the
+    // snapshot everywhere, then replay the saved panel updates.
+    // (At BeforePanel the interrupted panel has not run, but `factors` then
+    // holds only completed panels, so this bound is right at every phase.)
+    let a4_start = st.factors.last().map(|f| f.k + f.w).unwrap_or(st.start_col);
+    st.restore_snapshot_from(enc, a4_start);
+    let nfac = st.factors.len();
+    for j in 0..nfac {
+        let f = st.factors[j].clone();
+        let last = j + 1 == nfac;
+        let (do_right, do_left) = if !last {
+            (true, true)
+        } else {
+            match phase {
+                Phase::BeforePanel => (true, true), // all factors are completed panels
+                Phase::AfterPanel => (false, false),
+                Phase::AfterRightUpdate => (true, false),
+                Phase::AfterLeftUpdate => (true, true),
+            }
+        };
+        if do_right {
+            let ve = ve_rows(enc, &f);
+            ft_right(enc, &f, &ve, a4_start, st.end_col, false, s);
+        }
+        if do_left {
+            ft_left(ctx, enc, &f, a4_start, st.end_col, false, s);
+        }
+    }
+
+    // Step 6: restore the victims' lost checksum blocks. With the paper's
+    // duplicated checksums, copy from the surviving duplicate (§5.2); with
+    // weighted checksums the copies differ, so recompute the affected
+    // groups from the (now fully recovered) member columns.
+    match enc.redundancy() {
+        Redundancy::Single => restore_checksum_duplicates(ctx, enc, victims),
+        Redundancy::Dual => {
+            let mut affected: BTreeSet<usize> = BTreeSet::new();
+            for &v in victims {
+                let (_, qv) = ctx.grid().coords_of(v);
+                for g in 0..enc.groups() {
+                    for copy in 0..enc.ncopies() {
+                        if enc.a.col_owner(enc.chk_col(g, copy, 0)) == qv {
+                            affected.insert(g);
+                        }
+                    }
+                }
+            }
+            for g in affected {
+                enc.compute_group_checksum(ctx, g);
+            }
+        }
+    }
+
+    // Step 7: restore the Ve bottom-row storage for the current panel
+    // (local writes; owners overwrite with identical values).
+    if variant == Variant::NonDelayed {
+        if let Some(f) = st.factors.last() {
+            let f = f.clone();
+            let ve = ve_rows(enc, &f);
+            store_ve(enc, &f, &ve);
+        }
+    }
+}
+
+/// §5.2: every checksum block a victim owned is copied back from its
+/// surviving duplicate (the two copies sit on different process columns and
+/// are updated identically, hence bit-equal). Single-redundancy only.
+fn restore_checksum_duplicates(ctx: &Ctx, enc: &mut Encoded, victims: &[usize]) {
+    let nb = enc.nb();
+    let lrn_mine = enc.a.local_rows_below(enc.n());
+    let ldl = enc.a.local().ld().max(1);
+    for &v in victims {
+        let (pv, qv) = ctx.grid().coords_of(v);
+        if ctx.myrow() != pv {
+            continue;
+        }
+        for g in 0..enc.groups() {
+            for copy in 0..2 {
+                let qc = enc.a.col_owner(enc.chk_col(g, copy, 0));
+                if qc != qv {
+                    continue; // the victim does not own this copy
+                }
+                let qo = enc.a.col_owner(enc.chk_col(g, 1 - copy, 0));
+                debug_assert_ne!(qo, qv);
+                if ctx.mycol() == qo {
+                    // Send my rows of the surviving copy.
+                    let mut buf = Vec::with_capacity(lrn_mine * nb);
+                    for off in 0..nb {
+                        let lc = enc.a.g2l_col(enc.chk_col(g, 1 - copy, off));
+                        buf.extend_from_slice(&enc.a.local().as_slice()[lc * ldl..lc * ldl + lrn_mine]);
+                    }
+                    ctx.send(v, TAG_DUP, &buf);
+                }
+                if ctx.rank() == v {
+                    let src = ctx.grid().rank_of(pv, qo);
+                    let buf = ctx.recv(src, TAG_DUP);
+                    for off in 0..nb {
+                        let lc = enc.a.g2l_col(enc.chk_col(g, copy, off));
+                        enc.a.local_mut().as_mut_slice()[lc * ldl..lc * ldl + lrn_mine]
+                            .copy_from_slice(&buf[off * lrn_mine..(off + 1) * lrn_mine]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// §5.3 step 3: Areas 1 and 2, generalized to `m ≤ 2` victims per process
+/// row. For each victim row and each group `g ≠ s`:
+///
+/// * unknowns: the victims' member blocks `x₁(, x₂)` of the group;
+/// * equations: the first `m` checksum copies whose owner column is live —
+///   `Σᵥ w_c(idxᵥ)·xᵥ = chk_c − Σ_live w_c(idx)·a` (any `m` Vandermonde
+///   rows are independent);
+/// * one weighted live-sum row-reduction per equation, solved element-wise
+///   on the first victim, which sends the second victim its block.
+fn recover_areas_1_2(ctx: &Ctx, enc: &mut Encoded, rows: &HashMap<usize, Vec<usize>>, s: usize) {
+    let nb = enc.nb();
+    let q = ctx.npcol();
+    let ldl = enc.a.local().ld().max(1);
+
+    let mut row_list: Vec<(&usize, &Vec<usize>)> = rows.iter().collect();
+    row_list.sort_by_key(|(p, _)| **p);
+
+    for (&pv, vlist) in row_list {
+        if ctx.myrow() != pv {
+            continue; // other rows lost nothing in these victims' failures
+        }
+        let lrn = enc.a.local_rows_below(enc.n());
+        let mut vsorted = vlist.clone();
+        vsorted.sort_unstable();
+        let solver = vsorted[0];
+        let victim_cols: Vec<usize> = vsorted.iter().map(|&v| ctx.grid().coords_of(v).1).collect();
+
+        for g in 0..enc.groups() {
+            if g == s {
+                continue; // the scope itself is Areas 3/4
+            }
+            // Unknowns: victims' member blocks that exist in this group.
+            let unknowns: Vec<(usize, usize, usize)> = vsorted
+                .iter()
+                .zip(&victim_cols)
+                .filter_map(|(&v, &qv)| {
+                    let base = (g * q + qv) * nb;
+                    (base < enc.n()).then_some((v, qv, base))
+                })
+                .collect();
+            let m = unknowns.len();
+            if m == 0 {
+                continue;
+            }
+            // Equations: the first m checksum copies on live columns.
+            let eq_copies: Vec<usize> = (0..enc.ncopies())
+                .filter(|&c| !victim_cols.contains(&enc.a.col_owner(enc.chk_col(g, c, 0))))
+                .take(m)
+                .collect();
+            assert_eq!(eq_copies.len(), m, "not enough surviving checksums for group {g}");
+
+            // rhs_c = chk_c − Σ_live w_c·a, assembled on the solver.
+            let mut rhs: Vec<Vec<f64>> = Vec::with_capacity(m);
+            for &c in &eq_copies {
+                // Weighted live partial over my member columns (victims'
+                // wiped columns contribute zero, as required).
+                let mut partial = vec![0.0f64; lrn * nb];
+                for off in 0..nb {
+                    for col in enc.member_cols(g, off) {
+                        if enc.a.owns_col(col) {
+                            let w = enc.col_weight(c, col);
+                            let lc = enc.a.g2l_col(col);
+                            let data = &enc.a.local().as_slice()[lc * ldl..lc * ldl + lrn];
+                            for (i, x) in data.iter().enumerate() {
+                                partial[i + off * lrn] += w * x;
+                            }
+                        }
+                    }
+                }
+                ctx.reduce_sum_row(ctx.grid().coords_of(solver).1, &mut partial, TAG_A12_RED + c as u64);
+
+                // The checksum block travels to the solver.
+                let qc = enc.a.col_owner(enc.chk_col(g, c, 0));
+                let solver_col = ctx.grid().coords_of(solver).1;
+                if ctx.mycol() == qc && qc != solver_col {
+                    let mut buf = Vec::with_capacity(lrn * nb);
+                    for off in 0..nb {
+                        let lc = enc.a.g2l_col(enc.chk_col(g, c, off));
+                        buf.extend_from_slice(&enc.a.local().as_slice()[lc * ldl..lc * ldl + lrn]);
+                    }
+                    ctx.send(solver, TAG_A12_CHK + c as u64, &buf);
+                }
+                if ctx.rank() == solver {
+                    let chk: Vec<f64> = if qc == solver_col {
+                        let mut buf = Vec::with_capacity(lrn * nb);
+                        for off in 0..nb {
+                            let lc = enc.a.g2l_col(enc.chk_col(g, c, off));
+                            buf.extend_from_slice(&enc.a.local().as_slice()[lc * ldl..lc * ldl + lrn]);
+                        }
+                        buf
+                    } else {
+                        ctx.recv(ctx.grid().rank_of(pv, qc), TAG_A12_CHK + c as u64)
+                    };
+                    rhs.push(chk.iter().zip(&partial).map(|(a, b)| a - b).collect());
+                }
+            }
+
+            if ctx.rank() == solver {
+                // Solve the m×m Vandermonde system element-wise.
+                let widx: Vec<usize> = unknowns.iter().map(|&(_, qv, _)| qv).collect();
+                let sols: Vec<Vec<f64>> = match m {
+                    1 => {
+                        let w = enc.redundancy().weight(eq_copies[0], widx[0]);
+                        vec![rhs[0].iter().map(|r| r / w).collect()]
+                    }
+                    2 => {
+                        let a11 = enc.redundancy().weight(eq_copies[0], widx[0]);
+                        let a12 = enc.redundancy().weight(eq_copies[0], widx[1]);
+                        let a21 = enc.redundancy().weight(eq_copies[1], widx[0]);
+                        let a22 = enc.redundancy().weight(eq_copies[1], widx[1]);
+                        let det = a11 * a22 - a12 * a21;
+                        assert!(det.abs() > 1e-12, "singular recovery system");
+                        let x1: Vec<f64> = rhs[0].iter().zip(&rhs[1]).map(|(r1, r2)| (r1 * a22 - r2 * a12) / det).collect();
+                        let x2: Vec<f64> = rhs[0].iter().zip(&rhs[1]).map(|(r1, r2)| (a11 * r2 - a21 * r1) / det).collect();
+                        vec![x1, x2]
+                    }
+                    _ => unreachable!("max two unknowns per row"),
+                };
+                for ((v, _, base), sol) in unknowns.iter().zip(sols) {
+                    if *v == solver {
+                        for off in 0..nb {
+                            let lc = enc.a.g2l_col(base + off);
+                            enc.a.local_mut().as_mut_slice()[lc * ldl..lc * ldl + lrn]
+                                .copy_from_slice(&sol[off * lrn..(off + 1) * lrn]);
+                        }
+                    } else {
+                        ctx.send(*v, TAG_A12_PEER, &sol);
+                    }
+                }
+            }
+            for &(v, _, base) in &unknowns {
+                if ctx.rank() == v && v != solver {
+                    let sol = ctx.recv(solver, TAG_A12_PEER);
+                    for off in 0..nb {
+                        let lc = enc.a.g2l_col(base + off);
+                        enc.a.local_mut().as_mut_slice()[lc * ldl..lc * ldl + lrn]
+                            .copy_from_slice(&sol[off * lrn..(off + 1) * lrn]);
+                    }
+                }
+            }
+        }
+    }
+}

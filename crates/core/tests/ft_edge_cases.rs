@@ -1,0 +1,152 @@
+//! Edge cases of the fault-tolerant reduction: extreme geometry, boundary
+//! failure placement, and misuse detection.
+
+use ft_dense::gen::uniform_entry;
+use ft_dense::Matrix;
+use ft_hess::{failpoint, ft_pdgehrd, Encoded, Phase, Variant};
+use ft_runtime::{run_spmd, FaultScript, PlannedFailure};
+
+fn ft_result(n: usize, nb: usize, p: usize, q: usize, seed: u64, variant: Variant, script: FaultScript) -> Matrix {
+    run_spmd(p, q, script, move |ctx| {
+        let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
+        let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
+        ft_pdgehrd(&ctx, &mut enc, variant, &mut tau);
+        enc.gather_logical(&ctx, 620)
+    })
+    .into_iter()
+    .next()
+    .unwrap()
+}
+
+fn last_panel(n: usize, nb: usize) -> usize {
+    let (mut c, mut k) = (0usize, 0usize);
+    while k + 2 < n {
+        k += nb.min(n - 2 - k);
+        c += 1;
+    }
+    c - 1
+}
+
+#[test]
+fn failure_in_very_first_panel() {
+    let (n, nb, p, q) = (12, 2, 2, 2);
+    let reference = ft_result(n, nb, p, q, 5, Variant::NonDelayed, FaultScript::none());
+    for phase in Phase::ALL {
+        let got = ft_result(n, nb, p, q, 5, Variant::NonDelayed, FaultScript::one(3, failpoint(0, phase)));
+        assert!(got.max_abs_diff(&reference) < 1e-10, "{phase:?}");
+    }
+}
+
+#[test]
+fn failure_in_very_last_panel() {
+    let (n, nb, p, q) = (14, 2, 2, 2);
+    let lp = last_panel(n, nb);
+    let reference = ft_result(n, nb, p, q, 6, Variant::NonDelayed, FaultScript::none());
+    for phase in Phase::ALL {
+        let got = ft_result(n, nb, p, q, 6, Variant::NonDelayed, FaultScript::one(2, failpoint(lp, phase)));
+        assert!(got.max_abs_diff(&reference) < 1e-10, "{phase:?}");
+    }
+}
+
+#[test]
+fn single_process_row_grid() {
+    // P = 1: every process is alone in its row; single failures still
+    // recoverable (the constraint is per-row, and each row has one victim).
+    let (n, nb, p, q) = (12, 2, 1, 3);
+    let reference = ft_result(n, nb, p, q, 7, Variant::NonDelayed, FaultScript::none());
+    for victim in 0..3 {
+        let got = ft_result(n, nb, p, q, 7, Variant::NonDelayed, FaultScript::one(victim, failpoint(2, Phase::AfterRightUpdate)));
+        assert!(got.max_abs_diff(&reference) < 1e-10, "victim {victim}");
+    }
+}
+
+#[test]
+fn tall_grid_many_rows() {
+    let (n, nb, p, q) = (16, 2, 4, 2);
+    let reference = ft_result(n, nb, p, q, 8, Variant::Delayed, FaultScript::none());
+    let got = ft_result(n, nb, p, q, 8, Variant::Delayed, FaultScript::one(5, failpoint(3, Phase::AfterLeftUpdate)));
+    assert!(got.max_abs_diff(&reference) < 1e-10);
+}
+
+#[test]
+fn rank_zero_is_not_special() {
+    // Rank 0 often plays collective-root roles; it must be as expendable
+    // as anyone else.
+    let (n, nb, p, q) = (12, 2, 2, 3);
+    let reference = ft_result(n, nb, p, q, 9, Variant::NonDelayed, FaultScript::none());
+    for phase in Phase::ALL {
+        let got = ft_result(n, nb, p, q, 9, Variant::NonDelayed, FaultScript::one(0, failpoint(1, phase)));
+        assert!(got.max_abs_diff(&reference) < 1e-10, "{phase:?}");
+    }
+}
+
+#[test]
+fn nb_equals_n_over_two() {
+    // Giant blocking factor: two block columns, one checksum group per
+    // process-column pair; scope logic still sound.
+    let (n, nb, p, q) = (16, 8, 2, 2);
+    let reference = ft_result(n, nb, p, q, 10, Variant::NonDelayed, FaultScript::none());
+    let got = ft_result(n, nb, p, q, 10, Variant::NonDelayed, FaultScript::one(1, failpoint(0, Phase::AfterPanel)));
+    assert!(got.max_abs_diff(&reference) < 1e-10);
+}
+
+#[test]
+fn nb_one_degenerate_blocks() {
+    let (n, nb, p, q) = (10, 1, 2, 2);
+    let reference = ft_result(n, nb, p, q, 11, Variant::NonDelayed, FaultScript::none());
+    let got = ft_result(n, nb, p, q, 11, Variant::NonDelayed, FaultScript::one(2, failpoint(4, Phase::AfterLeftUpdate)));
+    assert!(got.max_abs_diff(&reference) < 1e-10);
+}
+
+#[test]
+fn tiny_matrices_no_panels() {
+    // n ≤ 2: nothing to reduce; the FT driver must still terminate cleanly
+    // (encode + no iterations).
+    {
+        let n = 2usize;
+        run_spmd(2, 2, FaultScript::none(), move |ctx| {
+            let mut enc = Encoded::from_global_fn(&ctx, n, 1, |i, j| (i + j) as f64);
+            let mut tau = vec![0.0; 1];
+            let rep = ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau);
+            assert_eq!(rep.recoveries, 0);
+        });
+    }
+}
+
+#[test]
+#[should_panic(expected = "simultaneous failures in process row")]
+fn two_failures_same_row_rejected() {
+    // Ranks 0 and 1 share process row 0 on a 2×2 grid — beyond the fault
+    // model; must fail loudly, not corrupt silently.
+    let script = FaultScript::new(vec![
+        PlannedFailure { victim: 0, point: failpoint(1, Phase::AfterPanel) },
+        PlannedFailure { victim: 1, point: failpoint(1, Phase::AfterPanel) },
+    ]);
+    let _ = ft_result(12, 2, 2, 2, 12, Variant::NonDelayed, script);
+}
+
+#[test]
+fn back_to_back_failures_same_scope() {
+    // Two failure events within one panel scope (protection re-armed
+    // between them).
+    let (n, nb, p, q) = (16, 2, 2, 2);
+    let reference = ft_result(n, nb, p, q, 13, Variant::NonDelayed, FaultScript::none());
+    let script = FaultScript::new(vec![
+        PlannedFailure { victim: 1, point: failpoint(2, Phase::AfterPanel) },
+        PlannedFailure { victim: 2, point: failpoint(3, Phase::AfterRightUpdate) },
+    ]);
+    let got = ft_result(n, nb, p, q, 13, Variant::NonDelayed, script);
+    assert!(got.max_abs_diff(&reference) < 1e-10);
+}
+
+#[test]
+fn same_victim_fails_twice() {
+    let (n, nb, p, q) = (20, 2, 2, 2);
+    let reference = ft_result(n, nb, p, q, 14, Variant::Delayed, FaultScript::none());
+    let script = FaultScript::new(vec![
+        PlannedFailure { victim: 3, point: failpoint(1, Phase::AfterLeftUpdate) },
+        PlannedFailure { victim: 3, point: failpoint(6, Phase::BeforePanel) },
+    ]);
+    let got = ft_result(n, nb, p, q, 14, Variant::Delayed, script);
+    assert!(got.max_abs_diff(&reference) < 1e-10);
+}

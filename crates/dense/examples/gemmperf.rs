@@ -1,0 +1,22 @@
+//! Single-core GEMM throughput probe for the packed blocked kernel.
+//!
+//! ```text
+//! cargo run --release -p ft-dense --example gemmperf
+//! ```
+
+use ft_dense::level3::gemm;
+use ft_dense::{gen, Matrix, Trans};
+use std::time::Instant;
+
+fn main() {
+    println!("packed blocked GEMM, single core:");
+    for n in [256usize, 512, 1024] {
+        let a = gen::uniform(n, n, 1);
+        let b = gen::uniform(n, n, 2);
+        let mut c = Matrix::zeros(n, n);
+        let t = Instant::now();
+        gemm(Trans::No, Trans::No, n, n, n, 1.0, a.as_slice(), n, b.as_slice(), n, 0.0, c.as_mut_slice(), n);
+        let dt = t.elapsed().as_secs_f64();
+        println!("  n={n}: {:.2} GFLOP/s", 2.0 * (n as f64).powi(3) / dt / 1e9);
+    }
+}

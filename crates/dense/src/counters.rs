@@ -1,0 +1,62 @@
+//! Global floating-point operation counters.
+//!
+//! The paper's Section 6 derives closed-form flop counts for the extra work
+//! the ABFT scheme performs (`FLOP_pdgemm`, `FLOP_pdlarfb`, Equation 2's
+//! `1/(5Q)` asymptote). To validate those formulas we count the flops every
+//! level-2/3 kernel actually executes. Counting is a single relaxed atomic
+//! add per *kernel call* (not per flop), so the overhead is unmeasurable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FLOPS: AtomicU64 = AtomicU64::new(0);
+
+/// Add `n` floating point operations to the global counter.
+#[inline]
+pub fn add_flops(n: u64) {
+    FLOPS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read the global flop counter.
+#[inline]
+pub fn flops() -> u64 {
+    FLOPS.load(Ordering::Relaxed)
+}
+
+/// Reset the global flop counter to zero.
+#[inline]
+pub fn reset_flops() {
+    FLOPS.store(0, Ordering::Relaxed);
+}
+
+/// Scope guard measuring the flops executed between construction and
+/// [`FlopRegion::elapsed`], independent of other regions that may run
+/// concurrently (the counter is global, so regions should not overlap with
+/// unrelated work if exact attribution matters).
+pub struct FlopRegion {
+    start: u64,
+}
+
+impl FlopRegion {
+    /// Start a new measurement region.
+    pub fn begin() -> Self {
+        Self { start: flops() }
+    }
+
+    /// Flops executed since [`FlopRegion::begin`].
+    pub fn elapsed(&self) -> u64 {
+        flops().wrapping_sub(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_read() {
+        let r = FlopRegion::begin();
+        add_flops(42);
+        add_flops(8);
+        assert!(r.elapsed() >= 50);
+    }
+}

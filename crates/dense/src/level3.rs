@@ -1,0 +1,486 @@
+//! Level-3 BLAS: matrix-matrix kernels on column-major storage.
+//!
+//! [`gemm`] is the workhorse of the whole workspace — both the shared-memory
+//! blocked Hessenberg reduction and the distributed trailing-matrix updates
+//! funnel into it. It uses the classic packed three-level blocking scheme
+//! (Goto-style: NC/KC/MC cache blocks around an MR×NR register micro-kernel)
+//! written in safe Rust and shaped so LLVM auto-vectorizes the micro-kernel.
+//!
+//! [`gemm_naive`] is the deliberately simple triple-loop oracle used by the
+//! test suites to validate every faster path.
+
+use crate::counters::add_flops;
+use crate::{Diag, Side, Trans, UpLo};
+
+/// Register block: rows of the micro-tile.
+const MR: usize = 8;
+/// Register block: columns of the micro-tile.
+const NR: usize = 4;
+/// Cache block over `k`.
+const KC: usize = 256;
+/// Cache block over `m`.
+const MC: usize = 128;
+/// Cache block over `n`.
+const NC: usize = 1024;
+
+#[inline]
+fn at(trans: Trans, base: &[f64], ld: usize, i: usize, j: usize) -> f64 {
+    match trans {
+        Trans::No => base[i + j * ld],
+        Trans::Yes => base[j + i * ld],
+    }
+}
+
+/// General matrix-matrix multiply:
+/// `C ← α·op(A)·op(B) + β·C`, with `op(A)` `m×k`, `op(B)` `k×n`, `C` `m×n`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    // --- dimension checks ------------------------------------------------
+    let (a_rows, a_cols) = match transa {
+        Trans::No => (m, k),
+        Trans::Yes => (k, m),
+    };
+    let (b_rows, b_cols) = match transb {
+        Trans::No => (k, n),
+        Trans::Yes => (n, k),
+    };
+    assert!(lda >= a_rows.max(1), "gemm: lda too small");
+    assert!(ldb >= b_rows.max(1), "gemm: ldb too small");
+    assert!(ldc >= m.max(1), "gemm: ldc too small");
+    if a_rows > 0 && a_cols > 0 {
+        assert!(a.len() >= lda * (a_cols - 1) + a_rows, "gemm: A buffer too small");
+    }
+    if b_rows > 0 && b_cols > 0 {
+        assert!(b.len() >= ldb * (b_cols - 1) + b_rows, "gemm: B buffer too small");
+    }
+    if m > 0 && n > 0 {
+        assert!(c.len() >= ldc * (n - 1) + m, "gemm: C buffer too small");
+    }
+
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    // --- beta pass --------------------------------------------------------
+    if beta != 1.0 {
+        for j in 0..n {
+            let col = &mut c[j * ldc..j * ldc + m];
+            if beta == 0.0 {
+                col.fill(0.0);
+            } else {
+                for v in col.iter_mut() {
+                    *v *= beta;
+                }
+            }
+        }
+    }
+    if alpha == 0.0 || k == 0 {
+        return;
+    }
+    add_flops(2 * m as u64 * n as u64 * k as u64);
+
+    // --- packed blocked multiply -----------------------------------------
+    let mut apack = vec![0.0f64; MC * KC];
+    let mut bpack = vec![0.0f64; KC * NC];
+
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(transb, b, ldb, pc, jc, kc, nc, &mut bpack);
+            let mut ic = 0;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                pack_a(transa, a, lda, ic, pc, mc, kc, &mut apack);
+                macro_kernel(mc, nc, kc, alpha, &apack, &bpack, &mut c[ic + jc * ldc..], ldc);
+                ic += MC;
+            }
+            pc += KC;
+        }
+        jc += NC;
+    }
+}
+
+/// Pack the `mc×kc` block of `op(A)` starting at logical `(ic, pc)` into
+/// row-panels of height `MR`, zero-padded, laid out so the micro-kernel reads
+/// unit-stride.
+#[allow(clippy::needless_range_loop)] // symmetric zero-pad loops read clearer unindexed
+fn pack_a(trans: Trans, a: &[f64], lda: usize, ic: usize, pc: usize, mc: usize, kc: usize, out: &mut [f64]) {
+    let panels = mc.div_ceil(MR);
+    for p in 0..panels {
+        let r0 = p * MR;
+        let rows = MR.min(mc - r0);
+        let base = p * MR * kc;
+        for j in 0..kc {
+            let dst = &mut out[base + j * MR..base + j * MR + MR];
+            for r in 0..rows {
+                dst[r] = at(trans, a, lda, ic + r0 + r, pc + j);
+            }
+            for r in rows..MR {
+                dst[r] = 0.0;
+            }
+        }
+    }
+}
+
+/// Pack the `kc×nc` block of `op(B)` starting at logical `(pc, jc)` into
+/// column-panels of width `NR`, zero-padded.
+#[allow(clippy::needless_range_loop)]
+fn pack_b(trans: Trans, b: &[f64], ldb: usize, pc: usize, jc: usize, kc: usize, nc: usize, out: &mut [f64]) {
+    let panels = nc.div_ceil(NR);
+    for q in 0..panels {
+        let c0 = q * NR;
+        let colsn = NR.min(nc - c0);
+        let base = q * NR * kc;
+        for j in 0..kc {
+            let dst = &mut out[base + j * NR..base + j * NR + NR];
+            for cdx in 0..colsn {
+                dst[cdx] = at(trans, b, ldb, pc + j, jc + c0 + cdx);
+            }
+            for cdx in colsn..NR {
+                dst[cdx] = 0.0;
+            }
+        }
+    }
+}
+
+/// Multiply the packed `mc×kc` A block by the packed `kc×nc` B block into the
+/// `mc×nc` C window at `c` (leading dimension `ldc`), accumulating `+= α·A·B`.
+fn macro_kernel(mc: usize, nc: usize, kc: usize, alpha: f64, apack: &[f64], bpack: &[f64], c: &mut [f64], ldc: usize) {
+    let mpan = mc.div_ceil(MR);
+    let npan = nc.div_ceil(NR);
+    for q in 0..npan {
+        let c0 = q * NR;
+        let ncols = NR.min(nc - c0);
+        let bp = &bpack[q * NR * kc..];
+        for p in 0..mpan {
+            let r0 = p * MR;
+            let nrows = MR.min(mc - r0);
+            let ap = &apack[p * MR * kc..];
+            micro_kernel(kc, alpha, ap, bp, nrows, ncols, &mut c[r0 + c0 * ldc..], ldc);
+        }
+    }
+}
+
+/// The MR×NR register kernel: `acc += ap(:,l) ⊗ bp(:,l)` over `l`, then
+/// `C[0..nrows, 0..ncols] += α·acc`.
+#[inline]
+fn micro_kernel(kc: usize, alpha: f64, ap: &[f64], bp: &[f64], nrows: usize, ncols: usize, c: &mut [f64], ldc: usize) {
+    let mut acc = [[0.0f64; MR]; NR];
+    for l in 0..kc {
+        let av: &[f64] = &ap[l * MR..l * MR + MR];
+        let bv: &[f64] = &bp[l * NR..l * NR + NR];
+        for (j, accj) in acc.iter_mut().enumerate() {
+            let bj = bv[j];
+            for (i, a) in accj.iter_mut().enumerate() {
+                *a += av[i] * bj;
+            }
+        }
+    }
+    for j in 0..ncols {
+        let col = &mut c[j * ldc..j * ldc + nrows];
+        for (i, v) in col.iter_mut().enumerate() {
+            *v += alpha * acc[j][i];
+        }
+    }
+}
+
+/// Reference triple-loop GEMM used as the oracle in tests. Never use in
+/// performance paths.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_naive(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    for j in 0..n {
+        for i in 0..m {
+            let mut s = 0.0;
+            for l in 0..k {
+                s += at(transa, a, lda, i, l) * at(transb, b, ldb, l, j);
+            }
+            let cv = &mut c[i + j * ldc];
+            *cv = alpha * s + beta * *cv;
+        }
+    }
+}
+
+/// Triangular matrix-matrix multiply:
+/// `B ← α·op(A)·B` ([`Side::Left`], `A` is `m×m`) or
+/// `B ← α·B·op(A)` ([`Side::Right`], `A` is `n×n`), with `B` `m×n` and `A`
+/// upper/lower triangular, optionally unit-diagonal.
+#[allow(clippy::too_many_arguments)]
+pub fn trmm(
+    side: Side,
+    uplo: UpLo,
+    trans: Trans,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    let ka = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    assert!(lda >= ka.max(1), "trmm: lda too small");
+    assert!(ldb >= m.max(1), "trmm: ldb too small");
+    if ka > 0 {
+        assert!(a.len() >= lda * (ka - 1) + ka, "trmm: A buffer too small");
+    }
+    if m > 0 && n > 0 {
+        assert!(b.len() >= ldb * (n - 1) + m, "trmm: B buffer too small");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if alpha == 0.0 {
+        for j in 0..n {
+            b[j * ldb..j * ldb + m].fill(0.0);
+        }
+        return;
+    }
+    add_flops(m as u64 * n as u64 * ka as u64);
+
+    let unit = matches!(diag, Diag::Unit);
+    match side {
+        Side::Left => {
+            // Per column of B: b_j ← op(A)·b_j (a trmv), then scale by alpha.
+            for j in 0..n {
+                let col = &mut b[j * ldb..j * ldb + m];
+                crate::level2::trmv(uplo, trans, diag, m, a, lda, col);
+                if alpha != 1.0 {
+                    for v in col.iter_mut() {
+                        *v *= alpha;
+                    }
+                }
+            }
+        }
+        Side::Right => {
+            // (B·op(A))(:,j) = Σ_i B(:,i)·op(A)(i,j). Traversal order chosen
+            // so every read of B(:,i) still sees the original value.
+            let effective_upper = match (uplo, trans) {
+                (UpLo::Upper, Trans::No) | (UpLo::Lower, Trans::Yes) => true,
+                (UpLo::Lower, Trans::No) | (UpLo::Upper, Trans::Yes) => false,
+            };
+            let aval = |i: usize, j: usize| -> f64 {
+                match trans {
+                    Trans::No => a[i + j * lda],
+                    Trans::Yes => a[j + i * lda],
+                }
+            };
+            let js: Box<dyn Iterator<Item = usize>> = if effective_upper {
+                // op(A) effectively upper: col j uses B cols i <= j → go right→left.
+                Box::new((0..n).rev())
+            } else {
+                Box::new(0..n)
+            };
+            for j in js {
+                let dj = if unit { 1.0 } else { aval(j, j) };
+                // Scale the diagonal contribution first (in place).
+                {
+                    let col = &mut b[j * ldb..j * ldb + m];
+                    let f = alpha * dj;
+                    if f != 1.0 {
+                        for v in col.iter_mut() {
+                            *v *= f;
+                        }
+                    }
+                }
+                let range: Box<dyn Iterator<Item = usize>> = if effective_upper {
+                    Box::new(0..j)
+                } else {
+                    Box::new(j + 1..n)
+                };
+                for i in range {
+                    let f = alpha * aval(i, j);
+                    if f == 0.0 {
+                        continue;
+                    }
+                    // b_j += f * b_i  — two disjoint columns of B.
+                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                    let (first, second) = b.split_at_mut(hi * ldb);
+                    let (src, dst): (&[f64], &mut [f64]) = if i < j {
+                        (&first[lo * ldb..lo * ldb + m], &mut second[..m])
+                    } else {
+                        let s: &[f64] = &second[..m];
+                        // i > j: src is the later column; dst the earlier one.
+                        // We cannot hand out overlapping borrows, so copy src.
+                        let tmp: Vec<f64> = s.to_vec();
+                        let dstc = &mut first[lo * ldb..lo * ldb + m];
+                        for (d, t) in dstc.iter_mut().zip(&tmp) {
+                            *d += f * t;
+                        }
+                        continue;
+                    };
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d += f * s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    fn rngmat(m: usize, n: usize, seed: u64) -> Matrix {
+        // Small deterministic pseudo-random values without pulling rand here.
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Matrix::from_fn(m, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn gemm_matches_naive_all_transposes() {
+        for &(m, n, k) in &[(1, 1, 1), (3, 5, 4), (17, 9, 23), (40, 33, 19), (130, 70, 260)] {
+            for transa in [Trans::No, Trans::Yes] {
+                for transb in [Trans::No, Trans::Yes] {
+                    let (ar, ac) = if transa.is_trans() { (k, m) } else { (m, k) };
+                    let (br, bc) = if transb.is_trans() { (n, k) } else { (k, n) };
+                    let a = rngmat(ar, ac, 1);
+                    let b = rngmat(br, bc, 2);
+                    let c0 = rngmat(m, n, 3);
+                    let mut c1 = c0.clone();
+                    let mut c2 = c0.clone();
+                    gemm(transa, transb, m, n, k, 1.3, a.as_slice(), ar, b.as_slice(), br, -0.7, c1.as_mut_slice(), m);
+                    gemm_naive(transa, transb, m, n, k, 1.3, a.as_slice(), ar, b.as_slice(), br, -0.7, c2.as_mut_slice(), m);
+                    let d = c1.max_abs_diff(&c2);
+                    assert!(d < 1e-11, "m={m} n={n} k={k} {transa:?}{transb:?}: diff {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_beta_zero_clears_nan() {
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(2);
+        let mut c = Matrix::from_fn(2, 2, |_, _| f64::NAN);
+        gemm(Trans::No, Trans::No, 2, 2, 2, 1.0, a.as_slice(), 2, b.as_slice(), 2, 0.0, c.as_mut_slice(), 2);
+        assert_eq!(c, Matrix::identity(2));
+    }
+
+    #[test]
+    fn gemm_alpha_zero_only_scales() {
+        let a = rngmat(3, 3, 4);
+        let b = rngmat(3, 3, 5);
+        let mut c = Matrix::identity(3);
+        gemm(Trans::No, Trans::No, 3, 3, 3, 0.0, a.as_slice(), 3, b.as_slice(), 3, 2.0, c.as_mut_slice(), 3);
+        let mut want = Matrix::identity(3);
+        for v in want.as_mut_slice().iter_mut() {
+            *v *= 2.0;
+        }
+        assert_eq!(c, want);
+    }
+
+    #[test]
+    fn gemm_submatrix_views() {
+        // C(1..3,1..3) += A(0..2, 0..2)*B(2..4, 0..2) inside 5x5 buffers.
+        let a = rngmat(5, 5, 6);
+        let b = rngmat(5, 5, 7);
+        let mut c = rngmat(5, 5, 8);
+        let mut cref = c.clone();
+        gemm(
+            Trans::No, Trans::No, 2, 2, 2, 1.0,
+            &a.as_slice()[0..], 5,
+            &b.as_slice()[2..], 5,
+            1.0,
+            &mut c.as_mut_slice()[1 + 5..], 5,
+        );
+        gemm_naive(
+            Trans::No, Trans::No, 2, 2, 2, 1.0,
+            &a.as_slice()[0..], 5,
+            &b.as_slice()[2..], 5,
+            1.0,
+            &mut cref.as_mut_slice()[1 + 5..], 5,
+        );
+        assert!(c.max_abs_diff(&cref) < 1e-12);
+    }
+
+    #[test]
+    fn trmm_matches_dense_multiply() {
+        let m = 7;
+        let n = 6;
+        for side in [Side::Left, Side::Right] {
+            let ka = match side {
+                Side::Left => m,
+                Side::Right => n,
+            };
+            let a = rngmat(ka, ka, 11);
+            for uplo in [UpLo::Upper, UpLo::Lower] {
+                for trans in [Trans::No, Trans::Yes] {
+                    for diag in [Diag::Unit, Diag::NonUnit] {
+                        let tdense = Matrix::from_fn(ka, ka, |i, j| {
+                            let inside = match uplo {
+                                UpLo::Upper => i <= j,
+                                UpLo::Lower => i >= j,
+                            };
+                            if i == j {
+                                if matches!(diag, Diag::Unit) { 1.0 } else { a[(i, j)] }
+                            } else if inside {
+                                a[(i, j)]
+                            } else {
+                                0.0
+                            }
+                        });
+                        let b0 = rngmat(m, n, 13);
+                        let mut b = b0.clone();
+                        trmm(side, uplo, trans, diag, m, n, 1.5, a.as_slice(), ka, b.as_mut_slice(), m);
+                        // dense reference
+                        let mut want = Matrix::zeros(m, n);
+                        match side {
+                            Side::Left => gemm_naive(trans, Trans::No, m, n, m, 1.5, tdense.as_slice(), m, b0.as_slice(), m, 0.0, want.as_mut_slice(), m),
+                            Side::Right => gemm_naive(Trans::No, trans, m, n, n, 1.5, b0.as_slice(), m, tdense.as_slice(), n, 0.0, want.as_mut_slice(), m),
+                        }
+                        let d = b.max_abs_diff(&want);
+                        assert!(d < 1e-12, "{side:?} {uplo:?} {trans:?} {diag:?}: diff {d}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trmm_alpha_zero_zeroes() {
+        let a = rngmat(3, 3, 1);
+        let mut b = rngmat(4, 3, 2);
+        trmm(Side::Right, UpLo::Upper, Trans::No, Diag::NonUnit, 4, 3, 0.0, a.as_slice(), 3, b.as_mut_slice(), 4);
+        assert!(b.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

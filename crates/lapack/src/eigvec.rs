@@ -1,0 +1,246 @@
+//! Eigenvectors of a real upper Hessenberg matrix by inverse iteration —
+//! the LAPACK `DHSEIN` approach: for an eigenvalue estimate `λ`, a few
+//! iterations of `(H − λI)·x_{k+1} = x_k` converge onto the eigenvector,
+//! using the Hessenberg structure for an O(n²) shifted solve.
+//!
+//! Real eigenvalues only (complex pairs would need complex arithmetic; the
+//! dominant eigenvalue of the stochastic matrices in the motivating
+//! PageRank/spectral workloads is always real by Perron–Frobenius).
+
+use ft_dense::level1::nrm2;
+use ft_dense::{Matrix, EPS};
+
+/// Failure modes of the eigenvector computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EigVecError {
+    /// The matrix is not upper Hessenberg.
+    NotHessenberg,
+    /// Inverse iteration failed to converge (λ far from any eigenvalue).
+    NoConvergence,
+}
+
+impl std::fmt::Display for EigVecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EigVecError::NotHessenberg => write!(f, "input matrix is not upper Hessenberg"),
+            EigVecError::NoConvergence => write!(f, "inverse iteration did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for EigVecError {}
+
+/// Solve `(H − λI)·x = b` in place for upper Hessenberg `H`, O(n²):
+/// Gaussian elimination with partial pivoting touches only adjacent rows
+/// (one subdiagonal), so `U` stays upper triangular. Near-singular pivots —
+/// expected, since λ *is* an eigenvalue — are replaced by `ε·‖H‖`
+/// (the standard inverse-iteration safeguard).
+pub fn solve_shifted_hessenberg(h: &Matrix, lambda: f64, b: &mut [f64]) {
+    let n = h.rows();
+    assert_eq!(h.cols(), n);
+    assert_eq!(b.len(), n);
+    if n == 0 {
+        return;
+    }
+    // Working copy of H − λI (row-major band would be leaner; clarity wins).
+    let mut m = h.clone();
+    for i in 0..n {
+        m[(i, i)] -= lambda;
+    }
+    let smin = EPS * ft_dense::norms::inf_norm(h).max(1.0);
+
+    // Forward elimination of the single subdiagonal, with pivoting.
+    for j in 0..n - 1 {
+        if m[(j + 1, j)].abs() > m[(j, j)].abs() {
+            // Swap rows j and j+1 (columns j.. only; earlier are zero).
+            for c in j..n {
+                let t = m[(j, c)];
+                m[(j, c)] = m[(j + 1, c)];
+                m[(j + 1, c)] = t;
+            }
+            b.swap(j, j + 1);
+        }
+        let mut piv = m[(j, j)];
+        if piv.abs() < smin {
+            piv = smin.copysign(if piv == 0.0 { 1.0 } else { piv });
+            m[(j, j)] = piv;
+        }
+        let l = m[(j + 1, j)] / piv;
+        if l != 0.0 {
+            for c in j + 1..n {
+                let v = m[(j, c)];
+                m[(j + 1, c)] -= l * v;
+            }
+            b[j + 1] -= l * b[j];
+        }
+        m[(j + 1, j)] = 0.0;
+    }
+    // Back substitution.
+    for j in (0..n).rev() {
+        let mut piv = m[(j, j)];
+        if piv.abs() < smin {
+            piv = smin.copysign(if piv == 0.0 { 1.0 } else { piv });
+        }
+        let x = b[j] / piv;
+        b[j] = x;
+        for i in 0..j {
+            b[i] -= m[(i, j)] * x;
+        }
+    }
+}
+
+/// Eigenvector of upper Hessenberg `h` for the (real) eigenvalue `lambda`,
+/// by inverse iteration from a deterministic start. The result is
+/// normalized (‖v‖₂ = 1) with its largest-magnitude entry positive.
+pub fn hessenberg_eigenvector(h: &Matrix, lambda: f64) -> Result<Vec<f64>, EigVecError> {
+    if !crate::residual::is_hessenberg(h) {
+        return Err(EigVecError::NotHessenberg);
+    }
+    let n = h.rows();
+    if n == 0 {
+        return Ok(vec![]);
+    }
+    // Deterministic, unstructured start vector.
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7318).sin() * 0.5).collect();
+    let norm0 = nrm2(&v);
+    for x in v.iter_mut() {
+        *x /= norm0;
+    }
+
+    let hnorm = ft_dense::norms::inf_norm(h).max(1.0);
+    for _ in 0..5 {
+        solve_shifted_hessenberg(h, lambda, &mut v);
+        let nv = nrm2(&v);
+        if !nv.is_finite() || nv == 0.0 {
+            return Err(EigVecError::NoConvergence);
+        }
+        for x in v.iter_mut() {
+            *x /= nv;
+        }
+        // Converged when the residual ‖H·v − λ·v‖ is at rounding level.
+        let mut hv = vec![0.0; n];
+        ft_dense::level2::gemv(ft_dense::Trans::No, n, n, 1.0, h.as_slice(), n, &v, 0.0, &mut hv);
+        let res: f64 = hv.iter().zip(&v).map(|(a, b)| (a - lambda * b).abs()).fold(0.0, f64::max);
+        if res <= hnorm * EPS * 100.0 * n as f64 {
+            break;
+        }
+    }
+    // Final residual check.
+    let mut hv = vec![0.0; n];
+    ft_dense::level2::gemv(ft_dense::Trans::No, n, n, 1.0, h.as_slice(), n, &v, 0.0, &mut hv);
+    let res: f64 = hv.iter().zip(&v).map(|(a, b)| (a - lambda * b).abs()).fold(0.0, f64::max);
+    if res > hnorm * 1e-8 {
+        return Err(EigVecError::NoConvergence);
+    }
+    // Sign convention.
+    let imax = crate::householder_iamax(&v);
+    if v[imax] < 0.0 {
+        for x in v.iter_mut() {
+            *x = -*x;
+        }
+    }
+    Ok(v)
+}
+
+/// Eigenvector of a **general** matrix `a` for real eigenvalue `lambda`:
+/// reduce to Hessenberg form, inverse-iterate there, transform back with
+/// `Q` (`v_A = Q·v_H`).
+pub fn eigenvector(a: &Matrix, lambda: f64, nb: usize) -> Result<Vec<f64>, EigVecError> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    let mut work = a.clone();
+    let mut tau = vec![0.0; n.saturating_sub(1)];
+    crate::hessenberg::gehrd(&mut work, nb, &mut tau);
+    let h = crate::hessenberg::extract_h(&work);
+    let vh = hessenberg_eigenvector(&h, lambda)?;
+    let q = crate::hessenberg::orghr(&work, &tau);
+    let mut v = vec![0.0; n];
+    ft_dense::level2::gemv(ft_dense::Trans::No, n, n, 1.0, q.as_slice(), n, &vh, 0.0, &mut v);
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_dense::gen;
+    use ft_dense::level2::gemv;
+    use ft_dense::Trans;
+
+    fn eig_residual(a: &Matrix, lambda: f64, v: &[f64]) -> f64 {
+        let n = a.rows();
+        let mut av = vec![0.0; n];
+        gemv(Trans::No, n, n, 1.0, a.as_slice(), n, v, 0.0, &mut av);
+        av.iter().zip(v).map(|(x, y)| (x - lambda * y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn shifted_solve_exact_on_triangular() {
+        // Upper triangular H, λ = 0 → plain triangular solve.
+        let h = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[0.0, 3.0, 1.0], &[0.0, 0.0, 4.0]]);
+        let mut b = vec![5.0, 10.0, 8.0];
+        solve_shifted_hessenberg(&h, 0.0, &mut b);
+        // x = [ (5 - x2)/2 , (10 - x3)/3, 2 ] = [1.5+... compute: x3=2, x2=(10-2)/3=8/3, x1=(5-8/3)/2=7/6
+        assert!((b[2] - 2.0).abs() < 1e-14);
+        assert!((b[1] - 8.0 / 3.0).abs() < 1e-14);
+        assert!((b[0] - 7.0 / 6.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn eigenvector_of_diagonal_hessenberg() {
+        let h = Matrix::from_rows(&[&[3.0, 1.0, 0.5], &[0.0, 1.0, 0.2], &[0.0, 0.0, -2.0]]);
+        for lambda in [3.0, 1.0, -2.0] {
+            let v = hessenberg_eigenvector(&h, lambda).unwrap();
+            assert!(eig_residual(&h, lambda, &v) < 1e-10, "λ={lambda}");
+            assert!((nrm2(&v) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pagerank_vector_matches_power_iteration() {
+        let n = 60;
+        let alpha = 0.85;
+        let g = gen::google_matrix(n, alpha, 4, 11);
+
+        // Inverse iteration through the Hessenberg pipeline.
+        let v = eigenvector(&g, 1.0, 8).unwrap();
+        let s: f64 = v.iter().sum();
+        let pr: Vec<f64> = v.iter().map(|x| x / s).collect();
+
+        // Reference: plain power iteration.
+        let mut p = vec![1.0 / n as f64; n];
+        for _ in 0..500 {
+            let mut np = vec![0.0; n];
+            gemv(Trans::No, n, n, 1.0, g.as_slice(), n, &p, 0.0, &mut np);
+            let s: f64 = np.iter().sum();
+            for x in np.iter_mut() {
+                *x /= s;
+            }
+            p = np;
+        }
+        let d: f64 = pr.iter().zip(&p).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(d < 1e-9, "PageRank mismatch {d}");
+        assert!(pr.iter().all(|&x| x > 0.0), "Perron vector must be positive");
+    }
+
+    #[test]
+    fn eigenvector_of_random_matrix_real_eigenvalue() {
+        // Take a real eigenvalue computed by hqr and reproduce its vector.
+        let a = gen::uniform(40, 40, 19);
+        let eigs = crate::eig::eigenvalues(&a, 8).unwrap();
+        let lam = eigs
+            .iter()
+            .filter(|e| e.im == 0.0)
+            .max_by(|x, y| x.re.abs().total_cmp(&y.re.abs()))
+            .expect("a real eigenvalue exists")
+            .re;
+        let v = eigenvector(&a, lam, 8).unwrap();
+        assert!(eig_residual(&a, lam, &v) < 1e-8);
+    }
+
+    #[test]
+    fn rejects_non_hessenberg() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(2, 0)] = 1.0;
+        assert_eq!(hessenberg_eigenvector(&a, 1.0), Err(EigVecError::NotHessenberg));
+    }
+}

@@ -1,0 +1,33 @@
+//! # ft-lapack — Householder kernels and the Hessenberg reduction
+//!
+//! Shared-memory LAPACK-style routines built on [`ft_dense`]:
+//!
+//! * [`householder`] — `larfg` / `larf` / `larft` / `larfb` reflector
+//!   kernels (the WY representation, refs [3, 40] of the paper);
+//! * [`hessenberg`](mod@hessenberg) — unblocked (`gehd2`) and blocked (`gehrd`) reduction
+//!   `A = Q·H·Qᵀ`, the panel kernel `lahr2`, and `orghr` to form `Q`;
+//! * [`eig`] — Francis double-shift QR iteration on the Hessenberg form
+//!   (the second phase of the dense eigensolver the paper motivates);
+//! * [`residual`] — the paper's `r∞` residual (§7.3, Table 1) and structure
+//!   checks.
+//!
+//! These routines are the correctness oracles for the distributed versions
+//! in `ft-pblas` and `ft-hess`: the distributed reductions must match
+//! `gehrd` to roundoff, with or without injected failures.
+
+pub mod eig;
+pub mod eigvec;
+pub mod hessenberg;
+pub mod householder;
+pub mod residual;
+
+pub use eig::{eigenvalues, hessenberg_eigenvalues, Eigenvalue};
+pub use eigvec::{eigenvector, hessenberg_eigenvector, solve_shifted_hessenberg};
+
+/// Index of the largest-magnitude entry (first on ties); helper shared by
+/// the eigenvector sign convention. Panics on empty input.
+pub fn householder_iamax(x: &[f64]) -> usize {
+    ft_dense::level1::iamax(x).expect("nonempty vector")
+}
+pub use hessenberg::{extract_h, gehd2, gehrd, hessenberg, lahr2, orghr, DEFAULT_NB};
+pub use residual::{hessenberg_residual, is_hessenberg, orthogonality_residual, RESIDUAL_THRESHOLD};

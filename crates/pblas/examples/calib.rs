@@ -1,0 +1,26 @@
+//! Distributed-reduction throughput probe: effective GFLOP/s of `pdgehrd`
+//! at the benchmark grid scales (all processes share this machine's cores).
+//!
+//! ```text
+//! cargo run --release -p ft-pblas --example calib
+//! ```
+
+use ft_dense::gen::uniform_entry;
+use ft_pblas::{pdgehrd, Desc, DistMatrix};
+use ft_runtime::{run_spmd, FaultScript};
+use std::time::Instant;
+
+fn main() {
+    println!("pdgehrd effective throughput (simulated grids on this machine):");
+    for (g, n, nb) in [(2usize, 384usize, 16usize), (4, 768, 16), (6, 1152, 16)] {
+        let t = Instant::now();
+        run_spmd(g, g, FaultScript::none(), move |ctx| {
+            let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(1, i, j));
+            let mut tau = vec![0.0; n - 1];
+            pdgehrd(&ctx, &mut a, &mut tau);
+        });
+        let dt = t.elapsed().as_secs_f64();
+        let gf = 10.0 / 3.0 * (n as f64).powi(3) / dt / 1e9;
+        println!("  {g}x{g} N={n}: {dt:.2}s  {gf:.2} GFLOP/s");
+    }
+}

@@ -1,0 +1,323 @@
+//! The distributed matrix: per-process local storage of a 2D block-cyclic
+//! global matrix (Figure 1 of the paper).
+
+use crate::layout::{g2l, g2p, l2g, numroc};
+use ft_dense::Matrix;
+use ft_runtime::Ctx;
+
+/// Global shape + blocking of a distributed matrix (a ScaLAPACK descriptor
+/// with square `nb×nb` blocks and source process `(0,0)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Desc {
+    /// Global rows.
+    pub m: usize,
+    /// Global columns.
+    pub n: usize,
+    /// Blocking factor (square blocks).
+    pub nb: usize,
+}
+
+/// One process's share of a 2D block-cyclic distributed matrix.
+///
+/// The local part is a dense column-major [`Matrix`] whose local indices map
+/// to global ones through [`Self::l2g_row`]/[`Self::l2g_col`]; local order
+/// is globally monotone in both dimensions.
+///
+/// ```
+/// use ft_pblas::{Desc, DistMatrix};
+/// use ft_runtime::{run_spmd, FaultScript};
+///
+/// run_spmd(2, 3, FaultScript::none(), |ctx| {
+///     // Each process materializes only its own entries of a 10×10 matrix.
+///     let d = DistMatrix::from_global_fn(&ctx, Desc { m: 10, n: 10, nb: 2 }, |i, j| (i * 10 + j) as f64);
+///     // … and the gathered global matrix is intact.
+///     let g = d.gather_all(&ctx, 1);
+///     assert_eq!(g[(7, 4)], 74.0);
+/// });
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistMatrix {
+    desc: Desc,
+    nprow: usize,
+    npcol: usize,
+    myrow: usize,
+    mycol: usize,
+    local: Matrix,
+}
+
+impl DistMatrix {
+    /// Allocate this process's zero-filled share.
+    pub fn zeros(ctx: &Ctx, desc: Desc) -> Self {
+        let (nprow, npcol) = (ctx.nprow(), ctx.npcol());
+        let (myrow, mycol) = (ctx.myrow(), ctx.mycol());
+        let lr = numroc(desc.m, desc.nb, myrow, nprow);
+        let lc = numroc(desc.n, desc.nb, mycol, npcol);
+        Self { desc, nprow, npcol, myrow, mycol, local: Matrix::zeros(lr, lc) }
+    }
+
+    /// Build this process's share from a function of the **global** index —
+    /// no communication; every process evaluates only its own entries.
+    pub fn from_global_fn(ctx: &Ctx, desc: Desc, f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut d = Self::zeros(ctx, desc);
+        for lc in 0..d.local.cols() {
+            let gc = d.l2g_col(lc);
+            for lr in 0..d.local.rows() {
+                let gr = d.l2g_row(lr);
+                d.local[(lr, lc)] = f(gr, gc);
+            }
+        }
+        d
+    }
+
+    /// Global shape descriptor.
+    #[inline]
+    pub fn desc(&self) -> Desc {
+        self.desc
+    }
+
+    /// Local row count.
+    #[inline]
+    pub fn lrows(&self) -> usize {
+        self.local.rows()
+    }
+
+    /// Local column count.
+    #[inline]
+    pub fn lcols(&self) -> usize {
+        self.local.cols()
+    }
+
+    /// The local block, immutably.
+    #[inline]
+    pub fn local(&self) -> &Matrix {
+        &self.local
+    }
+
+    /// The local block, mutably.
+    #[inline]
+    pub fn local_mut(&mut self) -> &mut Matrix {
+        &mut self.local
+    }
+
+    /// Global row of local row `lr`.
+    #[inline]
+    pub fn l2g_row(&self, lr: usize) -> usize {
+        l2g(lr, self.desc.nb, self.myrow, self.nprow)
+    }
+
+    /// Global column of local column `lc`.
+    #[inline]
+    pub fn l2g_col(&self, lc: usize) -> usize {
+        l2g(lc, self.desc.nb, self.mycol, self.npcol)
+    }
+
+    /// Owning process row of global row `g`.
+    #[inline]
+    pub fn row_owner(&self, g: usize) -> usize {
+        g2p(g, self.desc.nb, self.nprow)
+    }
+
+    /// Owning process column of global column `g`.
+    #[inline]
+    pub fn col_owner(&self, g: usize) -> usize {
+        g2p(g, self.desc.nb, self.npcol)
+    }
+
+    /// `true` if this process owns global row `g`.
+    #[inline]
+    pub fn owns_row(&self, g: usize) -> bool {
+        self.row_owner(g) == self.myrow
+    }
+
+    /// `true` if this process owns global column `g`.
+    #[inline]
+    pub fn owns_col(&self, g: usize) -> bool {
+        self.col_owner(g) == self.mycol
+    }
+
+    /// Local row index of global row `g` (meaningful only on the owner).
+    #[inline]
+    pub fn g2l_row(&self, g: usize) -> usize {
+        g2l(g, self.desc.nb, self.nprow)
+    }
+
+    /// Local column index of global column `g` (meaningful only on the owner).
+    #[inline]
+    pub fn g2l_col(&self, g: usize) -> usize {
+        g2l(g, self.desc.nb, self.npcol)
+    }
+
+    /// Number of local rows with global index `< g` (they form the local
+    /// prefix `0..count`, since local order is globally monotone).
+    #[inline]
+    pub fn local_rows_below(&self, g: usize) -> usize {
+        numroc(g, self.desc.nb, self.myrow, self.nprow)
+    }
+
+    /// Number of local columns with global index `< g`.
+    #[inline]
+    pub fn local_cols_below(&self, g: usize) -> usize {
+        numroc(g, self.desc.nb, self.mycol, self.npcol)
+    }
+
+    /// Read a global entry (panics unless this process owns it).
+    #[inline]
+    pub fn get(&self, gr: usize, gc: usize) -> f64 {
+        debug_assert!(self.owns_row(gr) && self.owns_col(gc), "get({gr},{gc}): not the owner");
+        self.local[(self.g2l_row(gr), self.g2l_col(gc))]
+    }
+
+    /// Write a global entry (panics unless this process owns it).
+    #[inline]
+    pub fn set(&mut self, gr: usize, gc: usize, v: f64) {
+        debug_assert!(self.owns_row(gr) && self.owns_col(gc), "set({gr},{gc}): not the owner");
+        let (lr, lc) = (self.g2l_row(gr), self.g2l_col(gc));
+        self.local[(lr, lc)] = v;
+    }
+
+    /// Drop all local data (the fail-stop data loss of a process failure):
+    /// the replacement process starts from zeros, exactly the "invalid data"
+    /// state of Figure 2 of the paper.
+    pub fn wipe_local(&mut self) {
+        self.local.fill(0.0);
+    }
+
+    /// Assemble the full global matrix on **every** process (collective).
+    /// Intended for tests, residual checks and result extraction — not for
+    /// inner loops.
+    pub fn gather_all(&self, ctx: &Ctx, tag: u64) -> Matrix {
+        // Every process contributes its entries into a zero global buffer,
+        // then a world sum-reduce superimposes them (each entry has exactly
+        // one owner, so the sum is exact placement).
+        let mut g = vec![0.0f64; self.desc.m * self.desc.n];
+        for lc in 0..self.local.cols() {
+            let gc = self.l2g_col(lc);
+            for lr in 0..self.local.rows() {
+                let gr = self.l2g_row(lr);
+                g[gr + gc * self.desc.m] = self.local[(lr, lc)];
+            }
+        }
+        ctx.allreduce_sum_world(&mut g, tag);
+        Matrix::from_vec(self.desc.m, self.desc.n, g)
+    }
+
+    /// Assemble the full global matrix on rank 0 only (collective; returns
+    /// `None` elsewhere). Linear in total matrix size — prefer this over
+    /// [`DistMatrix::gather_all`] when only one process needs the result.
+    pub fn gather_root(&self, ctx: &Ctx, tag: u64) -> Option<Matrix> {
+        // Pack my local block with its index metadata and ship to rank 0.
+        if ctx.rank() != 0 {
+            let mut buf = Vec::with_capacity(self.local.as_slice().len() + 2);
+            buf.push(self.local.rows() as f64);
+            buf.push(self.local.cols() as f64);
+            buf.extend_from_slice(self.local.as_slice());
+            ctx.send(0, tag, &buf);
+            return None;
+        }
+        let mut g = Matrix::zeros(self.desc.m, self.desc.n);
+        // My own entries.
+        for lc in 0..self.local.cols() {
+            let gc = self.l2g_col(lc);
+            for lr in 0..self.local.rows() {
+                g[(self.l2g_row(lr), gc)] = self.local[(lr, lc)];
+            }
+        }
+        let grid = ctx.grid();
+        for src in 1..grid.size() {
+            let buf = ctx.recv(src, tag);
+            let (sr, sc) = (buf[0] as usize, buf[1] as usize);
+            let (sp, sq) = grid.coords_of(src);
+            for lc in 0..sc {
+                let gc = crate::layout::l2g(lc, self.desc.nb, sq, grid.npcol());
+                for lr in 0..sr {
+                    let gr = crate::layout::l2g(lr, self.desc.nb, sp, grid.nprow());
+                    g[(gr, gc)] = buf[2 + lr + lc * sr];
+                }
+            }
+        }
+        Some(g)
+    }
+
+    /// Scatter a replicated global matrix: keep only this process's entries.
+    pub fn from_global(ctx: &Ctx, desc: Desc, global: &Matrix) -> Self {
+        assert_eq!((global.rows(), global.cols()), (desc.m, desc.n));
+        Self::from_global_fn(ctx, desc, |i, j| global[(i, j)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_runtime::{run_spmd, FaultScript};
+
+    fn val(i: usize, j: usize) -> f64 {
+        (i * 1000 + j) as f64
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        for &(p, q, m, n, nb) in &[(2usize, 3usize, 10usize, 13usize, 2usize), (2, 2, 8, 8, 3), (1, 1, 5, 4, 2), (3, 2, 7, 7, 7)] {
+            let globals = run_spmd(p, q, FaultScript::none(), |ctx| {
+                let d = DistMatrix::from_global_fn(&ctx, Desc { m, n, nb }, val);
+                d.gather_all(&ctx, 900)
+            });
+            let want = Matrix::from_fn(m, n, val);
+            for g in globals {
+                assert_eq!(g, want);
+            }
+        }
+    }
+
+    #[test]
+    fn ownership_and_local_mapping() {
+        run_spmd(2, 3, FaultScript::none(), |ctx| {
+            let d = DistMatrix::from_global_fn(&ctx, Desc { m: 9, n: 9, nb: 2 }, val);
+            // Every local entry maps back to the right global value.
+            for lc in 0..d.lcols() {
+                for lr in 0..d.lrows() {
+                    let (gr, gc) = (d.l2g_row(lr), d.l2g_col(lc));
+                    assert!(d.owns_row(gr) && d.owns_col(gc));
+                    assert_eq!(d.get(gr, gc), val(gr, gc));
+                }
+            }
+            // Prefix counts agree with explicit filters.
+            for cutoff in 0..10 {
+                let cnt = (0..9)
+                    .filter(|&g| d.owns_row(g) && g < cutoff)
+                    .count();
+                assert_eq!(d.local_rows_below(cutoff), cnt);
+            }
+        });
+    }
+
+    #[test]
+    fn local_sizes_sum_to_global() {
+        let sizes = run_spmd(2, 3, FaultScript::none(), |ctx| {
+            let d = DistMatrix::zeros(&ctx, Desc { m: 11, n: 7, nb: 3 });
+            d.lrows() * d.lcols()
+        });
+        // Total elements = m*n only when summed correctly per row/col combo;
+        // check row sums instead: per process row, columns split 7.
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, {
+            // Σ_p Σ_q numroc_r(p)·numroc_c(q) = m·n
+            11 * 7
+        });
+    }
+
+    #[test]
+    fn wipe_clears_local_only() {
+        let globals = run_spmd(2, 2, FaultScript::none(), |ctx| {
+            let mut d = DistMatrix::from_global_fn(&ctx, Desc { m: 6, n: 6, nb: 2 }, |_, _| 1.0);
+            if ctx.rank() == 3 {
+                d.wipe_local();
+            }
+            d.gather_all(&ctx, 901)
+        });
+        let g = &globals[0];
+        let zeros = g.as_slice().iter().filter(|&&x| x == 0.0).count();
+        // rank 3 = (row 1, col 1): owns rows {2,3}, cols {2,3} of each 2-block
+        // cycle → 2×... just assert some but not all entries were lost.
+        assert!(zeros > 0 && zeros < 36);
+    }
+}

@@ -1,0 +1,131 @@
+//! 2D block-cyclic index arithmetic (ScaLAPACK TOOLS equivalents:
+//! `NUMROC`, `INDXG2P`, `INDXG2L`, `INDXL2G`).
+//!
+//! A global dimension of size `n` is split into blocks of `nb` consecutive
+//! indices; block `b` is owned by process `b mod nprocs` (source process 0)
+//! and is that process's local block `b / nprocs`. The same arithmetic
+//! applies independently to rows (over the `P` process rows) and columns
+//! (over the `Q` process columns) — see Figure 1 of the paper.
+
+/// Number of indices of a global dimension `n` (block size `nb`) owned by
+/// process `iproc` of `nprocs` (ScaLAPACK `NUMROC` with `ISRCPROC = 0`).
+///
+/// Because ownership is cyclic by block, this also equals the number of
+/// indices `< n` owned by `iproc` — i.e. it doubles as a "local prefix
+/// count" for any global cutoff `n`.
+pub fn numroc(n: usize, nb: usize, iproc: usize, nprocs: usize) -> usize {
+    assert!(nb > 0 && nprocs > 0 && iproc < nprocs);
+    let nblocks = n / nb;
+    let mut num = (nblocks / nprocs) * nb;
+    let extra_blocks = nblocks % nprocs;
+    if iproc < extra_blocks {
+        num += nb;
+    } else if iproc == extra_blocks {
+        num += n % nb;
+    }
+    num
+}
+
+/// Owning process of global index `g` (`INDXG2P`).
+#[inline]
+pub fn g2p(g: usize, nb: usize, nprocs: usize) -> usize {
+    (g / nb) % nprocs
+}
+
+/// Local index of global index `g` on its owning process (`INDXG2L`).
+#[inline]
+pub fn g2l(g: usize, nb: usize, nprocs: usize) -> usize {
+    (g / (nb * nprocs)) * nb + g % nb
+}
+
+/// Global index of local index `l` on process `iproc` (`INDXL2G`).
+#[inline]
+pub fn l2g(l: usize, nb: usize, iproc: usize, nprocs: usize) -> usize {
+    ((l / nb) * nprocs + iproc) * nb + l % nb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn numroc_examples() {
+        // 10 indices, blocks of 2, 3 procs: blocks 0..5 → procs 0,1,2,0,1.
+        assert_eq!(numroc(10, 2, 0, 3), 4);
+        assert_eq!(numroc(10, 2, 1, 3), 4);
+        assert_eq!(numroc(10, 2, 2, 3), 2);
+        // ragged tail: 7 indices, blocks of 3, 2 procs: blocks [3,3,1].
+        assert_eq!(numroc(7, 3, 0, 2), 4); // blocks 0 and 2 (partial)
+        assert_eq!(numroc(7, 3, 1, 2), 3);
+        // single proc owns everything
+        assert_eq!(numroc(5, 2, 0, 1), 5);
+        assert_eq!(numroc(0, 2, 0, 3), 0);
+    }
+
+    #[test]
+    fn g2p_g2l_l2g_roundtrip_small() {
+        for g in 0..50 {
+            let (nb, np) = (3, 4);
+            let p = g2p(g, nb, np);
+            let l = g2l(g, nb, np);
+            assert_eq!(l2g(l, nb, p, np), g);
+        }
+    }
+
+    #[test]
+    fn numroc_counts_match_ownership() {
+        let (n, nb, np) = (23, 4, 3);
+        for proc in 0..np {
+            let count = (0..n).filter(|&g| g2p(g, nb, np) == proc).count();
+            assert_eq!(count, numroc(n, nb, proc, np), "proc {proc}");
+        }
+    }
+
+    #[test]
+    fn numroc_is_prefix_count() {
+        // numroc(cutoff, ..) counts owned indices below the cutoff.
+        let (nb, np) = (5, 4);
+        for cutoff in 0..60 {
+            for proc in 0..np {
+                let count = (0..cutoff).filter(|&g| g2p(g, nb, np) == proc).count();
+                assert_eq!(count, numroc(cutoff, nb, proc, np));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(g in 0usize..10_000, nb in 1usize..64, np in 1usize..17) {
+            let p = g2p(g, nb, np);
+            let l = g2l(g, nb, np);
+            prop_assert_eq!(l2g(l, nb, p, np), g);
+            prop_assert!(p < np);
+        }
+
+        #[test]
+        fn prop_numroc_partitions(n in 0usize..2_000, nb in 1usize..32, np in 1usize..9) {
+            let total: usize = (0..np).map(|p| numroc(n, nb, p, np)).sum();
+            prop_assert_eq!(total, n);
+        }
+
+        #[test]
+        fn prop_local_indices_dense(n in 1usize..500, nb in 1usize..16, np in 1usize..6, proc in 0usize..6) {
+            prop_assume!(proc < np);
+            // The local indices of a process's owned globals are exactly 0..numroc.
+            let mut locals: Vec<usize> = (0..n)
+                .filter(|&g| g2p(g, nb, np) == proc)
+                .map(|g| g2l(g, nb, np))
+                .collect();
+            locals.sort_unstable();
+            let expect: Vec<usize> = (0..numroc(n, nb, proc, np)).collect();
+            prop_assert_eq!(locals, expect);
+        }
+
+        #[test]
+        fn prop_l2g_monotone(nb in 1usize..16, np in 1usize..6, proc in 0usize..6, l in 0usize..500) {
+            prop_assume!(proc < np);
+            prop_assert!(l2g(l, nb, proc, np) < l2g(l + 1, nb, proc, np));
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! Distributed Hessenberg panel factorization (ScaLAPACK `PDLAHRD`).
+//!
+//! Reduces `w` consecutive columns `k..k+w` of the distributed matrix,
+//! producing the blocked WY factors needed for the trailing-matrix updates.
+//! The panel is owned by a single process column (the blocking factor equals
+//! the panel width, as in `PDGEHRD`), but — unlike one-sided factorizations —
+//! **every** process participates in every column step: computing the
+//! running `Y = Â·V·T` column requires a matrix-vector product with the
+//! whole trailing matrix (`A(k+1..n, c+1..n)·v`), the data dependency the
+//! paper highlights in §3.4 as the reason panel results must be protected
+//! immediately.
+//!
+//! ### Reflector storage
+//!
+//! Reflectors are stored below the first subdiagonal of `A` exactly as in
+//! ScaLAPACK, but unit positions keep their β value — the implicit 1 is
+//! materialized only in extracted copies, so no set/restore dance is needed
+//! across processes.
+
+use crate::dist::DistMatrix;
+use ft_dense::level1::scal;
+use ft_dense::level2::{gemv, trmv};
+use ft_dense::level3::{gemm, trmm};
+use ft_dense::{Diag, Matrix, Side, Trans, UpLo};
+use ft_runtime::Ctx;
+
+const TAG_VROW: u64 = 0x100;
+const TAG_LEFTW: u64 = 0x102;
+const TAG_NRM: u64 = 0x104;
+const TAG_ALPHA: u64 = 0x106;
+const TAG_VCOL: u64 = 0x108;
+const TAG_VCAST: u64 = 0x10A;
+const TAG_YRED: u64 = 0x10C;
+const TAG_TCOL: u64 = 0x10E;
+const TAG_VFULL: u64 = 0x110;
+const TAG_VFULLB: u64 = 0x112;
+const TAG_PTOP: u64 = 0x114;
+const TAG_YB: u64 = 0x116;
+const TAG_TB: u64 = 0x118;
+const TAG_TAUB: u64 = 0x11A;
+
+/// The replicated/row-distributed outputs of one panel factorization —
+/// exactly the `(V, T, Y)` triple the paper's Algorithms 2 and 3 checkpoint
+/// after each `PDLAHRD` call.
+#[derive(Debug, Clone)]
+pub struct PanelFactors {
+    /// First global column of the panel.
+    pub k: usize,
+    /// Panel width.
+    pub w: usize,
+    /// Logical matrix dimension `n` (the distributed matrix may be larger —
+    /// the ABFT layer appends checksum rows/columns beyond `n`).
+    pub n: usize,
+    /// Reflector scalars, replicated everywhere.
+    pub tau: Vec<f64>,
+    /// `w×w` upper triangular WY factor, replicated everywhere.
+    pub t: Matrix,
+    /// `V` with explicit units/zeros, rows `k+1..n` of the global matrix
+    /// (`(n−k−1)×w`), replicated everywhere.
+    pub vfull: Matrix,
+    /// `Y = Â·V·T` restricted to this process's local rows `< n`
+    /// (`local_rows_below(n) × w`), identical across the process row.
+    pub y_loc: Matrix,
+}
+
+impl PanelFactors {
+    /// Build the `len(cols)×w` matrix whose row `i` is the `V` row of global
+    /// index `cols[i]` (used as the right operand of the right update
+    /// `A ← A − Y·Vᵀ` for those global columns).
+    pub fn vrows_for(&self, cols: &[usize]) -> Matrix {
+        let m = self.vfull.rows();
+        Matrix::from_fn(cols.len(), self.w, |i, l| {
+            let g = cols[i];
+            debug_assert!(g > self.k && g < self.n);
+            self.vfull.as_slice()[(g - self.k - 1) + l * m]
+        })
+    }
+
+    /// `V` restricted to the caller's local rows in `[k+1, n)`, given the
+    /// distributed matrix it belongs to.
+    pub fn v_for_local_rows(&self, a: &DistMatrix) -> Matrix {
+        let lr0 = a.local_rows_below(self.k + 1);
+        let lrn = a.local_rows_below(self.n);
+        let m = self.vfull.rows();
+        Matrix::from_fn(lrn - lr0, self.w, |i, l| {
+            let g = a.l2g_row(lr0 + i);
+            self.vfull.as_slice()[(g - self.k - 1) + l * m]
+        })
+    }
+}
+
+/// Extract this process's local rows in `[from_g, n)` of reflector columns
+/// `0..j` of panel `k`, with explicit unit/zero structure. Only meaningful
+/// on the panel-owning process column.
+fn extract_v_local(a: &DistMatrix, k: usize, j: usize, from_g: usize, n: usize) -> Matrix {
+    let lr0 = a.local_rows_below(from_g);
+    let lrn = a.local_rows_below(n);
+    let m = lrn - lr0;
+    let mut v = Matrix::zeros(m, j);
+    for l in 0..j {
+        let unit = k + l + 1;
+        let lc = a.g2l_col(k + l);
+        for i in 0..m {
+            let g = a.l2g_row(lr0 + i);
+            v[(i, l)] = match g.cmp(&unit) {
+                std::cmp::Ordering::Less => 0.0,
+                std::cmp::Ordering::Equal => 1.0,
+                std::cmp::Ordering::Greater => a.local()[(lr0 + i, lc)],
+            };
+        }
+    }
+    v
+}
+
+/// Replicate the reflector block of panel `[k, k+w)` on every process:
+/// the `(n−k−1)×w` matrix `V` (global rows `k+1..n`) with explicit
+/// unit/zero structure, read from the reflectors stored below the first
+/// subdiagonal of `a`. Collective. Used by the panel factorization itself
+/// and by [`crate::verify::pd_orghr`] to rebuild `Q` after the fact.
+pub fn replicate_reflector_block(ctx: &Ctx, a: &DistMatrix, n: usize, k: usize, w: usize) -> Matrix {
+    let q_pan = a.col_owner(k);
+    let on_panel = ctx.mycol() == q_pan;
+    let vm = n - k - 1;
+    let mut vfull_buf = vec![0.0f64; vm * w];
+    if on_panel {
+        let vmine = extract_v_local(a, k, w, k + 1, n);
+        let lr0 = a.local_rows_below(k + 1);
+        for l in 0..w {
+            for i in 0..vmine.rows() {
+                let g = a.l2g_row(lr0 + i);
+                vfull_buf[(g - k - 1) + l * vm] = vmine[(i, l)];
+            }
+        }
+        ctx.allreduce_sum_col(&mut vfull_buf, TAG_VFULL);
+    }
+    ctx.bcast_row(q_pan, &mut vfull_buf, TAG_VFULLB);
+    Matrix::from_vec(vm, w, vfull_buf)
+}
+
+/// Distributed panel factorization. SPMD: call on every process.
+///
+/// Requires the panel `[k, k+w)` to lie within one block column
+/// (`w ≤ nb` and `k % nb == 0`) and `k + w ≤ n − 2`.
+pub fn pdlahrd(ctx: &Ctx, a: &mut DistMatrix, n: usize, k: usize, w: usize) -> PanelFactors {
+    assert!(w >= 1 && k + w < n, "pdlahrd: bad panel (k={k}, w={w}, n={n})");
+    assert_eq!(k % a.desc().nb, 0, "pdlahrd: panel must start on a block boundary");
+    assert!(w <= a.desc().nb, "pdlahrd: panel wider than the blocking factor");
+    assert!(n <= a.desc().m && n <= a.desc().n, "pdlahrd: logical n exceeds the matrix");
+
+    let q_pan = a.col_owner(k);
+    let on_panel = ctx.mycol() == q_pan;
+    let ldl = a.local().ld().max(1);
+    let lr_n = a.local_rows_below(n);
+
+    let mut t = Matrix::zeros(w, w);
+    let mut tau = vec![0.0f64; w];
+    let mut y_loc = Matrix::zeros(lr_n, w);
+    let ldy = lr_n.max(1);
+
+    for j in 0..w {
+        let c = k + j;
+        let u = c + 1;
+        let lr0 = a.local_rows_below(k + 1);
+        let mlen = lr_n - lr0;
+
+        if on_panel {
+            let lc = a.g2l_col(c);
+            if j > 0 {
+                // ---- right update of column c: b(k+1..n) −= Y(:,0..j)·vrowᵀ
+                // vrow = row k+j of V columns 0..j (unit of reflector j−1 = 1).
+                let p_r = a.row_owner(k + j);
+                let mut vrow = vec![0.0; j];
+                if ctx.myrow() == p_r {
+                    let lrr = a.g2l_row(k + j);
+                    for (l, vr) in vrow.iter_mut().enumerate() {
+                        *vr = if l == j - 1 { 1.0 } else { a.local()[(lrr, a.g2l_col(k + l))] };
+                    }
+                }
+                ctx.bcast_col(p_r, &mut vrow, TAG_VROW);
+                if mlen > 0 {
+                    let bcol = &mut a.local_mut().as_mut_slice()[lc * ldl + lr0..lc * ldl + lr_n];
+                    gemv(Trans::No, mlen, j, -1.0, &y_loc.as_slice()[lr0..], ldy, &vrow, 1.0, bcol);
+                }
+
+                // ---- left update of column c: b −= V·Tᵀ·Vᵀ·b over rows k+1..n
+                let vfix = extract_v_local(a, k, j, k + 1, n);
+                let mut wv = vec![0.0; j];
+                if mlen > 0 {
+                    let bcol = &a.local().as_slice()[lc * ldl + lr0..lc * ldl + lr_n];
+                    gemv(Trans::Yes, mlen, j, 1.0, vfix.as_slice(), mlen.max(1), bcol, 0.0, &mut wv);
+                }
+                ctx.allreduce_sum_col(&mut wv, TAG_LEFTW);
+                trmv(UpLo::Upper, Trans::Yes, Diag::NonUnit, j, t.as_slice(), w, &mut wv);
+                if mlen > 0 {
+                    let bcol = &mut a.local_mut().as_mut_slice()[lc * ldl + lr0..lc * ldl + lr_n];
+                    gemv(Trans::No, mlen, j, -1.0, vfix.as_slice(), mlen.max(1), &wv, 1.0, bcol);
+                }
+            }
+
+            // ---- generate the reflector for column c (distributed larfg) --
+            let lr_u1 = a.local_rows_below(u + 1);
+            let mut ss = [0.0f64];
+            for lr in lr_u1..lr_n {
+                let x = a.local()[(lr, lc)];
+                ss[0] += x * x;
+            }
+            ctx.allreduce_sum_col(&mut ss, TAG_NRM);
+            let p_u = a.row_owner(u);
+            let mut al = vec![0.0f64];
+            if ctx.myrow() == p_u {
+                al[0] = a.get(u, c);
+            }
+            ctx.bcast_col(p_u, &mut al, TAG_ALPHA);
+            let alpha = al[0];
+            let xnorm = ss[0].sqrt();
+            let tau_j = if xnorm == 0.0 {
+                0.0
+            } else {
+                let beta = -f64::hypot(alpha, xnorm) * alpha.signum();
+                let s = 1.0 / (alpha - beta);
+                for lr in lr_u1..lr_n {
+                    let v = &mut a.local_mut()[(lr, lc)];
+                    *v *= s;
+                }
+                if ctx.myrow() == p_u {
+                    a.set(u, c, beta);
+                }
+                (beta - alpha) / beta
+            };
+            tau[j] = tau_j;
+        }
+
+        // ---- replicate v = [1; A(u+1..n, c)] on every process -------------
+        let mut v = vec![0.0f64; n - u];
+        if on_panel {
+            let lc = a.g2l_col(c);
+            let lr_u = a.local_rows_below(u);
+            for lr in lr_u..lr_n {
+                let g = a.l2g_row(lr);
+                v[g - u] = if g == u { 1.0 } else { a.local()[(lr, lc)] };
+            }
+            ctx.allreduce_sum_col(&mut v, TAG_VCOL);
+        }
+        ctx.bcast_row(q_pan, &mut v, TAG_VCAST);
+
+        // ---- y(k+1..n) = A(k+1..n, c+1..n)·v : everyone contributes -------
+        let lc0 = a.local_cols_below(c + 1);
+        let lcn = a.local_cols_below(n);
+        let ncl = lcn - lc0;
+        let mut ypart = vec![0.0f64; mlen];
+        if mlen > 0 && ncl > 0 {
+            let xloc: Vec<f64> = (lc0..lcn).map(|lcx| v[a.l2g_col(lcx) - u]).collect();
+            let abuf = &a.local().as_slice()[lc0 * ldl + lr0..];
+            gemv(Trans::No, mlen, ncl, 1.0, abuf, ldl, &xloc, 0.0, &mut ypart);
+        }
+        ctx.reduce_sum_row(q_pan, &mut ypart, TAG_YRED);
+
+        if on_panel {
+            // ---- tcol = V(u..n, 0..j)ᵀ·v (rows ≥ u are plain stored data) --
+            let lr_u = a.local_rows_below(u);
+            let mmt = lr_n - lr_u;
+            let mut tcol = vec![0.0f64; j];
+            if j > 0 {
+                if mmt > 0 {
+                    let lck = a.g2l_col(k);
+                    let vloc: Vec<f64> = (lr_u..lr_n).map(|lr| v[a.l2g_row(lr) - u]).collect();
+                    let abuf = &a.local().as_slice()[lck * ldl + lr_u..];
+                    gemv(Trans::Yes, mmt, j, 1.0, abuf, ldl, &vloc, 0.0, &mut tcol);
+                }
+                ctx.allreduce_sum_col(&mut tcol, TAG_TCOL);
+            }
+
+            // ---- assemble Y(:, j) and T(:, j) ------------------------------
+            let tau_j = tau[j];
+            {
+                let (ydone, ycur) = y_loc.as_mut_slice().split_at_mut(j * ldy);
+                let ycol = &mut ycur[lr0..lr_n];
+                ycol.copy_from_slice(&ypart);
+                if j > 0 && mlen > 0 {
+                    gemv(Trans::No, mlen, j, -1.0, &ydone[lr0..], ldy, &tcol, 1.0, ycol);
+                }
+                scal(tau_j, ycol);
+            }
+            scal(-tau_j, &mut tcol);
+            trmv(UpLo::Upper, Trans::No, Diag::NonUnit, j, t.as_slice(), w, &mut tcol);
+            for (l, tv) in tcol.iter().enumerate() {
+                t[(l, j)] = *tv;
+            }
+            t[(j, j)] = tau[j];
+        }
+    }
+
+    // ---- replicate V (rows k+1..n, explicit structure) everywhere ---------
+    let vfull = replicate_reflector_block(ctx, a, n, k, w);
+
+    // ---- Y top rows (0..=k): Y_top = A(0..=k, k+1..n)·V·T ------------------
+    let lrtop = a.local_rows_below(k + 1);
+    let lc0 = a.local_cols_below(k + 1);
+    let lcn = a.local_cols_below(n);
+    let ncl = lcn - lc0;
+    let mut ptop = vec![0.0f64; lrtop * w];
+    if lrtop > 0 && ncl > 0 {
+        // vsel: V rows matching my local columns.
+        let vsel = Matrix::from_fn(ncl, w, |i, l| {
+            let g = a.l2g_col(lc0 + i);
+            vfull[(g - k - 1, l)]
+        });
+        let abuf = &a.local().as_slice()[lc0 * ldl..];
+        gemm(Trans::No, Trans::No, lrtop, w, ncl, 1.0, abuf, ldl, vsel.as_slice(), ncl, 0.0, &mut ptop, lrtop);
+    }
+    ctx.reduce_sum_row(q_pan, &mut ptop, TAG_PTOP);
+    if on_panel && lrtop > 0 {
+        trmm(Side::Right, UpLo::Upper, Trans::No, Diag::NonUnit, lrtop, w, 1.0, t.as_slice(), w, &mut ptop, lrtop);
+        for l in 0..w {
+            for i in 0..lrtop {
+                y_loc[(i, l)] = ptop[i + l * lrtop];
+            }
+        }
+    }
+
+    // ---- top-row fix of the within-panel columns ---------------------------
+    // A(0..=k, k+1..k+w) −= Y(0..=k, :)·V(row c, :)ᵀ finalizes the panel block
+    // column completely, so the diskless checkpoint taken right after this
+    // routine captures the panel's final state (ABFT Area-3 recovery relies
+    // on that). This commutes with the trailing updates (disjoint columns).
+    if on_panel && lrtop > 0 {
+        let lcp0 = a.local_cols_below(k + 1);
+        let lcp1 = a.local_cols_below(k + w);
+        for lc in lcp0..lcp1 {
+            let gc = a.l2g_col(lc);
+            let vr: Vec<f64> = (0..w).map(|l| vfull[(gc - k - 1, l)]).collect();
+            let cbuf = &mut a.local_mut().as_mut_slice()[lc * ldl..lc * ldl + lrtop];
+            gemv(Trans::No, lrtop, w, -1.0, y_loc.as_slice(), ldy, &vr, 1.0, cbuf);
+        }
+    }
+
+    // ---- replicate Y (by row), T and tau across process rows ---------------
+    let mut ybuf = y_loc.as_slice().to_vec();
+    ctx.bcast_row(q_pan, &mut ybuf, TAG_YB);
+    let y_loc = Matrix::from_vec(lr_n, w, ybuf);
+    let mut tbuf = t.as_slice().to_vec();
+    ctx.bcast_row(q_pan, &mut tbuf, TAG_TB);
+    let t = Matrix::from_vec(w, w, tbuf);
+    ctx.bcast_row(q_pan, &mut tau, TAG_TAUB);
+
+    PanelFactors { k, w, n, tau, t, vfull, y_loc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Desc;
+    use ft_dense::gen::uniform_entry;
+    use ft_runtime::{run_spmd, FaultScript};
+
+    /// Distributed panel must reproduce the shared-memory lahr2 outputs.
+    #[test]
+    fn pdlahrd_matches_shared_lahr2() {
+        let n = 18;
+        let nb = 4;
+        let seed = 77;
+        // Shared-memory reference.
+        let mut aref = ft_dense::gen::uniform_indexed_matrix(n, n, seed);
+        let mut tau_ref = vec![0.0; nb];
+        let mut t_ref = Matrix::zeros(nb, nb);
+        let mut y_ref = Matrix::zeros(n, nb);
+        ft_lapack::lahr2(&mut aref, 0, nb, &mut tau_ref, &mut t_ref, &mut y_ref);
+        // pdlahrd additionally applies the top-row fix to the within-panel
+        // columns (k = 0 → row 0 of columns 1..nb); mirror it on the
+        // reference. V(row g, l) = 0 / 1 / stored by position vs unit g=l+1.
+        for gc in 1..nb {
+            let mut s = 0.0;
+            for l in 0..nb {
+                let v = match gc.cmp(&(l + 1)) {
+                    std::cmp::Ordering::Less => 0.0,
+                    std::cmp::Ordering::Equal => 1.0,
+                    std::cmp::Ordering::Greater => aref[(gc, l)],
+                };
+                s += y_ref[(0, l)] * v;
+            }
+            aref[(0, gc)] -= s;
+        }
+
+        for (p, q) in [(2usize, 2usize), (2, 3), (3, 2), (1, 1)] {
+            let tau_ref = tau_ref.clone();
+            let t_ref = t_ref.clone();
+            let y_ref = y_ref.clone();
+            let aref = aref.clone();
+            run_spmd(p, q, FaultScript::none(), move |ctx| {
+                let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
+                let f = pdlahrd(&ctx, &mut a, n, 0, nb);
+                // tau and T replicated and equal to reference.
+                for (j, tr) in tau_ref.iter().enumerate() {
+                    assert!((f.tau[j] - tr).abs() < 1e-12, "tau[{j}]");
+                    for i in 0..=j {
+                        assert!((f.t[(i, j)] - t_ref[(i, j)]).abs() < 1e-12, "T[{i},{j}]");
+                    }
+                }
+                // V matches the reflectors stored by lahr2 (which stores β at
+                // unit positions after the final restore — vfull holds 1).
+                for l in 0..nb {
+                    let unit = l + 1;
+                    for g in 1..n {
+                        let want = match g.cmp(&unit) {
+                            std::cmp::Ordering::Less => 0.0,
+                            std::cmp::Ordering::Equal => 1.0,
+                            std::cmp::Ordering::Greater => aref[(g, l)],
+                        };
+                        assert!(
+                            (f.vfull[(g - 1, l)] - want).abs() < 1e-12,
+                            "V[{g},{l}]: {} vs {want}",
+                            f.vfull[(g - 1, l)]
+                        );
+                    }
+                }
+                // Y matches on my local rows.
+                for lr in 0..f.y_loc.rows() {
+                    let g = a.l2g_row(lr);
+                    for l in 0..nb {
+                        assert!(
+                            (f.y_loc[(lr, l)] - y_ref[(g, l)]).abs() < 1e-10,
+                            "Y[{g},{l}]: {} vs {}",
+                            f.y_loc[(lr, l)],
+                            y_ref[(g, l)]
+                        );
+                    }
+                }
+                // Panel columns of A match lahr2's in-place result.
+                let ag = a.gather_all(&ctx, 990);
+                for c in 0..nb {
+                    for r in 0..n {
+                        assert!(
+                            (ag[(r, c)] - aref[(r, c)]).abs() < 1e-10,
+                            "A[{r},{c}]: {} vs {}",
+                            ag[(r, c)],
+                            aref[(r, c)]
+                        );
+                    }
+                }
+            });
+        }
+    }
+
+    /// Panels that do not start at column 0.
+    #[test]
+    fn pdlahrd_interior_panel_matches() {
+        let n = 16;
+        let nb = 3;
+        let k = 3; // second block column
+        let seed = 31;
+        let mut aref = ft_dense::gen::uniform_indexed_matrix(n, n, seed);
+        let mut tau_ref = vec![0.0; nb];
+        let mut t_ref = Matrix::zeros(nb, nb);
+        let mut y_ref = Matrix::zeros(n, nb);
+        ft_lapack::lahr2(&mut aref, k, nb, &mut tau_ref, &mut t_ref, &mut y_ref);
+
+        run_spmd(2, 2, FaultScript::none(), move |ctx| {
+            let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
+            let f = pdlahrd(&ctx, &mut a, n, k, nb);
+            for (j, tr) in tau_ref.iter().enumerate() {
+                assert!((f.tau[j] - tr).abs() < 1e-12);
+            }
+            for lr in 0..f.y_loc.rows() {
+                let g = a.l2g_row(lr);
+                for l in 0..nb {
+                    assert!((f.y_loc[(lr, l)] - y_ref[(g, l)]).abs() < 1e-10);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn vrows_helper_units_and_zeros() {
+        let n = 10;
+        run_spmd(1, 1, FaultScript::none(), move |ctx| {
+            let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb: 3 }, |i, j| uniform_entry(5, i, j));
+            let f = pdlahrd(&ctx, &mut a, n, 0, 3);
+            let vr = f.vrows_for(&[1, 2, 5]);
+            // global row 1 = unit of reflector 0, zero for others
+            assert_eq!(vr[(0, 0)], 1.0);
+            assert_eq!(vr[(0, 1)], 0.0);
+            assert_eq!(vr[(0, 2)], 0.0);
+            // global row 2 = unit of reflector 1
+            assert_eq!(vr[(1, 1)], 1.0);
+            assert_eq!(vr[(1, 2)], 0.0);
+            // row 5 all stored
+            assert_eq!(vr[(2, 0)], f.vfull[(4, 0)]);
+        });
+    }
+}

@@ -1,0 +1,209 @@
+//! Distributed matrix-matrix multiply (`PDGEMM`) via the SUMMA algorithm:
+//! `C ← α·A·op(B) + β·C` for 2D block-cyclic matrices sharing the grid and
+//! blocking factor.
+//!
+//! The contraction dimension is processed in panels of `nb`: the `A` panel
+//! (a block column) is broadcast along process rows; the `B` panel along
+//! process columns (for `op = Bᵀ`, the panel is first assembled down the
+//! column — acceptable for this library's use of `pdgemm`, which is
+//! result verification, not inner loops). One local GEMM per panel does the
+//! arithmetic.
+//!
+//! Only `A` untransposed is supported (`op(A) = A`); `B` may be transposed.
+//! That covers `Q·H` and `(QH)·Qᵀ` — the distributed residual pipeline.
+
+use crate::dist::DistMatrix;
+use ft_dense::level3::gemm;
+use ft_dense::{Matrix, Trans};
+use ft_runtime::Ctx;
+
+const TAG_APAN: u64 = 0x160;
+const TAG_BPAN: u64 = 0x162;
+const TAG_BGATH: u64 = 0x164;
+
+/// `C ← α·A·op(B) + β·C` on distributed operands (SPMD, collective).
+///
+/// Shapes (logical, checked): `A` is `m×kk`, `op(B)` is `kk×n`, `C` is
+/// `m×n`; all three must share `nb` and live on the caller's grid. The
+/// logical dims are taken from the descriptors.
+#[allow(clippy::many_single_char_names)]
+pub fn pdgemm(ctx: &Ctx, transb: Trans, alpha: f64, a: &DistMatrix, b: &DistMatrix, beta: f64, c: &mut DistMatrix) {
+    let (m, kk) = (a.desc().m, a.desc().n);
+    let (bn_rows, bn_cols) = (b.desc().m, b.desc().n);
+    let (cm, cn) = (c.desc().m, c.desc().n);
+    let n = match transb {
+        Trans::No => {
+            assert_eq!(bn_rows, kk, "pdgemm: inner dimensions");
+            bn_cols
+        }
+        Trans::Yes => {
+            assert_eq!(bn_cols, kk, "pdgemm: inner dimensions");
+            bn_rows
+        }
+    };
+    assert_eq!((cm, cn), (m, n), "pdgemm: C shape");
+    let nb = a.desc().nb;
+    assert_eq!(b.desc().nb, nb);
+    assert_eq!(c.desc().nb, nb);
+
+    // β pass.
+    if beta != 1.0 {
+        for v in c.local_mut().as_mut_slice().iter_mut() {
+            *v *= beta;
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || kk == 0 {
+        return;
+    }
+
+    let my_crows = c.lrows();
+    let my_ccols = c.lcols();
+    let ldl_c = c.local().ld().max(1);
+
+    let mut kb = 0usize;
+    while kb < kk {
+        let w = nb.min(kk - kb);
+
+        // ---- A panel: columns kb..kb+w, broadcast along process rows ------
+        let qa = a.col_owner(kb);
+        let mut apan = vec![0.0f64; my_crows * w];
+        if ctx.mycol() == qa {
+            let lc0 = a.g2l_col(kb);
+            let lda = a.local().ld().max(1);
+            for l in 0..w {
+                let col = &a.local().as_slice()[(lc0 + l) * lda..(lc0 + l) * lda + my_crows];
+                apan[l * my_crows..(l + 1) * my_crows].copy_from_slice(col);
+            }
+        }
+        ctx.bcast_row(qa, &mut apan, TAG_APAN);
+
+        // ---- B panel: w × (my C columns) ----------------------------------
+        let bpan: Matrix = match transb {
+            Trans::No => {
+                // Rows kb..kb+w of B, broadcast down process columns.
+                let pb = b.row_owner(kb);
+                let mut buf = vec![0.0f64; w * my_ccols];
+                if ctx.myrow() == pb {
+                    let lr0 = b.g2l_row(kb);
+                    let ldb = b.local().ld().max(1);
+                    for (jj, _) in (0..my_ccols).enumerate() {
+                        for l in 0..w {
+                            buf[l + jj * w] = b.local().as_slice()[(lr0 + l) + jj * ldb];
+                        }
+                    }
+                }
+                ctx.bcast_col(pb, &mut buf, TAG_BPAN);
+                Matrix::from_vec(w, my_ccols, buf)
+            }
+            Trans::Yes => {
+                // op(B) rows kb..kb+w = B columns kb..kb+w; each process
+                // needs the entries at B-rows matching its C-columns.
+                // Assemble the full n×w column panel once per step:
+                // owner column broadcasts its rows along rows, then the
+                // column all-reduce superimposes the row pieces.
+                let qb = b.col_owner(kb);
+                let mut full = vec![0.0f64; b.desc().m * w];
+                if ctx.mycol() == qb {
+                    let lc0 = b.g2l_col(kb);
+                    let ldb = b.local().ld().max(1);
+                    for l in 0..w {
+                        for lr in 0..b.lrows() {
+                            let g = b.l2g_row(lr);
+                            full[g + l * b.desc().m] = b.local().as_slice()[lr + (lc0 + l) * ldb];
+                        }
+                    }
+                }
+                ctx.bcast_row(qb, &mut full, TAG_BGATH);
+                ctx.allreduce_sum_col(&mut full, TAG_BGATH + 1);
+                // Select the rows matching my C columns, transposed into w×cols.
+                Matrix::from_fn(w, my_ccols, |l, jj| {
+                    let g = c.l2g_col(jj);
+                    full[g + l * b.desc().m]
+                })
+            }
+        };
+
+        // ---- local C += α·apan·bpan ---------------------------------------
+        if my_crows > 0 && my_ccols > 0 {
+            gemm(
+                Trans::No,
+                Trans::No,
+                my_crows,
+                my_ccols,
+                w,
+                alpha,
+                &apan,
+                my_crows.max(1),
+                bpan.as_slice(),
+                w.max(1),
+                1.0,
+                c.local_mut().as_mut_slice(),
+                ldl_c,
+            );
+        }
+        kb += w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Desc;
+    use ft_dense::gen::uniform_entry;
+    use ft_dense::level3::gemm_naive;
+    use ft_runtime::{run_spmd, FaultScript};
+
+    fn check(m: usize, k: usize, n: usize, nb: usize, transb: Trans, p: usize, q: usize) {
+        run_spmd(p, q, FaultScript::none(), move |ctx| {
+            let a = DistMatrix::from_global_fn(&ctx, Desc { m, n: k, nb }, |i, j| uniform_entry(1, i, j));
+            let (br, bc) = match transb {
+                Trans::No => (k, n),
+                Trans::Yes => (n, k),
+            };
+            let b = DistMatrix::from_global_fn(&ctx, Desc { m: br, n: bc, nb }, |i, j| uniform_entry(2, i, j));
+            let mut c = DistMatrix::from_global_fn(&ctx, Desc { m, n, nb }, |i, j| uniform_entry(3, i, j));
+            pdgemm(&ctx, transb, 1.5, &a, &b, -0.5, &mut c);
+
+            let ag = a.gather_all(&ctx, 880);
+            let bg = b.gather_all(&ctx, 882);
+            let cg = c.gather_all(&ctx, 884);
+            if ctx.rank() == 0 {
+                let mut want = ft_dense::gen::uniform_indexed_matrix(m, n, 3);
+                gemm_naive(
+                    Trans::No, transb, m, n, k, 1.5,
+                    ag.as_slice(), m, bg.as_slice(), br,
+                    -0.5, want.as_mut_slice(), m,
+                );
+                let d = cg.max_abs_diff(&want);
+                assert!(d < 1e-11, "m={m} k={k} n={n} nb={nb} {transb:?} {p}x{q}: diff {d}");
+            }
+        });
+    }
+
+    #[test]
+    fn pdgemm_nn_various() {
+        check(12, 9, 15, 3, Trans::No, 2, 2);
+        check(8, 8, 8, 2, Trans::No, 2, 3);
+        check(17, 5, 11, 4, Trans::No, 3, 2);
+        check(6, 6, 6, 6, Trans::No, 1, 2);
+    }
+
+    #[test]
+    fn pdgemm_nt_various() {
+        check(12, 9, 15, 3, Trans::Yes, 2, 2);
+        check(8, 8, 8, 2, Trans::Yes, 2, 3);
+        check(10, 7, 10, 2, Trans::Yes, 3, 2);
+    }
+
+    #[test]
+    fn pdgemm_alpha_zero_scales_only() {
+        run_spmd(2, 2, FaultScript::none(), |ctx| {
+            let a = DistMatrix::from_global_fn(&ctx, Desc { m: 6, n: 6, nb: 2 }, |_, _| 1.0);
+            let b = a.clone();
+            let mut c = DistMatrix::from_global_fn(&ctx, Desc { m: 6, n: 6, nb: 2 }, |_, _| 2.0);
+            pdgemm(&ctx, Trans::No, 0.0, &a, &b, 0.5, &mut c);
+            let cg = c.gather_all(&ctx, 886);
+            assert!(cg.as_slice().iter().all(|&x| x == 1.0));
+        });
+    }
+}

@@ -1,0 +1,513 @@
+//! Per-process communication context: tagged point-to-point messages,
+//! deterministic collectives, barriers and fail-point checks.
+
+use crate::fault::{Board, FaultScript};
+use crate::grid::Grid;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Receive timeout — a deadlock in the SPMD protocol aborts loudly instead
+/// of hanging the test suite.
+const RECV_TIMEOUT: Duration = Duration::from_secs(600);
+
+struct Msg {
+    src: usize,
+    tag: u64,
+    data: Vec<f64>,
+}
+
+/// Everything shared by the whole world, built once per [`crate::run_spmd`].
+pub(crate) struct World {
+    grid: Grid,
+    senders: Arc<Vec<Sender<Msg>>>,
+    receivers: Vec<Receiver<Msg>>,
+    barrier: Arc<Barrier>,
+    board: Arc<Board>,
+    script: Arc<FaultScript>,
+}
+
+impl World {
+    pub(crate) fn new(grid: Grid, script: Arc<FaultScript>) -> Self {
+        let w = grid.size();
+        let mut senders = Vec::with_capacity(w);
+        let mut receivers = Vec::with_capacity(w);
+        for _ in 0..w {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        Self {
+            grid,
+            senders: Arc::new(senders),
+            receivers,
+            barrier: Arc::new(Barrier::new(w)),
+            board: Arc::new(Board::default()),
+            script,
+        }
+    }
+
+    pub(crate) fn into_ctxs(self) -> Vec<Ctx> {
+        let World { grid, senders, receivers, barrier, board, script } = self;
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| Ctx {
+                rank,
+                grid,
+                senders: Arc::clone(&senders),
+                rx,
+                stash: RefCell::new(HashMap::new()),
+                barrier: Arc::clone(&barrier),
+                board: Arc::clone(&board),
+                script: Arc::clone(&script),
+                board_cursor: Cell::new(0),
+                fired_points: RefCell::new(HashSet::new()),
+                bytes_sent: Cell::new(0),
+                msgs_sent: Cell::new(0),
+            })
+            .collect()
+    }
+}
+
+/// Result of a fail-point check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailCheck {
+    /// Nothing failed; continue.
+    AllGood,
+    /// One or more processes failed at this point. Every process observes
+    /// the same victim list. `me` is `true` on the victims themselves, which
+    /// must now drop their local data and act as replacement processes.
+    Failure {
+        /// Ranks that failed, in announcement order.
+        victims: Vec<usize>,
+        /// Whether the observing process is itself a victim.
+        me: bool,
+    },
+}
+
+/// A process's handle to the simulated machine. Not `Sync`: it lives on its
+/// process's thread.
+pub struct Ctx {
+    rank: usize,
+    grid: Grid,
+    senders: Arc<Vec<Sender<Msg>>>,
+    rx: Receiver<Msg>,
+    /// Out-of-order stash for selective receive by `(src, tag)`.
+    #[allow(clippy::type_complexity)] // (src, tag) → FIFO of payloads; a type alias would obscure it
+    stash: RefCell<HashMap<(usize, u64), VecDeque<Vec<f64>>>>,
+    barrier: Arc<Barrier>,
+    board: Arc<Board>,
+    script: Arc<FaultScript>,
+    board_cursor: Cell<usize>,
+    /// Script entries this process has already executed — a fail point is
+    /// fail-stop, so re-visiting the same point id (e.g. after a
+    /// checkpoint/restart rollback re-runs an iteration) must not re-kill.
+    fired_points: RefCell<HashSet<u64>>,
+    bytes_sent: Cell<u64>,
+    msgs_sent: Cell<u64>,
+}
+
+impl Ctx {
+    /// This process's rank in `0..P·Q`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The grid geometry.
+    #[inline]
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// This process's grid row.
+    #[inline]
+    pub fn myrow(&self) -> usize {
+        self.grid.coords_of(self.rank).0
+    }
+
+    /// This process's grid column.
+    #[inline]
+    pub fn mycol(&self) -> usize {
+        self.grid.coords_of(self.rank).1
+    }
+
+    /// Process rows `P`.
+    #[inline]
+    pub fn nprow(&self) -> usize {
+        self.grid.nprow()
+    }
+
+    /// Process columns `Q`.
+    #[inline]
+    pub fn npcol(&self) -> usize {
+        self.grid.npcol()
+    }
+
+    /// Bytes sent by this process so far (communication-volume accounting
+    /// for the Section 6 model validation).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.get()
+    }
+
+    /// Messages sent by this process so far.
+    pub fn msgs_sent(&self) -> u64 {
+        self.msgs_sent.get()
+    }
+
+    // --- point to point ----------------------------------------------------
+
+    /// Send `data` to `dst` under `tag`.
+    pub fn send(&self, dst: usize, tag: u64, data: &[f64]) {
+        assert!(dst < self.grid.size(), "send: bad destination {dst}");
+        self.bytes_sent.set(self.bytes_sent.get() + 8 * data.len() as u64);
+        self.msgs_sent.set(self.msgs_sent.get() + 1);
+        self.senders[dst]
+            .send(Msg { src: self.rank, tag, data: data.to_vec() })
+            .expect("send: world torn down");
+    }
+
+    /// Blocking selective receive of the next message from `src` with `tag`.
+    /// FIFO order is preserved per `(src, tag)` pair.
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<f64> {
+        if let Some(q) = self.stash.borrow_mut().get_mut(&(src, tag)) {
+            if let Some(d) = q.pop_front() {
+                return d;
+            }
+        }
+        loop {
+            let msg = self
+                .rx
+                .recv_timeout(RECV_TIMEOUT)
+                .unwrap_or_else(|_| panic!("rank {}: recv(src={src}, tag={tag}) timed out — SPMD protocol deadlock", self.rank));
+            if msg.src == src && msg.tag == tag {
+                return msg.data;
+            }
+            self.stash
+                .borrow_mut()
+                .entry((msg.src, msg.tag))
+                .or_default()
+                .push_back(msg.data);
+        }
+    }
+
+    // --- barriers -----------------------------------------------------------
+
+    /// World barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    // --- broadcasts ----------------------------------------------------------
+
+    fn bcast_group(&self, members: &[usize], root: usize, data: &mut Vec<f64>, tag: u64) {
+        debug_assert!(members.contains(&root));
+        if self.rank == root {
+            for &m in members {
+                if m != root {
+                    self.send(m, tag, data);
+                }
+            }
+        } else if members.contains(&self.rank) {
+            *data = self.recv(root, tag);
+        }
+    }
+
+    /// Broadcast within this process's grid row from the process at column
+    /// `root_q`. Root passes the payload; the others' `data` is overwritten.
+    pub fn bcast_row(&self, root_q: usize, data: &mut Vec<f64>, tag: u64) {
+        let members = self.row_ranks();
+        let root = self.grid.rank_of(self.myrow(), root_q);
+        self.bcast_group(&members, root, data, tag);
+    }
+
+    /// Broadcast within this process's grid column from the process at row
+    /// `root_p`.
+    pub fn bcast_col(&self, root_p: usize, data: &mut Vec<f64>, tag: u64) {
+        let members = self.col_ranks();
+        let root = self.grid.rank_of(root_p, self.mycol());
+        self.bcast_group(&members, root, data, tag);
+    }
+
+    /// Broadcast to all processes from `root` (a rank).
+    pub fn bcast_world(&self, root: usize, data: &mut Vec<f64>, tag: u64) {
+        let members: Vec<usize> = (0..self.grid.size()).collect();
+        self.bcast_group(&members, root, data, tag);
+    }
+
+    // --- reductions -----------------------------------------------------------
+
+    /// Deterministic element-wise sum-reduce over `members` to `root`:
+    /// contributions are added in member order regardless of arrival order,
+    /// so results are bit-reproducible. Only the root's `data` holds the
+    /// result afterwards.
+    fn reduce_sum_group(&self, members: &[usize], root: usize, data: &mut [f64], tag: u64) {
+        debug_assert!(members.contains(&root));
+        if self.rank == root {
+            let mut parts: HashMap<usize, Vec<f64>> = HashMap::new();
+            for &m in members {
+                if m != root {
+                    parts.insert(m, self.recv(m, tag));
+                }
+            }
+            let mine = data.to_vec();
+            data.fill(0.0);
+            for &m in members {
+                let part = if m == root { &mine } else { &parts[&m] };
+                assert_eq!(part.len(), data.len(), "reduce: length mismatch from rank {m}");
+                for (d, s) in data.iter_mut().zip(part) {
+                    *d += s;
+                }
+            }
+        } else if members.contains(&self.rank) {
+            self.send(root, tag, data);
+        }
+    }
+
+    fn allreduce_sum_group(&self, members: &[usize], data: &mut [f64], tag: u64) {
+        let root = members[0];
+        self.reduce_sum_group(members, root, data, tag);
+        let mut v = data.to_vec();
+        self.bcast_group(members, root, &mut v, tag.wrapping_add(1));
+        data.copy_from_slice(&v);
+    }
+
+    /// Sum-reduce within the grid row to column `root_q`.
+    pub fn reduce_sum_row(&self, root_q: usize, data: &mut [f64], tag: u64) {
+        let members = self.row_ranks();
+        let root = self.grid.rank_of(self.myrow(), root_q);
+        self.reduce_sum_group(&members, root, data, tag);
+    }
+
+    /// Sum-reduce within the grid column to row `root_p`.
+    pub fn reduce_sum_col(&self, root_p: usize, data: &mut [f64], tag: u64) {
+        let members = self.col_ranks();
+        let root = self.grid.rank_of(root_p, self.mycol());
+        self.reduce_sum_group(&members, root, data, tag);
+    }
+
+    /// All-reduce (sum) within the grid row.
+    pub fn allreduce_sum_row(&self, data: &mut [f64], tag: u64) {
+        let members = self.row_ranks();
+        self.allreduce_sum_group(&members, data, tag);
+    }
+
+    /// All-reduce (sum) within the grid column.
+    pub fn allreduce_sum_col(&self, data: &mut [f64], tag: u64) {
+        let members = self.col_ranks();
+        self.allreduce_sum_group(&members, data, tag);
+    }
+
+    /// All-reduce (sum) over the whole grid.
+    pub fn allreduce_sum_world(&self, data: &mut [f64], tag: u64) {
+        let members: Vec<usize> = (0..self.grid.size()).collect();
+        self.allreduce_sum_group(&members, data, tag);
+    }
+
+    /// Ranks of this process's grid row, in column order.
+    pub fn row_ranks(&self) -> Vec<usize> {
+        let p = self.myrow();
+        (0..self.grid.npcol()).map(|q| self.grid.rank_of(p, q)).collect()
+    }
+
+    /// Ranks of this process's grid column, in row order.
+    pub fn col_ranks(&self) -> Vec<usize> {
+        let q = self.mycol();
+        (0..self.grid.nprow()).map(|p| self.grid.rank_of(p, q)).collect()
+    }
+
+    // --- fault handling ----------------------------------------------------
+
+    /// Fail-point check: must be called **collectively** (same sequence of
+    /// points on all ranks) at quiescent phase boundaries.
+    ///
+    /// If the fault script kills this process here, it announces itself; the
+    /// two enclosing barriers make the board read race-free, so every rank
+    /// returns the same [`FailCheck`] for the same point.
+    pub fn check_failpoint(&self, point: u64) -> FailCheck {
+        if !self.script.is_empty()
+            && self.script.victims_at(point).contains(&self.rank)
+            && self.fired_points.borrow_mut().insert(point)
+        {
+            self.board.announce(self.rank);
+        }
+        self.barrier.wait();
+        let new = self.board.read_from(self.board_cursor.get());
+        self.board_cursor.set(self.board.len());
+        self.barrier.wait();
+        if new.is_empty() {
+            FailCheck::AllGood
+        } else {
+            let me = new.contains(&self.rank);
+            FailCheck::Failure { victims: new, me }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_spmd;
+
+    #[test]
+    fn p2p_send_recv() {
+        run_spmd(1, 2, FaultScript::none(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, &[1.0, 2.0, 3.0]);
+            } else {
+                let d = ctx.recv(0, 7);
+                assert_eq!(d, vec![1.0, 2.0, 3.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn selective_recv_out_of_order() {
+        run_spmd(1, 2, FaultScript::none(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, &[1.0]);
+                ctx.send(1, 2, &[2.0]);
+                ctx.send(1, 1, &[3.0]);
+            } else {
+                // Receive tag 2 first even though tag 1 arrived earlier,
+                // then tag 1 twice in FIFO order.
+                assert_eq!(ctx.recv(0, 2), vec![2.0]);
+                assert_eq!(ctx.recv(0, 1), vec![1.0]);
+                assert_eq!(ctx.recv(0, 1), vec![3.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn row_and_col_broadcast() {
+        run_spmd(2, 3, FaultScript::none(), |ctx| {
+            // Row broadcast from column 1: payload identifies the row.
+            let mut d = if ctx.mycol() == 1 {
+                vec![ctx.myrow() as f64 * 10.0]
+            } else {
+                vec![]
+            };
+            ctx.bcast_row(1, &mut d, 5);
+            assert_eq!(d, vec![ctx.myrow() as f64 * 10.0]);
+
+            // Column broadcast from row 0.
+            let mut d = if ctx.myrow() == 0 {
+                vec![ctx.mycol() as f64]
+            } else {
+                vec![]
+            };
+            ctx.bcast_col(0, &mut d, 6);
+            assert_eq!(d, vec![ctx.mycol() as f64]);
+        });
+    }
+
+    #[test]
+    fn world_broadcast() {
+        run_spmd(2, 2, FaultScript::none(), |ctx| {
+            let mut d = if ctx.rank() == 3 { vec![42.0] } else { vec![] };
+            ctx.bcast_world(3, &mut d, 9);
+            assert_eq!(d, vec![42.0]);
+        });
+    }
+
+    #[test]
+    fn deterministic_row_reduce() {
+        let results = run_spmd(2, 4, FaultScript::none(), |ctx| {
+            let mut d = vec![ctx.mycol() as f64 + 1.0, 1.0];
+            ctx.reduce_sum_row(0, &mut d, 11);
+            if ctx.mycol() == 0 {
+                Some(d)
+            } else {
+                None
+            }
+        });
+        // Each row root holds [1+2+3+4, 4].
+        for r in results.into_iter().flatten() {
+            assert_eq!(r, vec![10.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_world() {
+        let results = run_spmd(2, 2, FaultScript::none(), |ctx| {
+            let mut d = vec![ctx.rank() as f64];
+            ctx.allreduce_sum_world(&mut d, 21);
+            d[0]
+        });
+        assert_eq!(results, vec![6.0; 4]);
+    }
+
+    #[test]
+    fn col_reduce_to_row1() {
+        let results = run_spmd(3, 2, FaultScript::none(), |ctx| {
+            let mut d = vec![(ctx.myrow() + 1) as f64];
+            ctx.reduce_sum_col(1, &mut d, 31);
+            (ctx.myrow() == 1).then_some(d[0])
+        });
+        let sums: Vec<f64> = results.into_iter().flatten().collect();
+        assert_eq!(sums, vec![6.0, 6.0]);
+    }
+
+    #[test]
+    fn failpoint_no_failure() {
+        run_spmd(2, 2, FaultScript::none(), |ctx| {
+            assert_eq!(ctx.check_failpoint(1), FailCheck::AllGood);
+            assert_eq!(ctx.check_failpoint(2), FailCheck::AllGood);
+        });
+    }
+
+    #[test]
+    fn failpoint_single_victim_observed_by_all() {
+        let out = run_spmd(2, 2, FaultScript::one(2, 50), |ctx| {
+            assert_eq!(ctx.check_failpoint(49), FailCheck::AllGood);
+            let res = ctx.check_failpoint(50);
+            match &res {
+                FailCheck::Failure { victims, me } => {
+                    assert_eq!(victims, &vec![2]);
+                    assert_eq!(*me, ctx.rank() == 2);
+                }
+                _ => panic!("rank {} missed the failure", ctx.rank()),
+            }
+            // Life goes on after recovery.
+            assert_eq!(ctx.check_failpoint(51), FailCheck::AllGood);
+            1
+        });
+        assert_eq!(out, vec![1; 4]);
+    }
+
+    #[test]
+    fn failpoint_two_simultaneous_victims() {
+        use crate::PlannedFailure;
+        let script = FaultScript::new(vec![
+            PlannedFailure { victim: 0, point: 5 },
+            PlannedFailure { victim: 3, point: 5 },
+        ]);
+        run_spmd(2, 2, script, |ctx| {
+            match ctx.check_failpoint(5) {
+                FailCheck::Failure { mut victims, me } => {
+                    victims.sort_unstable();
+                    assert_eq!(victims, vec![0, 3]);
+                    assert_eq!(me, ctx.rank() == 0 || ctx.rank() == 3);
+                }
+                _ => panic!("missed failure"),
+            }
+        });
+    }
+
+    #[test]
+    fn traffic_counters() {
+        let sent = run_spmd(1, 2, FaultScript::none(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, &[0.0; 100]);
+            } else {
+                let _ = ctx.recv(0, 1);
+            }
+            (ctx.bytes_sent(), ctx.msgs_sent())
+        });
+        assert_eq!(sent[0], (800, 1));
+        assert_eq!(sent[1], (0, 0));
+    }
+}

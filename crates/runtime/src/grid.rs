@@ -1,0 +1,73 @@
+//! The logical 2D process grid (BLACS context equivalent).
+
+/// A `P×Q` logical process grid. Rank `r` sits at row `r / Q`, column
+/// `r % Q` (row-major rank layout, matching the BLACS default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid {
+    nprow: usize,
+    npcol: usize,
+}
+
+impl Grid {
+    /// Create a `p×q` grid. Panics on an empty dimension.
+    pub fn new(p: usize, q: usize) -> Self {
+        assert!(p > 0 && q > 0, "grid dimensions must be positive");
+        Self { nprow: p, npcol: q }
+    }
+
+    /// Number of process rows `P`.
+    #[inline]
+    pub fn nprow(&self) -> usize {
+        self.nprow
+    }
+
+    /// Number of process columns `Q`.
+    #[inline]
+    pub fn npcol(&self) -> usize {
+        self.npcol
+    }
+
+    /// Total process count `P·Q`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.nprow * self.npcol
+    }
+
+    /// Rank of the process at grid coordinates `(p, q)`.
+    #[inline]
+    pub fn rank_of(&self, p: usize, q: usize) -> usize {
+        debug_assert!(p < self.nprow && q < self.npcol);
+        p * self.npcol + q
+    }
+
+    /// Grid coordinates `(p, q)` of `rank`.
+    #[inline]
+    pub fn coords_of(&self, rank: usize) -> (usize, usize) {
+        debug_assert!(rank < self.size());
+        (rank / self.npcol, rank % self.npcol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let g = Grid::new(3, 4);
+        assert_eq!(g.size(), 12);
+        for r in 0..12 {
+            let (p, q) = g.coords_of(r);
+            assert_eq!(g.rank_of(p, q), r);
+            assert!(p < 3 && q < 4);
+        }
+        assert_eq!(g.coords_of(0), (0, 0));
+        assert_eq!(g.coords_of(5), (1, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_grid_rejected() {
+        let _ = Grid::new(0, 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! # ft-runtime — simulated distributed-memory machine
+//!
+//! The paper runs on Titan with MPI/BLACS. This crate is the substitution
+//! documented in DESIGN.md §2: a process grid where every "process" is an OS
+//! thread with **private local storage**, communicating exclusively through
+//! typed message channels. The algorithms above this layer (ft-pblas,
+//! ft-hess) only ever observe:
+//!
+//! * a `P×Q` logical process grid ([`Grid`]),
+//! * point-to-point tagged `send`/`recv`,
+//! * row/column/world broadcasts and sum-reductions with **deterministic
+//!   reduction order** (rank order — so residuals are bit-reproducible),
+//! * barriers,
+//! * a fail-stop fault injector ([`FaultScript`]) and a failure notice board
+//!   (the stand-in for ULFM-style failure detection).
+//!
+//! ## Failure model
+//!
+//! Failures are injected at *fail points* — quiescent phase boundaries the
+//! algorithm announces via [`Ctx::check_failpoint`]. A victim's closure
+//! observes [`FailCheck::Failure`] with `me == true`, at which point it must
+//! act as the *replacement* process: drop all of its local data (that is the
+//! data loss) and rejoin the recovery protocol. Survivors observe the victim
+//! list and run the recovery side. Because fail points sit between
+//! communication phases, channels are quiescent and no in-flight messages
+//! are lost — matching the paper's recovery model, which repairs the grid
+//! before recovering data (§5.3 step 1).
+
+pub mod comm;
+pub mod fault;
+pub mod grid;
+
+pub use comm::{Ctx, FailCheck};
+pub use fault::{poisson_failures, FaultScript, PlannedFailure};
+pub use grid::Grid;
+
+use std::sync::Arc;
+
+/// Run `f` in SPMD style on a `p×q` grid: one thread per process, each
+/// receiving its own [`Ctx`]. Returns the per-rank results in rank order.
+///
+/// Panics in any process propagate (the whole run aborts), which keeps test
+/// failures loud.
+///
+/// ```
+/// use ft_runtime::{run_spmd, FaultScript};
+///
+/// // Every process contributes its rank; a row all-reduce sums them.
+/// let sums = run_spmd(2, 3, FaultScript::none(), |ctx| {
+///     let mut v = vec![ctx.rank() as f64];
+///     ctx.allreduce_sum_row(&mut v, 1);
+///     v[0]
+/// });
+/// // Row 0 holds ranks 0+1+2 = 3, row 1 holds 3+4+5 = 12.
+/// assert_eq!(sums, vec![3.0, 3.0, 3.0, 12.0, 12.0, 12.0]);
+/// ```
+pub fn run_spmd<R, F>(p: usize, q: usize, script: FaultScript, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Ctx) -> R + Sync,
+{
+    let grid = Grid::new(p, q);
+    let world = comm::World::new(grid, Arc::new(script));
+    let mut ctxs: Vec<Option<Ctx>> = world.into_ctxs().into_iter().map(Some).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p * q);
+        for slot in ctxs.iter_mut() {
+            let ctx = slot.take().expect("ctx already taken");
+            let fref = &f;
+            handles.push(scope.spawn(move || fref(ctx)));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Re-raise with the original payload so `should_panic`
+                // expectations and error messages stay meaningful.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spmd_runs_all_ranks() {
+        let out = run_spmd(2, 3, FaultScript::none(), |ctx| ctx.rank());
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn spmd_single_process() {
+        let out = run_spmd(1, 1, FaultScript::none(), |ctx| {
+            ctx.barrier();
+            ctx.myrow() + ctx.mycol()
+        });
+        assert_eq!(out, vec![0]);
+    }
+}

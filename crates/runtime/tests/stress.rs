@@ -1,0 +1,147 @@
+//! Stress tests of the communication substrate: long randomized sequences
+//! of mixed collectives and point-to-point traffic, checked against a
+//! sequential oracle. The SPMD protocols upstairs (PBLAS, the ABFT driver)
+//! assume exactly the guarantees exercised here — deterministic reduction
+//! order, per-(src, tag) FIFO, and collective isolation between rows and
+//! columns.
+
+use ft_runtime::{run_spmd, FaultScript};
+
+/// A deterministic pseudo-random stream identical on every process.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+#[test]
+fn randomized_collective_sequences_match_oracle() {
+    for (p, q, seed) in [(2usize, 3usize, 1u64), (3, 2, 2), (2, 2, 3), (4, 2, 4)] {
+        run_spmd(p, q, FaultScript::none(), move |ctx| {
+            let w = p * q;
+            let mut rng = Lcg(seed); // same stream everywhere: same op sequence
+            // Each process carries a value; the oracle tracks all of them.
+            let mut mine = vec![ctx.rank() as f64 + 1.0];
+            let mut oracle: Vec<f64> = (0..w).map(|r| r as f64 + 1.0).collect();
+
+            for step in 0..200 {
+                let tag = 5000 + step as u64 * 4;
+                match rng.next() % 4 {
+                    0 => {
+                        // World all-reduce: everyone ends up with the sum.
+                        ctx.allreduce_sum_world(&mut mine, tag);
+                        let total: f64 = oracle.iter().sum();
+                        oracle = vec![total; w];
+                    }
+                    1 => {
+                        // Row all-reduce.
+                        ctx.allreduce_sum_row(&mut mine, tag);
+                        let mut next = vec![0.0; w];
+                        for row in 0..p {
+                            let s: f64 = (0..q).map(|c| oracle[row * q + c]).sum();
+                            for c in 0..q {
+                                next[row * q + c] = s;
+                            }
+                        }
+                        oracle = next;
+                    }
+                    2 => {
+                        // Column all-reduce.
+                        ctx.allreduce_sum_col(&mut mine, tag);
+                        let mut next = vec![0.0; w];
+                        for col in 0..q {
+                            let s: f64 = (0..p).map(|r| oracle[r * q + col]).sum();
+                            for r in 0..p {
+                                next[r * q + col] = s;
+                            }
+                        }
+                        oracle = next;
+                    }
+                    _ => {
+                        // Broadcast from a pseudo-random root.
+                        let root = (rng.next() % w as u64) as usize;
+                        ctx.bcast_world(root, &mut mine, tag);
+                        let v = oracle[root];
+                        oracle = vec![v; w];
+                    }
+                }
+                assert_eq!(
+                    mine[0], oracle[ctx.rank()],
+                    "{p}x{q} seed {seed}: step {step} diverged on rank {}",
+                    ctx.rank()
+                );
+                // Keep magnitudes bounded.
+                if mine[0].abs() > 1e12 {
+                    mine[0] = (ctx.rank() % 7) as f64;
+                    for (r, o) in oracle.iter_mut().enumerate() {
+                        *o = (r % 7) as f64;
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn heavy_out_of_order_p2p_traffic() {
+    // Every pair exchanges many messages over interleaved tags; receivers
+    // drain them in a scrambled but per-tag-FIFO order.
+    run_spmd(2, 2, FaultScript::none(), |ctx| {
+        let w = 4;
+        let me = ctx.rank();
+        const MSGS: usize = 50;
+        for dst in 0..w {
+            if dst == me {
+                continue;
+            }
+            for i in 0..MSGS {
+                let tag = 6000 + (i % 3) as u64; // three interleaved tag streams
+                ctx.send(dst, tag, &[me as f64, i as f64]);
+            }
+        }
+        // Receive from every peer, highest tag stream first (stresses the
+        // out-of-order stash), checking FIFO within each stream.
+        for src in 0..w {
+            if src == me {
+                continue;
+            }
+            for tagoff in (0..3).rev() {
+                let tag = 6000 + tagoff as u64;
+                let mut last = -1.0;
+                let expect = MSGS / 3 + usize::from(tagoff < MSGS % 3);
+                for _ in 0..expect {
+                    let msg = ctx.recv(src, tag);
+                    assert_eq!(msg[0] as usize, src);
+                    assert!(msg[1] > last, "FIFO violated within (src, tag)");
+                    last = msg[1];
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn reductions_are_bitwise_deterministic_across_runs() {
+    // The deterministic member-order reduction is what makes recovery
+    // replay bit-exact; verify two independent runs agree bitwise.
+    let run = || {
+        run_spmd(2, 3, FaultScript::none(), |ctx| {
+            // Values chosen to make floating-point order matter.
+            let mut v = vec![1.0 / (ctx.rank() as f64 + 3.0), 1e16, -1e16];
+            ctx.allreduce_sum_world(&mut v, 7000);
+            ctx.allreduce_sum_row(&mut v, 7002);
+            ctx.allreduce_sum_col(&mut v, 7004);
+            v
+        })
+    };
+    let a = run();
+    let b = run();
+    for (x, y) in a.iter().zip(&b) {
+        for (xa, yb) in x.iter().zip(y) {
+            assert_eq!(xa.to_bits(), yb.to_bits(), "nondeterministic reduction");
+        }
+    }
+}

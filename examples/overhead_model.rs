@@ -1,0 +1,60 @@
+//! The Section 6 analytic overhead model evaluated at the **paper's own**
+//! configurations (N = 6,000..96,000 on 6×6..96×96 grids, NB = 80) — the
+//! scales the simulated machine cannot time directly.
+//!
+//! Prints the loop-exact flop-overhead prediction next to the asymptote and
+//! the paper's measured Figure 6(a) penalties, plus the storage model.
+//!
+//! ```text
+//! cargo run --release --example overhead_model
+//! ```
+
+use abft_hessenberg::hess::{asymptotic_overhead, flop_model, storage_overhead_elements};
+
+fn main() {
+    println!("Section 6 model at the paper's Titan configurations (NB = 80)");
+    println!(
+        "{:>8} {:>8}  {:>12} {:>12} {:>14}",
+        "grid", "N", "model ov %", "asym 7/5Q %", "paper meas. %"
+    );
+    // Figure 6(a) x-axis and the measured penalties the paper reports.
+    let paper = [
+        (6usize, 6_000usize, Some(7.6)),
+        (12, 12_000, None),
+        (24, 24_000, None),
+        (48, 48_000, None),
+        (96, 96_000, Some(1.8)),
+    ];
+    for (g, n, measured) in paper {
+        let m = flop_model(n, 80, g);
+        let meas = measured.map(|v| format!("{v:.1}")).unwrap_or_else(|| "—".into());
+        println!(
+            "{:>8} {:>8}  {:>12.2} {:>12.2} {:>14}",
+            format!("{g}x{g}"),
+            n,
+            m.overhead_ratio() * 100.0,
+            asymptotic_overhead(g) * 100.0,
+            meas
+        );
+    }
+    println!();
+    println!("The model counts raw flops of both checksum copies; on Titan the");
+    println!("extra work runs as compute-bound GEMM against a memory-bound");
+    println!("baseline (the paper notes Hessenberg reaches only a fraction of");
+    println!("peak), so the measured wall-clock penalty sits well below the");
+    println!("flop ratio. Both measurements share the 1/Q decay — the paper's");
+    println!("structural claim.");
+
+    println!("\nStorage overhead model (f64 elements, whole machine)");
+    println!("{:>8} {:>8}  {:>16} {:>14}", "grid", "N", "extra elements", "vs matrix %");
+    for (g, n, _) in paper {
+        let s = storage_overhead_elements(n, 80, g);
+        println!(
+            "{:>8} {:>8}  {:>16} {:>14.2}",
+            format!("{g}x{g}"),
+            n,
+            s,
+            s as f64 / (n * n) as f64 * 100.0
+        );
+    }
+}

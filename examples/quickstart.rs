@@ -1,0 +1,55 @@
+//! Quickstart: fault-tolerant Hessenberg reduction end to end.
+//!
+//! Reduces a random 256×256 matrix on a simulated 2×3 process grid while a
+//! scripted fail-stop failure kills process 4 in the middle of the
+//! factorization. The run recovers transparently and the result is verified
+//! against the paper's residual criterion `r∞ < 3` (§7.3).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use abft_hessenberg::dense::gen::{uniform_entry, uniform_indexed_matrix};
+use abft_hessenberg::hess::{failpoint, ft_pdgehrd, Encoded, Phase, Variant};
+use abft_hessenberg::lapack::{extract_h, hessenberg_residual, is_hessenberg, orghr};
+use abft_hessenberg::runtime::{run_spmd, FaultScript};
+
+fn main() {
+    let (p, q) = (2usize, 3usize);
+    let n = 256;
+    let nb = 16;
+    let seed = 2013; // SC'13
+    println!("ABFT Hessenberg reduction quickstart");
+    println!("  matrix: {n}x{n}, blocking nb={nb}, process grid {p}x{q}");
+
+    // Kill rank 4 right after the right update of panel iteration 7.
+    let script = FaultScript::one(4, failpoint(7, Phase::AfterRightUpdate));
+    println!("  scripted failure: rank 4 dies at panel 7, AfterRightUpdate\n");
+
+    let results = run_spmd(p, q, script, move |ctx| {
+        // Every process generates only its own block-cyclic share.
+        let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
+        let mut tau = vec![0.0; n - 1];
+        let report = ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau);
+
+        // Collect the reduced matrix for verification (demo-sized problem).
+        let a_reduced = enc.gather_logical(&ctx, 1);
+        (ctx.rank() == 0).then_some((a_reduced, tau, report))
+    });
+
+    let (a_reduced, tau, report) = results.into_iter().flatten().next().unwrap();
+    println!("recoveries performed : {}", report.recoveries);
+    println!("victims recovered    : {:?}", report.victims);
+    println!("recovery time        : {:.4} s", report.recovery_secs);
+    println!("total reduction time : {:.4} s", report.total_secs);
+
+    // Verify: H is exactly Hessenberg, Q orthogonal, A = Q·H·Qᵀ.
+    let a0 = uniform_indexed_matrix(n, n, seed);
+    let h = extract_h(&a_reduced);
+    let qm = orghr(&a_reduced, &tau);
+    assert!(is_hessenberg(&h), "result is not Hessenberg");
+    let r = hessenberg_residual(&a0, &h, &qm);
+    println!("\nresidual r_inf = ‖A−QHQᵀ‖∞/(‖A‖∞·N·ε) = {r:.4}  (threshold r_t = 3)");
+    assert!(r < 3.0);
+    println!("PASS: the factorization survived the failure.");
+}

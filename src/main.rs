@@ -1,0 +1,234 @@
+//! `abft-hessenberg` — command-line driver for the fault-tolerant
+//! Hessenberg reduction.
+//!
+//! ```text
+//! abft-hessenberg [OPTIONS]
+//!
+//!   --n <N>              matrix dimension (default 512)
+//!   --nb <NB>            blocking factor / panel width (default 16)
+//!   --grid <PxQ>         process grid (default 2x2)
+//!   --variant <V>        plain | alg2 | alg3 | cr (default alg2)
+//!   --redundancy <R>     single | dual (default single; dual needs Q ≥ 4)
+//!   --fail <P:PH:R>      scripted failure: panel : phase(0-3) : rank
+//!                        (repeatable)
+//!   --mtti <PANELS>      Poisson failures with this MTTI (in panels)
+//!   --cr-interval <K>    C/R checkpoint interval in panels (default 8)
+//!   --seed <S>           matrix / trace seed (default 2013)
+//!   --verify             compute the distributed residual r∞ afterwards
+//!   --help               this text
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! abft-hessenberg --n 768 --grid 4x4 --fail 10:2:5 --verify
+//! abft-hessenberg --n 768 --grid 2x4 --variant alg3 --mtti 12
+//! abft-hessenberg --n 512 --grid 4x4 --variant cr --mtti 10
+//! ```
+
+use abft_hessenberg::dense::gen::uniform_entry;
+use abft_hessenberg::hess::{cr_pdgehrd, failpoint, ft_pdgehrd, Encoded, Phase, Redundancy, Variant};
+use abft_hessenberg::pblas::{pd_hessenberg_residual, pdgehrd, Desc, DistMatrix};
+use abft_hessenberg::runtime::{poisson_failures, run_spmd, FaultScript, PlannedFailure};
+use std::process::exit;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Plain,
+    Alg2,
+    Alg3,
+    Cr,
+}
+
+#[derive(Debug, Clone)]
+struct Opts {
+    n: usize,
+    nb: usize,
+    p: usize,
+    q: usize,
+    mode: Mode,
+    redundancy: Redundancy,
+    failures: Vec<PlannedFailure>,
+    mtti: Option<f64>,
+    cr_interval: usize,
+    seed: u64,
+    verify: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            n: 512,
+            nb: 16,
+            p: 2,
+            q: 2,
+            mode: Mode::Alg2,
+            redundancy: Redundancy::Single,
+            failures: Vec::new(),
+            mtti: None,
+            cr_interval: 8,
+            seed: 2013,
+            verify: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    // The module docs are the single source of truth for the help text.
+    let doc = include_str!("main.rs");
+    for line in doc.lines().take_while(|l| l.starts_with("//!")) {
+        println!("{}", line.trim_start_matches("//!").trim_start_matches(' '));
+    }
+    exit(0)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\nrun with --help for usage");
+    exit(2)
+}
+
+fn parse_args() -> Opts {
+    let mut o = Opts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| args.next().unwrap_or_else(|| fail(&format!("{name} needs a value")));
+        match arg.as_str() {
+            "--help" | "-h" => usage(),
+            "--n" => o.n = val("--n").parse().unwrap_or_else(|_| fail("--n: bad integer")),
+            "--nb" => o.nb = val("--nb").parse().unwrap_or_else(|_| fail("--nb: bad integer")),
+            "--grid" => {
+                let v = val("--grid");
+                let (ps, qs) = v.split_once(['x', 'X']).unwrap_or_else(|| fail("--grid: use PxQ"));
+                o.p = ps.parse().unwrap_or_else(|_| fail("--grid: bad P"));
+                o.q = qs.parse().unwrap_or_else(|_| fail("--grid: bad Q"));
+            }
+            "--variant" => {
+                o.mode = match val("--variant").as_str() {
+                    "plain" => Mode::Plain,
+                    "alg2" => Mode::Alg2,
+                    "alg3" => Mode::Alg3,
+                    "cr" => Mode::Cr,
+                    other => fail(&format!("--variant: unknown '{other}'")),
+                }
+            }
+            "--redundancy" => {
+                o.redundancy = match val("--redundancy").as_str() {
+                    "single" => Redundancy::Single,
+                    "dual" => Redundancy::Dual,
+                    other => fail(&format!("--redundancy: unknown '{other}'")),
+                }
+            }
+            "--fail" => {
+                let v = val("--fail");
+                let parts: Vec<&str> = v.split(':').collect();
+                if parts.len() != 3 {
+                    fail("--fail: use PANEL:PHASE:RANK");
+                }
+                let panel: usize = parts[0].parse().unwrap_or_else(|_| fail("--fail: bad panel"));
+                let ph: usize = parts[1].parse().unwrap_or_else(|_| fail("--fail: bad phase"));
+                let rank: usize = parts[2].parse().unwrap_or_else(|_| fail("--fail: bad rank"));
+                if ph > 3 {
+                    fail("--fail: phase is 0..=3");
+                }
+                o.failures.push(PlannedFailure { victim: rank, point: failpoint(panel, Phase::ALL[ph]) });
+            }
+            "--mtti" => o.mtti = Some(val("--mtti").parse().unwrap_or_else(|_| fail("--mtti: bad number"))),
+            "--cr-interval" => o.cr_interval = val("--cr-interval").parse().unwrap_or_else(|_| fail("--cr-interval: bad integer")),
+            "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| fail("--seed: bad integer")),
+            "--verify" => o.verify = true,
+            other => fail(&format!("unknown argument '{other}'")),
+        }
+    }
+    o
+}
+
+fn panel_count(n: usize, nb: usize) -> usize {
+    let (mut c, mut k) = (0, 0);
+    while k + 2 < n {
+        k += nb.min(n - 2 - k);
+        c += 1;
+    }
+    c
+}
+
+fn main() {
+    let mut o = parse_args();
+    if !o.n.is_multiple_of(o.nb) && o.mode != Mode::Plain && o.mode != Mode::Cr {
+        // The encoder needs N | nb; round up transparently.
+        let rounded = o.n.div_ceil(o.nb) * o.nb;
+        eprintln!("note: rounding N {} -> {} (multiple of nb)", o.n, rounded);
+        o.n = rounded;
+    }
+    let panels = panel_count(o.n, o.nb);
+    if let Some(mtti) = o.mtti {
+        let extra = poisson_failures(panels as u64, mtti, o.p * o.q, o.seed)
+            .into_iter()
+            .map(|f| PlannedFailure { victim: f.victim, point: failpoint(f.point as usize, Phase::AfterLeftUpdate) });
+        o.failures.extend(extra);
+    }
+    println!(
+        "abft-hessenberg: N={} nb={} grid={}x{} variant={:?} redundancy={:?} failures={} seed={}",
+        o.n, o.nb, o.p, o.q, o.mode, o.redundancy, o.failures.len(), o.seed
+    );
+
+    let Opts { n, nb, p, q, mode, redundancy, cr_interval, seed, verify, .. } = o.clone();
+    let script = FaultScript::new(o.failures.clone());
+    let t = Instant::now();
+    let outcome = run_spmd(p, q, script, move |ctx| {
+        match mode {
+            Mode::Plain => {
+                let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
+                let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
+                pdgehrd(&ctx, &mut a, &mut tau);
+                let r = verify.then(|| {
+                    let a0 = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
+                    pd_hessenberg_residual(&ctx, &a0, &a, n, &tau)
+                });
+                (0usize, 0usize, r)
+            }
+            Mode::Alg2 | Mode::Alg3 => {
+                let variant = if mode == Mode::Alg2 { Variant::NonDelayed } else { Variant::Delayed };
+                let mut enc = Encoded::with_redundancy(&ctx, n, nb, redundancy, |i, j| uniform_entry(seed, i, j));
+                let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
+                let rep = ft_pdgehrd(&ctx, &mut enc, variant, &mut tau);
+                let r = verify.then(|| {
+                    let a0 = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
+                    pd_hessenberg_residual(&ctx, &a0, &enc.a, n, &tau)
+                });
+                (rep.recoveries, 0usize, r)
+            }
+            Mode::Cr => {
+                let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
+                let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
+                let rep = cr_pdgehrd(&ctx, &mut a, cr_interval, &mut tau);
+                let r = verify.then(|| {
+                    let a0 = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
+                    pd_hessenberg_residual(&ctx, &a0, &a, n, &tau)
+                });
+                (rep.rollbacks, rep.lost_panels, r)
+            }
+        }
+    })
+    .into_iter()
+    .next()
+    .unwrap();
+    let secs = t.elapsed().as_secs_f64();
+
+    let (events, lost, residual) = outcome;
+    let gf = 10.0 / 3.0 * (o.n as f64).powi(3) / secs / 1e9;
+    println!("time: {secs:.3} s  ({gf:.2} effective GFLOP/s)");
+    match o.mode {
+        Mode::Plain => {}
+        Mode::Cr => println!("rollbacks: {events}, lost panel iterations: {lost}"),
+        _ => println!("recoveries: {events}"),
+    }
+    if let Some(r) = residual {
+        println!("residual r_inf = {r:.4}  (paper threshold r_t = 3)");
+        if r >= 3.0 {
+            eprintln!("VERIFICATION FAILED");
+            exit(1);
+        }
+        println!("verification passed");
+    }
+}

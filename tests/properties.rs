@@ -1,0 +1,89 @@
+//! Property-based tests (proptest) over randomized problem geometry and
+//! failure placement: the invariants that must hold for *every*
+//! configuration, not just the hand-picked ones.
+
+use abft_hessenberg::dense::gen::{uniform_entry, uniform_indexed_matrix};
+use abft_hessenberg::dense::Matrix;
+use abft_hessenberg::hess::{failpoint, ft_pdgehrd, Encoded, Phase, Variant};
+use abft_hessenberg::lapack::{extract_h, hessenberg_residual, is_hessenberg, orghr};
+use abft_hessenberg::runtime::{run_spmd, FaultScript};
+use proptest::prelude::*;
+
+fn panels_of(n: usize, nb: usize) -> usize {
+    let (mut c, mut k) = (0, 0);
+    while k + 2 < n {
+        k += nb.min(n - 2 - k);
+        c += 1;
+    }
+    c
+}
+
+fn ft_result(n: usize, nb: usize, p: usize, q: usize, seed: u64, variant: Variant, script: FaultScript) -> Matrix {
+    run_spmd(p, q, script, move |ctx| {
+        let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
+        let mut tau = vec![0.0; n - 1];
+        ft_pdgehrd(&ctx, &mut enc, variant, &mut tau);
+        enc.gather_logical(&ctx, 610)
+    })
+    .into_iter()
+    .next()
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Any single failure at any point recovers to the fault-free result.
+    #[test]
+    fn prop_single_failure_recovers(
+        seed in 0u64..1000,
+        nblocks in 5usize..9,
+        nb in 2usize..4,
+        grid_idx in 0usize..3,
+        phase_idx in 0usize..4,
+        victim_seed in 0usize..100,
+        panel_seed in 0usize..100,
+        delayed in proptest::bool::ANY,
+    ) {
+        let (p, q) = [(2, 2), (2, 3), (3, 2)][grid_idx];
+        let n = nblocks * nb;
+        let variant = if delayed { Variant::Delayed } else { Variant::NonDelayed };
+        let phase = Phase::ALL[phase_idx];
+        let victim = victim_seed % (p * q);
+        let panel = panel_seed % panels_of(n, nb);
+
+        let reference = ft_result(n, nb, p, q, seed, variant, FaultScript::none());
+        let recovered = ft_result(n, nb, p, q, seed, variant,
+            FaultScript::one(victim, failpoint(panel, phase)));
+        let d = recovered.max_abs_diff(&reference);
+        prop_assert!(d < 1e-9, "diff {d} (n={n} nb={nb} {p}x{q} {variant:?} panel={panel} {phase:?} victim={victim})");
+    }
+
+    /// The fault-free FT result is always a valid backward-stable
+    /// Hessenberg factorization.
+    #[test]
+    fn prop_ft_factorization_valid(
+        seed in 0u64..1000,
+        nblocks in 4usize..8,
+        nb in 2usize..5,
+        grid_idx in 0usize..3,
+    ) {
+        let (p, q) = [(2, 2), (2, 3), (3, 2)][grid_idx];
+        let n = nblocks * nb;
+        let a0 = uniform_indexed_matrix(n, n, seed);
+        let (ag, tau) = run_spmd(p, q, FaultScript::none(), move |ctx| {
+            let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
+            let mut tau = vec![0.0; n - 1];
+            ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau);
+            (enc.gather_logical(&ctx, 612), tau)
+        })
+        .into_iter()
+        .next()
+        .unwrap();
+        let h = extract_h(&ag);
+        prop_assert!(is_hessenberg(&h));
+        let qm = orghr(&ag, &tau);
+        let r = hessenberg_residual(&a0, &h, &qm);
+        prop_assert!(r < 3.0, "residual {r}");
+    }
+}
