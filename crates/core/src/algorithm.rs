@@ -56,7 +56,12 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in iteration order.
-    pub const ALL: [Phase; 4] = [Phase::BeforePanel, Phase::AfterPanel, Phase::AfterRightUpdate, Phase::AfterLeftUpdate];
+    pub const ALL: [Phase; 4] = [
+        Phase::BeforePanel,
+        Phase::AfterPanel,
+        Phase::AfterRightUpdate,
+        Phase::AfterLeftUpdate,
+    ];
 
     fn index(self) -> u64 {
         match self {

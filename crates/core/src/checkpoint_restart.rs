@@ -20,12 +20,12 @@
 //!   fault-free overhead is pure copy/communication time.
 
 use ft_pblas::{apply_panel_updates, pdlahrd, DistMatrix};
-use ft_runtime::{Ctx, FailCheck};
+use ft_runtime::{Ctx, FailCheck, Tag};
 use std::time::Instant;
 
-const TAG_CKPT: u64 = 0x500;
-const TAG_CKPT_RESTORE: u64 = 0x502;
-const TAG_CKPT_REARM: u64 = 0x504;
+const TAG_CKPT: Tag = Tag::Checkpoint(0);
+const TAG_CKPT_RESTORE: Tag = Tag::Recovery(0x10);
+const TAG_CKPT_REARM: Tag = Tag::Recovery(0x11);
 
 /// Outcome statistics of a C/R run.
 #[derive(Debug, Clone, Default)]
@@ -61,7 +61,11 @@ struct Checkpoint {
 pub fn cr_failpoint(panel: usize, after: bool) -> u64 {
     crate::algorithm::failpoint(
         panel,
-        if after { crate::algorithm::Phase::AfterLeftUpdate } else { crate::algorithm::Phase::BeforePanel },
+        if after {
+            crate::algorithm::Phase::AfterLeftUpdate
+        } else {
+            crate::algorithm::Phase::BeforePanel
+        },
     )
 }
 
@@ -103,7 +107,18 @@ pub fn cr_pdgehrd(ctx: &Ctx, a: &mut DistMatrix, interval: usize, tau: &mut [f64
 
         // ---- fail point before the panel ---------------------------------
         if let FailCheck::Failure { victims, me } = ctx.check_failpoint(cr_failpoint(panel_idx, false)) {
-            rollback(ctx, a, tau, ckpt.as_ref().expect("checkpoint exists"), &mut ckpt_backup, &victims, me, right, left, &mut report);
+            rollback(
+                ctx,
+                a,
+                tau,
+                ckpt.as_ref().expect("checkpoint exists"),
+                &mut ckpt_backup,
+                &victims,
+                me,
+                right,
+                left,
+                &mut report,
+            );
             let c = ckpt.as_ref().unwrap();
             report.lost_panels += panel_idx - c.panel_idx;
             k = c.k;
@@ -118,7 +133,18 @@ pub fn cr_pdgehrd(ctx: &Ctx, a: &mut DistMatrix, interval: usize, tau: &mut [f64
 
         // ---- fail point after the iteration --------------------------------
         if let FailCheck::Failure { victims, me } = ctx.check_failpoint(cr_failpoint(panel_idx, true)) {
-            rollback(ctx, a, tau, ckpt.as_ref().expect("checkpoint exists"), &mut ckpt_backup, &victims, me, right, left, &mut report);
+            rollback(
+                ctx,
+                a,
+                tau,
+                ckpt.as_ref().expect("checkpoint exists"),
+                &mut ckpt_backup,
+                &victims,
+                me,
+                right,
+                left,
+                &mut report,
+            );
             let c = ckpt.as_ref().unwrap();
             report.lost_panels += panel_idx + 1 - c.panel_idx;
             k = c.k;
@@ -175,7 +201,11 @@ fn rollback(
         }
     }
     // Everyone rolls back to the checkpoint.
-    let state = if me { restored.expect("victim received its checkpoint") } else { ckpt.local.clone() };
+    let state = if me {
+        restored.expect("victim received its checkpoint")
+    } else {
+        ckpt.local.clone()
+    };
     a.local_mut().as_mut_slice().copy_from_slice(&state);
     tau[..ckpt.tau.len()].copy_from_slice(&ckpt.tau);
     // Re-arm the victims' holder role (they hold the left neighbor's piece).
@@ -259,8 +289,12 @@ mod tests {
         let (n, nb, p, q) = (24, 2, 2, 2);
         let (_, rep_small) = cr_result(n, nb, p, q, 62, 2, FaultScript::one(1, cr_failpoint(5, false)));
         let (_, rep_large) = cr_result(n, nb, p, q, 62, 5, FaultScript::one(1, cr_failpoint(4, true)));
-        assert!(rep_large.lost_panels > rep_small.lost_panels,
-            "large interval {} vs small {}", rep_large.lost_panels, rep_small.lost_panels);
+        assert!(
+            rep_large.lost_panels > rep_small.lost_panels,
+            "large interval {} vs small {}",
+            rep_large.lost_panels,
+            rep_small.lost_panels
+        );
     }
 
     #[test]

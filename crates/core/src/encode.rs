@@ -20,9 +20,9 @@
 
 use ft_dense::Matrix;
 use ft_pblas::{Desc, DistMatrix};
-use ft_runtime::Ctx;
+use ft_runtime::{Ctx, Tag};
 
-const TAG_ENCODE: u64 = 0x200;
+const TAG_ENCODE: Tag = Tag::Checksum(0);
 
 /// Checksum redundancy level.
 ///
@@ -104,13 +104,7 @@ impl Encoded {
     }
 
     /// Like [`Encoded::from_global_fn`] with an explicit redundancy level.
-    pub fn with_redundancy(
-        ctx: &Ctx,
-        n: usize,
-        nb: usize,
-        redundancy: Redundancy,
-        f: impl Fn(usize, usize) -> f64,
-    ) -> Self {
+    pub fn with_redundancy(ctx: &Ctx, n: usize, nb: usize, redundancy: Redundancy, f: impl Fn(usize, usize) -> f64) -> Self {
         assert!(nb > 0 && n.is_multiple_of(nb), "encoding requires N ({n}) divisible by nb ({nb})");
         let q = ctx.npcol();
         if redundancy == Redundancy::Dual {
@@ -231,7 +225,7 @@ impl Encoded {
                 }
             }
             let owner_q = self.a.col_owner(self.chk_col(g, copy, 0));
-            ctx.reduce_sum_row(owner_q, &mut partial, TAG_ENCODE + copy as u64);
+            ctx.reduce_sum_row(owner_q, &mut partial, TAG_ENCODE.offset(copy as u16));
             if ctx.mycol() == owner_q {
                 for off in 0..self.nb {
                     let lc = self.a.g2l_col(self.chk_col(g, copy, off));
@@ -251,21 +245,22 @@ impl Encoded {
 
     /// Gather the full **logical** `N×N` matrix on every process (tests /
     /// result extraction only).
-    pub fn gather_logical(&self, ctx: &Ctx, tag: u64) -> Matrix {
+    pub fn gather_logical(&self, ctx: &Ctx, tag: impl Into<Tag>) -> Matrix {
         let full = self.a.gather_all(ctx, tag);
         full.submatrix(0, 0, self.n, self.n)
     }
 
     /// Gather the logical `N×N` matrix on rank 0 only (collective; `None`
     /// elsewhere) — linear total traffic, for result extraction at scale.
-    pub fn gather_logical_root(&self, ctx: &Ctx, tag: u64) -> Option<Matrix> {
+    pub fn gather_logical_root(&self, ctx: &Ctx, tag: impl Into<Tag>) -> Option<Matrix> {
         self.a.gather_root(ctx, tag).map(|full| full.submatrix(0, 0, self.n, self.n))
     }
 
     /// Maximum absolute checksum violation of group `g`, copy `copy`, over
     /// logical rows `0..N`, measured against the current member columns.
     /// Collective; result replicated. This is the direct test of Theorem 1.
-    pub fn checksum_violation(&self, ctx: &Ctx, g: usize, copy: usize, tag: u64) -> f64 {
+    pub fn checksum_violation(&self, ctx: &Ctx, g: usize, copy: usize, tag: impl Into<Tag>) -> f64 {
+        let tag = tag.into();
         let lrn = self.a.local_rows_below(self.n);
         let ldl = self.a.local().ld().max(1);
         let mut partial = vec![0.0f64; lrn * self.nb];
@@ -298,7 +293,7 @@ impl Encoded {
         // negated min… simplest: allreduce_sum of value placed per rank).
         let mut slots = vec![0.0f64; ctx.grid().size()];
         slots[ctx.rank()] = local_max;
-        ctx.allreduce_sum_world(&mut slots, tag + 2);
+        ctx.allreduce_sum_world(&mut slots, tag.offset(2));
         slots.into_iter().fold(0.0, f64::max)
     }
 }

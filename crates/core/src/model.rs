@@ -102,7 +102,7 @@ pub fn storage_overhead_elements(n: usize, nb: usize, q: usize) -> usize {
     let groups = nblocks.div_ceil(q);
     let checksums = 4 * groups * nb * n;
     let snapshot = 2 * n * q * nb;
-    let bookkeeping = q * (n * nb /* panel */ + n * nb /* Y */ + nb * nb /* T */);
+    let bookkeeping = q * (n * nb /* panel */ + n * nb /* Y */ + nb * nb/* T */);
     checksums + snapshot + bookkeeping
 }
 

@@ -32,13 +32,15 @@
 use crate::algorithm::{alg3_catch_up, ft_left, ft_right, store_ve, ve_rows, Phase, Variant};
 use crate::encode::{Encoded, Redundancy};
 use crate::scope::ScopeState;
-use ft_runtime::Ctx;
+use ft_runtime::{Ctx, Tag};
 use std::collections::{BTreeSet, HashMap};
 
-const TAG_DUP: u64 = 0x400;
-const TAG_A12_RED: u64 = 0x402;
-const TAG_A12_CHK: u64 = 0x404;
-const TAG_A12_PEER: u64 = 0x406;
+// A12_RED/A12_CHK are offset by the recovered column index, so they get
+// disjoint channel ranges wide enough for any panel width.
+const TAG_DUP: Tag = Tag::Recovery(0x40);
+const TAG_A12_RED: Tag = Tag::Recovery(0x1000);
+const TAG_A12_CHK: Tag = Tag::Recovery(0x2000);
+const TAG_A12_PEER: Tag = Tag::Recovery(0x41);
 
 /// Run the full §5.3 recovery. Collective: every process calls with the
 /// same `victims` list (as delivered by the fail-point check); `me` marks
@@ -277,7 +279,7 @@ fn recover_areas_1_2(ctx: &Ctx, enc: &mut Encoded, rows: &HashMap<usize, Vec<usi
                         }
                     }
                 }
-                ctx.reduce_sum_row(ctx.grid().coords_of(solver).1, &mut partial, TAG_A12_RED + c as u64);
+                ctx.reduce_sum_row(ctx.grid().coords_of(solver).1, &mut partial, TAG_A12_RED.offset(c as u16));
 
                 // The checksum block travels to the solver.
                 let qc = enc.a.col_owner(enc.chk_col(g, c, 0));
@@ -288,7 +290,7 @@ fn recover_areas_1_2(ctx: &Ctx, enc: &mut Encoded, rows: &HashMap<usize, Vec<usi
                         let lc = enc.a.g2l_col(enc.chk_col(g, c, off));
                         buf.extend_from_slice(&enc.a.local().as_slice()[lc * ldl..lc * ldl + lrn]);
                     }
-                    ctx.send(solver, TAG_A12_CHK + c as u64, &buf);
+                    ctx.send(solver, TAG_A12_CHK.offset(c as u16), &buf);
                 }
                 if ctx.rank() == solver {
                     let chk: Vec<f64> = if qc == solver_col {
@@ -299,7 +301,7 @@ fn recover_areas_1_2(ctx: &Ctx, enc: &mut Encoded, rows: &HashMap<usize, Vec<usi
                         }
                         buf
                     } else {
-                        ctx.recv(ctx.grid().rank_of(pv, qc), TAG_A12_CHK + c as u64)
+                        ctx.recv(ctx.grid().rank_of(pv, qc), TAG_A12_CHK.offset(c as u16))
                     };
                     rhs.push(chk.iter().zip(&partial).map(|(a, b)| a - b).collect());
                 }

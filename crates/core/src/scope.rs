@@ -24,14 +24,16 @@
 use crate::encode::Encoded;
 use ft_dense::Matrix;
 use ft_pblas::PanelFactors;
-use ft_runtime::Ctx;
+use ft_runtime::{Ctx, Tag};
 
-const TAG_SNAP: u64 = 0x300;
-const TAG_BOOK: u64 = 0x302;
-const TAG_RESTORE_FACTORS: u64 = 0x304;
-const TAG_RESTORE_SNAP: u64 = 0x306;
-const TAG_RESTORE_PANEL: u64 = 0x308;
-const TAG_REBUILD_BACKUPS: u64 = 0x30A;
+// SNAP/BOOK are offset by the ring distance `d` (bounded by the tolerated
+// failure count), so they get disjoint channel ranges.
+const TAG_SNAP: Tag = Tag::Checkpoint(0x100);
+const TAG_BOOK: Tag = Tag::Checkpoint(0x200);
+const TAG_RESTORE_FACTORS: Tag = Tag::Recovery(0x20);
+const TAG_RESTORE_SNAP: Tag = Tag::Recovery(0x21);
+const TAG_RESTORE_PANEL: Tag = Tag::Recovery(0x22);
+const TAG_REBUILD_BACKUPS: Tag = Tag::Recovery(0x23);
 
 /// Checksum-update progress within the scope (only meaningful for the
 /// delayed Algorithm 3, where checksum-column updates lag the data updates).
@@ -113,8 +115,8 @@ impl ScopeState {
         for d in 1..=holders {
             let right = ctx.grid().rank_of(ctx.myrow(), (ctx.mycol() + d) % q);
             let left = ctx.grid().rank_of(ctx.myrow(), (ctx.mycol() + q - d) % q);
-            ctx.send(right, TAG_SNAP + d as u64, &snapshot_own);
-            snapshot_backups.push(ctx.recv(left, TAG_SNAP + d as u64));
+            ctx.send(right, TAG_SNAP.offset(d as u16), &snapshot_own);
+            snapshot_backups.push(ctx.recv(left, TAG_SNAP.offset(d as u16)));
         }
 
         Self {
@@ -157,14 +159,14 @@ impl ScopeState {
             msg.extend_from_slice(f.t.as_slice());
             for d in 1..=self.holders {
                 let dst = ctx.grid().rank_of(ctx.myrow(), (q_pan + d) % q);
-                ctx.send(dst, TAG_BOOK + d as u64, &msg);
+                ctx.send(dst, TAG_BOOK.offset(d as u16), &msg);
             }
             self.my_panel_pieces.push((scope_panel_idx, panel_piece));
         } else {
             for d in 1..=self.holders {
                 if ctx.mycol() == (q_pan + d) % q {
                     let src = ctx.grid().rank_of(ctx.myrow(), q_pan);
-                    let msg = ctx.recv(src, TAG_BOOK + d as u64);
+                    let msg = ctx.recv(src, TAG_BOOK.offset(d as u16));
                     let lrn = enc.a.local_rows_below(enc.n());
                     let panel_piece = msg[..lrn * f.w].to_vec();
                     self.panel_backups.push((d, scope_panel_idx, panel_piece));
@@ -247,8 +249,7 @@ impl ScopeState {
             // (1b) Area-3 panel pieces: backups (at the matching distance)
             //      of panels the victim owned.
             if ctx.rank() == helper {
-                let mine: Vec<&(usize, usize, Vec<f64>)> =
-                    self.panel_backups.iter().filter(|(d, _, _)| *d == dist).collect();
+                let mine: Vec<&(usize, usize, Vec<f64>)> = self.panel_backups.iter().filter(|(d, _, _)| *d == dist).collect();
                 let mut header = vec![mine.len() as f64];
                 for (_, idx, piece) in &mine {
                     header.push(*idx as f64);

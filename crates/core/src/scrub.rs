@@ -22,9 +22,9 @@
 //! group before it starts / after it completes.
 
 use crate::encode::{Encoded, Redundancy};
-use ft_runtime::Ctx;
+use ft_runtime::{Ctx, Tag};
 
-const TAG_SCRUB: u64 = 0x480;
+const TAG_SCRUB: Tag = Tag::Checksum(0x80);
 
 /// One detected (and possibly corrected) checksum violation.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,10 +53,15 @@ pub fn scrub_groups(ctx: &Ctx, enc: &mut Encoded, groups: impl Iterator<Item = u
         if v0 <= tol {
             continue;
         }
-        let mut finding = ScrubFinding { group: g, magnitude: v0, member_index: None, corrected: false };
+        let mut finding = ScrubFinding {
+            group: g,
+            magnitude: v0,
+            member_index: None,
+            corrected: false,
+        };
         if enc.redundancy() == Redundancy::Dual {
             // Locate: violation of copy 1 is w₁(idx)·δ = (idx+1)·δ.
-            let v1 = enc.checksum_violation(ctx, g, 1, TAG_SCRUB + 2);
+            let v1 = enc.checksum_violation(ctx, g, 1, TAG_SCRUB.offset(2));
             let ratio = v1 / v0;
             let idx = (ratio.round() as usize).saturating_sub(1);
             if idx < ctx.npcol() && (ratio - (idx + 1) as f64).abs() < 0.25 {
@@ -97,7 +102,7 @@ fn correct_member(ctx: &Ctx, enc: &mut Encoded, g: usize, idx: usize) {
             }
         }
     }
-    ctx.reduce_sum_row(owner_q, &mut partial, TAG_SCRUB + 4);
+    ctx.reduce_sum_row(owner_q, &mut partial, TAG_SCRUB.offset(4));
 
     // Checksum copy 0 travels to the member owner.
     let qc = enc.a.col_owner(enc.chk_col(g, 0, 0));
@@ -108,7 +113,7 @@ fn correct_member(ctx: &Ctx, enc: &mut Encoded, g: usize, idx: usize) {
             buf.extend_from_slice(&enc.a.local().as_slice()[lc * ldl..lc * ldl + lrn]);
         }
         let dst = ctx.grid().rank_of(ctx.myrow(), owner_q);
-        ctx.send(dst, TAG_SCRUB + 6, &buf);
+        ctx.send(dst, TAG_SCRUB.offset(6), &buf);
     }
     if ctx.mycol() == owner_q {
         let chk: Vec<f64> = if qc == owner_q {
@@ -120,7 +125,7 @@ fn correct_member(ctx: &Ctx, enc: &mut Encoded, g: usize, idx: usize) {
             buf
         } else {
             let src = ctx.grid().rank_of(ctx.myrow(), qc);
-            ctx.recv(src, TAG_SCRUB + 6)
+            ctx.recv(src, TAG_SCRUB.offset(6))
         };
         for off in 0..nb {
             let lc = enc.a.g2l_col(base + off);
@@ -212,7 +217,7 @@ mod tests {
                 }
             }
             let gs = 0..enc.groups();
-                let f = scrub_groups(&ctx, &mut enc, gs, 1e-9);
+            let f = scrub_groups(&ctx, &mut enc, gs, 1e-9);
             assert_eq!(f.len(), 1);
             assert!(f[0].corrected);
             let after = enc.gather_logical(&ctx, 7306);

@@ -72,10 +72,7 @@ fn theorem1_invariant_all_phases() {
             for g in s + 1..enc.groups() {
                 for copy in 0..2 {
                     let viol = enc.checksum_violation(ctx, g, copy, 7000);
-                    assert!(
-                        viol < 1e-11,
-                        "Theorem 1 violated: panel {panel} {phase:?} group {g} copy {copy}: {viol}"
-                    );
+                    assert!(viol < 1e-11, "Theorem 1 violated: panel {panel} {phase:?} group {g} copy {copy}: {viol}");
                     checked += 1;
                 }
             }
@@ -129,20 +126,11 @@ fn sweep_recovery(variant: Variant, p: usize, q: usize, n: usize, nb: usize, see
     for panel in 0..panels {
         for phase in Phase::ALL {
             for victim in 0..p * q {
-                let (aft, tau_ft, rec) = ft_run(p, q, n, nb, seed, variant, || {
-                    FaultScript::one(victim, failpoint(panel, phase))
-                });
+                let (aft, tau_ft, rec) = ft_run(p, q, n, nb, seed, variant, || FaultScript::one(victim, failpoint(panel, phase)));
                 assert_eq!(rec, 1, "panel {panel} {phase:?} victim {victim}: no recovery ran");
                 let d = aft.max_abs_diff(&aref);
-                assert!(
-                    d < tol,
-                    "{variant:?} panel {panel} {phase:?} victim {victim}: diff {d}"
-                );
-                let dt: f64 = tau_ft
-                    .iter()
-                    .zip(&tau_ref)
-                    .map(|(a, b)| (a - b).abs())
-                    .fold(0.0, f64::max);
+                assert!(d < tol, "{variant:?} panel {panel} {phase:?} victim {victim}: diff {d}");
+                let dt: f64 = tau_ft.iter().zip(&tau_ref).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
                 assert!(dt < tol, "tau diverged by {dt}");
             }
         }

@@ -46,12 +46,8 @@ fn dual_survives_single_failures_like_single() {
     let (n, nb, p, q) = (16, 2, 2, 4);
     let (reference, _) = ft_result(n, nb, p, q, 51, Variant::NonDelayed, Redundancy::Dual, FaultScript::none());
     for phase in Phase::ALL {
-        let (got, rec) = ft_result(
-            n, nb, p, q, 51,
-            Variant::NonDelayed,
-            Redundancy::Dual,
-            FaultScript::one(5, failpoint(2, phase)),
-        );
+        let (got, rec) =
+            ft_result(n, nb, p, q, 51, Variant::NonDelayed, Redundancy::Dual, FaultScript::one(5, failpoint(2, phase)));
         assert_eq!(rec, 1);
         let d = got.max_abs_diff(&reference);
         assert!(d < 1e-9, "{phase:?}: diff {d}");
@@ -138,9 +134,7 @@ fn three_failures_same_row_rejected_even_dual() {
         PlannedFailure { victim: 5, point: failpoint(1, Phase::AfterPanel) },
         PlannedFailure { victim: 6, point: failpoint(1, Phase::AfterPanel) },
     ]);
-    let result = std::panic::catch_unwind(|| {
-        ft_result(16, 2, 2, 4, 56, Variant::NonDelayed, Redundancy::Dual, script)
-    });
+    let result = std::panic::catch_unwind(|| ft_result(16, 2, 2, 4, 56, Variant::NonDelayed, Redundancy::Dual, script));
     assert!(result.is_err(), "three same-row failures must be rejected");
 }
 

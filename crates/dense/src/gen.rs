@@ -1,19 +1,18 @@
 //! Deterministic test-matrix generators.
 //!
 //! The paper evaluates on random dense nonsymmetric matrices; we generate
-//! them reproducibly (seeded ChaCha8) so that distributed runs, the
-//! fault-free baseline and the fault-injected runs all factorize the *same*
-//! matrix — this is what lets the recovery tests compare against a fault-free
-//! reference elementwise.
+//! them reproducibly (seeded xoshiro256++, see [`crate::rng`]) so that
+//! distributed runs, the fault-free baseline and the fault-injected runs
+//! all factorize the *same* matrix — this is what lets the recovery tests
+//! compare against a fault-free reference elementwise.
 
+use crate::rng::Xoshiro256;
 use crate::Matrix;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
 /// Uniform random matrix with entries in `[-0.5, 0.5)`, seeded.
 pub fn uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    Matrix::from_fn(rows, cols, |_, _| rng.gen::<f64>() - 0.5)
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.next_f64() - 0.5)
 }
 
 /// A single reproducible matrix entry, independent of traversal order.
@@ -41,9 +40,9 @@ pub fn uniform_indexed_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
 
 /// Standard-normal-ish matrix (sum of 4 uniforms, Irwin–Hall), seeded.
 pub fn gaussian(rows: usize, cols: usize, seed: u64) -> Matrix {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     Matrix::from_fn(rows, cols, |_, _| {
-        let s: f64 = (0..4).map(|_| rng.gen::<f64>() - 0.5).sum();
+        let s: f64 = (0..4).map(|_| rng.next_f64() - 0.5).sum();
         s * (3.0f64).sqrt() // variance 4/12 → scale to ~1
     })
 }
@@ -54,12 +53,12 @@ pub fn gaussian(rows: usize, cols: usize, seed: u64) -> Matrix {
 /// Used by the eigensolver examples to sanity-check convergence.
 pub fn diag_dominant_hessenberg(vals: &[f64], seed: u64) -> Matrix {
     let n = vals.len();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     Matrix::from_fn(n, n, |i, j| {
         if i == j {
             vals[i]
         } else if i <= j + 1 {
-            0.01 * (rng.gen::<f64>() - 0.5)
+            0.01 * (rng.next_f64() - 0.5)
         } else {
             0.0
         }
@@ -70,13 +69,13 @@ pub fn diag_dominant_hessenberg(vals: &[f64], seed: u64) -> Matrix {
 /// `G = α·P + (1−α)/n·𝟙𝟙ᵀ` with `P` the column-stochastic transition matrix
 /// of a random sparse directed graph. Its dominant eigenvalue is 1.
 pub fn google_matrix(n: usize, alpha: f64, avg_out_degree: usize, seed: u64) -> Matrix {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut p = Matrix::zeros(n, n);
     for j in 0..n {
-        let deg = 1 + rng.gen_range(0..avg_out_degree.max(1) * 2);
+        let deg = 1 + rng.range_usize(0, avg_out_degree.max(1) * 2);
         let mut targets = Vec::with_capacity(deg);
         for _ in 0..deg {
-            targets.push(rng.gen_range(0..n));
+            targets.push(rng.range_usize(0, n));
         }
         targets.sort_unstable();
         targets.dedup();
@@ -96,13 +95,13 @@ pub fn google_matrix(n: usize, alpha: f64, avg_out_degree: usize, seed: u64) -> 
 /// introduction motivates (its ref. 43, von Luxburg).
 pub fn clustered_walk_matrix(n: usize, k: usize, p_in: f64, p_out: f64, seed: u64) -> Matrix {
     assert!(k >= 1 && n >= k);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     let cluster_of = |i: usize| i * k / n;
     let mut a = Matrix::zeros(n, n);
     for j in 0..n {
         for i in 0..n {
             let p = if cluster_of(i) == cluster_of(j) { p_in } else { p_out };
-            if i != j && rng.gen::<f64>() < p {
+            if i != j && rng.next_f64() < p {
                 a[(i, j)] = 1.0;
             }
         }

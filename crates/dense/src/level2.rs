@@ -12,17 +12,7 @@ use crate::{Diag, Trans, UpLo};
 ///
 /// `x` has length `n` for [`Trans::No`], `m` for [`Trans::Yes`]; `y` the
 /// other one.
-pub fn gemv(
-    trans: Trans,
-    m: usize,
-    n: usize,
-    alpha: f64,
-    a: &[f64],
-    lda: usize,
-    x: &[f64],
-    beta: f64,
-    y: &mut [f64],
-) {
+pub fn gemv(trans: Trans, m: usize, n: usize, alpha: f64, a: &[f64], lda: usize, x: &[f64], beta: f64, y: &mut [f64]) {
     assert!(lda >= m.max(1), "gemv: lda {lda} < m {m}");
     if m > 0 && n > 0 {
         assert!(a.len() >= lda * (n - 1) + m, "gemv: A buffer too small");
@@ -103,15 +93,7 @@ pub fn ger(m: usize, n: usize, alpha: f64, x: &[f64], y: &[f64], a: &mut [f64], 
 /// Triangular matrix-vector product: `x ← op(A)·x` where `A` is an `n×n`
 /// upper or lower triangular matrix, optionally with an implicit unit
 /// diagonal (the part outside the selected triangle is never referenced).
-pub fn trmv(
-    uplo: UpLo,
-    trans: Trans,
-    diag: Diag,
-    n: usize,
-    a: &[f64],
-    lda: usize,
-    x: &mut [f64],
-) {
+pub fn trmv(uplo: UpLo, trans: Trans, diag: Diag, n: usize, a: &[f64], lda: usize, x: &mut [f64]) {
     assert!(lda >= n.max(1));
     assert_eq!(x.len(), n, "trmv: x length");
     if n == 0 {
@@ -184,12 +166,8 @@ mod tests {
     fn gemv_naive(trans: Trans, a: &Matrix, x: &[f64]) -> Vec<f64> {
         let (m, n) = (a.rows(), a.cols());
         match trans {
-            Trans::No => (0..m)
-                .map(|i| (0..n).map(|j| a[(i, j)] * x[j]).sum())
-                .collect(),
-            Trans::Yes => (0..n)
-                .map(|j| (0..m).map(|i| a[(i, j)] * x[i]).sum())
-                .collect(),
+            Trans::No => (0..m).map(|i| (0..n).map(|j| a[(i, j)] * x[j]).sum()).collect(),
+            Trans::Yes => (0..n).map(|j| (0..m).map(|i| a[(i, j)] * x[i]).sum()).collect(),
         }
     }
 
@@ -273,12 +251,7 @@ mod tests {
                     let mut x = x0.clone();
                     trmv(uplo, trans, diag, n, a.as_slice(), n, &mut x);
                     for i in 0..n {
-                        assert!(
-                            (x[i] - expect[i]).abs() < 1e-12,
-                            "{uplo:?} {trans:?} {diag:?} i={i}: {} vs {}",
-                            x[i],
-                            expect[i]
-                        );
+                        assert!((x[i] - expect[i]).abs() < 1e-12, "{uplo:?} {trans:?} {diag:?} i={i}: {} vs {}", x[i], expect[i]);
                     }
                 }
             }

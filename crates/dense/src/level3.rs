@@ -317,11 +317,7 @@ pub fn trmm(
                         }
                     }
                 }
-                let range: Box<dyn Iterator<Item = usize>> = if effective_upper {
-                    Box::new(0..j)
-                } else {
-                    Box::new(j + 1..n)
-                };
+                let range: Box<dyn Iterator<Item = usize>> = if effective_upper { Box::new(0..j) } else { Box::new(j + 1..n) };
                 for i in range {
                     let f = alpha * aval(i, j);
                     if f == 0.0 {
@@ -417,18 +413,34 @@ mod tests {
         let mut c = rngmat(5, 5, 8);
         let mut cref = c.clone();
         gemm(
-            Trans::No, Trans::No, 2, 2, 2, 1.0,
-            &a.as_slice()[0..], 5,
-            &b.as_slice()[2..], 5,
+            Trans::No,
+            Trans::No,
+            2,
+            2,
+            2,
             1.0,
-            &mut c.as_mut_slice()[1 + 5..], 5,
+            &a.as_slice()[0..],
+            5,
+            &b.as_slice()[2..],
+            5,
+            1.0,
+            &mut c.as_mut_slice()[1 + 5..],
+            5,
         );
         gemm_naive(
-            Trans::No, Trans::No, 2, 2, 2, 1.0,
-            &a.as_slice()[0..], 5,
-            &b.as_slice()[2..], 5,
+            Trans::No,
+            Trans::No,
+            2,
+            2,
+            2,
             1.0,
-            &mut cref.as_mut_slice()[1 + 5..], 5,
+            &a.as_slice()[0..],
+            5,
+            &b.as_slice()[2..],
+            5,
+            1.0,
+            &mut cref.as_mut_slice()[1 + 5..],
+            5,
         );
         assert!(c.max_abs_diff(&cref) < 1e-12);
     }
@@ -452,7 +464,11 @@ mod tests {
                                 UpLo::Lower => i >= j,
                             };
                             if i == j {
-                                if matches!(diag, Diag::Unit) { 1.0 } else { a[(i, j)] }
+                                if matches!(diag, Diag::Unit) {
+                                    1.0
+                                } else {
+                                    a[(i, j)]
+                                }
                             } else if inside {
                                 a[(i, j)]
                             } else {
@@ -465,8 +481,36 @@ mod tests {
                         // dense reference
                         let mut want = Matrix::zeros(m, n);
                         match side {
-                            Side::Left => gemm_naive(trans, Trans::No, m, n, m, 1.5, tdense.as_slice(), m, b0.as_slice(), m, 0.0, want.as_mut_slice(), m),
-                            Side::Right => gemm_naive(Trans::No, trans, m, n, n, 1.5, b0.as_slice(), m, tdense.as_slice(), n, 0.0, want.as_mut_slice(), m),
+                            Side::Left => gemm_naive(
+                                trans,
+                                Trans::No,
+                                m,
+                                n,
+                                m,
+                                1.5,
+                                tdense.as_slice(),
+                                m,
+                                b0.as_slice(),
+                                m,
+                                0.0,
+                                want.as_mut_slice(),
+                                m,
+                            ),
+                            Side::Right => gemm_naive(
+                                Trans::No,
+                                trans,
+                                m,
+                                n,
+                                n,
+                                1.5,
+                                b0.as_slice(),
+                                m,
+                                tdense.as_slice(),
+                                n,
+                                0.0,
+                                want.as_mut_slice(),
+                                m,
+                            ),
                         }
                         let d = b.max_abs_diff(&want);
                         assert!(d < 1e-12, "{side:?} {uplo:?} {trans:?} {diag:?}: diff {d}");

@@ -37,6 +37,7 @@ pub mod level2;
 pub mod level3;
 pub mod matrix;
 pub mod norms;
+pub mod rng;
 
 pub use matrix::Matrix;
 

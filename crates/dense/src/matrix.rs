@@ -23,11 +23,7 @@ pub struct Matrix {
 impl Matrix {
     /// Create a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
+        Self { rows, cols, data: vec![0.0; rows * cols] }
     }
 
     /// Create the `n × n` identity matrix.
@@ -54,12 +50,7 @@ impl Matrix {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(
-            data.len(),
-            rows * cols,
-            "buffer length {} does not match {rows}x{cols}",
-            data.len()
-        );
+        assert_eq!(data.len(), rows * cols, "buffer length {} does not match {rows}x{cols}", data.len());
         Self { rows, cols, data }
     }
 

@@ -1,0 +1,151 @@
+//! Internal pseudo-random number generation: SplitMix64 and xoshiro256++.
+//!
+//! The repo previously pulled in `rand`/`rand_chacha` for its seeded test
+//! matrices; this module replaces them so the default workspace builds
+//! with zero external crates. Quality requirements here are modest —
+//! reproducible, well-distributed test data, not cryptography — which
+//! SplitMix64 (Steele, Lea & Flood) and xoshiro256++ (Blackman & Vigna)
+//! satisfy with a handful of lines. SplitMix64 doubles as the seeding
+//! function for xoshiro, as its authors recommend, and as the stateless
+//! per-index hash behind [`crate::gen::uniform_entry`].
+
+/// SplitMix64: a tiny splittable generator. One 64-bit state, one output
+/// per step. Used directly for short streams and to seed [`Xoshiro256`].
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ — the workhorse generator for seeded test data.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Generator seeded from a single `u64` via SplitMix64 (the seeding
+    /// procedure recommended by the xoshiro authors; it cannot produce the
+    /// all-zero state).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)`, bias rejected away.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below(0)");
+        // Reject the partial final interval of the modulus.
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        lo + self.next_below((hi - lo) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // splitmix64.c test harness.
+        let mut sm = SplitMix64::new(1234567);
+        let got: Vec<u64> = (0..3).map(|_| sm.next_u64()).collect();
+        assert_eq!(got, vec![6457827717110365317, 3203168211198807973, 9817491932198370423]);
+    }
+
+    #[test]
+    fn xoshiro_is_reproducible_and_seed_sensitive() {
+        let mut a = Xoshiro256::seed_from_u64(42);
+        let mut b = Xoshiro256::seed_from_u64(42);
+        let mut c = Xoshiro256::seed_from_u64(43);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_stream_is_uniformish() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        let mut lo = 0usize;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+            lo += usize::from(x < 0.5);
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        let frac = lo as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "below-half fraction {frac}");
+    }
+
+    #[test]
+    fn next_below_covers_range_without_gaps() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let mut seen = [0usize; 7];
+        for _ in 0..7000 {
+            seen[rng.next_below(7) as usize] += 1;
+        }
+        for (i, &c) in seen.iter().enumerate() {
+            assert!(c > 700, "value {i} drawn only {c} times");
+        }
+        assert_eq!(rng.range_usize(4, 5), 4);
+    }
+}

@@ -1,34 +1,37 @@
-//! Property-based tests of the BLAS kernels against naive oracles and
-//! algebraic identities, over randomized shapes, leading dimensions and
-//! values.
+//! Property tests of the BLAS kernels against naive oracles and algebraic
+//! identities, over randomized shapes, leading dimensions and values.
+//!
+//! Formerly proptest-based; rewritten as seeded loops over the internal
+//! PRNG ([`ft_dense::rng`]) so the suite runs in the dependency-free
+//! default build. Each test draws its cases from a fixed-seed stream, so
+//! failures reproduce exactly; on failure the case index is in the panic
+//! message.
 
 use ft_dense::gen::uniform;
 use ft_dense::level1::{axpy, dot, nrm2, scal};
 use ft_dense::level2::{gemv, ger, trmv};
 use ft_dense::level3::{gemm, gemm_naive, trmm};
+use ft_dense::rng::Xoshiro256;
 use ft_dense::{Diag, Matrix, Side, Trans, UpLo};
-use proptest::prelude::*;
+
+const CASES: usize = 40;
 
 fn approx(a: f64, b: f64, scale: f64) -> bool {
     (a - b).abs() <= 1e-10 * scale.max(1.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
-
-    /// gemm against the triple-loop oracle, any transposes, any alpha/beta,
-    /// including sub-matrix addressing through a larger leading dimension.
-    #[test]
-    fn prop_gemm_matches_oracle(
-        m in 1usize..40, n in 1usize..40, k in 1usize..40,
-        ta in proptest::bool::ANY, tb in proptest::bool::ANY,
-        alpha in -2.0f64..2.0, beta in -2.0f64..2.0,
-        pad in 0usize..5, seed in 0u64..1000,
-    ) {
-        let (transa, transb) = (
-            if ta { Trans::Yes } else { Trans::No },
-            if tb { Trans::Yes } else { Trans::No },
-        );
+/// gemm against the triple-loop oracle, any transposes, any alpha/beta,
+/// including sub-matrix addressing through a larger leading dimension.
+#[test]
+fn gemm_matches_oracle() {
+    let mut rng = Xoshiro256::seed_from_u64(0xD1CE_0001);
+    for case in 0..CASES {
+        let (m, n, k) = (rng.range_usize(1, 40), rng.range_usize(1, 40), rng.range_usize(1, 40));
+        let (ta, tb) = (rng.next_below(2) == 1, rng.next_below(2) == 1);
+        let (alpha, beta) = (rng.range_f64(-2.0, 2.0), rng.range_f64(-2.0, 2.0));
+        let pad = rng.range_usize(0, 5);
+        let seed = rng.next_below(1000);
+        let (transa, transb) = (if ta { Trans::Yes } else { Trans::No }, if tb { Trans::Yes } else { Trans::No });
         let (ar, ac) = if ta { (k, m) } else { (m, k) };
         let (br, bc) = if tb { (n, k) } else { (k, n) };
         // Embed operands in padded buffers to exercise lda != rows.
@@ -40,26 +43,56 @@ proptest! {
         let cbig0 = uniform(ldc, n, seed + 2);
         let mut c1 = cbig0.clone();
         let mut c2 = cbig0.clone();
-        gemm(transa, transb, m, n, k, alpha, abig.as_slice(), lda, bbig.as_slice(), ldb, beta, c1.as_mut_slice(), ldc);
-        gemm_naive(transa, transb, m, n, k, alpha, abig.as_slice(), lda, bbig.as_slice(), ldb, beta, c2.as_mut_slice(), ldc);
+        gemm(
+            transa,
+            transb,
+            m,
+            n,
+            k,
+            alpha,
+            abig.as_slice(),
+            lda,
+            bbig.as_slice(),
+            ldb,
+            beta,
+            c1.as_mut_slice(),
+            ldc,
+        );
+        gemm_naive(
+            transa,
+            transb,
+            m,
+            n,
+            k,
+            alpha,
+            abig.as_slice(),
+            lda,
+            bbig.as_slice(),
+            ldb,
+            beta,
+            c2.as_mut_slice(),
+            ldc,
+        );
         let d = c1.max_abs_diff(&c2);
-        prop_assert!(d < 1e-10, "diff {d}");
+        assert!(d < 1e-10, "case {case}: diff {d}");
         // Padding rows must be untouched.
         for j in 0..n {
             for i in m..ldc {
-                prop_assert_eq!(c1[(i, j)], cbig0[(i, j)]);
+                assert_eq!(c1[(i, j)], cbig0[(i, j)], "case {case}: padding touched");
             }
         }
     }
+}
 
-    /// gemv is gemm with one column.
-    #[test]
-    fn prop_gemv_is_thin_gemm(
-        m in 1usize..50, n in 1usize..50,
-        t in proptest::bool::ANY,
-        alpha in -2.0f64..2.0, beta in -2.0f64..2.0,
-        seed in 0u64..1000,
-    ) {
+/// gemv is gemm with one column.
+#[test]
+fn gemv_is_thin_gemm() {
+    let mut rng = Xoshiro256::seed_from_u64(0xD1CE_0002);
+    for case in 0..CASES {
+        let (m, n) = (rng.range_usize(1, 50), rng.range_usize(1, 50));
+        let t = rng.next_below(2) == 1;
+        let (alpha, beta) = (rng.range_f64(-2.0, 2.0), rng.range_f64(-2.0, 2.0));
+        let seed = rng.next_below(1000);
         let trans = if t { Trans::Yes } else { Trans::No };
         let a = uniform(m, n, seed);
         let (xl, yl) = if t { (m, n) } else { (n, m) };
@@ -70,13 +103,19 @@ proptest! {
         let mut want = y0.clone();
         gemm_naive(trans, Trans::No, yl, 1, xl, alpha, a.as_slice(), m, x.as_slice(), xl, beta, want.as_mut_slice(), yl);
         for i in 0..yl {
-            prop_assert!(approx(y[i], want[(i, 0)], 10.0));
+            assert!(approx(y[i], want[(i, 0)], 10.0), "case {case}: row {i}");
         }
     }
+}
 
-    /// ger: A + αxyᵀ has the expected entries.
-    #[test]
-    fn prop_ger_entries(m in 1usize..30, n in 1usize..30, alpha in -2.0f64..2.0, seed in 0u64..1000) {
+/// ger: A + αxyᵀ has the expected entries.
+#[test]
+fn ger_entries() {
+    let mut rng = Xoshiro256::seed_from_u64(0xD1CE_0003);
+    for case in 0..CASES {
+        let (m, n) = (rng.range_usize(1, 30), rng.range_usize(1, 30));
+        let alpha = rng.range_f64(-2.0, 2.0);
+        let seed = rng.next_below(1000);
         let a0 = uniform(m, n, seed);
         let x = uniform(m, 1, seed + 1);
         let y = uniform(n, 1, seed + 2);
@@ -84,20 +123,22 @@ proptest! {
         ger(m, n, alpha, x.as_slice(), y.as_slice(), a.as_mut_slice(), m);
         for j in 0..n {
             for i in 0..m {
-                prop_assert!(approx(a[(i, j)], a0[(i, j)] + alpha * x[(i, 0)] * y[(j, 0)], 10.0));
+                assert!(approx(a[(i, j)], a0[(i, j)] + alpha * x[(i, 0)] * y[(j, 0)], 10.0), "case {case}: ({i}, {j})");
             }
         }
     }
+}
 
-    /// trmv/trmm agree with a densified triangular multiply.
-    #[test]
-    fn prop_trmv_matches_dense(
-        n in 1usize..25,
-        upper in proptest::bool::ANY,
-        t in proptest::bool::ANY,
-        unit in proptest::bool::ANY,
-        seed in 0u64..1000,
-    ) {
+/// trmv agrees with a densified triangular multiply.
+#[test]
+fn trmv_matches_dense() {
+    let mut rng = Xoshiro256::seed_from_u64(0xD1CE_0004);
+    for case in 0..CASES {
+        let n = rng.range_usize(1, 25);
+        let upper = rng.next_below(2) == 1;
+        let t = rng.next_below(2) == 1;
+        let unit = rng.next_below(2) == 1;
+        let seed = rng.next_below(1000);
         let uplo = if upper { UpLo::Upper } else { UpLo::Lower };
         let trans = if t { Trans::Yes } else { Trans::No };
         let diag = if unit { Diag::Unit } else { Diag::NonUnit };
@@ -105,8 +146,16 @@ proptest! {
         let dense = Matrix::from_fn(n, n, |i, j| {
             let inside = if upper { i <= j } else { i >= j };
             if i == j {
-                if unit { 1.0 } else { a[(i, j)] }
-            } else if inside { a[(i, j)] } else { 0.0 }
+                if unit {
+                    1.0
+                } else {
+                    a[(i, j)]
+                }
+            } else if inside {
+                a[(i, j)]
+            } else {
+                0.0
+            }
         });
         let x0 = uniform(n, 1, seed + 1);
         let mut x = x0.as_slice().to_vec();
@@ -114,21 +163,23 @@ proptest! {
         let mut want = vec![0.0; n];
         gemv(trans, n, n, 1.0, dense.as_slice(), n, x0.as_slice(), 0.0, &mut want);
         for i in 0..n {
-            prop_assert!(approx(x[i], want[i], 10.0));
+            assert!(approx(x[i], want[i], 10.0), "case {case}: row {i}");
         }
     }
+}
 
-    /// trmm Left/Right against dense gemm.
-    #[test]
-    fn prop_trmm_matches_dense(
-        m in 1usize..20, n in 1usize..20,
-        left in proptest::bool::ANY,
-        upper in proptest::bool::ANY,
-        t in proptest::bool::ANY,
-        unit in proptest::bool::ANY,
-        alpha in -2.0f64..2.0,
-        seed in 0u64..1000,
-    ) {
+/// trmm Left/Right against dense gemm.
+#[test]
+fn trmm_matches_dense() {
+    let mut rng = Xoshiro256::seed_from_u64(0xD1CE_0005);
+    for case in 0..CASES {
+        let (m, n) = (rng.range_usize(1, 20), rng.range_usize(1, 20));
+        let left = rng.next_below(2) == 1;
+        let upper = rng.next_below(2) == 1;
+        let t = rng.next_below(2) == 1;
+        let unit = rng.next_below(2) == 1;
+        let alpha = rng.range_f64(-2.0, 2.0);
+        let seed = rng.next_below(1000);
         let side = if left { Side::Left } else { Side::Right };
         let ka = if left { m } else { n };
         let uplo = if upper { UpLo::Upper } else { UpLo::Lower };
@@ -138,52 +189,75 @@ proptest! {
         let dense = Matrix::from_fn(ka, ka, |i, j| {
             let inside = if upper { i <= j } else { i >= j };
             if i == j {
-                if unit { 1.0 } else { a[(i, j)] }
-            } else if inside { a[(i, j)] } else { 0.0 }
+                if unit {
+                    1.0
+                } else {
+                    a[(i, j)]
+                }
+            } else if inside {
+                a[(i, j)]
+            } else {
+                0.0
+            }
         });
         let b0 = uniform(m, n, seed + 1);
         let mut b = b0.clone();
         trmm(side, uplo, trans, diag, m, n, alpha, a.as_slice(), ka, b.as_mut_slice(), m);
         let mut want = Matrix::zeros(m, n);
         match side {
-            Side::Left => gemm_naive(trans, Trans::No, m, n, m, alpha, dense.as_slice(), m, b0.as_slice(), m, 0.0, want.as_mut_slice(), m),
-            Side::Right => gemm_naive(Trans::No, trans, m, n, n, alpha, b0.as_slice(), m, dense.as_slice(), n, 0.0, want.as_mut_slice(), m),
+            Side::Left => {
+                gemm_naive(trans, Trans::No, m, n, m, alpha, dense.as_slice(), m, b0.as_slice(), m, 0.0, want.as_mut_slice(), m)
+            }
+            Side::Right => {
+                gemm_naive(Trans::No, trans, m, n, n, alpha, b0.as_slice(), m, dense.as_slice(), n, 0.0, want.as_mut_slice(), m)
+            }
         }
-        prop_assert!(b.max_abs_diff(&want) < 1e-10);
+        assert!(b.max_abs_diff(&want) < 1e-10, "case {case}");
     }
+}
 
-    /// Level-1 algebra: linearity of dot, Cauchy–Schwarz, scal/axpy identities.
-    #[test]
-    fn prop_level1_identities(n in 0usize..100, alpha in -3.0f64..3.0, seed in 0u64..1000) {
+/// Level-1 algebra: linearity of dot, Cauchy–Schwarz, scal/axpy identities.
+#[test]
+fn level1_identities() {
+    let mut rng = Xoshiro256::seed_from_u64(0xD1CE_0006);
+    for case in 0..CASES {
+        let n = rng.range_usize(0, 100);
+        let alpha = rng.range_f64(-3.0, 3.0);
+        let seed = rng.next_below(1000);
         let x = uniform(n.max(1), 1, seed).as_slice()[..n].to_vec();
         let y = uniform(n.max(1), 1, seed + 1).as_slice()[..n].to_vec();
         // |x·y| ≤ ‖x‖‖y‖
-        prop_assert!(dot(&x, &y).abs() <= nrm2(&x) * nrm2(&y) + 1e-12);
+        assert!(dot(&x, &y).abs() <= nrm2(&x) * nrm2(&y) + 1e-12, "case {case}");
         // dot(αx, y) = α dot(x, y)
         let mut ax = x.clone();
         scal(alpha, &mut ax);
-        prop_assert!(approx(dot(&ax, &y), alpha * dot(&x, &y), 100.0));
+        assert!(approx(dot(&ax, &y), alpha * dot(&x, &y), 100.0), "case {case}");
         // axpy then subtract = original
         let mut z = y.clone();
         axpy(alpha, &x, &mut z);
         axpy(-alpha, &x, &mut z);
         for i in 0..n {
-            prop_assert!(approx(z[i], y[i], 10.0));
+            assert!(approx(z[i], y[i], 10.0), "case {case}: row {i}");
         }
         // ‖x‖₂² ≈ dot(x, x)
-        prop_assert!(approx(nrm2(&x) * nrm2(&x), dot(&x, &x), 100.0));
+        assert!(approx(nrm2(&x) * nrm2(&x), dot(&x, &x), 100.0), "case {case}");
     }
+}
 
-    /// gemm associativity-with-identity and zero annihilation.
-    #[test]
-    fn prop_gemm_identity_and_zero(n in 1usize..30, seed in 0u64..1000) {
+/// gemm associativity-with-identity and zero annihilation.
+#[test]
+fn gemm_identity_and_zero() {
+    let mut rng = Xoshiro256::seed_from_u64(0xD1CE_0007);
+    for case in 0..CASES {
+        let n = rng.range_usize(1, 30);
+        let seed = rng.next_below(1000);
         let a = uniform(n, n, seed);
         let id = Matrix::identity(n);
         let mut c = Matrix::zeros(n, n);
         gemm(Trans::No, Trans::No, n, n, n, 1.0, a.as_slice(), n, id.as_slice(), n, 0.0, c.as_mut_slice(), n);
-        prop_assert!(c.max_abs_diff(&a) < 1e-12);
+        assert!(c.max_abs_diff(&a) < 1e-12, "case {case}");
         let z = Matrix::zeros(n, n);
         gemm(Trans::No, Trans::No, n, n, n, 1.0, a.as_slice(), n, z.as_slice(), n, 0.0, c.as_mut_slice(), n);
-        prop_assert!(c.as_slice().iter().all(|&v| v == 0.0));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0), "case {case}");
     }
 }

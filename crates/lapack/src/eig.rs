@@ -250,11 +250,7 @@ pub fn hessenberg_eigenvalues(h: &Matrix) -> Result<Vec<Eigenvalue>, EigError> {
         }
     }
 
-    Ok(wr
-        .into_iter()
-        .zip(wi)
-        .map(|(re, im)| Eigenvalue { re, im })
-        .collect())
+    Ok(wr.into_iter().zip(wi).map(|(re, im)| Eigenvalue { re, im }).collect())
 }
 
 /// Eigenvalues of a general square matrix: blocked Hessenberg reduction
@@ -319,9 +315,7 @@ mod tests {
         assert!((sum_re - trace).abs() < 1e-9, "Σλ={sum_re} tr={trace}");
         assert!(sum_im.abs() < 1e-9);
 
-        let tr_a2: f64 = (0..n)
-            .map(|i| (0..n).map(|k| a[(i, k)] * a[(k, i)]).sum::<f64>())
-            .sum();
+        let tr_a2: f64 = (0..n).map(|i| (0..n).map(|k| a[(i, k)] * a[(k, i)]).sum::<f64>()).sum();
         // λ² = (re² − im²) + 2·re·im·i ; imaginary parts cancel in pairs.
         let sum_l2: f64 = eigs.iter().map(|e| e.re * e.re - e.im * e.im).sum();
         assert!((sum_l2 - tr_a2).abs() < 1e-8, "Σλ²={sum_l2} trA²={tr_a2}");

@@ -246,11 +246,7 @@ pub fn gehrd(a: &mut Matrix, nb: usize, tau: &mut [f64]) {
         {
             let (vpart, cpart) = a.as_mut_slice().split_at_mut((k + nb) * lda);
             let vb = &vpart[k * lda + (k + nb)..];
-            gemm(
-                Trans::No, Trans::Yes, n, n - k - nb, nb,
-                -1.0, y.as_slice(), y.rows(), vb, lda,
-                1.0, cpart, lda,
-            );
+            gemm(Trans::No, Trans::Yes, n, n - k - nb, nb, -1.0, y.as_slice(), y.rows(), vb, lda, 1.0, cpart, lda);
         }
         a[(k + nb, k + nb - 1)] = ei;
 
@@ -262,9 +258,17 @@ pub fn gehrd(a: &mut Matrix, nb: usize, tau: &mut [f64]) {
             {
                 let v1p = &a.as_slice()[k * lda + (k + 1)..].to_vec();
                 trmm(
-                    Side::Right, UpLo::Lower, Trans::Yes, Diag::Unit,
-                    k + 1, nb - 1, 1.0, v1p, lda,
-                    w.as_mut_slice(), k + 1,
+                    Side::Right,
+                    UpLo::Lower,
+                    Trans::Yes,
+                    Diag::Unit,
+                    k + 1,
+                    nb - 1,
+                    1.0,
+                    v1p,
+                    lda,
+                    w.as_mut_slice(),
+                    k + 1,
                 );
             }
             for jj in 0..nb - 1 {
@@ -279,10 +283,17 @@ pub fn gehrd(a: &mut Matrix, nb: usize, tau: &mut [f64]) {
             let (vpart, cpart) = a.as_mut_slice().split_at_mut((k + nb) * lda);
             let v = &vpart[k * lda + (k + 1)..];
             larfb(
-                Side::Left, Trans::Yes,
-                n - k - 1, n - k - nb, nb,
-                v, lda, t.as_slice(), t.rows(),
-                &mut cpart[k + 1..], lda,
+                Side::Left,
+                Trans::Yes,
+                n - k - 1,
+                n - k - nb,
+                nb,
+                v,
+                lda,
+                t.as_slice(),
+                t.rows(),
+                &mut cpart[k + 1..],
+                lda,
             );
         }
 
@@ -419,7 +430,21 @@ mod tests {
         let mut av = Matrix::zeros(n, nb);
         ft_dense::level3::gemm(Trans::No, Trans::No, n, nb, n, 1.0, a0.as_slice(), n, v.as_slice(), n, 0.0, av.as_mut_slice(), n);
         let mut avt = Matrix::zeros(n, nb);
-        ft_dense::level3::gemm(Trans::No, Trans::No, n, nb, nb, 1.0, av.as_slice(), n, t.as_slice(), nb, 0.0, avt.as_mut_slice(), n);
+        ft_dense::level3::gemm(
+            Trans::No,
+            Trans::No,
+            n,
+            nb,
+            nb,
+            1.0,
+            av.as_slice(),
+            n,
+            t.as_slice(),
+            nb,
+            0.0,
+            avt.as_mut_slice(),
+            n,
+        );
         let d = avt.max_abs_diff(&y);
         assert!(d < 1e-12, "Y ≠ A·V·T: {d}");
     }

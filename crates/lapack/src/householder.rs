@@ -210,9 +210,19 @@ mod tests {
     fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
         let mut c = Matrix::zeros(a.rows(), b.cols());
         gemm(
-            Trans::No, Trans::No, a.rows(), b.cols(), a.cols(),
-            1.0, a.as_slice(), a.rows(), b.as_slice(), b.rows(),
-            0.0, c.as_mut_slice(), a.rows(),
+            Trans::No,
+            Trans::No,
+            a.rows(),
+            b.cols(),
+            a.cols(),
+            1.0,
+            a.as_slice(),
+            a.rows(),
+            b.as_slice(),
+            b.rows(),
+            0.0,
+            c.as_mut_slice(),
+            a.rows(),
         );
         c
     }

@@ -3,7 +3,7 @@
 
 use crate::layout::{g2l, g2p, l2g, numroc};
 use ft_dense::Matrix;
-use ft_runtime::Ctx;
+use ft_runtime::{Ctx, Tag};
 
 /// Global shape + blocking of a distributed matrix (a ScaLAPACK descriptor
 /// with square `nb×nb` blocks and source process `(0,0)`).
@@ -52,7 +52,14 @@ impl DistMatrix {
         let (myrow, mycol) = (ctx.myrow(), ctx.mycol());
         let lr = numroc(desc.m, desc.nb, myrow, nprow);
         let lc = numroc(desc.n, desc.nb, mycol, npcol);
-        Self { desc, nprow, npcol, myrow, mycol, local: Matrix::zeros(lr, lc) }
+        Self {
+            desc,
+            nprow,
+            npcol,
+            myrow,
+            mycol,
+            local: Matrix::zeros(lr, lc),
+        }
     }
 
     /// Build this process's share from a function of the **global** index —
@@ -185,7 +192,7 @@ impl DistMatrix {
     /// Assemble the full global matrix on **every** process (collective).
     /// Intended for tests, residual checks and result extraction — not for
     /// inner loops.
-    pub fn gather_all(&self, ctx: &Ctx, tag: u64) -> Matrix {
+    pub fn gather_all(&self, ctx: &Ctx, tag: impl Into<Tag>) -> Matrix {
         // Every process contributes its entries into a zero global buffer,
         // then a world sum-reduce superimposes them (each entry has exactly
         // one owner, so the sum is exact placement).
@@ -204,7 +211,8 @@ impl DistMatrix {
     /// Assemble the full global matrix on rank 0 only (collective; returns
     /// `None` elsewhere). Linear in total matrix size — prefer this over
     /// [`DistMatrix::gather_all`] when only one process needs the result.
-    pub fn gather_root(&self, ctx: &Ctx, tag: u64) -> Option<Matrix> {
+    pub fn gather_root(&self, ctx: &Ctx, tag: impl Into<Tag>) -> Option<Matrix> {
+        let tag = tag.into();
         // Pack my local block with its index metadata and ship to rank 0.
         if ctx.rank() != 0 {
             let mut buf = Vec::with_capacity(self.local.as_slice().len() + 2);
@@ -256,7 +264,12 @@ mod tests {
 
     #[test]
     fn scatter_gather_roundtrip() {
-        for &(p, q, m, n, nb) in &[(2usize, 3usize, 10usize, 13usize, 2usize), (2, 2, 8, 8, 3), (1, 1, 5, 4, 2), (3, 2, 7, 7, 7)] {
+        for &(p, q, m, n, nb) in &[
+            (2usize, 3usize, 10usize, 13usize, 2usize),
+            (2, 2, 8, 8, 3),
+            (1, 1, 5, 4, 2),
+            (3, 2, 7, 7, 7),
+        ] {
             let globals = run_spmd(p, q, FaultScript::none(), |ctx| {
                 let d = DistMatrix::from_global_fn(&ctx, Desc { m, n, nb }, val);
                 d.gather_all(&ctx, 900)
@@ -282,9 +295,7 @@ mod tests {
             }
             // Prefix counts agree with explicit filters.
             for cutoff in 0..10 {
-                let cnt = (0..9)
-                    .filter(|&g| d.owns_row(g) && g < cutoff)
-                    .count();
+                let cnt = (0..9).filter(|&g| d.owns_row(g) && g < cutoff).count();
                 assert_eq!(d.local_rows_below(cutoff), cnt);
             }
         });

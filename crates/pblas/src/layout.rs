@@ -47,7 +47,7 @@ pub fn l2g(l: usize, nb: usize, iproc: usize, nprocs: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ft_dense::rng::Xoshiro256;
 
     #[test]
     fn numroc_examples() {
@@ -94,38 +94,60 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(g in 0usize..10_000, nb in 1usize..64, np in 1usize..17) {
+    // Seeded-loop property tests (formerly proptest; now driven by the
+    // internal PRNG so the default build has no external dev-deps).
+
+    #[test]
+    fn roundtrip_randomized() {
+        let mut rng = Xoshiro256::seed_from_u64(0x1001);
+        for _ in 0..256 {
+            let g = rng.range_usize(0, 10_000);
+            let nb = rng.range_usize(1, 64);
+            let np = rng.range_usize(1, 17);
             let p = g2p(g, nb, np);
             let l = g2l(g, nb, np);
-            prop_assert_eq!(l2g(l, nb, p, np), g);
-            prop_assert!(p < np);
+            assert_eq!(l2g(l, nb, p, np), g);
+            assert!(p < np);
         }
+    }
 
-        #[test]
-        fn prop_numroc_partitions(n in 0usize..2_000, nb in 1usize..32, np in 1usize..9) {
+    #[test]
+    fn numroc_partitions_randomized() {
+        let mut rng = Xoshiro256::seed_from_u64(0x1002);
+        for _ in 0..256 {
+            let n = rng.range_usize(0, 2_000);
+            let nb = rng.range_usize(1, 32);
+            let np = rng.range_usize(1, 9);
             let total: usize = (0..np).map(|p| numroc(n, nb, p, np)).sum();
-            prop_assert_eq!(total, n);
+            assert_eq!(total, n, "n={n} nb={nb} np={np}");
         }
+    }
 
-        #[test]
-        fn prop_local_indices_dense(n in 1usize..500, nb in 1usize..16, np in 1usize..6, proc in 0usize..6) {
-            prop_assume!(proc < np);
+    #[test]
+    fn local_indices_dense_randomized() {
+        let mut rng = Xoshiro256::seed_from_u64(0x1003);
+        for _ in 0..128 {
+            let n = rng.range_usize(1, 500);
+            let nb = rng.range_usize(1, 16);
+            let np = rng.range_usize(1, 6);
+            let proc = rng.range_usize(0, np);
             // The local indices of a process's owned globals are exactly 0..numroc.
-            let mut locals: Vec<usize> = (0..n)
-                .filter(|&g| g2p(g, nb, np) == proc)
-                .map(|g| g2l(g, nb, np))
-                .collect();
+            let mut locals: Vec<usize> = (0..n).filter(|&g| g2p(g, nb, np) == proc).map(|g| g2l(g, nb, np)).collect();
             locals.sort_unstable();
             let expect: Vec<usize> = (0..numroc(n, nb, proc, np)).collect();
-            prop_assert_eq!(locals, expect);
+            assert_eq!(locals, expect, "n={n} nb={nb} np={np} proc={proc}");
         }
+    }
 
-        #[test]
-        fn prop_l2g_monotone(nb in 1usize..16, np in 1usize..6, proc in 0usize..6, l in 0usize..500) {
-            prop_assume!(proc < np);
-            prop_assert!(l2g(l, nb, proc, np) < l2g(l + 1, nb, proc, np));
+    #[test]
+    fn l2g_monotone_randomized() {
+        let mut rng = Xoshiro256::seed_from_u64(0x1004);
+        for _ in 0..256 {
+            let nb = rng.range_usize(1, 16);
+            let np = rng.range_usize(1, 6);
+            let proc = rng.range_usize(0, np);
+            let l = rng.range_usize(0, 500);
+            assert!(l2g(l, nb, proc, np) < l2g(l + 1, nb, proc, np));
         }
     }
 }

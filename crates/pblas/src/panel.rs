@@ -22,22 +22,22 @@ use ft_dense::level1::scal;
 use ft_dense::level2::{gemv, trmv};
 use ft_dense::level3::{gemm, trmm};
 use ft_dense::{Diag, Matrix, Side, Trans, UpLo};
-use ft_runtime::Ctx;
+use ft_runtime::{Ctx, Tag};
 
-const TAG_VROW: u64 = 0x100;
-const TAG_LEFTW: u64 = 0x102;
-const TAG_NRM: u64 = 0x104;
-const TAG_ALPHA: u64 = 0x106;
-const TAG_VCOL: u64 = 0x108;
-const TAG_VCAST: u64 = 0x10A;
-const TAG_YRED: u64 = 0x10C;
-const TAG_TCOL: u64 = 0x10E;
-const TAG_VFULL: u64 = 0x110;
-const TAG_VFULLB: u64 = 0x112;
-const TAG_PTOP: u64 = 0x114;
-const TAG_YB: u64 = 0x116;
-const TAG_TB: u64 = 0x118;
-const TAG_TAUB: u64 = 0x11A;
+const TAG_VROW: Tag = Tag::Panel(0);
+const TAG_LEFTW: Tag = Tag::Panel(1);
+const TAG_NRM: Tag = Tag::Panel(2);
+const TAG_ALPHA: Tag = Tag::Panel(3);
+const TAG_VCOL: Tag = Tag::Panel(4);
+const TAG_VCAST: Tag = Tag::Panel(5);
+const TAG_YRED: Tag = Tag::Panel(6);
+const TAG_TCOL: Tag = Tag::Panel(7);
+const TAG_VFULL: Tag = Tag::Panel(8);
+const TAG_VFULLB: Tag = Tag::Panel(9);
+const TAG_PTOP: Tag = Tag::Panel(10);
+const TAG_YB: Tag = Tag::Panel(11);
+const TAG_TB: Tag = Tag::Panel(12);
+const TAG_TAUB: Tag = Tag::Panel(13);
 
 /// The replicated/row-distributed outputs of one panel factorization —
 /// exactly the `(V, T, Y)` triple the paper's Algorithms 2 and 3 checkpoint
@@ -406,11 +406,7 @@ mod tests {
                             std::cmp::Ordering::Equal => 1.0,
                             std::cmp::Ordering::Greater => aref[(g, l)],
                         };
-                        assert!(
-                            (f.vfull[(g - 1, l)] - want).abs() < 1e-12,
-                            "V[{g},{l}]: {} vs {want}",
-                            f.vfull[(g - 1, l)]
-                        );
+                        assert!((f.vfull[(g - 1, l)] - want).abs() < 1e-12, "V[{g},{l}]: {} vs {want}", f.vfull[(g - 1, l)]);
                     }
                 }
                 // Y matches on my local rows.
@@ -429,12 +425,7 @@ mod tests {
                 let ag = a.gather_all(&ctx, 990);
                 for c in 0..nb {
                     for r in 0..n {
-                        assert!(
-                            (ag[(r, c)] - aref[(r, c)]).abs() < 1e-10,
-                            "A[{r},{c}]: {} vs {}",
-                            ag[(r, c)],
-                            aref[(r, c)]
-                        );
+                        assert!((ag[(r, c)] - aref[(r, c)]).abs() < 1e-10, "A[{r},{c}]: {} vs {}", ag[(r, c)], aref[(r, c)]);
                     }
                 }
             });

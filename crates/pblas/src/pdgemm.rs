@@ -15,11 +15,12 @@
 use crate::dist::DistMatrix;
 use ft_dense::level3::gemm;
 use ft_dense::{Matrix, Trans};
-use ft_runtime::Ctx;
+use ft_runtime::{Ctx, Tag};
 
-const TAG_APAN: u64 = 0x160;
-const TAG_BPAN: u64 = 0x162;
-const TAG_BGATH: u64 = 0x164;
+const TAG_APAN: Tag = Tag::Trailing(0);
+const TAG_BPAN: Tag = Tag::Trailing(1);
+const TAG_BGATH: Tag = Tag::Trailing(2);
+const TAG_BRED: Tag = Tag::Trailing(3);
 
 /// `C ← α·A·op(B) + β·C` on distributed operands (SPMD, collective).
 ///
@@ -114,7 +115,7 @@ pub fn pdgemm(ctx: &Ctx, transb: Trans, alpha: f64, a: &DistMatrix, b: &DistMatr
                     }
                 }
                 ctx.bcast_row(qb, &mut full, TAG_BGATH);
-                ctx.allreduce_sum_col(&mut full, TAG_BGATH + 1);
+                ctx.allreduce_sum_col(&mut full, TAG_BRED);
                 // Select the rows matching my C columns, transposed into w×cols.
                 Matrix::from_fn(w, my_ccols, |l, jj| {
                     let g = c.l2g_col(jj);
@@ -169,11 +170,7 @@ mod tests {
             let cg = c.gather_all(&ctx, 884);
             if ctx.rank() == 0 {
                 let mut want = ft_dense::gen::uniform_indexed_matrix(m, n, 3);
-                gemm_naive(
-                    Trans::No, transb, m, n, k, 1.5,
-                    ag.as_slice(), m, bg.as_slice(), br,
-                    -0.5, want.as_mut_slice(), m,
-                );
+                gemm_naive(Trans::No, transb, m, n, k, 1.5, ag.as_slice(), m, bg.as_slice(), br, -0.5, want.as_mut_slice(), m);
                 let d = cg.max_abs_diff(&want);
                 assert!(d < 1e-11, "m={m} k={k} n={n} nb={nb} {transb:?} {p}x{q}: diff {d}");
             }

@@ -11,9 +11,9 @@ use crate::dist::DistMatrix;
 use crate::panel::PanelFactors;
 use ft_dense::level3::{gemm, trmm};
 use ft_dense::{Diag, Matrix, Side, Trans, UpLo};
-use ft_runtime::Ctx;
+use ft_runtime::{Ctx, Tag};
 
-const TAG_LARFB_W: u64 = 0x140;
+const TAG_LARFB_W: Tag = Tag::Trailing(8);
 
 /// Split a sorted list of local column indices into maximal contiguous runs
 /// `(start_position_in_list, first_lc, len)` so updates can use one GEMM per
@@ -246,7 +246,19 @@ mod tests {
                 let mut wtop = ft_dense::Matrix::from_fn(1, nb - 1, |i, jj| y[(i, jj)]);
                 let lda = n;
                 let abuf = aref.as_slice().to_vec();
-                ft_dense::level3::trmm(Side::Right, UpLo::Lower, Trans::Yes, Diag::Unit, 1, nb - 1, 1.0, &abuf[1..], lda, wtop.as_mut_slice(), 1);
+                ft_dense::level3::trmm(
+                    Side::Right,
+                    UpLo::Lower,
+                    Trans::Yes,
+                    Diag::Unit,
+                    1,
+                    nb - 1,
+                    1.0,
+                    &abuf[1..],
+                    lda,
+                    wtop.as_mut_slice(),
+                    1,
+                );
                 for jj in 0..nb - 1 {
                     aref[(0, 1 + jj)] -= wtop[(0, jj)];
                 }
@@ -256,14 +268,27 @@ mod tests {
                 let lda = n;
                 let (vpart, cpart) = aref.as_mut_slice().split_at_mut(nb * lda);
                 let v = &vpart[1..];
-                ft_lapack::householder::larfb(Side::Left, Trans::Yes, n - 1, n - nb, nb, v, lda, t.as_slice(), nb, &mut cpart[1..], lda);
+                ft_lapack::householder::larfb(
+                    Side::Left,
+                    Trans::Yes,
+                    n - 1,
+                    n - nb,
+                    nb,
+                    v,
+                    lda,
+                    t.as_slice(),
+                    nb,
+                    &mut cpart[1..],
+                    lda,
+                );
             }
         }
 
         for (p, q) in [(2usize, 3usize), (2, 2), (1, 2), (3, 1)] {
             let aref = aref.clone();
             run_spmd(p, q, FaultScript::none(), move |ctx| {
-                let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| ft_dense::gen::uniform_entry(seed, i, j));
+                let mut a =
+                    DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| ft_dense::gen::uniform_entry(seed, i, j));
                 let f = crate::panel::pdlahrd(&ctx, &mut a, n, 0, nb);
                 apply_panel_updates(&ctx, &mut a, &f, n);
                 let ag = a.gather_all(&ctx, 991);

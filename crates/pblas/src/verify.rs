@@ -10,9 +10,9 @@ use crate::update::left_update_op;
 use ft_dense::Matrix;
 use ft_dense::{Trans, EPS};
 use ft_lapack::householder::larft;
-use ft_runtime::Ctx;
+use ft_runtime::{Ctx, Tag, TrafficLedger};
 
-const TAG_NORM: u64 = 0x170;
+const TAG_NORM: Tag = Tag::User(0x170);
 
 /// The panel partition `(k, w)` the blocked reduction used for `n`/`nb`.
 pub fn panel_blocks(n: usize, nb: usize) -> Vec<(usize, usize)> {
@@ -35,13 +35,7 @@ pub fn panel_blocks(n: usize, nb: usize) -> Vec<(usize, usize)> {
 /// same blocking.
 pub fn pd_orghr(ctx: &Ctx, a: &DistMatrix, n: usize, tau: &[f64]) -> DistMatrix {
     let nb = a.desc().nb;
-    let mut qm = DistMatrix::from_global_fn(ctx, crate::dist::Desc { m: n, n, nb }, |i, j| {
-        if i == j {
-            1.0
-        } else {
-            0.0
-        }
-    });
+    let mut qm = DistMatrix::from_global_fn(ctx, crate::dist::Desc { m: n, n, nb }, |i, j| if i == j { 1.0 } else { 0.0 });
     // Q = B₀·B₁⋯B_last·I: apply the block reflectors from the last panel
     // backwards, each as Q ← (I − V·T·Vᵀ)·Q restricted to rows k+1..n.
     for &(k, w) in panel_blocks(n, nb).iter().rev() {
@@ -89,7 +83,8 @@ pub fn pd_extract_h(ctx: &Ctx, a: &DistMatrix, n: usize) -> DistMatrix {
 }
 
 /// Distributed infinity norm of the logical `n×n` part (replicated result).
-pub fn pd_inf_norm(ctx: &Ctx, a: &DistMatrix, n: usize, tag: u64) -> f64 {
+pub fn pd_inf_norm(ctx: &Ctx, a: &DistMatrix, n: usize, tag: impl Into<Tag>) -> f64 {
+    let tag = tag.into();
     let lrn = a.local_rows_below(n);
     let lcn = a.local_cols_below(n);
     let ldl = a.local().ld().max(1);
@@ -106,8 +101,19 @@ pub fn pd_inf_norm(ctx: &Ctx, a: &DistMatrix, n: usize, tag: u64) -> f64 {
     // Max across the grid via the one-hot-sum trick.
     let mut slots = vec![0.0f64; ctx.grid().size()];
     slots[ctx.rank()] = local_max;
-    ctx.allreduce_sum_world(&mut slots, tag + 1);
+    ctx.allreduce_sum_world(&mut slots, tag.offset(1));
     slots.into_iter().fold(0.0, f64::max)
+}
+
+/// Grid-wide communication totals: every process's per-phase
+/// [`TrafficLedger`] summed over the world (collective; replicated
+/// result). The counts are exact — they stay far below 2⁵³, so the
+/// `f64` all-reduce loses nothing. This is the hook the EXPERIMENTS
+/// harness uses to report per-phase traffic next to run times.
+pub fn pd_gather_traffic(ctx: &Ctx, tag: impl Into<Tag>) -> TrafficLedger {
+    let mut row = ctx.traffic().to_f64_row();
+    ctx.allreduce_sum_world(&mut row, tag);
+    TrafficLedger::from_f64_row(&row)
 }
 
 /// The paper's §7.3 residual `r∞ = ‖A − Q·H·Qᵀ‖∞ / (‖A‖∞·N·ε)`, computed
@@ -136,7 +142,7 @@ pub fn pd_hessenberg_residual(ctx: &Ctx, a0: &DistMatrix, reduced: &DistMatrix, 
     if na == 0.0 {
         return 0.0;
     }
-    pd_inf_norm(ctx, &r, n, TAG_NORM + 4) / (na * n as f64 * EPS)
+    pd_inf_norm(ctx, &r, n, TAG_NORM.offset(4)) / (na * n as f64 * EPS)
 }
 
 #[cfg(test)]
@@ -178,11 +184,7 @@ mod tests {
         let mut aref = a0g.clone();
         let mut tau_ref = vec![0.0; n - 1];
         ft_lapack::gehrd(&mut aref, nb, &mut tau_ref);
-        let r_shared = ft_lapack::hessenberg_residual(
-            &a0g,
-            &ft_lapack::extract_h(&aref),
-            &ft_lapack::orghr(&aref, &tau_ref),
-        );
+        let r_shared = ft_lapack::hessenberg_residual(&a0g, &ft_lapack::extract_h(&aref), &ft_lapack::orghr(&aref, &tau_ref));
 
         run_spmd(2, 2, FaultScript::none(), move |ctx| {
             let a0 = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));

@@ -1,0 +1,319 @@
+//! Tree collectives over the grid: binomial-tree broadcast and
+//! fixed-shape tree sum-reduction, plus the row/column/world wrappers the
+//! PBLAS layer uses.
+//!
+//! ## Topology
+//!
+//! Both collectives use the classic binomial tree over the member list,
+//! rooted at the caller-named root: member at *relative index* `r`
+//! (position in the member list, rotated so the root is 0) is the child of
+//! `r` with its lowest set bit cleared. Depth and per-node fan-out are both
+//! `⌈log₂ n⌉`, so a P-wide broadcast costs the root `⌈log₂ P⌉` sends
+//! instead of the `P−1` of a linear loop — the O(log P) BLACS cost model
+//! the paper's overhead analysis assumes.
+//!
+//! ## Determinism
+//!
+//! The tree shape depends only on `(members.len(), root position)` — never
+//! on arrival order or timing — and each node adds its children's partial
+//! sums in a fixed order (increasing subtree bit). Reductions are therefore
+//! bit-reproducible run to run, which is what makes recovery replay and the
+//! checksum-duplicate invariant (`copy₀ ≡ copy₁` bitwise) hold upstairs.
+//! The *association* of the sum is the tree's, not left-to-right linear;
+//! any fixed association is equally valid, it just has to be the same one
+//! every time.
+//!
+//! ## Zero-copy
+//!
+//! Broadcast payloads travel as `Arc<[f64]>`: the root allocates the shared
+//! payload once and interior nodes forward `Arc` clones to their subtrees,
+//! so the payload is allocated exactly once no matter how many members the
+//! broadcast has.
+
+use crate::comm::Ctx;
+use crate::tag::{Leg, Tag};
+use std::sync::Arc;
+
+/// Position of `rank` in `members`, or `None` if it is not a member.
+#[inline]
+fn member_index(members: &[usize], rank: usize) -> Option<usize> {
+    members.iter().position(|&r| r == rank)
+}
+
+impl Ctx {
+    /// Binomial-tree broadcast of `data` from `root` over `members`.
+    /// Non-members return immediately; members' `data` is overwritten with
+    /// the root's payload.
+    pub(crate) fn bcast_group(&self, members: &[usize], root: usize, data: &mut Vec<f64>, tag: Tag) {
+        let n = members.len();
+        let Some(me) = member_index(members, self.rank()) else {
+            return;
+        };
+        if n <= 1 {
+            return;
+        }
+        let root_idx = member_index(members, root).expect("bcast: root not in group");
+        let rel = (me + n - root_idx) % n;
+        let wire = tag.wire(Leg::Bcast);
+
+        // Receive from the parent (lowest set bit of `rel` cleared), or wrap
+        // the local payload once if we are the root.
+        let mut mask = 1usize;
+        let payload: Arc<[f64]> = if rel == 0 {
+            while mask < n {
+                mask <<= 1;
+            }
+            Arc::from(&data[..])
+        } else {
+            while rel & mask == 0 {
+                mask <<= 1;
+            }
+            let parent = members[((rel ^ mask) + root_idx) % n];
+            self.recv_wire(parent, wire)
+        };
+
+        // Forward to our subtree, largest half first: child `rel | m` owns
+        // the members `rel+m .. rel+2m`.
+        let mut m = mask >> 1;
+        while m > 0 {
+            let child_rel = rel | m;
+            if child_rel != rel && child_rel < n {
+                let child = members[(child_rel + root_idx) % n];
+                self.send_wire(child, wire, tag.phase(), Arc::clone(&payload));
+            }
+            m >>= 1;
+        }
+
+        if rel != 0 {
+            if data.len() == payload.len() {
+                data.copy_from_slice(&payload);
+            } else {
+                *data = payload.to_vec();
+            }
+        }
+    }
+
+    /// Fixed-shape binomial-tree element-wise sum-reduce over `members` to
+    /// `root`. Deterministic: the combine order depends only on the group
+    /// shape, so results are bit-reproducible (see the module docs). Only
+    /// the root's `data` holds the result afterwards; other members' `data`
+    /// is clobbered with their subtree's partial sums.
+    pub(crate) fn reduce_sum_group(&self, members: &[usize], root: usize, data: &mut [f64], tag: Tag) {
+        let n = members.len();
+        let Some(me) = member_index(members, self.rank()) else {
+            return;
+        };
+        if n <= 1 {
+            return;
+        }
+        let root_idx = member_index(members, root).expect("reduce: root not in group");
+        let rel = (me + n - root_idx) % n;
+        let wire = tag.wire(Leg::Reduce);
+
+        let mut mask = 1usize;
+        while mask < n {
+            if rel & mask == 0 {
+                // Absorb the child subtree rooted at `rel | mask`, if any.
+                let child_rel = rel | mask;
+                if child_rel < n {
+                    let child = members[(child_rel + root_idx) % n];
+                    let part = self.recv_wire(child, wire);
+                    assert_eq!(part.len(), data.len(), "reduce: length mismatch from rank {child}");
+                    for (d, s) in data.iter_mut().zip(part.iter()) {
+                        *d += s;
+                    }
+                }
+            } else {
+                // Hand our partial to the parent and drop out.
+                let parent = members[((rel ^ mask) + root_idx) % n];
+                self.send_wire(parent, wire, tag.phase(), Arc::from(&data[..]));
+                break;
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// Reduce to `members[0]`, then broadcast the sums back out. The two
+    /// stages run on distinct wire legs of the same tag, so back-to-back
+    /// all-reduces on one tag cannot cross-talk.
+    fn allreduce_sum_group(&self, members: &[usize], data: &mut [f64], tag: Tag) {
+        let root = members[0];
+        self.reduce_sum_group(members, root, data, tag);
+        let mut v = data.to_vec();
+        self.bcast_group(members, root, &mut v, tag);
+        data.copy_from_slice(&v);
+    }
+
+    // --- broadcasts ----------------------------------------------------------
+
+    /// Broadcast within this process's grid row from the process at column
+    /// `root_q`. Root passes the payload; the others' `data` is overwritten.
+    pub fn bcast_row(&self, root_q: usize, data: &mut Vec<f64>, tag: impl Into<Tag>) {
+        let members = self.row_ranks();
+        let root = self.grid().rank_of(self.myrow(), root_q);
+        self.bcast_group(&members, root, data, tag.into());
+    }
+
+    /// Broadcast within this process's grid column from the process at row
+    /// `root_p`.
+    pub fn bcast_col(&self, root_p: usize, data: &mut Vec<f64>, tag: impl Into<Tag>) {
+        let members = self.col_ranks();
+        let root = self.grid().rank_of(root_p, self.mycol());
+        self.bcast_group(&members, root, data, tag.into());
+    }
+
+    /// Broadcast to all processes from `root` (a rank).
+    pub fn bcast_world(&self, root: usize, data: &mut Vec<f64>, tag: impl Into<Tag>) {
+        let members: Vec<usize> = (0..self.grid().size()).collect();
+        self.bcast_group(&members, root, data, tag.into());
+    }
+
+    // --- reductions -----------------------------------------------------------
+
+    /// Sum-reduce within the grid row to column `root_q`.
+    pub fn reduce_sum_row(&self, root_q: usize, data: &mut [f64], tag: impl Into<Tag>) {
+        let members = self.row_ranks();
+        let root = self.grid().rank_of(self.myrow(), root_q);
+        self.reduce_sum_group(&members, root, data, tag.into());
+    }
+
+    /// Sum-reduce within the grid column to row `root_p`.
+    pub fn reduce_sum_col(&self, root_p: usize, data: &mut [f64], tag: impl Into<Tag>) {
+        let members = self.col_ranks();
+        let root = self.grid().rank_of(root_p, self.mycol());
+        self.reduce_sum_group(&members, root, data, tag.into());
+    }
+
+    /// All-reduce (sum) within the grid row.
+    pub fn allreduce_sum_row(&self, data: &mut [f64], tag: impl Into<Tag>) {
+        let members = self.row_ranks();
+        self.allreduce_sum_group(&members, data, tag.into());
+    }
+
+    /// All-reduce (sum) within the grid column.
+    pub fn allreduce_sum_col(&self, data: &mut [f64], tag: impl Into<Tag>) {
+        let members = self.col_ranks();
+        self.allreduce_sum_group(&members, data, tag.into());
+    }
+
+    /// All-reduce (sum) over the whole grid.
+    pub fn allreduce_sum_world(&self, data: &mut [f64], tag: impl Into<Tag>) {
+        let members: Vec<usize> = (0..self.grid().size()).collect();
+        self.allreduce_sum_group(&members, data, tag.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_spmd, FaultScript};
+
+    #[test]
+    fn row_and_col_broadcast() {
+        run_spmd(2, 3, FaultScript::none(), |ctx| {
+            // Row broadcast from column 1: payload identifies the row.
+            let mut d = if ctx.mycol() == 1 { vec![ctx.myrow() as f64 * 10.0] } else { vec![] };
+            ctx.bcast_row(1, &mut d, 5);
+            assert_eq!(d, vec![ctx.myrow() as f64 * 10.0]);
+
+            // Column broadcast from row 0.
+            let mut d = if ctx.myrow() == 0 { vec![ctx.mycol() as f64] } else { vec![] };
+            ctx.bcast_col(0, &mut d, 6);
+            assert_eq!(d, vec![ctx.mycol() as f64]);
+        });
+    }
+
+    #[test]
+    fn world_broadcast() {
+        run_spmd(2, 2, FaultScript::none(), |ctx| {
+            let mut d = if ctx.rank() == 3 { vec![42.0] } else { vec![] };
+            ctx.bcast_world(3, &mut d, 9);
+            assert_eq!(d, vec![42.0]);
+        });
+    }
+
+    #[test]
+    fn world_broadcast_on_16_ranks_is_logarithmic_at_the_root() {
+        // The acceptance bar for the tree rewrite: on a 16-process grid the
+        // broadcast root performs ⌈log₂ 16⌉ = 4 sends, not the 15 of a
+        // linear root loop. Total message count is still P−1 (every other
+        // member receives exactly once).
+        let out = run_spmd(4, 4, FaultScript::none(), |ctx| {
+            let before = ctx.msgs_sent();
+            let mut d = if ctx.rank() == 0 { vec![3.5; 257] } else { vec![] };
+            ctx.bcast_world(0, &mut d, 11);
+            assert_eq!(d, vec![3.5; 257]);
+            ctx.msgs_sent() - before
+        });
+        assert!(out[0] <= 4, "root sent {} messages; tree broadcast should send ≤ ⌈log₂ 16⌉ = 4", out[0]);
+        let total: u64 = out.iter().sum();
+        assert_eq!(total, 15, "a 16-member broadcast delivers exactly 15 messages");
+        let max_fanout = out.iter().max().unwrap();
+        assert!(*max_fanout <= 4, "some member forwarded {max_fanout} > log₂ 16 messages");
+    }
+
+    #[test]
+    fn reduce_on_16_ranks_has_logarithmic_fanin_at_the_root() {
+        let out = run_spmd(4, 4, FaultScript::none(), |ctx| {
+            let before = ctx.msgs_sent();
+            let mut d = vec![1.0; 33];
+            ctx.reduce_sum_col(0, &mut d, 12);
+            ctx.reduce_sum_row(0, &mut d, 13);
+            (ctx.msgs_sent() - before, d)
+        });
+        // Everyone but the final root sends exactly one partial per reduce
+        // it participates in as a non-root.
+        assert_eq!(out[0].0, 0, "reduce root must not send");
+        // Root of both reductions holds the world total: 16 ones per slot.
+        assert_eq!(out[0].1, vec![16.0; 33]);
+    }
+
+    #[test]
+    fn deterministic_row_reduce() {
+        let results = run_spmd(2, 4, FaultScript::none(), |ctx| {
+            let mut d = vec![ctx.mycol() as f64 + 1.0, 1.0];
+            ctx.reduce_sum_row(0, &mut d, 11);
+            if ctx.mycol() == 0 {
+                Some(d)
+            } else {
+                None
+            }
+        });
+        // Each row root holds [1+2+3+4, 4].
+        for r in results.into_iter().flatten() {
+            assert_eq!(r, vec![10.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_world() {
+        let results = run_spmd(2, 2, FaultScript::none(), |ctx| {
+            let mut d = vec![ctx.rank() as f64];
+            ctx.allreduce_sum_world(&mut d, 21);
+            d[0]
+        });
+        assert_eq!(results, vec![6.0; 4]);
+    }
+
+    #[test]
+    fn col_reduce_to_row1() {
+        let results = run_spmd(3, 2, FaultScript::none(), |ctx| {
+            let mut d = vec![(ctx.myrow() + 1) as f64];
+            ctx.reduce_sum_col(1, &mut d, 31);
+            (ctx.myrow() == 1).then_some(d[0])
+        });
+        let sums: Vec<f64> = results.into_iter().flatten().collect();
+        assert_eq!(sums, vec![6.0, 6.0]);
+    }
+
+    #[test]
+    fn back_to_back_allreduces_on_one_tag_do_not_cross_talk() {
+        run_spmd(2, 2, FaultScript::none(), |ctx| {
+            let mut a = vec![1.0];
+            let mut b = vec![10.0];
+            ctx.allreduce_sum_world(&mut a, 77);
+            ctx.allreduce_sum_world(&mut b, 77);
+            assert_eq!(a, vec![4.0]);
+            assert_eq!(b, vec![40.0]);
+        });
+    }
+}

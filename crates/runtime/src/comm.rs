@@ -1,9 +1,12 @@
-//! Per-process communication context: tagged point-to-point messages,
-//! deterministic collectives, barriers and fail-point checks.
+//! Per-process communication context: tagged point-to-point messages over
+//! a pluggable [`Transport`], barriers, fail-point checks and the
+//! per-phase traffic ledger. The tree collectives live in
+//! [`crate::collectives`].
 
 use crate::fault::{Board, FaultScript};
 use crate::grid::Grid;
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crate::tag::{Leg, Tag, TrafficLedger, TrafficPhase};
+use crate::transport::{MpscTransport, Msg, Transport};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Barrier};
@@ -13,36 +16,32 @@ use std::time::Duration;
 /// of hanging the test suite.
 const RECV_TIMEOUT: Duration = Duration::from_secs(600);
 
-struct Msg {
-    src: usize,
-    tag: u64,
-    data: Vec<f64>,
-}
-
 /// Everything shared by the whole world, built once per [`crate::run_spmd`].
 pub(crate) struct World {
     grid: Grid,
-    senders: Arc<Vec<Sender<Msg>>>,
-    receivers: Vec<Receiver<Msg>>,
+    transports: Vec<Box<dyn Transport>>,
     barrier: Arc<Barrier>,
     board: Arc<Board>,
     script: Arc<FaultScript>,
 }
 
 impl World {
+    /// A world over the default in-process mpsc fabric.
     pub(crate) fn new(grid: Grid, script: Arc<FaultScript>) -> Self {
+        let transports = MpscTransport::fabric(grid.size())
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn Transport>)
+            .collect();
+        Self::with_transports(grid, script, transports)
+    }
+
+    /// A world over caller-supplied endpoints, in rank order.
+    pub(crate) fn with_transports(grid: Grid, script: Arc<FaultScript>, transports: Vec<Box<dyn Transport>>) -> Self {
+        assert_eq!(transports.len(), grid.size(), "one transport endpoint per rank");
         let w = grid.size();
-        let mut senders = Vec::with_capacity(w);
-        let mut receivers = Vec::with_capacity(w);
-        for _ in 0..w {
-            let (s, r) = unbounded();
-            senders.push(s);
-            receivers.push(r);
-        }
         Self {
             grid,
-            senders: Arc::new(senders),
-            receivers,
+            transports,
             barrier: Arc::new(Barrier::new(w)),
             board: Arc::new(Board::default()),
             script,
@@ -50,15 +49,14 @@ impl World {
     }
 
     pub(crate) fn into_ctxs(self) -> Vec<Ctx> {
-        let World { grid, senders, receivers, barrier, board, script } = self;
-        receivers
+        let World { grid, transports, barrier, board, script } = self;
+        transports
             .into_iter()
             .enumerate()
-            .map(|(rank, rx)| Ctx {
+            .map(|(rank, transport)| Ctx {
                 rank,
                 grid,
-                senders: Arc::clone(&senders),
-                rx,
+                transport,
                 stash: RefCell::new(HashMap::new()),
                 barrier: Arc::clone(&barrier),
                 board: Arc::clone(&board),
@@ -67,6 +65,7 @@ impl World {
                 fired_points: RefCell::new(HashSet::new()),
                 bytes_sent: Cell::new(0),
                 msgs_sent: Cell::new(0),
+                ledger: RefCell::new(TrafficLedger::default()),
             })
             .collect()
     }
@@ -93,11 +92,10 @@ pub enum FailCheck {
 pub struct Ctx {
     rank: usize,
     grid: Grid,
-    senders: Arc<Vec<Sender<Msg>>>,
-    rx: Receiver<Msg>,
-    /// Out-of-order stash for selective receive by `(src, tag)`.
-    #[allow(clippy::type_complexity)] // (src, tag) → FIFO of payloads; a type alias would obscure it
-    stash: RefCell<HashMap<(usize, u64), VecDeque<Vec<f64>>>>,
+    transport: Box<dyn Transport>,
+    /// Out-of-order stash for selective receive by `(src, wire)`.
+    #[allow(clippy::type_complexity)] // (src, wire) → FIFO of payloads; a type alias would obscure it
+    stash: RefCell<HashMap<(usize, u64), VecDeque<Arc<[f64]>>>>,
     barrier: Arc<Barrier>,
     board: Arc<Board>,
     script: Arc<FaultScript>,
@@ -108,6 +106,7 @@ pub struct Ctx {
     fired_points: RefCell<HashSet<u64>>,
     bytes_sent: Cell<u64>,
     msgs_sent: Cell<u64>,
+    ledger: RefCell<TrafficLedger>,
 }
 
 impl Ctx {
@@ -158,39 +157,66 @@ impl Ctx {
         self.msgs_sent.get()
     }
 
+    /// Snapshot of the per-phase traffic ledger. Its phase totals sum to
+    /// exactly [`Ctx::bytes_sent`] / [`Ctx::msgs_sent`].
+    pub fn traffic(&self) -> TrafficLedger {
+        *self.ledger.borrow()
+    }
+
     // --- point to point ----------------------------------------------------
 
     /// Send `data` to `dst` under `tag`.
-    pub fn send(&self, dst: usize, tag: u64, data: &[f64]) {
-        assert!(dst < self.grid.size(), "send: bad destination {dst}");
-        self.bytes_sent.set(self.bytes_sent.get() + 8 * data.len() as u64);
-        self.msgs_sent.set(self.msgs_sent.get() + 1);
-        self.senders[dst]
-            .send(Msg { src: self.rank, tag, data: data.to_vec() })
-            .expect("send: world torn down");
+    pub fn send(&self, dst: usize, tag: impl Into<Tag>, data: &[f64]) {
+        self.send_arc(dst, tag, Arc::from(data));
+    }
+
+    /// Send an already-shared payload to `dst` under `tag` without copying
+    /// it — re-sending a retained `Arc<[f64]>` (e.g. a snapshot backup) is
+    /// free at this layer.
+    pub fn send_arc(&self, dst: usize, tag: impl Into<Tag>, payload: Arc<[f64]>) {
+        let tag = tag.into();
+        self.send_wire(dst, tag.wire(Leg::P2p), tag.phase(), payload);
     }
 
     /// Blocking selective receive of the next message from `src` with `tag`.
     /// FIFO order is preserved per `(src, tag)` pair.
-    pub fn recv(&self, src: usize, tag: u64) -> Vec<f64> {
-        if let Some(q) = self.stash.borrow_mut().get_mut(&(src, tag)) {
+    pub fn recv(&self, src: usize, tag: impl Into<Tag>) -> Vec<f64> {
+        self.recv_arc(src, tag).to_vec()
+    }
+
+    /// [`Ctx::recv`] without the final copy: the payload stays shared with
+    /// the sender (and any broadcast siblings).
+    pub fn recv_arc(&self, src: usize, tag: impl Into<Tag>) -> Arc<[f64]> {
+        let tag = tag.into();
+        self.recv_wire(src, tag.wire(Leg::P2p))
+    }
+
+    pub(crate) fn send_wire(&self, dst: usize, wire: u64, phase: TrafficPhase, payload: Arc<[f64]>) {
+        assert!(dst < self.grid.size(), "send: bad destination {dst}");
+        self.bytes_sent.set(self.bytes_sent.get() + 8 * payload.len() as u64);
+        self.msgs_sent.set(self.msgs_sent.get() + 1);
+        self.ledger.borrow_mut().record(phase, 8 * payload.len() as u64);
+        self.transport.send(dst, Msg { src: self.rank, wire, payload });
+    }
+
+    pub(crate) fn recv_wire(&self, src: usize, wire: u64) -> Arc<[f64]> {
+        if let Some(q) = self.stash.borrow_mut().get_mut(&(src, wire)) {
             if let Some(d) = q.pop_front() {
                 return d;
             }
         }
         loop {
-            let msg = self
-                .rx
-                .recv_timeout(RECV_TIMEOUT)
-                .unwrap_or_else(|_| panic!("rank {}: recv(src={src}, tag={tag}) timed out — SPMD protocol deadlock", self.rank));
-            if msg.src == src && msg.tag == tag {
-                return msg.data;
+            let msg = self.transport.recv(RECV_TIMEOUT).unwrap_or_else(|| {
+                panic!("rank {}: recv(src={src}, wire={wire:#x}) timed out — SPMD protocol deadlock", self.rank)
+            });
+            if msg.src == src && msg.wire == wire {
+                return msg.payload;
             }
             self.stash
                 .borrow_mut()
-                .entry((msg.src, msg.tag))
+                .entry((msg.src, msg.wire))
                 .or_default()
-                .push_back(msg.data);
+                .push_back(msg.payload);
         }
     }
 
@@ -199,112 +225,6 @@ impl Ctx {
     /// World barrier.
     pub fn barrier(&self) {
         self.barrier.wait();
-    }
-
-    // --- broadcasts ----------------------------------------------------------
-
-    fn bcast_group(&self, members: &[usize], root: usize, data: &mut Vec<f64>, tag: u64) {
-        debug_assert!(members.contains(&root));
-        if self.rank == root {
-            for &m in members {
-                if m != root {
-                    self.send(m, tag, data);
-                }
-            }
-        } else if members.contains(&self.rank) {
-            *data = self.recv(root, tag);
-        }
-    }
-
-    /// Broadcast within this process's grid row from the process at column
-    /// `root_q`. Root passes the payload; the others' `data` is overwritten.
-    pub fn bcast_row(&self, root_q: usize, data: &mut Vec<f64>, tag: u64) {
-        let members = self.row_ranks();
-        let root = self.grid.rank_of(self.myrow(), root_q);
-        self.bcast_group(&members, root, data, tag);
-    }
-
-    /// Broadcast within this process's grid column from the process at row
-    /// `root_p`.
-    pub fn bcast_col(&self, root_p: usize, data: &mut Vec<f64>, tag: u64) {
-        let members = self.col_ranks();
-        let root = self.grid.rank_of(root_p, self.mycol());
-        self.bcast_group(&members, root, data, tag);
-    }
-
-    /// Broadcast to all processes from `root` (a rank).
-    pub fn bcast_world(&self, root: usize, data: &mut Vec<f64>, tag: u64) {
-        let members: Vec<usize> = (0..self.grid.size()).collect();
-        self.bcast_group(&members, root, data, tag);
-    }
-
-    // --- reductions -----------------------------------------------------------
-
-    /// Deterministic element-wise sum-reduce over `members` to `root`:
-    /// contributions are added in member order regardless of arrival order,
-    /// so results are bit-reproducible. Only the root's `data` holds the
-    /// result afterwards.
-    fn reduce_sum_group(&self, members: &[usize], root: usize, data: &mut [f64], tag: u64) {
-        debug_assert!(members.contains(&root));
-        if self.rank == root {
-            let mut parts: HashMap<usize, Vec<f64>> = HashMap::new();
-            for &m in members {
-                if m != root {
-                    parts.insert(m, self.recv(m, tag));
-                }
-            }
-            let mine = data.to_vec();
-            data.fill(0.0);
-            for &m in members {
-                let part = if m == root { &mine } else { &parts[&m] };
-                assert_eq!(part.len(), data.len(), "reduce: length mismatch from rank {m}");
-                for (d, s) in data.iter_mut().zip(part) {
-                    *d += s;
-                }
-            }
-        } else if members.contains(&self.rank) {
-            self.send(root, tag, data);
-        }
-    }
-
-    fn allreduce_sum_group(&self, members: &[usize], data: &mut [f64], tag: u64) {
-        let root = members[0];
-        self.reduce_sum_group(members, root, data, tag);
-        let mut v = data.to_vec();
-        self.bcast_group(members, root, &mut v, tag.wrapping_add(1));
-        data.copy_from_slice(&v);
-    }
-
-    /// Sum-reduce within the grid row to column `root_q`.
-    pub fn reduce_sum_row(&self, root_q: usize, data: &mut [f64], tag: u64) {
-        let members = self.row_ranks();
-        let root = self.grid.rank_of(self.myrow(), root_q);
-        self.reduce_sum_group(&members, root, data, tag);
-    }
-
-    /// Sum-reduce within the grid column to row `root_p`.
-    pub fn reduce_sum_col(&self, root_p: usize, data: &mut [f64], tag: u64) {
-        let members = self.col_ranks();
-        let root = self.grid.rank_of(root_p, self.mycol());
-        self.reduce_sum_group(&members, root, data, tag);
-    }
-
-    /// All-reduce (sum) within the grid row.
-    pub fn allreduce_sum_row(&self, data: &mut [f64], tag: u64) {
-        let members = self.row_ranks();
-        self.allreduce_sum_group(&members, data, tag);
-    }
-
-    /// All-reduce (sum) within the grid column.
-    pub fn allreduce_sum_col(&self, data: &mut [f64], tag: u64) {
-        let members = self.col_ranks();
-        self.allreduce_sum_group(&members, data, tag);
-    }
-
-    /// All-reduce (sum) over the whole grid.
-    pub fn allreduce_sum_world(&self, data: &mut [f64], tag: u64) {
-        let members: Vec<usize> = (0..self.grid.size()).collect();
-        self.allreduce_sum_group(&members, data, tag);
     }
 
     /// Ranks of this process's grid row, in column order.
@@ -365,6 +285,21 @@ mod tests {
     }
 
     #[test]
+    fn p2p_arc_payload_is_forwarded_without_copy() {
+        run_spmd(1, 3, FaultScript::none(), |ctx| {
+            // 0 sends to 1, which forwards the same Arc to 2.
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, &[4.0; 16]);
+            } else if ctx.rank() == 1 {
+                let d = ctx.recv_arc(0, 7);
+                ctx.send_arc(2, 8, d);
+            } else {
+                assert_eq!(ctx.recv(1, 8), vec![4.0; 16]);
+            }
+        });
+    }
+
+    #[test]
     fn selective_recv_out_of_order() {
         run_spmd(1, 2, FaultScript::none(), |ctx| {
             if ctx.rank() == 0 {
@@ -382,73 +317,19 @@ mod tests {
     }
 
     #[test]
-    fn row_and_col_broadcast() {
-        run_spmd(2, 3, FaultScript::none(), |ctx| {
-            // Row broadcast from column 1: payload identifies the row.
-            let mut d = if ctx.mycol() == 1 {
-                vec![ctx.myrow() as f64 * 10.0]
+    fn typed_tags_do_not_collide_with_numeric_tags() {
+        run_spmd(1, 2, FaultScript::none(), |ctx| {
+            if ctx.rank() == 0 {
+                // Same channel number, three different subsystems.
+                ctx.send(1, Tag::Panel(5), &[1.0]);
+                ctx.send(1, Tag::Recovery(5), &[2.0]);
+                ctx.send(1, 5, &[3.0]);
             } else {
-                vec![]
-            };
-            ctx.bcast_row(1, &mut d, 5);
-            assert_eq!(d, vec![ctx.myrow() as f64 * 10.0]);
-
-            // Column broadcast from row 0.
-            let mut d = if ctx.myrow() == 0 {
-                vec![ctx.mycol() as f64]
-            } else {
-                vec![]
-            };
-            ctx.bcast_col(0, &mut d, 6);
-            assert_eq!(d, vec![ctx.mycol() as f64]);
-        });
-    }
-
-    #[test]
-    fn world_broadcast() {
-        run_spmd(2, 2, FaultScript::none(), |ctx| {
-            let mut d = if ctx.rank() == 3 { vec![42.0] } else { vec![] };
-            ctx.bcast_world(3, &mut d, 9);
-            assert_eq!(d, vec![42.0]);
-        });
-    }
-
-    #[test]
-    fn deterministic_row_reduce() {
-        let results = run_spmd(2, 4, FaultScript::none(), |ctx| {
-            let mut d = vec![ctx.mycol() as f64 + 1.0, 1.0];
-            ctx.reduce_sum_row(0, &mut d, 11);
-            if ctx.mycol() == 0 {
-                Some(d)
-            } else {
-                None
+                assert_eq!(ctx.recv(0, 5), vec![3.0]);
+                assert_eq!(ctx.recv(0, Tag::Panel(5)), vec![1.0]);
+                assert_eq!(ctx.recv(0, Tag::Recovery(5)), vec![2.0]);
             }
         });
-        // Each row root holds [1+2+3+4, 4].
-        for r in results.into_iter().flatten() {
-            assert_eq!(r, vec![10.0, 4.0]);
-        }
-    }
-
-    #[test]
-    fn allreduce_world() {
-        let results = run_spmd(2, 2, FaultScript::none(), |ctx| {
-            let mut d = vec![ctx.rank() as f64];
-            ctx.allreduce_sum_world(&mut d, 21);
-            d[0]
-        });
-        assert_eq!(results, vec![6.0; 4]);
-    }
-
-    #[test]
-    fn col_reduce_to_row1() {
-        let results = run_spmd(3, 2, FaultScript::none(), |ctx| {
-            let mut d = vec![(ctx.myrow() + 1) as f64];
-            ctx.reduce_sum_col(1, &mut d, 31);
-            (ctx.myrow() == 1).then_some(d[0])
-        });
-        let sums: Vec<f64> = results.into_iter().flatten().collect();
-        assert_eq!(sums, vec![6.0, 6.0]);
     }
 
     #[test]
@@ -481,19 +362,14 @@ mod tests {
     #[test]
     fn failpoint_two_simultaneous_victims() {
         use crate::PlannedFailure;
-        let script = FaultScript::new(vec![
-            PlannedFailure { victim: 0, point: 5 },
-            PlannedFailure { victim: 3, point: 5 },
-        ]);
-        run_spmd(2, 2, script, |ctx| {
-            match ctx.check_failpoint(5) {
-                FailCheck::Failure { mut victims, me } => {
-                    victims.sort_unstable();
-                    assert_eq!(victims, vec![0, 3]);
-                    assert_eq!(me, ctx.rank() == 0 || ctx.rank() == 3);
-                }
-                _ => panic!("missed failure"),
+        let script = FaultScript::new(vec![PlannedFailure { victim: 0, point: 5 }, PlannedFailure { victim: 3, point: 5 }]);
+        run_spmd(2, 2, script, |ctx| match ctx.check_failpoint(5) {
+            FailCheck::Failure { mut victims, me } => {
+                victims.sort_unstable();
+                assert_eq!(victims, vec![0, 3]);
+                assert_eq!(me, ctx.rank() == 0 || ctx.rank() == 3);
             }
+            _ => panic!("missed failure"),
         });
     }
 
@@ -509,5 +385,49 @@ mod tests {
         });
         assert_eq!(sent[0], (800, 1));
         assert_eq!(sent[1], (0, 0));
+    }
+
+    #[test]
+    fn ledger_buckets_by_phase_and_totals_match_counters() {
+        use crate::tag::TrafficPhase;
+        let out = run_spmd(1, 2, FaultScript::none(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, Tag::Panel(0), &[0.0; 10]);
+                ctx.send(1, Tag::Trailing(0), &[0.0; 20]);
+                ctx.send(1, Tag::Checksum(0), &[0.0; 30]);
+                ctx.send(1, Tag::Checkpoint(0), &[0.0; 40]);
+                ctx.send(1, Tag::Recovery(0), &[0.0; 50]);
+                ctx.send(1, 99, &[0.0; 60]);
+            } else {
+                for t in [
+                    Tag::Panel(0),
+                    Tag::Trailing(0),
+                    Tag::Checksum(0),
+                    Tag::Checkpoint(0),
+                    Tag::Recovery(0),
+                    Tag::User(99),
+                ] {
+                    let _ = ctx.recv(0, t);
+                }
+            }
+            (ctx.traffic(), ctx.bytes_sent(), ctx.msgs_sent())
+        });
+        let (ledger, bytes, msgs) = out[0];
+        let expect = [
+            (TrafficPhase::Panel, 80),
+            (TrafficPhase::TrailingUpdate, 160),
+            (TrafficPhase::ChecksumUpdate, 240),
+            (TrafficPhase::Checkpoint, 320),
+            (TrafficPhase::Recovery, 400),
+            (TrafficPhase::Other, 480),
+        ];
+        for (phase, b) in expect {
+            assert_eq!(ledger.phase(phase).bytes, b, "{phase:?}");
+            assert_eq!(ledger.phase(phase).msgs, 1, "{phase:?}");
+        }
+        // The ledger's per-phase totals sum to exactly the global counters.
+        assert_eq!(ledger.total_bytes(), bytes);
+        assert_eq!(ledger.total_msgs(), msgs);
+        assert_eq!((bytes, msgs), (8 * 210, 6));
     }
 }

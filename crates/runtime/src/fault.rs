@@ -11,7 +11,7 @@
 //! per process *row*; enforcing that constraint is the algorithm's job, not
 //! the injector's — the injector will happily kill anything it is told to.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// One planned process failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,11 +46,7 @@ impl FaultScript {
 
     /// Victims scheduled to die at `point`.
     pub fn victims_at(&self, point: u64) -> Vec<usize> {
-        self.failures
-            .iter()
-            .filter(|f| f.point == point)
-            .map(|f| f.victim)
-            .collect()
+        self.failures.iter().filter(|f| f.point == point).map(|f| f.victim).collect()
     }
 
     /// `true` if the script is empty.
@@ -79,14 +75,22 @@ impl FaultScript {
 /// single-redundancy scheme as long as victims land in distinct rows —
 /// which single-victim events always satisfy.
 pub fn poisson_failures(n_points: u64, mtti_points: f64, world: usize, seed: u64) -> Vec<PlannedFailure> {
-    use rand::{Rng, SeedableRng};
     assert!(mtti_points > 0.0 && world > 0);
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    // SplitMix64 stream (same generator family as `ft_dense::rng`, inlined
+    // here so the runtime stays dependency-free).
+    let mut state = seed;
+    let mut next_u64 = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
     let mut out: Vec<PlannedFailure> = Vec::new();
     let mut t = 0.0f64;
     loop {
-        // Exponential inter-arrival: −MTTI·ln(U).
-        let u: f64 = rng.gen_range(1e-12..1.0);
+        // Exponential inter-arrival: −MTTI·ln(U), U ∈ (0, 1].
+        let u = ((next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64;
         t += -mtti_points * u.ln();
         if t >= n_points as f64 {
             break;
@@ -95,7 +99,7 @@ pub fn poisson_failures(n_points: u64, mtti_points: f64, world: usize, seed: u64
         if out.last().is_some_and(|f| f.point == point) {
             continue; // one victim per point
         }
-        out.push(PlannedFailure { victim: rng.gen_range(0..world), point });
+        out.push(PlannedFailure { victim: (next_u64() % world as u64) as usize, point });
     }
     out
 }
@@ -110,17 +114,17 @@ pub(crate) struct Board {
 
 impl Board {
     pub(crate) fn announce(&self, victim: usize) {
-        self.entries.lock().push(victim);
+        self.entries.lock().expect("board poisoned").push(victim);
     }
 
     /// Entries from `from` onward (the caller tracks its own cursor).
     pub(crate) fn read_from(&self, from: usize) -> Vec<usize> {
-        let e = self.entries.lock();
+        let e = self.entries.lock().expect("board poisoned");
         e[from.min(e.len())..].to_vec()
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.entries.lock().expect("board poisoned").len()
     }
 }
 

@@ -7,9 +7,10 @@
 //! ft-hess) only ever observe:
 //!
 //! * a `P×Q` logical process grid ([`Grid`]),
-//! * point-to-point tagged `send`/`recv`,
-//! * row/column/world broadcasts and sum-reductions with **deterministic
-//!   reduction order** (rank order — so residuals are bit-reproducible),
+//! * point-to-point tagged `send`/`recv` over a pluggable [`Transport`],
+//! * row/column/world binomial-tree broadcasts and sum-reductions with a
+//!   **fixed, deterministic combine order** (the tree's — so residuals are
+//!   bit-reproducible; see [`collectives`]),
 //! * barriers,
 //! * a fail-stop fault injector ([`FaultScript`]) and a failure notice board
 //!   (the stand-in for ULFM-style failure detection).
@@ -26,13 +27,18 @@
 //! are lost — matching the paper's recovery model, which repairs the grid
 //! before recovering data (§5.3 step 1).
 
+pub mod collectives;
 pub mod comm;
 pub mod fault;
 pub mod grid;
+pub mod tag;
+pub mod transport;
 
 pub use comm::{Ctx, FailCheck};
 pub use fault::{poisson_failures, FaultScript, PlannedFailure};
 pub use grid::Grid;
+pub use tag::{PhaseTraffic, Tag, TrafficLedger, TrafficPhase};
+pub use transport::{MpscTransport, Msg, Transport};
 
 use std::sync::Arc;
 
@@ -61,6 +67,27 @@ where
 {
     let grid = Grid::new(p, q);
     let world = comm::World::new(grid, Arc::new(script));
+    run_world(p, q, world, f)
+}
+
+/// [`run_spmd`] over caller-supplied [`Transport`] endpoints (in rank
+/// order) instead of the default in-process mpsc fabric — the pluggable
+/// communicator seam. Endpoint `i` becomes rank `i`'s wire.
+pub fn run_spmd_with<R, F>(p: usize, q: usize, script: FaultScript, transports: Vec<Box<dyn Transport>>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Ctx) -> R + Sync,
+{
+    let grid = Grid::new(p, q);
+    let world = comm::World::with_transports(grid, Arc::new(script), transports);
+    run_world(p, q, world, f)
+}
+
+fn run_world<R, F>(p: usize, q: usize, world: comm::World, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Ctx) -> R + Sync,
+{
     let mut ctxs: Vec<Option<Ctx>> = world.into_ctxs().into_iter().map(Some).collect();
 
     std::thread::scope(|scope| {

@@ -1,0 +1,141 @@
+//! The pluggable point-to-point transport underneath [`crate::Ctx`].
+//!
+//! Everything above this layer — selective receive, tree collectives,
+//! barriers, fault handling — is written against the [`Transport`] trait,
+//! so the wire substrate can be swapped without touching the algorithms.
+//! The default is [`MpscTransport`], an in-process fabric over
+//! `std::sync::mpsc` (one unbounded channel per endpoint). Tests wrap it
+//! to observe or perturb traffic; a real MPI-backed transport would slot
+//! in the same way.
+//!
+//! Payloads travel as `Arc<[f64]>`: forwarding a message (as the interior
+//! nodes of a broadcast tree do) clones the `Arc`, not the data, so a
+//! P-wide broadcast allocates the payload exactly once.
+
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One message on the wire. `wire` is the encoded `(Tag, Leg)` mailbox key
+/// (see [`crate::tag::Tag`]); the payload is shared, never deep-copied in
+/// transit.
+pub struct Msg {
+    /// Sender's rank.
+    pub src: usize,
+    /// Encoded mailbox key (tag + collective leg).
+    pub wire: u64,
+    /// Shared payload.
+    pub payload: Arc<[f64]>,
+}
+
+/// A process's endpoint in some message fabric.
+///
+/// Implementations must deliver messages reliably and, per `(src, dst)`
+/// pair, in order — the selective-receive layer in [`crate::Ctx`] provides
+/// per-`(src, tag)` FIFO on top of that. `send` must not block on the
+/// receiver (the SPMD protocols assume buffered sends).
+pub trait Transport: Send {
+    /// This endpoint's rank.
+    fn rank(&self) -> usize;
+
+    /// Number of endpoints in the fabric.
+    fn world_size(&self) -> usize;
+
+    /// Deliver `msg` to `dst`'s inbox. Must not block.
+    fn send(&self, dst: usize, msg: Msg);
+
+    /// Blocking receive of the next inbound message, in arrival order.
+    /// Returns `None` on timeout (the caller turns that into a loud
+    /// deadlock diagnosis).
+    fn recv(&self, timeout: Duration) -> Option<Msg>;
+}
+
+/// The default in-process fabric: one unbounded `std::sync::mpsc` channel
+/// per endpoint, senders shared by everyone.
+pub struct MpscTransport {
+    rank: usize,
+    txs: Arc<Vec<Sender<Msg>>>,
+    rx: Receiver<Msg>,
+}
+
+impl MpscTransport {
+    /// Build a fully connected fabric of `n` endpoints.
+    pub fn fabric(n: usize) -> Vec<MpscTransport> {
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let txs = Arc::new(txs);
+        rxs.into_iter()
+            .enumerate()
+            .map(|(rank, rx)| MpscTransport { rank, txs: Arc::clone(&txs), rx })
+            .collect()
+    }
+}
+
+impl Transport for MpscTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn send(&self, dst: usize, msg: Msg) {
+        self.txs[dst].send(msg).expect("send: world torn down");
+    }
+
+    fn recv(&self, timeout: Duration) -> Option<Msg> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Some(m),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => panic!("recv: world torn down"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_routes_and_preserves_pairwise_order() {
+        let mut eps = MpscTransport::fabric(3);
+        let c = eps.remove(2);
+        let b = eps.remove(1);
+        let a = eps.remove(0);
+        assert_eq!(a.world_size(), 3);
+        assert_eq!(c.rank(), 2);
+
+        a.send(2, Msg { src: 0, wire: 1, payload: Arc::from([1.0].as_slice()) });
+        a.send(2, Msg { src: 0, wire: 1, payload: Arc::from([2.0].as_slice()) });
+        b.send(2, Msg { src: 1, wire: 9, payload: Arc::from([3.0].as_slice()) });
+
+        let mut from_a = Vec::new();
+        for _ in 0..3 {
+            let m = c.recv(Duration::from_secs(5)).expect("message lost");
+            if m.src == 0 {
+                from_a.push(m.payload[0]);
+            } else {
+                assert_eq!((m.wire, m.payload[0]), (9, 3.0));
+            }
+        }
+        assert_eq!(from_a, vec![1.0, 2.0], "pairwise order violated");
+        assert!(c.recv(Duration::from_millis(10)).is_none(), "phantom message");
+    }
+
+    #[test]
+    fn payloads_are_shared_not_copied() {
+        let mut eps = MpscTransport::fabric(2);
+        let b = eps.remove(1);
+        let a = eps.remove(0);
+        let payload: Arc<[f64]> = Arc::from(vec![7.0; 32].as_slice());
+        a.send(1, Msg { src: 0, wire: 0, payload: Arc::clone(&payload) });
+        let got = b.recv(Duration::from_secs(5)).unwrap().payload;
+        assert!(Arc::ptr_eq(&payload, &got), "transport deep-copied the payload");
+    }
+}

@@ -1,0 +1,68 @@
+//! Failure-path regression: a victim announced at a fail point adjacent to
+//! a tree collective must be observed identically by every survivor, and
+//! the collectives before and after the failure must still complete with
+//! correct (and deterministic) results — the tree's interior forwarding
+//! must not smear messages across the fail-point boundary.
+
+use ft_runtime::{run_spmd, FailCheck, FaultScript, PlannedFailure};
+
+#[test]
+fn victim_at_tree_collective_boundary_is_seen_consistently() {
+    let (p, q) = (4usize, 4usize);
+    let victim = 5usize;
+    let point = 70u64;
+    let checks = run_spmd(p, q, FaultScript::one(victim, point), move |ctx| {
+        let w = p * q;
+
+        // A tree collective right before the fail point…
+        let mut v = vec![ctx.rank() as f64 + 1.0];
+        ctx.allreduce_sum_world(&mut v, 400);
+        assert_eq!(v[0], (w * (w + 1) / 2) as f64);
+
+        // …the victim dies here…
+        let res = ctx.check_failpoint(point);
+
+        // …and a tree collective right after still completes for everyone
+        // (the simulated victim keeps participating as its replacement).
+        let mut b = if ctx.rank() == 2 { vec![9.0; 65] } else { vec![] };
+        ctx.bcast_world(2, &mut b, 402);
+        assert_eq!(b, vec![9.0; 65]);
+        res
+    });
+
+    for (rank, res) in checks.iter().enumerate() {
+        match res {
+            FailCheck::Failure { victims, me } => {
+                assert_eq!(victims, &vec![victim], "rank {rank} saw wrong victim list");
+                assert_eq!(*me, rank == victim, "rank {rank} misidentified itself");
+            }
+            FailCheck::AllGood => panic!("rank {rank} missed the failure"),
+        }
+    }
+}
+
+#[test]
+fn simultaneous_victims_between_collectives_are_seen_identically() {
+    // Two victims at one fail point sandwiched between a reduce and a
+    // broadcast; every rank must report the same (announcement-ordered)
+    // victim list even though tree traffic surrounds the point.
+    let script = FaultScript::new(vec![PlannedFailure { victim: 1, point: 9 }, PlannedFailure { victim: 6, point: 9 }]);
+    let out = run_spmd(2, 4, script, |ctx| {
+        let mut v = vec![1.0; 8];
+        ctx.reduce_sum_col(0, &mut v, 500);
+        let res = ctx.check_failpoint(9);
+        let mut b = vec![ctx.myrow() as f64];
+        ctx.bcast_row(0, &mut b, 502);
+        assert_eq!(b, vec![ctx.myrow() as f64]);
+        match res {
+            FailCheck::Failure { mut victims, .. } => {
+                victims.sort_unstable();
+                victims
+            }
+            FailCheck::AllGood => panic!("missed failure"),
+        }
+    });
+    for v in &out {
+        assert_eq!(v, &vec![1, 6], "victim lists diverged across survivors");
+    }
+}

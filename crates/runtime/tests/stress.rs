@@ -23,7 +23,7 @@ fn randomized_collective_sequences_match_oracle() {
         run_spmd(p, q, FaultScript::none(), move |ctx| {
             let w = p * q;
             let mut rng = Lcg(seed); // same stream everywhere: same op sequence
-            // Each process carries a value; the oracle tracks all of them.
+                                     // Each process carries a value; the oracle tracks all of them.
             let mut mine = vec![ctx.rank() as f64 + 1.0];
             let mut oracle: Vec<f64> = (0..w).map(|r| r as f64 + 1.0).collect();
 
@@ -68,11 +68,7 @@ fn randomized_collective_sequences_match_oracle() {
                         oracle = vec![v; w];
                     }
                 }
-                assert_eq!(
-                    mine[0], oracle[ctx.rank()],
-                    "{p}x{q} seed {seed}: step {step} diverged on rank {}",
-                    ctx.rank()
-                );
+                assert_eq!(mine[0], oracle[ctx.rank()], "{p}x{q} seed {seed}: step {step} diverged on rank {}", ctx.rank());
                 // Keep magnitudes bounded.
                 if mine[0].abs() > 1e12 {
                     mine[0] = (ctx.rank() % 7) as f64;

@@ -32,7 +32,12 @@ fn main() {
     // One failure per scope (every Q panels), rotating victim and phase;
     // plus one simultaneous double failure (ranks 0 and 5: rows 0 and 1).
     let mut failures = Vec::new();
-    let phases = [Phase::AfterPanel, Phase::AfterRightUpdate, Phase::AfterLeftUpdate, Phase::BeforePanel];
+    let phases = [
+        Phase::AfterPanel,
+        Phase::AfterRightUpdate,
+        Phase::AfterLeftUpdate,
+        Phase::BeforePanel,
+    ];
     let mut i = 0;
     let mut panel = 1;
     while panel < panels {

@@ -13,10 +13,7 @@ use abft_hessenberg::hess::{asymptotic_overhead, flop_model, storage_overhead_el
 
 fn main() {
     println!("Section 6 model at the paper's Titan configurations (NB = 80)");
-    println!(
-        "{:>8} {:>8}  {:>12} {:>12} {:>14}",
-        "grid", "N", "model ov %", "asym 7/5Q %", "paper meas. %"
-    );
+    println!("{:>8} {:>8}  {:>12} {:>12} {:>14}", "grid", "N", "model ov %", "asym 7/5Q %", "paper meas. %");
     // Figure 6(a) x-axis and the measured penalties the paper reports.
     let paper = [
         (6usize, 6_000usize, Some(7.6)),
@@ -49,12 +46,6 @@ fn main() {
     println!("{:>8} {:>8}  {:>16} {:>14}", "grid", "N", "extra elements", "vs matrix %");
     for (g, n, _) in paper {
         let s = storage_overhead_elements(n, 80, g);
-        println!(
-            "{:>8} {:>8}  {:>16} {:>14.2}",
-            format!("{g}x{g}"),
-            n,
-            s,
-            s as f64 / (n * n) as f64 * 100.0
-        );
+        println!("{:>8} {:>8}  {:>16} {:>14.2}", format!("{g}x{g}"), n, s, s as f64 / (n * n) as f64 * 100.0);
     }
 }

@@ -56,10 +56,7 @@ fn main() {
     assert!(l2.abs() <= alpha + 1e-8, "PageRank theory: |λ₂| ≤ α");
     println!("\nλ₁ = 1 (column-stochastic) ✓");
     println!("|λ₂| = {:.4} ≤ α = {alpha} ✓  → power iteration contracts by ≥ {:.4}/step", l2.abs(), l2.abs());
-    println!(
-        "≈ {:.0} iterations for 1e-9 accuracy",
-        (1e-9f64).ln() / l2.abs().ln()
-    );
+    println!("≈ {:.0} iterations for 1e-9 accuracy", (1e-9f64).ln() / l2.abs().ln());
 
     // ---- the actual PageRank vector: inverse iteration on H + back
     //      transformation with Q (v_G = Q·v_H), normalized to sum 1 --------
@@ -67,9 +64,7 @@ fn main() {
     let vh = hessenberg_eigenvector(&h, 1.0).expect("dominant eigenvector");
     let qm = orghr(&reduced, &tau);
     let mut pr = vec![0.0; n];
-    abft_hessenberg::dense::level2::gemv(
-        abft_hessenberg::dense::Trans::No, n, n, 1.0, qm.as_slice(), n, &vh, 0.0, &mut pr,
-    );
+    abft_hessenberg::dense::level2::gemv(abft_hessenberg::dense::Trans::No, n, n, 1.0, qm.as_slice(), n, &vh, 0.0, &mut pr);
     let s: f64 = pr.iter().sum();
     for x in pr.iter_mut() {
         *x /= s;

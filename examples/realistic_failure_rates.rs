@@ -37,7 +37,10 @@ fn main() {
     let expected = 4.0;
     let schedule: Vec<PlannedFailure> = poisson_failures(panels as u64, panels as f64 / expected, p * q, seed)
         .into_iter()
-        .map(|f| PlannedFailure { victim: f.victim, point: failpoint(f.point as usize, Phase::AfterLeftUpdate) })
+        .map(|f| PlannedFailure {
+            victim: f.victim,
+            point: failpoint(f.point as usize, Phase::AfterLeftUpdate),
+        })
         .collect();
     println!("machine: {p}x{q} grid, N = {n}, {panels} panel iterations");
     println!("Poisson schedule (MTTI = {:.0} panels): {} failures", panels as f64 / expected, schedule.len());

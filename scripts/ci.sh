@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite of the default
+# (dependency-free) workspace. Runs entirely offline — the only external
+# dependency (criterion, in crates/bench) lives in its own workspace and is
+# not touched here.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "CI OK"

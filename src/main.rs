@@ -28,8 +28,8 @@
 
 use abft_hessenberg::dense::gen::uniform_entry;
 use abft_hessenberg::hess::{cr_pdgehrd, failpoint, ft_pdgehrd, Encoded, Phase, Redundancy, Variant};
-use abft_hessenberg::pblas::{pd_hessenberg_residual, pdgehrd, Desc, DistMatrix};
-use abft_hessenberg::runtime::{poisson_failures, run_spmd, FaultScript, PlannedFailure};
+use abft_hessenberg::pblas::{pd_gather_traffic, pd_hessenberg_residual, pdgehrd, Desc, DistMatrix};
+use abft_hessenberg::runtime::{poisson_failures, run_spmd, FaultScript, PlannedFailure, TrafficPhase};
 use std::process::exit;
 use std::time::Instant;
 
@@ -131,10 +131,15 @@ fn parse_args() -> Opts {
                 if ph > 3 {
                     fail("--fail: phase is 0..=3");
                 }
-                o.failures.push(PlannedFailure { victim: rank, point: failpoint(panel, Phase::ALL[ph]) });
+                o.failures
+                    .push(PlannedFailure { victim: rank, point: failpoint(panel, Phase::ALL[ph]) });
             }
             "--mtti" => o.mtti = Some(val("--mtti").parse().unwrap_or_else(|_| fail("--mtti: bad number"))),
-            "--cr-interval" => o.cr_interval = val("--cr-interval").parse().unwrap_or_else(|_| fail("--cr-interval: bad integer")),
+            "--cr-interval" => {
+                o.cr_interval = val("--cr-interval")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--cr-interval: bad integer"))
+            }
             "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| fail("--seed: bad integer")),
             "--verify" => o.verify = true,
             other => fail(&format!("unknown argument '{other}'")),
@@ -164,19 +169,29 @@ fn main() {
     if let Some(mtti) = o.mtti {
         let extra = poisson_failures(panels as u64, mtti, o.p * o.q, o.seed)
             .into_iter()
-            .map(|f| PlannedFailure { victim: f.victim, point: failpoint(f.point as usize, Phase::AfterLeftUpdate) });
+            .map(|f| PlannedFailure {
+                victim: f.victim,
+                point: failpoint(f.point as usize, Phase::AfterLeftUpdate),
+            });
         o.failures.extend(extra);
     }
     println!(
         "abft-hessenberg: N={} nb={} grid={}x{} variant={:?} redundancy={:?} failures={} seed={}",
-        o.n, o.nb, o.p, o.q, o.mode, o.redundancy, o.failures.len(), o.seed
+        o.n,
+        o.nb,
+        o.p,
+        o.q,
+        o.mode,
+        o.redundancy,
+        o.failures.len(),
+        o.seed
     );
 
     let Opts { n, nb, p, q, mode, redundancy, cr_interval, seed, verify, .. } = o.clone();
     let script = FaultScript::new(o.failures.clone());
     let t = Instant::now();
     let outcome = run_spmd(p, q, script, move |ctx| {
-        match mode {
+        let (events, lost, r) = match mode {
             Mode::Plain => {
                 let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
                 let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
@@ -208,14 +223,17 @@ fn main() {
                 });
                 (rep.rollbacks, rep.lost_panels, r)
             }
-        }
+        };
+        // Grid-wide per-phase traffic (collective; identical on all ranks).
+        let traffic = pd_gather_traffic(&ctx, 620);
+        (events, lost, r, traffic)
     })
     .into_iter()
     .next()
     .unwrap();
     let secs = t.elapsed().as_secs_f64();
 
-    let (events, lost, residual) = outcome;
+    let (events, lost, residual, traffic) = outcome;
     let gf = 10.0 / 3.0 * (o.n as f64).powi(3) / secs / 1e9;
     println!("time: {secs:.3} s  ({gf:.2} effective GFLOP/s)");
     match o.mode {
@@ -223,6 +241,14 @@ fn main() {
         Mode::Cr => println!("rollbacks: {events}, lost panel iterations: {lost}"),
         _ => println!("recoveries: {events}"),
     }
+    println!("traffic (grid-wide, by phase):");
+    for ph in TrafficPhase::ALL {
+        let t = traffic.phase(ph);
+        if t.msgs > 0 {
+            println!("  {:<16} {:>12} bytes  {:>8} msgs", ph.name(), t.bytes, t.msgs);
+        }
+    }
+    println!("  {:<16} {:>12} bytes  {:>8} msgs", "total", traffic.total_bytes(), traffic.total_msgs());
     if let Some(r) = residual {
         println!("residual r_inf = {r:.4}  (paper threshold r_t = 3)");
         if r >= 3.0 {

@@ -7,8 +7,7 @@ use abft_hessenberg::dense::gen::{uniform_entry, uniform_indexed_matrix};
 use abft_hessenberg::dense::Matrix;
 use abft_hessenberg::hess::{failpoint, ft_pdgehrd, Encoded, Phase, Variant};
 use abft_hessenberg::lapack::{
-    eigenvalues, extract_h, hessenberg_eigenvalues, hessenberg_residual, is_hessenberg, orghr,
-    orthogonality_residual,
+    eigenvalues, extract_h, hessenberg_eigenvalues, hessenberg_residual, is_hessenberg, orghr, orthogonality_residual,
 };
 use abft_hessenberg::runtime::{run_spmd, FaultScript};
 
@@ -50,10 +49,7 @@ fn eigenvalues_survive_failure() {
     eig_ref.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
     eig_ft.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
     for (a, b) in eig_ref.iter().zip(&eig_ft) {
-        assert!(
-            (a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6,
-            "eigenvalue mismatch: {a:?} vs {b:?}"
-        );
+        assert!((a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6, "eigenvalue mismatch: {a:?} vs {b:?}");
     }
 }
 
@@ -84,11 +80,8 @@ fn table1_property_residual_parity() {
     let a0 = uniform_indexed_matrix(n, n, seed);
 
     let (ag_ok, tau_ok, _) = reduce_distributed(n, nb, p, q, seed, Variant::NonDelayed, FaultScript::none());
-    let (ag_ft, tau_ft, rec) = reduce_distributed(
-        n, nb, p, q, seed,
-        Variant::NonDelayed,
-        FaultScript::one(1, failpoint(5, Phase::AfterPanel)),
-    );
+    let (ag_ft, tau_ft, rec) =
+        reduce_distributed(n, nb, p, q, seed, Variant::NonDelayed, FaultScript::one(1, failpoint(5, Phase::AfterPanel)));
     assert_eq!(rec, 1);
 
     let r_ok = hessenberg_residual(&a0, &extract_h(&ag_ok), &orghr(&ag_ok, &tau_ok));
