@@ -97,7 +97,7 @@ fn abft_vs_cr() {
         let recov = run_spmd(p, q, FaultScript::new(schedule), move |ctx| {
             let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(5, i, j));
             let mut tau = vec![0.0; n - 1];
-            ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).recoveries
+            ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).expect("within the fault model").recoveries
         })[0];
         let t_abft = t.elapsed().as_secs_f64();
 
@@ -133,7 +133,7 @@ fn redundancy_levels() {
         run_spmd(p, q, FaultScript::none(), move |ctx| {
             let mut enc = Encoded::with_redundancy(&ctx, n, nb, red, |i, j| uniform_entry(6, i, j));
             let mut tau = vec![0.0; n - 1];
-            ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau);
+            ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).expect("within the fault model");
         });
         let secs = t.elapsed().as_secs_f64();
         let flops = ft_dense::counters::flops();

@@ -37,7 +37,7 @@ fn residuals(cfg: Config, seed: u64) -> (f64, f64) {
     let r_ft = run_spmd(p, q, script, move |ctx| {
         let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
         let mut tau = vec![0.0; n - 1];
-        let rep = ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau);
+        let rep = ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).expect("within the fault model");
         assert_eq!(rep.recoveries, 1);
         let ag = enc.gather_logical_root(&ctx, 802);
         ag.map(|ag| {

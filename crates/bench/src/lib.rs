@@ -115,7 +115,7 @@ pub fn time_ft(cfg: Config, seed: u64, variant: Variant, fail: Option<(usize, Ph
     let reports = run_spmd(p, q, script, move |ctx| {
         let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
         let mut tau = vec![0.0; n - 1];
-        ft_pdgehrd(&ctx, &mut enc, variant, &mut tau)
+        ft_pdgehrd(&ctx, &mut enc, variant, &mut tau).expect("within the fault model")
     });
     (t.elapsed().as_secs_f64(), counters::flops(), reports.into_iter().next().unwrap())
 }

@@ -26,7 +26,7 @@ use crate::recovery;
 use crate::scope::ScopeState;
 use ft_dense::Matrix;
 use ft_pblas::{left_update, pdlahrd, right_update, PanelFactors};
-use ft_runtime::{Ctx, FailCheck};
+use ft_runtime::{catch_interrupt, Ctx, FailCheck};
 use std::time::Instant;
 
 /// Which ABFT variant to run.
@@ -79,11 +79,54 @@ pub fn failpoint(panel: usize, phase: Phase) -> u64 {
     (panel as u64) * 4 + phase.index()
 }
 
+/// Terminal failure of a fault-tolerant reduction: the observed victim set
+/// exceeds what the active redundancy level can repair. Every rank returns
+/// the **identical** error (the tolerance check is deterministic over the
+/// agreed victim set) — no rank panics and no rank proceeds with garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtError {
+    /// More simultaneous failures in one process row than the encoding
+    /// tolerates (see [`crate::recovery::check_tolerance`]).
+    Unrecoverable {
+        /// The agreed victim set (sorted for chaos failures, announcement
+        /// order for scripted ones).
+        victims: Vec<usize>,
+        /// Panel iteration of the last consistent boundary.
+        panel: usize,
+        /// Phase of the last consistent boundary.
+        phase: Phase,
+        /// The process row that overflowed.
+        row: usize,
+        /// Victims observed in that row.
+        count: usize,
+        /// Per-row tolerance of the active redundancy level.
+        max_per_row: usize,
+    },
+}
+
+impl std::fmt::Display for FtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FtError::Unrecoverable { victims, panel, phase, row, count, max_per_row } => write!(
+                f,
+                "unrecoverable failure at panel {panel} ({phase:?}): victims {victims:?} put {count} \
+                 failure(s) in process row {row}, but the encoding tolerates {max_per_row} per row"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FtError {}
+
 /// Outcome statistics of a fault-tolerant reduction.
 #[derive(Debug, Clone, Default)]
 pub struct FtReport {
     /// Number of recovery events (a multi-victim failure counts once).
     pub recoveries: usize,
+    /// Chaos-mode aborts: times an arbitrary-point failure unwound the
+    /// driver to its last committed boundary (a nested failure during
+    /// recovery counts again). Always 0 in scripted-only runs.
+    pub chaos_aborts: usize,
     /// All victim ranks recovered, in event order.
     pub victims: Vec<usize>,
     /// Seconds in the initial checksum encoding (Algorithm 2 line 1).
@@ -281,14 +324,121 @@ pub(crate) fn alg3_catch_up(ctx: &Ctx, enc: &mut Encoded, st: &mut ScopeState, s
     st.chk.right_done_for_next = extra_right && right_done;
 }
 
+/// Resume point within one panel iteration — where re-execution picks up
+/// after a chaos rollback to a committed boundary. The driver loop is a
+/// fall-through sequence of these steps; a fresh iteration starts at
+/// [`Step::Begin`], a restored one at whatever the boundary image says.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    /// Scope entry (snapshot) + the `BeforePanel` fail point.
+    Begin,
+    /// `pdlahrd` + bookkeeping + the `AfterPanel` fail point.
+    Panel,
+    /// Right update + the `AfterRightUpdate` fail point.
+    Right,
+    /// Left update + the `AfterLeftUpdate` fail point.
+    Left,
+    /// tau write, checksum-progress marker, scope-end work, advance.
+    ScopeEnd,
+}
+
+/// The driver's restartable control state (everything the loop mutates
+/// besides the matrix itself).
+struct DriverState {
+    scope: Option<ScopeState>,
+    k: usize,
+    panel_idx: usize,
+    resume: Step,
+}
+
+/// Bitwise image of one process's state at a committed fail-point boundary.
+/// Captured only when chaos injection is live ([`ft_runtime::Ctx::chaos_enabled`]
+/// — scripted-only and fault-free runs pay nothing); an arbitrary-point
+/// failure rolls every rank back to its image (all ranks always hold images
+/// of the *same* boundary, see `commit_boundary_image`) and re-enters
+/// through [`crate::recovery::recover`].
+struct BoundaryImage {
+    /// Full copy of the local (encoded) matrix buffer.
+    local: Vec<f64>,
+    tau: Vec<f64>,
+    scope: Option<ScopeState>,
+    k: usize,
+    panel_idx: usize,
+    resume: Step,
+    /// The boundary's phase — tells recovery how far the interrupted
+    /// iteration had progressed, exactly like the scripted path.
+    phase: Phase,
+    /// Scope (= checksum group) index at the boundary; `enc.groups()` for
+    /// the pre-loop boundary where no scope exists yet.
+    s: usize,
+}
+
+fn capture_image(enc: &Encoded, tau: &[f64], st: &DriverState, phase: Phase, s: usize) -> BoundaryImage {
+    BoundaryImage {
+        local: enc.a.local().as_slice().to_vec(),
+        tau: tau.to_vec(),
+        scope: st.scope.clone(),
+        k: st.k,
+        panel_idx: st.panel_idx,
+        resume: st.resume,
+        phase,
+        s,
+    }
+}
+
+fn restore_image(enc: &mut Encoded, tau: &mut [f64], st: &mut DriverState, img: &BoundaryImage) {
+    enc.a.local_mut().as_mut_slice().copy_from_slice(&img.local);
+    tau[..img.tau.len()].copy_from_slice(&img.tau);
+    st.scope = img.scope.clone();
+    st.k = img.k;
+    st.panel_idx = img.panel_idx;
+    st.resume = img.resume;
+}
+
+/// Commit the fail-point boundary `(panel_idx, phase)` and, when chaos is
+/// live, refresh this rank's boundary image.
+///
+/// The barrier is what keeps every rank's image pinned to the same
+/// boundary: a revocable barrier is all-or-none, survivors only observe an
+/// interrupt inside communication calls, and between the completed barrier
+/// and the (purely local) capture there are none. So either every rank
+/// refreshes its image or — if the barrier is revoked first — none does,
+/// and all roll back to the previous common boundary.
+#[allow(clippy::too_many_arguments)] // internal plumbing of the driver loop
+fn commit_boundary_image(
+    ctx: &Ctx,
+    enc: &Encoded,
+    tau: &[f64],
+    st: &mut DriverState,
+    img: &mut Option<BoundaryImage>,
+    next: Step,
+    phase: Phase,
+    s: usize,
+) {
+    if ctx.chaos_enabled() {
+        ctx.barrier();
+    }
+    st.resume = next;
+    if ctx.chaos_enabled() {
+        *img = Some(capture_image(enc, tau, st, phase, s));
+    }
+    // Boundary ids are failpoint ids shifted by one; id 0 is the pre-loop
+    // boundary right after the initial encoding.
+    ctx.commit_boundary(failpoint(st.panel_idx, phase) + 1);
+}
+
 /// The fault-tolerant distributed Hessenberg reduction (SPMD).
 ///
 /// Reduces the logical `N×N` part of `enc` in place; on exit the Hessenberg
 /// entries and reflectors are stored exactly like [`ft_pblas::pdgehrd`]'s
 /// output and `tau` is replicated. Failures scripted through the runtime's
 /// [`ft_runtime::FaultScript`] at [`failpoint`] ids are detected at phase
-/// boundaries and repaired transparently; the returned [`FtReport`] counts
-/// them.
+/// boundaries and repaired transparently; chaos kills injected through
+/// [`ft_runtime::ChaosScript`] at arbitrary message-op boundaries are
+/// detected by the runtime's agreement layer and rolled back to the last
+/// committed boundary. The returned [`FtReport`] counts both. A victim set
+/// beyond the redundancy level's tolerance yields
+/// [`FtError::Unrecoverable`] — identically on every rank.
 ///
 /// ```
 /// use ft_hess::{failpoint, ft_pdgehrd, Encoded, Phase, Variant};
@@ -301,28 +451,32 @@ pub(crate) fn alg3_catch_up(ctx: &Ctx, enc: &mut Encoded, st: &mut ScopeState, s
 ///         ft_dense::gen::uniform_entry(42, i, j)
 ///     });
 ///     let mut tau = vec![0.0; 15];
-///     ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).recoveries
+///     ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau)
+///         .expect("one failure per row is within the fault model")
+///         .recoveries
 /// });
 /// // … and every process reports exactly one transparent recovery.
 /// assert_eq!(recoveries, vec![1, 1, 1, 1]);
 /// ```
-pub fn ft_pdgehrd(ctx: &Ctx, enc: &mut Encoded, variant: Variant, tau: &mut [f64]) -> FtReport {
+pub fn ft_pdgehrd(ctx: &Ctx, enc: &mut Encoded, variant: Variant, tau: &mut [f64]) -> Result<FtReport, FtError> {
     ft_pdgehrd_hooked(ctx, enc, variant, tau, &mut |_, _, _, _| {})
 }
 
 /// [`ft_pdgehrd`] with an observation hook called (collectively, on every
 /// process) after each phase boundary — used by the test suite to check the
 /// Theorem 1 checksum invariant at every step. The hook may run collectives
-/// but must not mutate algorithm state.
+/// but must not mutate algorithm state. Chaos-mode rollbacks resume *after*
+/// a boundary, so under chaos injection a boundary's hook invocation can be
+/// skipped on re-execution — invariant-checking hooks belong to scripted
+/// runs.
 pub fn ft_pdgehrd_hooked(
     ctx: &Ctx,
     enc: &mut Encoded,
     variant: Variant,
     tau: &mut [f64],
     hook: &mut dyn FnMut(&Ctx, &Encoded, usize, Phase),
-) -> FtReport {
+) -> Result<FtReport, FtError> {
     let n = enc.n();
-    let nb = enc.nb();
     let q = ctx.npcol();
     assert!(q >= 2, "the ABFT scheme needs Q ≥ 2 (duplicated checksums live on distinct process columns)");
     if n > 1 {
@@ -336,62 +490,170 @@ pub fn ft_pdgehrd_hooked(
     enc.compute_initial_checksums(ctx);
     report.encode_secs = t0.elapsed().as_secs_f64();
 
-    let mut scope: Option<ScopeState> = None;
-    let mut panel_idx = 0usize;
-    let mut k = 0usize;
-    while k + 2 < n {
-        let w = nb.min(n - 2 - k);
-        let bc = k / nb;
+    // The protection domain opens once the checksums exist — data lost
+    // before that is outside the paper's fault model (§5).
+    ctx.arm_chaos();
+
+    let mut st = DriverState { scope: None, k: 0, panel_idx: 0, resume: Step::Begin };
+    let mut img: Option<BoundaryImage> = None;
+    if ctx.chaos_enabled() {
+        // Pre-loop boundary: a kill before the first panel's fail point
+        // rolls back to "everything encoded, nothing factorized", where the
+        // whole matrix is reconstructible from the initial checksums.
+        ctx.barrier();
+        img = Some(capture_image(enc, tau, &st, Phase::BeforePanel, enc.groups()));
+        ctx.commit_boundary(0);
+    }
+
+    'run: loop {
+        match catch_interrupt(|| run_loop(ctx, enc, variant, tau, hook, &mut st, &mut img, &mut report)) {
+            Ok(done) => {
+                done?;
+                break 'run;
+            }
+            Err(_interrupt) => {
+                // An arbitrary-point failure (or the revocation it caused)
+                // unwound this rank. Converge on the victim set, roll back
+                // to the last committed boundary, recover, re-execute.
+                report.chaos_aborts += 1;
+                loop {
+                    let agreed = ctx.agree_on_failures();
+                    let image = img.as_ref().expect("chaos abort before the pre-loop boundary image");
+                    if let Err(tol) = recovery::check_tolerance(ctx, enc.redundancy(), &agreed.victims) {
+                        // Deterministic over the agreed set: every rank
+                        // returns this same error, none panics.
+                        return Err(FtError::Unrecoverable {
+                            victims: agreed.victims,
+                            panel: image.panel_idx,
+                            phase: image.phase,
+                            row: tol.row,
+                            count: tol.count,
+                            max_per_row: tol.max_per_row,
+                        });
+                    }
+                    restore_image(enc, tau, &mut st, image);
+                    let (phase, s) = (image.phase, image.s);
+                    let me = agreed.victims.contains(&ctx.rank());
+                    let t = Instant::now();
+                    ctx.begin_recovery();
+                    let sc = st.scope.get_or_insert_with(|| ScopeState::empty(ctx, enc));
+                    let outcome = catch_interrupt(|| recovery::recover(ctx, enc, sc, &agreed.victims, me, variant, phase, s));
+                    ctx.end_recovery();
+                    report.recovery_secs += t.elapsed().as_secs_f64();
+                    match outcome {
+                        Ok(()) => {
+                            report.recoveries += 1;
+                            report.victims.extend_from_slice(&agreed.victims);
+                            continue 'run;
+                        }
+                        Err(_nested) => {
+                            // A failure struck during recovery itself. The
+                            // detector round is cumulative, so the next
+                            // agreement returns the union and recovery
+                            // re-enters from the same image.
+                            report.chaos_aborts += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    report.total_secs = t_total.elapsed().as_secs_f64();
+    Ok(report)
+}
+
+/// One pass of the driver loop from `st.resume` to completion. Unwinds with
+/// an [`ft_runtime::Interrupt`] on a chaos failure (caught by the caller);
+/// returns `Err` only for the typed beyond-tolerance verdict.
+#[allow(clippy::too_many_arguments)] // internal plumbing of the driver loop
+fn run_loop(
+    ctx: &Ctx,
+    enc: &mut Encoded,
+    variant: Variant,
+    tau: &mut [f64],
+    hook: &mut dyn FnMut(&Ctx, &Encoded, usize, Phase),
+    st: &mut DriverState,
+    img: &mut Option<BoundaryImage>,
+    report: &mut FtReport,
+) -> Result<(), FtError> {
+    let n = enc.n();
+    let nb = enc.nb();
+    let q = ctx.npcol();
+    let include_chk = variant == Variant::NonDelayed;
+
+    while st.k + 2 < n {
+        let w = nb.min(n - 2 - st.k);
+        let bc = st.k / nb;
         let s = bc / q;
 
-        if bc.is_multiple_of(q) {
-            let t = Instant::now();
-            scope = Some(ScopeState::begin(ctx, enc, s));
-            report.snapshot_secs += t.elapsed().as_secs_f64();
+        if st.resume == Step::Begin {
+            if bc.is_multiple_of(q) {
+                let t = Instant::now();
+                st.scope = Some(ScopeState::begin(ctx, enc, s));
+                report.snapshot_secs += t.elapsed().as_secs_f64();
+            }
+            let sc = st.scope.as_mut().expect("scope always begins before panels");
+            handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::BeforePanel, report)?;
+            commit_boundary_image(ctx, enc, tau, st, img, Step::Panel, Phase::BeforePanel, s);
+            hook(ctx, enc, st.panel_idx, Phase::BeforePanel);
         }
-        let st = scope.as_mut().expect("scope always begins before panels");
 
-        handle_failpoint(ctx, enc, st, variant, s, panel_idx, Phase::BeforePanel, &mut report);
-        hook(ctx, enc, panel_idx, Phase::BeforePanel);
-
-        let f = pdlahrd(ctx, &mut enc.a, n, k, w);
-        let ve = ve_rows(enc, &f);
-        if variant == Variant::NonDelayed {
-            store_ve(enc, &f, &ve);
+        if st.resume == Step::Panel {
+            let f = pdlahrd(ctx, &mut enc.a, n, st.k, w);
+            let ve = ve_rows(enc, &f);
+            if variant == Variant::NonDelayed {
+                store_ve(enc, &f, &ve);
+            }
+            {
+                let t = Instant::now();
+                st.scope.as_mut().unwrap().bookkeep_panel(ctx, enc, &f);
+                report.bookkeeping_secs += t.elapsed().as_secs_f64();
+            }
+            let sc = st.scope.as_mut().unwrap();
+            handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::AfterPanel, report)?;
+            commit_boundary_image(ctx, enc, tau, st, img, Step::Right, Phase::AfterPanel, s);
+            hook(ctx, enc, st.panel_idx, Phase::AfterPanel);
         }
+
+        if st.resume == Step::Right {
+            // On resume after a rollback the panel's factors come from the
+            // scope bookkeeping (replicated and deterministic), not from a
+            // re-run of pdlahrd.
+            let f = st.scope.as_ref().unwrap().factors.last().expect("panel factored").clone();
+            let ve = ve_rows(enc, &f);
+            ft_right(enc, &f, &ve, st.k + w, n, include_chk, s);
+            let sc = st.scope.as_mut().unwrap();
+            handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::AfterRightUpdate, report)?;
+            commit_boundary_image(ctx, enc, tau, st, img, Step::Left, Phase::AfterRightUpdate, s);
+            hook(ctx, enc, st.panel_idx, Phase::AfterRightUpdate);
+        }
+
+        if st.resume == Step::Left {
+            let f = st.scope.as_ref().unwrap().factors.last().expect("panel factored").clone();
+            ft_left(ctx, enc, &f, st.k + w, n, include_chk, s);
+            let sc = st.scope.as_mut().unwrap();
+            handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::AfterLeftUpdate, report)?;
+            commit_boundary_image(ctx, enc, tau, st, img, Step::ScopeEnd, Phase::AfterLeftUpdate, s);
+            hook(ctx, enc, st.panel_idx, Phase::AfterLeftUpdate);
+        }
+
+        // Step::ScopeEnd — tau write, progress marker, scope-end work.
         {
-            let t = Instant::now();
-            st.bookkeep_panel(ctx, enc, &f);
-            report.bookkeeping_secs += t.elapsed().as_secs_f64();
+            let sc = st.scope.as_mut().unwrap();
+            if include_chk {
+                // Keep the progress marker meaningful for both variants.
+                sc.chk.panels_done = sc.factors.len();
+            }
+            let f_tau = sc.factors.last().expect("panel factored").tau.clone();
+            tau[st.k..st.k + w].copy_from_slice(&f_tau);
         }
-
-        handle_failpoint(ctx, enc, st, variant, s, panel_idx, Phase::AfterPanel, &mut report);
-        hook(ctx, enc, panel_idx, Phase::AfterPanel);
-
-        let include_chk = variant == Variant::NonDelayed;
-        ft_right(enc, &f, &ve, k + w, n, include_chk, s);
-
-        handle_failpoint(ctx, enc, st, variant, s, panel_idx, Phase::AfterRightUpdate, &mut report);
-        hook(ctx, enc, panel_idx, Phase::AfterRightUpdate);
-
-        ft_left(ctx, enc, &f, k + w, n, include_chk, s);
-
-        handle_failpoint(ctx, enc, st, variant, s, panel_idx, Phase::AfterLeftUpdate, &mut report);
-        hook(ctx, enc, panel_idx, Phase::AfterLeftUpdate);
-
-        if include_chk {
-            // Keep the progress marker meaningful for both variants.
-            let st = scope.as_mut().unwrap();
-            st.chk.panels_done = st.factors.len();
-        }
-        tau[k..k + w].copy_from_slice(&f.tau);
-
-        let last_panel_overall = k + w + 2 >= n;
+        let last_panel_overall = st.k + w + 2 >= n;
         if bc % q == q - 1 || last_panel_overall {
             let t = Instant::now();
-            let st = scope.as_mut().unwrap();
+            let sc = st.scope.as_mut().unwrap();
             if variant == Variant::Delayed {
-                alg3_catch_up(ctx, enc, st, s, st.factors.len(), false);
+                alg3_catch_up(ctx, enc, sc, s, sc.factors.len(), false);
             }
             // Algorithm 2 line 16 analogue / §5: the finished group's
             // checksum is recomputed once and protects Area 2 forever.
@@ -399,12 +661,20 @@ pub fn ft_pdgehrd_hooked(
             report.scope_end_secs += t.elapsed().as_secs_f64();
         }
 
-        panel_idx += 1;
-        k += w;
+        st.panel_idx += 1;
+        st.k += w;
+        st.resume = Step::Begin;
     }
 
-    report.total_secs = t_total.elapsed().as_secs_f64();
-    report
+    if ctx.chaos_enabled() {
+        // Drain barrier: nobody leaves the protection domain while a peer
+        // can still die mid-protocol (agreement needs the full world). No
+        // message ops run between this barrier completing and the disarm,
+        // so once it passes no kill can fire on any rank.
+        ctx.barrier();
+        ctx.disarm_chaos();
+    }
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)] // internal plumbing of the driver loop
@@ -417,15 +687,31 @@ fn handle_failpoint(
     panel_idx: usize,
     phase: Phase,
     report: &mut FtReport,
-) {
+) -> Result<(), FtError> {
     match ctx.check_failpoint(failpoint(panel_idx, phase)) {
-        FailCheck::AllGood => {}
+        FailCheck::AllGood => Ok(()),
         FailCheck::Failure { victims, me } => {
+            if let Err(tol) = recovery::check_tolerance(ctx, enc.redundancy(), &victims) {
+                return Err(FtError::Unrecoverable {
+                    victims,
+                    panel: panel_idx,
+                    phase,
+                    row: tol.row,
+                    count: tol.count,
+                    max_per_row: tol.max_per_row,
+                });
+            }
             let t = Instant::now();
+            // Scripted recovery runs inside a recovery round too, so the
+            // chaos injector can target it (ChaosPoint::RecoveryOp) and
+            // exercise re-entrant recovery.
+            ctx.begin_recovery();
             recovery::recover(ctx, enc, st, &victims, me, variant, phase, s);
+            ctx.end_recovery();
             report.recoveries += 1;
             report.victims.extend_from_slice(&victims);
             report.recovery_secs += t.elapsed().as_secs_f64();
+            Ok(())
         }
     }
 }

@@ -32,10 +32,10 @@ pub mod recovery;
 pub mod scope;
 pub mod scrub;
 
-pub use algorithm::{failpoint, ft_pdgehrd, ft_pdgehrd_hooked, ve_rows, FtReport, Phase, Variant};
+pub use algorithm::{failpoint, ft_pdgehrd, ft_pdgehrd_hooked, ve_rows, FtError, FtReport, Phase, Variant};
 pub use checkpoint_restart::{cr_failpoint, cr_pdgehrd, CrReport};
 pub use encode::{Encoded, Redundancy};
 pub use model::{asymptotic_overhead, flop_model, storage_overhead_elements, FlopModel};
-pub use recovery::recover;
+pub use recovery::{check_tolerance, recover, ToleranceExceeded};
 pub use scope::ScopeState;
 pub use scrub::{scrub_groups, ScrubFinding};

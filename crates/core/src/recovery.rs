@@ -42,9 +42,46 @@ const TAG_A12_RED: Tag = Tag::Recovery(0x1000);
 const TAG_A12_CHK: Tag = Tag::Recovery(0x2000);
 const TAG_A12_PEER: Tag = Tag::Recovery(0x41);
 
+/// A victim set that exceeds what the encoding can repair — the typed
+/// verdict of [`check_tolerance`], reported before any recovery work starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToleranceExceeded {
+    /// The process row that overflowed.
+    pub row: usize,
+    /// Victims observed in that row.
+    pub count: usize,
+    /// The fault model's per-row limit for the active redundancy level.
+    pub max_per_row: usize,
+}
+
+/// Check a victim set against the fault model **before** attempting
+/// recovery: at most [`Redundancy::max_failures_per_row`] simultaneous
+/// victims per process row, further capped at `Q − 1` (a victim needs at
+/// least one live backup holder among its right neighbors). Deterministic —
+/// every rank evaluating the same victim list gets the identical verdict,
+/// which is what lets the driver return the same typed error everywhere
+/// instead of panicking on some ranks.
+pub fn check_tolerance(ctx: &Ctx, redundancy: Redundancy, victims: &[usize]) -> Result<(), ToleranceExceeded> {
+    let max_per_row = redundancy.max_failures_per_row().min(ctx.npcol().saturating_sub(1));
+    let mut rows: HashMap<usize, usize> = HashMap::new();
+    for &v in victims {
+        let (pv, _) = ctx.grid().coords_of(v);
+        let c = rows.entry(pv).or_insert(0);
+        *c += 1;
+        if *c > max_per_row {
+            return Err(ToleranceExceeded { row: pv, count: *c, max_per_row });
+        }
+    }
+    Ok(())
+}
+
 /// Run the full §5.3 recovery. Collective: every process calls with the
 /// same `victims` list (as delivered by the fail-point check); `me` marks
 /// the victims themselves, which act as the replacement processes.
+///
+/// Precondition: the victim set satisfies [`check_tolerance`] — the callers
+/// in the driver verify it first and surface a typed error instead of ever
+/// reaching this function with an unrecoverable set.
 #[allow(clippy::too_many_arguments)]
 pub fn recover(
     ctx: &Ctx,
@@ -56,19 +93,15 @@ pub fn recover(
     phase: Phase,
     s: usize,
 ) {
-    // Group victims by process row and enforce the fault model.
-    let max_per_row = enc.redundancy().max_failures_per_row();
+    debug_assert!(
+        check_tolerance(ctx, enc.redundancy(), victims).is_ok(),
+        "recover() called with an unrecoverable victim set {victims:?} — the driver must check first"
+    );
+    // Group victims by process row (the fault model was verified upstream).
     let mut rows: HashMap<usize, Vec<usize>> = HashMap::new();
     for &v in victims {
         let (pv, _) = ctx.grid().coords_of(v);
-        let e = rows.entry(pv).or_default();
-        e.push(v);
-        assert!(
-            e.len() <= max_per_row,
-            "unrecoverable: {} simultaneous failures in process row {pv} (max {max_per_row} — \
-             use Redundancy::Dual for two)",
-            e.len()
-        );
+        rows.entry(pv).or_default().push(v);
     }
 
     // Step 1 (§5.3 step 1 is grid repair — the replacement thread itself):
@@ -87,10 +120,25 @@ pub fn recover(
     st.repair_after_failure(ctx, enc, victims, me);
 
     // Step 3 (Algorithm 3 only): bring the surviving checksum columns up to
-    // date with the data before using them (Algorithm 3 lines 18–21). The
-    // victims' checksum blocks stay garbage until step 6 recomputes or
-    // copies them — they are never read in between.
-    if variant == Variant::Delayed && !st.factors.is_empty() {
+    // date with the data before using them (Algorithm 3 lines 18–21).
+    //
+    // The catch-up's left updates reduce over *every* process row of each
+    // checksum column, so a victim's garbage blocks would contaminate the
+    // survivors' blocks of every checksum copy the victim's process column
+    // owns — corruption that nothing reads until a *later* failure solves
+    // Area 1/2 from those copies. Under `Single` the two copies are
+    // bit-identical at any quiescent point, so restore the victims' blocks
+    // from the surviving duplicates first; the copies then flow through the
+    // catch-up like everyone else's and step 6 has nothing left to do.
+    // Under `Dual` the Area 1/2 solve never reads victim-column copies and
+    // step 6 recomputes every affected group from the recovered data, so
+    // the contamination window is already closed there.
+    let chk_catch_up = variant == Variant::Delayed && !st.factors.is_empty();
+    let pre_restored = chk_catch_up && enc.redundancy() == Redundancy::Single;
+    if pre_restored {
+        restore_checksum_duplicates(ctx, enc, victims);
+    }
+    if chk_catch_up {
         let (full, extra_right) = match phase {
             Phase::BeforePanel | Phase::AfterLeftUpdate => (st.factors.len(), false),
             Phase::AfterPanel => (st.factors.len() - 1, false),
@@ -137,6 +185,7 @@ pub fn recover(
     // weighted checksums the copies differ, so recompute the affected
     // groups from the (now fully recovered) member columns.
     match enc.redundancy() {
+        Redundancy::Single if pre_restored => {} // done before the catch-up
         Redundancy::Single => restore_checksum_duplicates(ctx, enc, victims),
         Redundancy::Dual => {
             let mut affected: BTreeSet<usize> = BTreeSet::new();

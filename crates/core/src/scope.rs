@@ -48,6 +48,11 @@ pub struct ChkProgress {
 }
 
 /// Everything a process keeps while a panel scope is in flight.
+///
+/// `Clone` exists for the chaos-mode boundary images: the driver snapshots
+/// the whole scope state at each committed fail-point boundary so an
+/// arbitrary-point failure can roll back to it.
+#[derive(Clone)]
 pub struct ScopeState {
     /// Scope id = checksum group index.
     pub scope: usize,
@@ -98,6 +103,30 @@ fn write_local_cols(enc: &mut Encoded, cols: &[usize], data: &[f64]) {
 }
 
 impl ScopeState {
+    /// A sentinel "no scope active" state, used by the chaos-mode driver for
+    /// the boundary image taken before the first panel scope begins. Its
+    /// scope id is `enc.groups()` — past every real group — so recovery's
+    /// `g == s` scope exclusion never matches and Areas 1/2 reconstruction
+    /// covers the whole matrix from the initial checksums. Purely local
+    /// (no snapshot exchange); the backup vectors exist but are empty.
+    pub fn empty(ctx: &Ctx, enc: &Encoded) -> Self {
+        let q = ctx.npcol();
+        let holders = enc.redundancy().max_failures_per_row().min(q.saturating_sub(1));
+        Self {
+            scope: enc.groups(),
+            start_col: 0,
+            end_col: 0,
+            holders,
+            local_cols: Vec::new(),
+            snapshot_own: Vec::new(),
+            snapshot_backups: vec![Vec::new(); holders],
+            factors: Vec::new(),
+            panel_backups: Vec::new(),
+            my_panel_pieces: Vec::new(),
+            chk: ChkProgress::default(),
+        }
+    }
+
     /// Scope entry: take the diskless snapshot (local copy + copies on the
     /// `h` right neighbors). Collective.
     pub fn begin(ctx: &Ctx, enc: &Encoded, scope: usize) -> Self {

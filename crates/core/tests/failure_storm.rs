@@ -1,0 +1,285 @@
+//! Sustained resilience under storms of failures — scripted (cooperative
+//! fail points) and chaos-mode (kills at arbitrary message-op boundaries,
+//! no cooperation from the algorithm).
+//!
+//! Promoted from the old `failure_storm` example; all seeds and kill
+//! schedules are fixed so every run reproduces exactly.
+
+use ft_dense::gen::{uniform_entry, uniform_indexed_matrix};
+use ft_hess::{failpoint, ft_pdgehrd, ft_pdgehrd_hooked, Encoded, FtError, FtReport, Phase, Variant};
+use ft_lapack::{extract_h, hessenberg_residual, orghr};
+use ft_runtime::{run_spmd, run_spmd_chaos, ChaosKill, ChaosPoint, ChaosScript, FaultScript, PlannedFailure};
+
+/// Run the FT reduction under `script` + `chaos` and return
+/// `(rank-0 gathered matrix, tau, report)`; the residual is checked by the
+/// caller. Panics in any rank propagate out of `run_spmd_chaos`, so a
+/// passing test doubles as a zero-panic assertion over every survivor.
+#[allow(clippy::too_many_arguments)]
+fn storm_run(
+    n: usize,
+    nb: usize,
+    p: usize,
+    q: usize,
+    seed: u64,
+    variant: Variant,
+    script: FaultScript,
+    chaos: ChaosScript,
+) -> (ft_dense::Matrix, Vec<f64>, FtReport) {
+    let results = run_spmd_chaos(p, q, script, chaos, move |ctx| {
+        let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
+        let mut tau = vec![0.0; n - 1];
+        let report = ft_pdgehrd(&ctx, &mut enc, variant, &mut tau).expect("within the fault model");
+        let ag = enc.gather_logical(&ctx, 1);
+        (ctx.rank() == 0).then_some((ag, tau, report))
+    });
+    results.into_iter().flatten().next().unwrap()
+}
+
+fn residual_of(n: usize, seed: u64, ag: &ft_dense::Matrix, tau: &[f64]) -> f64 {
+    let a0 = uniform_indexed_matrix(n, n, seed);
+    let h = extract_h(ag);
+    let qm = orghr(ag, tau);
+    hessenberg_residual(&a0, &h, &qm)
+}
+
+/// The original storm: one scripted failure per panel scope with rotating
+/// victims and phases, plus one simultaneous two-victim event in distinct
+/// process rows (the paper's §1 fault model at its limit).
+#[test]
+fn scripted_storm_one_failure_per_scope() {
+    let (n, nb, p, q) = (120usize, 4usize, 2usize, 3usize);
+    let seed = 13;
+    let panels = {
+        let (mut c, mut k) = (0, 0);
+        while k + 2 < n {
+            k += nb.min(n - 2 - k);
+            c += 1;
+        }
+        c
+    };
+
+    let phases = [
+        Phase::AfterPanel,
+        Phase::AfterRightUpdate,
+        Phase::AfterLeftUpdate,
+        Phase::BeforePanel,
+    ];
+    let mut failures = Vec::new();
+    let mut i = 0;
+    let mut panel = 1;
+    while panel < panels {
+        failures.push(PlannedFailure {
+            victim: (i * 2 + 1) % (p * q),
+            point: failpoint(panel, phases[i % phases.len()]),
+        });
+        i += 1;
+        panel += q;
+    }
+    // Simultaneous double failure: ranks 0 and 5 sit in process rows 0 and 1.
+    failures.push(PlannedFailure { victim: 0, point: failpoint(2, Phase::AfterRightUpdate) });
+    failures.push(PlannedFailure { victim: 5, point: failpoint(2, Phase::AfterRightUpdate) });
+    let total_victims = failures.len();
+    assert!(total_victims >= 12, "storm too small: {total_victims}");
+
+    let (ag, tau, report) = storm_run(n, nb, p, q, seed, Variant::NonDelayed, FaultScript::new(failures), ChaosScript::none());
+    assert_eq!(report.victims.len(), total_victims);
+    let r = residual_of(n, seed, &ag, &tau);
+    assert!(r < 3.0, "residual after the storm: {r}");
+}
+
+/// A chaos kill at an arbitrary, un-scripted message-op boundary: the run
+/// aborts mid-phase, rolls back to the last committed boundary, recovers,
+/// and still produces a backward-stable factorization.
+#[test]
+fn chaos_kill_at_unscripted_boundary_recovers() {
+    let (n, nb, p, q) = (48usize, 4usize, 2usize, 2usize);
+    let seed = 29;
+    // A fault-free rank performs ~410-430 message ops at this size (see
+    // `Ctx::chaos_ops`); these land early, middle, and late in the run.
+    for (victim, op) in [(2usize, 137u64), (1, 260), (3, 350)] {
+        let (ag, tau, report) =
+            storm_run(n, nb, p, q, seed, Variant::NonDelayed, FaultScript::none(), ChaosScript::at_op(victim, op));
+        assert!(report.chaos_aborts > 0, "kill at op {op} never fired");
+        assert_eq!(report.recoveries, 1, "victim {victim} op {op}");
+        assert_eq!(report.victims, vec![victim]);
+        let r = residual_of(n, seed, &ag, &tau);
+        assert!(r < 3.0, "victim {victim} op {op}: residual {r}");
+    }
+}
+
+/// Chaos under the Delayed (Algorithm 3) variant too — the rollback images
+/// must capture the deferred-checksum bookkeeping correctly.
+#[test]
+fn chaos_kill_delayed_variant() {
+    let (n, nb, p, q) = (48usize, 4usize, 2usize, 2usize);
+    let seed = 31;
+    let (ag, tau, report) = storm_run(n, nb, p, q, seed, Variant::Delayed, FaultScript::none(), ChaosScript::at_op(0, 333));
+    assert!(report.chaos_aborts > 0);
+    let r = residual_of(n, seed, &ag, &tau);
+    assert!(r < 3.0, "residual {r}");
+}
+
+/// Two sequential chaos kills in *different* scopes under Delayed: the
+/// second recovery reads checksum copies the first recovery's catch-up has
+/// touched. Regression test — the catch-up's left updates used to mix the
+/// first victim's garbage blocks into the survivors' blocks of every
+/// checksum copy on the victim's process column, which nothing read until
+/// a later recovery solved Area 1/2 from them (residual blew up to ~1e13).
+#[test]
+fn chaos_delayed_double_kill_across_scopes() {
+    let (n, nb, p, q) = (96usize, 8usize, 2usize, 3usize);
+    let seed = 2013;
+    let chaos = ChaosScript::new(vec![
+        ChaosKill { victim: 1, at: ChaosPoint::Op(63) },
+        ChaosKill { victim: 3, at: ChaosPoint::Op(304) },
+    ]);
+    let (ag, tau, report) = storm_run(n, nb, p, q, seed, Variant::Delayed, FaultScript::none(), chaos);
+    assert!(report.chaos_aborts >= 2, "both kills must fire: {} aborts", report.chaos_aborts);
+    assert_eq!(report.recoveries, 2);
+    let r = residual_of(n, seed, &ag, &tau);
+    assert!(r < 3.0, "residual {r}");
+}
+
+/// The root-cause assertion behind the double-kill regression: after a
+/// Delayed recovery, Theorem 1 must still hold for every *future* group's
+/// checksum copies at the next scope boundaries — those copies are exactly
+/// what a subsequent recovery would solve from.
+#[test]
+fn delayed_recovery_preserves_future_checksums() {
+    let (n, nb, p, q) = (96usize, 8usize, 2usize, 3usize);
+    run_spmd(p, q, FaultScript::one(1, failpoint(1, Phase::BeforePanel)), move |ctx| {
+        let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(2013, i, j));
+        let mut tau = vec![0.0; n - 1];
+        ft_pdgehrd_hooked(&ctx, &mut enc, Variant::Delayed, &mut tau, &mut |ctx, enc, panel, phase| {
+            // Delayed defers checksum updates mid-scope, so the invariant
+            // is only owed at scope-opening boundaries.
+            if phase == Phase::BeforePanel && panel % ctx.npcol() == 0 {
+                let s = panel / ctx.npcol();
+                for g in s + 1..enc.groups() {
+                    for copy in 0..2 {
+                        let viol = enc.checksum_violation(ctx, g, copy, 7300);
+                        assert!(viol < 1e-9, "scope {s} open: group {g} copy {copy} violation {viol}");
+                    }
+                }
+            }
+        })
+        .expect("within the fault model");
+    });
+}
+
+/// A failure that strikes while a previous failure is being repaired: the
+/// recovery aborts, the survivors re-agree on the union victim set, and the
+/// (re-entrant) recovery completes from the same boundary image.
+#[test]
+fn chaos_failure_during_recovery_is_recovered() {
+    let (n, nb, p, q) = (48usize, 4usize, 2usize, 2usize);
+    let seed = 37;
+    // Rank 1 dies mid-run; rank 2 (different process row) dies at the 2nd
+    // message op of the resulting recovery round — while rank 1's repair is
+    // still in flight.
+    let chaos = ChaosScript::new(vec![
+        ChaosKill { victim: 1, at: ChaosPoint::Op(250) },
+        ChaosKill { victim: 2, at: ChaosPoint::RecoveryOp { round: 1, op: 1 } },
+    ]);
+    let (ag, tau, report) = storm_run(n, nb, p, q, seed, Variant::NonDelayed, FaultScript::none(), chaos);
+    assert!(report.chaos_aborts >= 2, "nested abort never happened: {} aborts", report.chaos_aborts);
+    assert!(report.victims.contains(&1) && report.victims.contains(&2), "victims: {:?}", report.victims);
+    let r = residual_of(n, seed, &ag, &tau);
+    assert!(r < 3.0, "residual {r}");
+}
+
+/// A seeded multi-kill chaos schedule — the CI soak's in-process twin.
+#[test]
+fn chaos_seeded_storm_recovers() {
+    let (n, nb, p, q) = (48usize, 4usize, 2usize, 3usize);
+    let seed = 41;
+    // Seed 8 on a 6-rank world with ops in [100, 350): kills ranks 1 and 4
+    // (distinct process rows) at ops 167 and 222 — a fixed, reproducible
+    // schedule well inside the ~380-op run.
+    let chaos = ChaosScript::seeded(8, p * q, 2, 100, 350);
+    let (ag, tau, report) = storm_run(n, nb, p, q, seed, Variant::NonDelayed, FaultScript::none(), chaos);
+    assert!(report.chaos_aborts > 0, "no kill fired");
+    assert!(!report.victims.is_empty());
+    let r = residual_of(n, seed, &ag, &tau);
+    assert!(r < 3.0, "residual {r}");
+}
+
+/// Beyond-tolerance chaos: two kills in the same process row. Every rank —
+/// survivors and replacements alike — must return the *identical* typed
+/// error, with no panic anywhere.
+#[test]
+fn chaos_beyond_tolerance_identical_typed_error() {
+    let (n, nb, p, q) = (48usize, 4usize, 2usize, 2usize);
+    let seed = 43;
+    // Ranks 0 and 1 share process row 0 on a 2×2 grid; Single redundancy
+    // tolerates one failure per row. Rank 0 dies *inside* the recovery of
+    // rank 1, so both deaths land in the same agreement round — two kills
+    // at independent op counts could otherwise resolve as two sequential
+    // (recoverable) single failures depending on thread timing.
+    let chaos = ChaosScript::new(vec![
+        ChaosKill { victim: 1, at: ChaosPoint::Op(250) },
+        ChaosKill { victim: 0, at: ChaosPoint::RecoveryOp { round: 1, op: 0 } },
+    ]);
+    let errs = run_spmd_chaos(p, q, FaultScript::none(), chaos, move |ctx| {
+        let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
+        let mut tau = vec![0.0; n - 1];
+        ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).unwrap_err()
+    });
+    for e in &errs {
+        assert_eq!(e, &errs[0], "ranks diverge on the error");
+        let FtError::Unrecoverable { victims, row, count, max_per_row, .. } = e;
+        assert_eq!(victims, &[0, 1]);
+        assert_eq!((*row, *count, *max_per_row), (0, 2, 1));
+    }
+}
+
+/// Chaos layered on top of a scripted failure in a different panel: both
+/// events recovered, protection re-armed between them.
+#[test]
+fn chaos_and_scripted_failures_compose() {
+    let (n, nb, p, q) = (48usize, 4usize, 2usize, 2usize);
+    let seed = 47;
+    let script = FaultScript::one(3, failpoint(1, Phase::AfterPanel));
+    let chaos = ChaosScript::at_op(1, 300);
+    let (ag, tau, report) = storm_run(n, nb, p, q, seed, Variant::NonDelayed, script, chaos);
+    assert!(report.recoveries >= 2, "recoveries: {}", report.recoveries);
+    assert!(report.chaos_aborts > 0);
+    let r = residual_of(n, seed, &ag, &tau);
+    assert!(r < 3.0, "residual {r}");
+}
+
+/// Determinism: the same chaos seed twice gives bitwise-identical results
+/// and identical reports — the property the CI soak relies on.
+#[test]
+fn chaos_runs_are_deterministic() {
+    let (n, nb, p, q) = (48usize, 4usize, 2usize, 2usize);
+    let seed = 53;
+    let run = || storm_run(n, nb, p, q, seed, Variant::NonDelayed, FaultScript::none(), ChaosScript::at_op(2, 700));
+    let (a1, t1, r1) = run();
+    let (a2, t2, r2) = run();
+    assert_eq!(a1.max_abs_diff(&a2), 0.0);
+    assert_eq!(t1, t2);
+    assert_eq!(r1.recoveries, r2.recoveries);
+    assert_eq!(r1.victims, r2.victims);
+    assert_eq!(r1.chaos_aborts, r2.chaos_aborts);
+}
+
+/// Scripted beyond-tolerance failures still work through `run_spmd` (no
+/// chaos armed at all): same typed error, every rank.
+#[test]
+fn scripted_storm_beyond_tolerance_typed_error() {
+    let script = FaultScript::new(vec![
+        PlannedFailure { victim: 0, point: failpoint(2, Phase::AfterRightUpdate) },
+        PlannedFailure { victim: 1, point: failpoint(2, Phase::AfterRightUpdate) },
+    ]);
+    let errs = run_spmd(2, 2, script, |ctx| {
+        let mut enc = Encoded::from_global_fn(&ctx, 24, 2, |i, j| uniform_entry(59, i, j));
+        let mut tau = vec![0.0; 23];
+        ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).unwrap_err()
+    });
+    for e in &errs {
+        assert_eq!(e, &errs[0]);
+        let FtError::Unrecoverable { victims, .. } = e;
+        assert_eq!(victims, &[0, 1]);
+    }
+}

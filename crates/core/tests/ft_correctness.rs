@@ -37,7 +37,7 @@ fn ft_run(
     let out = run_spmd(p, q, script_fn(), move |ctx| {
         let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
         let mut tau = vec![0.0; n - 1];
-        let report = ft_pdgehrd(&ctx, &mut enc, variant, &mut tau);
+        let report = ft_pdgehrd(&ctx, &mut enc, variant, &mut tau).expect("within the fault model");
         (enc.gather_logical(&ctx, 702), tau, report.recoveries)
     });
     out.into_iter().next().unwrap()
@@ -76,7 +76,8 @@ fn theorem1_invariant_all_phases() {
                     checked += 1;
                 }
             }
-        });
+        })
+        .expect("within the fault model");
         // The sweep actually exercised trailing groups.
         assert!(checked > 20, "only {checked} invariant checks ran");
     });
@@ -100,7 +101,8 @@ fn theorem1_invariant_delayed_at_scope_boundaries() {
                     assert!(viol < 1e-11, "panel {panel}: group {g} violation {viol}");
                 }
             }
-        });
+        })
+        .expect("within the fault model");
     });
 }
 
@@ -214,7 +216,7 @@ fn recovered_run_is_backward_stable() {
         let out = run_spmd(p, q, script, move |ctx| {
             let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
             let mut tau = vec![0.0; n - 1];
-            ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau);
+            ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).expect("within the fault model");
             let ag = enc.gather_logical(&ctx, 704);
             if ctx.rank() == 0 {
                 let h = extract_h(&ag);

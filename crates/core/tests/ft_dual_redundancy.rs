@@ -6,7 +6,7 @@
 
 use ft_dense::gen::uniform_entry;
 use ft_dense::Matrix;
-use ft_hess::{failpoint, ft_pdgehrd, Encoded, Phase, Redundancy, Variant};
+use ft_hess::{failpoint, ft_pdgehrd, Encoded, FtError, Phase, Redundancy, Variant};
 use ft_runtime::{run_spmd, FaultScript, PlannedFailure};
 
 #[allow(clippy::too_many_arguments)]
@@ -23,7 +23,7 @@ fn ft_result(
     run_spmd(p, q, script, move |ctx| {
         let mut enc = Encoded::with_redundancy(&ctx, n, nb, red, |i, j| uniform_entry(seed, i, j));
         let mut tau = vec![0.0; n - 1];
-        let rep = ft_pdgehrd(&ctx, &mut enc, variant, &mut tau);
+        let rep = ft_pdgehrd(&ctx, &mut enc, variant, &mut tau).expect("within the fault model");
         (enc.gather_logical(&ctx, 630), rep.recoveries)
     })
     .into_iter()
@@ -129,13 +129,23 @@ fn dual_sweep_over_panels_and_phases() {
 
 #[test]
 fn three_failures_same_row_rejected_even_dual() {
+    // Beyond even the Dual tolerance: a typed error on every rank, no panic.
     let script = FaultScript::new(vec![
         PlannedFailure { victim: 4, point: failpoint(1, Phase::AfterPanel) },
         PlannedFailure { victim: 5, point: failpoint(1, Phase::AfterPanel) },
         PlannedFailure { victim: 6, point: failpoint(1, Phase::AfterPanel) },
     ]);
-    let result = std::panic::catch_unwind(|| ft_result(16, 2, 2, 4, 56, Variant::NonDelayed, Redundancy::Dual, script));
-    assert!(result.is_err(), "three same-row failures must be rejected");
+    let errs = run_spmd(2, 4, script, |ctx| {
+        let mut enc = Encoded::with_redundancy(&ctx, 16, 2, Redundancy::Dual, |i, j| uniform_entry(56, i, j));
+        let mut tau = vec![0.0; 15];
+        ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).unwrap_err()
+    });
+    for e in &errs {
+        assert_eq!(e, &errs[0], "ranks diverge on the error");
+        let FtError::Unrecoverable { victims, row, count, max_per_row, .. } = e;
+        assert_eq!(victims, &[4, 5, 6]);
+        assert_eq!((*row, *count, *max_per_row), (1, 3, 2));
+    }
 }
 
 #[test]

@@ -3,14 +3,14 @@
 
 use ft_dense::gen::uniform_entry;
 use ft_dense::Matrix;
-use ft_hess::{failpoint, ft_pdgehrd, Encoded, Phase, Variant};
+use ft_hess::{failpoint, ft_pdgehrd, Encoded, FtError, Phase, Variant};
 use ft_runtime::{run_spmd, FaultScript, PlannedFailure};
 
 fn ft_result(n: usize, nb: usize, p: usize, q: usize, seed: u64, variant: Variant, script: FaultScript) -> Matrix {
     run_spmd(p, q, script, move |ctx| {
         let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
         let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
-        ft_pdgehrd(&ctx, &mut enc, variant, &mut tau);
+        ft_pdgehrd(&ctx, &mut enc, variant, &mut tau).expect("within the fault model");
         enc.gather_logical(&ctx, 620)
     })
     .into_iter()
@@ -107,22 +107,33 @@ fn tiny_matrices_no_panels() {
         run_spmd(2, 2, FaultScript::none(), move |ctx| {
             let mut enc = Encoded::from_global_fn(&ctx, n, 1, |i, j| (i + j) as f64);
             let mut tau = vec![0.0; 1];
-            let rep = ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau);
+            let rep = ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).unwrap();
             assert_eq!(rep.recoveries, 0);
         });
     }
 }
 
 #[test]
-#[should_panic(expected = "simultaneous failures in process row")]
 fn two_failures_same_row_rejected() {
     // Ranks 0 and 1 share process row 0 on a 2×2 grid — beyond the fault
-    // model; must fail loudly, not corrupt silently.
+    // model; every rank must return the identical typed error instead of
+    // panicking or corrupting silently.
     let script = FaultScript::new(vec![
         PlannedFailure { victim: 0, point: failpoint(1, Phase::AfterPanel) },
         PlannedFailure { victim: 1, point: failpoint(1, Phase::AfterPanel) },
     ]);
-    let _ = ft_result(12, 2, 2, 2, 12, Variant::NonDelayed, script);
+    let errs = run_spmd(2, 2, script, |ctx| {
+        let mut enc = Encoded::from_global_fn(&ctx, 12, 2, |i, j| uniform_entry(12, i, j));
+        let mut tau = vec![0.0; 11];
+        ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).unwrap_err()
+    });
+    for e in &errs {
+        assert_eq!(e, &errs[0], "ranks diverge on the error");
+        let FtError::Unrecoverable { victims, panel, phase, row, count, max_per_row } = e;
+        assert_eq!(victims, &[0, 1]);
+        assert_eq!((*panel, *phase), (1, Phase::AfterPanel));
+        assert_eq!((*row, *count, *max_per_row), (0, 2, 1));
+    }
 }
 
 #[test]

@@ -1,55 +1,70 @@
 //! Per-process communication context: tagged point-to-point messages over
-//! a pluggable [`Transport`], barriers, fail-point checks and the
-//! per-phase traffic ledger. The tree collectives live in
-//! [`crate::collectives`].
+//! a pluggable [`Transport`], revocable barriers, fail-point checks, chaos
+//! injection and the per-phase traffic ledger. The tree collectives live in
+//! [`crate::collectives`]; failure detection and agreement in
+//! [`crate::detect`].
 
-use crate::fault::{Board, FaultScript};
+use crate::detect::{self, Detector, FailureAgreement, InterruptReason};
+use crate::fault::{ChaosScript, FaultScript};
 use crate::grid::Grid;
 use crate::tag::{Leg, Tag, TrafficLedger, TrafficPhase};
-use crate::transport::{MpscTransport, Msg, Transport};
+use crate::transport::{CommError, MpscTransport, Msg, Transport};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Receive timeout — a deadlock in the SPMD protocol aborts loudly instead
 /// of hanging the test suite.
 const RECV_TIMEOUT: Duration = Duration::from_secs(600);
 
+/// Receive poll granularity: how often a blocked receive re-checks the
+/// revocation flag and peer liveness while waiting. Control messages from
+/// dying peers wake receivers immediately; the poll is the safety net.
+const RECV_POLL: Duration = Duration::from_millis(50);
+
+/// Wire key of the runtime's control channel (death notices). Outside the
+/// [`Tag`] encoding, so it can never collide with algorithm traffic.
+pub(crate) const CTRL_WIRE: u64 = u64::MAX;
+
 /// Everything shared by the whole world, built once per [`crate::run_spmd`].
 pub(crate) struct World {
     grid: Grid,
     transports: Vec<Box<dyn Transport>>,
-    barrier: Arc<Barrier>,
-    board: Arc<Board>,
+    detector: Arc<Detector>,
     script: Arc<FaultScript>,
+    chaos: Arc<ChaosScript>,
 }
 
 impl World {
     /// A world over the default in-process mpsc fabric.
-    pub(crate) fn new(grid: Grid, script: Arc<FaultScript>) -> Self {
+    pub(crate) fn new(grid: Grid, script: Arc<FaultScript>, chaos: Arc<ChaosScript>) -> Self {
         let transports = MpscTransport::fabric(grid.size())
             .into_iter()
             .map(|t| Box::new(t) as Box<dyn Transport>)
             .collect();
-        Self::with_transports(grid, script, transports)
+        Self::with_transports(grid, script, chaos, transports)
     }
 
     /// A world over caller-supplied endpoints, in rank order.
-    pub(crate) fn with_transports(grid: Grid, script: Arc<FaultScript>, transports: Vec<Box<dyn Transport>>) -> Self {
+    pub(crate) fn with_transports(
+        grid: Grid,
+        script: Arc<FaultScript>,
+        chaos: Arc<ChaosScript>,
+        transports: Vec<Box<dyn Transport>>,
+    ) -> Self {
         assert_eq!(transports.len(), grid.size(), "one transport endpoint per rank");
-        let w = grid.size();
         Self {
             grid,
             transports,
-            barrier: Arc::new(Barrier::new(w)),
-            board: Arc::new(Board::default()),
+            detector: Arc::new(Detector::default()),
             script,
+            chaos,
         }
     }
 
     pub(crate) fn into_ctxs(self) -> Vec<Ctx> {
-        let World { grid, transports, barrier, board, script } = self;
+        let World { grid, transports, detector, script, chaos } = self;
         transports
             .into_iter()
             .enumerate()
@@ -58,11 +73,18 @@ impl World {
                 grid,
                 transport,
                 stash: RefCell::new(HashMap::new()),
-                barrier: Arc::clone(&barrier),
-                board: Arc::clone(&board),
+                detector: Arc::clone(&detector),
                 script: Arc::clone(&script),
+                chaos: Arc::clone(&chaos),
                 board_cursor: Cell::new(0),
                 fired_points: RefCell::new(HashSet::new()),
+                epoch: Cell::new(0),
+                chaos_armed: Cell::new(false),
+                ops: Cell::new(0),
+                chaos_fired: RefCell::new(HashSet::new()),
+                in_recovery: Cell::new(false),
+                recovery_round: Cell::new(0),
+                recovery_ops: Cell::new(0),
                 bytes_sent: Cell::new(0),
                 msgs_sent: Cell::new(0),
                 ledger: RefCell::new(TrafficLedger::default()),
@@ -96,14 +118,27 @@ pub struct Ctx {
     /// Out-of-order stash for selective receive by `(src, wire)`.
     #[allow(clippy::type_complexity)] // (src, wire) → FIFO of payloads; a type alias would obscure it
     stash: RefCell<HashMap<(usize, u64), VecDeque<Arc<[f64]>>>>,
-    barrier: Arc<Barrier>,
-    board: Arc<Board>,
+    detector: Arc<Detector>,
     script: Arc<FaultScript>,
+    chaos: Arc<ChaosScript>,
     board_cursor: Cell<usize>,
     /// Script entries this process has already executed — a fail point is
     /// fail-stop, so re-visiting the same point id (e.g. after a
     /// checkpoint/restart rollback re-runs an iteration) must not re-kill.
     fired_points: RefCell<HashSet<u64>>,
+    /// Communication epoch: bumped by each failure agreement; messages
+    /// stamped with an older epoch are stragglers from an aborted attempt.
+    epoch: Cell<u64>,
+    /// Chaos injection armed (the algorithm's protection domain is active).
+    chaos_armed: Cell<bool>,
+    /// Message operations performed since arming (chaos clock).
+    ops: Cell<u64>,
+    /// Chaos-kill indices that already fired on this rank.
+    chaos_fired: RefCell<HashSet<usize>>,
+    /// Inside a recovery round (for `ChaosPoint::RecoveryOp` targeting).
+    in_recovery: Cell<bool>,
+    recovery_round: Cell<u32>,
+    recovery_ops: Cell<u64>,
     bytes_sent: Cell<u64>,
     msgs_sent: Cell<u64>,
     ledger: RefCell<TrafficLedger>,
@@ -191,40 +226,124 @@ impl Ctx {
         self.recv_wire(src, tag.wire(Leg::P2p))
     }
 
+    /// Non-panicking selective receive: like [`Ctx::recv`] but surfaces
+    /// communication failures as typed [`CommError`]s — [`CommError::Timeout`]
+    /// when nothing arrives within `timeout`, [`CommError::PeerDead`] when
+    /// the awaited peer's endpoint is closed, [`CommError::Revoked`] when a
+    /// failure notification has revoked the current epoch.
+    pub fn try_recv(&self, src: usize, tag: impl Into<Tag>, timeout: Duration) -> Result<Vec<f64>, CommError> {
+        let tag = tag.into();
+        self.chaos_tick();
+        self.recv_wire_impl(src, tag.wire(Leg::P2p), timeout).map(|p| p.to_vec())
+    }
+
     pub(crate) fn send_wire(&self, dst: usize, wire: u64, phase: TrafficPhase, payload: Arc<[f64]>) {
         assert!(dst < self.grid.size(), "send: bad destination {dst}");
+        self.chaos_tick();
         self.bytes_sent.set(self.bytes_sent.get() + 8 * payload.len() as u64);
         self.msgs_sent.set(self.msgs_sent.get() + 1);
         self.ledger.borrow_mut().record(phase, 8 * payload.len() as u64);
-        self.transport.send(dst, Msg { src: self.rank, wire, payload });
+        self.transport
+            .send(dst, Msg { src: self.rank, wire, epoch: self.epoch.get(), payload });
     }
 
     pub(crate) fn recv_wire(&self, src: usize, wire: u64) -> Arc<[f64]> {
+        self.chaos_tick();
+        match self.recv_wire_impl(src, wire, RECV_TIMEOUT) {
+            Ok(p) => p,
+            // A dead peer without agreement yet is the same condition as a
+            // revocation: abort to the next agreement point.
+            Err(CommError::Revoked) | Err(CommError::PeerDead { .. }) => {
+                detect::raise_interrupt(InterruptReason::Revoked, self.rank)
+            }
+            Err(err) => self.recv_failure(src, wire, err),
+        }
+    }
+
+    fn recv_wire_impl(&self, src: usize, wire: u64, timeout: Duration) -> Result<Arc<[f64]>, CommError> {
         if let Some(q) = self.stash.borrow_mut().get_mut(&(src, wire)) {
             if let Some(d) = q.pop_front() {
-                return d;
+                return Ok(d);
             }
         }
+        let chaos_on = !self.chaos.is_empty();
+        let mut waited = Duration::ZERO;
         loop {
-            let msg = self.transport.recv(RECV_TIMEOUT).unwrap_or_else(|| {
-                panic!("rank {}: recv(src={src}, wire={wire:#x}) timed out — SPMD protocol deadlock", self.rank)
-            });
-            if msg.src == src && msg.wire == wire {
-                return msg.payload;
+            if chaos_on && self.detector.is_revoked() {
+                return Err(CommError::Revoked);
             }
-            self.stash
-                .borrow_mut()
-                .entry((msg.src, msg.wire))
-                .or_default()
-                .push_back(msg.payload);
+            let slice = RECV_POLL.min(timeout.saturating_sub(waited));
+            match self.transport.recv(slice) {
+                Ok(msg) => {
+                    if msg.wire == CTRL_WIRE {
+                        continue; // death notice: the loop re-checks the flags
+                    }
+                    if msg.epoch < self.epoch.get() {
+                        continue; // straggler from an aborted (revoked) epoch
+                    }
+                    if msg.src == src && msg.wire == wire {
+                        return Ok(msg.payload);
+                    }
+                    self.stash
+                        .borrow_mut()
+                        .entry((msg.src, msg.wire))
+                        .or_default()
+                        .push_back(msg.payload);
+                }
+                Err(CommError::Timeout) => {
+                    // Inbox drained: a closed peer endpoint is now a real
+                    // failure, not just in-flight data racing the death.
+                    if chaos_on && self.transport.is_peer_dead(src) {
+                        return Err(CommError::PeerDead { peer: src });
+                    }
+                    waited += slice;
+                    if waited >= timeout {
+                        return Err(CommError::Timeout);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
+    }
+
+    /// Terminal receive failure: decode the wire key back into its `Tag`
+    /// and collective leg, and name every peer currently known dead, so a
+    /// protocol deadlock is debuggable from the message alone.
+    fn recv_failure(&self, src: usize, wire: u64, err: CommError) -> ! {
+        let what = match Tag::decode_wire(wire) {
+            Some((tag, leg)) => format!("{tag:?}/{leg} [wire {wire:#x}]"),
+            None => format!("wire {wire:#x}"),
+        };
+        panic!(
+            "rank {}: recv(src={src}, tag={what}) failed: {err} after {:?} — SPMD protocol deadlock; known dead/failed ranks: {:?}",
+            self.rank,
+            RECV_TIMEOUT,
+            self.known_dead()
+        )
+    }
+
+    /// Ranks currently known to have failed: the detector's uncommitted
+    /// victim round plus any closed transport endpoints. Sorted.
+    pub fn known_dead(&self) -> Vec<usize> {
+        let mut d = self.detector.current_victims();
+        for r in 0..self.grid.size() {
+            if self.transport.is_peer_dead(r) && !d.contains(&r) {
+                d.push(r);
+            }
+        }
+        d.sort_unstable();
+        d
     }
 
     // --- barriers -----------------------------------------------------------
 
-    /// World barrier.
+    /// World barrier. Revocable: if a failure notification arrives while
+    /// waiting, the barrier aborts (all-or-none per generation) and the
+    /// call unwinds to the enclosing failure handler.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        if self.detector.barrier(self.grid.size()).is_err() {
+            detect::raise_interrupt(InterruptReason::Revoked, self.rank);
+        }
     }
 
     /// Ranks of this process's grid row, in column order.
@@ -244,26 +363,157 @@ impl Ctx {
     /// Fail-point check: must be called **collectively** (same sequence of
     /// points on all ranks) at quiescent phase boundaries.
     ///
-    /// If the fault script kills this process here, it announces itself; the
-    /// two enclosing barriers make the board read race-free, so every rank
-    /// returns the same [`FailCheck`] for the same point.
+    /// If the fault script kills this process here, it announces itself on
+    /// the detector's notice board; the two enclosing barriers make the
+    /// board read race-free, so every rank returns the same [`FailCheck`]
+    /// for the same point. When no script entry has ever fired the check is
+    /// two barriers plus one atomic load — no lock is taken.
     pub fn check_failpoint(&self, point: u64) -> FailCheck {
-        if !self.script.is_empty()
-            && self.script.victims_at(point).contains(&self.rank)
-            && self.fired_points.borrow_mut().insert(point)
-        {
-            self.board.announce(self.rank);
+        if !self.script.is_empty() && self.script.is_victim_at(point, self.rank) && self.fired_points.borrow_mut().insert(point) {
+            self.detector.announce(self.rank);
         }
-        self.barrier.wait();
-        let new = self.board.read_from(self.board_cursor.get());
-        self.board_cursor.set(self.board.len());
-        self.barrier.wait();
+        self.barrier();
+        let cursor = self.board_cursor.get();
+        let new = if self.detector.board_len() == cursor {
+            Vec::new()
+        } else {
+            self.detector.board_from(cursor)
+        };
+        self.barrier();
+        // Commit the cursor only after the second barrier: if that barrier
+        // is revoked, the unwind leaves the cursor untouched and the
+        // re-executed fail point re-reads the same entries (the read is
+        // transactional, so aborted attempts can't desynchronize ranks).
+        self.board_cursor.set(cursor + new.len());
         if new.is_empty() {
             FailCheck::AllGood
         } else {
-            let me = new.contains(&self.rank);
-            FailCheck::Failure { victims: new, me }
+            // Board order is announcement order — a thread-timing artifact.
+            // Sort so every consumer (tolerance checks, error reports) sees
+            // the same victim order on every run.
+            let mut victims = new;
+            victims.sort_unstable();
+            let me = victims.contains(&self.rank);
+            FailCheck::Failure { victims, me }
         }
+    }
+
+    /// Arm chaos injection: the algorithm's protection domain starts here
+    /// (after initial encoding — data lost before protection exists is
+    /// outside the paper's fault model). Resets the message-op clock.
+    pub fn arm_chaos(&self) {
+        self.chaos_armed.set(true);
+        self.ops.set(0);
+    }
+
+    /// Whether chaos kills can strike this run (armed and non-empty script).
+    pub fn chaos_enabled(&self) -> bool {
+        self.chaos_armed.get() && !self.chaos.is_empty()
+    }
+
+    /// Message operations counted against the chaos clock since
+    /// [`Ctx::arm_chaos`] — for calibrating [`ChaosScript`] op indices
+    /// against a concrete problem size.
+    pub fn chaos_ops(&self) -> u64 {
+        self.ops.get()
+    }
+
+    /// Disarm chaos injection: the protection domain is closed. No kill can
+    /// fire on this rank afterwards — the algorithm calls this behind a
+    /// completed barrier so no rank leaves while a peer can still die.
+    pub fn disarm_chaos(&self) {
+        self.chaos_armed.set(false);
+    }
+
+    /// Enter a recovery round (collective). Chaos kills targeted at
+    /// [`crate::fault::ChaosPoint::RecoveryOp`] count ops inside rounds
+    /// opened by this call; rounds are numbered 1, 2, … across the run.
+    pub fn begin_recovery(&self) {
+        self.recovery_round.set(self.recovery_round.get() + 1);
+        self.recovery_ops.set(0);
+        self.in_recovery.set(true);
+    }
+
+    /// Leave the current recovery round.
+    pub fn end_recovery(&self) {
+        self.in_recovery.set(false);
+    }
+
+    /// Full-world failure agreement — the ULFM `MPI_Comm_agree` analogue.
+    ///
+    /// Called by every process (survivors and replacements alike) after a
+    /// failure aborted the current attempt. Blocks until the whole world
+    /// arrives, then everyone returns the **identical** sorted victim set
+    /// accumulated since the last committed boundary, the communication
+    /// epoch is bumped (stragglers from the aborted epoch will be dropped
+    /// on receive), the local out-of-order stash is purged, and victims
+    /// reopen their transport endpoints as replacement processes.
+    pub fn agree_on_failures(&self) -> FailureAgreement {
+        // The victim reopens *before* the rendezvous: agreement is a full
+        // barrier, so by reopening first we guarantee no survivor can send
+        // to a still-closed replacement endpoint afterwards (the message
+        // would be silently dropped and the replacement would deadlock).
+        // Reopening early is safe — anything delivered before the epoch
+        // bump is discarded by the epoch check on receive.
+        if self.transport.is_peer_dead(self.rank) {
+            self.transport.reopen();
+        }
+        let res = self.detector.agree(self.grid.size());
+        self.epoch.set(res.epoch);
+        self.stash.borrow_mut().clear();
+        res
+    }
+
+    /// Commit fail-point boundary `id`: recovery (if any) for the current
+    /// failure round is complete and protection is re-armed. Clears the
+    /// detector's victim round. Cheap when nothing failed.
+    pub fn commit_boundary(&self, id: u64) {
+        self.detector.commit(id);
+    }
+
+    /// Count one message operation against the chaos clock and die if a
+    /// kill is scheduled here.
+    fn chaos_tick(&self) {
+        if !self.chaos_armed.get() || self.chaos.is_empty() {
+            return;
+        }
+        let op = self.ops.get();
+        self.ops.set(op + 1);
+        let rec = if self.in_recovery.get() {
+            let r = self.recovery_ops.get();
+            self.recovery_ops.set(r + 1);
+            Some((self.recovery_round.get(), r))
+        } else {
+            None
+        };
+        if let Some(idx) = self.chaos.kill_index(self.rank, op, rec) {
+            if self.chaos_fired.borrow_mut().insert(idx) {
+                self.die();
+            }
+        }
+    }
+
+    /// Fail-stop death of this process: revoke the world, close the
+    /// endpoint, wake peers blocked in receives, and unwind. The thread
+    /// survives to play the replacement process after agreement.
+    fn die(&self) -> ! {
+        self.detector.revoke(self.rank);
+        self.transport.close();
+        let epoch = self.epoch.get();
+        for dst in 0..self.grid.size() {
+            if dst != self.rank {
+                self.transport.send(
+                    dst,
+                    Msg {
+                        src: self.rank,
+                        wire: CTRL_WIRE,
+                        epoch,
+                        payload: Arc::from(&[] as &[f64]),
+                    },
+                );
+            }
+        }
+        detect::raise_interrupt(InterruptReason::Died, self.rank)
     }
 }
 
@@ -312,6 +562,22 @@ mod tests {
                 assert_eq!(ctx.recv(0, 2), vec![2.0]);
                 assert_eq!(ctx.recv(0, 1), vec![1.0]);
                 assert_eq!(ctx.recv(0, 1), vec![3.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn try_recv_times_out_with_typed_error() {
+        run_spmd(1, 2, FaultScript::none(), |ctx| {
+            if ctx.rank() == 1 {
+                let r = ctx.try_recv(0, 7, Duration::from_millis(30));
+                assert_eq!(r, Err(CommError::Timeout));
+            }
+            ctx.barrier();
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, &[5.0]);
+            } else {
+                assert_eq!(ctx.try_recv(0, 7, Duration::from_secs(5)), Ok(vec![5.0]));
             }
         });
     }

@@ -1,17 +1,25 @@
-//! Fail-stop fault injection.
+//! Fail-stop fault injection: scripted (cooperative) and chaos (arbitrary).
 //!
 //! A [`FaultScript`] plans process failures ahead of a run: each
 //! [`PlannedFailure`] names a victim rank and an opaque *fail point* id. The
 //! algorithm encodes its phase boundaries into the id (ft-hess packs
 //! `(iteration, phase)`), calls [`crate::Ctx::check_failpoint`] at each one,
 //! and the runtime turns the matching script entries into observed failures.
+//! Scripted failures strike at quiescent boundaries — the paper's FT-MPI
+//! model where recovery starts from a globally consistent state.
+//!
+//! A [`ChaosScript`] drops that courtesy: it kills victims at arbitrary
+//! *message-operation* boundaries — the Nth send/recv a rank performs, which
+//! lands mid-collective, mid-panel, anywhere — including *inside an ongoing
+//! recovery* ([`ChaosPoint::RecoveryOp`]). Detection then runs through the
+//! revoke/agree protocol in [`crate::detect`] rather than the cooperative
+//! notice board. Both injectors are deterministic: same script, same
+//! schedule, every run.
 //!
 //! Multiple victims may share one fail point (simultaneous failures). The
 //! paper tolerates any set of simultaneous failures with at most one victim
 //! per process *row*; enforcing that constraint is the algorithm's job, not
 //! the injector's — the injector will happily kill anything it is told to.
-
-use std::sync::Mutex;
 
 /// One planned process failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,8 +31,13 @@ pub struct PlannedFailure {
 }
 
 /// A scripted set of fail-stop failures for one run.
+///
+/// Failures are kept sorted by fail point so the per-fail-point lookup on
+/// the hot path is a binary search over a slice — no allocation, no lock.
 #[derive(Debug, Default)]
 pub struct FaultScript {
+    /// Sorted by `point` (stable: intra-point script order is preserved,
+    /// which fixes the victim announcement order for simultaneous failures).
     failures: Vec<PlannedFailure>,
 }
 
@@ -35,7 +48,8 @@ impl FaultScript {
     }
 
     /// Script the given failures.
-    pub fn new(failures: Vec<PlannedFailure>) -> Self {
+    pub fn new(mut failures: Vec<PlannedFailure>) -> Self {
+        failures.sort_by_key(|f| f.point);
         Self { failures }
     }
 
@@ -44,9 +58,22 @@ impl FaultScript {
         Self::new(vec![PlannedFailure { victim, point }])
     }
 
-    /// Victims scheduled to die at `point`.
-    pub fn victims_at(&self, point: u64) -> Vec<usize> {
-        self.failures.iter().filter(|f| f.point == point).map(|f| f.victim).collect()
+    /// Victims scheduled to die at `point`, in script order. Borrows the
+    /// sorted slice — the per-fail-point check allocates nothing.
+    pub fn victims_at(&self, point: u64) -> impl Iterator<Item = usize> + '_ {
+        self.range_at(point).iter().map(|f| f.victim)
+    }
+
+    /// Whether `rank` is scripted to die at `point` (binary search, no
+    /// allocation).
+    pub fn is_victim_at(&self, point: u64, rank: usize) -> bool {
+        self.range_at(point).iter().any(|f| f.victim == rank)
+    }
+
+    fn range_at(&self, point: u64) -> &[PlannedFailure] {
+        let lo = self.failures.partition_point(|f| f.point < point);
+        let hi = self.failures.partition_point(|f| f.point <= point);
+        &self.failures[lo..hi]
     }
 
     /// `true` if the script is empty.
@@ -54,9 +81,112 @@ impl FaultScript {
         self.failures.is_empty()
     }
 
-    /// All planned failures.
+    /// All planned failures (sorted by fail point).
     pub fn failures(&self) -> &[PlannedFailure] {
         &self.failures
+    }
+}
+
+/// When a [`ChaosKill`] strikes, counted in *message operations* (each
+/// `send` or `recv` a rank performs counts as one op). Counting starts when
+/// the algorithm arms the injector (after initial encoding — the paper's
+/// protection domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosPoint {
+    /// The victim's `0`-based Nth message operation. Lands wherever that op
+    /// happens to be: mid-broadcast, mid-reduction, between panels — no
+    /// cooperation from the algorithm.
+    Op(u64),
+    /// The victim's Nth message operation *inside* recovery round `round`
+    /// (1-based, counted across the whole run). This is how a failure
+    /// strikes while a previous failure is still being repaired.
+    RecoveryOp {
+        /// Which recovery round (1 = the first recovery of the run).
+        round: u32,
+        /// 0-based op index within that round.
+        op: u64,
+    },
+}
+
+/// One chaos-mode kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosKill {
+    /// Rank of the process that dies.
+    pub victim: usize,
+    /// Where in the victim's message-op stream it dies.
+    pub at: ChaosPoint,
+}
+
+/// A deterministic schedule of uncooperative kills. See [`ChaosPoint`].
+#[derive(Debug, Default)]
+pub struct ChaosScript {
+    kills: Vec<ChaosKill>,
+}
+
+impl ChaosScript {
+    /// No chaos — scripted failures (if any) only.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Schedule the given kills.
+    pub fn new(kills: Vec<ChaosKill>) -> Self {
+        Self { kills }
+    }
+
+    /// Single kill of `victim` at its `op`-th message operation.
+    pub fn at_op(victim: usize, op: u64) -> Self {
+        Self::new(vec![ChaosKill { victim, at: ChaosPoint::Op(op) }])
+    }
+
+    /// Derive a schedule of `n_kills` kills from `seed`: victims uniform
+    /// over `world` ranks, op indices uniform in `[op_lo, op_hi)`, strictly
+    /// increasing. Same seed, same schedule.
+    pub fn seeded(seed: u64, world: usize, n_kills: usize, op_lo: u64, op_hi: u64) -> Self {
+        assert!(world > 0 && op_hi > op_lo);
+        let mut state = seed;
+        let mut next_u64 = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let span = op_hi - op_lo;
+        let mut ops: Vec<u64> = (0..n_kills).map(|_| op_lo + next_u64() % span).collect();
+        ops.sort_unstable();
+        ops.dedup();
+        let kills = ops
+            .into_iter()
+            .map(|op| ChaosKill {
+                victim: (next_u64() % world as u64) as usize,
+                at: ChaosPoint::Op(op),
+            })
+            .collect();
+        Self { kills }
+    }
+
+    /// `true` if no kills are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty()
+    }
+
+    /// All scheduled kills.
+    pub fn kills(&self) -> &[ChaosKill] {
+        &self.kills
+    }
+
+    /// Index of the kill that strikes `rank` at normal-op `op` /
+    /// recovery-op `rec` (`(round, op)` when inside a recovery round).
+    /// The caller tracks which indices already fired.
+    pub(crate) fn kill_index(&self, rank: usize, op: u64, rec: Option<(u32, u64)>) -> Option<usize> {
+        self.kills.iter().position(|k| {
+            k.victim == rank
+                && match k.at {
+                    ChaosPoint::Op(o) => o == op,
+                    ChaosPoint::RecoveryOp { round, op: o } => rec == Some((round, o)),
+                }
+        })
     }
 }
 
@@ -104,30 +234,6 @@ pub fn poisson_failures(n_points: u64, mtti_points: f64, world: usize, seed: u64
     out
 }
 
-/// The shared failure notice board — the stand-in for a runtime failure
-/// detector. Victims announce themselves; every process reads the board at
-/// the next fail point (between two barriers, so reads are race-free).
-#[derive(Debug, Default)]
-pub(crate) struct Board {
-    entries: Mutex<Vec<usize>>,
-}
-
-impl Board {
-    pub(crate) fn announce(&self, victim: usize) {
-        self.entries.lock().expect("board poisoned").push(victim);
-    }
-
-    /// Entries from `from` onward (the caller tracks its own cursor).
-    pub(crate) fn read_from(&self, from: usize) -> Vec<usize> {
-        let e = self.entries.lock().expect("board poisoned");
-        e[from.min(e.len())..].to_vec()
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        self.entries.lock().expect("board poisoned").len()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,26 +241,64 @@ mod tests {
     #[test]
     fn script_lookup() {
         let s = FaultScript::new(vec![
+            PlannedFailure { victim: 1, point: 99 },
             PlannedFailure { victim: 3, point: 17 },
             PlannedFailure { victim: 5, point: 17 },
-            PlannedFailure { victim: 1, point: 99 },
         ]);
-        assert_eq!(s.victims_at(17), vec![3, 5]);
-        assert_eq!(s.victims_at(99), vec![1]);
-        assert!(s.victims_at(0).is_empty());
+        assert_eq!(s.victims_at(17).collect::<Vec<_>>(), vec![3, 5]);
+        assert_eq!(s.victims_at(99).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(s.victims_at(0).count(), 0);
+        assert!(s.is_victim_at(17, 5));
+        assert!(!s.is_victim_at(17, 1));
+        assert!(!s.is_victim_at(0, 3));
         assert!(!s.is_empty());
         assert!(FaultScript::none().is_empty());
     }
 
     #[test]
-    fn board_cursor_reads() {
-        let b = Board::default();
-        b.announce(2);
-        b.announce(7);
-        assert_eq!(b.read_from(0), vec![2, 7]);
-        assert_eq!(b.read_from(1), vec![7]);
-        assert_eq!(b.read_from(2), Vec::<usize>::new());
-        assert_eq!(b.len(), 2);
+    fn script_preserves_intra_point_order() {
+        // Two victims at the same point keep script order after sorting
+        // (announcement order is part of the observable protocol).
+        let s = FaultScript::new(vec![PlannedFailure { victim: 9, point: 5 }, PlannedFailure { victim: 2, point: 5 }]);
+        assert_eq!(s.victims_at(5).collect::<Vec<_>>(), vec![9, 2]);
+    }
+
+    #[test]
+    fn chaos_lookup_and_fire_points() {
+        let c = ChaosScript::new(vec![
+            ChaosKill { victim: 2, at: ChaosPoint::Op(100) },
+            ChaosKill { victim: 0, at: ChaosPoint::RecoveryOp { round: 1, op: 7 } },
+        ]);
+        assert_eq!(c.kill_index(2, 100, None), Some(0));
+        assert_eq!(c.kill_index(2, 99, None), None);
+        assert_eq!(c.kill_index(1, 100, None), None);
+        // Recovery kills only strike inside the named round.
+        assert_eq!(c.kill_index(0, 555, Some((1, 7))), Some(1));
+        assert_eq!(c.kill_index(0, 555, Some((2, 7))), None);
+        assert_eq!(c.kill_index(0, 555, None), None);
+        assert!(ChaosScript::none().is_empty());
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn seeded_chaos_is_deterministic_and_in_range() {
+        let a = ChaosScript::seeded(42, 6, 3, 50, 500);
+        let b = ChaosScript::seeded(42, 6, 3, 50, 500);
+        assert_eq!(a.kills(), b.kills());
+        assert!(!a.is_empty());
+        let mut prev = None;
+        for k in a.kills() {
+            assert!(k.victim < 6);
+            let ChaosPoint::Op(op) = k.at else {
+                panic!("seeded emits Op kills")
+            };
+            assert!((50..500).contains(&op));
+            assert!(prev.is_none_or(|p| p < op), "ops must be strictly increasing");
+            prev = Some(op);
+        }
+        // Different seed, different schedule (overwhelmingly likely).
+        let c = ChaosScript::seeded(43, 6, 3, 50, 500);
+        assert_ne!(a.kills(), c.kills());
     }
 }
 

@@ -11,14 +11,16 @@
 //! * row/column/world binomial-tree broadcasts and sum-reductions with a
 //!   **fixed, deterministic combine order** (the tree's — so residuals are
 //!   bit-reproducible; see [`collectives`]),
-//! * barriers,
-//! * a fail-stop fault injector ([`FaultScript`]) and a failure notice board
-//!   (the stand-in for ULFM-style failure detection).
+//! * revocable barriers,
+//! * a fail-stop fault injector ([`FaultScript`] for scripted quiescent
+//!   failures, [`ChaosScript`] for arbitrary-point kills) and a failure
+//!   detection/agreement layer ([`detect`], the ULFM-style stand-in for
+//!   FT-MPI).
 //!
 //! ## Failure model
 //!
-//! Failures are injected at *fail points* — quiescent phase boundaries the
-//! algorithm announces via [`Ctx::check_failpoint`]. A victim's closure
+//! *Scripted* failures strike at *fail points* — quiescent phase boundaries
+//! the algorithm announces via [`Ctx::check_failpoint`]. A victim's closure
 //! observes [`FailCheck::Failure`] with `me == true`, at which point it must
 //! act as the *replacement* process: drop all of its local data (that is the
 //! data loss) and rejoin the recovery protocol. Survivors observe the victim
@@ -26,19 +28,30 @@
 //! communication phases, channels are quiescent and no in-flight messages
 //! are lost — matching the paper's recovery model, which repairs the grid
 //! before recovering data (§5.3 step 1).
+//!
+//! *Chaos* failures ([`run_spmd_chaos`]) strike at arbitrary message-op
+//! boundaries with no cooperation from the algorithm. The victim revokes
+//! the world and closes its endpoint as it dies; every blocked or future
+//! communication call on a survivor unwinds with a typed [`Interrupt`]
+//! (catch it with [`catch_interrupt`]), and all processes then converge on
+//! an identical victim set through [`Ctx::agree_on_failures`] before
+//! restarting from their last consistent state. Messages from the aborted
+//! attempt are discarded by epoch. Both injectors are deterministic.
 
 pub mod collectives;
 pub mod comm;
+pub mod detect;
 pub mod fault;
 pub mod grid;
 pub mod tag;
 pub mod transport;
 
 pub use comm::{Ctx, FailCheck};
-pub use fault::{poisson_failures, FaultScript, PlannedFailure};
+pub use detect::{catch_interrupt, FailureAgreement, Interrupt, InterruptReason};
+pub use fault::{poisson_failures, ChaosKill, ChaosPoint, ChaosScript, FaultScript, PlannedFailure};
 pub use grid::Grid;
 pub use tag::{PhaseTraffic, Tag, TrafficLedger, TrafficPhase};
-pub use transport::{MpscTransport, Msg, Transport};
+pub use transport::{CommError, MpscTransport, Msg, Transport};
 
 use std::sync::Arc;
 
@@ -66,7 +79,25 @@ where
     F: Fn(Ctx) -> R + Sync,
 {
     let grid = Grid::new(p, q);
-    let world = comm::World::new(grid, Arc::new(script));
+    let world = comm::World::new(grid, Arc::new(script), Arc::new(ChaosScript::none()));
+    run_world(p, q, world, f)
+}
+
+/// [`run_spmd`] with a chaos-kill schedule on top of the scripted failures:
+/// victims die at arbitrary message-op boundaries (once the algorithm calls
+/// [`Ctx::arm_chaos`]), exercising detection, agreement and re-entrant
+/// recovery instead of the cooperative fail-point path.
+pub fn run_spmd_chaos<R, F>(p: usize, q: usize, script: FaultScript, chaos: ChaosScript, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Ctx) -> R + Sync,
+{
+    if !chaos.is_empty() {
+        // Interrupt unwinds are control flow; keep them off stderr.
+        detect::install_quiet_interrupt_hook();
+    }
+    let grid = Grid::new(p, q);
+    let world = comm::World::new(grid, Arc::new(script), Arc::new(chaos));
     run_world(p, q, world, f)
 }
 
@@ -79,7 +110,7 @@ where
     F: Fn(Ctx) -> R + Sync,
 {
     let grid = Grid::new(p, q);
-    let world = comm::World::with_transports(grid, Arc::new(script), transports);
+    let world = comm::World::with_transports(grid, Arc::new(script), Arc::new(ChaosScript::none()), transports);
     run_world(p, q, world, f)
 }
 
@@ -126,5 +157,90 @@ mod tests {
             ctx.myrow() + ctx.mycol()
         });
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn chaos_kill_unwinds_victim_and_revokes_survivors() {
+        // Rank 1 dies at its very first armed op (a send); rank 0's blocked
+        // recv observes the revocation instead of deadlocking. Both then
+        // agree on the victim set and finish in the new epoch.
+        let out = run_spmd_chaos(1, 2, FaultScript::none(), ChaosScript::at_op(1, 0), |ctx| {
+            ctx.arm_chaos();
+            let r = catch_interrupt(|| {
+                if ctx.rank() == 1 {
+                    ctx.send(0, 7, &[1.0]); // chaos kills rank 1 here
+                    unreachable!("victim survived its own death");
+                } else {
+                    let _ = ctx.recv(1, 7); // unwinds on revocation
+                    unreachable!("survivor missed the revocation");
+                }
+            });
+            let interrupt = r.unwrap_err();
+            let expect = if ctx.rank() == 1 { InterruptReason::Died } else { InterruptReason::Revoked };
+            assert_eq!(interrupt.reason, expect);
+            let agreed = ctx.agree_on_failures();
+            assert_eq!(agreed.victims, vec![1], "divergent victim set");
+            assert_eq!(agreed.epoch, 1);
+            // The replacement's endpoint is reopened: traffic flows again.
+            if ctx.rank() == 0 {
+                ctx.send(1, 8, &[2.0]);
+            } else {
+                assert_eq!(ctx.recv(0, 8), vec![2.0]);
+            }
+            agreed.victims
+        });
+        assert_eq!(out, vec![vec![1], vec![1]]);
+    }
+
+    #[test]
+    fn chaos_not_armed_means_no_kills() {
+        // The script targets op 0, but the algorithm never arms chaos:
+        // nothing dies.
+        let out = run_spmd_chaos(1, 2, FaultScript::none(), ChaosScript::at_op(1, 0), |ctx| {
+            if ctx.rank() == 1 {
+                ctx.send(0, 7, &[1.0]);
+                0
+            } else {
+                ctx.recv(1, 7).len()
+            }
+        });
+        assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    fn stale_epoch_messages_are_dropped_after_agreement() {
+        use std::time::Duration;
+        let out = run_spmd_chaos(1, 2, FaultScript::none(), ChaosScript::at_op(1, 2), |ctx| {
+            ctx.arm_chaos();
+            let r = catch_interrupt(|| {
+                if ctx.rank() == 1 {
+                    ctx.send(0, 7, &[1.0]); // op 0: delivered, but never received
+                    ctx.send(0, 7, &[2.0]); // op 1: straggler in rank 0's inbox
+                    ctx.send(0, 7, &[3.0]); // op 2: chaos kills rank 1 here
+                    unreachable!();
+                } else {
+                    // Block on a tag rank 1 never sends, so the pre-death
+                    // messages sit in the inbox when revocation hits.
+                    let _ = ctx.recv(1, 99);
+                    unreachable!();
+                }
+            });
+            assert!(r.is_err());
+            ctx.agree_on_failures();
+            if ctx.rank() == 0 {
+                // Epoch-0 stragglers on tag 7 must be invisible now.
+                let stale = ctx.try_recv(1, 7, Duration::from_millis(50));
+                assert_eq!(stale, Err(CommError::Timeout), "stale-epoch message leaked");
+            }
+            ctx.barrier();
+            // Fresh traffic in the new epoch flows normally.
+            if ctx.rank() == 1 {
+                ctx.send(0, 7, &[9.0]);
+            } else {
+                assert_eq!(ctx.recv(1, 7), vec![9.0]);
+            }
+            true
+        });
+        assert_eq!(out, vec![true, true]);
     }
 }

@@ -144,6 +144,30 @@ impl Tag {
         };
         (disc << 34) | (chan << 2) | leg as u64
     }
+
+    /// Inverse of [`Tag::wire`]: recover the tag and a human-readable leg
+    /// name from a wire key, for diagnostics (timeout messages must name
+    /// the protocol and collective leg, not a raw hex key). Returns `None`
+    /// for keys outside the encoding (e.g. the runtime's control channel).
+    pub(crate) fn decode_wire(wire: u64) -> Option<(Tag, &'static str)> {
+        let leg = match wire & 0b11 {
+            0 => "p2p",
+            1 => "reduce",
+            2 => "bcast",
+            _ => return None,
+        };
+        let chan = (wire >> 2) & 0xFFFF_FFFF;
+        let tag = match wire >> 34 {
+            0 => Tag::User(chan as u32),
+            1 => Tag::Panel(u16::try_from(chan).ok()?),
+            2 => Tag::Trailing(u16::try_from(chan).ok()?),
+            3 => Tag::Checksum(u16::try_from(chan).ok()?),
+            4 => Tag::Checkpoint(u16::try_from(chan).ok()?),
+            5 => Tag::Recovery(u16::try_from(chan).ok()?),
+            _ => return None,
+        };
+        Some((tag, leg))
+    }
 }
 
 impl From<u32> for Tag {
@@ -263,6 +287,26 @@ mod tests {
                 assert!(seen.insert(t.wire(leg)), "wire collision for {t:?}/{leg:?}");
             }
         }
+    }
+
+    #[test]
+    fn wire_decode_round_trips() {
+        let tags = [
+            Tag::User(0xDEAD_BEEF),
+            Tag::Panel(0x101),
+            Tag::Trailing(3),
+            Tag::Checksum(0x210),
+            Tag::Checkpoint(0x300),
+            Tag::Recovery(0x1000),
+        ];
+        for t in tags {
+            for (leg, name) in [(Leg::P2p, "p2p"), (Leg::Reduce, "reduce"), (Leg::Bcast, "bcast")] {
+                assert_eq!(Tag::decode_wire(t.wire(leg)), Some((t, name)));
+            }
+        }
+        // Keys outside the encoding (e.g. the control channel) don't decode.
+        assert_eq!(Tag::decode_wire(u64::MAX), None);
+        assert_eq!(Tag::decode_wire(0b11), None);
     }
 
     #[test]

@@ -11,19 +11,65 @@
 //! Payloads travel as `Arc<[f64]>`: forwarding a message (as the interior
 //! nodes of a broadcast tree do) clones the `Arc`, not the data, so a
 //! P-wide broadcast allocates the payload exactly once.
+//!
+//! ## Peer-death signaling
+//!
+//! A process killed by the chaos injector *closes* its endpoint
+//! ([`Transport::close`]): the fabric marks the rank dead, subsequent
+//! messages to it are dropped on the floor, and survivors asking
+//! [`Transport::is_peer_dead`] see the death instead of blocking forever.
+//! `recv` therefore returns a typed [`CommError`] — never a panic — and
+//! the layer above decides whether a timeout is a protocol deadlock or a
+//! failure to run agreement on. When the replacement process takes over
+//! the dead rank it calls [`Transport::reopen`].
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Typed communication failure, surfaced by [`Transport::recv`] and
+/// [`crate::Ctx::try_recv`] instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The awaited peer's endpoint is closed (fail-stop death observed).
+    PeerDead {
+        /// Rank whose endpoint is closed.
+        peer: usize,
+    },
+    /// The world has been revoked by a failure notification: the current
+    /// communication epoch is dead and survivors must run agreement.
+    Revoked,
+    /// This endpoint itself is closed / the fabric was torn down.
+    Closed,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout => write!(f, "receive timed out"),
+            CommError::PeerDead { peer } => write!(f, "peer rank {peer} is dead (endpoint closed)"),
+            CommError::Revoked => write!(f, "communication epoch revoked by a failure"),
+            CommError::Closed => write!(f, "local endpoint closed"),
+        }
+    }
+}
+
 /// One message on the wire. `wire` is the encoded `(Tag, Leg)` mailbox key
 /// (see [`crate::tag::Tag`]); the payload is shared, never deep-copied in
-/// transit.
+/// transit. `epoch` is the sender's communication epoch: receivers drop
+/// messages from epochs older than their own (ULFM-style revocation — an
+/// aborted collective's stragglers must not leak into the re-execution).
+#[derive(Debug, Clone)]
 pub struct Msg {
     /// Sender's rank.
     pub src: usize,
     /// Encoded mailbox key (tag + collective leg).
     pub wire: u64,
+    /// Sender's communication epoch at send time.
+    pub epoch: u64,
     /// Shared payload.
     pub payload: Arc<[f64]>,
 }
@@ -41,21 +87,39 @@ pub trait Transport: Send {
     /// Number of endpoints in the fabric.
     fn world_size(&self) -> usize;
 
-    /// Deliver `msg` to `dst`'s inbox. Must not block.
+    /// Deliver `msg` to `dst`'s inbox. Must not block. Sends to a closed
+    /// endpoint are silently dropped (fail-stop semantics).
     fn send(&self, dst: usize, msg: Msg);
 
     /// Blocking receive of the next inbound message, in arrival order.
-    /// Returns `None` on timeout (the caller turns that into a loud
-    /// deadlock diagnosis).
-    fn recv(&self, timeout: Duration) -> Option<Msg>;
+    /// Returns [`CommError::Timeout`] when nothing arrives in time and
+    /// [`CommError::Closed`] when the fabric is gone.
+    fn recv(&self, timeout: Duration) -> Result<Msg, CommError>;
+
+    /// Close this endpoint: the process is dead, peers observe it via
+    /// [`Transport::is_peer_dead`]. Default: no-op (fabrics without death
+    /// signaling).
+    fn close(&self) {}
+
+    /// Reopen this endpoint: a replacement process has taken over the
+    /// rank. Default: no-op.
+    fn reopen(&self) {}
+
+    /// Whether `peer`'s endpoint is currently closed. Default: `false`
+    /// (fabrics without death signaling never report a dead peer).
+    fn is_peer_dead(&self, _peer: usize) -> bool {
+        false
+    }
 }
 
 /// The default in-process fabric: one unbounded `std::sync::mpsc` channel
-/// per endpoint, senders shared by everyone.
+/// per endpoint, senders shared by everyone, plus a shared dead-endpoint
+/// mask for peer-death signaling.
 pub struct MpscTransport {
     rank: usize,
     txs: Arc<Vec<Sender<Msg>>>,
     rx: Receiver<Msg>,
+    dead: Arc<Vec<AtomicBool>>,
 }
 
 impl MpscTransport {
@@ -69,9 +133,10 @@ impl MpscTransport {
             rxs.push(rx);
         }
         let txs = Arc::new(txs);
+        let dead: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
         rxs.into_iter()
             .enumerate()
-            .map(|(rank, rx)| MpscTransport { rank, txs: Arc::clone(&txs), rx })
+            .map(|(rank, rx)| MpscTransport { rank, txs: Arc::clone(&txs), rx, dead: Arc::clone(&dead) })
             .collect()
     }
 }
@@ -86,21 +151,42 @@ impl Transport for MpscTransport {
     }
 
     fn send(&self, dst: usize, msg: Msg) {
-        self.txs[dst].send(msg).expect("send: world torn down");
+        if self.dead[dst].load(Ordering::Acquire) {
+            return; // the endpoint is closed; the message vanishes
+        }
+        // A send can still fail if the whole world is being torn down;
+        // that is indistinguishable from a closed endpoint — drop.
+        let _ = self.txs[dst].send(msg);
     }
 
-    fn recv(&self, timeout: Duration) -> Option<Msg> {
+    fn recv(&self, timeout: Duration) -> Result<Msg, CommError> {
         match self.rx.recv_timeout(timeout) {
-            Ok(m) => Some(m),
-            Err(RecvTimeoutError::Timeout) => None,
-            Err(RecvTimeoutError::Disconnected) => panic!("recv: world torn down"),
+            Ok(m) => Ok(m),
+            Err(RecvTimeoutError::Timeout) => Err(CommError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(CommError::Closed),
         }
+    }
+
+    fn close(&self) {
+        self.dead[self.rank].store(true, Ordering::Release);
+    }
+
+    fn reopen(&self) {
+        self.dead[self.rank].store(false, Ordering::Release);
+    }
+
+    fn is_peer_dead(&self, peer: usize) -> bool {
+        self.dead[peer].load(Ordering::Acquire)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn msg(src: usize, wire: u64, val: f64) -> Msg {
+        Msg { src, wire, epoch: 0, payload: Arc::from([val].as_slice()) }
+    }
 
     #[test]
     fn fabric_routes_and_preserves_pairwise_order() {
@@ -111,9 +197,9 @@ mod tests {
         assert_eq!(a.world_size(), 3);
         assert_eq!(c.rank(), 2);
 
-        a.send(2, Msg { src: 0, wire: 1, payload: Arc::from([1.0].as_slice()) });
-        a.send(2, Msg { src: 0, wire: 1, payload: Arc::from([2.0].as_slice()) });
-        b.send(2, Msg { src: 1, wire: 9, payload: Arc::from([3.0].as_slice()) });
+        a.send(2, msg(0, 1, 1.0));
+        a.send(2, msg(0, 1, 2.0));
+        b.send(2, msg(1, 9, 3.0));
 
         let mut from_a = Vec::new();
         for _ in 0..3 {
@@ -125,7 +211,7 @@ mod tests {
             }
         }
         assert_eq!(from_a, vec![1.0, 2.0], "pairwise order violated");
-        assert!(c.recv(Duration::from_millis(10)).is_none(), "phantom message");
+        assert_eq!(c.recv(Duration::from_millis(10)).err(), Some(CommError::Timeout), "phantom message");
     }
 
     #[test]
@@ -134,8 +220,28 @@ mod tests {
         let b = eps.remove(1);
         let a = eps.remove(0);
         let payload: Arc<[f64]> = Arc::from(vec![7.0; 32].as_slice());
-        a.send(1, Msg { src: 0, wire: 0, payload: Arc::clone(&payload) });
+        a.send(1, Msg { src: 0, wire: 0, epoch: 0, payload: Arc::clone(&payload) });
         let got = b.recv(Duration::from_secs(5)).unwrap().payload;
         assert!(Arc::ptr_eq(&payload, &got), "transport deep-copied the payload");
+    }
+
+    #[test]
+    fn closed_endpoint_drops_traffic_and_is_visible_to_peers() {
+        let mut eps = MpscTransport::fabric(2);
+        let b = eps.remove(1);
+        let a = eps.remove(0);
+        assert!(!a.is_peer_dead(1));
+
+        b.close();
+        assert!(a.is_peer_dead(1), "death not visible to the peer");
+        a.send(1, msg(0, 4, 1.0));
+        // The message vanished: nothing arrives even though it was "sent".
+        assert_eq!(b.recv(Duration::from_millis(10)).err(), Some(CommError::Timeout));
+
+        // The replacement reopens the endpoint and traffic flows again.
+        b.reopen();
+        assert!(!a.is_peer_dead(1));
+        a.send(1, msg(0, 4, 2.0));
+        assert_eq!(b.recv(Duration::from_secs(5)).unwrap().payload[0], 2.0);
     }
 }

@@ -2,7 +2,7 @@
 //! [`Transport`] implementation (here, an instrumented wrapper around the
 //! default mpsc fabric) and check that collectives behave identically.
 
-use ft_runtime::{run_spmd_with, FaultScript, MpscTransport, Msg, Transport};
+use ft_runtime::{run_spmd_with, CommError, FaultScript, MpscTransport, Msg, Transport};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -24,8 +24,17 @@ impl Transport for CountingTransport {
         self.sends.fetch_add(1, Ordering::Relaxed);
         self.inner.send(dst, msg);
     }
-    fn recv(&self, timeout: Duration) -> Option<Msg> {
+    fn recv(&self, timeout: Duration) -> Result<Msg, CommError> {
         self.inner.recv(timeout)
+    }
+    fn close(&self) {
+        self.inner.close()
+    }
+    fn reopen(&self) {
+        self.inner.reopen()
+    }
+    fn is_peer_dead(&self, peer: usize) -> bool {
+        self.inner.is_peer_dead(peer)
     }
 }
 

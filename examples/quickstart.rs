@@ -30,7 +30,7 @@ fn main() {
         // Every process generates only its own block-cyclic share.
         let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
         let mut tau = vec![0.0; n - 1];
-        let report = ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau);
+        let report = ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).expect("within the fault model");
 
         // Collect the reduced matrix for verification (demo-sized problem).
         let a_reduced = enc.gather_logical(&ctx, 1);

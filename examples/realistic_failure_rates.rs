@@ -54,7 +54,7 @@ fn main() {
     let (result, tau, recoveries) = run_spmd(p, q, FaultScript::new(sched), move |ctx| {
         let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
         let mut tau = vec![0.0; n - 1];
-        let rep = ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau);
+        let rep = ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).expect("within the fault model");
         (enc.gather_logical(&ctx, 1), tau, rep.recoveries)
     })
     .into_iter()

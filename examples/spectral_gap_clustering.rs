@@ -31,7 +31,7 @@ fn main() {
     let results = run_spmd(p, q, script, move |ctx| {
         let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| wc[(i, j)]);
         let mut tau = vec![0.0; n - 1];
-        let report = ft_pdgehrd(&ctx, &mut enc, Variant::Delayed, &mut tau);
+        let report = ft_pdgehrd(&ctx, &mut enc, Variant::Delayed, &mut tau).expect("within the fault model");
         let h = enc.gather_logical(&ctx, 1);
         (ctx.rank() == 0).then_some((h, report.recoveries))
     });

@@ -15,4 +15,28 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo test -q"
 cargo test -q
 
+# Deterministic chaos soak: seeded kills at arbitrary message-op boundaries
+# through the release CLI. A run must either recover and pass verification
+# (exit 0) or reject a beyond-tolerance victim set with the typed error
+# (exit 3) — any panic or other exit code fails the gate. Same seeds, same
+# outcomes, every run.
+echo "== chaos soak (release)"
+cargo build --release -q
+CHAOS_SEEDS=${CHAOS_SEEDS:-"1 2 3 5 8 13 21 34"}
+for seed in $CHAOS_SEEDS; do
+    for variant in alg2 alg3; do
+        set +e
+        ./target/release/abft-hessenberg \
+            --n 96 --nb 8 --grid 2x3 --variant "$variant" \
+            --chaos "$seed:3" --verify >/dev/null
+        rc=$?
+        set -e
+        case $rc in
+            0) echo "  seed $seed $variant: recovered, verified" ;;
+            3) echo "  seed $seed $variant: beyond tolerance, typed rejection" ;;
+            *) echo "  seed $seed $variant: FAILED (exit $rc)"; exit 1 ;;
+        esac
+    done
+done
+
 echo "CI OK"

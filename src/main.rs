@@ -12,6 +12,9 @@
 //!   --fail <P:PH:R>      scripted failure: panel : phase(0-3) : rank
 //!                        (repeatable)
 //!   --mtti <PANELS>      Poisson failures with this MTTI (in panels)
+//!   --chaos <SEED[:K]>   chaos mode: K seeded kills (default 2) at
+//!                        arbitrary message-op boundaries (alg2/alg3 only;
+//!                        beyond-tolerance schedules exit with code 3)
 //!   --cr-interval <K>    C/R checkpoint interval in panels (default 8)
 //!   --seed <S>           matrix / trace seed (default 2013)
 //!   --verify             compute the distributed residual r∞ afterwards
@@ -27,9 +30,9 @@
 //! ```
 
 use abft_hessenberg::dense::gen::uniform_entry;
-use abft_hessenberg::hess::{cr_pdgehrd, failpoint, ft_pdgehrd, Encoded, Phase, Redundancy, Variant};
+use abft_hessenberg::hess::{cr_pdgehrd, failpoint, ft_pdgehrd, Encoded, FtError, Phase, Redundancy, Variant};
 use abft_hessenberg::pblas::{pd_gather_traffic, pd_hessenberg_residual, pdgehrd, Desc, DistMatrix};
-use abft_hessenberg::runtime::{poisson_failures, run_spmd, FaultScript, PlannedFailure, TrafficPhase};
+use abft_hessenberg::runtime::{poisson_failures, run_spmd_chaos, ChaosScript, FaultScript, PlannedFailure, TrafficPhase};
 use std::process::exit;
 use std::time::Instant;
 
@@ -50,6 +53,7 @@ struct Opts {
     mode: Mode,
     redundancy: Redundancy,
     failures: Vec<PlannedFailure>,
+    chaos: Option<(u64, usize)>,
     mtti: Option<f64>,
     cr_interval: usize,
     seed: u64,
@@ -66,6 +70,7 @@ impl Default for Opts {
             mode: Mode::Alg2,
             redundancy: Redundancy::Single,
             failures: Vec::new(),
+            chaos: None,
             mtti: None,
             cr_interval: 8,
             seed: 2013,
@@ -134,6 +139,16 @@ fn parse_args() -> Opts {
                 o.failures
                     .push(PlannedFailure { victim: rank, point: failpoint(panel, Phase::ALL[ph]) });
             }
+            "--chaos" => {
+                let v = val("--chaos");
+                let (seed_s, kills_s) = match v.split_once(':') {
+                    Some((s, k)) => (s, k),
+                    None => (v.as_str(), "2"),
+                };
+                let seed: u64 = seed_s.parse().unwrap_or_else(|_| fail("--chaos: bad seed"));
+                let kills: usize = kills_s.parse().unwrap_or_else(|_| fail("--chaos: bad kill count"));
+                o.chaos = Some((seed, kills));
+            }
             "--mtti" => o.mtti = Some(val("--mtti").parse().unwrap_or_else(|_| fail("--mtti: bad number"))),
             "--cr-interval" => {
                 o.cr_interval = val("--cr-interval")
@@ -187,11 +202,25 @@ fn main() {
         o.seed
     );
 
+    if o.chaos.is_some() && !matches!(o.mode, Mode::Alg2 | Mode::Alg3) {
+        fail("--chaos needs --variant alg2 or alg3 (the others never arm the injector)");
+    }
     let Opts { n, nb, p, q, mode, redundancy, cr_interval, seed, verify, .. } = o.clone();
     let script = FaultScript::new(o.failures.clone());
+    let chaos = match o.chaos {
+        // A rank performs roughly `4*nb + 20` message ops per panel
+        // iteration (measured via `Ctx::chaos_ops`, conservative at common
+        // grids), so this range keeps seeded kills inside the run; kills
+        // scheduled past the end simply never fire.
+        Some((cseed, kills)) => {
+            let op_hi = (panels as u64 * (4 * o.nb as u64 + 20)).max(200);
+            ChaosScript::seeded(cseed, p * q, kills, 50, op_hi)
+        }
+        None => ChaosScript::none(),
+    };
     let t = Instant::now();
-    let outcome = run_spmd(p, q, script, move |ctx| {
-        let (events, lost, r) = match mode {
+    let outcome = run_spmd_chaos(p, q, script, chaos, move |ctx| {
+        let (events, lost, r, err) = match mode {
             Mode::Plain => {
                 let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
                 let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
@@ -200,18 +229,22 @@ fn main() {
                     let a0 = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
                     pd_hessenberg_residual(&ctx, &a0, &a, n, &tau)
                 });
-                (0usize, 0usize, r)
+                (0usize, 0usize, r, None)
             }
             Mode::Alg2 | Mode::Alg3 => {
                 let variant = if mode == Mode::Alg2 { Variant::NonDelayed } else { Variant::Delayed };
                 let mut enc = Encoded::with_redundancy(&ctx, n, nb, redundancy, |i, j| uniform_entry(seed, i, j));
                 let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
-                let rep = ft_pdgehrd(&ctx, &mut enc, variant, &mut tau);
-                let r = verify.then(|| {
-                    let a0 = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
-                    pd_hessenberg_residual(&ctx, &a0, &enc.a, n, &tau)
-                });
-                (rep.recoveries, 0usize, r)
+                match ft_pdgehrd(&ctx, &mut enc, variant, &mut tau) {
+                    Ok(rep) => {
+                        let r = verify.then(|| {
+                            let a0 = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
+                            pd_hessenberg_residual(&ctx, &a0, &enc.a, n, &tau)
+                        });
+                        (rep.recoveries, rep.chaos_aborts, r, None)
+                    }
+                    Err(e) => (0usize, 0usize, None, Some(e)),
+                }
             }
             Mode::Cr => {
                 let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
@@ -221,24 +254,29 @@ fn main() {
                     let a0 = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
                     pd_hessenberg_residual(&ctx, &a0, &a, n, &tau)
                 });
-                (rep.rollbacks, rep.lost_panels, r)
+                (rep.rollbacks, rep.lost_panels, r, None)
             }
         };
         // Grid-wide per-phase traffic (collective; identical on all ranks).
         let traffic = pd_gather_traffic(&ctx, 620);
-        (events, lost, r, traffic)
+        (events, lost, r, err, traffic)
     })
     .into_iter()
     .next()
     .unwrap();
     let secs = t.elapsed().as_secs_f64();
 
-    let (events, lost, residual, traffic) = outcome;
+    let (events, lost, residual, err, traffic) = outcome;
+    if let Some(e @ FtError::Unrecoverable { .. }) = err {
+        eprintln!("UNRECOVERABLE: {e}");
+        exit(3);
+    }
     let gf = 10.0 / 3.0 * (o.n as f64).powi(3) / secs / 1e9;
     println!("time: {secs:.3} s  ({gf:.2} effective GFLOP/s)");
     match o.mode {
         Mode::Plain => {}
         Mode::Cr => println!("rollbacks: {events}, lost panel iterations: {lost}"),
+        _ if o.chaos.is_some() => println!("recoveries: {events}, chaos aborts: {lost}"),
         _ => println!("recoveries: {events}"),
     }
     println!("traffic (grid-wide, by phase):");

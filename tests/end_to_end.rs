@@ -23,7 +23,7 @@ fn reduce_distributed(
     let out = run_spmd(p, q, script, move |ctx| {
         let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
         let mut tau = vec![0.0; n - 1];
-        let rep = ft_pdgehrd(&ctx, &mut enc, variant, &mut tau);
+        let rep = ft_pdgehrd(&ctx, &mut enc, variant, &mut tau).expect("within the fault model");
         (enc.gather_logical(&ctx, 600), tau, rep.recoveries)
     });
     out.into_iter().next().unwrap()
@@ -118,7 +118,7 @@ fn distributed_verification_after_failure() {
     let residuals = run_spmd(p, q, FaultScript::one(3, failpoint(2, Phase::AfterRightUpdate)), move |ctx| {
         let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
         let mut tau = vec![0.0; n - 1];
-        let rep = ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau);
+        let rep = ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).expect("within the fault model");
         assert_eq!(rep.recoveries, 1);
         let a0 = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
         pd_hessenberg_residual(&ctx, &a0, &enc.a, n, &tau)

@@ -28,7 +28,7 @@ fn ft_result(n: usize, nb: usize, p: usize, q: usize, seed: u64, variant: Varian
     run_spmd(p, q, script, move |ctx| {
         let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
         let mut tau = vec![0.0; n - 1];
-        ft_pdgehrd(&ctx, &mut enc, variant, &mut tau);
+        ft_pdgehrd(&ctx, &mut enc, variant, &mut tau).expect("within the fault model");
         enc.gather_logical(&ctx, 610)
     })
     .into_iter()
@@ -76,7 +76,7 @@ fn ft_factorization_valid_randomized() {
         let (ag, tau) = run_spmd(p, q, FaultScript::none(), move |ctx| {
             let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
             let mut tau = vec![0.0; n - 1];
-            ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau);
+            ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).expect("within the fault model");
             (enc.gather_logical(&ctx, 612), tau)
         })
         .into_iter()
