@@ -68,7 +68,6 @@ fn main() {
     }
 }
 
-
 /// Ablation 5: the paper's §2 argument quantified. Same Poisson failure
 /// schedules drive the ABFT reduction and the diskless C/R baseline; the
 /// C/R run pays full-matrix checkpoints plus lost work per rollback.
@@ -86,7 +85,10 @@ fn abft_vs_cr() {
         } else {
             poisson_failures(panels as u64, panels as f64 / expected as f64, cfg.procs(), 99 + expected as u64)
                 .into_iter()
-                .map(|f| PlannedFailure { victim: f.victim, point: failpoint(f.point as usize, Phase::AfterLeftUpdate) })
+                .map(|f| PlannedFailure {
+                    victim: f.victim,
+                    point: failpoint(f.point as usize, Phase::AfterLeftUpdate),
+                })
                 .collect()
         };
         let nfail = schedule.len();
@@ -97,7 +99,9 @@ fn abft_vs_cr() {
         let recov = run_spmd(p, q, FaultScript::new(schedule), move |ctx| {
             let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(5, i, j));
             let mut tau = vec![0.0; n - 1];
-            ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau).expect("within the fault model").recoveries
+            ft_pdgehrd(&ctx, &mut enc, Variant::NonDelayed, &mut tau)
+                .expect("within the fault model")
+                .recoveries
         })[0];
         let t_abft = t.elapsed().as_secs_f64();
 
@@ -110,10 +114,7 @@ fn abft_vs_cr() {
         })[0];
         let t_cr = t.elapsed().as_secs_f64();
 
-        println!(
-            "{:>9}  {:>9.3} {:>9} {:>9.3} {:>9} {:>10}",
-            nfail, t_abft, recov, t_cr, rollbacks, lost
-        );
+        println!("{:>9}  {:>9.3} {:>9} {:>9.3} {:>9} {:>10}", nfail, t_abft, recov, t_cr, rollbacks, lost);
     }
 }
 
@@ -146,7 +147,6 @@ fn redundancy_levels() {
         );
     }
 }
-
 
 /// Ablation 7: the paper's §3.3 point — the non-blocked reduction is all
 /// Level-2 BLAS and per-column communication; blocking (§3.4) batches both.

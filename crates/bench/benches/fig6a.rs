@@ -14,6 +14,7 @@ fn main() {
     println!("# paper: penalty 7.6% at 6k/6x6 -> 1.8% at 96k/96x96, monotone decreasing");
     print_overhead_header("FT");
     let r = reps();
+    let mut rows = Vec::new();
     for cfg in paper_sweep() {
         let mut f_plain = 0;
         let mut f_ft = 0;
@@ -28,5 +29,15 @@ fn main() {
             t
         });
         print_overhead_row(cfg, t_plain, t_ft, f_plain, f_ft);
+        rows.push(overhead_row_json(cfg, t_plain, t_ft, f_plain, f_ft));
+    }
+    let report = json::Obj::new()
+        .str("bench", "fig6a")
+        .str("variant", "NonDelayed")
+        .int("reps", r as u64)
+        .raw("rows", &json::array(&rows))
+        .finish();
+    if let Ok(p) = json::write_artifact("BENCH_fig6a.json", &report) {
+        println!("# wrote {}", p.display());
     }
 }

@@ -12,6 +12,7 @@ fn main() {
     println!("# paper: overhead still decreasing with scale; 4.03% at 96k/96x96");
     print_overhead_header("FT+1f");
     let r = reps();
+    let mut rows = Vec::new();
     for cfg in paper_sweep() {
         let mut f_plain = 0;
         let mut f_ft = 0;
@@ -30,5 +31,16 @@ fn main() {
             t
         });
         print_overhead_row(cfg, t_plain, t_ft, f_plain, f_ft);
+        rows.push(overhead_row_json(cfg, t_plain, t_ft, f_plain, f_ft));
+    }
+    let report = json::Obj::new()
+        .str("bench", "fig6b")
+        .str("variant", "NonDelayed")
+        .str("failure", "mid-run AfterRightUpdate, victim rank 1")
+        .int("reps", r as u64)
+        .raw("rows", &json::array(&rows))
+        .finish();
+    if let Ok(p) = json::write_artifact("BENCH_fig6b.json", &report) {
+        println!("# wrote {}", p.display());
     }
 }

@@ -1,93 +1,201 @@
-//! Criterion microbenchmarks of the dense substrates every experiment sits
-//! on: GEMM, GEMV, the Householder panel kernel, and the distributed panel.
+//! Microbenchmarks of the dense substrates every experiment sits on —
+//! primarily the packed register-tiled GEMM against the retained naive
+//! triple loop, plus the pre-packed-A reuse path, GEMV, and the Householder
+//! panel kernel.
+//!
+//! Writes `BENCH_kernels.json` at the repo root and **enforces** two
+//! performance floors (exits non-zero on regression):
+//!
+//! * packed GEMM must not be slower than the naive triple loop at 256×256
+//!   (the CI perf-smoke gate — a packing bug that silently falls off the
+//!   fast path shows up here);
+//! * packed GEMM must reach ≥ 3× the naive GFLOP/s at 512×512 (the PR-3
+//!   acceptance bar; the measured ratio is recorded in the artifact).
+//!
+//! `FT_KERNELS_SMOKE=1` trims repetitions and drops the non-GEMM extras for
+//! the CI smoke run. `FT_BENCH_REPS` controls repetitions (default 3 here).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ft_bench::json;
 use ft_dense::gen::uniform;
 use ft_dense::level2::gemv;
-use ft_dense::level3::gemm;
+use ft_dense::level3::{blocking, gemm, gemm_naive, gemm_packed_a, PackedA, MR, NR};
 use ft_dense::{Matrix, Trans};
-use ft_lapack::{gehrd, lahr2};
+use ft_lapack::lahr2;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gemm");
-    g.sample_size(10);
-    for n in [128usize, 384] {
-        let a = uniform(n, n, 1);
-        let b = uniform(n, n, 2);
-        let mut out = Matrix::zeros(n, n);
-        g.throughput(criterion::Throughput::Elements((2 * n * n * n) as u64));
-        g.bench_function(format!("{n}x{n}x{n}"), |bch| {
-            bch.iter(|| {
-                gemm(
-                    Trans::No, Trans::No, n, n, n, 1.0,
-                    black_box(a.as_slice()), n,
-                    black_box(b.as_slice()), n,
-                    0.0, out.as_mut_slice(), n,
-                );
-            })
-        });
-    }
-    g.finish();
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
 }
 
-fn bench_gemv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gemv");
-    g.sample_size(20);
-    for n in [512usize, 1024] {
+fn reps() -> usize {
+    std::env::var("FT_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1)
+}
+
+/// Minimum seconds over `r` runs of `f`.
+fn best_of(r: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..r {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn gflops(flops: f64, secs: f64) -> f64 {
+    flops / secs / 1e9
+}
+
+fn main() {
+    let smoke = env_flag("FT_KERNELS_SMOKE");
+    let r = if smoke { 2 } else { reps() };
+    let sizes: &[usize] = if smoke { &[256, 512] } else { &[128, 256, 512] };
+    let bl = blocking();
+    println!("# kernels: MR={MR} NR={NR} KC={} MC={} NC={} reps={r}", bl.kc, bl.mc, bl.nc);
+    println!("{:>14} {:>6} {:>12} {:>10}", "kernel", "n", "GFLOP/s", "seconds");
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut naive_gf = std::collections::HashMap::new();
+    let mut packed_gf = std::collections::HashMap::new();
+
+    for &n in sizes {
+        let a = uniform(n, n, 1);
+        let b = uniform(n, n, 2);
+        let mut c = Matrix::zeros(n, n);
+        let fl = (2 * n * n * n) as f64;
+
+        // Naive triple loop — the correctness oracle, timed for the ratio.
+        let t_naive = best_of(r, || {
+            gemm_naive(
+                Trans::No,
+                Trans::No,
+                n,
+                n,
+                n,
+                1.0,
+                black_box(a.as_slice()),
+                n,
+                black_box(b.as_slice()),
+                n,
+                0.0,
+                c.as_mut_slice(),
+                n,
+            );
+        });
+
+        // Packed blocked path (packs A and B internally every call).
+        let t_packed = best_of(r, || {
+            gemm(
+                Trans::No,
+                Trans::No,
+                n,
+                n,
+                n,
+                1.0,
+                black_box(a.as_slice()),
+                n,
+                black_box(b.as_slice()),
+                n,
+                0.0,
+                c.as_mut_slice(),
+                n,
+            );
+        });
+
+        // Pre-packed A reused across calls — the trailing-update pattern.
+        let pa = PackedA::pack(Trans::No, n, n, a.as_slice(), n);
+        let t_prepacked = best_of(r, || {
+            gemm_packed_a(&pa, Trans::No, n, 1.0, black_box(b.as_slice()), n, 0.0, c.as_mut_slice(), n);
+        });
+
+        for (kernel, secs) in [("naive", t_naive), ("packed", t_packed), ("packed_reused", t_prepacked)] {
+            println!("{:>14} {:>6} {:>12.2} {:>10.4}", kernel, n, gflops(fl, secs), secs);
+            rows.push(
+                json::Obj::new()
+                    .str("kernel", kernel)
+                    .int("n", n as u64)
+                    .num("gflops", gflops(fl, secs))
+                    .num("seconds", secs)
+                    .finish(),
+            );
+        }
+        naive_gf.insert(n, gflops(fl, t_naive));
+        packed_gf.insert(n, gflops(fl, t_packed));
+    }
+
+    if !smoke {
+        // GEMV and the Householder panel: context for the level-3 numbers.
+        let n = 1024usize;
         let a = uniform(n, n, 3);
         let x = uniform(n, 1, 4).as_slice().to_vec();
         let mut y = vec![0.0; n];
-        g.throughput(criterion::Throughput::Elements((2 * n * n) as u64));
-        g.bench_function(format!("n{n}"), |bch| {
-            bch.iter(|| gemv(Trans::No, n, n, 1.0, black_box(a.as_slice()), n, &x, 0.0, &mut y))
-        });
-    }
-    g.finish();
-}
+        let t = best_of(r, || gemv(Trans::No, n, n, 1.0, black_box(a.as_slice()), n, &x, 0.0, &mut y));
+        println!("{:>14} {:>6} {:>12.2} {:>10.4}", "gemv", n, gflops((2 * n * n) as f64, t), t);
+        rows.push(
+            json::Obj::new()
+                .str("kernel", "gemv")
+                .int("n", n as u64)
+                .num("gflops", gflops((2 * n * n) as f64, t))
+                .num("seconds", t)
+                .finish(),
+        );
 
-fn bench_panel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lahr2_panel");
-    g.sample_size(10);
-    for (n, nb) in [(512usize, 16usize), (512, 32)] {
+        let (n, nb) = (512usize, 16usize);
         let a0 = uniform(n, n, 5);
-        g.bench_function(format!("n{n}_nb{nb}"), |bch| {
-            bch.iter_batched(
-                || a0.clone(),
-                |mut a| {
-                    let mut tau = vec![0.0; nb];
-                    let mut t = Matrix::zeros(nb, nb);
-                    let mut y = Matrix::zeros(n, nb);
-                    lahr2(&mut a, 0, nb, &mut tau, &mut t, &mut y);
-                    a
-                },
-                criterion::BatchSize::LargeInput,
-            )
+        let t = best_of(r, || {
+            let mut a = a0.clone();
+            let mut tau = vec![0.0; nb];
+            let mut tm = Matrix::zeros(nb, nb);
+            let mut ym = Matrix::zeros(n, nb);
+            lahr2(&mut a, 0, nb, &mut tau, &mut tm, &mut ym);
+            black_box(&a);
         });
+        println!("{:>14} {:>6} {:>12} {:>10.4}", "lahr2_nb16", n, "-", t);
+        rows.push(
+            json::Obj::new()
+                .str("kernel", "lahr2_nb16")
+                .int("n", n as u64)
+                .num("seconds", t)
+                .finish(),
+        );
     }
-    g.finish();
-}
 
-fn bench_gehrd(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gehrd");
-    g.sample_size(10);
-    {
-        let n = 256usize;
-        let a0 = uniform(n, n, 6);
-        g.bench_function(format!("n{n}_blocked"), |bch| {
-            bch.iter_batched(
-                || a0.clone(),
-                |mut a| {
-                    let mut tau = vec![0.0; n - 1];
-                    gehrd(&mut a, 16, &mut tau);
-                    a
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+    let ratio_256 = packed_gf[&256] / naive_gf[&256];
+    let ratio_512 = packed_gf[&512] / naive_gf[&512];
+    println!("# packed/naive speedup: {ratio_256:.2}x at 256, {ratio_512:.2}x at 512");
+
+    let report = json::Obj::new()
+        .str("bench", "kernels")
+        .int("mr", MR as u64)
+        .int("nr", NR as u64)
+        .int("kc", bl.kc as u64)
+        .int("mc", bl.mc as u64)
+        .int("nc", bl.nc as u64)
+        .int("reps", r as u64)
+        .num("speedup_packed_vs_naive_256", ratio_256)
+        .num("speedup_packed_vs_naive_512", ratio_512)
+        .raw("rows", &json::array(&rows))
+        .finish();
+    match json::write_artifact("BENCH_kernels.json", &report) {
+        Ok(p) => println!("# wrote {}", p.display()),
+        Err(e) => {
+            eprintln!("FAIL: could not write BENCH_kernels.json: {e}");
+            std::process::exit(1);
+        }
     }
-    g.finish();
-}
 
-criterion_group!(kernels, bench_gemm, bench_gemv, bench_panel, bench_gehrd);
-criterion_main!(kernels);
+    // Perf gates.
+    if ratio_256 < 1.0 {
+        eprintln!("FAIL: packed GEMM slower than naive at 256x256 ({ratio_256:.2}x)");
+        std::process::exit(1);
+    }
+    if ratio_512 < 3.0 {
+        eprintln!("FAIL: packed GEMM below 3x naive at 512x512 ({ratio_512:.2}x)");
+        std::process::exit(1);
+    }
+}

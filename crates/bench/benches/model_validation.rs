@@ -39,10 +39,7 @@ fn main() {
         // The measured extra work tracks the model within a loose band (the
         // measurement includes panel replication arithmetic the model omits).
         let ratio = extra_pct / model_pct;
-        assert!(
-            (0.5..2.5).contains(&ratio),
-            "model mismatch: measured {extra_pct:.3}% vs model {model_pct:.3}%"
-        );
+        assert!((0.5..2.5).contains(&ratio), "model mismatch: measured {extra_pct:.3}% vs model {model_pct:.3}%");
     }
 
     println!("\n# Storage overhead model (global f64 elements)");

@@ -10,12 +10,17 @@
 //! * `model_validation` — §6 flop/storage model vs hardware counters;
 //! * `ablations` — NB sweep, grid-shape sweep, variant head-to-head,
 //!   recovery-cost breakdown;
-//! * `kernels` — criterion microbenchmarks of the dense substrates.
+//! * `kernels` — microbenchmarks of the dense substrates (plain
+//!   `Instant`-timed mains; no criterion, the workspace builds offline).
 //!
 //! The paper runs N = 1000·g on g×g grids (N up to 96,000 on 96×96). On
 //! this simulated machine the default is N = `FT_BENCH_SCALE`·g (scale
 //! defaults to 192) on g×g for g ∈ `FT_BENCH_GRIDS` (default `2,3,4,6,8`),
 //! with `FT_BENCH_REPS` repetitions (default 2, minimum taken).
+//!
+//! Benches that feed plots additionally write machine-readable
+//! `BENCH_<name>.json` artifacts at the repo root (see [`json`] and
+//! EXPERIMENTS.md for the schema).
 
 use ft_dense::counters;
 use ft_dense::gen::uniform_entry;
@@ -170,6 +175,123 @@ pub fn print_overhead_header(ft_name: &str) {
     );
 }
 
+/// One overhead row as a JSON object (the machine-readable twin of
+/// [`print_overhead_row`]).
+pub fn overhead_row_json(cfg: Config, t_plain: f64, t_ft: f64, f_plain: u64, f_ft: u64) -> String {
+    json::Obj::new()
+        .str("grid", &cfg.grid_label())
+        .int("n", cfg.n as u64)
+        .int("nb", cfg.nb as u64)
+        .num("gflops_plain", hess_flops(cfg.n) / t_plain / 1e9)
+        .num("gflops_ft", hess_flops(cfg.n) / t_ft / 1e9)
+        .num("seconds_plain", t_plain)
+        .num("seconds_ft", t_ft)
+        .int("flops_plain", f_plain)
+        .int("flops_ft", f_ft)
+        .num("wall_penalty_pct", (t_ft - t_plain) / t_plain * 100.0)
+        .num("flop_penalty_pct", (f_ft as f64 - f_plain as f64) / f_plain as f64 * 100.0)
+        .finish()
+}
+
+/// Minimal JSON serialization for the `BENCH_*.json` artifacts. The
+/// workspace builds offline with zero external crates, so no serde; the
+/// schema is flat enough that a string builder is all we need.
+pub mod json {
+    use std::io::Write as _;
+    use std::path::PathBuf;
+
+    /// Incremental JSON object builder. Keys must be plain identifiers
+    /// (no escaping is performed on keys); string *values* are escaped.
+    #[derive(Debug, Default)]
+    pub struct Obj {
+        buf: String,
+    }
+
+    impl Obj {
+        /// Start an empty object.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        fn key(&mut self, k: &str) {
+            if !self.buf.is_empty() {
+                self.buf.push(',');
+            }
+            self.buf.push('"');
+            self.buf.push_str(k);
+            self.buf.push_str("\":");
+        }
+
+        /// Append a float field (`null` if non-finite — JSON has no NaN).
+        pub fn num(mut self, k: &str, v: f64) -> Self {
+            self.key(k);
+            if v.is_finite() {
+                self.buf.push_str(&format!("{v}"));
+            } else {
+                self.buf.push_str("null");
+            }
+            self
+        }
+
+        /// Append an integer field.
+        pub fn int(mut self, k: &str, v: u64) -> Self {
+            self.key(k);
+            self.buf.push_str(&v.to_string());
+            self
+        }
+
+        /// Append a string field (value is escaped).
+        pub fn str(mut self, k: &str, v: &str) -> Self {
+            self.key(k);
+            self.buf.push('"');
+            for c in v.chars() {
+                match c {
+                    '"' => self.buf.push_str("\\\""),
+                    '\\' => self.buf.push_str("\\\\"),
+                    '\n' => self.buf.push_str("\\n"),
+                    c if (c as u32) < 0x20 => self.buf.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => self.buf.push(c),
+                }
+            }
+            self.buf.push('"');
+            self
+        }
+
+        /// Append an already-serialized JSON value (nested object/array).
+        pub fn raw(mut self, k: &str, v: &str) -> Self {
+            self.key(k);
+            self.buf.push_str(v);
+            self
+        }
+
+        /// Close the object.
+        pub fn finish(self) -> String {
+            format!("{{{}}}", self.buf)
+        }
+    }
+
+    /// Serialize already-serialized items as a JSON array.
+    pub fn array(items: &[String]) -> String {
+        format!("[{}]", items.join(","))
+    }
+
+    /// Repo-root path of a `BENCH_*.json` artifact (resolved relative to
+    /// this crate, so it lands at the root regardless of the bench
+    /// binary's working directory).
+    pub fn artifact_path(file: &str) -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(file)
+    }
+
+    /// Write `content` (one serialized JSON value) to the repo-root
+    /// artifact `file`, with a trailing newline.
+    pub fn write_artifact(file: &str, content: &str) -> std::io::Result<PathBuf> {
+        let path = artifact_path(file);
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{content}")?;
+        Ok(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,5 +308,20 @@ mod tests {
     fn panel_count_matches_loop() {
         assert_eq!(panel_count(12, 2), 5);
         assert_eq!(panel_count(16, 4), 4); // panels at 0, 4, 8 and ragged 12
+    }
+
+    #[test]
+    fn json_builder_escapes_and_nests() {
+        let row = json::Obj::new().str("k", "a\"b\\c").num("x", 1.5).int("n", 7).finish();
+        assert_eq!(row, "{\"k\":\"a\\\"b\\\\c\",\"x\":1.5,\"n\":7}");
+        let top = json::Obj::new().raw("rows", &json::array(&[row])).num("bad", f64::NAN).finish();
+        assert!(top.contains("\"bad\":null"));
+        assert!(top.starts_with("{\"rows\":[{"));
+    }
+
+    #[test]
+    fn artifact_path_is_repo_root() {
+        let p = json::artifact_path("BENCH_kernels.json");
+        assert!(p.ends_with("../../BENCH_kernels.json"));
     }
 }

@@ -38,4 +38,4 @@ pub use encode::{Encoded, Redundancy};
 pub use model::{asymptotic_overhead, flop_model, storage_overhead_elements, FlopModel};
 pub use recovery::{check_tolerance, recover, ToleranceExceeded};
 pub use scope::ScopeState;
-pub use scrub::{scrub_groups, ScrubFinding};
+pub use scrub::{assert_theorem1, scrub_groups, ScrubFinding};

@@ -25,6 +25,31 @@ use crate::encode::{Encoded, Redundancy};
 use ft_runtime::{Ctx, Tag};
 
 const TAG_SCRUB: Tag = Tag::Checksum(0x80);
+const TAG_T1: Tag = Tag::Checksum(0x90);
+
+/// Assert the Theorem-1 row-checksum invariant: every group strictly after
+/// scope `scope` must satisfy `‖Σ members − chk‖ < tol` for **all** live
+/// checksum copies. Returns the number of (group, copy) pairs checked so
+/// callers can assert coverage. Collective — every process must call it at
+/// the same point; the panic message carries `context` to name the call
+/// site (iteration/phase) on failure.
+///
+/// This is the paper's Theorem 1 made executable: the Non-delayed variant
+/// (Algorithm 2) maintains it after *every* phase of every iteration, the
+/// Delayed variant (Algorithm 3) restores it at scope boundaries after the
+/// catch-up. The core test suites call this helper instead of hand-rolling
+/// the loop.
+pub fn assert_theorem1(ctx: &Ctx, enc: &Encoded, scope: usize, tol: f64, context: &str) -> usize {
+    let mut checked = 0usize;
+    for g in scope + 1..enc.groups() {
+        for copy in 0..enc.ncopies() {
+            let viol = enc.checksum_violation(ctx, g, copy, TAG_T1);
+            assert!(viol < tol, "Theorem 1 violated at {context}: group {g} copy {copy}: violation {viol} ≥ {tol}");
+            checked += 1;
+        }
+    }
+    checked
+}
 
 /// One detected (and possibly corrected) checksum violation.
 #[derive(Debug, Clone, PartialEq)]

@@ -6,7 +6,7 @@
 //! schedules are fixed so every run reproduces exactly.
 
 use ft_dense::gen::{uniform_entry, uniform_indexed_matrix};
-use ft_hess::{failpoint, ft_pdgehrd, ft_pdgehrd_hooked, Encoded, FtError, FtReport, Phase, Variant};
+use ft_hess::{assert_theorem1, failpoint, ft_pdgehrd, ft_pdgehrd_hooked, Encoded, FtError, FtReport, Phase, Variant};
 use ft_lapack::{extract_h, hessenberg_residual, orghr};
 use ft_runtime::{run_spmd, run_spmd_chaos, ChaosKill, ChaosPoint, ChaosScript, FaultScript, PlannedFailure};
 
@@ -155,12 +155,7 @@ fn delayed_recovery_preserves_future_checksums() {
             // is only owed at scope-opening boundaries.
             if phase == Phase::BeforePanel && panel % ctx.npcol() == 0 {
                 let s = panel / ctx.npcol();
-                for g in s + 1..enc.groups() {
-                    for copy in 0..2 {
-                        let viol = enc.checksum_violation(ctx, g, copy, 7300);
-                        assert!(viol < 1e-9, "scope {s} open: group {g} copy {copy} violation {viol}");
-                    }
-                }
+                assert_theorem1(ctx, enc, s, 1e-9, &format!("scope {s} open (post-recovery)"));
             }
         })
         .expect("within the fault model");

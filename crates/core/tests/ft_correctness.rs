@@ -9,7 +9,7 @@
 
 use ft_dense::gen::{uniform_entry, uniform_indexed_matrix};
 use ft_dense::Matrix;
-use ft_hess::{failpoint, ft_pdgehrd, ft_pdgehrd_hooked, Encoded, Phase, Variant};
+use ft_hess::{assert_theorem1, failpoint, ft_pdgehrd, ft_pdgehrd_hooked, Encoded, Phase, Variant};
 use ft_lapack::{extract_h, hessenberg_residual, is_hessenberg, orghr};
 use ft_pblas::{pdgehrd, Desc, DistMatrix};
 use ft_runtime::{run_spmd, FaultScript, PlannedFailure};
@@ -69,13 +69,7 @@ fn theorem1_invariant_all_phases() {
         let mut checked = 0usize;
         ft_pdgehrd_hooked(&ctx, &mut enc, Variant::NonDelayed, &mut tau, &mut |ctx, enc, panel, phase| {
             let s = (panel * nb / nb) / ctx.npcol(); // scope of this panel
-            for g in s + 1..enc.groups() {
-                for copy in 0..2 {
-                    let viol = enc.checksum_violation(ctx, g, copy, 7000);
-                    assert!(viol < 1e-11, "Theorem 1 violated: panel {panel} {phase:?} group {g} copy {copy}: {viol}");
-                    checked += 1;
-                }
-            }
+            checked += assert_theorem1(ctx, enc, s, 1e-11, &format!("panel {panel} {phase:?}"));
         })
         .expect("within the fault model");
         // The sweep actually exercised trailing groups.
@@ -96,10 +90,7 @@ fn theorem1_invariant_delayed_at_scope_boundaries() {
             let bc = panel; // w == nb here, so panel index == block column
             if phase == Phase::BeforePanel && bc % ctx.npcol() == 0 {
                 let s = bc / ctx.npcol();
-                for g in s + 1..enc.groups() {
-                    let viol = enc.checksum_violation(ctx, g, 0, 7100);
-                    assert!(viol < 1e-11, "panel {panel}: group {g} violation {viol}");
-                }
+                assert_theorem1(ctx, enc, s, 1e-11, &format!("scope boundary at panel {panel}"));
             }
         })
         .expect("within the fault model");

@@ -9,11 +9,32 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static FLOPS: AtomicU64 = AtomicU64::new(0);
+static GEMM_CALLS: AtomicU64 = AtomicU64::new(0);
 
 /// Add `n` floating point operations to the global counter.
 #[inline]
 pub fn add_flops(n: u64) {
     FLOPS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Record one call into a blocked GEMM path (packed or pre-packed). The
+/// benches use calls-per-update to confirm the packed-operand reuse in the
+/// trailing updates actually collapses per-run GEMM launches.
+#[inline]
+pub fn add_gemm_call() {
+    GEMM_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Read the global GEMM call counter.
+#[inline]
+pub fn gemm_calls() -> u64 {
+    GEMM_CALLS.load(Ordering::Relaxed)
+}
+
+/// Reset the global GEMM call counter to zero.
+#[inline]
+pub fn reset_gemm_calls() {
+    GEMM_CALLS.store(0, Ordering::Relaxed);
 }
 
 /// Read the global flop counter.

@@ -3,31 +3,149 @@
 //! [`gemm`] is the workhorse of the whole workspace — both the shared-memory
 //! blocked Hessenberg reduction and the distributed trailing-matrix updates
 //! funnel into it. It uses the classic packed three-level blocking scheme
-//! (Goto-style: NC/KC/MC cache blocks around an MR×NR register micro-kernel)
-//! written in safe Rust and shaped so LLVM auto-vectorizes the micro-kernel.
+//! (Goto-style: NC/KC/MC cache blocks around an [`MR`]×[`NR`] register
+//! micro-kernel) written in safe Rust and shaped so LLVM auto-vectorizes the
+//! micro-kernel. Three properties matter to the layers above:
+//!
+//! * **Runtime-probed cache blocks.** `KC`/`MC`/`NC` are not hard-coded:
+//!   [`blocking`] probes the data-cache hierarchy once (sysfs on Linux,
+//!   `FT_GEMM_{KC,MC,NC}` env overrides, conservative fallbacks) and sizes
+//!   the packed panels so the A micro-panel + B micro-panel live in L1, the
+//!   packed A block in L2 and the packed B block in L3.
+//! * **Fused β.** The β scaling of `C` is folded into the first `KC`-block's
+//!   micro-kernel store (β = 0 never reads `C`, so NaN/garbage in the output
+//!   buffer cannot leak through) instead of a separate full sweep over `C`
+//!   before the multiply — one pass over `C` less per call.
+//! * **Reusable packed operands.** [`PackedA`] packs `op(A)` once in the
+//!   micro-kernel's panel layout; [`gemm_packed_a`] then multiplies it
+//!   against any number of right-hand sides. The distributed trailing
+//!   updates use this to pack `Y` (right update) and `V` (left update) a
+//!   single time and sweep them over every contiguous column run — original
+//!   trailing columns *and* ABFT checksum columns ride the identical packed
+//!   buffer, which is what makes the checksum update cost the paper's §6
+//!   model charges proportional to column count only.
 //!
 //! [`gemm_naive`] is the deliberately simple triple-loop oracle used by the
-//! test suites to validate every faster path.
+//! test suites (and the kernel-equivalence fuzzer) to validate every faster
+//! path.
 
-use crate::counters::add_flops;
+use crate::counters::{add_flops, add_gemm_call};
 use crate::{Diag, Side, Trans, UpLo};
+use std::sync::OnceLock;
 
-/// Register block: rows of the micro-tile.
-const MR: usize = 8;
-/// Register block: columns of the micro-tile.
-const NR: usize = 4;
-/// Cache block over `k`.
-const KC: usize = 256;
-/// Cache block over `m`.
-const MC: usize = 128;
-/// Cache block over `n`.
-const NC: usize = 1024;
+/// Register block: rows of the micro-tile. One AVX-512 lane-group (8 f64),
+/// two AVX2 lanes — a full cache line either way.
+pub const MR: usize = 8;
+/// Register block: columns of the micro-tile. `MR×NR` accumulators fit the
+/// architectural register file (6×8 f64 = 12 ymm / 6 zmm) with room for the
+/// A column and B broadcasts.
+pub const NR: usize = 6;
+
+/// Cache-block sizes used by the packed GEMM, chosen once at runtime by
+/// [`blocking`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blocking {
+    /// Cache block over `k`: depth of the packed panels.
+    pub kc: usize,
+    /// Cache block over `m`: rows of the packed A block (multiple of [`MR`]).
+    pub mc: usize,
+    /// Cache block over `n`: columns of the packed B block (multiple of
+    /// [`NR`]).
+    pub nc: usize,
+}
+
+static BLOCKING: OnceLock<Blocking> = OnceLock::new();
+
+/// The process-wide cache-blocking parameters: probed from the CPU cache
+/// hierarchy on first use, overridable per dimension with the
+/// `FT_GEMM_KC` / `FT_GEMM_MC` / `FT_GEMM_NC` environment variables
+/// (read once — set them before the first GEMM call).
+pub fn blocking() -> Blocking {
+    *BLOCKING.get_or_init(probe_blocking)
+}
+
+/// Parse a sysfs cache size string like `"48K"`, `"2048K"`, `"1M"`.
+fn parse_cache_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (num, mult) = match s.as_bytes().last()? {
+        b'K' => (&s[..s.len() - 1], 1usize << 10),
+        b'M' => (&s[..s.len() - 1], 1usize << 20),
+        b'G' => (&s[..s.len() - 1], 1usize << 30),
+        _ => (s, 1),
+    };
+    num.parse::<usize>().ok().map(|v| v * mult)
+}
+
+/// Size in bytes of the level-`level` data (or unified) cache of cpu0, if
+/// the platform exposes it.
+fn sysfs_cache_size(level: usize) -> Option<usize> {
+    let base = std::path::Path::new("/sys/devices/system/cpu/cpu0/cache");
+    let entries = std::fs::read_dir(base).ok()?;
+    for e in entries.flatten() {
+        let p = e.path();
+        let read = |f: &str| std::fs::read_to_string(p.join(f)).ok();
+        let Some(lv) = read("level").and_then(|v| v.trim().parse::<usize>().ok()) else {
+            continue;
+        };
+        if lv != level {
+            continue;
+        }
+        match read("type").as_deref().map(str::trim) {
+            Some("Data") | Some("Unified") => {}
+            _ => continue,
+        }
+        if let Some(sz) = read("size").and_then(|v| parse_cache_size(&v)) {
+            return Some(sz);
+        }
+    }
+    None
+}
+
+fn env_block(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).filter(|&v| v > 0)
+}
+
+fn probe_blocking() -> Blocking {
+    let l1 = sysfs_cache_size(1).unwrap_or(32 << 10);
+    let l2 = sysfs_cache_size(2).unwrap_or(256 << 10);
+    let l3 = sysfs_cache_size(3).unwrap_or(8 << 20).max(l2);
+    // KC: one MR×KC A micro-panel plus one KC×NR B micro-panel should fill
+    // about half of L1, leaving the C tile and streaming lines resident.
+    let kc = (l1 / (2 * 8 * (MR + NR))).clamp(64, 512) & !7;
+    // MC: the packed MC×KC A block occupies about half of L2.
+    let mc = (l2 / (2 * 8 * kc)).clamp(2 * MR, 2048) / MR * MR;
+    // NC: the packed KC×NC B block stays well inside L3.
+    let nc = (l3 / (4 * 8 * kc)).clamp(2 * NR, 8160) / NR * NR;
+    Blocking {
+        kc: env_block("FT_GEMM_KC").map(|v| (v.max(8)) & !7).unwrap_or(kc),
+        mc: env_block("FT_GEMM_MC").map(|v| v.max(MR) / MR * MR).unwrap_or(mc),
+        nc: env_block("FT_GEMM_NC").map(|v| v.max(NR) / NR * NR).unwrap_or(nc),
+    }
+}
 
 #[inline]
 fn at(trans: Trans, base: &[f64], ld: usize, i: usize, j: usize) -> f64 {
     match trans {
         Trans::No => base[i + j * ld],
         Trans::Yes => base[j + i * ld],
+    }
+}
+
+/// `C(0..m, 0..n) ← β·C` without touching anything past `m` in each column.
+/// β = 0 stores instead of multiplying, so NaN/garbage never propagates.
+fn scale_c(m: usize, n: usize, beta: f64, c: &mut [f64], ldc: usize) {
+    if beta == 1.0 {
+        return;
+    }
+    for j in 0..n {
+        let col = &mut c[j * ldc..j * ldc + m];
+        if beta == 0.0 {
+            col.fill(0.0);
+        } else {
+            for v in col.iter_mut() {
+                *v *= beta;
+            }
+        }
     }
 }
 
@@ -74,46 +192,163 @@ pub fn gemm(
     if m == 0 || n == 0 {
         return;
     }
-
-    // --- beta pass --------------------------------------------------------
-    if beta != 1.0 {
-        for j in 0..n {
-            let col = &mut c[j * ldc..j * ldc + m];
-            if beta == 0.0 {
-                col.fill(0.0);
-            } else {
-                for v in col.iter_mut() {
-                    *v *= beta;
-                }
-            }
-        }
-    }
     if alpha == 0.0 || k == 0 {
+        scale_c(m, n, beta, c, ldc);
         return;
     }
     add_flops(2 * m as u64 * n as u64 * k as u64);
+    add_gemm_call();
 
-    // --- packed blocked multiply -----------------------------------------
-    let mut apack = vec![0.0f64; MC * KC];
-    let mut bpack = vec![0.0f64; KC * NC];
+    // --- packed blocked multiply, β fused into the first k-block ----------
+    let bl = blocking();
+    let kc_cap = bl.kc.min(k);
+    let mc_cap = bl.mc.min(m.div_ceil(MR) * MR);
+    let nc_cap = bl.nc.min(n.div_ceil(NR) * NR);
+    let mut apack = vec![0.0f64; mc_cap * kc_cap];
+    let mut bpack = vec![0.0f64; kc_cap * nc_cap];
 
     let mut jc = 0;
     while jc < n {
-        let nc = NC.min(n - jc);
+        let nc = bl.nc.min(n - jc);
         let mut pc = 0;
         while pc < k {
-            let kc = KC.min(k - pc);
+            let kc = bl.kc.min(k - pc);
+            // β is applied exactly once per C element: by the k-block that
+            // sees it first.
+            let beta_eff = if pc == 0 { beta } else { 1.0 };
             pack_b(transb, b, ldb, pc, jc, kc, nc, &mut bpack);
             let mut ic = 0;
             while ic < m {
-                let mc = MC.min(m - ic);
+                let mc = bl.mc.min(m - ic);
                 pack_a(transa, a, lda, ic, pc, mc, kc, &mut apack);
-                macro_kernel(mc, nc, kc, alpha, &apack, &bpack, &mut c[ic + jc * ldc..], ldc);
-                ic += MC;
+                macro_kernel(mc, nc, kc, alpha, &apack, &bpack, beta_eff, &mut c[ic + jc * ldc..], ldc);
+                ic += bl.mc;
             }
-            pc += KC;
+            pc += bl.kc;
         }
-        jc += NC;
+        jc += bl.nc;
+    }
+}
+
+/// `op(A)` packed once into the micro-kernel's panel layout, for repeated
+/// multiplication against different right-hand sides via [`gemm_packed_a`].
+///
+/// The distributed trailing updates build one `PackedA` per panel operand
+/// (`Y` for the right update, `V`/`Vᵀ` for the left update) and reuse it
+/// across every contiguous column run — including the ABFT checksum
+/// columns, which therefore hit the exact same packed bytes as the data
+/// columns they protect.
+#[derive(Debug, Clone)]
+pub struct PackedA {
+    m: usize,
+    k: usize,
+    kc: usize,
+    /// `m` rounded up to a multiple of [`MR`] (panel padding).
+    m_pad: usize,
+    data: Vec<f64>,
+}
+
+impl PackedA {
+    /// Pack `op(A)` (`m×k` logical) from column-major storage `a` with
+    /// leading dimension `lda`.
+    pub fn pack(trans: Trans, m: usize, k: usize, a: &[f64], lda: usize) -> PackedA {
+        let (a_rows, a_cols) = match trans {
+            Trans::No => (m, k),
+            Trans::Yes => (k, m),
+        };
+        assert!(lda >= a_rows.max(1), "PackedA: lda too small");
+        if a_rows > 0 && a_cols > 0 {
+            assert!(a.len() >= lda * (a_cols - 1) + a_rows, "PackedA: A buffer too small");
+        }
+        let kc = blocking().kc.min(k.max(1));
+        let m_pad = m.div_ceil(MR) * MR;
+        let mut data = vec![0.0f64; m_pad * k];
+        let mut pc = 0;
+        while pc < k {
+            let kcb = kc.min(k - pc);
+            // Blocks are laid out back to back; block `pc` starts at
+            // `m_pad·pc` because the blocks before it hold `pc` k-columns.
+            pack_a(trans, a, lda, 0, pc, m, kcb, &mut data[m_pad * pc..m_pad * (pc + kcb)]);
+            pc += kc;
+        }
+        PackedA { m, k, kc, m_pad, data }
+    }
+
+    /// Logical rows `m` of `op(A)`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Logical columns `k` of `op(A)` (the contraction dimension).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// `C ← α·op(A)·op(B) + β·C` with `op(A)` pre-packed — see [`PackedA`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_packed_a(
+    pa: &PackedA,
+    transb: Trans,
+    n: usize,
+    alpha: f64,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let (m, k) = (pa.m, pa.k);
+    let (b_rows, b_cols) = match transb {
+        Trans::No => (k, n),
+        Trans::Yes => (n, k),
+    };
+    assert!(ldb >= b_rows.max(1), "gemm_packed_a: ldb too small");
+    assert!(ldc >= m.max(1), "gemm_packed_a: ldc too small");
+    if b_rows > 0 && b_cols > 0 {
+        assert!(b.len() >= ldb * (b_cols - 1) + b_rows, "gemm_packed_a: B buffer too small");
+    }
+    if m > 0 && n > 0 {
+        assert!(c.len() >= ldc * (n - 1) + m, "gemm_packed_a: C buffer too small");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if alpha == 0.0 || k == 0 {
+        scale_c(m, n, beta, c, ldc);
+        return;
+    }
+    add_flops(2 * m as u64 * n as u64 * k as u64);
+    add_gemm_call();
+
+    let bl = blocking();
+    let nc_cap = bl.nc.min(n.div_ceil(NR) * NR);
+    let mut bpack = vec![0.0f64; pa.kc.min(k) * nc_cap];
+    // MC must stay MR-aligned so the packed panels slice cleanly.
+    let mc_step = (bl.mc / MR * MR).max(MR);
+
+    let mut jc = 0;
+    while jc < n {
+        let nc = bl.nc.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = pa.kc.min(k - pc);
+            let beta_eff = if pc == 0 { beta } else { 1.0 };
+            pack_b(transb, b, ldb, pc, jc, kc, nc, &mut bpack);
+            let block = &pa.data[pa.m_pad * pc..pa.m_pad * (pc + kc)];
+            let mut ic = 0;
+            while ic < m {
+                let mc = mc_step.min(m - ic);
+                // Panels ic/MR.. of this k-block are contiguous: MR·kc each.
+                let ap = &block[(ic / MR) * MR * kc..];
+                macro_kernel(mc, nc, kc, alpha, ap, &bpack, beta_eff, &mut c[ic + jc * ldc..], ldc);
+                ic += mc_step;
+            }
+            pc += pa.kc;
+        }
+        jc += bl.nc;
     }
 }
 
@@ -127,6 +362,14 @@ fn pack_a(trans: Trans, a: &[f64], lda: usize, ic: usize, pc: usize, mc: usize, 
         let r0 = p * MR;
         let rows = MR.min(mc - r0);
         let base = p * MR * kc;
+        if rows == MR && trans == Trans::No {
+            // Full panel, no transpose: straight unit-stride column copies.
+            for j in 0..kc {
+                let src = &a[(ic + r0) + (pc + j) * lda..(ic + r0) + (pc + j) * lda + MR];
+                out[base + j * MR..base + j * MR + MR].copy_from_slice(src);
+            }
+            continue;
+        }
         for j in 0..kc {
             let dst = &mut out[base + j * MR..base + j * MR + MR];
             for r in 0..rows {
@@ -161,8 +404,10 @@ fn pack_b(trans: Trans, b: &[f64], ldb: usize, pc: usize, jc: usize, kc: usize, 
 }
 
 /// Multiply the packed `mc×kc` A block by the packed `kc×nc` B block into the
-/// `mc×nc` C window at `c` (leading dimension `ldc`), accumulating `+= α·A·B`.
-fn macro_kernel(mc: usize, nc: usize, kc: usize, alpha: f64, apack: &[f64], bpack: &[f64], c: &mut [f64], ldc: usize) {
+/// `mc×nc` C window at `c` (leading dimension `ldc`):
+/// `C ← α·A·B + β_eff·C` tile by tile.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(mc: usize, nc: usize, kc: usize, alpha: f64, apack: &[f64], bpack: &[f64], beta: f64, c: &mut [f64], ldc: usize) {
     let mpan = mc.div_ceil(MR);
     let npan = nc.div_ceil(NR);
     for q in 0..npan {
@@ -173,19 +418,21 @@ fn macro_kernel(mc: usize, nc: usize, kc: usize, alpha: f64, apack: &[f64], bpac
             let r0 = p * MR;
             let nrows = MR.min(mc - r0);
             let ap = &apack[p * MR * kc..];
-            micro_kernel(kc, alpha, ap, bp, nrows, ncols, &mut c[r0 + c0 * ldc..], ldc);
+            micro_kernel(kc, alpha, ap, bp, beta, nrows, ncols, &mut c[r0 + c0 * ldc..], ldc);
         }
     }
 }
 
 /// The MR×NR register kernel: `acc += ap(:,l) ⊗ bp(:,l)` over `l`, then
-/// `C[0..nrows, 0..ncols] += α·acc`.
+/// `C[0..nrows, 0..ncols] ← α·acc + β·C` (β = 0 never reads `C`).
 #[inline]
-fn micro_kernel(kc: usize, alpha: f64, ap: &[f64], bp: &[f64], nrows: usize, ncols: usize, c: &mut [f64], ldc: usize) {
+fn micro_kernel(kc: usize, alpha: f64, ap: &[f64], bp: &[f64], beta: f64, nrows: usize, ncols: usize, c: &mut [f64], ldc: usize) {
     let mut acc = [[0.0f64; MR]; NR];
-    for l in 0..kc {
-        let av: &[f64] = &ap[l * MR..l * MR + MR];
-        let bv: &[f64] = &bp[l * NR..l * NR + NR];
+    // Fixed-size chunk views let LLVM keep the whole accumulator in
+    // registers and vectorize the rank-1 update without bounds checks.
+    for (av, bv) in ap[..kc * MR].chunks_exact(MR).zip(bp[..kc * NR].chunks_exact(NR)) {
+        let av: &[f64; MR] = av.try_into().unwrap();
+        let bv: &[f64; NR] = bv.try_into().unwrap();
         for (j, accj) in acc.iter_mut().enumerate() {
             let bj = bv[j];
             for (i, a) in accj.iter_mut().enumerate() {
@@ -193,10 +440,36 @@ fn micro_kernel(kc: usize, alpha: f64, ap: &[f64], bp: &[f64], nrows: usize, nco
             }
         }
     }
-    for j in 0..ncols {
-        let col = &mut c[j * ldc..j * ldc + nrows];
-        for (i, v) in col.iter_mut().enumerate() {
-            *v += alpha * acc[j][i];
+    if nrows == MR {
+        // Full-height tile: unit-stride whole-column stores.
+        for (j, accj) in acc.iter().enumerate().take(ncols) {
+            let col: &mut [f64; MR] = (&mut c[j * ldc..j * ldc + MR]).try_into().unwrap();
+            if beta == 0.0 {
+                for (cv, &a) in col.iter_mut().zip(accj.iter()) {
+                    *cv = alpha * a;
+                }
+            } else if beta == 1.0 {
+                for (cv, &a) in col.iter_mut().zip(accj.iter()) {
+                    *cv += alpha * a;
+                }
+            } else {
+                for (cv, &a) in col.iter_mut().zip(accj.iter()) {
+                    *cv = alpha * a + beta * *cv;
+                }
+            }
+        }
+    } else {
+        for (j, accj) in acc.iter().enumerate().take(ncols) {
+            let col = &mut c[j * ldc..j * ldc + nrows];
+            if beta == 0.0 {
+                for (cv, &a) in col.iter_mut().zip(accj.iter()) {
+                    *cv = alpha * a;
+                }
+            } else {
+                for (cv, &a) in col.iter_mut().zip(accj.iter()) {
+                    *cv = alpha * a + beta * *cv;
+                }
+            }
         }
     }
 }
@@ -226,7 +499,7 @@ pub fn gemm_naive(
                 s += at(transa, a, lda, i, l) * at(transb, b, ldb, l, j);
             }
             let cv = &mut c[i + j * ldc];
-            *cv = alpha * s + beta * *cv;
+            *cv = if beta == 0.0 { alpha * s } else { alpha * s + beta * *cv };
         }
     }
 }
@@ -363,6 +636,23 @@ mod tests {
     }
 
     #[test]
+    fn blocking_is_sane() {
+        let bl = blocking();
+        assert!(bl.kc >= 8 && bl.kc.is_multiple_of(8), "{bl:?}");
+        assert!(bl.mc >= MR && bl.mc.is_multiple_of(MR), "{bl:?}");
+        assert!(bl.nc >= NR && bl.nc.is_multiple_of(NR), "{bl:?}");
+    }
+
+    #[test]
+    fn cache_size_parser() {
+        assert_eq!(parse_cache_size("48K"), Some(48 << 10));
+        assert_eq!(parse_cache_size("2048K\n"), Some(2048 << 10));
+        assert_eq!(parse_cache_size("1M"), Some(1 << 20));
+        assert_eq!(parse_cache_size("123"), Some(123));
+        assert_eq!(parse_cache_size("x"), None);
+    }
+
+    #[test]
     fn gemm_matches_naive_all_transposes() {
         for &(m, n, k) in &[(1, 1, 1), (3, 5, 4), (17, 9, 23), (40, 33, 19), (130, 70, 260)] {
             for transa in [Trans::No, Trans::Yes] {
@@ -384,12 +674,61 @@ mod tests {
     }
 
     #[test]
+    fn gemm_packed_a_matches_naive() {
+        for &(m, n, k) in &[(1, 1, 1), (7, 3, 5), (17, 9, 23), (40, 13, 19), (65, 6, 33)] {
+            for transa in [Trans::No, Trans::Yes] {
+                for transb in [Trans::No, Trans::Yes] {
+                    let (ar, ac) = if transa.is_trans() { (k, m) } else { (m, k) };
+                    let (br, bc) = if transb.is_trans() { (n, k) } else { (k, n) };
+                    let a = rngmat(ar, ac, 4);
+                    let b = rngmat(br, bc, 5);
+                    let c0 = rngmat(m, n, 6);
+                    let mut c1 = c0.clone();
+                    let mut c2 = c0.clone();
+                    let pa = PackedA::pack(transa, m, k, a.as_slice(), ar);
+                    assert_eq!((pa.m(), pa.k()), (m, k));
+                    gemm_packed_a(&pa, transb, n, -0.9, b.as_slice(), br, 0.4, c1.as_mut_slice(), m);
+                    gemm_naive(transa, transb, m, n, k, -0.9, a.as_slice(), ar, b.as_slice(), br, 0.4, c2.as_mut_slice(), m);
+                    let d = c1.max_abs_diff(&c2);
+                    assert!(d < 1e-12, "m={m} n={n} k={k} {transa:?}{transb:?}: diff {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_a_reused_across_rhs() {
+        // One pack, several right-hand sides — the trailing-update pattern.
+        let (m, k) = (23, 7);
+        let a = rngmat(m, k, 8);
+        let pa = PackedA::pack(Trans::No, m, k, a.as_slice(), m);
+        for (n, seed) in [(1usize, 10u64), (4, 11), (9, 12)] {
+            let b = rngmat(k, n, seed);
+            let mut c1 = Matrix::zeros(m, n);
+            let mut c2 = Matrix::zeros(m, n);
+            gemm_packed_a(&pa, Trans::No, n, 1.0, b.as_slice(), k, 0.0, c1.as_mut_slice(), m);
+            gemm_naive(Trans::No, Trans::No, m, n, k, 1.0, a.as_slice(), m, b.as_slice(), k, 0.0, c2.as_mut_slice(), m);
+            assert!(c1.max_abs_diff(&c2) < 1e-12);
+        }
+    }
+
+    #[test]
     fn gemm_beta_zero_clears_nan() {
         let a = Matrix::identity(2);
         let b = Matrix::identity(2);
         let mut c = Matrix::from_fn(2, 2, |_, _| f64::NAN);
         gemm(Trans::No, Trans::No, 2, 2, 2, 1.0, a.as_slice(), 2, b.as_slice(), 2, 0.0, c.as_mut_slice(), 2);
         assert_eq!(c, Matrix::identity(2));
+    }
+
+    #[test]
+    fn gemm_packed_beta_zero_clears_nan() {
+        let a = Matrix::identity(3);
+        let b = Matrix::identity(3);
+        let pa = PackedA::pack(Trans::No, 3, 3, a.as_slice(), 3);
+        let mut c = Matrix::from_fn(3, 3, |_, _| f64::NAN);
+        gemm_packed_a(&pa, Trans::No, 3, 1.0, b.as_slice(), 3, 0.0, c.as_mut_slice(), 3);
+        assert_eq!(c, Matrix::identity(3));
     }
 
     #[test]

@@ -54,6 +54,17 @@ impl Matrix {
         Self { rows, cols, data }
     }
 
+    /// Copy an `rows × cols` window out of a column-major buffer with
+    /// leading dimension `ld ≥ rows` — the inverse of passing a sub-matrix
+    /// view into a kernel as `(&slice[offset], ld)`.
+    pub fn from_strided(rows: usize, cols: usize, src: &[f64], ld: usize) -> Self {
+        assert!(ld >= rows.max(1), "from_strided: ld too small");
+        if rows > 0 && cols > 0 {
+            assert!(src.len() >= ld * (cols - 1) + rows, "from_strided: buffer too small");
+        }
+        Self::from_fn(rows, cols, |i, j| src[i + j * ld])
+    }
+
     /// Build from row-major nested slices (convenient in tests).
     pub fn from_rows(rows: &[&[f64]]) -> Self {
         let r = rows.len();

@@ -1,0 +1,159 @@
+//! Kernel-equivalence fuzzing: the packed register-tiled GEMM (and the
+//! pre-packed-A variant) against the naive triple-loop oracle over seeded
+//! *adversarial* shapes — everything that exercises fringe/remainder tiles,
+//! the KC block boundary, zero-padding, and strided sub-matrix views.
+//!
+//! The ABFT layer routes checksum-column updates through these exact
+//! kernels; a silent fringe-tile bug would corrupt checksums in ways the
+//! recovery math then faithfully propagates. This suite exists so that can
+//! never happen silently.
+//!
+//! Deterministic: the seed is fixed (override with `FT_FUZZ_SEED` to
+//! explore a different corner of the space; CI pins it).
+
+use ft_dense::level3::{blocking, gemm, gemm_naive, gemm_packed_a, PackedA, MR, NR};
+use ft_dense::rng::Xoshiro256;
+use ft_dense::{Matrix, Trans};
+
+fn fuzz_seed() -> u64 {
+    std::env::var("FT_FUZZ_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+/// The interesting extents for any of m/n/k: tiny shapes (1..=17 covers
+/// every MR/NR fringe combination), the register-tile edges, and the KC
+/// cache-block boundary where the fused-β handoff (β on the first k-block,
+/// accumulate afterwards) happens.
+fn interesting_extents() -> Vec<usize> {
+    let kc = blocking().kc;
+    let mut v: Vec<usize> = (1..=17).collect();
+    v.extend_from_slice(&[MR - 1, MR, MR + 1, NR - 1, NR, NR + 1, 2 * MR + 3, 3 * NR + 1]);
+    v.extend_from_slice(&[kc - 1, kc, kc + 1]);
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+const COEFFS: [f64; 4] = [0.0, 1.0, -1.0, 0.5];
+
+/// Fill an `(rows × cols)` buffer with leading dimension `ld`, garbage in
+/// the stride gaps (NaN — so any kernel touching out-of-window memory is
+/// caught by the comparison, and any β=0 read of C poisons the result).
+fn strided_with_nan_gaps(rng: &mut Xoshiro256, rows: usize, cols: usize, ld: usize) -> Vec<f64> {
+    let len = if cols == 0 { 0 } else { ld * (cols - 1) + rows };
+    let mut buf = vec![f64::NAN; len];
+    for j in 0..cols {
+        for i in 0..rows {
+            buf[i + j * ld] = rng.range_f64(-1.0, 1.0);
+        }
+    }
+    buf
+}
+
+#[test]
+fn packed_gemm_matches_naive_on_adversarial_shapes() {
+    let mut rng = Xoshiro256::seed_from_u64(fuzz_seed());
+    let extents = interesting_extents();
+    let pick = |rng: &mut Xoshiro256, v: &[usize]| v[rng.range_usize(0, v.len())];
+    let rounds: usize = std::env::var("FT_FUZZ_ROUNDS").ok().and_then(|v| v.parse().ok()).unwrap_or(400);
+
+    for round in 0..rounds {
+        let m = pick(&mut rng, &extents);
+        let n = pick(&mut rng, &extents);
+        let k = pick(&mut rng, &extents);
+        let transa = if rng.next_below(2) == 0 { Trans::No } else { Trans::Yes };
+        let transb = if rng.next_below(2) == 0 { Trans::No } else { Trans::Yes };
+        let alpha = COEFFS[rng.range_usize(0, COEFFS.len())];
+        let beta = COEFFS[rng.range_usize(0, COEFFS.len())];
+
+        let (ar, ac) = if transa.is_trans() { (k, m) } else { (m, k) };
+        let (br, bc) = if transb.is_trans() { (n, k) } else { (k, n) };
+        // Strided views: ld strictly larger than rows half the time, with
+        // NaN poison in the gaps.
+        let lda = ar.max(1) + (rng.next_below(2) as usize) * rng.range_usize(1, 6);
+        let ldb = br.max(1) + (rng.next_below(2) as usize) * rng.range_usize(1, 6);
+        let ldc = m.max(1) + (rng.next_below(2) as usize) * rng.range_usize(1, 6);
+        let a = strided_with_nan_gaps(&mut rng, ar, ac, lda);
+        let b = strided_with_nan_gaps(&mut rng, br, bc, ldb);
+        let c0 = strided_with_nan_gaps(&mut rng, m, n, ldc);
+
+        let label =
+            format!("round {round}: m={m} n={n} k={k} {transa:?}{transb:?} α={alpha} β={beta} lda={lda} ldb={ldb} ldc={ldc}");
+
+        let mut c_ref = c0.clone();
+        gemm_naive(transa, transb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c_ref, ldc);
+        let want = Matrix::from_strided(m, n, &c_ref, ldc);
+        // β = 0 with NaN-poisoned C must still produce finite output.
+        if beta != 0.0 || c0.iter().all(|v| v.is_finite()) {
+            assert!(want.as_slice().iter().all(|v| v.is_finite()), "oracle produced non-finite values: {label}");
+        }
+
+        let mut c1 = c0.clone();
+        gemm(transa, transb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c1, ldc);
+        let got = Matrix::from_strided(m, n, &c1, ldc);
+        let d = got.max_abs_diff(&want);
+        assert!(d < 1e-12 * (k.max(1) as f64), "gemm vs naive: diff {d} at {label}");
+
+        let pa = PackedA::pack(transa, m, k, &a, lda);
+        let mut c2 = c0.clone();
+        gemm_packed_a(&pa, transb, n, alpha, &b, ldb, beta, &mut c2, ldc);
+        let got2 = Matrix::from_strided(m, n, &c2, ldc);
+        let d2 = got2.max_abs_diff(&want);
+        assert!(d2 < 1e-12 * (k.max(1) as f64), "gemm_packed_a vs naive: diff {d2} at {label}");
+
+        // Outside the m×n window, C must be untouched (stride gaps keep
+        // their NaN poison; bytes compare equal via to_bits).
+        for (idx, (&new, &old)) in c1.iter().zip(c0.iter()).enumerate() {
+            let j = idx / ldc;
+            let i = idx % ldc;
+            if i >= m || j >= n {
+                assert_eq!(new.to_bits(), old.to_bits(), "gemm touched C outside the window at ({i},{j}): {label}");
+            }
+        }
+    }
+}
+
+/// β = 0 must *never* read C — NaN in every C slot, finite everywhere after.
+#[test]
+fn beta_zero_never_reads_c_any_shape() {
+    let mut rng = Xoshiro256::seed_from_u64(fuzz_seed() ^ 0x5EED);
+    for &m in &[1usize, MR - 1, MR, MR + 1, 13] {
+        for &n in &[1usize, NR - 1, NR, NR + 1, 11] {
+            let k = 1 + (rng.next_below(16) as usize);
+            let a = Matrix::from_fn(m, k, |_, _| rng.range_f64(-1.0, 1.0));
+            let b = Matrix::from_fn(k, n, |_, _| rng.range_f64(-1.0, 1.0));
+            let mut c = vec![f64::NAN; m * n];
+            gemm(Trans::No, Trans::No, m, n, k, 1.0, a.as_slice(), m, b.as_slice(), k, 0.0, &mut c, m);
+            assert!(c.iter().all(|v| v.is_finite()), "β=0 read C at m={m} n={n} k={k}");
+            let pa = PackedA::pack(Trans::No, m, k, a.as_slice(), m);
+            let mut c2 = vec![f64::NAN; m * n];
+            gemm_packed_a(&pa, Trans::No, n, 1.0, b.as_slice(), k, 0.0, &mut c2, m);
+            assert!(c2.iter().all(|v| v.is_finite()), "packed-A β=0 read C at m={m} n={n} k={k}");
+        }
+    }
+}
+
+/// A pre-packed A must give *bitwise* the same answer as the pack-on-the-fly
+/// path: both run the identical micro-kernel over identical packed bytes,
+/// and the recovery replay upstairs relies on kernel determinism.
+#[test]
+fn prepacked_bitwise_equals_packed() {
+    let mut rng = Xoshiro256::seed_from_u64(fuzz_seed() ^ 0xB17);
+    let kc = blocking().kc;
+    for &(m, k) in &[(5usize, 3usize), (MR + 1, NR + 1), (40, 17), (9, kc + 2)] {
+        let n = 1 + (rng.next_below(12) as usize);
+        let a = Matrix::from_fn(m, k, |_, _| rng.range_f64(-1.0, 1.0));
+        let b = Matrix::from_fn(k, n, |_, _| rng.range_f64(-1.0, 1.0));
+        let c0: Vec<f64> = (0..m * n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let mut c1 = c0.clone();
+        gemm(Trans::No, Trans::No, m, n, k, -0.5, a.as_slice(), m, b.as_slice(), k, 0.5, &mut c1, m);
+        let pa = PackedA::pack(Trans::No, m, k, a.as_slice(), m);
+        let mut c2 = c0.clone();
+        gemm_packed_a(&pa, Trans::No, n, -0.5, b.as_slice(), k, 0.5, &mut c2, m);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert_eq!(x.to_bits(), y.to_bits(), "m={m} n={n} k={k}");
+        }
+    }
+}

@@ -5,9 +5,20 @@
 //! The contraction dimension is processed in panels of `nb`: the `A` panel
 //! (a block column) is broadcast along process rows; the `B` panel along
 //! process columns (for `op = Bᵀ`, the panel is first assembled down the
-//! column — acceptable for this library's use of `pdgemm`, which is
-//! result verification, not inner loops). One local GEMM per panel does the
-//! arithmetic.
+//! column — acceptable for this library's use of `pdgemm` with a transposed
+//! operand, which is result verification, not inner loops). One local GEMM
+//! per panel does the arithmetic.
+//!
+//! ## Pipelined broadcasts (`op(B) = B`)
+//!
+//! The untransposed path is *software-pipelined*: the broadcasts for panel
+//! `t+1` are posted eagerly ([`Ctx::post_bcast_row`]) before the local GEMM
+//! of panel `t` runs, with the two in-flight panels double-buffered on
+//! alternating tag pairs so they can never cross-talk. The panel owners'
+//! sends therefore travel while every rank is busy multiplying, removing the
+//! synchronous broadcast bubble between SUMMA steps that the TrafficLedger's
+//! per-phase timings made visible. Total traffic is unchanged (P−1 messages
+//! per broadcast, same payloads) — only the waiting moves.
 //!
 //! Only `A` untransposed is supported (`op(A) = A`); `B` may be transposed.
 //! That covers `Q·H` and `(QH)·Qᵀ` — the distributed residual pipeline.
@@ -15,10 +26,12 @@
 use crate::dist::DistMatrix;
 use ft_dense::level3::gemm;
 use ft_dense::{Matrix, Trans};
-use ft_runtime::{Ctx, Tag};
+use ft_runtime::{Ctx, PendingBcast, Tag};
 
-const TAG_APAN: Tag = Tag::Trailing(0);
-const TAG_BPAN: Tag = Tag::Trailing(1);
+// Double-buffered tag pairs: in-flight panel t uses parity t%2, so the
+// pipelined panel t+1 always lives on the other pair.
+const TAG_APAN: [Tag; 2] = [Tag::Trailing(0), Tag::Trailing(4)];
+const TAG_BPAN: [Tag; 2] = [Tag::Trailing(1), Tag::Trailing(5)];
 const TAG_BGATH: Tag = Tag::Trailing(2);
 const TAG_BRED: Tag = Tag::Trailing(3);
 
@@ -61,42 +74,92 @@ pub fn pdgemm(ctx: &Ctx, transb: Trans, alpha: f64, a: &DistMatrix, b: &DistMatr
     let my_ccols = c.lcols();
     let ldl_c = c.local().ld().max(1);
 
-    let mut kb = 0usize;
-    while kb < kk {
-        let w = nb.min(kk - kb);
-
-        // ---- A panel: columns kb..kb+w, broadcast along process rows ------
-        let qa = a.col_owner(kb);
-        let mut apan = vec![0.0f64; my_crows * w];
-        if ctx.mycol() == qa {
-            let lc0 = a.g2l_col(kb);
-            let lda = a.local().ld().max(1);
-            for l in 0..w {
-                let col = &a.local().as_slice()[(lc0 + l) * lda..(lc0 + l) * lda + my_crows];
-                apan[l * my_crows..(l + 1) * my_crows].copy_from_slice(col);
-            }
-        }
-        ctx.bcast_row(qa, &mut apan, TAG_APAN);
-
-        // ---- B panel: w × (my C columns) ----------------------------------
-        let bpan: Matrix = match transb {
-            Trans::No => {
-                // Rows kb..kb+w of B, broadcast down process columns.
-                let pb = b.row_owner(kb);
-                let mut buf = vec![0.0f64; w * my_ccols];
-                if ctx.myrow() == pb {
+    match transb {
+        Trans::No => {
+            // ---- pipelined SUMMA: post panel t+1, then multiply panel t ----
+            // Extract-and-post one k-panel's broadcasts; non-blocking.
+            let post_panel = |kb: usize| -> (PendingBcast, PendingBcast, usize) {
+                let w = nb.min(kk - kb);
+                let parity = (kb / nb) % 2;
+                // A panel: columns kb..kb+w, posted along process rows.
+                let qa = a.col_owner(kb);
+                let mut abuf = Vec::new();
+                if ctx.mycol() == qa {
+                    abuf.resize(my_crows * w, 0.0);
+                    let lc0 = a.g2l_col(kb);
+                    let lda = a.local().ld().max(1);
+                    for l in 0..w {
+                        let col = &a.local().as_slice()[(lc0 + l) * lda..(lc0 + l) * lda + my_crows];
+                        abuf[l * my_crows..(l + 1) * my_crows].copy_from_slice(col);
+                    }
+                }
+                let pa = ctx.post_bcast_row(qa, &abuf, TAG_APAN[parity]);
+                // B panel: rows kb..kb+w (transposed into w×cols), posted
+                // down process columns.
+                let pb_owner = b.row_owner(kb);
+                let mut bbuf = Vec::new();
+                if ctx.myrow() == pb_owner {
+                    bbuf.resize(w * my_ccols, 0.0);
                     let lr0 = b.g2l_row(kb);
                     let ldb = b.local().ld().max(1);
-                    for (jj, _) in (0..my_ccols).enumerate() {
+                    for jj in 0..my_ccols {
                         for l in 0..w {
-                            buf[l + jj * w] = b.local().as_slice()[(lr0 + l) + jj * ldb];
+                            bbuf[l + jj * w] = b.local().as_slice()[(lr0 + l) + jj * ldb];
                         }
                     }
                 }
-                ctx.bcast_col(pb, &mut buf, TAG_BPAN);
-                Matrix::from_vec(w, my_ccols, buf)
+                let pb = ctx.post_bcast_col(pb_owner, &bbuf, TAG_BPAN[parity]);
+                (pa, pb, w)
+            };
+
+            let mut inflight = Some(post_panel(0));
+            let mut kb = 0usize;
+            while let Some((pa, pb, w)) = inflight.take() {
+                // Complete panel t, then immediately post panel t+1 so its
+                // sends overlap the local GEMM below.
+                let apan = ctx.wait_bcast(pa);
+                let bpan = ctx.wait_bcast(pb);
+                if kb + w < kk {
+                    inflight = Some(post_panel(kb + w));
+                }
+                if my_crows > 0 && my_ccols > 0 {
+                    gemm(
+                        Trans::No,
+                        Trans::No,
+                        my_crows,
+                        my_ccols,
+                        w,
+                        alpha,
+                        &apan,
+                        my_crows.max(1),
+                        &bpan,
+                        w.max(1),
+                        1.0,
+                        c.local_mut().as_mut_slice(),
+                        ldl_c,
+                    );
+                }
+                kb += w;
             }
-            Trans::Yes => {
+        }
+        Trans::Yes => {
+            let mut kb = 0usize;
+            while kb < kk {
+                let w = nb.min(kk - kb);
+
+                // A panel: columns kb..kb+w, broadcast along process rows.
+                let qa = a.col_owner(kb);
+                let mut apan = vec![0.0f64; my_crows * w];
+                if ctx.mycol() == qa {
+                    let lc0 = a.g2l_col(kb);
+                    let lda = a.local().ld().max(1);
+                    for l in 0..w {
+                        let col = &a.local().as_slice()[(lc0 + l) * lda..(lc0 + l) * lda + my_crows];
+                        apan[l * my_crows..(l + 1) * my_crows].copy_from_slice(col);
+                    }
+                }
+                ctx.bcast_row(qa, &mut apan, TAG_APAN[0]);
+
                 // op(B) rows kb..kb+w = B columns kb..kb+w; each process
                 // needs the entries at B-rows matching its C-columns.
                 // Assemble the full n×w column panel once per step:
@@ -117,32 +180,31 @@ pub fn pdgemm(ctx: &Ctx, transb: Trans, alpha: f64, a: &DistMatrix, b: &DistMatr
                 ctx.bcast_row(qb, &mut full, TAG_BGATH);
                 ctx.allreduce_sum_col(&mut full, TAG_BRED);
                 // Select the rows matching my C columns, transposed into w×cols.
-                Matrix::from_fn(w, my_ccols, |l, jj| {
+                let bpan = Matrix::from_fn(w, my_ccols, |l, jj| {
                     let g = c.l2g_col(jj);
                     full[g + l * b.desc().m]
-                })
-            }
-        };
+                });
 
-        // ---- local C += α·apan·bpan ---------------------------------------
-        if my_crows > 0 && my_ccols > 0 {
-            gemm(
-                Trans::No,
-                Trans::No,
-                my_crows,
-                my_ccols,
-                w,
-                alpha,
-                &apan,
-                my_crows.max(1),
-                bpan.as_slice(),
-                w.max(1),
-                1.0,
-                c.local_mut().as_mut_slice(),
-                ldl_c,
-            );
+                if my_crows > 0 && my_ccols > 0 {
+                    gemm(
+                        Trans::No,
+                        Trans::No,
+                        my_crows,
+                        my_ccols,
+                        w,
+                        alpha,
+                        &apan,
+                        my_crows.max(1),
+                        bpan.as_slice(),
+                        w.max(1),
+                        1.0,
+                        c.local_mut().as_mut_slice(),
+                        ldl_c,
+                    );
+                }
+                kb += w;
+            }
         }
-        kb += w;
     }
 }
 

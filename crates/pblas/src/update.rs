@@ -9,7 +9,7 @@
 
 use crate::dist::DistMatrix;
 use crate::panel::PanelFactors;
-use ft_dense::level3::{gemm, trmm};
+use ft_dense::level3::{gemm_packed_a, trmm, PackedA};
 use ft_dense::{Diag, Matrix, Side, Trans, UpLo};
 use ft_runtime::{Ctx, Tag};
 
@@ -54,24 +54,15 @@ pub fn right_update(a: &mut DistMatrix, row_limit_g: usize, local_cols: &[usize]
     }
     let ldl = a.local().ld().max(1);
     let nv = vrows.rows();
+    // Y is the constant left operand of every run — original trailing
+    // columns and checksum columns alike — so pack it exactly once and sweep
+    // the packed panels over each run (tall-skinny friendly: the Delayed
+    // variant's scope-boundary catch-up produces many short runs).
+    let py = PackedA::pack(Trans::No, m, w, y_loc.as_slice(), y_loc.rows().max(1));
     for (pos, lc0, len) in contiguous_runs(local_cols) {
         // C(0..m, lc0..lc0+len) −= Y(0..m, :) · vrows(pos..pos+len, :)ᵀ
         let cbuf = &mut a.local_mut().as_mut_slice()[lc0 * ldl..];
-        gemm(
-            Trans::No,
-            Trans::Yes,
-            m,
-            len,
-            w,
-            -1.0,
-            y_loc.as_slice(),
-            y_loc.rows().max(1),
-            &vrows.as_slice()[pos..],
-            nv,
-            1.0,
-            cbuf,
-            ldl,
-        );
+        gemm_packed_a(&py, Trans::Yes, len, -1.0, &vrows.as_slice()[pos..], nv, 1.0, cbuf, ldl);
     }
 }
 
@@ -123,26 +114,15 @@ pub fn left_update_op(
     let nc = local_cols.len();
     let ldl = a.local().ld().max(1);
 
-    // W = Vᵀ·C (w × nc): local partial, then column sum-reduce.
+    // W = Vᵀ·C (w × nc): local partial, then column sum-reduce. V is the
+    // constant operand across every run (data and checksum columns), so its
+    // two orientations are each packed once and reused per run.
     let mut wbuf = vec![0.0f64; w * nc];
-    if m > 0 {
+    if m > 0 && nc > 0 {
+        let pvt = PackedA::pack(Trans::Yes, w, m, v_myrows.as_slice(), m.max(1));
         for (pos, lc0, len) in contiguous_runs(local_cols) {
             let cbuf = &a.local().as_slice()[lc0 * ldl + lr0..];
-            gemm(
-                Trans::Yes,
-                Trans::No,
-                w,
-                len,
-                m,
-                1.0,
-                v_myrows.as_slice(),
-                m.max(1),
-                cbuf,
-                ldl,
-                0.0,
-                &mut wbuf[pos * w..],
-                w,
-            );
+            gemm_packed_a(&pvt, Trans::No, len, 1.0, cbuf, ldl, 0.0, &mut wbuf[pos * w..], w);
         }
     }
     ctx.allreduce_sum_col(&mut wbuf, TAG_LARFB_W);
@@ -153,23 +133,10 @@ pub fn left_update_op(
     trmm(Side::Left, UpLo::Upper, t_op, Diag::NonUnit, w, nc, 1.0, t.as_slice(), w, &mut wbuf, w);
     // C −= V·W (local)
     if m > 0 {
+        let pv = PackedA::pack(Trans::No, m, w, v_myrows.as_slice(), m.max(1));
         for (pos, lc0, len) in contiguous_runs(local_cols) {
             let cbuf = &mut a.local_mut().as_mut_slice()[lc0 * ldl + lr0..];
-            gemm(
-                Trans::No,
-                Trans::No,
-                m,
-                len,
-                w,
-                -1.0,
-                v_myrows.as_slice(),
-                m.max(1),
-                &wbuf[pos * w..],
-                w,
-                1.0,
-                cbuf,
-                ldl,
-            );
+            gemm_packed_a(&pv, Trans::No, len, -1.0, &wbuf[pos * w..], w, 1.0, cbuf, ldl);
         }
     }
 }

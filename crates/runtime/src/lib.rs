@@ -46,6 +46,7 @@ pub mod grid;
 pub mod tag;
 pub mod transport;
 
+pub use collectives::PendingBcast;
 pub use comm::{Ctx, FailCheck};
 pub use detect::{catch_interrupt, FailureAgreement, Interrupt, InterruptReason};
 pub use fault::{poisson_failures, ChaosKill, ChaosPoint, ChaosScript, FaultScript, PlannedFailure};

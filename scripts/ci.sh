@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the full test suite of the default
-# (dependency-free) workspace. Runs entirely offline — the only external
-# dependency (criterion, in crates/bench) lives in its own workspace and is
-# not touched here.
+# Local CI gate: formatting, lints, the full test suite, the kernel fuzz
+# loop, the bench compile gate, a perf smoke with hard floors, and the
+# chaos soak. Runs entirely offline — the workspace (benches included) has
+# zero external dependencies.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +14,22 @@ cargo clippy --all-targets -- -D warnings
 
 echo "== cargo test -q"
 cargo test -q
+
+# Kernel-equivalence fuzz loop at a pinned seed: the packed/pre-packed GEMM
+# paths against the naive oracle over adversarial fringe shapes. The seed is
+# fixed so a CI failure reproduces exactly; bump FT_FUZZ_ROUNDS locally to
+# sweep wider.
+echo "== kernel fuzz (pinned seed)"
+FT_FUZZ_SEED=20130926 FT_FUZZ_ROUNDS=600 cargo test -q -p ft-dense --test kernel_fuzz
+
+echo "== cargo bench --no-run (compile gate)"
+cargo bench --no-run -q
+
+# Perf smoke: regenerates BENCH_kernels.json and fails if the packed kernel
+# is slower than the naive triple loop at 256×256 or below 3× naive at
+# 512×512 (the gates live inside the bench binary).
+echo "== kernels perf smoke"
+FT_KERNELS_SMOKE=1 cargo bench -q --bench kernels
 
 # Deterministic chaos soak: seeded kills at arbitrary message-op boundaries
 # through the release CLI. A run must either recover and pass verification

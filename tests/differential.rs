@@ -1,0 +1,129 @@
+//! Differential golden tests: the distributed reduction — fault-tolerant
+//! (`ft_pdgehrd`, both variants) and plain (`pdgehrd`) — against the
+//! sequential shared-memory `gehrd` on the same seeded random matrices.
+//!
+//! Two obligations per (grid × nb × variant) leg:
+//!
+//! * **Backward stability**: the distributed factorization's Hessenberg
+//!   residual `‖QᵀAQ − H‖/‖A‖` obeys the same bound as the sequential one
+//!   (both paths run the identical Householder math, so neither may be
+//!   "differently stable");
+//! * **Spectrum preservation**: the eigenvalues of the distributed `H`
+//!   match the eigenvalues of the sequential `H` to 1e-10 after sorting —
+//!   the quantity the whole pipeline exists to compute.
+//!
+//! The 1×1 grid leg runs the *plain* `pdgehrd` (the FT encoder requires
+//! Q ≥ 2 so checksum copies land on distinct process columns — a 1×1 grid
+//! has nowhere redundant to put them); 2×2 and 2×3 run both FT variants.
+
+use abft_hessenberg::dense::gen::{uniform_entry, uniform_indexed_matrix};
+use abft_hessenberg::dense::Matrix;
+use abft_hessenberg::hess::{ft_pdgehrd, Encoded, Variant};
+use abft_hessenberg::lapack::{extract_h, gehrd, hessenberg_eigenvalues, hessenberg_residual, is_hessenberg, orghr, Eigenvalue};
+use abft_hessenberg::pblas::{pdgehrd, Desc, DistMatrix};
+use abft_hessenberg::runtime::{run_spmd, FaultScript};
+
+const N: usize = 32;
+const RESIDUAL_BOUND: f64 = 3.0;
+const EIG_TOL: f64 = 1e-10;
+
+/// Sequential golden path: shared-memory blocked `gehrd`.
+fn sequential_reference(n: usize, nb: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut a = uniform_indexed_matrix(n, n, seed);
+    let mut tau = vec![0.0; n - 1];
+    gehrd(&mut a, nb, &mut tau);
+    (a, tau)
+}
+
+/// Eigenvalues sorted lexicographically by (re, im) for set comparison.
+fn sorted_eigs(h: &Matrix) -> Vec<Eigenvalue> {
+    let mut e = hessenberg_eigenvalues(h).expect("QR iteration converged");
+    e.sort_by(|a, b| (a.re, a.im).partial_cmp(&(b.re, b.im)).unwrap());
+    e
+}
+
+fn max_eig_dist(a: &[Eigenvalue], b: &[Eigenvalue]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| ((x.re - y.re).powi(2) + (x.im - y.im).powi(2)).sqrt())
+        .fold(0.0, f64::max)
+}
+
+/// Assert the two obligations for a distributed factorization gathered as
+/// `(afact, tau)` against the sequential reference.
+fn check_against_sequential(label: &str, n: usize, seed: u64, afact: &Matrix, tau: &[f64], seq_h: &Matrix, seq_res: f64) {
+    let a0 = uniform_indexed_matrix(n, n, seed);
+    let h = extract_h(afact);
+    assert!(is_hessenberg(&h), "{label}: H not Hessenberg");
+    let q = orghr(afact, tau);
+    let res = hessenberg_residual(&a0, &h, &q);
+    assert!(
+        res < RESIDUAL_BOUND && res < 10.0 * seq_res.max(0.5),
+        "{label}: residual {res} vs sequential {seq_res}"
+    );
+    let d = max_eig_dist(&sorted_eigs(&h), &sorted_eigs(seq_h));
+    assert!(d < EIG_TOL, "{label}: eigenvalue drift {d}");
+}
+
+#[test]
+fn differential_plain_1x1_and_ft_grids() {
+    for nb in [4usize, 8] {
+        let seed = 4000 + nb as u64;
+        let (seq_a, seq_tau) = sequential_reference(N, nb, seed);
+        let seq_h = extract_h(&seq_a);
+        let seq_res = {
+            let a0 = uniform_indexed_matrix(N, N, seed);
+            hessenberg_residual(&a0, &seq_h, &orghr(&seq_a, &seq_tau))
+        };
+        assert!(seq_res < RESIDUAL_BOUND, "sequential reference residual {seq_res}");
+
+        // 1×1 grid: plain pdgehrd (ft_pdgehrd requires Q ≥ 2, see module doc).
+        {
+            let out = run_spmd(1, 1, FaultScript::none(), move |ctx| {
+                let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: N, n: N, nb }, |i, j| uniform_entry(seed, i, j));
+                let mut tau = vec![0.0; N - 1];
+                pdgehrd(&ctx, &mut a, &mut tau);
+                (a.gather_all(&ctx, 620), tau)
+            });
+            let (ag, tau) = out.into_iter().next().unwrap();
+            check_against_sequential(&format!("plain 1x1 nb={nb}"), N, seed, &ag, &tau, &seq_h, seq_res);
+        }
+
+        // 2×2 and 2×3 grids: the fault-tolerant reduction, both variants.
+        for (p, q) in [(2usize, 2usize), (2, 3)] {
+            for variant in [Variant::NonDelayed, Variant::Delayed] {
+                let out = run_spmd(p, q, FaultScript::none(), move |ctx| {
+                    let mut enc = Encoded::from_global_fn(&ctx, N, nb, |i, j| uniform_entry(seed, i, j));
+                    let mut tau = vec![0.0; N - 1];
+                    ft_pdgehrd(&ctx, &mut enc, variant, &mut tau).expect("fault-free run");
+                    (enc.gather_logical(&ctx, 622), tau)
+                });
+                let (ag, tau) = out.into_iter().next().unwrap();
+                check_against_sequential(&format!("ft {p}x{q} nb={nb} {variant:?}"), N, seed, &ag, &tau, &seq_h, seq_res);
+            }
+        }
+    }
+}
+
+/// The eigenvalue witness end to end: the spectrum computed through the
+/// distributed FT path must match the spectrum of the *original* matrix as
+/// computed by the pure sequential pipeline — not just match another
+/// reduction of the same math.
+#[test]
+fn differential_spectrum_vs_original_matrix() {
+    let (nb, seed) = (4usize, 77u64);
+    let seq = {
+        let (a, _) = sequential_reference(N, nb, seed);
+        sorted_eigs(&extract_h(&a))
+    };
+    let out = run_spmd(2, 3, FaultScript::none(), move |ctx| {
+        let mut enc = Encoded::from_global_fn(&ctx, N, nb, |i, j| uniform_entry(seed, i, j));
+        let mut tau = vec![0.0; N - 1];
+        ft_pdgehrd(&ctx, &mut enc, Variant::Delayed, &mut tau).expect("fault-free run");
+        enc.gather_logical(&ctx, 624)
+    });
+    let dist = sorted_eigs(&extract_h(&out.into_iter().next().unwrap()));
+    let d = max_eig_dist(&seq, &dist);
+    assert!(d < EIG_TOL, "spectrum drift {d}");
+}
