@@ -16,11 +16,13 @@
 //! the CI smoke run. `FT_BENCH_REPS` controls repetitions (default 3 here).
 
 use ft_bench::json;
-use ft_dense::gen::uniform;
+use ft_dense::gen::{uniform, uniform_entry};
 use ft_dense::level2::gemv;
 use ft_dense::level3::{blocking, gemm, gemm_naive, gemm_packed_a, PackedA, MR, NR};
 use ft_dense::{Matrix, Trans};
+use ft_hess::{ft_pdgehrd_scrubbed, Encoded, ScrubPolicy, Variant};
 use ft_lapack::lahr2;
+use ft_runtime::{run_spmd, FaultScript};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -165,6 +167,34 @@ fn main() {
         );
     }
 
+    // Online scrub overhead: the fault-tolerant reduction with a pass at
+    // every panel boundary vs the engine disabled, same shape and grid.
+    let (sn, snb, sp, sq) = (160usize, 8usize, 2usize, 2usize);
+    let ft_secs = |policy: ScrubPolicy| {
+        best_of(r, || {
+            run_spmd(sp, sq, FaultScript::none(), move |ctx| {
+                let mut enc = Encoded::from_global_fn(&ctx, sn, snb, |i, j| uniform_entry(9, i, j));
+                let mut tau = vec![0.0; sn - 1];
+                ft_pdgehrd_scrubbed(&ctx, &mut enc, Variant::NonDelayed, &mut tau, policy).expect("fault-free");
+            });
+        })
+    };
+    let t_plain_ft = ft_secs(ScrubPolicy::disabled());
+    let t_scrubbed = ft_secs(ScrubPolicy::every_panels(1));
+    let scrub_overhead = t_scrubbed / t_plain_ft - 1.0;
+    println!("{:>14} {:>6} {:>12} {:>10.4}", "ft_no_scrub", sn, "-", t_plain_ft);
+    println!("{:>14} {:>6} {:>12} {:>10.4}", "ft_scrub_ev1", sn, "-", t_scrubbed);
+    println!("# scrub overhead (cadence 1, {sp}x{sq}, N={sn}): {:.1}%", scrub_overhead * 100.0);
+    for (kernel, secs) in [("ft_no_scrub", t_plain_ft), ("ft_scrub_ev1", t_scrubbed)] {
+        rows.push(
+            json::Obj::new()
+                .str("kernel", kernel)
+                .int("n", sn as u64)
+                .num("seconds", secs)
+                .finish(),
+        );
+    }
+
     let ratio_256 = packed_gf[&256] / naive_gf[&256];
     let ratio_512 = packed_gf[&512] / naive_gf[&512];
     println!("# packed/naive speedup: {ratio_256:.2}x at 256, {ratio_512:.2}x at 512");
@@ -179,6 +209,7 @@ fn main() {
         .int("reps", r as u64)
         .num("speedup_packed_vs_naive_256", ratio_256)
         .num("speedup_packed_vs_naive_512", ratio_512)
+        .num("scrub_overhead", scrub_overhead)
         .raw("rows", &json::array(&rows))
         .finish();
     match json::write_artifact("BENCH_kernels.json", &report) {

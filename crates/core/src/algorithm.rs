@@ -24,6 +24,7 @@
 use crate::encode::Encoded;
 use crate::recovery;
 use crate::scope::ScopeState;
+use crate::scrub::{ScrubEngine, ScrubEscalation, ScrubPolicy, ScrubReport, TrailingScan};
 use ft_dense::Matrix;
 use ft_pblas::{left_update, pdlahrd, right_update, PanelFactors};
 use ft_runtime::{catch_interrupt, Ctx, FailCheck};
@@ -102,6 +103,19 @@ pub enum FtError {
         /// Per-row tolerance of the active redundancy level.
         max_per_row: usize,
     },
+    /// Silent data corruption the scrub engine detected but could neither
+    /// correct in place nor clear by rolling back to its last verified
+    /// boundary image (rollback disabled, no image, or the same image
+    /// already failed to make progress). Derived from replicated scan
+    /// verdicts, so every rank returns the identical error.
+    ScrubUnrecoverable {
+        /// Panel iteration whose boundary scan escalated.
+        panel: usize,
+        /// First checksum group that stayed corrupt.
+        group: usize,
+        /// The group's copy-0 checksum block column (global block index).
+        block_col: usize,
+    },
 }
 
 impl std::fmt::Display for FtError {
@@ -111,6 +125,11 @@ impl std::fmt::Display for FtError {
                 f,
                 "unrecoverable failure at panel {panel} ({phase:?}): victims {victims:?} put {count} \
                  failure(s) in process row {row}, but the encoding tolerates {max_per_row} per row"
+            ),
+            FtError::ScrubUnrecoverable { panel, group, block_col } => write!(
+                f,
+                "unrecoverable silent corruption at panel {panel}: checksum group {group} (block \
+                 column {block_col}) stayed violated after in-place correction and rollback were exhausted"
             ),
         }
     }
@@ -141,6 +160,8 @@ pub struct FtReport {
     pub recovery_secs: f64,
     /// Total wall seconds of the reduction on this process.
     pub total_secs: f64,
+    /// Scrub engine statistics (all zeros when the engine is disabled).
+    pub scrub: ScrubReport,
 }
 
 /// Row index of checksum column `(g, copy, off)` inside the [`ve_rows`]
@@ -459,26 +480,61 @@ fn commit_boundary_image(
 /// assert_eq!(recoveries, vec![1, 1, 1, 1]);
 /// ```
 pub fn ft_pdgehrd(ctx: &Ctx, enc: &mut Encoded, variant: Variant, tau: &mut [f64]) -> Result<FtReport, FtError> {
-    ft_pdgehrd_hooked(ctx, enc, variant, tau, &mut |_, _, _, _| {})
+    ft_pdgehrd_full(ctx, enc, variant, tau, ScrubPolicy::disabled(), &mut |_, _, _, _| {})
+}
+
+/// [`ft_pdgehrd`] with the online SDC scrub engine enabled: at the
+/// boundaries `policy` schedules, the engine verifies every live checksum
+/// copy, separates data from checksum corruption, localizes and corrects
+/// single-block damage in place, and escalates the rest to a
+/// verified-boundary rollback (or [`FtError::ScrubUnrecoverable`]). The
+/// returned report carries the per-rank [`FtReport::scrub`] statistics.
+pub fn ft_pdgehrd_scrubbed(
+    ctx: &Ctx,
+    enc: &mut Encoded,
+    variant: Variant,
+    tau: &mut [f64],
+    policy: ScrubPolicy,
+) -> Result<FtReport, FtError> {
+    ft_pdgehrd_full(ctx, enc, variant, tau, policy, &mut |_, _, _, _| {})
 }
 
 /// [`ft_pdgehrd`] with an observation hook called (collectively, on every
-/// process) after each phase boundary — used by the test suite to check the
-/// Theorem 1 checksum invariant at every step. The hook may run collectives
-/// but must not mutate algorithm state. Chaos-mode rollbacks resume *after*
-/// a boundary, so under chaos injection a boundary's hook invocation can be
-/// skipped on re-execution — invariant-checking hooks belong to scripted
-/// runs.
+/// process) after each phase boundary — used by the test suites to check
+/// the Theorem 1 checksum invariant at every step and to inject silent
+/// corruption into the encoded matrix. The hook may run collectives and
+/// corrupt matrix *data*, but must not mutate driver bookkeeping.
+/// Chaos-mode rollbacks resume *after* a boundary, so under chaos injection
+/// a boundary's hook invocation can be skipped on re-execution —
+/// invariant-checking hooks belong to scripted runs.
 pub fn ft_pdgehrd_hooked(
     ctx: &Ctx,
     enc: &mut Encoded,
     variant: Variant,
     tau: &mut [f64],
-    hook: &mut dyn FnMut(&Ctx, &Encoded, usize, Phase),
+    hook: &mut dyn FnMut(&Ctx, &mut Encoded, usize, Phase),
+) -> Result<FtReport, FtError> {
+    ft_pdgehrd_full(ctx, enc, variant, tau, ScrubPolicy::disabled(), hook)
+}
+
+/// The full-surface driver: scrub policy + observation hook. All other
+/// `ft_pdgehrd*` entry points delegate here.
+pub fn ft_pdgehrd_full(
+    ctx: &Ctx,
+    enc: &mut Encoded,
+    variant: Variant,
+    tau: &mut [f64],
+    policy: ScrubPolicy,
+    hook: &mut dyn FnMut(&Ctx, &mut Encoded, usize, Phase),
 ) -> Result<FtReport, FtError> {
     let n = enc.n();
     let q = ctx.npcol();
-    assert!(q >= 2, "the ABFT scheme needs Q ≥ 2 (duplicated checksums live on distinct process columns)");
+    // Q = 1 keeps both checksum copies on the one process column: useless
+    // against fail-stop loss (check_tolerance caps the per-row budget at
+    // Q − 1 = 0 and returns the typed error), but the scrub engine still
+    // detects and corrects silent corruption there — each group has exactly
+    // one member, so localization is trivial.
+    assert!(q >= 2 || ctx.grid().size() == 1, "Q = 1 is only supported on a 1×1 grid");
     if n > 1 {
         assert!(tau.len() >= n - 1, "ft_pdgehrd: tau too short");
     }
@@ -505,8 +561,19 @@ pub fn ft_pdgehrd_hooked(
         ctx.commit_boundary(0);
     }
 
+    let mut scrub = ScrubCtl {
+        engine: ScrubEngine::new(policy),
+        img: None,
+        last_rollback: None,
+    };
+    if scrub.engine.active() && scrub.engine.policy.rollback {
+        // The freshly encoded matrix is trusted by definition (the paper's
+        // protection domain opens here): it is the first verified image.
+        scrub.img = Some(capture_image(enc, tau, &st, Phase::BeforePanel, enc.groups()));
+    }
+
     'run: loop {
-        match catch_interrupt(|| run_loop(ctx, enc, variant, tau, hook, &mut st, &mut img, &mut report)) {
+        match catch_interrupt(|| run_loop(ctx, enc, variant, tau, hook, &mut st, &mut img, &mut scrub, &mut report)) {
             Ok(done) => {
                 done?;
                 break 'run;
@@ -560,7 +627,62 @@ pub fn ft_pdgehrd_hooked(
     }
 
     report.total_secs = t_total.elapsed().as_secs_f64();
+    report.scrub = scrub.engine.report;
     Ok(report)
+}
+
+/// The scrub engine's driver-side control block: the engine itself plus the
+/// rollback machinery the engine's verdicts feed. `img` is refreshed only
+/// after a boundary whose scan came back clean (or fully corrected) — chaos
+/// boundary images are *not* reusable here, because seeded flips land
+/// between captures and an image may already carry the corruption.
+struct ScrubCtl {
+    engine: ScrubEngine,
+    /// Last *verified* boundary image.
+    img: Option<BoundaryImage>,
+    /// Panel index of the last image rolled back to — the progress guard:
+    /// escalating out of the same image twice means rollback cannot help
+    /// (the corruption re-appears deterministically or predates the image).
+    last_rollback: Option<usize>,
+}
+
+/// Resolve an escalation: roll back to the last verified image when policy
+/// and the progress guard allow it (the caller then re-executes), otherwise
+/// return the typed terminal error. Deterministic over replicated state —
+/// every rank takes the same branch.
+fn scrub_escalate(
+    enc: &mut Encoded,
+    tau: &mut [f64],
+    st: &mut DriverState,
+    scrub: &mut ScrubCtl,
+    panel_idx: usize,
+    esc: ScrubEscalation,
+) -> Result<(), FtError> {
+    let rollback_ok =
+        scrub.engine.policy.rollback && scrub.img.as_ref().is_some_and(|i| scrub.last_rollback != Some(i.panel_idx));
+    if !rollback_ok {
+        return Err(FtError::ScrubUnrecoverable { panel: panel_idx, group: esc.group, block_col: esc.block_col });
+    }
+    let image = scrub.img.as_ref().unwrap();
+    restore_image(enc, tau, st, image);
+    scrub.last_rollback = Some(image.panel_idx);
+    scrub.engine.report.rollbacks += 1;
+    Ok(())
+}
+
+/// Apply the runtime's fired-but-pending silent bit flips to my local
+/// buffer (the injector counts message ops but cannot see matrix storage).
+/// Word indices wrap modulo the buffer length, so every scheduled flip
+/// lands. Purely local.
+fn apply_sdc_flips(ctx: &Ctx, enc: &mut Encoded) {
+    for flip in ctx.take_sdc_flips() {
+        let buf = enc.a.local_mut().as_mut_slice();
+        if buf.is_empty() {
+            continue;
+        }
+        let w = (flip.word % buf.len() as u64) as usize;
+        buf[w] = f64::from_bits(buf[w].to_bits() ^ (1u64 << flip.bit));
+    }
 }
 
 /// One pass of the driver loop from `st.resume` to completion. Unwinds with
@@ -572,9 +694,10 @@ fn run_loop(
     enc: &mut Encoded,
     variant: Variant,
     tau: &mut [f64],
-    hook: &mut dyn FnMut(&Ctx, &Encoded, usize, Phase),
+    hook: &mut dyn FnMut(&Ctx, &mut Encoded, usize, Phase),
     st: &mut DriverState,
     img: &mut Option<BoundaryImage>,
+    scrub: &mut ScrubCtl,
     report: &mut FtReport,
 ) -> Result<(), FtError> {
     let n = enc.n();
@@ -594,7 +717,7 @@ fn run_loop(
                 report.snapshot_secs += t.elapsed().as_secs_f64();
             }
             let sc = st.scope.as_mut().expect("scope always begins before panels");
-            handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::BeforePanel, report)?;
+            handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::BeforePanel, scrub, report)?;
             commit_boundary_image(ctx, enc, tau, st, img, Step::Panel, Phase::BeforePanel, s);
             hook(ctx, enc, st.panel_idx, Phase::BeforePanel);
         }
@@ -611,7 +734,7 @@ fn run_loop(
                 report.bookkeeping_secs += t.elapsed().as_secs_f64();
             }
             let sc = st.scope.as_mut().unwrap();
-            handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::AfterPanel, report)?;
+            handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::AfterPanel, scrub, report)?;
             commit_boundary_image(ctx, enc, tau, st, img, Step::Right, Phase::AfterPanel, s);
             hook(ctx, enc, st.panel_idx, Phase::AfterPanel);
         }
@@ -624,7 +747,7 @@ fn run_loop(
             let ve = ve_rows(enc, &f);
             ft_right(enc, &f, &ve, st.k + w, n, include_chk, s);
             let sc = st.scope.as_mut().unwrap();
-            handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::AfterRightUpdate, report)?;
+            handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::AfterRightUpdate, scrub, report)?;
             commit_boundary_image(ctx, enc, tau, st, img, Step::Left, Phase::AfterRightUpdate, s);
             hook(ctx, enc, st.panel_idx, Phase::AfterRightUpdate);
         }
@@ -633,7 +756,7 @@ fn run_loop(
             let f = st.scope.as_ref().unwrap().factors.last().expect("panel factored").clone();
             ft_left(ctx, enc, &f, st.k + w, n, include_chk, s);
             let sc = st.scope.as_mut().unwrap();
-            handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::AfterLeftUpdate, report)?;
+            handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::AfterLeftUpdate, scrub, report)?;
             commit_boundary_image(ctx, enc, tau, st, img, Step::ScopeEnd, Phase::AfterLeftUpdate, s);
             hook(ctx, enc, st.panel_idx, Phase::AfterLeftUpdate);
         }
@@ -648,22 +771,78 @@ fn run_loop(
             let f_tau = sc.factors.last().expect("panel factored").tau.clone();
             tau[st.k..st.k + w].copy_from_slice(&f_tau);
         }
+        // Seeded silent corruption lands here — the quiescent boundary the
+        // injector's message-op clock drains into. A re-execution after a
+        // rollback does not re-flip (the runtime fires each flip once).
+        if ctx.sdc_enabled() {
+            apply_sdc_flips(ctx, enc);
+        }
         let last_panel_overall = st.k + w + 2 >= n;
-        if bc % q == q - 1 || last_panel_overall {
+        let scope_closing = bc % q == q - 1 || last_panel_overall;
+        let scan_due = scrub.engine.due(st.panel_idx, scope_closing);
+        if scope_closing {
             let t = Instant::now();
             let sc = st.scope.as_mut().unwrap();
             if variant == Variant::Delayed {
                 alg3_catch_up(ctx, enc, sc, s, sc.factors.len(), false);
             }
+            // The scope-boundary scan runs after the catch-up (every live
+            // copy satisfies Theorem 1 now, both variants) and strictly
+            // before the group-s recompute below, which would absorb any
+            // lingering corruption into the new checksum for good. Under
+            // the delayed variant the catch-up has just been computed
+            // *through* any mid-scope trailing corruption, so trailing
+            // data damage is only trustworthy for rollback, not for an
+            // in-place rewrite (TrailingScan::Suspect).
+            if scan_due {
+                let trailing = if variant == Variant::NonDelayed {
+                    TrailingScan::Live
+                } else {
+                    TrailingScan::Suspect
+                };
+                let sc = st.scope.as_ref().unwrap();
+                if let Err(esc) = scrub.engine.scrub_pass(ctx, enc, sc, s, Phase::AfterLeftUpdate, trailing) {
+                    scrub_escalate(enc, tau, st, scrub, st.panel_idx, esc)?;
+                    continue; // re-execute from the restored verified boundary
+                }
+            }
             // Algorithm 2 line 16 analogue / §5: the finished group's
             // checksum is recomputed once and protects Area 2 forever.
             enc.compute_group_checksum(ctx, s);
             report.scope_end_secs += t.elapsed().as_secs_f64();
+        } else if scan_due {
+            // Mid-scope: under the delayed variant the trailing checksums
+            // lag the data until the catch-up, so only the finished groups
+            // are scanned; the trailing groups get their scan at the scope
+            // boundary above.
+            let sc = st.scope.as_ref().unwrap();
+            let trailing = if variant == Variant::NonDelayed {
+                TrailingScan::Live
+            } else {
+                TrailingScan::Skip
+            };
+            if let Err(esc) = scrub.engine.scrub_pass(ctx, enc, sc, s, Phase::AfterLeftUpdate, trailing) {
+                scrub_escalate(enc, tau, st, scrub, st.panel_idx, esc)?;
+                continue;
+            }
         }
 
         st.panel_idx += 1;
         st.k += w;
         st.resume = Step::Begin;
+
+        // A clean (or fully corrected) scan verifies this boundary: refresh
+        // the scrub rollback image. Chaos boundary images are not reused —
+        // flips land between their captures, so they may carry corruption.
+        // Mid-scope scans under the delayed variant skip the (stale)
+        // trailing groups, so they verify nothing about Area 1 — refreshing
+        // there could freeze trailing corruption into the "known-good"
+        // image; only full-coverage scans move it forward.
+        let full_coverage = scope_closing || variant == Variant::NonDelayed;
+        if scan_due && full_coverage && scrub.engine.policy.rollback {
+            let s_next = if st.k + 2 < n { (st.k / nb) / q } else { enc.groups() };
+            scrub.img = Some(capture_image(enc, tau, st, Phase::BeforePanel, s_next));
+        }
     }
 
     if ctx.chaos_enabled() {
@@ -686,6 +865,7 @@ fn handle_failpoint(
     s: usize,
     panel_idx: usize,
     phase: Phase,
+    scrub: &mut ScrubCtl,
     report: &mut FtReport,
 ) -> Result<(), FtError> {
     match ctx.check_failpoint(failpoint(panel_idx, phase)) {
@@ -711,6 +891,25 @@ fn handle_failpoint(
             report.recoveries += 1;
             report.victims.extend_from_slice(&victims);
             report.recovery_secs += t.elapsed().as_secs_f64();
+            // Post-recovery scan: recovery rebuilt lost blocks *from* the
+            // checksums, so silent corruption that predated the failure is
+            // now woven into the recovered data — catch it before more
+            // updates spread it. The catch-up inside recovery left every
+            // live copy consistent with the data (both variants), but under
+            // the delayed variant it was computed through any pre-existing
+            // trailing corruption, so those verdicts are rollback-only.
+            // Escalation is terminal here — there is no verified image that
+            // also reflects the fail-stop repair.
+            if scrub.engine.active() && scrub.engine.policy.post_recovery {
+                let trailing = if variant == Variant::NonDelayed {
+                    TrailingScan::Live
+                } else {
+                    TrailingScan::Suspect
+                };
+                if let Err(esc) = scrub.engine.scrub_pass(ctx, enc, st, s, phase, trailing) {
+                    return Err(FtError::ScrubUnrecoverable { panel: panel_idx, group: esc.group, block_col: esc.block_col });
+                }
+            }
             Ok(())
         }
     }

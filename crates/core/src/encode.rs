@@ -15,8 +15,12 @@
 //!   grouping pretends the grid is `Q×Q` so that `Ve`'s block structure
 //!   aligns with the right-hand checksum columns (§4).
 //!
-//! The encoded matrix requires `N % nb == 0` (the paper's configurations
-//! all satisfy this; ragged final blocks would break group alignment).
+//! A ragged `N` (not a multiple of `nb`) is padded up to
+//! `n_pad = ⌈N/nb⌉·nb`: the padding rows/columns in `[N, n_pad)` are
+//! zero-filled, never touched by the reduction (its loops are bounded by
+//! the logical `N`), and simply ride along inside the last checksum group —
+//! a zero member contributes zero to every weighted sum, so Theorem 1 and
+//! all recovery algebra hold unchanged. Checksum storage starts at `n_pad`.
 
 use ft_dense::Matrix;
 use ft_pblas::{Desc, DistMatrix};
@@ -84,9 +88,12 @@ pub struct Encoded {
     pub a: DistMatrix,
     /// Logical dimension `N`.
     n: usize,
+    /// `N` rounded up to a whole number of blocks — where checksum storage
+    /// starts. Equal to `n` unless `N % nb != 0`.
+    n_pad: usize,
     /// Blocking factor.
     nb: usize,
-    /// Number of checksum groups `G = ⌈(N/nb)/Q⌉`.
+    /// Number of checksum groups `G = ⌈⌈N/nb⌉/Q⌉`.
     groups: usize,
     /// Process-grid columns `Q` (group width).
     q: usize,
@@ -105,17 +112,18 @@ impl Encoded {
 
     /// Like [`Encoded::from_global_fn`] with an explicit redundancy level.
     pub fn with_redundancy(ctx: &Ctx, n: usize, nb: usize, redundancy: Redundancy, f: impl Fn(usize, usize) -> f64) -> Self {
-        assert!(nb > 0 && n.is_multiple_of(nb), "encoding requires N ({n}) divisible by nb ({nb})");
+        assert!(nb > 0 && n > 0, "encoding requires N > 0 and nb > 0");
         let q = ctx.npcol();
         if redundancy == Redundancy::Dual {
             assert!(q >= 4, "Dual redundancy needs Q >= 4 distinct process columns for its checksums");
         }
-        let nblocks = n / nb;
+        let nblocks = n.div_ceil(nb);
+        let n_pad = nblocks * nb;
         let groups = nblocks.div_ceil(q);
         let ext = redundancy.ncopies() * groups * nb;
-        let desc = Desc { m: n + ext, n: n + ext, nb };
+        let desc = Desc { m: n_pad + ext, n: n_pad + ext, nb };
         let a = DistMatrix::from_global_fn(ctx, desc, |i, j| if i < n && j < n { f(i, j) } else { 0.0 });
-        Self { a, n, nb, groups, q, redundancy }
+        Self { a, n, n_pad, nb, groups, q, redundancy }
     }
 
     /// The redundancy level of this encoding.
@@ -147,6 +155,13 @@ impl Encoded {
     #[inline]
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// `N` rounded up to a whole number of `nb` blocks — the start of the
+    /// checksum extension. Equal to [`Encoded::n`] when `N % nb == 0`.
+    #[inline]
+    pub fn n_pad(&self) -> usize {
+        self.n_pad
     }
 
     /// Blocking factor.
@@ -182,7 +197,7 @@ impl Encoded {
     pub fn chk_col(&self, g: usize, copy: usize, off: usize) -> usize {
         let nc = self.ncopies();
         debug_assert!(g < self.groups && copy < nc && off < self.nb);
-        self.n + (nc * g + copy) * self.nb + off
+        self.n_pad + (nc * g + copy) * self.nb + off
     }
 
     /// Global row index of pseudo-checksum row `(g, copy, off)` (bottom
@@ -256,45 +271,75 @@ impl Encoded {
         self.a.gather_root(ctx, tag).map(|full| full.submatrix(0, 0, self.n, self.n))
     }
 
+    /// The `(base column, weight)` of every member *block* of group `g` in
+    /// checksum copy `copy` — the explicit member list the shared
+    /// [`ft_pblas::pd_chk_block_residual`] scan and the recovery solvers
+    /// consume. Padding blocks (ragged `N`) are included: they exist in
+    /// storage, hold zeros, and contribute zero to every weighted sum.
+    pub fn weighted_members(&self, g: usize, copy: usize) -> Vec<(usize, f64)> {
+        (0..self.q)
+            .map(|qq| ((g * self.q + qq) * self.nb, self.redundancy.weight(copy, qq)))
+            .filter(|&(base, _)| base < self.n_pad)
+            .collect()
+    }
+
     /// Maximum absolute checksum violation of group `g`, copy `copy`, over
     /// logical rows `0..N`, measured against the current member columns.
-    /// Collective; result replicated. This is the direct test of Theorem 1.
+    /// Collective; result replicated (NaN-safe: Inf/NaN reads as
+    /// `f64::INFINITY`). This is the direct test of Theorem 1.
     pub fn checksum_violation(&self, ctx: &Ctx, g: usize, copy: usize, tag: impl Into<Tag>) -> f64 {
-        let tag = tag.into();
+        let members = self.weighted_members(g, copy);
+        let (max, _) = ft_pblas::pd_chk_block_residual(ctx, &self.a, self.n, self.nb, &members, self.chk_col(g, copy, 0), tag);
+        max
+    }
+
+    /// Read my local rows (`0..N`) of checksum block `(g, copy)` — `Some`
+    /// only on the owning process column. Layout: `nb` stacked columns of
+    /// `local_rows_below(N)` entries.
+    pub fn read_chk_block(&self, g: usize, copy: usize) -> Option<Vec<f64>> {
+        if !self.a.owns_col(self.chk_col(g, copy, 0)) {
+            return None;
+        }
         let lrn = self.a.local_rows_below(self.n);
         let ldl = self.a.local().ld().max(1);
-        let mut partial = vec![0.0f64; lrn * self.nb];
+        let mut buf = Vec::with_capacity(lrn * self.nb);
         for off in 0..self.nb {
-            for c in self.member_cols(g, off) {
-                if self.a.owns_col(c) {
-                    let w = self.col_weight(copy, c);
-                    let lc = self.a.g2l_col(c);
-                    let col = &self.a.local().as_slice()[lc * ldl..lc * ldl + lrn];
-                    for (i, v) in col.iter().enumerate() {
-                        partial[i + off * lrn] += w * v;
-                    }
-                }
-            }
-            // Subtract the stored checksum (owned by one process column).
-            let cc = self.chk_col(g, copy, off);
-            if self.a.owns_col(cc) {
-                let lc = self.a.g2l_col(cc);
-                let col = &self.a.local().as_slice()[lc * ldl..lc * ldl + lrn];
-                for (i, v) in col.iter().enumerate() {
-                    partial[i + off * lrn] -= v;
-                }
-            }
+            let lc = self.a.g2l_col(self.chk_col(g, copy, off));
+            buf.extend_from_slice(&self.a.local().as_slice()[lc * ldl..lc * ldl + lrn]);
         }
-        ctx.allreduce_sum_row(&mut partial, tag);
-        let local_max = partial.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
-        // Max over all processes (via sum trick on a one-hot? use allreduce
-        // of max: emulate with world reduce on a single value using sum of
-        // per-column maxima is wrong; do a gather-style max via allreduce on
-        // negated min… simplest: allreduce_sum of value placed per rank).
-        let mut slots = vec![0.0f64; ctx.grid().size()];
-        slots[ctx.rank()] = local_max;
-        ctx.allreduce_sum_world(&mut slots, tag.offset(2));
-        slots.into_iter().fold(0.0, f64::max)
+        Some(buf)
+    }
+
+    /// Overwrite my local rows of checksum block `(g, copy)` with `buf` (the
+    /// [`Encoded::read_chk_block`] layout). No-op off the owning column.
+    pub fn write_chk_block(&mut self, g: usize, copy: usize, buf: &[f64]) {
+        if !self.a.owns_col(self.chk_col(g, copy, 0)) {
+            return;
+        }
+        let lrn = self.a.local_rows_below(self.n);
+        let ldl = self.a.local().ld().max(1);
+        for off in 0..self.nb {
+            let lc = self.a.g2l_col(self.chk_col(g, copy, off));
+            self.a.local_mut().as_mut_slice()[lc * ldl..lc * ldl + lrn].copy_from_slice(&buf[off * lrn..(off + 1) * lrn]);
+        }
+    }
+
+    /// Move my process row's share of checksum block `(g, copy)` from its
+    /// owning process column to column `dst_q`: the shared "checksum block
+    /// travels to the solver" step of recovery, duplicate restore, and
+    /// scrub correction. Pure row-local P2P — callable by any subset of
+    /// process rows (each row acts independently; rows not calling it do
+    /// nothing). Returns `Some(block)` on ranks in column `dst_q`.
+    pub fn move_chk_block_to(&self, ctx: &Ctx, g: usize, copy: usize, dst_q: usize, tag: impl Into<Tag>) -> Option<Vec<f64>> {
+        let tag = tag.into();
+        let owner_q = self.a.col_owner(self.chk_col(g, copy, 0));
+        if owner_q == dst_q {
+            return self.read_chk_block(g, copy);
+        }
+        if let Some(buf) = self.read_chk_block(g, copy) {
+            ctx.send(ctx.grid().rank_of(ctx.myrow(), dst_q), tag, &buf);
+        }
+        (ctx.mycol() == dst_q).then(|| ctx.recv(ctx.grid().rank_of(ctx.myrow(), owner_q), tag))
     }
 }
 
@@ -384,10 +429,63 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "divisible")]
-    fn ragged_n_rejected() {
-        run_spmd(1, 1, FaultScript::none(), |ctx| {
-            let _ = Encoded::from_global_fn(&ctx, 7, 2, |_, _| 0.0);
+    fn ragged_n_pads_to_whole_blocks() {
+        run_spmd(1, 2, FaultScript::none(), |ctx| {
+            // N=7, nb=2 → n_pad=8, 4 blocks, Q=2 → 2 groups.
+            let mut enc = Encoded::from_global_fn(&ctx, 7, 2, |i, j| uniform_entry(11, i, j));
+            assert_eq!(enc.n(), 7);
+            assert_eq!(enc.n_pad(), 8);
+            assert_eq!(enc.groups(), 2);
+            // Checksum storage starts at n_pad, not n.
+            assert_eq!(enc.chk_col(0, 0, 0), 8);
+            // The last member block of group 1 is the ragged block (base 6):
+            // present in the member list, zero-padded in storage.
+            assert_eq!(enc.weighted_members(1, 0), vec![(4, 1.0), (6, 1.0)]);
+            // member_cols clamps to the logical N.
+            let m: Vec<usize> = enc.member_cols(1, 1).collect();
+            assert_eq!(m, vec![5]);
+            enc.compute_initial_checksums(&ctx);
+            for g in 0..enc.groups() {
+                for copy in 0..2 {
+                    let v = enc.checksum_violation(&ctx, g, copy, 965 + 4 * g as u32 + 2 * copy as u32);
+                    assert!(v < 1e-12, "g={g} copy={copy}: {v}");
+                }
+            }
+            // The logical gather is exactly N×N.
+            let full = enc.gather_logical(&ctx, 970);
+            assert_eq!((full.rows(), full.cols()), (7, 7));
+            for i in 0..7 {
+                for j in 0..7 {
+                    assert_eq!(full[(i, j)], uniform_entry(11, i, j));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn chk_block_moves_row_locally() {
+        run_spmd(2, 2, FaultScript::none(), |ctx| {
+            let mut enc = Encoded::from_global_fn(&ctx, 8, 2, |i, j| uniform_entry(12, i, j));
+            enc.compute_initial_checksums(&ctx);
+            let owner = enc.a.col_owner(enc.chk_col(0, 0, 0));
+            let dst = 1 - owner; // 2 process columns
+            let got = enc.move_chk_block_to(&ctx, 0, 0, dst, 975);
+            assert_eq!(got.is_some(), ctx.mycol() == dst);
+            if let Some(buf) = got {
+                // The moved block equals what the owner reads in place.
+                let lrn = enc.a.local_rows_below(enc.n());
+                assert_eq!(buf.len(), lrn * enc.nb());
+                let full = enc.a.gather_all(&ctx, 980);
+                for off in 0..enc.nb() {
+                    for lr in 0..lrn {
+                        let gr = enc.a.l2g_row(lr);
+                        assert_eq!(buf[off * lrn + lr], full[(gr, enc.chk_col(0, 0, off))]);
+                    }
+                }
+            } else {
+                // Everyone still participates in the gather above.
+                let _ = enc.a.gather_all(&ctx, 980);
+            }
         });
     }
 }

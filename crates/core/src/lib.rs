@@ -17,6 +17,10 @@
 //!   per process row.
 //! * [`model`] — the §6 flop/storage cost model (validated against runtime
 //!   flop counters by the `model_validation` bench).
+//! * [`scrub`] — the online SDC scrub engine (DESIGN.md §10): checksum
+//!   residual scans at a configurable cadence, data-vs-checksum diagnosis,
+//!   single-block localization, in-place correction, and escalation to a
+//!   verified-boundary rollback.
 //!
 //! The fault-free output is element-wise identical to
 //! [`ft_pblas::pdgehrd`]'s (the checksum columns ride along without
@@ -32,10 +36,15 @@ pub mod recovery;
 pub mod scope;
 pub mod scrub;
 
-pub use algorithm::{failpoint, ft_pdgehrd, ft_pdgehrd_hooked, ve_rows, FtError, FtReport, Phase, Variant};
+pub use algorithm::{
+    failpoint, ft_pdgehrd, ft_pdgehrd_full, ft_pdgehrd_hooked, ft_pdgehrd_scrubbed, ve_rows, FtError, FtReport, Phase, Variant,
+};
 pub use checkpoint_restart::{cr_failpoint, cr_pdgehrd, CrReport};
 pub use encode::{Encoded, Redundancy};
 pub use model::{asymptotic_overhead, flop_model, storage_overhead_elements, FlopModel};
 pub use recovery::{check_tolerance, recover, ToleranceExceeded};
 pub use scope::ScopeState;
-pub use scrub::{assert_theorem1, scrub_groups, ScrubFinding};
+pub use scrub::{
+    assert_theorem1, diagnose, first_theorem1_violation, local_row_span, locate_member, scan_group, scrub_groups, Diagnosis,
+    GroupScan, ScrubCadence, ScrubEngine, ScrubEscalation, ScrubFinding, ScrubPolicy, ScrubReport, TrailingScan,
+};

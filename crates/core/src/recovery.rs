@@ -153,32 +153,7 @@ pub fn recover(
 
     // Step 5: Area 4 — roll the unfactorized scope columns back to the
     // snapshot everywhere, then replay the saved panel updates.
-    // (At BeforePanel the interrupted panel has not run, but `factors` then
-    // holds only completed panels, so this bound is right at every phase.)
-    let a4_start = st.factors.last().map(|f| f.k + f.w).unwrap_or(st.start_col);
-    st.restore_snapshot_from(enc, a4_start);
-    let nfac = st.factors.len();
-    for j in 0..nfac {
-        let f = st.factors[j].clone();
-        let last = j + 1 == nfac;
-        let (do_right, do_left) = if !last {
-            (true, true)
-        } else {
-            match phase {
-                Phase::BeforePanel => (true, true), // all factors are completed panels
-                Phase::AfterPanel => (false, false),
-                Phase::AfterRightUpdate => (true, false),
-                Phase::AfterLeftUpdate => (true, true),
-            }
-        };
-        if do_right {
-            let ve = ve_rows(enc, &f);
-            ft_right(enc, &f, &ve, a4_start, st.end_col, false, s);
-        }
-        if do_left {
-            ft_left(ctx, enc, &f, a4_start, st.end_col, false, s);
-        }
-    }
+    replay_area4(ctx, enc, st, s, phase);
 
     // Step 6: restore the victims' lost checksum blocks. With the paper's
     // duplicated checksums, copy from the surviving duplicate (§5.2); with
@@ -216,13 +191,49 @@ pub fn recover(
     }
 }
 
+/// §5.3 step 5 — shared with the scrub engine's Area-4 refresh: roll the
+/// unfactorized scope columns back to the scope snapshot on **every**
+/// process and replay the saved per-panel updates (phase-aware for the
+/// interrupted iteration). The collectives are deterministic, so the
+/// rebuild is bit-identical on clean processes and only wrong blocks
+/// actually change — which is what makes it safe to run over a
+/// *suspected-corrupt* matrix as well as after a fail-stop wipe.
+pub(crate) fn replay_area4(ctx: &Ctx, enc: &mut Encoded, st: &ScopeState, s: usize, phase: Phase) {
+    // (At BeforePanel the interrupted panel has not run, but `factors` then
+    // holds only completed panels, so this bound is right at every phase.)
+    let a4_start = st.factors.last().map(|f| f.k + f.w).unwrap_or(st.start_col);
+    if a4_start >= st.end_col {
+        return; // no unfactorized scope columns left (uniform: replicated bookkeeping)
+    }
+    st.restore_snapshot_from(enc, a4_start);
+    let nfac = st.factors.len();
+    for j in 0..nfac {
+        let f = st.factors[j].clone();
+        let last = j + 1 == nfac;
+        let (do_right, do_left) = if !last {
+            (true, true)
+        } else {
+            match phase {
+                Phase::BeforePanel => (true, true), // all factors are completed panels
+                Phase::AfterPanel => (false, false),
+                Phase::AfterRightUpdate => (true, false),
+                Phase::AfterLeftUpdate => (true, true),
+            }
+        };
+        if do_right {
+            let ve = ve_rows(enc, &f);
+            ft_right(enc, &f, &ve, a4_start, st.end_col, false, s);
+        }
+        if do_left {
+            ft_left(ctx, enc, &f, a4_start, st.end_col, false, s);
+        }
+    }
+}
+
 /// §5.2: every checksum block a victim owned is copied back from its
 /// surviving duplicate (the two copies sit on different process columns and
 /// are updated identically, hence bit-equal). Single-redundancy only.
 fn restore_checksum_duplicates(ctx: &Ctx, enc: &mut Encoded, victims: &[usize]) {
-    let nb = enc.nb();
-    let lrn_mine = enc.a.local_rows_below(enc.n());
-    let ldl = enc.a.local().ld().max(1);
     for &v in victims {
         let (pv, qv) = ctx.grid().coords_of(v);
         if ctx.myrow() != pv {
@@ -230,29 +241,13 @@ fn restore_checksum_duplicates(ctx: &Ctx, enc: &mut Encoded, victims: &[usize]) 
         }
         for g in 0..enc.groups() {
             for copy in 0..2 {
-                let qc = enc.a.col_owner(enc.chk_col(g, copy, 0));
-                if qc != qv {
+                if enc.a.col_owner(enc.chk_col(g, copy, 0)) != qv {
                     continue; // the victim does not own this copy
                 }
-                let qo = enc.a.col_owner(enc.chk_col(g, 1 - copy, 0));
-                debug_assert_ne!(qo, qv);
-                if ctx.mycol() == qo {
-                    // Send my rows of the surviving copy.
-                    let mut buf = Vec::with_capacity(lrn_mine * nb);
-                    for off in 0..nb {
-                        let lc = enc.a.g2l_col(enc.chk_col(g, 1 - copy, off));
-                        buf.extend_from_slice(&enc.a.local().as_slice()[lc * ldl..lc * ldl + lrn_mine]);
-                    }
-                    ctx.send(v, TAG_DUP, &buf);
-                }
-                if ctx.rank() == v {
-                    let src = ctx.grid().rank_of(pv, qo);
-                    let buf = ctx.recv(src, TAG_DUP);
-                    for off in 0..nb {
-                        let lc = enc.a.g2l_col(enc.chk_col(g, copy, off));
-                        enc.a.local_mut().as_mut_slice()[lc * ldl..lc * ldl + lrn_mine]
-                            .copy_from_slice(&buf[off * lrn_mine..(off + 1) * lrn_mine]);
-                    }
+                debug_assert_ne!(enc.a.col_owner(enc.chk_col(g, 1 - copy, 0)), qv);
+                // The surviving duplicate travels to the victim's column.
+                if let Some(buf) = enc.move_chk_block_to(ctx, g, 1 - copy, qv, TAG_DUP) {
+                    enc.write_chk_block(g, copy, &buf);
                 }
             }
         }
@@ -328,30 +323,13 @@ fn recover_areas_1_2(ctx: &Ctx, enc: &mut Encoded, rows: &HashMap<usize, Vec<usi
                         }
                     }
                 }
-                ctx.reduce_sum_row(ctx.grid().coords_of(solver).1, &mut partial, TAG_A12_RED.offset(c as u16));
+                let solver_col = ctx.grid().coords_of(solver).1;
+                ctx.reduce_sum_row(solver_col, &mut partial, TAG_A12_RED.offset(c as u16));
 
                 // The checksum block travels to the solver.
-                let qc = enc.a.col_owner(enc.chk_col(g, c, 0));
-                let solver_col = ctx.grid().coords_of(solver).1;
-                if ctx.mycol() == qc && qc != solver_col {
-                    let mut buf = Vec::with_capacity(lrn * nb);
-                    for off in 0..nb {
-                        let lc = enc.a.g2l_col(enc.chk_col(g, c, off));
-                        buf.extend_from_slice(&enc.a.local().as_slice()[lc * ldl..lc * ldl + lrn]);
-                    }
-                    ctx.send(solver, TAG_A12_CHK.offset(c as u16), &buf);
-                }
+                let chk = enc.move_chk_block_to(ctx, g, c, solver_col, TAG_A12_CHK.offset(c as u16));
                 if ctx.rank() == solver {
-                    let chk: Vec<f64> = if qc == solver_col {
-                        let mut buf = Vec::with_capacity(lrn * nb);
-                        for off in 0..nb {
-                            let lc = enc.a.g2l_col(enc.chk_col(g, c, off));
-                            buf.extend_from_slice(&enc.a.local().as_slice()[lc * ldl..lc * ldl + lrn]);
-                        }
-                        buf
-                    } else {
-                        ctx.recv(ctx.grid().rank_of(pv, qc), TAG_A12_CHK.offset(c as u16))
-                    };
+                    let chk = chk.expect("solver column holds the moved block");
                     rhs.push(chk.iter().zip(&partial).map(|(a, b)| a - b).collect());
                 }
             }

@@ -1,0 +1,97 @@
+//! In-place correction: rewrite a located member block from the surviving
+//! checksums, repair convicted checksum copies, and heal the active scope's
+//! Areas 3/4 from the diskless bookkeeping (which the injector cannot
+//! reach — it only corrupts the matrix buffer).
+
+use crate::encode::Encoded;
+use crate::scope::ScopeState;
+use ft_runtime::Ctx;
+
+use super::residual::TAG_SCRUB;
+
+/// Rewrite member block `idx` of group `g` from checksum copy 0 and the
+/// other members: `member = chk₀ − Σ_other members` (copy-0 weights are 1
+/// at every redundancy level). Collective across the full grid. Also heals
+/// a corrupted ragged-`N` *padding* block (base in `[N, n_pad)`): its clean
+/// state is all zeros and the formula reproduces exactly that.
+pub(crate) fn correct_member(ctx: &Ctx, enc: &mut Encoded, g: usize, idx: usize) {
+    let nb = enc.nb();
+    let q = ctx.npcol();
+    let base = (g * q + idx) * nb;
+    if base >= enc.n_pad() {
+        return;
+    }
+    let owner_q = enc.a.col_owner(base);
+    let lrn = enc.a.local_rows_below(enc.n());
+    let ldl = enc.a.local().ld().max(1);
+
+    // Partial sums of the *other* members over my columns. `member_cols`
+    // clamps to the logical N, so clean padding blocks contribute their
+    // true zeros without being read.
+    let mut partial = vec![0.0f64; lrn * nb];
+    for off in 0..nb {
+        for c in enc.member_cols(g, off) {
+            if c != base + off && enc.a.owns_col(c) {
+                let lc = enc.a.g2l_col(c);
+                let col = &enc.a.local().as_slice()[lc * ldl..lc * ldl + lrn];
+                for (i, v) in col.iter().enumerate() {
+                    partial[i + off * lrn] += v;
+                }
+            }
+        }
+    }
+    ctx.reduce_sum_row(owner_q, &mut partial, TAG_SCRUB.offset(32));
+
+    // Checksum copy 0 travels to the member owner's process column.
+    let chk = enc.move_chk_block_to(ctx, g, 0, owner_q, TAG_SCRUB.offset(34));
+    if ctx.mycol() == owner_q {
+        let chk = chk.expect("destination column holds the moved block");
+        for off in 0..nb {
+            let lc = enc.a.g2l_col(base + off);
+            let dst = &mut enc.a.local_mut().as_mut_slice()[lc * ldl..lc * ldl + lrn];
+            for i in 0..lrn {
+                dst[i] = chk[i + off * lrn] - partial[i + off * lrn];
+            }
+        }
+    }
+}
+
+/// Area 3 of the active scope: compare my factorized panel columns against
+/// the bookkeeping pieces captured at factorization time (bit-identical by
+/// construction — finished panel columns are never updated again within
+/// their scope) and copy back any that differ. Purely local; returns the
+/// number of repaired panel columns on this rank.
+pub(crate) fn heal_area3(enc: &mut Encoded, st: &ScopeState) -> usize {
+    let lrn = enc.a.local_rows_below(enc.n());
+    if lrn == 0 {
+        return 0;
+    }
+    let ldl = enc.a.local().ld().max(1);
+    let mut repaired = 0usize;
+    for (idx, piece) in &st.my_panel_pieces {
+        // Panels can be narrower than nb (ragged last panel); the piece's
+        // own length carries the width, as in `repair_after_failure`.
+        let k = st.start_col + idx * enc.nb();
+        let lc0 = enc.a.local_cols_below(k);
+        let cols_cnt = piece.len() / lrn;
+        for ci in 0..cols_cnt {
+            let lc = lc0 + ci;
+            let good = &piece[ci * lrn..(ci + 1) * lrn];
+            let cur = &enc.a.local().as_slice()[lc * ldl..lc * ldl + lrn];
+            if cur != good {
+                enc.a.local_mut().as_mut_slice()[lc * ldl..lc * ldl + lrn].copy_from_slice(good);
+                repaired += 1;
+            }
+        }
+    }
+    repaired
+}
+
+/// Area 4 of the active scope: the unfactorized scope columns have no live
+/// checksum mid-scope, so corruption there is *refreshed away* rather than
+/// detected — snapshot rollback plus deterministic replay of the saved
+/// panel updates rebuilds them bit-identically from trusted sources (the
+/// scope snapshot and the replicated factors). Collective.
+pub(crate) fn refresh_area4(ctx: &Ctx, enc: &mut Encoded, st: &ScopeState, s: usize, phase: crate::algorithm::Phase) {
+    crate::recovery::replay_area4(ctx, enc, st, s, phase);
+}

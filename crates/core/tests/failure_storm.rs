@@ -222,7 +222,9 @@ fn chaos_beyond_tolerance_identical_typed_error() {
     });
     for e in &errs {
         assert_eq!(e, &errs[0], "ranks diverge on the error");
-        let FtError::Unrecoverable { victims, row, count, max_per_row, .. } = e;
+        let FtError::Unrecoverable { victims, row, count, max_per_row, .. } = e else {
+            panic!("expected Unrecoverable, got {e:?}");
+        };
         assert_eq!(victims, &[0, 1]);
         assert_eq!((*row, *count, *max_per_row), (0, 2, 1));
     }
@@ -274,7 +276,9 @@ fn scripted_storm_beyond_tolerance_typed_error() {
     });
     for e in &errs {
         assert_eq!(e, &errs[0]);
-        let FtError::Unrecoverable { victims, .. } = e;
+        let FtError::Unrecoverable { victims, .. } = e else {
+            panic!("expected Unrecoverable, got {e:?}");
+        };
         assert_eq!(victims, &[0, 1]);
     }
 }

@@ -142,7 +142,9 @@ fn three_failures_same_row_rejected_even_dual() {
     });
     for e in &errs {
         assert_eq!(e, &errs[0], "ranks diverge on the error");
-        let FtError::Unrecoverable { victims, row, count, max_per_row, .. } = e;
+        let FtError::Unrecoverable { victims, row, count, max_per_row, .. } = e else {
+            panic!("expected Unrecoverable, got {e:?}");
+        };
         assert_eq!(victims, &[4, 5, 6]);
         assert_eq!((*row, *count, *max_per_row), (1, 3, 2));
     }

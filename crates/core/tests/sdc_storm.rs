@@ -1,0 +1,464 @@
+//! SDC storm battery: seeded single- and multi-bit flips into every
+//! recovery area (trailing, finished, checksum copies), across both
+//! variants and awkward geometries. Each case checks the scrub engine's
+//! full contract — detect, localize, correct (or escalate to a verified
+//! rollback) — and that the final reduction matches the flip-free run.
+
+use ft_dense::gen::uniform_entry;
+use ft_dense::Matrix;
+use ft_hess::{failpoint, ft_pdgehrd, ft_pdgehrd_full, Encoded, FtError, Phase, Redundancy, ScrubPolicy, ScrubReport, Variant};
+use ft_lapack::{extract_h, hessenberg_eigenvalues};
+use ft_runtime::{run_spmd, run_spmd_full, ChaosScript, Ctx, FaultScript, SdcScript};
+
+/// Flip-free reference reduction (scrub disabled).
+fn clean_run(n: usize, nb: usize, p: usize, q: usize, seed: u64, variant: Variant, red: Redundancy) -> Matrix {
+    run_spmd(p, q, FaultScript::none(), move |ctx| {
+        let mut enc = Encoded::with_redundancy(&ctx, n, nb, red, |i, j| uniform_entry(seed, i, j));
+        let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
+        ft_pdgehrd(&ctx, &mut enc, variant, &mut tau).expect("fault-free");
+        enc.gather_logical(&ctx, 800)
+    })
+    .into_iter()
+    .next()
+    .unwrap()
+}
+
+/// Run the scrubbed reduction with a one-shot corruption injected through
+/// the observation hook at `(panel, phase)`. Returns every rank's gathered
+/// matrix + scrub report (replicated verdict fields must agree).
+#[allow(clippy::too_many_arguments)]
+fn corrupted_run(
+    n: usize,
+    nb: usize,
+    p: usize,
+    q: usize,
+    seed: u64,
+    variant: Variant,
+    red: Redundancy,
+    policy: ScrubPolicy,
+    panel: usize,
+    phase: Phase,
+    inject: impl Fn(&Ctx, &mut Encoded) + Sync,
+) -> Vec<Result<(Matrix, ScrubReport), FtError>> {
+    run_spmd(p, q, FaultScript::none(), move |ctx| {
+        let mut enc = Encoded::with_redundancy(&ctx, n, nb, red, |i, j| uniform_entry(seed, i, j));
+        let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
+        let mut fired = false;
+        let inject = &inject;
+        let mut hook = |ctx: &Ctx, enc: &mut Encoded, pi: usize, ph: Phase| {
+            if !fired && pi == panel && ph == phase {
+                fired = true;
+                inject(ctx, enc);
+            }
+        };
+        match ft_pdgehrd_full(&ctx, &mut enc, variant, &mut tau, policy, &mut hook) {
+            Ok(rep) => Ok((enc.gather_logical(&ctx, 802), rep.scrub)),
+            Err(e) => Err(e),
+        }
+    })
+}
+
+/// Add `delta` to logical entry `(i, j)` on whichever rank owns it.
+fn bump(enc: &mut Encoded, i: usize, j: usize, delta: f64) {
+    if enc.a.owns_row(i) && enc.a.owns_col(j) {
+        let v = enc.a.get(i, j);
+        enc.a.set(i, j, v + delta);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Area 1 (trailing): in-place correction under Dual redundancy.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn trailing_flip_corrected_in_place_nondelayed() {
+    let (n, nb, p, q) = (32, 2, 2, 4);
+    let reference = clean_run(n, nb, p, q, 70, Variant::NonDelayed, Redundancy::Dual);
+    // Only phases after the (column-mixing) right update keep a single
+    // corrupted member block; earlier injections spread across the row and
+    // are covered by the escalation tests below.
+    for panel in [0usize, 2, 5] {
+        for phase in [Phase::AfterRightUpdate, Phase::AfterLeftUpdate] {
+            let s = panel / q;
+            let col = (s + 1) * q * nb; // first column of the next (trailing) group
+            let results = corrupted_run(
+                n,
+                nb,
+                p,
+                q,
+                70,
+                Variant::NonDelayed,
+                Redundancy::Dual,
+                ScrubPolicy::every_panels(1),
+                panel,
+                phase,
+                move |_ctx, enc| bump(enc, n - 1, col, 0.37),
+            );
+            for r in results {
+                let (got, scrub) = r.expect("corrected in place");
+                assert!(scrub.detections >= 1, "panel {panel} {phase:?}: no detection");
+                assert!(scrub.corrections >= 1, "panel {panel} {phase:?}: no correction");
+                assert_eq!(scrub.escalations, 0, "panel {panel} {phase:?}");
+                assert_eq!(scrub.rollbacks, 0, "panel {panel} {phase:?}");
+                let d = got.max_abs_diff(&reference);
+                assert!(d < 1e-10, "panel {panel} {phase:?}: diff {d}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Area 2 (finished): mid-scope scans cover it in both variants.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn finished_flip_corrected_in_place_delayed() {
+    let (n, nb, p, q) = (40, 2, 2, 4);
+    let reference = clean_run(n, nb, p, q, 71, Variant::Delayed, Redundancy::Dual);
+    for phase in [Phase::AfterPanel, Phase::AfterLeftUpdate] {
+        // Panel 5 sits in scope 1: group 0 is finished, its columns (and
+        // checksums) are frozen — a flip there stays a single-member hit.
+        let results = corrupted_run(
+            n,
+            nb,
+            p,
+            q,
+            71,
+            Variant::Delayed,
+            Redundancy::Dual,
+            ScrubPolicy::every_panels(1),
+            5,
+            phase,
+            |_ctx, enc| bump(enc, 30, 2, -0.61),
+        );
+        for r in results {
+            let (got, scrub) = r.expect("corrected in place");
+            assert!(scrub.detections >= 1, "{phase:?}: no detection");
+            assert!(scrub.corrections >= 1, "{phase:?}: no correction");
+            assert_eq!(scrub.rollbacks, 0, "{phase:?}");
+            let d = got.max_abs_diff(&reference);
+            assert!(d < 1e-10, "{phase:?}: diff {d}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checksum-copy corruption: repaired from the surviving copy, data blameless.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn checksum_copy_flip_repaired_both_variants() {
+    let (n, nb, p, q) = (32, 2, 2, 4);
+    for (variant, panel, group, copy) in [(Variant::NonDelayed, 1usize, 1usize, 1usize), (Variant::Delayed, 5, 0, 0)] {
+        let reference = clean_run(n, nb, p, q, 72, variant, Redundancy::Dual);
+        let results = corrupted_run(
+            n,
+            nb,
+            p,
+            q,
+            72,
+            variant,
+            Redundancy::Dual,
+            ScrubPolicy::every_panels(1),
+            panel,
+            Phase::AfterRightUpdate,
+            move |_ctx, enc| {
+                let cc = enc.chk_col(group, copy, 0);
+                bump(enc, n / 2, cc, 4.2);
+            },
+        );
+        for r in results {
+            let (got, scrub) = r.expect("checksum repaired");
+            assert!(scrub.detections >= 1, "{variant:?}: no detection");
+            assert!(scrub.chk_repairs >= 1, "{variant:?}: no checksum repair");
+            assert_eq!(scrub.corrections, 0, "{variant:?}: data was rewritten");
+            assert_eq!(scrub.rollbacks, 0, "{variant:?}");
+            // The data path never changed: bit-identical result.
+            assert_eq!(got.max_abs_diff(&reference), 0.0, "{variant:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Escalation: unlocalizable (Single) and spread (multi-member) corruption
+// fall back to the verified-boundary rollback and still finish exactly.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn single_redundancy_flip_escalates_to_rollback_and_heals() {
+    let (n, nb, p, q) = (24, 2, 2, 2);
+    let reference = clean_run(n, nb, p, q, 73, Variant::NonDelayed, Redundancy::Single);
+    let results = corrupted_run(
+        n,
+        nb,
+        p,
+        q,
+        73,
+        Variant::NonDelayed,
+        Redundancy::Single,
+        ScrubPolicy::every_panels(1),
+        2,
+        Phase::AfterLeftUpdate,
+        |_ctx, enc| bump(enc, 20, 8, 1.0),
+    );
+    for r in results {
+        let (got, scrub) = r.expect("rollback heals");
+        assert!(scrub.detections >= 1);
+        assert_eq!(scrub.corrections, 0, "Single cannot localize on Q > 1");
+        assert!(scrub.escalations >= 1);
+        assert!(scrub.rollbacks >= 1);
+        // Replay from the verified image is deterministic: exact match.
+        assert_eq!(got.max_abs_diff(&reference), 0.0);
+    }
+}
+
+#[test]
+fn multi_block_corruption_escalates_and_rolls_back_dual() {
+    let (n, nb, p, q) = (32, 2, 2, 4);
+    let reference = clean_run(n, nb, p, q, 74, Variant::NonDelayed, Redundancy::Dual);
+    // Two member blocks of the same trailing group corrupted at once (a bad
+    // DIMM spanning blocks): the per-copy violation ratios match no single
+    // member, so in-place repair is impossible even under Dual.
+    let results = corrupted_run(
+        n,
+        nb,
+        p,
+        q,
+        74,
+        Variant::NonDelayed,
+        Redundancy::Dual,
+        ScrubPolicy::every_panels(1),
+        2,
+        Phase::AfterLeftUpdate,
+        |_ctx, enc| {
+            bump(enc, 28, 8, 2.5);
+            bump(enc, 29, 12, -1.9);
+        },
+    );
+    for r in results {
+        let (got, scrub) = r.expect("rollback heals");
+        assert!(scrub.detections >= 1);
+        assert_eq!(scrub.corrections, 0);
+        assert!(scrub.escalations >= 1);
+        assert!(scrub.rollbacks >= 1);
+        assert_eq!(got.max_abs_diff(&reference), 0.0);
+    }
+}
+
+#[test]
+fn delayed_trailing_flip_is_rollback_only() {
+    // Under the delayed variant a mid-scope trailing flip is consumed by
+    // the scope-boundary checksum catch-up: the visible residual looks like
+    // a single member, but an in-place rewrite would keep the consistent
+    // spread. The engine must refuse the shortcut and take the rollback.
+    let (n, nb, p, q) = (40, 2, 2, 4);
+    let reference = clean_run(n, nb, p, q, 81, Variant::Delayed, Redundancy::Dual);
+    let results = corrupted_run(
+        n,
+        nb,
+        p,
+        q,
+        81,
+        Variant::Delayed,
+        Redundancy::Dual,
+        ScrubPolicy::every_panels(1),
+        5, // mid-scope in scope 1 (panels 4..7)
+        Phase::AfterLeftUpdate,
+        |_ctx, enc| bump(enc, 33, 24, 1.7), // group 3: trailing
+    );
+    for r in results {
+        let (got, scrub) = r.expect("rollback heals");
+        assert!(scrub.detections >= 1);
+        assert_eq!(scrub.corrections, 0, "suspect trailing verdicts must not correct in place");
+        assert!(scrub.rollbacks >= 1);
+        assert_eq!(got.max_abs_diff(&reference), 0.0);
+    }
+}
+
+#[test]
+fn uncorrectable_without_rollback_is_typed_error_on_all_ranks() {
+    let (n, nb, p, q) = (24, 2, 2, 2);
+    let policy = ScrubPolicy { rollback: false, ..ScrubPolicy::every_panels(1) };
+    let results = corrupted_run(
+        n,
+        nb,
+        p,
+        q,
+        75,
+        Variant::NonDelayed,
+        Redundancy::Single,
+        policy,
+        2,
+        Phase::AfterLeftUpdate,
+        |_ctx, enc| bump(enc, 20, 8, 1.0),
+    );
+    let errs: Vec<FtError> = results.into_iter().map(|r| r.expect_err("must not complete")).collect();
+    for e in &errs {
+        assert_eq!(e, &errs[0], "ranks diverge on the error");
+        let FtError::ScrubUnrecoverable { panel, group, block_col } = e else {
+            panic!("expected ScrubUnrecoverable, got {e:?}");
+        };
+        assert_eq!(*panel, 2);
+        assert_eq!(*group, 2, "flip at column 8 lives in group 2 (Q·nb = 4)");
+        assert_eq!(*block_col, 4);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edge shapes through the scrub path.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ragged_n_and_narrow_last_scope_scrub() {
+    // N = 19 with nb = 4 on Q = 4: five block columns, the last one ragged
+    // (three real columns) and alone in its group — the final scope is
+    // narrower than Q.
+    let (n, nb, p, q) = (19, 4, 1, 4);
+    let reference = clean_run(n, nb, p, q, 76, Variant::NonDelayed, Redundancy::Dual);
+    let results = corrupted_run(
+        n,
+        nb,
+        p,
+        q,
+        76,
+        Variant::NonDelayed,
+        Redundancy::Dual,
+        ScrubPolicy::every_panels(1),
+        0,
+        Phase::AfterLeftUpdate,
+        |_ctx, enc| bump(enc, 17, 16, 0.9), // inside the ragged trailing block
+    );
+    for r in results {
+        let (got, scrub) = r.expect("corrected in place");
+        assert!(scrub.detections >= 1);
+        assert!(scrub.corrections >= 1);
+        let d = got.max_abs_diff(&reference);
+        assert!(d < 1e-10, "diff {d}");
+    }
+}
+
+#[test]
+fn one_by_one_grid_scrub_corrects() {
+    // Q = 1: useless against fail-stop loss, but the scrub checksums still
+    // localize trivially (every group has one member) and correct in place.
+    let (n, nb) = (12, 2);
+    let reference = clean_run(n, nb, 1, 1, 77, Variant::NonDelayed, Redundancy::Single);
+    let results = corrupted_run(
+        n,
+        nb,
+        1,
+        1,
+        77,
+        Variant::NonDelayed,
+        Redundancy::Single,
+        ScrubPolicy::every_panels(1),
+        1,
+        Phase::AfterLeftUpdate,
+        |_ctx, enc| bump(enc, 9, 6, -0.8),
+    );
+    for r in results {
+        let (got, scrub) = r.expect("corrected in place");
+        assert!(scrub.detections >= 1);
+        assert!(scrub.corrections >= 1);
+        let d = got.max_abs_diff(&reference);
+        assert!(d < 1e-10, "diff {d}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Downstream parity: the corrected reduction feeds the eigensolver the same
+// Hessenberg matrix as the flip-free run.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn eigenvalues_match_flip_free() {
+    let (n, nb, p, q) = (32, 2, 2, 4);
+    let reference = clean_run(n, nb, p, q, 78, Variant::NonDelayed, Redundancy::Dual);
+    let results = corrupted_run(
+        n,
+        nb,
+        p,
+        q,
+        78,
+        Variant::NonDelayed,
+        Redundancy::Dual,
+        ScrubPolicy::every_panels(1),
+        1,
+        Phase::AfterRightUpdate,
+        |_ctx, enc| bump(enc, 25, 8, 0.5),
+    );
+    let (got, scrub) = results.into_iter().next().unwrap().expect("corrected in place");
+    assert!(scrub.corrections >= 1);
+    let mut clean_eigs = hessenberg_eigenvalues(&extract_h(&reference)).expect("converges");
+    let mut sdc_eigs = hessenberg_eigenvalues(&extract_h(&got)).expect("converges");
+    let key = |e: &ft_lapack::Eigenvalue| (e.re, e.im);
+    clean_eigs.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
+    sdc_eigs.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
+    assert_eq!(clean_eigs.len(), sdc_eigs.len());
+    for (c, s) in clean_eigs.iter().zip(&sdc_eigs) {
+        let d = f64::hypot(c.re - s.re, c.im - s.im);
+        assert!(d < 1e-10, "eigenvalue drift {d}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized storm through the runtime injector (the CLI's --sdc path).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seeded_storm_heals_both_variants() {
+    let (n, nb, p, q) = (32, 2, 2, 4);
+    // Matches the CLI's op-clock window for this shape.
+    let panels = 15u64;
+    let op_hi = (panels * (4 * nb as u64 + 20)).max(200);
+    for variant in [Variant::NonDelayed, Variant::Delayed] {
+        let reference = clean_run(n, nb, p, q, 79, variant, Redundancy::Dual);
+        for sdc_seed in [1u64, 2, 3, 4] {
+            for flips in [1usize, 2] {
+                let sdc = SdcScript::seeded(sdc_seed, p * q, flips, 50, op_hi);
+                let results = run_spmd_full(p, q, FaultScript::none(), ChaosScript::none(), sdc, move |ctx| {
+                    let mut enc = Encoded::with_redundancy(&ctx, n, nb, Redundancy::Dual, |i, j| uniform_entry(79, i, j));
+                    let mut tau = vec![0.0; n - 1];
+                    let rep =
+                        ft_pdgehrd_full(&ctx, &mut enc, variant, &mut tau, ScrubPolicy::every_panels(1), &mut |_, _, _, _| {})
+                            .expect("storm within the scrub model");
+                    (enc.gather_logical(&ctx, 804), rep.scrub)
+                });
+                for (got, scrub) in results {
+                    // Flips into low mantissa bits of small entries sit below
+                    // the detectability floor (tol = 1e-8) by design; they are
+                    // equally invisible to the final residual check. Everything
+                    // above it must have been healed.
+                    let d = got.max_abs_diff(&reference);
+                    assert!(d < 1e-7, "{variant:?} seed {sdc_seed} flips {flips}: diff {d} ({scrub:?})");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fail-stop + scrub: the post-recovery pass runs and the run still matches.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn post_recovery_scan_extra_pass() {
+    let (n, nb, p, q) = (24, 2, 2, 2);
+    let reference = clean_run(n, nb, p, q, 80, Variant::NonDelayed, Redundancy::Single);
+    let panels = 11; // (24 - 2) / 2
+    let results = run_spmd(p, q, FaultScript::one(3, failpoint(4, Phase::AfterRightUpdate)), move |ctx| {
+        let mut enc = Encoded::with_redundancy(&ctx, n, nb, Redundancy::Single, |i, j| uniform_entry(80, i, j));
+        let mut tau = vec![0.0; n - 1];
+        let rep =
+            ft_pdgehrd_full(&ctx, &mut enc, Variant::NonDelayed, &mut tau, ScrubPolicy::every_panels(1), &mut |_, _, _, _| {})
+                .expect("within the fault model");
+        (enc.gather_logical(&ctx, 806), rep.recoveries, rep.scrub)
+    });
+    for (got, recoveries, scrub) in results {
+        assert_eq!(recoveries, 1);
+        assert!(scrub.scans > panels, "post-recovery pass missing: {} scans", scrub.scans);
+        assert_eq!(scrub.escalations, 0);
+        let d = got.max_abs_diff(&reference);
+        assert!(d < 1e-10, "diff {d}");
+    }
+}

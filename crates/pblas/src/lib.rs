@@ -30,4 +30,6 @@ pub use layout::{g2l, g2p, l2g, numroc};
 pub use panel::{pdlahrd, replicate_reflector_block, PanelFactors};
 pub use pdgemm::pdgemm;
 pub use update::{apply_panel_updates, left_update, left_update_op, right_update};
-pub use verify::{pd_extract_h, pd_gather_traffic, pd_hessenberg_residual, pd_inf_norm, pd_orghr};
+pub use verify::{
+    pd_chk_block_residual, pd_extract_h, pd_gather_traffic, pd_hessenberg_residual, pd_inf_norm, pd_orghr, Theorem1Violation,
+};

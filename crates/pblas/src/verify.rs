@@ -105,6 +105,74 @@ pub fn pd_inf_norm(ctx: &Ctx, a: &DistMatrix, n: usize, tag: impl Into<Tag>) -> 
     slots.into_iter().fold(0.0, f64::max)
 }
 
+/// The first checksum block column found violating Theorem 1 — the scan
+/// result the ABFT layer's `assert_theorem1` and the scrub engine both
+/// report instead of a bare pass/fail bool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Theorem1Violation {
+    /// Global block-column index (global column ÷ nb) of the violating
+    /// checksum block.
+    pub block_col: usize,
+    /// Largest absolute residual entry of that block, replicated on every
+    /// process. `f64::INFINITY` when the residual contains Inf/NaN.
+    pub max_abs: f64,
+}
+
+/// Theorem-1 residual of one checksum block column, fully distributed:
+///
+/// `R = Σⱼ wⱼ·A[0..nrows, baseⱼ..baseⱼ+nb) − A[0..nrows, chk_base..chk_base+nb)`
+///
+/// `members` lists the `(base column, weight)` of each member block —
+/// passed explicitly because this crate cannot see the ABFT encoding.
+/// Returns the **replicated** max-abs entry of `R` plus this process's
+/// share of `R` (row-replicated across its process row; `local rows × nb`,
+/// column-major by block offset) for block localization. NaN-safe: a
+/// non-finite residual entry reports as `f64::INFINITY`, never as clean —
+/// a plain `f64::max` fold would silently drop NaN.
+pub fn pd_chk_block_residual(
+    ctx: &Ctx,
+    a: &DistMatrix,
+    nrows: usize,
+    nb: usize,
+    members: &[(usize, f64)],
+    chk_base: usize,
+    tag: impl Into<Tag>,
+) -> (f64, Vec<f64>) {
+    let tag = tag.into();
+    let lrn = a.local_rows_below(nrows);
+    let ldl = a.local().ld().max(1);
+    let mut partial = vec![0.0f64; lrn * nb];
+    for off in 0..nb {
+        for &(base, w) in members {
+            let c = base + off;
+            if a.owns_col(c) {
+                let lc = a.g2l_col(c);
+                let col = &a.local().as_slice()[lc * ldl..lc * ldl + lrn];
+                for (i, v) in col.iter().enumerate() {
+                    partial[i + off * lrn] += w * v;
+                }
+            }
+        }
+        let cc = chk_base + off;
+        if a.owns_col(cc) {
+            let lc = a.g2l_col(cc);
+            let col = &a.local().as_slice()[lc * ldl..lc * ldl + lrn];
+            for (i, v) in col.iter().enumerate() {
+                partial[i + off * lrn] -= v;
+            }
+        }
+    }
+    ctx.allreduce_sum_row(&mut partial, tag);
+    let local_max = partial
+        .iter()
+        .fold(0.0f64, |m, &x| if x.is_finite() { m.max(x.abs()) } else { f64::INFINITY });
+    // Max across the grid via the one-hot-sum trick (Inf survives the sum).
+    let mut slots = vec![0.0f64; ctx.grid().size()];
+    slots[ctx.rank()] = local_max;
+    ctx.allreduce_sum_world(&mut slots, tag.offset(2));
+    (slots.into_iter().fold(0.0, f64::max), partial)
+}
+
 /// Grid-wide communication totals: every process's per-phase
 /// [`TrafficLedger`] summed over the world (collective; replicated
 /// result). The counts are exact — they stay far below 2⁵³, so the
@@ -195,6 +263,55 @@ mod tests {
             assert!(r < 3.0, "distributed residual {r}");
             // Same ballpark as the shared-memory residual.
             assert!(r < 10.0 * r_shared.max(0.01), "{r} vs shared {r_shared}");
+        });
+    }
+
+    #[test]
+    fn chk_block_residual_detects_and_is_nan_safe() {
+        // 8 logical columns + one checksum block at column 8: chk = m0 + m1
+        // with m0 = block col 0, m1 = block col 1 (weights 1).
+        let (n, nb) = (8, 2);
+        run_spmd(2, 2, FaultScript::none(), move |ctx| {
+            let desc = Desc { m: n, n: n + nb, nb };
+            let mut a = DistMatrix::from_global_fn(&ctx, desc, |i, j| {
+                if j < nb {
+                    uniform_entry(5, i, j)
+                } else if j < 2 * nb {
+                    uniform_entry(6, i, j - nb)
+                } else if j < n {
+                    0.0
+                } else {
+                    uniform_entry(5, i, j - n) + uniform_entry(6, i, j - n)
+                }
+            });
+            let members = [(0usize, 1.0f64), (nb, 1.0f64)];
+            let (clean, _) = pd_chk_block_residual(&ctx, &a, n, nb, &members, n, 7700);
+            assert!(clean < 1e-12, "clean residual {clean}");
+
+            // Corrupt one entry of member block 1 (global (3, 2)): the
+            // residual magnitude and row must localize exactly.
+            if a.owns_row(3) && a.owns_col(2) {
+                let v = a.get(3, 2);
+                a.set(3, 2, v + 7.0);
+            }
+            let (viol, local) = pd_chk_block_residual(&ctx, &a, n, nb, &members, n, 7710);
+            assert!((viol - 7.0).abs() < 1e-12, "violation {viol}");
+            // The row-replicated local residual peaks at global row 3,
+            // block offset 0 — on the process row owning row 3.
+            let lrn = a.local_rows_below(n);
+            if a.owns_row(3) {
+                let lr = a.g2l_row(3);
+                assert!((local[lr].abs() - 7.0).abs() < 1e-12);
+            } else {
+                assert!(local.iter().take(lrn).all(|x| x.abs() < 1e-12));
+            }
+
+            // NaN in the data must read as an infinite violation, not clean.
+            if a.owns_row(1) && a.owns_col(5) {
+                a.set(1, 5, f64::NAN);
+            }
+            let (viol, _) = pd_chk_block_residual(&ctx, &a, n, nb, &[(4, 1.0), (6, 1.0)], n, 7720);
+            assert_eq!(viol, f64::INFINITY, "NaN dropped by the residual scan");
         });
     }
 

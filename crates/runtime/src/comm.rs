@@ -5,7 +5,7 @@
 //! [`crate::detect`].
 
 use crate::detect::{self, Detector, FailureAgreement, InterruptReason};
-use crate::fault::{ChaosScript, FaultScript};
+use crate::fault::{ChaosScript, FaultScript, SdcFlip, SdcScript};
 use crate::grid::Grid;
 use crate::tag::{Leg, Tag, TrafficLedger, TrafficPhase};
 use crate::transport::{CommError, MpscTransport, Msg, Transport};
@@ -34,16 +34,17 @@ pub(crate) struct World {
     detector: Arc<Detector>,
     script: Arc<FaultScript>,
     chaos: Arc<ChaosScript>,
+    sdc: Arc<SdcScript>,
 }
 
 impl World {
     /// A world over the default in-process mpsc fabric.
-    pub(crate) fn new(grid: Grid, script: Arc<FaultScript>, chaos: Arc<ChaosScript>) -> Self {
+    pub(crate) fn new(grid: Grid, script: Arc<FaultScript>, chaos: Arc<ChaosScript>, sdc: Arc<SdcScript>) -> Self {
         let transports = MpscTransport::fabric(grid.size())
             .into_iter()
             .map(|t| Box::new(t) as Box<dyn Transport>)
             .collect();
-        Self::with_transports(grid, script, chaos, transports)
+        Self::with_transports(grid, script, chaos, sdc, transports)
     }
 
     /// A world over caller-supplied endpoints, in rank order.
@@ -51,6 +52,7 @@ impl World {
         grid: Grid,
         script: Arc<FaultScript>,
         chaos: Arc<ChaosScript>,
+        sdc: Arc<SdcScript>,
         transports: Vec<Box<dyn Transport>>,
     ) -> Self {
         assert_eq!(transports.len(), grid.size(), "one transport endpoint per rank");
@@ -60,11 +62,12 @@ impl World {
             detector: Arc::new(Detector::default()),
             script,
             chaos,
+            sdc,
         }
     }
 
     pub(crate) fn into_ctxs(self) -> Vec<Ctx> {
-        let World { grid, transports, detector, script, chaos } = self;
+        let World { grid, transports, detector, script, chaos, sdc } = self;
         transports
             .into_iter()
             .enumerate()
@@ -76,6 +79,9 @@ impl World {
                 detector: Arc::clone(&detector),
                 script: Arc::clone(&script),
                 chaos: Arc::clone(&chaos),
+                sdc: Arc::clone(&sdc),
+                sdc_fired: RefCell::new(HashSet::new()),
+                sdc_pending: RefCell::new(Vec::new()),
                 board_cursor: Cell::new(0),
                 fired_points: RefCell::new(HashSet::new()),
                 epoch: Cell::new(0),
@@ -121,6 +127,13 @@ pub struct Ctx {
     detector: Arc<Detector>,
     script: Arc<FaultScript>,
     chaos: Arc<ChaosScript>,
+    sdc: Arc<SdcScript>,
+    /// SDC flip indices that already fired on this rank — a rollback that
+    /// re-executes ops must not re-corrupt.
+    sdc_fired: RefCell<HashSet<usize>>,
+    /// Flips whose op has passed but which the algorithm has not yet
+    /// applied; drained by [`Ctx::take_sdc_flips`] at phase boundaries.
+    sdc_pending: RefCell<Vec<SdcFlip>>,
     board_cursor: Cell<usize>,
     /// Script entries this process has already executed — a fail point is
     /// fail-stop, so re-visiting the same point id (e.g. after a
@@ -471,14 +484,38 @@ impl Ctx {
         self.detector.commit(id);
     }
 
-    /// Count one message operation against the chaos clock and die if a
-    /// kill is scheduled here.
+    /// Whether silent-corruption flips can strike this run (armed and
+    /// non-empty SDC script). Shares the arm/disarm protection domain with
+    /// chaos: both injectors model faults inside the protected computation.
+    pub fn sdc_enabled(&self) -> bool {
+        self.chaos_armed.get() && !self.sdc.is_empty()
+    }
+
+    /// Drain the queue of fired-but-unapplied silent bit flips. The
+    /// algorithm calls this at phase boundaries and applies the flips to
+    /// its own local storage (the runtime cannot see those buffers).
+    pub fn take_sdc_flips(&self) -> Vec<SdcFlip> {
+        std::mem::take(&mut *self.sdc_pending.borrow_mut())
+    }
+
+    /// Count one message operation against the injection clock, queue any
+    /// silent bit flip scheduled here, and die if a chaos kill is.
     fn chaos_tick(&self) {
-        if !self.chaos_armed.get() || self.chaos.is_empty() {
+        if !self.chaos_armed.get() || (self.chaos.is_empty() && self.sdc.is_empty()) {
             return;
         }
         let op = self.ops.get();
         self.ops.set(op + 1);
+        if !self.sdc.is_empty() {
+            for idx in self.sdc.flip_indices(self.rank, op) {
+                if self.sdc_fired.borrow_mut().insert(idx) {
+                    self.sdc_pending.borrow_mut().push(self.sdc.flips()[idx]);
+                }
+            }
+        }
+        if self.chaos.is_empty() {
+            return;
+        }
         let rec = if self.in_recovery.get() {
             let r = self.recovery_ops.get();
             self.recovery_ops.set(r + 1);

@@ -190,6 +190,115 @@ impl ChaosScript {
     }
 }
 
+/// One scheduled silent-data-corruption event: a single bit flip in the
+/// victim's local matrix storage, landing at the victim's `op`-th message
+/// operation (same clock as [`ChaosPoint::Op`]).
+///
+/// The runtime cannot reach into the algorithm's buffers (they live on the
+/// algorithm's side of the [`crate::Ctx`] boundary), so a flip is *queued*
+/// when its op fires and the algorithm drains the queue with
+/// [`crate::Ctx::take_sdc_flips`] at its next phase boundary and applies
+/// `buf[word % buf.len()] ^= 1 << bit` itself. The observable semantics:
+/// a flip materializes at the first phase boundary after its scheduled op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdcFlip {
+    /// Rank whose local buffer is corrupted.
+    pub victim: usize,
+    /// 0-based message-op index at which the flip fires (armed clock).
+    pub op: u64,
+    /// Word index into the victim's local buffer; the applier reduces it
+    /// modulo the buffer length, so any `u64` is a valid target.
+    pub word: u64,
+    /// Bit position `0..=63` within the IEEE-754 word.
+    pub bit: u32,
+}
+
+/// A deterministic schedule of silent bit flips — the SDC analogue of
+/// [`ChaosScript`]. Same clock, same determinism guarantees: same script,
+/// same flips, every run.
+#[derive(Debug, Default)]
+pub struct SdcScript {
+    flips: Vec<SdcFlip>,
+}
+
+impl SdcScript {
+    /// No silent corruption.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Schedule the given flips.
+    pub fn new(flips: Vec<SdcFlip>) -> Self {
+        Self { flips }
+    }
+
+    /// Single flip.
+    pub fn one(flip: SdcFlip) -> Self {
+        Self::new(vec![flip])
+    }
+
+    /// Derive a schedule of `n_flips` bit flips from `seed`: victims
+    /// uniform over `world` ranks, op indices uniform in `[op_lo, op_hi)`
+    /// (strictly increasing), word offsets uniform over `u64`, and bit
+    /// positions drawn from the *detectable* range `{32..=61, 63}` — high
+    /// mantissa, exponent (minus the top exponent bit, whose flip on a
+    /// normal value produces Inf and would test NaN plumbing rather than
+    /// localization), and sign. Flips of low-order mantissa bits sit below
+    /// any detection threshold that tolerates accumulated update roundoff
+    /// (the classic ABFT detectability floor — see DESIGN.md §10); tests
+    /// that want them construct [`SdcFlip`] values explicitly.
+    pub fn seeded(seed: u64, world: usize, n_flips: usize, op_lo: u64, op_hi: u64) -> Self {
+        assert!(world > 0 && op_hi > op_lo);
+        let mut state = seed ^ 0x5DC5DC5DC5DC5DC5; // distinct stream from ChaosScript::seeded
+        let mut next_u64 = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        const BITS: [u32; 31] = [
+            32, 33, 34, 35, 36, 37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 47, 48, 49, 50, 51, 52, 53, 54, 55, 56, 57, 58, 59, 60,
+            61, 63,
+        ];
+        let span = op_hi - op_lo;
+        let mut ops: Vec<u64> = (0..n_flips).map(|_| op_lo + next_u64() % span).collect();
+        ops.sort_unstable();
+        ops.dedup();
+        let flips = ops
+            .into_iter()
+            .map(|op| SdcFlip {
+                victim: (next_u64() % world as u64) as usize,
+                op,
+                word: next_u64(),
+                bit: BITS[(next_u64() % BITS.len() as u64) as usize],
+            })
+            .collect();
+        Self { flips }
+    }
+
+    /// `true` if no flips are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.flips.is_empty()
+    }
+
+    /// All scheduled flips.
+    pub fn flips(&self) -> &[SdcFlip] {
+        &self.flips
+    }
+
+    /// Indices of flips striking `rank` at op `op`. The caller tracks which
+    /// indices already fired (re-executed ops after a rollback must not
+    /// re-flip).
+    pub(crate) fn flip_indices(&self, rank: usize, op: u64) -> impl Iterator<Item = usize> + '_ {
+        self.flips
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.victim == rank && f.op == op)
+            .map(|(i, _)| i)
+    }
+}
+
 /// Generate a realistic fail-stop schedule: exponential (Poisson-process)
 /// inter-arrival times over a run of `n_points` fail points, with a mean of
 /// `mtti_points` points between failures and victims drawn uniformly from
@@ -299,6 +408,52 @@ mod tests {
         // Different seed, different schedule (overwhelmingly likely).
         let c = ChaosScript::seeded(43, 6, 3, 50, 500);
         assert_ne!(a.kills(), c.kills());
+    }
+
+    #[test]
+    fn sdc_lookup() {
+        let s = SdcScript::new(vec![
+            SdcFlip { victim: 1, op: 10, word: 3, bit: 40 },
+            SdcFlip { victim: 1, op: 10, word: 9, bit: 63 },
+            SdcFlip { victim: 0, op: 20, word: 0, bit: 52 },
+        ]);
+        assert_eq!(s.flip_indices(1, 10).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(s.flip_indices(0, 20).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(s.flip_indices(0, 10).count(), 0);
+        assert!(!s.is_empty());
+        assert!(SdcScript::none().is_empty());
+    }
+
+    #[test]
+    fn seeded_sdc_is_deterministic_and_detectable() {
+        let a = SdcScript::seeded(42, 6, 4, 50, 500);
+        let b = SdcScript::seeded(42, 6, 4, 50, 500);
+        assert_eq!(a.flips(), b.flips());
+        assert!(!a.is_empty());
+        let mut prev = None;
+        for f in a.flips() {
+            assert!(f.victim < 6);
+            assert!((50..500).contains(&f.op));
+            assert!(prev.is_none_or(|p| p < f.op), "ops must be strictly increasing");
+            prev = Some(f.op);
+            // Only detectable bits: high mantissa / exponent / sign, never
+            // the top exponent bit (Inf-producing) or low mantissa.
+            assert!((32..=61).contains(&f.bit) || f.bit == 63, "bit {}", f.bit);
+        }
+        let c = SdcScript::seeded(43, 6, 4, 50, 500);
+        assert_ne!(a.flips(), c.flips());
+        // A distinct stream from the chaos generator: same seed must not
+        // yield kills and flips at identical op indices.
+        let kills: Vec<u64> = ChaosScript::seeded(42, 6, 4, 50, 500)
+            .kills()
+            .iter()
+            .map(|k| match k.at {
+                ChaosPoint::Op(op) => op,
+                _ => unreachable!(),
+            })
+            .collect();
+        let flips: Vec<u64> = a.flips().iter().map(|f| f.op).collect();
+        assert_ne!(kills, flips);
     }
 }
 

@@ -49,7 +49,7 @@ pub mod transport;
 pub use collectives::PendingBcast;
 pub use comm::{Ctx, FailCheck};
 pub use detect::{catch_interrupt, FailureAgreement, Interrupt, InterruptReason};
-pub use fault::{poisson_failures, ChaosKill, ChaosPoint, ChaosScript, FaultScript, PlannedFailure};
+pub use fault::{poisson_failures, ChaosKill, ChaosPoint, ChaosScript, FaultScript, PlannedFailure, SdcFlip, SdcScript};
 pub use grid::Grid;
 pub use tag::{PhaseTraffic, Tag, TrafficLedger, TrafficPhase};
 pub use transport::{CommError, MpscTransport, Msg, Transport};
@@ -79,9 +79,7 @@ where
     R: Send,
     F: Fn(Ctx) -> R + Sync,
 {
-    let grid = Grid::new(p, q);
-    let world = comm::World::new(grid, Arc::new(script), Arc::new(ChaosScript::none()));
-    run_world(p, q, world, f)
+    run_spmd_full(p, q, script, ChaosScript::none(), SdcScript::none(), f)
 }
 
 /// [`run_spmd`] with a chaos-kill schedule on top of the scripted failures:
@@ -93,12 +91,24 @@ where
     R: Send,
     F: Fn(Ctx) -> R + Sync,
 {
+    run_spmd_full(p, q, script, chaos, SdcScript::none(), f)
+}
+
+/// The full-fault-model entry point: scripted fail-stop failures, chaos
+/// kills *and* silent bit flips ([`SdcScript`]) in one run. Flips queue on
+/// the victim's op clock and are applied by the algorithm's scrub layer
+/// (see [`Ctx::take_sdc_flips`]); kills behave as in [`run_spmd_chaos`].
+pub fn run_spmd_full<R, F>(p: usize, q: usize, script: FaultScript, chaos: ChaosScript, sdc: SdcScript, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Ctx) -> R + Sync,
+{
     if !chaos.is_empty() {
         // Interrupt unwinds are control flow; keep them off stderr.
         detect::install_quiet_interrupt_hook();
     }
     let grid = Grid::new(p, q);
-    let world = comm::World::new(grid, Arc::new(script), Arc::new(chaos));
+    let world = comm::World::new(grid, Arc::new(script), Arc::new(chaos), Arc::new(sdc));
     run_world(p, q, world, f)
 }
 
@@ -111,7 +121,13 @@ where
     F: Fn(Ctx) -> R + Sync,
 {
     let grid = Grid::new(p, q);
-    let world = comm::World::with_transports(grid, Arc::new(script), Arc::new(ChaosScript::none()), transports);
+    let world = comm::World::with_transports(
+        grid,
+        Arc::new(script),
+        Arc::new(ChaosScript::none()),
+        Arc::new(SdcScript::none()),
+        transports,
+    );
     run_world(p, q, world, f)
 }
 
@@ -206,6 +222,31 @@ mod tests {
             }
         });
         assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    fn sdc_flips_queue_on_the_op_clock_and_drain_once() {
+        let sdc = SdcScript::one(SdcFlip { victim: 1, op: 1, word: 5, bit: 40 });
+        run_spmd_full(1, 2, FaultScript::none(), ChaosScript::none(), sdc, |ctx| {
+            // Not armed yet: the clock is dead, nothing can queue.
+            assert!(!ctx.sdc_enabled());
+            ctx.arm_chaos();
+            assert!(ctx.sdc_enabled());
+            if ctx.rank() == 1 {
+                ctx.send(0, 7, &[1.0]); // op 0
+                assert!(ctx.take_sdc_flips().is_empty(), "flip fired an op early");
+                ctx.send(0, 7, &[2.0]); // op 1: the flip queues here
+                assert_eq!(ctx.take_sdc_flips(), vec![SdcFlip { victim: 1, op: 1, word: 5, bit: 40 }]);
+                // Drained exactly once.
+                assert!(ctx.take_sdc_flips().is_empty());
+            } else {
+                let _ = ctx.recv(1, 7);
+                let _ = ctx.recv(1, 7);
+                // Ops tick on this rank too, but it is not the victim.
+                assert!(ctx.take_sdc_flips().is_empty());
+            }
+            ctx.disarm_chaos();
+        });
     }
 
     #[test]

@@ -55,4 +55,29 @@ for seed in $CHAOS_SEEDS; do
     done
 done
 
+# Deterministic SDC soak: seeded silent bit flips at message-op boundaries
+# with the scrub engine at cadence 1. A run must either correct (or roll
+# back) every detectable flip and pass verification (exit 0) or reject
+# uncorrectable corruption with the typed error (exit 3) — any panic,
+# silent verification failure (exit 1), or other exit code fails the gate.
+echo "== sdc soak (release)"
+SDC_SEEDS=${SDC_SEEDS:-"1 2 3 5 8 13 21 34"}
+for seed in $SDC_SEEDS; do
+    for variant in alg2 alg3; do
+        for flips in 1 2; do
+            set +e
+            ./target/release/abft-hessenberg \
+                --n 96 --nb 8 --grid 2x4 --variant "$variant" --redundancy dual \
+                --sdc "$seed:$flips" --verify >/dev/null
+            rc=$?
+            set -e
+            case $rc in
+                0) echo "  seed $seed $variant x$flips: scrubbed, verified" ;;
+                3) echo "  seed $seed $variant x$flips: uncorrectable, typed rejection" ;;
+                *) echo "  seed $seed $variant x$flips: FAILED (exit $rc)"; exit 1 ;;
+            esac
+        done
+    done
+done
+
 echo "CI OK"

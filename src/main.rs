@@ -15,6 +15,14 @@
 //!   --chaos <SEED[:K]>   chaos mode: K seeded kills (default 2) at
 //!                        arbitrary message-op boundaries (alg2/alg3 only;
 //!                        beyond-tolerance schedules exit with code 3)
+//!   --sdc <SEED[:K]>     silent-corruption mode: K seeded bit flips
+//!                        (default 1) in local blocks at message-op
+//!                        boundaries (alg2/alg3 only); implies
+//!                        --scrub-every 1 unless given; uncorrectable
+//!                        corruption exits with code 3
+//!   --scrub-every <K>    scrub pass every K panel iterations and at every
+//!                        scope boundary (alg2/alg3 only; default: off, or
+//!                        1 under --sdc)
 //!   --cr-interval <K>    C/R checkpoint interval in panels (default 8)
 //!   --seed <S>           matrix / trace seed (default 2013)
 //!   --verify             compute the distributed residual r∞ afterwards
@@ -27,12 +35,17 @@
 //! abft-hessenberg --n 768 --grid 4x4 --fail 10:2:5 --verify
 //! abft-hessenberg --n 768 --grid 2x4 --variant alg3 --mtti 12
 //! abft-hessenberg --n 512 --grid 4x4 --variant cr --mtti 10
+//! abft-hessenberg --n 512 --grid 2x4 --redundancy dual --sdc 7:2 --verify
 //! ```
 
 use abft_hessenberg::dense::gen::uniform_entry;
-use abft_hessenberg::hess::{cr_pdgehrd, failpoint, ft_pdgehrd, Encoded, FtError, Phase, Redundancy, Variant};
+use abft_hessenberg::hess::{
+    cr_pdgehrd, failpoint, ft_pdgehrd_scrubbed, Encoded, Phase, Redundancy, ScrubPolicy, ScrubReport, Variant,
+};
 use abft_hessenberg::pblas::{pd_gather_traffic, pd_hessenberg_residual, pdgehrd, Desc, DistMatrix};
-use abft_hessenberg::runtime::{poisson_failures, run_spmd_chaos, ChaosScript, FaultScript, PlannedFailure, TrafficPhase};
+use abft_hessenberg::runtime::{
+    poisson_failures, run_spmd_full, ChaosScript, FaultScript, PlannedFailure, SdcScript, TrafficPhase,
+};
 use std::process::exit;
 use std::time::Instant;
 
@@ -54,6 +67,8 @@ struct Opts {
     redundancy: Redundancy,
     failures: Vec<PlannedFailure>,
     chaos: Option<(u64, usize)>,
+    sdc: Option<(u64, usize)>,
+    scrub_every: Option<usize>,
     mtti: Option<f64>,
     cr_interval: usize,
     seed: u64,
@@ -71,6 +86,8 @@ impl Default for Opts {
             redundancy: Redundancy::Single,
             failures: Vec::new(),
             chaos: None,
+            sdc: None,
+            scrub_every: None,
             mtti: None,
             cr_interval: 8,
             seed: 2013,
@@ -149,6 +166,25 @@ fn parse_args() -> Opts {
                 let kills: usize = kills_s.parse().unwrap_or_else(|_| fail("--chaos: bad kill count"));
                 o.chaos = Some((seed, kills));
             }
+            "--sdc" => {
+                let v = val("--sdc");
+                let (seed_s, flips_s) = match v.split_once(':') {
+                    Some((s, k)) => (s, k),
+                    None => (v.as_str(), "1"),
+                };
+                let seed: u64 = seed_s.parse().unwrap_or_else(|_| fail("--sdc: bad seed"));
+                let flips: usize = flips_s.parse().unwrap_or_else(|_| fail("--sdc: bad flip count"));
+                o.sdc = Some((seed, flips));
+            }
+            "--scrub-every" => {
+                let k: usize = val("--scrub-every")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--scrub-every: bad integer"));
+                if k == 0 {
+                    fail("--scrub-every: must be at least 1");
+                }
+                o.scrub_every = Some(k);
+            }
             "--mtti" => o.mtti = Some(val("--mtti").parse().unwrap_or_else(|_| fail("--mtti: bad number"))),
             "--cr-interval" => {
                 o.cr_interval = val("--cr-interval")
@@ -163,6 +199,19 @@ fn parse_args() -> Opts {
     o
 }
 
+fn print_scrub_summary(s: &ScrubReport) {
+    println!("scrub (grid-wide, aggregated):");
+    println!("  {:<22} {:>10}", "scans", s.scans);
+    println!("  {:<22} {:>10}", "detections", s.detections);
+    println!("  {:<22} {:>10}", "corrections", s.corrections);
+    println!("  {:<22} {:>10}", "checksum repairs", s.chk_repairs);
+    println!("  {:<22} {:>10}", "area-3 repairs", s.area3_repairs);
+    println!("  {:<22} {:>10}", "escalations", s.escalations);
+    println!("  {:<22} {:>10}", "rollbacks", s.rollbacks);
+    println!("  {:<22} {:>10.4}", "scan seconds (mean)", s.scan_secs);
+    println!("  {:<22} {:>10.3e}", "residual mass (frob2)", s.residual_mass);
+}
+
 fn panel_count(n: usize, nb: usize) -> usize {
     let (mut c, mut k) = (0, 0);
     while k + 2 < n {
@@ -174,12 +223,8 @@ fn panel_count(n: usize, nb: usize) -> usize {
 
 fn main() {
     let mut o = parse_args();
-    if !o.n.is_multiple_of(o.nb) && o.mode != Mode::Plain && o.mode != Mode::Cr {
-        // The encoder needs N | nb; round up transparently.
-        let rounded = o.n.div_ceil(o.nb) * o.nb;
-        eprintln!("note: rounding N {} -> {} (multiple of nb)", o.n, rounded);
-        o.n = rounded;
-    }
+    // Ragged N is handled by the encoder (zero-padded to whole blocks, see
+    // DESIGN.md §10) — no round-up needed.
     let panels = panel_count(o.n, o.nb);
     if let Some(mtti) = o.mtti {
         let extra = poisson_failures(panels as u64, mtti, o.p * o.q, o.seed)
@@ -205,22 +250,33 @@ fn main() {
     if o.chaos.is_some() && !matches!(o.mode, Mode::Alg2 | Mode::Alg3) {
         fail("--chaos needs --variant alg2 or alg3 (the others never arm the injector)");
     }
+    if (o.sdc.is_some() || o.scrub_every.is_some()) && !matches!(o.mode, Mode::Alg2 | Mode::Alg3) {
+        fail("--sdc / --scrub-every need --variant alg2 or alg3 (the scrub engine lives in the ABFT driver)");
+    }
     let Opts { n, nb, p, q, mode, redundancy, cr_interval, seed, verify, .. } = o.clone();
     let script = FaultScript::new(o.failures.clone());
+    // A rank performs roughly `4*nb + 20` message ops per panel iteration
+    // (measured via `Ctx::chaos_ops`, conservative at common grids), so this
+    // range keeps seeded kills/flips inside the run; events scheduled past
+    // the end simply never fire.
+    let op_hi = (panels as u64 * (4 * o.nb as u64 + 20)).max(200);
     let chaos = match o.chaos {
-        // A rank performs roughly `4*nb + 20` message ops per panel
-        // iteration (measured via `Ctx::chaos_ops`, conservative at common
-        // grids), so this range keeps seeded kills inside the run; kills
-        // scheduled past the end simply never fire.
-        Some((cseed, kills)) => {
-            let op_hi = (panels as u64 * (4 * o.nb as u64 + 20)).max(200);
-            ChaosScript::seeded(cseed, p * q, kills, 50, op_hi)
-        }
+        Some((cseed, kills)) => ChaosScript::seeded(cseed, p * q, kills, 50, op_hi),
         None => ChaosScript::none(),
     };
+    let sdc = match o.sdc {
+        Some((sseed, flips)) => SdcScript::seeded(sseed, p * q, flips, 50, op_hi),
+        None => SdcScript::none(),
+    };
+    // --sdc without an explicit cadence scans at every panel boundary.
+    let policy = match (o.scrub_every, o.sdc) {
+        (Some(k), _) => ScrubPolicy::every_panels(k),
+        (None, Some(_)) => ScrubPolicy::every_panels(1),
+        (None, None) => ScrubPolicy::disabled(),
+    };
     let t = Instant::now();
-    let outcome = run_spmd_chaos(p, q, script, chaos, move |ctx| {
-        let (events, lost, r, err) = match mode {
+    let outcome = run_spmd_full(p, q, script, chaos, sdc, move |ctx| {
+        let (events, lost, r, err, scrub) = match mode {
             Mode::Plain => {
                 let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
                 let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
@@ -229,21 +285,24 @@ fn main() {
                     let a0 = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
                     pd_hessenberg_residual(&ctx, &a0, &a, n, &tau)
                 });
-                (0usize, 0usize, r, None)
+                (0usize, 0usize, r, None, None)
             }
             Mode::Alg2 | Mode::Alg3 => {
                 let variant = if mode == Mode::Alg2 { Variant::NonDelayed } else { Variant::Delayed };
                 let mut enc = Encoded::with_redundancy(&ctx, n, nb, redundancy, |i, j| uniform_entry(seed, i, j));
                 let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
-                match ft_pdgehrd(&ctx, &mut enc, variant, &mut tau) {
+                match ft_pdgehrd_scrubbed(&ctx, &mut enc, variant, &mut tau, policy) {
                     Ok(rep) => {
                         let r = verify.then(|| {
                             let a0 = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
                             pd_hessenberg_residual(&ctx, &a0, &enc.a, n, &tau)
                         });
-                        (rep.recoveries, rep.chaos_aborts, r, None)
+                        // Aggregate the per-rank scrub statistics while the
+                        // grid is still up (collective).
+                        let scrub = policy.active().then(|| rep.scrub.gathered(&ctx, 622));
+                        (rep.recoveries, rep.chaos_aborts, r, None, scrub)
                     }
-                    Err(e) => (0usize, 0usize, None, Some(e)),
+                    Err(e) => (0usize, 0usize, None, Some(e), None),
                 }
             }
             Mode::Cr => {
@@ -254,20 +313,20 @@ fn main() {
                     let a0 = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
                     pd_hessenberg_residual(&ctx, &a0, &a, n, &tau)
                 });
-                (rep.rollbacks, rep.lost_panels, r, None)
+                (rep.rollbacks, rep.lost_panels, r, None, None)
             }
         };
         // Grid-wide per-phase traffic (collective; identical on all ranks).
         let traffic = pd_gather_traffic(&ctx, 620);
-        (events, lost, r, err, traffic)
+        (events, lost, r, err, scrub, traffic)
     })
     .into_iter()
     .next()
     .unwrap();
     let secs = t.elapsed().as_secs_f64();
 
-    let (events, lost, residual, err, traffic) = outcome;
-    if let Some(e @ FtError::Unrecoverable { .. }) = err {
+    let (events, lost, residual, err, scrub, traffic) = outcome;
+    if let Some(e) = err {
         eprintln!("UNRECOVERABLE: {e}");
         exit(3);
     }
@@ -278,6 +337,9 @@ fn main() {
         Mode::Cr => println!("rollbacks: {events}, lost panel iterations: {lost}"),
         _ if o.chaos.is_some() => println!("recoveries: {events}, chaos aborts: {lost}"),
         _ => println!("recoveries: {events}"),
+    }
+    if let Some(s) = &scrub {
+        print_scrub_summary(s);
     }
     println!("traffic (grid-wide, by phase):");
     for ph in TrafficPhase::ALL {
