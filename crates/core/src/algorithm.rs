@@ -23,12 +23,32 @@
 
 use crate::encode::Encoded;
 use crate::recovery;
-use crate::scope::ScopeState;
+use crate::scope::{ChkProgress, ScopeState};
 use crate::scrub::{ScrubEngine, ScrubEscalation, ScrubPolicy, ScrubReport, TrailingScan};
 use ft_dense::Matrix;
 use ft_pblas::{left_update, pdlahrd, right_update, PanelFactors};
-use ft_runtime::{catch_interrupt, Ctx, FailCheck};
+use ft_runtime::{catch_interrupt, Ctx, FailCheck, Tag};
 use std::time::Instant;
+
+/// Driver-milestone trace for multi-process debugging, enabled by setting
+/// `FT_DIST_TRACE` in the environment. Goes to stderr (the launcher passes
+/// child stderr through), so a wedged distributed run shows how far each
+/// rank got.
+macro_rules! dtrace {
+    ($ctx:expr, $($arg:tt)*) => {
+        if std::env::var_os("FT_DIST_TRACE").is_some() {
+            eprintln!("[ft rank {}] {}", $ctx.rank(), format!($($arg)*));
+        }
+    };
+}
+
+/// Control image shipped to a respawned replacement process (distributed
+/// recovery): the driver bookkeeping a fresh process cannot reconstruct
+/// locally. The matrix data itself is rebuilt by [`crate::recovery`].
+const TAG_CTL_IMAGE: Tag = Tag::Recovery(0x50);
+/// World-wide min-reduction of boundary-image ids — picks the common
+/// rollback boundary when survivors' images diverge by one commit.
+const TAG_BOUNDARY_MIN: Tag = Tag::Recovery(0x51);
 
 /// Which ABFT variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +91,10 @@ impl Phase {
             Phase::AfterRightUpdate => 2,
             Phase::AfterLeftUpdate => 3,
         }
+    }
+
+    fn from_index(i: u64) -> Phase {
+        Phase::ALL[i as usize]
     }
 }
 
@@ -363,6 +387,29 @@ enum Step {
     ScopeEnd,
 }
 
+impl Step {
+    fn index(self) -> u64 {
+        match self {
+            Step::Begin => 0,
+            Step::Panel => 1,
+            Step::Right => 2,
+            Step::Left => 3,
+            Step::ScopeEnd => 4,
+        }
+    }
+
+    fn from_index(i: u64) -> Step {
+        match i {
+            0 => Step::Begin,
+            1 => Step::Panel,
+            2 => Step::Right,
+            3 => Step::Left,
+            4 => Step::ScopeEnd,
+            _ => panic!("invalid Step index {i}"),
+        }
+    }
+}
+
 /// The driver's restartable control state (everything the loop mutates
 /// besides the matrix itself).
 struct DriverState {
@@ -392,9 +439,32 @@ struct BoundaryImage {
     /// Scope (= checksum group) index at the boundary; `enc.groups()` for
     /// the pre-loop boundary where no scope exists yet.
     s: usize,
+    /// Boundary id (`failpoint + 1`; 0 for the pre-loop boundary). In
+    /// distributed runs this is what the survivors min-reduce over to agree
+    /// on a common rollback point.
+    id: u64,
 }
 
-fn capture_image(enc: &Encoded, tau: &[f64], st: &DriverState, phase: Phase, s: usize) -> BoundaryImage {
+/// The chaos/distributed rollback images. In-process chaos runs only ever
+/// use `cur` — the revocable commit barrier keeps every rank's image on the
+/// same boundary. Over a real network a SIGKILL mid-barrier can leave
+/// survivors **one** commit apart (the victim's final barrier frame may have
+/// reached some peers and not others), so distributed runs keep the previous
+/// boundary too and [`dist_align_boundary`] demotes the leaders.
+#[derive(Default)]
+struct Images {
+    cur: Option<BoundaryImage>,
+    prev: Option<BoundaryImage>,
+}
+
+/// Whether the fault-tolerance machinery (commit barriers, boundary images)
+/// is live: chaos injection in-process, or any distributed run — over a real
+/// transport ranks can die for real, scripted or not.
+fn ft_live(ctx: &Ctx) -> bool {
+    ctx.chaos_enabled() || ctx.distributed()
+}
+
+fn capture_image(enc: &Encoded, tau: &[f64], st: &DriverState, phase: Phase, s: usize, id: u64) -> BoundaryImage {
     BoundaryImage {
         local: enc.a.local().as_slice().to_vec(),
         tau: tau.to_vec(),
@@ -404,6 +474,7 @@ fn capture_image(enc: &Encoded, tau: &[f64], st: &DriverState, phase: Phase, s: 
         resume: st.resume,
         phase,
         s,
+        id,
     }
 }
 
@@ -431,21 +502,147 @@ fn commit_boundary_image(
     enc: &Encoded,
     tau: &[f64],
     st: &mut DriverState,
-    img: &mut Option<BoundaryImage>,
+    imgs: &mut Images,
     next: Step,
     phase: Phase,
     s: usize,
 ) {
-    if ctx.chaos_enabled() {
+    if ft_live(ctx) {
         ctx.barrier();
     }
     st.resume = next;
-    if ctx.chaos_enabled() {
-        *img = Some(capture_image(enc, tau, st, phase, s));
-    }
     // Boundary ids are failpoint ids shifted by one; id 0 is the pre-loop
     // boundary right after the initial encoding.
-    ctx.commit_boundary(failpoint(st.panel_idx, phase) + 1);
+    let id = failpoint(st.panel_idx, phase) + 1;
+    if ft_live(ctx) {
+        if ctx.distributed() {
+            // Keep the previous boundary too: a real SIGKILL mid-barrier can
+            // leave survivors one commit apart, and the laggards' boundary
+            // is the one everybody can roll back to.
+            imgs.prev = imgs.cur.take();
+        }
+        imgs.cur = Some(capture_image(enc, tau, st, phase, s, id));
+    }
+    ctx.commit_boundary(id);
+}
+
+/// Flat encoding of a [`BoundaryImage`]'s control state (everything but the
+/// matrix buffer, which [`crate::recovery`] rebuilds from the checksums) for
+/// shipping to a respawned replacement process. Layout: a 13-word header
+/// followed by the full `tau` vector.
+fn serialize_ctl_image(img: &BoundaryImage) -> Vec<f64> {
+    let mut buf = vec![0.0; CTL_HEADER + img.tau.len()];
+    buf[0] = img.id as f64;
+    buf[1] = img.k as f64;
+    buf[2] = img.panel_idx as f64;
+    buf[3] = img.resume.index() as f64;
+    buf[4] = img.phase.index() as f64;
+    buf[5] = img.s as f64;
+    if let Some(sc) = &img.scope {
+        buf[6] = 1.0;
+        buf[7] = sc.scope as f64;
+        buf[8] = sc.start_col as f64;
+        buf[9] = sc.end_col as f64;
+        buf[10] = sc.holders as f64;
+        buf[11] = sc.chk.panels_done as f64;
+        buf[12] = if sc.chk.right_done_for_next { 1.0 } else { 0.0 };
+    }
+    buf[CTL_HEADER..].copy_from_slice(&img.tau);
+    buf
+}
+
+const CTL_HEADER: usize = 13;
+
+/// Rebuild a [`BoundaryImage`] on a replacement process from the control
+/// state a survivor shipped. The matrix part is this process's current
+/// (garbage) buffer — [`crate::recovery::recover`] overwrites every word of
+/// it — and the scope carries only the locally-computable layout fields;
+/// snapshots, factors and panel backups are restored from the live holders
+/// by [`ScopeState::repair_after_failure`].
+fn deserialize_ctl_image(enc: &Encoded, buf: &[f64]) -> BoundaryImage {
+    let scope = if buf[6] != 0.0 {
+        let start_col = buf[8] as usize;
+        let end_col = buf[9] as usize;
+        let holders = buf[10] as usize;
+        let lc0 = enc.a.local_cols_below(start_col);
+        let lc1 = enc.a.local_cols_below(end_col);
+        Some(ScopeState {
+            scope: buf[7] as usize,
+            start_col,
+            end_col,
+            holders,
+            local_cols: (lc0..lc1).collect(),
+            snapshot_own: Vec::new(),
+            snapshot_backups: vec![Vec::new(); holders],
+            factors: Vec::new(),
+            panel_backups: Vec::new(),
+            my_panel_pieces: Vec::new(),
+            chk: ChkProgress {
+                panels_done: buf[11] as usize,
+                right_done_for_next: buf[12] != 0.0,
+            },
+        })
+    } else {
+        None
+    };
+    BoundaryImage {
+        local: enc.a.local().as_slice().to_vec(),
+        tau: buf[CTL_HEADER..].to_vec(),
+        scope,
+        k: buf[1] as usize,
+        panel_idx: buf[2] as usize,
+        resume: Step::from_index(buf[3] as u64),
+        phase: Phase::from_index(buf[4] as u64),
+        s: buf[5] as usize,
+        id: buf[0] as u64,
+    }
+}
+
+/// Distributed recovery, step 0: get every rank onto the **same** boundary
+/// image before the rollback.
+///
+/// 1. World-wide min-reduction of boundary ids — victims (and any rank with
+///    no image) contribute `+∞`; survivors contribute `cur.id`. The minimum
+///    is the newest boundary *every* survivor holds: commits happen behind a
+///    revocable barrier, so survivor images diverge by at most one commit,
+///    and the laggards' boundary is held by the leaders as `prev`.
+/// 2. Survivors one commit ahead demote `prev` to `cur`.
+/// 3. The lowest-ranked survivor ships the control image to each victim,
+///    which synthesizes a local [`BoundaryImage`] from it.
+fn dist_align_boundary(ctx: &Ctx, enc: &Encoded, imgs: &mut Images, victims: &[usize], me: bool) {
+    let mut bid = [if me {
+        f64::INFINITY
+    } else {
+        imgs.cur.as_ref().map_or(f64::INFINITY, |i| i.id as f64)
+    }];
+    dtrace!(ctx, "align: entering boundary min-reduce (mine={})", bid[0]);
+    ctx.allreduce_min_world(&mut bid, TAG_BOUNDARY_MIN);
+    dtrace!(ctx, "align: agreed boundary id {}", bid[0]);
+    assert!(bid[0].is_finite(), "distributed recovery: no survivor holds a boundary image");
+    let common = bid[0] as u64;
+    if !me && imgs.cur.as_ref().map(|i| i.id) != Some(common) {
+        let prev = imgs.prev.take().expect("survivor lacks the agreed boundary image");
+        assert_eq!(prev.id, common, "survivor boundary images diverged by more than one commit");
+        imgs.cur = Some(prev);
+    }
+    let lead = (0..ctx.grid().size())
+        .find(|r| !victims.contains(r))
+        .expect("no survivor in the world");
+    if ctx.rank() == lead {
+        let buf = serialize_ctl_image(imgs.cur.as_ref().unwrap());
+        for &v in victims {
+            dtrace!(ctx, "align: shipping control image to replacement {v}");
+            ctx.send(v, TAG_CTL_IMAGE, &buf);
+        }
+    }
+    if me {
+        let buf = ctx.recv(lead, TAG_CTL_IMAGE);
+        imgs.cur = Some(deserialize_ctl_image(enc, &buf));
+        dtrace!(ctx, "align: received control image from lead {lead}");
+    }
+    // Either way `prev` is now behind the agreed boundary (or synthesized
+    // never existed); the first post-recovery commit re-seeds it.
+    imgs.prev = None;
 }
 
 /// The fault-tolerant distributed Hessenberg reduction (SPMD).
@@ -527,6 +724,39 @@ pub fn ft_pdgehrd_full(
     policy: ScrubPolicy,
     hook: &mut dyn FnMut(&Ctx, &mut Encoded, usize, Phase),
 ) -> Result<FtReport, FtError> {
+    ft_pdgehrd_driver(ctx, enc, variant, tau, policy, hook, false)
+}
+
+/// Entry point for a **respawned replacement process** in a distributed run:
+/// a rank that was SIGKILLed, re-spawned by the launcher and re-admitted by
+/// the transport's epoch-fenced handshake. The replacement holds a freshly
+/// allocated (garbage) encoded matrix; it skips the initial encoding and the
+/// pre-loop boundary and goes straight into the recovery protocol, where the
+/// survivors' agreement names it a victim, a survivor ships it the control
+/// image of the rollback boundary, and §5.3 recovery rebuilds its matrix
+/// data. From then on it runs the driver loop like everybody else and
+/// returns the same result.
+pub fn ft_pdgehrd_replacement(
+    ctx: &Ctx,
+    enc: &mut Encoded,
+    variant: Variant,
+    tau: &mut [f64],
+    policy: ScrubPolicy,
+) -> Result<FtReport, FtError> {
+    assert!(ctx.distributed(), "ft_pdgehrd_replacement only makes sense on a real transport");
+    ft_pdgehrd_driver(ctx, enc, variant, tau, policy, &mut |_, _, _, _| {}, true)
+}
+
+#[allow(clippy::too_many_arguments)] // internal plumbing of the driver loop
+fn ft_pdgehrd_driver(
+    ctx: &Ctx,
+    enc: &mut Encoded,
+    variant: Variant,
+    tau: &mut [f64],
+    policy: ScrubPolicy,
+    hook: &mut dyn FnMut(&Ctx, &mut Encoded, usize, Phase),
+    replacement: bool,
+) -> Result<FtReport, FtError> {
     let n = enc.n();
     let q = ctx.npcol();
     // Q = 1 keeps both checksum copies on the one process column: useless
@@ -542,22 +772,26 @@ pub fn ft_pdgehrd_full(
     let mut report = FtReport::default();
     let t_total = Instant::now();
 
-    let t0 = Instant::now();
-    enc.compute_initial_checksums(ctx);
-    report.encode_secs = t0.elapsed().as_secs_f64();
+    let mut st = DriverState { scope: None, k: 0, panel_idx: 0, resume: Step::Begin };
+    let mut imgs = Images::default();
+
+    if !replacement {
+        let t0 = Instant::now();
+        enc.compute_initial_checksums(ctx);
+        report.encode_secs = t0.elapsed().as_secs_f64();
+    }
 
     // The protection domain opens once the checksums exist — data lost
-    // before that is outside the paper's fault model (§5).
+    // before that is outside the paper's fault model (§5). A replacement
+    // arms immediately: its peers are already deep inside the domain.
     ctx.arm_chaos();
 
-    let mut st = DriverState { scope: None, k: 0, panel_idx: 0, resume: Step::Begin };
-    let mut img: Option<BoundaryImage> = None;
-    if ctx.chaos_enabled() {
+    if ft_live(ctx) && !replacement {
         // Pre-loop boundary: a kill before the first panel's fail point
         // rolls back to "everything encoded, nothing factorized", where the
         // whole matrix is reconstructible from the initial checksums.
         ctx.barrier();
-        img = Some(capture_image(enc, tau, &st, Phase::BeforePanel, enc.groups()));
+        imgs.cur = Some(capture_image(enc, tau, &st, Phase::BeforePanel, enc.groups(), 0));
         ctx.commit_boundary(0);
     }
 
@@ -566,61 +800,90 @@ pub fn ft_pdgehrd_full(
         img: None,
         last_rollback: None,
     };
-    if scrub.engine.active() && scrub.engine.policy.rollback {
+    if scrub.engine.active() && scrub.engine.policy.rollback && !replacement {
         // The freshly encoded matrix is trusted by definition (the paper's
         // protection domain opens here): it is the first verified image.
-        scrub.img = Some(capture_image(enc, tau, &st, Phase::BeforePanel, enc.groups()));
+        // A replacement's buffer is garbage; its first verified image comes
+        // from its first clean boundary scan.
+        scrub.img = Some(capture_image(enc, tau, &st, Phase::BeforePanel, enc.groups(), 0));
     }
 
+    // A replacement enters the recovery protocol before running a single
+    // step: the survivors' agreement is already waiting to name it a victim.
+    let mut need_recovery = replacement;
+
     'run: loop {
-        match catch_interrupt(|| run_loop(ctx, enc, variant, tau, hook, &mut st, &mut img, &mut scrub, &mut report)) {
-            Ok(done) => {
-                done?;
-                break 'run;
+        if !need_recovery {
+            match catch_interrupt(|| run_loop(ctx, enc, variant, tau, hook, &mut st, &mut imgs, &mut scrub, &mut report)) {
+                Ok(done) => {
+                    done?;
+                    break 'run;
+                }
+                Err(_interrupt) => {
+                    // An arbitrary-point failure (or the revocation it
+                    // caused) unwound this rank. Converge on the victim set,
+                    // roll back to the last committed boundary, recover,
+                    // re-execute.
+                    report.chaos_aborts += 1;
+                    dtrace!(ctx, "driver: interrupted, entering agreement");
+                }
             }
-            Err(_interrupt) => {
-                // An arbitrary-point failure (or the revocation it caused)
-                // unwound this rank. Converge on the victim set, roll back
-                // to the last committed boundary, recover, re-execute.
-                report.chaos_aborts += 1;
-                loop {
-                    let agreed = ctx.agree_on_failures();
-                    let image = img.as_ref().expect("chaos abort before the pre-loop boundary image");
-                    if let Err(tol) = recovery::check_tolerance(ctx, enc.redundancy(), &agreed.victims) {
-                        // Deterministic over the agreed set: every rank
-                        // returns this same error, none panics.
-                        return Err(FtError::Unrecoverable {
-                            victims: agreed.victims,
-                            panel: image.panel_idx,
-                            phase: image.phase,
-                            row: tol.row,
-                            count: tol.count,
-                            max_per_row: tol.max_per_row,
-                        });
+        }
+        need_recovery = false;
+        loop {
+            let agreed = ctx.agree_on_failures();
+            let me = agreed.victims.contains(&ctx.rank());
+            dtrace!(ctx, "driver: agreed victims={:?} epoch={} me={me}", agreed.victims, agreed.epoch);
+            if let Err(tol) = recovery::check_tolerance(ctx, enc.redundancy(), &agreed.victims) {
+                // Deterministic over the agreed set: every rank returns
+                // this same error, none panics. A replacement has no image
+                // yet — it reports the pre-loop boundary.
+                let (panel, phase) = imgs.cur.as_ref().map_or((0, Phase::BeforePanel), |i| (i.panel_idx, i.phase));
+                return Err(FtError::Unrecoverable {
+                    victims: agreed.victims,
+                    panel,
+                    phase,
+                    row: tol.row,
+                    count: tol.count,
+                    max_per_row: tol.max_per_row,
+                });
+            }
+            let t = Instant::now();
+            ctx.begin_recovery();
+            let outcome = catch_interrupt(|| {
+                if ctx.distributed() {
+                    dist_align_boundary(ctx, enc, &mut imgs, &agreed.victims, me);
+                }
+                let image = imgs.cur.as_ref().expect("chaos abort before the pre-loop boundary image");
+                restore_image(enc, tau, &mut st, image);
+                let (phase, s, id) = (image.phase, image.s, image.id);
+                dtrace!(ctx, "driver: rolled back to boundary id={id} panel={} phase={phase:?}", st.panel_idx);
+                let sc = st.scope.get_or_insert_with(|| ScopeState::empty(ctx, enc));
+                recovery::recover(ctx, enc, sc, &agreed.victims, me, variant, phase, s);
+                dtrace!(ctx, "driver: §5.3 recovery done");
+                (phase, s, id)
+            });
+            ctx.end_recovery();
+            report.recovery_secs += t.elapsed().as_secs_f64();
+            match outcome {
+                Ok((phase, s, id)) => {
+                    report.recoveries += 1;
+                    report.victims.extend_from_slice(&agreed.victims);
+                    if ctx.distributed() {
+                        // Recapture the boundary from the *recovered* state
+                        // on every rank: a victim's synthesized image holds
+                        // a garbage matrix buffer and an empty scope, and
+                        // must never be rolled back to again.
+                        imgs.cur = Some(capture_image(enc, tau, &st, phase, s, id));
+                        imgs.prev = None;
                     }
-                    restore_image(enc, tau, &mut st, image);
-                    let (phase, s) = (image.phase, image.s);
-                    let me = agreed.victims.contains(&ctx.rank());
-                    let t = Instant::now();
-                    ctx.begin_recovery();
-                    let sc = st.scope.get_or_insert_with(|| ScopeState::empty(ctx, enc));
-                    let outcome = catch_interrupt(|| recovery::recover(ctx, enc, sc, &agreed.victims, me, variant, phase, s));
-                    ctx.end_recovery();
-                    report.recovery_secs += t.elapsed().as_secs_f64();
-                    match outcome {
-                        Ok(()) => {
-                            report.recoveries += 1;
-                            report.victims.extend_from_slice(&agreed.victims);
-                            continue 'run;
-                        }
-                        Err(_nested) => {
-                            // A failure struck during recovery itself. The
-                            // detector round is cumulative, so the next
-                            // agreement returns the union and recovery
-                            // re-enters from the same image.
-                            report.chaos_aborts += 1;
-                        }
-                    }
+                    continue 'run;
+                }
+                Err(_nested) => {
+                    // A failure struck during recovery itself. The detector
+                    // round is cumulative, so the next agreement returns the
+                    // union and recovery re-enters from the same image.
+                    report.chaos_aborts += 1;
                 }
             }
         }
@@ -696,7 +959,7 @@ fn run_loop(
     tau: &mut [f64],
     hook: &mut dyn FnMut(&Ctx, &mut Encoded, usize, Phase),
     st: &mut DriverState,
-    img: &mut Option<BoundaryImage>,
+    imgs: &mut Images,
     scrub: &mut ScrubCtl,
     report: &mut FtReport,
 ) -> Result<(), FtError> {
@@ -718,7 +981,7 @@ fn run_loop(
             }
             let sc = st.scope.as_mut().expect("scope always begins before panels");
             handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::BeforePanel, scrub, report)?;
-            commit_boundary_image(ctx, enc, tau, st, img, Step::Panel, Phase::BeforePanel, s);
+            commit_boundary_image(ctx, enc, tau, st, imgs, Step::Panel, Phase::BeforePanel, s);
             hook(ctx, enc, st.panel_idx, Phase::BeforePanel);
         }
 
@@ -735,7 +998,7 @@ fn run_loop(
             }
             let sc = st.scope.as_mut().unwrap();
             handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::AfterPanel, scrub, report)?;
-            commit_boundary_image(ctx, enc, tau, st, img, Step::Right, Phase::AfterPanel, s);
+            commit_boundary_image(ctx, enc, tau, st, imgs, Step::Right, Phase::AfterPanel, s);
             hook(ctx, enc, st.panel_idx, Phase::AfterPanel);
         }
 
@@ -748,7 +1011,7 @@ fn run_loop(
             ft_right(enc, &f, &ve, st.k + w, n, include_chk, s);
             let sc = st.scope.as_mut().unwrap();
             handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::AfterRightUpdate, scrub, report)?;
-            commit_boundary_image(ctx, enc, tau, st, img, Step::Left, Phase::AfterRightUpdate, s);
+            commit_boundary_image(ctx, enc, tau, st, imgs, Step::Left, Phase::AfterRightUpdate, s);
             hook(ctx, enc, st.panel_idx, Phase::AfterRightUpdate);
         }
 
@@ -757,7 +1020,7 @@ fn run_loop(
             ft_left(ctx, enc, &f, st.k + w, n, include_chk, s);
             let sc = st.scope.as_mut().unwrap();
             handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::AfterLeftUpdate, scrub, report)?;
-            commit_boundary_image(ctx, enc, tau, st, img, Step::ScopeEnd, Phase::AfterLeftUpdate, s);
+            commit_boundary_image(ctx, enc, tau, st, imgs, Step::ScopeEnd, Phase::AfterLeftUpdate, s);
             hook(ctx, enc, st.panel_idx, Phase::AfterLeftUpdate);
         }
 
@@ -841,11 +1104,13 @@ fn run_loop(
         let full_coverage = scope_closing || variant == Variant::NonDelayed;
         if scan_due && full_coverage && scrub.engine.policy.rollback {
             let s_next = if st.k + 2 < n { (st.k / nb) / q } else { enc.groups() };
-            scrub.img = Some(capture_image(enc, tau, st, Phase::BeforePanel, s_next));
+            // Scrub images never enter the distributed boundary agreement
+            // (they are rollback-only, per rank), so their id is unused.
+            scrub.img = Some(capture_image(enc, tau, st, Phase::BeforePanel, s_next, 0));
         }
     }
 
-    if ctx.chaos_enabled() {
+    if ft_live(ctx) {
         // Drain barrier: nobody leaves the protection domain while a peer
         // can still die mid-protocol (agreement needs the full world). No
         // message ops run between this barrier completing and the disarm,

@@ -37,12 +37,13 @@ pub mod scope;
 pub mod scrub;
 
 pub use algorithm::{
-    failpoint, ft_pdgehrd, ft_pdgehrd_full, ft_pdgehrd_hooked, ft_pdgehrd_scrubbed, ve_rows, FtError, FtReport, Phase, Variant,
+    failpoint, ft_pdgehrd, ft_pdgehrd_full, ft_pdgehrd_hooked, ft_pdgehrd_replacement, ft_pdgehrd_scrubbed, ve_rows, FtError,
+    FtReport, Phase, Variant,
 };
 pub use checkpoint_restart::{cr_failpoint, cr_pdgehrd, CrReport};
 pub use encode::{Encoded, Redundancy};
 pub use model::{asymptotic_overhead, flop_model, storage_overhead_elements, FlopModel};
-pub use recovery::{check_tolerance, recover, ToleranceExceeded};
+pub use recovery::{check_tolerance, recover, ToleranceCap, ToleranceExceeded};
 pub use scope::ScopeState;
 pub use scrub::{
     assert_theorem1, diagnose, first_theorem1_violation, local_row_span, locate_member, scan_group, scrub_groups, Diagnosis,

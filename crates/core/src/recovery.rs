@@ -42,6 +42,21 @@ const TAG_A12_RED: Tag = Tag::Recovery(0x1000);
 const TAG_A12_CHK: Tag = Tag::Recovery(0x2000);
 const TAG_A12_PEER: Tag = Tag::Recovery(0x41);
 
+/// Which constraint produced the effective per-row failure budget in
+/// [`check_tolerance`] — the answer to "would a stronger encoding have
+/// helped, or is the grid itself too narrow?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ToleranceCap {
+    /// The checksum encoding itself: `max_failures_per_row()` of the active
+    /// [`Redundancy`] level. More redundancy would raise the budget.
+    Encoding,
+    /// The process grid: only `Q − 1` right-neighbor backup holders exist,
+    /// so fewer victims per row are survivable than the encoding could
+    /// decode. A wider grid (not a stronger encoding) would raise the
+    /// budget.
+    BackupHolders,
+}
+
 /// A victim set that exceeds what the encoding can repair — the typed
 /// verdict of [`check_tolerance`], reported before any recovery work starts.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,26 +65,39 @@ pub struct ToleranceExceeded {
     pub row: usize,
     /// Victims observed in that row.
     pub count: usize,
-    /// The fault model's per-row limit for the active redundancy level.
+    /// The effective per-row limit: `min(encoding_max, Q − 1)`.
     pub max_per_row: usize,
+    /// The encoding's own per-row tolerance, before the `Q − 1` backup
+    /// holder cap.
+    pub encoding_max: usize,
+    /// Which of the two constraints set `max_per_row`.
+    pub cap: ToleranceCap,
 }
 
 /// Check a victim set against the fault model **before** attempting
 /// recovery: at most [`Redundancy::max_failures_per_row`] simultaneous
 /// victims per process row, further capped at `Q − 1` (a victim needs at
-/// least one live backup holder among its right neighbors). Deterministic —
+/// least one live backup holder among its right neighbors — the verdict's
+/// [`ToleranceCap`] says which constraint actually bound). Deterministic —
 /// every rank evaluating the same victim list gets the identical verdict,
 /// which is what lets the driver return the same typed error everywhere
 /// instead of panicking on some ranks.
 pub fn check_tolerance(ctx: &Ctx, redundancy: Redundancy, victims: &[usize]) -> Result<(), ToleranceExceeded> {
-    let max_per_row = redundancy.max_failures_per_row().min(ctx.npcol().saturating_sub(1));
+    let encoding_max = redundancy.max_failures_per_row();
+    let holder_cap = ctx.npcol().saturating_sub(1);
+    let max_per_row = encoding_max.min(holder_cap);
+    let cap = if holder_cap < encoding_max {
+        ToleranceCap::BackupHolders
+    } else {
+        ToleranceCap::Encoding
+    };
     let mut rows: HashMap<usize, usize> = HashMap::new();
     for &v in victims {
         let (pv, _) = ctx.grid().coords_of(v);
         let c = rows.entry(pv).or_insert(0);
         *c += 1;
         if *c > max_per_row {
-            return Err(ToleranceExceeded { row: pv, count: *c, max_per_row });
+            return Err(ToleranceExceeded { row: pv, count: *c, max_per_row, encoding_max, cap });
         }
     }
     Ok(())
@@ -377,6 +405,63 @@ fn recover_areas_1_2(ctx: &Ctx, enc: &mut Encoded, rows: &HashMap<usize, Vec<usi
                     }
                 }
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_runtime::{run_spmd, FaultScript};
+
+    /// `Dual` decodes 2 losses per row, but on a 1×2 grid only one backup
+    /// holder exists — the effective budget is 1 and the verdict must blame
+    /// the grid, not the encoding.
+    #[test]
+    fn tolerance_cap_names_the_backup_holder_limit() {
+        let verdicts = run_spmd(1, 2, FaultScript::none(), |ctx| check_tolerance(&ctx, Redundancy::Dual, &[0, 1]));
+        for v in verdicts {
+            let e = v.expect_err("two victims in one row exceed the 1-holder budget");
+            assert_eq!(
+                e,
+                ToleranceExceeded {
+                    row: 0,
+                    count: 2,
+                    max_per_row: 1,
+                    encoding_max: 2,
+                    cap: ToleranceCap::BackupHolders,
+                }
+            );
+        }
+    }
+
+    /// On a grid wide enough for the holders, overflowing the budget is the
+    /// encoding's own fault: 3 same-row victims against `Dual`'s 2.
+    #[test]
+    fn tolerance_cap_names_the_encoding_limit() {
+        let verdicts = run_spmd(1, 4, FaultScript::none(), |ctx| check_tolerance(&ctx, Redundancy::Dual, &[0, 1, 2]));
+        for v in verdicts {
+            let e = v.expect_err("three victims in one row exceed Dual's tolerance");
+            assert_eq!(
+                e,
+                ToleranceExceeded {
+                    row: 0,
+                    count: 3,
+                    max_per_row: 2,
+                    encoding_max: 2,
+                    cap: ToleranceCap::Encoding,
+                }
+            );
+        }
+    }
+
+    /// Within budget on both axes: `Single` tolerates one victim per row,
+    /// and one per row is exactly what this set has.
+    #[test]
+    fn tolerance_accepts_one_victim_per_row() {
+        let verdicts = run_spmd(2, 2, FaultScript::none(), |ctx| check_tolerance(&ctx, Redundancy::Single, &[0, 3]));
+        for v in verdicts {
+            v.expect("one victim per process row is within Single's budget");
         }
     }
 }

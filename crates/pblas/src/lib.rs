@@ -31,5 +31,6 @@ pub use panel::{pdlahrd, replicate_reflector_block, PanelFactors};
 pub use pdgemm::pdgemm;
 pub use update::{apply_panel_updates, left_update, left_update_op, right_update};
 pub use verify::{
-    pd_chk_block_residual, pd_extract_h, pd_gather_traffic, pd_hessenberg_residual, pd_inf_norm, pd_orghr, Theorem1Violation,
+    pd_chk_block_residual, pd_extract_h, pd_gather_traffic, pd_gather_transport, pd_hessenberg_residual, pd_inf_norm, pd_orghr,
+    Theorem1Violation,
 };

@@ -10,7 +10,7 @@ use crate::update::left_update_op;
 use ft_dense::Matrix;
 use ft_dense::{Trans, EPS};
 use ft_lapack::householder::larft;
-use ft_runtime::{Ctx, Tag, TrafficLedger};
+use ft_runtime::{Ctx, Tag, TrafficLedger, TransportStats};
 
 const TAG_NORM: Tag = Tag::User(0x170);
 
@@ -182,6 +182,19 @@ pub fn pd_gather_traffic(ctx: &Ctx, tag: impl Into<Tag>) -> TrafficLedger {
     let mut row = ctx.traffic().to_f64_row();
     ctx.allreduce_sum_world(&mut row, tag);
     TrafficLedger::from_f64_row(&row)
+}
+
+/// Grid-wide transport wire counters: every process's per-peer
+/// [`TransportStats`] summed over the world (collective; replicated
+/// result). After the sum, row `r` holds the whole grid's traffic *to*
+/// peer `r` — frames, bytes, connect retries, reconnects and heartbeat
+/// misses. All zeros on in-process fabrics, which keep no wire counters;
+/// over TCP this is the CLI's per-rank transport table.
+pub fn pd_gather_transport(ctx: &Ctx, tag: impl Into<Tag>) -> TransportStats {
+    let world = ctx.grid().size();
+    let mut rows = ctx.transport_stats().to_f64_rows(world);
+    ctx.allreduce_sum_world(&mut rows, tag);
+    TransportStats::from_f64_rows(&rows)
 }
 
 /// The paper's §7.3 residual `r∞ = ‖A − Q·H·Qᵀ‖∞ / (‖A‖∞·N·ε)`, computed

@@ -278,6 +278,30 @@ impl Ctx {
         let members: Vec<usize> = (0..self.grid().size()).collect();
         self.allreduce_sum_group(&members, data, tag.into());
     }
+
+    /// Element-wise minimum all-reduce over the whole grid: linear gather
+    /// to rank 0, then tree broadcast of the result. Used by the
+    /// distributed recovery path to agree on the common rollback boundary
+    /// — tiny payloads off the critical path, so the linear gather is fine.
+    pub fn allreduce_min_world(&self, data: &mut [f64], tag: impl Into<Tag>) {
+        let tag = tag.into();
+        let world = self.grid().size();
+        if world > 1 {
+            if self.rank() == 0 {
+                for src in 1..world {
+                    let part = self.recv_wire(src, tag.wire(Leg::Reduce));
+                    for (d, p) in data.iter_mut().zip(part.iter()) {
+                        *d = d.min(*p);
+                    }
+                }
+            } else {
+                self.send_wire(0, tag.wire(Leg::Reduce), tag.phase(), Arc::from(&*data));
+            }
+        }
+        let mut v = data.to_vec();
+        self.bcast_world(0, &mut v, tag);
+        data.copy_from_slice(&v);
+    }
 }
 
 #[cfg(test)]

@@ -15,8 +15,22 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Receive timeout — a deadlock in the SPMD protocol aborts loudly instead
-/// of hanging the test suite.
-const RECV_TIMEOUT: Duration = Duration::from_secs(600);
+/// of hanging the test suite. 120 s by default: generous for a peer that is
+/// compute-bound between frames, yet well inside the distributed launcher's
+/// 600 s watchdog so the typed panic (with its known-dead diagnosis) is what
+/// reaches the user, not a SIGKILL. `FT_RECV_TIMEOUT_MS` overrides it so
+/// integration tests can assert that a wedged protocol fails *typed and
+/// bounded* instead of hanging.
+pub(crate) fn recv_timeout() -> Duration {
+    use std::sync::OnceLock;
+    static MS: OnceLock<u64> = OnceLock::new();
+    Duration::from_millis(*MS.get_or_init(|| {
+        std::env::var("FT_RECV_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120_000)
+    }))
+}
 
 /// Receive poll granularity: how often a blocked receive re-checks the
 /// revocation flag and peer liveness while waiting. Control messages from
@@ -26,6 +40,18 @@ const RECV_POLL: Duration = Duration::from_millis(50);
 /// Wire key of the runtime's control channel (death notices). Outside the
 /// [`Tag`] encoding, so it can never collide with algorithm traffic.
 pub(crate) const CTRL_WIRE: u64 = u64::MAX;
+
+/// Distributed agreement frames (see [`crate::dist`]).
+pub(crate) const AGREE_WIRE: u64 = u64::MAX - 1;
+
+/// Distributed barrier arrival frames (see [`crate::dist`]).
+pub(crate) const BARRIER_WIRE: u64 = u64::MAX - 2;
+
+/// Lower edge of the distributed-control wire band. Frames at or above
+/// this key carry their own epoch/generation in the payload and bypass the
+/// normal epoch filter (an agreement frame *is* how epochs advance, so it
+/// cannot be fenced by them). Far outside the [`Tag`] encoding.
+pub(crate) const DIST_CTRL_MIN: u64 = u64::MAX - 15;
 
 /// Everything shared by the whole world, built once per [`crate::run_spmd`].
 pub(crate) struct World {
@@ -66,34 +92,41 @@ impl World {
         }
     }
 
+    /// Build the single [`Ctx`] of one *process* in a multi-process world:
+    /// the transport is the process's only tie to its peers, so the
+    /// detector is process-local and barriers/agreement run as message
+    /// protocols (see [`crate::dist`]) instead of shared-memory rendezvous.
+    pub(crate) fn distributed_ctx(grid: Grid, chaos: Arc<ChaosScript>, transport: Box<dyn Transport>) -> Ctx {
+        assert_eq!(transport.world_size(), grid.size(), "transport world != grid size");
+        let rank = transport.rank();
+        let mut ctx = Ctx::build(
+            rank,
+            grid,
+            transport,
+            Arc::new(Detector::default()),
+            Arc::new(FaultScript::none()),
+            chaos,
+            Arc::new(SdcScript::none()),
+        );
+        ctx.dist = true;
+        ctx
+    }
+
     pub(crate) fn into_ctxs(self) -> Vec<Ctx> {
         let World { grid, transports, detector, script, chaos, sdc } = self;
         transports
             .into_iter()
             .enumerate()
-            .map(|(rank, transport)| Ctx {
-                rank,
-                grid,
-                transport,
-                stash: RefCell::new(HashMap::new()),
-                detector: Arc::clone(&detector),
-                script: Arc::clone(&script),
-                chaos: Arc::clone(&chaos),
-                sdc: Arc::clone(&sdc),
-                sdc_fired: RefCell::new(HashSet::new()),
-                sdc_pending: RefCell::new(Vec::new()),
-                board_cursor: Cell::new(0),
-                fired_points: RefCell::new(HashSet::new()),
-                epoch: Cell::new(0),
-                chaos_armed: Cell::new(false),
-                ops: Cell::new(0),
-                chaos_fired: RefCell::new(HashSet::new()),
-                in_recovery: Cell::new(false),
-                recovery_round: Cell::new(0),
-                recovery_ops: Cell::new(0),
-                bytes_sent: Cell::new(0),
-                msgs_sent: Cell::new(0),
-                ledger: RefCell::new(TrafficLedger::default()),
+            .map(|(rank, transport)| {
+                Ctx::build(
+                    rank,
+                    grid,
+                    transport,
+                    Arc::clone(&detector),
+                    Arc::clone(&script),
+                    Arc::clone(&chaos),
+                    Arc::clone(&sdc),
+                )
             })
             .collect()
     }
@@ -120,11 +153,13 @@ pub enum FailCheck {
 pub struct Ctx {
     rank: usize,
     grid: Grid,
-    transport: Box<dyn Transport>,
-    /// Out-of-order stash for selective receive by `(src, wire)`.
+    pub(crate) transport: Box<dyn Transport>,
+    /// Out-of-order stash for selective receive by `(src, wire)`; each
+    /// entry keeps the envelope epoch so an agreement can flush exactly
+    /// the aborted epoch's data frames and no newer ones.
     #[allow(clippy::type_complexity)] // (src, wire) → FIFO of payloads; a type alias would obscure it
-    stash: RefCell<HashMap<(usize, u64), VecDeque<Arc<[f64]>>>>,
-    detector: Arc<Detector>,
+    pub(crate) stash: RefCell<HashMap<(usize, u64), VecDeque<(u64, Arc<[f64]>)>>>,
+    pub(crate) detector: Arc<Detector>,
     script: Arc<FaultScript>,
     chaos: Arc<ChaosScript>,
     sdc: Arc<SdcScript>,
@@ -141,7 +176,22 @@ pub struct Ctx {
     fired_points: RefCell<HashSet<u64>>,
     /// Communication epoch: bumped by each failure agreement; messages
     /// stamped with an older epoch are stragglers from an aborted attempt.
-    epoch: Cell<u64>,
+    pub(crate) epoch: Cell<u64>,
+    /// Multi-process world: this `Ctx` is alone in its process, peers are
+    /// reachable only through the transport. Barriers and agreement run as
+    /// message protocols ([`crate::dist`]), peer deaths are detected from
+    /// the wire (heartbeat silence / EOF) and swept into the detector.
+    pub(crate) dist: bool,
+    /// Distributed-barrier generation within the current epoch.
+    pub(crate) bar_gen: Cell<u64>,
+    /// Peers already swept into the detector as dead (reset when a
+    /// replacement comes back alive, so a re-death is re-reported).
+    pub(crate) swept: RefCell<Vec<bool>>,
+    /// Highest peer incarnation already folded into the detector. A bump
+    /// above this is positive death evidence even when the replacement
+    /// reconnected faster than the silence threshold: the handshake saying
+    /// "incarnation k+1" proves incarnation k is gone.
+    pub(crate) seen_inc: RefCell<Vec<u32>>,
     /// Chaos injection armed (the algorithm's protection domain is active).
     chaos_armed: Cell<bool>,
     /// Message operations performed since arming (chaos clock).
@@ -158,10 +208,73 @@ pub struct Ctx {
 }
 
 impl Ctx {
+    #[allow(clippy::too_many_arguments)] // private assembly point for the two world shapes
+    fn build(
+        rank: usize,
+        grid: Grid,
+        transport: Box<dyn Transport>,
+        detector: Arc<Detector>,
+        script: Arc<FaultScript>,
+        chaos: Arc<ChaosScript>,
+        sdc: Arc<SdcScript>,
+    ) -> Ctx {
+        let world = grid.size();
+        Ctx {
+            rank,
+            grid,
+            transport,
+            stash: RefCell::new(HashMap::new()),
+            detector,
+            script,
+            chaos,
+            sdc,
+            sdc_fired: RefCell::new(HashSet::new()),
+            sdc_pending: RefCell::new(Vec::new()),
+            board_cursor: Cell::new(0),
+            fired_points: RefCell::new(HashSet::new()),
+            epoch: Cell::new(0),
+            dist: false,
+            bar_gen: Cell::new(0),
+            swept: RefCell::new(vec![false; world]),
+            seen_inc: RefCell::new(vec![0; world]),
+            chaos_armed: Cell::new(false),
+            ops: Cell::new(0),
+            chaos_fired: RefCell::new(HashSet::new()),
+            in_recovery: Cell::new(false),
+            recovery_round: Cell::new(0),
+            recovery_ops: Cell::new(0),
+            bytes_sent: Cell::new(0),
+            msgs_sent: Cell::new(0),
+            ledger: RefCell::new(TrafficLedger::default()),
+        }
+    }
+
     /// This process's rank in `0..P·Q`.
     #[inline]
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// Whether this `Ctx` runs in a multi-process (distributed) world.
+    #[inline]
+    pub fn distributed(&self) -> bool {
+        self.dist
+    }
+
+    /// Snapshot of the transport's per-peer wire counters (all-zero for
+    /// the in-process fabric).
+    pub fn transport_stats(&self) -> crate::transport::TransportStats {
+        self.transport.stats()
+    }
+
+    /// Pre-seed the fired set of the chaos injector — a respawned
+    /// replacement process is told which kills already struck so they do
+    /// not re-fire on its fresh op clock.
+    pub fn mark_chaos_fired(&self, indices: &[usize]) {
+        let mut fired = self.chaos_fired.borrow_mut();
+        for &i in indices {
+            fired.insert(i);
+        }
     }
 
     /// The grid geometry.
@@ -262,7 +375,7 @@ impl Ctx {
 
     pub(crate) fn recv_wire(&self, src: usize, wire: u64) -> Arc<[f64]> {
         self.chaos_tick();
-        match self.recv_wire_impl(src, wire, RECV_TIMEOUT) {
+        match self.recv_wire_impl(src, wire, recv_timeout()) {
             Ok(p) => p,
             // A dead peer without agreement yet is the same condition as a
             // revocation: abort to the next agreement point.
@@ -275,21 +388,49 @@ impl Ctx {
 
     fn recv_wire_impl(&self, src: usize, wire: u64, timeout: Duration) -> Result<Arc<[f64]>, CommError> {
         if let Some(q) = self.stash.borrow_mut().get_mut(&(src, wire)) {
-            if let Some(d) = q.pop_front() {
+            if let Some((_, d)) = q.pop_front() {
                 return Ok(d);
             }
         }
-        let chaos_on = !self.chaos.is_empty();
+        // In a distributed world failures come from the wire, not from a
+        // script — the failure paths are always armed there.
+        let failures_on = !self.chaos.is_empty() || self.dist;
         let mut waited = Duration::ZERO;
         loop {
-            if chaos_on && self.detector.is_revoked() {
-                return Err(CommError::Revoked);
-            }
+            // Liveness is judged only when the inbox runs dry (the Timeout
+            // arm): a frame that already made it across the wire must beat
+            // a concurrently-observed death, or a rank that finished and
+            // closed its sockets reads as failed to a slow receiver that
+            // still holds the rank's final frame unread.
             let slice = RECV_POLL.min(timeout.saturating_sub(waited));
             match self.transport.recv(slice) {
                 Ok(msg) => {
                     if msg.wire == CTRL_WIRE {
                         continue; // death notice: the loop re-checks the flags
+                    }
+                    if msg.wire >= DIST_CTRL_MIN {
+                        // Distributed control frames fence themselves (the
+                        // epoch/generation rides in the payload); stash for
+                        // the protocol in `crate::dist` to consume.
+                        let agree_frame = msg.wire == AGREE_WIRE;
+                        self.stash
+                            .borrow_mut()
+                            .entry((msg.src, msg.wire))
+                            .or_default()
+                            .push_back((msg.epoch, msg.payload));
+                        // An agreement frame doubles as a revocation
+                        // notice: its sender is already in the failure
+                        // handler, and a steady gossip stream would starve
+                        // the dry-inbox arm below, so the liveness fold
+                        // and the revocation check cannot wait for a
+                        // quiet inbox.
+                        if agree_frame {
+                            self.sweep_dead_peers();
+                            if self.detector.is_revoked() {
+                                return Err(CommError::Revoked);
+                            }
+                        }
+                        continue;
                     }
                     if msg.epoch < self.epoch.get() {
                         continue; // straggler from an aborted (revoked) epoch
@@ -301,12 +442,18 @@ impl Ctx {
                         .borrow_mut()
                         .entry((msg.src, msg.wire))
                         .or_default()
-                        .push_back(msg.payload);
+                        .push_back((msg.epoch, msg.payload));
                 }
                 Err(CommError::Timeout) => {
                     // Inbox drained: a closed peer endpoint is now a real
                     // failure, not just in-flight data racing the death.
-                    if chaos_on && self.transport.is_peer_dead(src) {
+                    if self.dist {
+                        self.sweep_dead_peers();
+                    }
+                    if failures_on && self.detector.is_revoked() {
+                        return Err(CommError::Revoked);
+                    }
+                    if failures_on && self.transport.is_peer_dead(src) {
                         return Err(CommError::PeerDead { peer: src });
                     }
                     waited += slice;
@@ -315,6 +462,40 @@ impl Ctx {
                     }
                 }
                 Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Fold transport-level death evidence (heartbeat silence, connection
+    /// EOF) into the local detector — the distributed replacement for a
+    /// dying peer's shared-memory `revoke`. Idempotent per death; a peer
+    /// that comes back (replacement reconnected) re-arms its slot so a
+    /// second death is reported again.
+    pub(crate) fn sweep_dead_peers(&self) {
+        let mut swept = self.swept.borrow_mut();
+        let mut seen_inc = self.seen_inc.borrow_mut();
+        for r in 0..self.grid.size() {
+            if r == self.rank {
+                continue;
+            }
+            // A reconnect handshake reporting a higher incarnation proves
+            // the previous incarnation died, even if the replacement came
+            // back up inside the silence threshold (a fast launcher
+            // respawns the victim in milliseconds — the slot never looks
+            // dead, but a death happened all the same).
+            let inc = self.transport.peer_incarnation(r);
+            if inc > seen_inc[r] {
+                seen_inc[r] = inc;
+                self.detector.revoke(r);
+                continue; // the slot is alive again: skip the silence check
+            }
+            if self.transport.is_peer_dead(r) {
+                if !swept[r] {
+                    swept[r] = true;
+                    self.detector.revoke(r);
+                }
+            } else {
+                swept[r] = false;
             }
         }
     }
@@ -330,7 +511,7 @@ impl Ctx {
         panic!(
             "rank {}: recv(src={src}, tag={what}) failed: {err} after {:?} — SPMD protocol deadlock; known dead/failed ranks: {:?}",
             self.rank,
-            RECV_TIMEOUT,
+            recv_timeout(),
             self.known_dead()
         )
     }
@@ -354,6 +535,12 @@ impl Ctx {
     /// waiting, the barrier aborts (all-or-none per generation) and the
     /// call unwinds to the enclosing failure handler.
     pub fn barrier(&self) {
+        if self.dist {
+            if self.dist_barrier().is_err() {
+                detect::raise_interrupt(InterruptReason::Revoked, self.rank);
+            }
+            return;
+        }
         if self.detector.barrier(self.grid.size()).is_err() {
             detect::raise_interrupt(InterruptReason::Revoked, self.rank);
         }
@@ -462,6 +649,9 @@ impl Ctx {
     /// on receive), the local out-of-order stash is purged, and victims
     /// reopen their transport endpoints as replacement processes.
     pub fn agree_on_failures(&self) -> FailureAgreement {
+        if self.dist {
+            return self.dist_agree();
+        }
         // The victim reopens *before* the rendezvous: agreement is a full
         // barrier, so by reopening first we guarantee no survivor can send
         // to a still-closed replacement endpoint afterwards (the message
@@ -525,9 +715,26 @@ impl Ctx {
         };
         if let Some(idx) = self.chaos.kill_index(self.rank, op, rec) {
             if self.chaos_fired.borrow_mut().insert(idx) {
-                self.die();
+                if self.dist {
+                    self.dist_die(idx);
+                } else {
+                    self.die();
+                }
             }
         }
+    }
+
+    /// Real process death for the distributed chaos mode: announce the
+    /// strike on stdout so the parent launcher delivers an actual SIGKILL
+    /// at this exact op boundary, then stall. If no parent is watching
+    /// (standalone child), abort after a grace period — death must stay
+    /// abrupt either way, so peers see sockets drop, not a clean shutdown.
+    fn dist_die(&self, idx: usize) -> ! {
+        use std::io::Write;
+        println!("FT_CHAOS_KILL rank={} idx={idx}", self.rank);
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_secs(5));
+        std::process::abort();
     }
 
     /// Fail-stop death of this process: revoke the world, close the

@@ -264,10 +264,46 @@ impl Detector {
         }
     }
 
-    /// Current epoch (used by replacements joining after agreement).
-    #[cfg(test)]
+    /// Current epoch (used by replacements joining after agreement and by
+    /// the distributed agreement protocol, which stamps it into frames).
     pub(crate) fn epoch(&self) -> u64 {
         self.lock().epoch
+    }
+
+    /// Adopt victims learned from a peer's view during a distributed
+    /// agreement iteration into the current round (the message-protocol
+    /// analogue of hearing an `announce`/`revoke` through shared memory).
+    pub(crate) fn merge_round(&self, victims: &[usize]) {
+        if victims.is_empty() {
+            return;
+        }
+        let mut st = self.lock();
+        for &v in victims {
+            st.round.insert(v);
+        }
+        self.dirty.store(true, Ordering::Release);
+    }
+
+    /// Install the converged result of a *distributed* agreement: `victims`
+    /// is the union every rank computed from the exchanged views, `epoch`
+    /// the new communication epoch. Mirrors what the shared-memory
+    /// rendezvous does on completion — with one difference: a death this
+    /// rank observed locally but that did not make it into the union (it
+    /// raced the exchange) stays pending and keeps the world revoked, so
+    /// the very next communication call aborts into a fresh agreement
+    /// instead of silently dropping the victim.
+    pub(crate) fn apply_remote_agreement(&self, victims: &[usize], epoch: u64) {
+        let mut st = self.lock();
+        for &v in victims {
+            st.round.insert(v);
+        }
+        st.epoch = epoch;
+        st.agree_victims = victims.to_vec();
+        st.pending_revoked = st.round.iter().copied().filter(|v| !victims.contains(v)).collect();
+        st.revoked = !st.pending_revoked.is_empty();
+        self.revoked.store(st.revoked, Ordering::Release);
+        self.dirty.store(true, Ordering::Release);
+        self.cv.notify_all();
     }
 }
 

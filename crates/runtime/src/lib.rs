@@ -41,9 +41,11 @@
 pub mod collectives;
 pub mod comm;
 pub mod detect;
+pub mod dist;
 pub mod fault;
 pub mod grid;
 pub mod tag;
+pub mod tcp;
 pub mod transport;
 
 pub use collectives::PendingBcast;
@@ -52,7 +54,8 @@ pub use detect::{catch_interrupt, FailureAgreement, Interrupt, InterruptReason};
 pub use fault::{poisson_failures, ChaosKill, ChaosPoint, ChaosScript, FaultScript, PlannedFailure, SdcFlip, SdcScript};
 pub use grid::Grid;
 pub use tag::{PhaseTraffic, Tag, TrafficLedger, TrafficPhase};
-pub use transport::{CommError, MpscTransport, Msg, Transport};
+pub use tcp::{TcpConfig, TcpTransport};
+pub use transport::{CommError, MpscTransport, Msg, PeerCounters, Transport, TransportStats};
 
 use std::sync::Arc;
 
@@ -129,6 +132,23 @@ where
         transports,
     );
     run_world(p, q, world, f)
+}
+
+/// Run **one rank** of a multi-process world: this process owns a single
+/// [`Ctx`] whose only tie to its `p·q − 1` peers is `transport` (typically
+/// a [`tcp::TcpTransport`]). Barriers and failure agreement run as message
+/// protocols over reserved control wires ([`dist`]); peer deaths are
+/// detected from the wire (heartbeat silence / connection EOF) instead of
+/// a shared revocation flag. The chaos script is evaluated against this
+/// rank's op clock exactly as in-process, but a strike is a *real* process
+/// death: the victim emits a `FT_CHAOS_KILL` marker for the launcher to
+/// SIGKILL it (aborting itself if nobody does).
+pub fn run_distributed<R>(p: usize, q: usize, chaos: ChaosScript, transport: Box<dyn Transport>, f: impl FnOnce(Ctx) -> R) -> R {
+    // Real peers can die at any time, chaos script or not: interrupt
+    // unwinds are normal control flow here, keep them off stderr.
+    detect::install_quiet_interrupt_hook();
+    let ctx = comm::World::distributed_ctx(Grid::new(p, q), Arc::new(chaos), transport);
+    f(ctx)
 }
 
 fn run_world<R, F>(p: usize, q: usize, world: comm::World, f: F) -> Vec<R>

@@ -310,6 +310,28 @@ mod tests {
     }
 
     #[test]
+    fn max_tag_wire_stays_below_the_control_channels() {
+        // The distributed runtime reserves [DIST_CTRL_MIN, u64::MAX] for
+        // its control wires (heartbeats ride frame kinds, but barrier/
+        // agreement frames ride reserved wire keys). The largest key the
+        // tag encoding can produce must stay strictly below them, so no
+        // user message can ever masquerade as control traffic.
+        let max_wire = [
+            Tag::User(u32::MAX),
+            Tag::Panel(u16::MAX),
+            Tag::Trailing(u16::MAX),
+            Tag::Checksum(u16::MAX),
+            Tag::Checkpoint(u16::MAX),
+            Tag::Recovery(u16::MAX),
+        ]
+        .into_iter()
+        .map(|t| t.wire(Leg::Bcast))
+        .max()
+        .unwrap();
+        assert!(max_wire < crate::comm::DIST_CTRL_MIN, "tag wire space reaches the control channels");
+    }
+
+    #[test]
     fn offset_stays_in_subsystem() {
         let t = Tag::Checkpoint(0x10).offset(3);
         assert_eq!(t, Tag::Checkpoint(0x13));

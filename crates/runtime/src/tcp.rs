@@ -1,0 +1,917 @@
+//! Real multi-process transport over `std::net` TCP (localhost-oriented,
+//! std-only) — the second [`Transport`] implementation next to the default
+//! in-process [`crate::transport::MpscTransport`].
+//!
+//! ## Wire format
+//!
+//! Every frame is length-prefixed and self-describing:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length in f64 words (u32 LE)
+//! 4       1     kind: 0 = HELLO, 1 = HEARTBEAT, 2 = DATA
+//! 5       3     reserved (zero)
+//! 8       4     source rank (u32 LE)
+//! 12      4     source incarnation (u32 LE)
+//! 16      8     wire key — the encoded (Tag, Leg) mailbox (u64 LE)
+//! 24      8     sender communication epoch (u64 LE)
+//! 32      8·len payload (f64 LE)
+//! ```
+//!
+//! The epoch stamped in every frame is the sender's detector epoch, so the
+//! epoch fencing that drops stragglers from aborted attempts works
+//! identically over TCP and over the in-process fabric. The incarnation in
+//! every frame (and in the HELLO handshake that opens each connection) is
+//! how a respawned replacement rank is told apart from its dead
+//! predecessor: peers track the highest incarnation seen per rank, and the
+//! distributed agreement discards frames from older incarnations.
+//!
+//! ## Topology and threads
+//!
+//! Rank `r` listens on `addrs[r]`; the *sender* owns the outbound
+//! connection of each `(src → dst)` pair. Per endpoint:
+//!
+//! * one accept thread (registers inbound connections after their HELLO),
+//! * one reader thread per inbound connection (frames → shared inbox),
+//! * one sender thread per peer, fed by a bounded queue ([`Transport::send`]
+//!   never blocks — when the queue is full because the peer is gone, frames
+//!   are dropped, which is exactly the fail-stop "sends to a dead endpoint
+//!   vanish" semantics of the mpsc fabric),
+//! * one heartbeat thread (beats every [`TcpConfig::hb_interval`], counts
+//!   missed beats per peer).
+//!
+//! ## Failure detection
+//!
+//! [`Transport::is_peer_dead`] reports a peer whose inbound connection hit
+//! EOF/error and did not come back within a couple of heartbeats, or whose
+//! last frame (heartbeats included) is older than
+//! `hb_miss_limit × hb_interval`. A SIGKILLed process trips the EOF fast
+//! path as the kernel closes its sockets; a hung one trips the silence
+//! threshold. The death feeds the existing ULFM-style detector through
+//! [`crate::Ctx`]'s dead-peer sweep, so agreement and recovery upstairs run
+//! unchanged. Connection establishment retries with exponential backoff and
+//! deterministic jitter until [`TcpConfig::conn_timeout`] is exhausted.
+
+use crate::transport::{CommError, Msg, PeerCounters, Transport, TransportStats};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const KIND_HELLO: u8 = 0;
+const KIND_HEARTBEAT: u8 = 1;
+const KIND_DATA: u8 = 2;
+/// Clean-shutdown announcement, sent from `Drop`. A SIGKILLed or aborted
+/// process never runs `Drop`, so a GOODBYE reliably separates "finished
+/// and left" from "died": a departed peer is not judged dead no matter how
+/// long its sockets stay silent.
+const KIND_GOODBYE: u8 = 3;
+
+const HEADER_LEN: usize = 32;
+/// Sanity cap on a frame's payload (words): a corrupt length prefix must
+/// not turn into a multi-gigabyte allocation.
+const MAX_PAYLOAD_WORDS: u32 = 1 << 28;
+/// Depth of each per-peer outbound queue.
+const SEND_QUEUE_DEPTH: usize = 1024;
+/// Granularity at which blocking socket reads re-check the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Knobs for a [`TcpTransport`] endpoint.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// This endpoint's rank.
+    pub rank: usize,
+    /// Number of ranks in the fabric.
+    pub world: usize,
+    /// Heartbeat period.
+    pub hb_interval: Duration,
+    /// Beats of silence after which a peer is suspected dead.
+    pub hb_miss_limit: u32,
+    /// Total budget for establishing one outbound connection (spent across
+    /// exponentially backed-off, jittered attempts).
+    pub conn_timeout: Duration,
+    /// This process's incarnation (0 originally; respawns bump it).
+    pub incarnation: u32,
+    /// Seed for the backoff jitter (kept deterministic per rank).
+    pub jitter_seed: u64,
+}
+
+impl TcpConfig {
+    /// Defaults tuned for localhost child processes: 100 ms beats, dead
+    /// after 30 missed (3 s), 10 s connect budget. Generous on purpose —
+    /// CI boxes with a single core timeslice several ranks onto one CPU,
+    /// and a starved heartbeat thread must not read as a death.
+    pub fn new(rank: usize, world: usize) -> Self {
+        TcpConfig {
+            rank,
+            world,
+            hb_interval: Duration::from_millis(100),
+            hb_miss_limit: 30,
+            conn_timeout: Duration::from_secs(10),
+            incarnation: 0,
+            jitter_seed: 0x9e3779b97f4a7c15 ^ rank as u64,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    frames_tx: AtomicU64,
+    bytes_tx: AtomicU64,
+    frames_rx: AtomicU64,
+    bytes_rx: AtomicU64,
+    retries: AtomicU64,
+    reconnects: AtomicU64,
+    hb_misses: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> PeerCounters {
+        PeerCounters {
+            frames_tx: self.frames_tx.load(Ordering::Relaxed),
+            bytes_tx: self.bytes_tx.load(Ordering::Relaxed),
+            frames_rx: self.frames_rx.load(Ordering::Relaxed),
+            bytes_rx: self.bytes_rx.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            hb_misses: self.hb_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct PeerState {
+    /// Milliseconds (since transport start) of the last frame from this
+    /// peer; 0 = never heard from them.
+    last_seen_ms: AtomicU64,
+    /// The current inbound connection is live (HELLO seen, no EOF yet).
+    inbound_alive: AtomicBool,
+    /// Generation of the current inbound connection, so a stale reader's
+    /// EOF cannot clobber the state of its replacement connection.
+    conn_gen: AtomicU64,
+    /// Highest incarnation seen from this rank.
+    incarnation: AtomicU32,
+    /// The peer announced a clean shutdown (GOODBYE frame): silence and
+    /// EOF from it are departure, not death. Cleared when a later
+    /// incarnation's HELLO re-opens the slot.
+    departed: AtomicBool,
+    counters: Counters,
+}
+
+struct Shared {
+    rank: usize,
+    incarnation: u32,
+    start: Instant,
+    hb_interval: Duration,
+    hb_miss_limit: u32,
+    shutdown: AtomicBool,
+    peers: Vec<PeerState>,
+    inbox_tx: Mutex<Sender<Msg>>,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn touch(&self, peer: usize) {
+        self.peers[peer].last_seen_ms.store(self.now_ms().max(1), Ordering::Relaxed);
+    }
+
+    fn done(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+enum Outbound {
+    Frame(Msg),
+    Heartbeat,
+    Goodbye,
+}
+
+/// TCP endpoint: see the module docs for wire format and thread layout.
+pub struct TcpTransport {
+    shared: Arc<Shared>,
+    addrs: Vec<SocketAddr>,
+    conn_timeout: Duration,
+    inbox_rx: Receiver<Msg>,
+    senders: Vec<Option<SyncSender<Outbound>>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl TcpTransport {
+    /// Bind `127.0.0.1:(port_base + rank)` and connect the endpoint into a
+    /// fabric whose rank `i` listens on `port_base + i`. The bind retries
+    /// for up to `conn_timeout` so a respawned replacement can win its
+    /// predecessor's port back from the kernel.
+    pub fn connect(cfg: TcpConfig, port_base: u16) -> io::Result<TcpTransport> {
+        let addrs: Vec<SocketAddr> = (0..cfg.world)
+            .map(|r| SocketAddr::from(([127, 0, 0, 1], port_base + r as u16)))
+            .collect();
+        let deadline = Instant::now() + cfg.conn_timeout;
+        let listener = loop {
+            match TcpListener::bind(addrs[cfg.rank]) {
+                Ok(l) => break l,
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        Self::with_listener(cfg, addrs, listener)
+    }
+
+    /// Build a fully connected localhost fabric of `n` endpoints on
+    /// ephemeral ports — the in-process test harness for the real wire.
+    /// Liveness thresholds are made very generous (30 s) because the
+    /// fabric's ranks are threads of one process sharing however few CPUs
+    /// the test host has: nobody in these fabrics dies for real, so fast
+    /// detection buys nothing and scheduler starvation must not look like
+    /// a death. Death-detection tests build their own tight configs via
+    /// [`TcpTransport::with_listener`].
+    pub fn fabric_localhost(n: usize) -> io::Result<Vec<TcpTransport>> {
+        let listeners: Vec<TcpListener> = (0..n).map(|_| TcpListener::bind("127.0.0.1:0")).collect::<io::Result<_>>()?;
+        let addrs: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr()).collect::<io::Result<_>>()?;
+        listeners
+            .into_iter()
+            .enumerate()
+            .map(|(rank, l)| {
+                let mut cfg = TcpConfig::new(rank, n);
+                cfg.hb_interval = Duration::from_millis(500);
+                cfg.hb_miss_limit = 60;
+                Self::with_listener(cfg, addrs.clone(), l)
+            })
+            .collect()
+    }
+
+    /// Assemble an endpoint from an already-bound listener plus the full
+    /// rank → address map.
+    pub fn with_listener(cfg: TcpConfig, addrs: Vec<SocketAddr>, listener: TcpListener) -> io::Result<TcpTransport> {
+        assert_eq!(addrs.len(), cfg.world, "one address per rank");
+        assert!(cfg.rank < cfg.world, "rank outside the world");
+        let (inbox_tx, inbox_rx) = channel();
+        let shared = Arc::new(Shared {
+            rank: cfg.rank,
+            incarnation: cfg.incarnation,
+            start: Instant::now(),
+            hb_interval: cfg.hb_interval,
+            hb_miss_limit: cfg.hb_miss_limit,
+            shutdown: AtomicBool::new(false),
+            peers: (0..cfg.world)
+                .map(|_| PeerState {
+                    last_seen_ms: AtomicU64::new(0),
+                    inbound_alive: AtomicBool::new(false),
+                    conn_gen: AtomicU64::new(0),
+                    incarnation: AtomicU32::new(0),
+                    departed: AtomicBool::new(false),
+                    counters: Counters::default(),
+                })
+                .collect(),
+            inbox_tx: Mutex::new(inbox_tx),
+        });
+        let mut threads = Vec::new();
+
+        listener.set_nonblocking(true)?;
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || accept_loop(shared, listener)));
+        }
+
+        let mut senders: Vec<Option<SyncSender<Outbound>>> = Vec::with_capacity(cfg.world);
+        for (dst, &addr) in addrs.iter().enumerate() {
+            if dst == cfg.rank {
+                senders.push(None);
+                continue;
+            }
+            let (tx, rx) = std::sync::mpsc::sync_channel(SEND_QUEUE_DEPTH);
+            let shared = Arc::clone(&shared);
+            let conn_timeout = cfg.conn_timeout;
+            let jitter_seed = cfg.jitter_seed ^ (dst as u64).wrapping_mul(0xbf58476d1ce4e5b9);
+            threads.push(std::thread::spawn(move || sender_loop(shared, dst, addr, conn_timeout, jitter_seed, rx)));
+            senders.push(Some(tx));
+        }
+
+        {
+            let shared = Arc::clone(&shared);
+            let hb_senders: Vec<Option<SyncSender<Outbound>>> = senders.clone();
+            threads.push(std::thread::spawn(move || heartbeat_loop(shared, hb_senders)));
+        }
+
+        Ok(TcpTransport {
+            shared,
+            addrs,
+            conn_timeout: cfg.conn_timeout,
+            inbox_rx,
+            senders,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// The rank → address map this endpoint was built with.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Total budget for establishing one outbound connection.
+    pub fn conn_timeout(&self) -> Duration {
+        self.conn_timeout
+    }
+
+    fn dead_after_ms(&self) -> u64 {
+        (self.shared.hb_miss_limit as u64).max(1) * self.shared.hb_interval.as_millis().max(1) as u64
+    }
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> usize {
+        self.shared.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.shared.peers.len()
+    }
+
+    fn send(&self, dst: usize, msg: Msg) {
+        if self.shared.done() {
+            return;
+        }
+        if dst == self.shared.rank {
+            // Self-delivery short-circuits the wire, like the mpsc fabric.
+            let _ = self.shared.inbox_tx.lock().expect("inbox poisoned").send(msg);
+            return;
+        }
+        if let Some(tx) = &self.senders[dst] {
+            match tx.try_send(Outbound::Frame(msg)) {
+                Ok(()) | Err(TrySendError::Disconnected(_)) => {}
+                // Queue full: the peer is not draining (dead or wedged).
+                // Fail-stop semantics — the frame vanishes.
+                Err(TrySendError::Full(_)) => {}
+            }
+        }
+    }
+
+    fn recv(&self, timeout: Duration) -> Result<Msg, CommError> {
+        if self.shared.done() {
+            return Err(CommError::Closed);
+        }
+        match self.inbox_rx.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Err(CommError::Timeout),
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(CommError::Closed),
+        }
+    }
+
+    fn close(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    fn is_peer_dead(&self, peer: usize) -> bool {
+        if peer == self.shared.rank {
+            return self.shared.done();
+        }
+        let st = &self.shared.peers[peer];
+        if st.departed.load(Ordering::Acquire) {
+            return false; // announced a clean shutdown: gone, not dead
+        }
+        let last = st.last_seen_ms.load(Ordering::Relaxed);
+        if last == 0 {
+            return false; // never heard from them: absent, not dead
+        }
+        let silent = self.shared.now_ms().saturating_sub(last);
+        let hb_ms = self.shared.hb_interval.as_millis().max(1) as u64;
+        if !st.inbound_alive.load(Ordering::Acquire) && silent > 2 * hb_ms {
+            return true; // EOF observed (e.g. SIGKILL) and no reconnect
+        }
+        silent > self.dead_after_ms()
+    }
+
+    fn incarnation(&self) -> u32 {
+        self.shared.incarnation
+    }
+
+    fn peer_incarnation(&self, peer: usize) -> u32 {
+        if peer == self.shared.rank {
+            self.shared.incarnation
+        } else {
+            self.shared.peers[peer].incarnation.load(Ordering::Acquire)
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        TransportStats {
+            peers: self.shared.peers.iter().map(|p| p.counters.snapshot()).collect(),
+        }
+    }
+}
+
+impl TcpTransport {
+    fn teardown(&mut self, goodbye: bool) {
+        // Announce the clean shutdown before anything closes: sender
+        // threads drain their queues to already-established streams even
+        // during teardown, so peers learn this exit was deliberate and
+        // never mistake the ensuing EOF + silence for a death.
+        if goodbye {
+            for s in self.senders.iter().flatten() {
+                let _ = s.try_send(Outbound::Goodbye);
+            }
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Disconnect the outbound queues so sender threads wake from recv.
+        for s in self.senders.iter_mut() {
+            *s = None;
+        }
+        let threads = std::mem::take(&mut *self.threads.lock().expect("threads poisoned"));
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Tear down without the GOODBYE announcement — the unit-test stand-in
+    /// for a process death (a real SIGKILL never runs `Drop` at all).
+    #[cfg(test)]
+    fn drop_abruptly(mut self) {
+        self.teardown(false);
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.teardown(true);
+    }
+}
+
+// --- framing ----------------------------------------------------------------
+
+fn encode_frame(kind: u8, src: usize, incarnation: u32, wire: u64, epoch: u64, payload: &[f64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + 8 * payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.push(kind);
+    buf.extend_from_slice(&[0u8; 3]);
+    buf.extend_from_slice(&(src as u32).to_le_bytes());
+    buf.extend_from_slice(&incarnation.to_le_bytes());
+    buf.extend_from_slice(&wire.to_le_bytes());
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    for v in payload {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
+}
+
+struct Frame {
+    kind: u8,
+    src: usize,
+    incarnation: u32,
+    wire: u64,
+    epoch: u64,
+    payload: Arc<[f64]>,
+}
+
+/// `read_exact` that survives the read-timeout polls used for shutdown
+/// checks: a timeout mid-frame keeps filling the same buffer, so the
+/// stream never desynchronizes. Returns `Ok(false)` on a clean shutdown
+/// observed before any byte of the buffer arrived.
+fn read_full(shared: &Shared, stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+                if shared.done() && filled == 0 {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn read_frame(shared: &Shared, stream: &mut TcpStream) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; HEADER_LEN];
+    if !read_full(shared, stream, &mut header)? {
+        return Ok(None);
+    }
+    let words = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if words > MAX_PAYLOAD_WORDS {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame length out of range"));
+    }
+    let kind = header[4];
+    let src = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+    let incarnation = u32::from_le_bytes(header[12..16].try_into().unwrap());
+    let wire = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    let epoch = u64::from_le_bytes(header[24..32].try_into().unwrap());
+    let mut raw = vec![0u8; 8 * words as usize];
+    if !read_full(shared, stream, &mut raw)? {
+        return Ok(None);
+    }
+    let payload: Arc<[f64]> = raw
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect::<Vec<f64>>()
+        .into();
+    Ok(Some(Frame { kind, src, incarnation, wire, epoch, payload }))
+}
+
+// --- threads ----------------------------------------------------------------
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    while !shared.done() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                // Handshake + reads happen off the accept thread so one
+                // slow peer cannot block admission of the others.
+                std::thread::spawn(move || reader_loop(shared, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    // The connection opens with the peer's HELLO.
+    let hello = match read_frame(&shared, &mut stream) {
+        Ok(Some(f)) if f.kind == KIND_HELLO && f.src < shared.peers.len() => f,
+        _ => return,
+    };
+    let src = hello.src;
+    let st = &shared.peers[src];
+    // A stale incarnation must not resurrect a rank its replacement owns.
+    if hello.incarnation < st.incarnation.load(Ordering::Acquire) {
+        return;
+    }
+    if hello.incarnation > st.incarnation.load(Ordering::Acquire) {
+        // A fresh incarnation re-opens a slot its predecessor vacated.
+        st.departed.store(false, Ordering::Release);
+    }
+    st.incarnation.store(hello.incarnation, Ordering::Release);
+    let my_gen = st.conn_gen.fetch_add(1, Ordering::AcqRel) + 1;
+    st.inbound_alive.store(true, Ordering::Release);
+    shared.touch(src);
+    st.counters.frames_rx.fetch_add(1, Ordering::Relaxed);
+    st.counters.bytes_rx.fetch_add(HEADER_LEN as u64, Ordering::Relaxed);
+
+    while !shared.done() {
+        match read_frame(&shared, &mut stream) {
+            Ok(Some(f)) => {
+                shared.touch(src);
+                st.counters.frames_rx.fetch_add(1, Ordering::Relaxed);
+                st.counters
+                    .bytes_rx
+                    .fetch_add((HEADER_LEN + 8 * f.payload.len()) as u64, Ordering::Relaxed);
+                if f.incarnation > st.incarnation.load(Ordering::Acquire) {
+                    st.incarnation.store(f.incarnation, Ordering::Release);
+                }
+                if f.kind == KIND_DATA {
+                    let msg = Msg { src, wire: f.wire, epoch: f.epoch, payload: f.payload };
+                    if shared.inbox_tx.lock().expect("inbox poisoned").send(msg).is_err() {
+                        break;
+                    }
+                } else if f.kind == KIND_GOODBYE {
+                    st.departed.store(true, Ordering::Release);
+                }
+            }
+            Ok(None) => break, // shutdown
+            Err(_) => break,   // EOF or hard error: the peer is gone
+        }
+    }
+    // Only the *current* connection's reader may declare the peer down.
+    if st.conn_gen.load(Ordering::Acquire) == my_gen {
+        st.inbound_alive.store(false, Ordering::Release);
+    }
+}
+
+/// Deterministic xorshift jitter in `[0.5, 1.5)` of `base`.
+fn jittered(base: Duration, state: &mut u64) -> Duration {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    let frac = (*state >> 11) as f64 / (1u64 << 53) as f64;
+    base.mul_f64(0.5 + frac)
+}
+
+fn establish(
+    shared: &Shared,
+    dst: usize,
+    addr: SocketAddr,
+    conn_timeout: Duration,
+    jitter: &mut u64,
+    ever_connected: bool,
+) -> Option<TcpStream> {
+    let deadline = Instant::now() + conn_timeout;
+    let mut backoff = Duration::from_millis(10);
+    let mut attempt = 0u64;
+    loop {
+        // During teardown the budget shrinks to two quick attempts: a frame
+        // queued before close still deserves its flush even to a peer this
+        // sender never connected to (its ARRIVE/GOODBYE may be the one
+        // frame that lets a waiter finish), but a gone peer — localhost
+        // refuses instantly — must not wedge the joining dropper.
+        if shared.done() && attempt >= 2 {
+            return None;
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return None;
+        }
+        attempt += 1;
+        if attempt > 1 {
+            shared.peers[dst].counters.retries.fetch_add(1, Ordering::Relaxed);
+        }
+        let per_attempt = remaining.min(Duration::from_millis(250));
+        if let Ok(mut stream) = TcpStream::connect_timeout(&addr, per_attempt) {
+            let _ = stream.set_nodelay(true);
+            let hello = encode_frame(KIND_HELLO, shared.rank, shared.incarnation, 0, 0, &[]);
+            if stream.write_all(&hello).is_ok() {
+                let c = &shared.peers[dst].counters;
+                c.frames_tx.fetch_add(1, Ordering::Relaxed);
+                c.bytes_tx.fetch_add(hello.len() as u64, Ordering::Relaxed);
+                if ever_connected {
+                    c.reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(stream);
+            }
+        }
+        let pause = jittered(backoff, jitter).min(deadline.saturating_duration_since(Instant::now()));
+        std::thread::sleep(pause);
+        backoff = (backoff * 2).min(Duration::from_millis(400));
+    }
+}
+
+fn sender_loop(
+    shared: Arc<Shared>,
+    dst: usize,
+    addr: SocketAddr,
+    conn_timeout: Duration,
+    mut jitter: u64,
+    rx: Receiver<Outbound>,
+) {
+    let mut stream: Option<TcpStream> = None;
+    let mut ever_connected = false;
+    // Keeps draining after shutdown: frames queued before close() must
+    // still reach the wire (a rank leaves a barrier as soon as it has
+    // *heard* everyone — its own final ARRIVE may still sit in this
+    // queue, and dropping it would read as a death to the peers). The
+    // drain is bounded: `establish` refuses new connections once
+    // shutdown is set, and the queue stops growing because `send`
+    // rejects new frames.
+    while let Ok(out) = rx.recv() {
+        let buf = match out {
+            Outbound::Heartbeat => {
+                if shared.done() {
+                    continue; // beats are pointless during teardown
+                }
+                encode_frame(KIND_HEARTBEAT, shared.rank, shared.incarnation, 0, 0, &[])
+            }
+            Outbound::Frame(m) => encode_frame(KIND_DATA, shared.rank, shared.incarnation, m.wire, m.epoch, &m.payload),
+            Outbound::Goodbye => encode_frame(KIND_GOODBYE, shared.rank, shared.incarnation, 0, 0, &[]),
+        };
+        // Two establishment cycles per frame at most: a stale stream whose
+        // peer died gets one reconnect; if that fails too the frame is
+        // dropped (fail-stop) and the next frame starts fresh.
+        for _ in 0..2 {
+            if stream.is_none() {
+                stream = establish(&shared, dst, addr, conn_timeout, &mut jitter, ever_connected);
+                if stream.is_some() {
+                    ever_connected = true;
+                }
+            }
+            match &mut stream {
+                Some(s) => match s.write_all(&buf) {
+                    Ok(()) => {
+                        let c = &shared.peers[dst].counters;
+                        c.frames_tx.fetch_add(1, Ordering::Relaxed);
+                        c.bytes_tx.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                        break;
+                    }
+                    Err(_) => stream = None, // retry once on a fresh stream
+                },
+                None => break, // couldn't connect within budget: drop frame
+            }
+        }
+    }
+}
+
+fn heartbeat_loop(shared: Arc<Shared>, senders: Vec<Option<SyncSender<Outbound>>>) {
+    let hb_ms = shared.hb_interval.as_millis().max(1) as u64;
+    while !shared.done() {
+        std::thread::sleep(shared.hb_interval);
+        for (peer, tx) in senders.iter().enumerate() {
+            let Some(tx) = tx else { continue };
+            // Best effort: a full queue means the sender is wedged on a
+            // dead peer; skipping the beat is fine.
+            let _ = tx.try_send(Outbound::Heartbeat);
+            let st = &shared.peers[peer];
+            let last = st.last_seen_ms.load(Ordering::Relaxed);
+            if last != 0 && shared.now_ms().saturating_sub(last) > hb_ms {
+                st.counters.hb_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: usize, wire: u64, vals: &[f64]) -> Msg {
+        Msg { src, wire, epoch: 0, payload: Arc::from(vals) }
+    }
+
+    #[test]
+    fn tcp_fabric_routes_and_preserves_pairwise_order() {
+        let mut eps = TcpTransport::fabric_localhost(3).unwrap();
+        let c = eps.remove(2);
+        let b = eps.remove(1);
+        let a = eps.remove(0);
+        assert_eq!(a.world_size(), 3);
+        assert_eq!(c.rank(), 2);
+
+        a.send(2, msg(0, 1, &[1.0]));
+        a.send(2, msg(0, 1, &[2.0]));
+        b.send(2, msg(1, 9, &[3.0]));
+
+        let mut from_a = Vec::new();
+        for _ in 0..3 {
+            let m = c.recv(Duration::from_secs(10)).expect("message lost");
+            if m.src == 0 {
+                from_a.push(m.payload[0]);
+            } else {
+                assert_eq!((m.wire, m.payload[0]), (9, 3.0));
+            }
+        }
+        assert_eq!(from_a, vec![1.0, 2.0], "pairwise order violated");
+    }
+
+    #[test]
+    fn tcp_payload_roundtrips_bitwise() {
+        let mut eps = TcpTransport::fabric_localhost(2).unwrap();
+        let b = eps.remove(1);
+        let a = eps.remove(0);
+        let vals = [1.5e-308, -0.0, f64::MAX, std::f64::consts::PI, -1.0 / 3.0];
+        a.send(
+            1,
+            Msg {
+                src: 0,
+                wire: 42,
+                epoch: 7,
+                payload: Arc::from(vals.as_slice()),
+            },
+        );
+        let m = b.recv(Duration::from_secs(10)).unwrap();
+        assert_eq!(m.src, 0);
+        assert_eq!(m.wire, 42);
+        assert_eq!(m.epoch, 7);
+        assert_eq!(m.payload.len(), vals.len());
+        for (x, y) in m.payload.iter().zip(vals.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "payload not bitwise-identical");
+        }
+    }
+
+    #[test]
+    fn tcp_recv_timeout_is_typed_and_bounded() {
+        let mut eps = TcpTransport::fabric_localhost(2).unwrap();
+        let _b = eps.remove(1);
+        let a = eps.remove(0);
+        let t0 = Instant::now();
+        let r = a.recv(Duration::from_millis(100));
+        assert_eq!(r.err().map(|e| matches!(e, CommError::Timeout)), Some(true));
+        assert!(t0.elapsed() < Duration::from_secs(5), "timeout not bounded");
+    }
+
+    #[test]
+    fn tcp_counts_traffic_per_peer() {
+        let mut eps = TcpTransport::fabric_localhost(2).unwrap();
+        let b = eps.remove(1);
+        let a = eps.remove(0);
+        a.send(1, msg(0, 1, &[1.0, 2.0, 3.0]));
+        let _ = b.recv(Duration::from_secs(10)).unwrap();
+        // The sender thread bumps its counters just after the write hits
+        // the kernel, so the receiver can observe the frame first: poll.
+        let t0 = Instant::now();
+        loop {
+            let s = a.stats();
+            if s.peers[1].frames_tx >= 1 && s.peers[1].bytes_tx >= (HEADER_LEN + 24) as u64 {
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(10), "tx traffic not counted");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let s = b.stats();
+        assert!(s.peers[0].frames_rx >= 1, "rx frame not counted");
+        assert_eq!(s.peers[1], PeerCounters::default(), "phantom traffic on silent peer");
+    }
+
+    #[test]
+    fn tcp_detects_a_dropped_peer() {
+        let mut cfgs: Vec<TcpConfig> = (0..2).map(|r| TcpConfig::new(r, 2)).collect();
+        for c in &mut cfgs {
+            c.hb_interval = Duration::from_millis(20);
+            c.hb_miss_limit = 4;
+        }
+        let listeners: Vec<TcpListener> = (0..2).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+        let addrs: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let mut eps: Vec<TcpTransport> = cfgs
+            .into_iter()
+            .zip(listeners)
+            .map(|(c, l)| TcpTransport::with_listener(c, addrs.clone(), l).unwrap())
+            .collect();
+        let b = eps.remove(1);
+        let a = eps.remove(0);
+        // Traffic both ways so each side has heard from the other.
+        a.send(1, msg(0, 1, &[1.0]));
+        b.send(0, msg(1, 1, &[2.0]));
+        let _ = a.recv(Duration::from_secs(10)).unwrap();
+        let _ = b.recv(Duration::from_secs(10)).unwrap();
+        assert!(!a.is_peer_dead(1));
+        b.drop_abruptly(); // sockets close with no GOODBYE: EOF fast path
+        let t0 = Instant::now();
+        while !a.is_peer_dead(1) {
+            assert!(t0.elapsed() < Duration::from_secs(10), "death never detected");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn tcp_goodbye_separates_departure_from_death() {
+        let mut cfgs: Vec<TcpConfig> = (0..2).map(|r| TcpConfig::new(r, 2)).collect();
+        for c in &mut cfgs {
+            c.hb_interval = Duration::from_millis(20);
+            c.hb_miss_limit = 4;
+        }
+        let listeners: Vec<TcpListener> = (0..2).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+        let addrs: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let mut eps: Vec<TcpTransport> = cfgs
+            .into_iter()
+            .zip(listeners)
+            .map(|(c, l)| TcpTransport::with_listener(c, addrs.clone(), l).unwrap())
+            .collect();
+        let b = eps.remove(1);
+        let a = eps.remove(0);
+        a.send(1, msg(0, 1, &[1.0]));
+        b.send(0, msg(1, 1, &[2.0]));
+        let _ = a.recv(Duration::from_secs(10)).unwrap();
+        let _ = b.recv(Duration::from_secs(10)).unwrap();
+        drop(b); // graceful exit: GOODBYE travels over the live stream
+                 // Far past both the EOF (2 beats) and silence (4 beats) windows.
+        std::thread::sleep(Duration::from_millis(400));
+        assert!(!a.is_peer_dead(1), "clean shutdown misread as a death");
+    }
+
+    #[test]
+    fn tcp_unreachable_peer_never_hangs_sender() {
+        // Rank 1's address points at a port nobody listens on: sends must
+        // drop after the bounded connect budget, not wedge the caller.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let my_addr = listener.local_addr().unwrap();
+        let dead_port = {
+            let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+            // probe drops here; the port is free and silent
+        };
+        let mut cfg = TcpConfig::new(0, 2);
+        cfg.conn_timeout = Duration::from_millis(200);
+        let addrs = vec![my_addr, SocketAddr::from(([127, 0, 0, 1], dead_port))];
+        let t = TcpTransport::with_listener(cfg, addrs, listener).unwrap();
+        let t0 = Instant::now();
+        t.send(1, msg(0, 1, &[1.0])); // must not block
+        assert!(t0.elapsed() < Duration::from_secs(1), "send blocked on a dead peer");
+        assert_eq!(
+            t.recv(Duration::from_millis(100))
+                .err()
+                .map(|e| matches!(e, CommError::Timeout)),
+            Some(true)
+        );
+        // The sender burned its connect budget in retries.
+        let t0 = Instant::now();
+        while t.stats().peers[1].retries == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(5), "no connect retries recorded");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(!t.is_peer_dead(1), "never-seen peer misreported as dead");
+    }
+
+    #[test]
+    fn tcp_incarnation_travels_in_the_handshake() {
+        let listeners: Vec<TcpListener> = (0..2).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+        let addrs: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let mut it = listeners.into_iter();
+        let mut cfg0 = TcpConfig::new(0, 2);
+        cfg0.incarnation = 3;
+        let a = TcpTransport::with_listener(cfg0, addrs.clone(), it.next().unwrap()).unwrap();
+        let b = TcpTransport::with_listener(TcpConfig::new(1, 2), addrs, it.next().unwrap()).unwrap();
+        assert_eq!(a.incarnation(), 3);
+        a.send(1, msg(0, 5, &[1.0]));
+        let _ = b.recv(Duration::from_secs(10)).unwrap();
+        assert_eq!(b.peer_incarnation(0), 3, "handshake incarnation lost");
+    }
+}

@@ -74,6 +74,111 @@ pub struct Msg {
     pub payload: Arc<[f64]>,
 }
 
+/// Per-peer wire counters kept by transports that do real I/O (see
+/// [`crate::tcp::TcpTransport`]). All zeros for in-process fabrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerCounters {
+    /// Frames written to this peer (data + heartbeats + handshakes).
+    pub frames_tx: u64,
+    /// Bytes written to this peer, framing included.
+    pub bytes_tx: u64,
+    /// Frames read from this peer.
+    pub frames_rx: u64,
+    /// Bytes read from this peer, framing included.
+    pub bytes_rx: u64,
+    /// Connect attempts beyond the first, per connection establishment.
+    pub retries: u64,
+    /// Successful re-establishments after the initial connect.
+    pub reconnects: u64,
+    /// Heartbeat intervals that elapsed with no traffic from the peer.
+    pub hb_misses: u64,
+}
+
+impl PeerCounters {
+    /// Number of `f64` slots one peer row occupies in the flat encoding.
+    pub const WIDTH: usize = 7;
+
+    /// Accumulate another peer's counters into this one.
+    pub fn merge(&mut self, o: &PeerCounters) {
+        self.frames_tx += o.frames_tx;
+        self.bytes_tx += o.bytes_tx;
+        self.frames_rx += o.frames_rx;
+        self.bytes_rx += o.bytes_rx;
+        self.retries += o.retries;
+        self.reconnects += o.reconnects;
+        self.hb_misses += o.hb_misses;
+    }
+
+    fn to_row(self) -> [f64; Self::WIDTH] {
+        [
+            self.frames_tx as f64,
+            self.bytes_tx as f64,
+            self.frames_rx as f64,
+            self.bytes_rx as f64,
+            self.retries as f64,
+            self.reconnects as f64,
+            self.hb_misses as f64,
+        ]
+    }
+
+    fn from_row(r: &[f64]) -> PeerCounters {
+        PeerCounters {
+            frames_tx: r[0] as u64,
+            bytes_tx: r[1] as u64,
+            frames_rx: r[2] as u64,
+            bytes_rx: r[3] as u64,
+            retries: r[4] as u64,
+            reconnects: r[5] as u64,
+            hb_misses: r[6] as u64,
+        }
+    }
+}
+
+/// Snapshot of a transport's per-peer counters, indexed by peer rank.
+/// Empty for transports that keep none. Round-trips through a flat `f64`
+/// row so it can ride the same sum-reduction as the traffic ledger.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// One row per peer rank (the own-rank row stays zero).
+    pub peers: Vec<PeerCounters>,
+}
+
+impl TransportStats {
+    /// Sum over all peers.
+    pub fn total(&self) -> PeerCounters {
+        let mut t = PeerCounters::default();
+        for p in &self.peers {
+            t.merge(p);
+        }
+        t
+    }
+
+    /// Element-wise accumulate (peer-by-peer) for grid-wide aggregation.
+    pub fn merge(&mut self, other: &TransportStats) {
+        if self.peers.len() < other.peers.len() {
+            self.peers.resize(other.peers.len(), PeerCounters::default());
+        }
+        for (s, o) in self.peers.iter_mut().zip(other.peers.iter()) {
+            s.merge(o);
+        }
+    }
+
+    /// Flatten to `world · PeerCounters::WIDTH` floats (summable).
+    pub fn to_f64_rows(&self, world: usize) -> Vec<f64> {
+        let mut out = vec![0.0; world * PeerCounters::WIDTH];
+        for (i, p) in self.peers.iter().enumerate().take(world) {
+            out[i * PeerCounters::WIDTH..(i + 1) * PeerCounters::WIDTH].copy_from_slice(&p.to_row());
+        }
+        out
+    }
+
+    /// Inverse of [`TransportStats::to_f64_rows`].
+    pub fn from_f64_rows(rows: &[f64]) -> TransportStats {
+        let peers = rows.chunks_exact(PeerCounters::WIDTH).map(PeerCounters::from_row).collect();
+        TransportStats { peers }
+    }
+}
+
 /// A process's endpoint in some message fabric.
 ///
 /// Implementations must deliver messages reliably and, per `(src, dst)`
@@ -109,6 +214,23 @@ pub trait Transport: Send {
     /// (fabrics without death signaling never report a dead peer).
     fn is_peer_dead(&self, _peer: usize) -> bool {
         false
+    }
+
+    /// This endpoint's incarnation number: 0 for an original process, 1+
+    /// for a respawned replacement taking over the rank. Default: 0.
+    fn incarnation(&self) -> u32 {
+        0
+    }
+
+    /// Latest incarnation observed from `peer` (e.g. via a reconnect
+    /// handshake). Default: 0.
+    fn peer_incarnation(&self, _peer: usize) -> u32 {
+        0
+    }
+
+    /// Snapshot of per-peer wire counters. Default: empty (no counters).
+    fn stats(&self) -> TransportStats {
+        TransportStats::default()
     }
 }
 

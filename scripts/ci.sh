@@ -80,4 +80,40 @@ for seed in $SDC_SEEDS; do
     done
 done
 
+# Distributed smoke: the real multi-process TCP transport on localhost —
+# one OS process per rank, wired by the launcher's probed ports. Both ABFT
+# variants must finish fault-free and pass verification. The shortened
+# receive timeout turns any protocol wedge into a typed abort instead of a
+# CI hang (the launcher's own 600 s watchdog is the backstop).
+echo "== distributed smoke (localhost TCP, 2x2)"
+for variant in alg2 alg3; do
+    FT_RECV_TIMEOUT_MS=60000 ./target/release/abft-hessenberg \
+        --distributed --grid 2x2 --n 64 --nb 8 --variant "$variant" \
+        --verify >/dev/null
+    echo "  $variant: fault-free, verified"
+done
+
+# Deterministic distributed kill-soak: seeded real SIGKILLs mid-run — the
+# launcher re-spawns each victim and the survivors re-admit it through the
+# epoch-fenced reconnect handshake before §5.3 recovery. Same contract as
+# the in-process chaos soak: recover-and-verify (exit 0) or typed
+# beyond-tolerance rejection (exit 3); anything else fails the gate.
+echo "== distributed kill-soak (real SIGKILL, release)"
+KILL_SEEDS=${KILL_SEEDS:-"1 2 3 5"}
+for seed in $KILL_SEEDS; do
+    for variant in alg2 alg3; do
+        set +e
+        FT_RECV_TIMEOUT_MS=60000 ./target/release/abft-hessenberg \
+            --distributed --grid 2x2 --n 64 --nb 8 --variant "$variant" \
+            --chaos "$seed:1" --verify >/dev/null
+        rc=$?
+        set -e
+        case $rc in
+            0) echo "  seed $seed $variant: killed, re-spawned, verified" ;;
+            3) echo "  seed $seed $variant: beyond tolerance, typed rejection" ;;
+            *) echo "  seed $seed $variant: FAILED (exit $rc)"; exit 1 ;;
+        esac
+    done
+done
+
 echo "CI OK"

@@ -26,7 +26,26 @@
 //!   --cr-interval <K>    C/R checkpoint interval in panels (default 8)
 //!   --seed <S>           matrix / trace seed (default 2013)
 //!   --verify             compute the distributed residual r∞ afterwards
+//!   --print-eigs         rank 0 prints the eigenvalues of H (sorted)
 //!   --help               this text
+//!
+//! Distributed mode (real processes over localhost TCP):
+//!
+//!   --distributed        launch P·Q child processes of this binary, one
+//!                        per rank, wired by TCP (grid from --grid);
+//!                        --chaos / --kill-at kills are real SIGKILLs and
+//!                        the victim is re-spawned as a replacement
+//!   --rank <R>           internal: run as the child process of rank R
+//!   --port-base <B>      listen ports B..B+P*Q-1 (default: probed)
+//!   --hb-interval-ms <T> heartbeat period (default 100)
+//!   --conn-timeout-ms <T> connect/reconnect budget (default 10000)
+//!   --kill-at <R@OP>     scripted kill: rank R at its OP-th message op;
+//!                        R@rROUND:OP kills inside recovery round ROUND
+//!                        (repeatable; distributed mode only)
+//!
+//!   --fail / --mtti / --sdc are not available with --distributed
+//!   (scripted fail points and flip injection assume the in-process
+//!   world); use --chaos / --kill-at for real process death.
 //! ```
 //!
 //! Examples:
@@ -36,18 +55,25 @@
 //! abft-hessenberg --n 768 --grid 2x4 --variant alg3 --mtti 12
 //! abft-hessenberg --n 512 --grid 4x4 --variant cr --mtti 10
 //! abft-hessenberg --n 512 --grid 2x4 --redundancy dual --sdc 7:2 --verify
+//! abft-hessenberg --n 256 --grid 2x2 --distributed --kill-at 3@120 --verify
 //! ```
 
 use abft_hessenberg::dense::gen::uniform_entry;
 use abft_hessenberg::hess::{
-    cr_pdgehrd, failpoint, ft_pdgehrd_scrubbed, Encoded, Phase, Redundancy, ScrubPolicy, ScrubReport, Variant,
+    cr_pdgehrd, failpoint, ft_pdgehrd_replacement, ft_pdgehrd_scrubbed, Encoded, Phase, Redundancy, ScrubPolicy, ScrubReport,
+    Variant,
 };
-use abft_hessenberg::pblas::{pd_gather_traffic, pd_hessenberg_residual, pdgehrd, Desc, DistMatrix};
+use abft_hessenberg::lapack::hessenberg_eigenvalues;
+use abft_hessenberg::pblas::{
+    pd_extract_h, pd_gather_traffic, pd_gather_transport, pd_hessenberg_residual, pdgehrd, Desc, DistMatrix,
+};
 use abft_hessenberg::runtime::{
-    poisson_failures, run_spmd_full, ChaosScript, FaultScript, PlannedFailure, SdcScript, TrafficPhase,
+    poisson_failures, run_distributed, run_spmd_full, ChaosKill, ChaosPoint, ChaosScript, Ctx, FaultScript, PeerCounters,
+    PlannedFailure, SdcScript, TcpConfig, TcpTransport, TrafficPhase,
 };
+use std::io::BufRead;
 use std::process::exit;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -73,6 +99,16 @@ struct Opts {
     cr_interval: usize,
     seed: u64,
     verify: bool,
+    // Distributed (TCP multi-process) mode.
+    distributed: bool,
+    rank: Option<usize>,
+    port_base: Option<u16>,
+    hb_interval_ms: Option<u64>,
+    conn_timeout_ms: Option<u64>,
+    kill_at: Vec<ChaosKill>,
+    respawn: u32,
+    chaos_fired: Vec<usize>,
+    print_eigs: bool,
 }
 
 impl Default for Opts {
@@ -92,6 +128,15 @@ impl Default for Opts {
             cr_interval: 8,
             seed: 2013,
             verify: false,
+            distributed: false,
+            rank: None,
+            port_base: None,
+            hb_interval_ms: None,
+            conn_timeout_ms: None,
+            kill_at: Vec::new(),
+            respawn: 0,
+            chaos_fired: Vec::new(),
+            print_eigs: false,
         }
     }
 }
@@ -193,6 +238,57 @@ fn parse_args() -> Opts {
             }
             "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| fail("--seed: bad integer")),
             "--verify" => o.verify = true,
+            "--print-eigs" => o.print_eigs = true,
+            "--distributed" => o.distributed = true,
+            "--rank" => o.rank = Some(val("--rank").parse().unwrap_or_else(|_| fail("--rank: bad integer"))),
+            "--port-base" => o.port_base = Some(val("--port-base").parse().unwrap_or_else(|_| fail("--port-base: bad port"))),
+            "--hb-interval-ms" => {
+                let ms: u64 = val("--hb-interval-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--hb-interval-ms: bad integer"));
+                if ms == 0 {
+                    fail("--hb-interval-ms: must be at least 1");
+                }
+                o.hb_interval_ms = Some(ms);
+            }
+            "--conn-timeout-ms" => {
+                let ms: u64 = val("--conn-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--conn-timeout-ms: bad integer"));
+                if ms == 0 {
+                    fail("--conn-timeout-ms: must be at least 1");
+                }
+                o.conn_timeout_ms = Some(ms);
+            }
+            "--kill-at" => {
+                let v = val("--kill-at");
+                let (rank_s, at_s) = v
+                    .split_once('@')
+                    .unwrap_or_else(|| fail("--kill-at: use RANK@OP or RANK@rROUND:OP"));
+                let victim: usize = rank_s.parse().unwrap_or_else(|_| fail("--kill-at: bad rank"));
+                let at = match at_s.strip_prefix('r') {
+                    Some(rest) => {
+                        let (round_s, op_s) = rest
+                            .split_once(':')
+                            .unwrap_or_else(|| fail("--kill-at: recovery form is RANK@rROUND:OP"));
+                        let round: u32 = round_s.parse().unwrap_or_else(|_| fail("--kill-at: bad recovery round"));
+                        let op: u64 = op_s.parse().unwrap_or_else(|_| fail("--kill-at: bad op"));
+                        if round == 0 {
+                            fail("--kill-at: recovery rounds are 1-based");
+                        }
+                        ChaosPoint::RecoveryOp { round, op }
+                    }
+                    None => ChaosPoint::Op(at_s.parse().unwrap_or_else(|_| fail("--kill-at: bad op"))),
+                };
+                o.kill_at.push(ChaosKill { victim, at });
+            }
+            "--respawn" => o.respawn = val("--respawn").parse().unwrap_or_else(|_| fail("--respawn: bad integer")),
+            "--chaos-fired" => {
+                for part in val("--chaos-fired").split(',').filter(|s| !s.is_empty()) {
+                    o.chaos_fired
+                        .push(part.parse().unwrap_or_else(|_| fail("--chaos-fired: bad index")));
+                }
+            }
             other => fail(&format!("unknown argument '{other}'")),
         }
     }
@@ -221,8 +317,434 @@ fn panel_count(n: usize, nb: usize) -> usize {
     c
 }
 
+fn print_transport_summary(stats: &abft_hessenberg::runtime::TransportStats) {
+    println!("transport (grid-wide, by peer):");
+    println!(
+        "  {:>4} {:>9} {:>12} {:>9} {:>12} {:>7} {:>10} {:>9}",
+        "peer", "frames_tx", "bytes_tx", "frames_rx", "bytes_rx", "retries", "reconnects", "hb_misses"
+    );
+    let row = |label: &str, c: &PeerCounters| {
+        println!(
+            "  {:>4} {:>9} {:>12} {:>9} {:>12} {:>7} {:>10} {:>9}",
+            label, c.frames_tx, c.bytes_tx, c.frames_rx, c.bytes_rx, c.retries, c.reconnects, c.hb_misses
+        );
+    };
+    for (r, c) in stats.peers.iter().enumerate() {
+        row(&r.to_string(), c);
+    }
+    row("all", &stats.total());
+}
+
+fn sanity_check_distributed(o: &Opts) {
+    let world = o.p * o.q;
+    if !o.failures.is_empty() || o.mtti.is_some() {
+        fail("--fail / --mtti assume the in-process world; use --chaos or --kill-at with --distributed");
+    }
+    if o.sdc.is_some() {
+        fail("--sdc assumes the in-process flip injector; not available with --distributed");
+    }
+    if o.mode == Mode::Cr {
+        fail("--variant cr is not available with --distributed");
+    }
+    if (o.chaos.is_some() || !o.kill_at.is_empty()) && !matches!(o.mode, Mode::Alg2 | Mode::Alg3) {
+        fail("--chaos / --kill-at need --variant alg2 or alg3");
+    }
+    if let Some(k) = o.kill_at.iter().find(|k| k.victim >= world) {
+        fail(&format!("--kill-at: rank {} is outside the {}-rank grid", k.victim, world));
+    }
+    if let Some(r) = o.rank {
+        if !o.distributed {
+            fail("--rank is the internal child-mode flag; it needs --distributed");
+        }
+        if r >= world {
+            fail(&format!("--rank {r} is outside the {world}-rank grid"));
+        }
+        if o.port_base.is_none() {
+            fail("--rank needs an explicit --port-base");
+        }
+    } else if o.respawn > 0 || !o.chaos_fired.is_empty() {
+        fail("--respawn / --chaos-fired are internal child-mode flags (need --rank)");
+    }
+}
+
+/// The chaos schedule a distributed rank evaluates against its op clock:
+/// seeded kills (if `--chaos`) plus every explicit `--kill-at`.
+fn dist_chaos_script(o: &Opts) -> ChaosScript {
+    let op_hi = (panel_count(o.n, o.nb) as u64 * (4 * o.nb as u64 + 20)).max(200);
+    let mut kills: Vec<ChaosKill> = match o.chaos {
+        Some((cseed, n_kills)) => ChaosScript::seeded(cseed, o.p * o.q, n_kills, 50, op_hi).kills().to_vec(),
+        None => Vec::new(),
+    };
+    kills.extend(o.kill_at.iter().copied());
+    ChaosScript::new(kills)
+}
+
+/// One rank's computation in distributed mode. Returns the process exit
+/// code (only rank 0's is meaningful to the launcher).
+fn dist_rank_body(ctx: &Ctx, o: &Opts) -> i32 {
+    let Opts { n, nb, seed, verify, redundancy, .. } = o.clone();
+    let variant = if o.mode == Mode::Alg3 { Variant::Delayed } else { Variant::NonDelayed };
+    let policy = match o.scrub_every {
+        Some(k) => ScrubPolicy::every_panels(k),
+        None => ScrubPolicy::disabled(),
+    };
+    let t = Instant::now();
+    let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
+    let (mut plain, mut enc) = (None, None);
+    let rep = if o.mode == Mode::Plain {
+        let mut a = DistMatrix::from_global_fn(ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
+        pdgehrd(ctx, &mut a, &mut tau);
+        plain = Some(a);
+        None
+    } else {
+        let mut e = Encoded::with_redundancy(ctx, n, nb, redundancy, |i, j| uniform_entry(seed, i, j));
+        let res = if o.respawn > 0 {
+            // A re-spawned replacement joins an already-running
+            // factorization: skip encoding, enter recovery first (§5.3).
+            ft_pdgehrd_replacement(ctx, &mut e, variant, &mut tau, policy)
+        } else {
+            ft_pdgehrd_scrubbed(ctx, &mut e, variant, &mut tau, policy)
+        };
+        match res {
+            Ok(rep) => {
+                enc = Some(e);
+                Some(rep)
+            }
+            Err(err) => {
+                eprintln!("rank {}: UNRECOVERABLE: {err}", ctx.rank());
+                return 3;
+            }
+        }
+    };
+    let a: &DistMatrix = match (&plain, &enc) {
+        (Some(a), _) => a,
+        (_, Some(e)) => &e.a,
+        _ => unreachable!(),
+    };
+    let secs = t.elapsed().as_secs_f64();
+    let residual = verify.then(|| {
+        let a0 = DistMatrix::from_global_fn(ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
+        pd_hessenberg_residual(ctx, &a0, a, n, &tau)
+    });
+    let scrub = match (&rep, policy.active()) {
+        (Some(rep), true) => Some(rep.scrub.gathered(ctx, 622)),
+        _ => None,
+    };
+    let traffic = pd_gather_traffic(ctx, 620);
+    let wire = pd_gather_transport(ctx, 624);
+    let eigs = o.print_eigs.then(|| pd_extract_h(ctx, a, n).gather_root(ctx, 626));
+
+    if ctx.rank() != 0 {
+        return 0;
+    }
+    let gf = 10.0 / 3.0 * (n as f64).powi(3) / secs / 1e9;
+    println!("time: {secs:.3} s  ({gf:.2} effective GFLOP/s)");
+    if let Some(rep) = &rep {
+        println!("recoveries: {}, chaos aborts: {}", rep.recoveries, rep.chaos_aborts);
+    }
+    if let Some(s) = &scrub {
+        print_scrub_summary(s);
+    }
+    println!("traffic (grid-wide, by phase):");
+    for ph in TrafficPhase::ALL {
+        let t = traffic.phase(ph);
+        if t.msgs > 0 {
+            println!("  {:<16} {:>12} bytes  {:>8} msgs", ph.name(), t.bytes, t.msgs);
+        }
+    }
+    println!("  {:<16} {:>12} bytes  {:>8} msgs", "total", traffic.total_bytes(), traffic.total_msgs());
+    print_transport_summary(&wire);
+    if let Some(Some(h)) = eigs {
+        let mut ev = hessenberg_eigenvalues(&h).unwrap_or_else(|e| {
+            eprintln!("eigenvalue extraction failed: {e:?}");
+            exit(3)
+        });
+        ev.sort_by(|a, b| (a.re, a.im).partial_cmp(&(b.re, b.im)).unwrap());
+        println!("eigenvalues ({}):", ev.len());
+        for e in &ev {
+            println!("eig {:+.15e} {:+.15e}", e.re, e.im);
+        }
+    }
+    if let Some(r) = residual {
+        println!("residual r_inf = {r:.4}  (paper threshold r_t = 3)");
+        if r >= 3.0 {
+            eprintln!("VERIFICATION FAILED");
+            return 1;
+        }
+        println!("verification passed");
+    }
+    0
+}
+
+/// Child mode: run as rank `rank` of the TCP fabric and exit with the
+/// rank's code. The parent launcher spawns one of these per rank.
+fn child_main(o: Opts, rank: usize) -> ! {
+    let world = o.p * o.q;
+    let port_base = o.port_base.expect("checked in sanity_check_distributed");
+    let mut cfg = TcpConfig::new(rank, world);
+    if let Some(ms) = o.hb_interval_ms {
+        cfg.hb_interval = Duration::from_millis(ms);
+    }
+    if let Some(ms) = o.conn_timeout_ms {
+        cfg.conn_timeout = Duration::from_millis(ms);
+    }
+    cfg.incarnation = o.respawn;
+    let transport = match TcpTransport::connect(cfg, port_base) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rank {rank}: transport connect failed: {e}");
+            exit(3)
+        }
+    };
+    let chaos = dist_chaos_script(&o);
+    let code = run_distributed(o.p, o.q, chaos, Box::new(transport), |ctx| {
+        // A replacement is told which kills already struck its predecessor
+        // so they do not re-fire against the fresh op clock.
+        ctx.mark_chaos_fired(&o.chaos_fired);
+        dist_rank_body(&ctx, &o)
+    });
+    exit(code)
+}
+
+/// Bind-probe a run of `world` consecutive free localhost ports.
+fn probe_port_base(world: usize) -> u16 {
+    let pid = std::process::id();
+    for attempt in 0..512u32 {
+        let base = 20000 + ((pid.wrapping_mul(131).wrapping_add(attempt.wrapping_mul(977))) % 40000) as u16;
+        if usize::from(u16::MAX - base) < world {
+            continue;
+        }
+        let held: Vec<_> = (0..world)
+            .map(|r| std::net::TcpListener::bind(("127.0.0.1", base + r as u16)))
+            .collect();
+        if held.iter().all(|l| l.is_ok()) {
+            return base;
+        }
+    }
+    fail("could not probe a free localhost port range; pass --port-base")
+}
+
+enum LauncherEvent {
+    /// A child announced its scripted death (`FT_CHAOS_KILL` marker):
+    /// SIGKILL it for real and re-spawn a replacement.
+    Marker { rank: usize, idx: usize },
+    /// A line of child stdout (rank 0's are passed through).
+    Line { rank: usize, line: String },
+    /// A child's stdout closed — it is dead, reap it.
+    Eof { rank: usize },
+}
+
+fn spawn_rank(
+    exe: &std::path::Path,
+    o: &Opts,
+    port_base: u16,
+    rank: usize,
+    incarnation: u32,
+    fired: &[usize],
+    tx: &std::sync::mpsc::Sender<LauncherEvent>,
+) -> std::io::Result<std::process::Child> {
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("--n").arg(o.n.to_string());
+    cmd.arg("--nb").arg(o.nb.to_string());
+    cmd.arg("--grid").arg(format!("{}x{}", o.p, o.q));
+    let variant = match o.mode {
+        Mode::Plain => "plain",
+        Mode::Alg2 => "alg2",
+        Mode::Alg3 => "alg3",
+        Mode::Cr => "cr",
+    };
+    cmd.arg("--variant").arg(variant);
+    let red = match o.redundancy {
+        Redundancy::Single => "single",
+        Redundancy::Dual => "dual",
+    };
+    cmd.arg("--redundancy").arg(red);
+    cmd.arg("--seed").arg(o.seed.to_string());
+    cmd.arg("--distributed");
+    cmd.arg("--rank").arg(rank.to_string());
+    cmd.arg("--port-base").arg(port_base.to_string());
+    if let Some((s, k)) = o.chaos {
+        cmd.arg("--chaos").arg(format!("{s}:{k}"));
+    }
+    for k in &o.kill_at {
+        let at = match k.at {
+            ChaosPoint::Op(op) => format!("{}@{op}", k.victim),
+            ChaosPoint::RecoveryOp { round, op } => format!("{}@r{round}:{op}", k.victim),
+        };
+        cmd.arg("--kill-at").arg(at);
+    }
+    if let Some(k) = o.scrub_every {
+        cmd.arg("--scrub-every").arg(k.to_string());
+    }
+    if let Some(ms) = o.hb_interval_ms {
+        cmd.arg("--hb-interval-ms").arg(ms.to_string());
+    }
+    if let Some(ms) = o.conn_timeout_ms {
+        cmd.arg("--conn-timeout-ms").arg(ms.to_string());
+    }
+    if o.verify {
+        cmd.arg("--verify");
+    }
+    if o.print_eigs {
+        cmd.arg("--print-eigs");
+    }
+    if incarnation > 0 {
+        cmd.arg("--respawn").arg(incarnation.to_string());
+    }
+    if !fired.is_empty() {
+        let list: Vec<String> = fired.iter().map(|i| i.to_string()).collect();
+        cmd.arg("--chaos-fired").arg(list.join(","));
+    }
+    cmd.stdout(std::process::Stdio::piped());
+    cmd.stderr(std::process::Stdio::inherit());
+    let mut child = cmd.spawn()?;
+    let stdout = child.stdout.take().expect("stdout is piped");
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        for line in std::io::BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if let Some(rest) = line.strip_prefix("FT_CHAOS_KILL ") {
+                let (mut r, mut i) = (None, None);
+                for tok in rest.split_whitespace() {
+                    if let Some(v) = tok.strip_prefix("rank=") {
+                        r = v.parse().ok();
+                    } else if let Some(v) = tok.strip_prefix("idx=") {
+                        i = v.parse().ok();
+                    }
+                }
+                if let (Some(rank), Some(idx)) = (r, i) {
+                    let _ = tx.send(LauncherEvent::Marker { rank, idx });
+                    continue;
+                }
+            }
+            let _ = tx.send(LauncherEvent::Line { rank, line });
+        }
+        let _ = tx.send(LauncherEvent::Eof { rank });
+    });
+    Ok(child)
+}
+
+/// Parent mode: spawn one child process per rank, SIGKILL chaos victims
+/// when they announce their scripted death, re-spawn them as replacements,
+/// and exit with rank 0's code.
+fn parent_main(o: Opts) -> ! {
+    let world = o.p * o.q;
+    let port_base = o.port_base.unwrap_or_else(|| probe_port_base(world));
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate own binary: {e}");
+        exit(3)
+    });
+    println!(
+        "abft-hessenberg (distributed): N={} nb={} grid={}x{} variant={:?} redundancy={:?} ports={}..{} kills={} seed={}",
+        o.n,
+        o.nb,
+        o.p,
+        o.q,
+        o.mode,
+        o.redundancy,
+        port_base,
+        port_base as usize + world - 1,
+        dist_chaos_script(&o).kills().len(),
+        o.seed
+    );
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut children: Vec<Option<std::process::Child>> = Vec::with_capacity(world);
+    for rank in 0..world {
+        match spawn_rank(&exe, &o, port_base, rank, 0, &[], &tx) {
+            Ok(c) => children.push(Some(c)),
+            Err(e) => {
+                eprintln!("failed to spawn rank {rank}: {e}");
+                for c in children.iter_mut().flatten() {
+                    let _ = c.kill();
+                }
+                exit(3)
+            }
+        }
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(600);
+    let mut incarnation = vec![0u32; world];
+    let mut pending_respawn = vec![false; world];
+    let mut fired: Vec<usize> = Vec::new();
+    let mut live = world;
+    let mut code0: i32 = 3;
+    while live > 0 {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        let ev = match rx.recv_timeout(timeout) {
+            Ok(ev) => ev,
+            Err(_) => {
+                eprintln!("watchdog: distributed run exceeded its budget; killing all ranks");
+                for c in children.iter_mut().flatten() {
+                    let _ = c.kill();
+                }
+                exit(124)
+            }
+        };
+        match ev {
+            LauncherEvent::Marker { rank, idx } => {
+                // The victim stalls on its marker until this very real
+                // SIGKILL lands — peers see sockets drop, not a shutdown.
+                if !fired.contains(&idx) {
+                    fired.push(idx);
+                }
+                if let Some(c) = children.get_mut(rank).and_then(|c| c.as_mut()) {
+                    let _ = c.kill();
+                    pending_respawn[rank] = true;
+                    println!("launcher: SIGKILL rank {rank} (chaos kill #{idx})");
+                }
+            }
+            LauncherEvent::Line { rank, line } => {
+                if rank == 0 {
+                    println!("{line}");
+                }
+            }
+            LauncherEvent::Eof { rank } => {
+                let status = children[rank].take().and_then(|mut c| c.wait().ok());
+                if pending_respawn[rank] {
+                    pending_respawn[rank] = false;
+                    incarnation[rank] += 1;
+                    match spawn_rank(&exe, &o, port_base, rank, incarnation[rank], &fired, &tx) {
+                        Ok(c) => {
+                            println!("launcher: re-spawned rank {rank} (incarnation {})", incarnation[rank]);
+                            children[rank] = Some(c);
+                        }
+                        Err(e) => {
+                            eprintln!("failed to re-spawn rank {rank}: {e}");
+                            live -= 1;
+                        }
+                    }
+                } else {
+                    live -= 1;
+                    if rank == 0 {
+                        code0 = status.and_then(|s| s.code()).unwrap_or(3);
+                    }
+                }
+            }
+        }
+    }
+    exit(code0)
+}
+
 fn main() {
     let mut o = parse_args();
+    if o.distributed || o.rank.is_some() {
+        sanity_check_distributed(&o);
+        if let Some(rank) = o.rank {
+            child_main(o, rank);
+        }
+        parent_main(o);
+    }
+    if !o.kill_at.is_empty()
+        || o.port_base.is_some()
+        || o.hb_interval_ms.is_some()
+        || o.conn_timeout_ms.is_some()
+        || o.print_eigs
+        || o.respawn > 0
+        || !o.chaos_fired.is_empty()
+    {
+        fail("--kill-at / --port-base / --hb-interval-ms / --conn-timeout-ms / --print-eigs need --distributed");
+    }
     // Ragged N is handled by the encoder (zero-padded to whole blocks, see
     // DESIGN.md §10) — no round-up needed.
     let panels = panel_count(o.n, o.nb);
