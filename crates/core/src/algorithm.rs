@@ -1,19 +1,25 @@
-//! The ABFT Hessenberg reduction driver — Algorithm 2 (non-delayed) and
-//! Algorithm 3 (delayed) of the paper.
+//! The solver-agnostic ABFT driver — Algorithm 2 (non-delayed) and
+//! Algorithm 3 (delayed) of the paper, written once against the
+//! [`FtSolver`] contract and instantiated for the Hessenberg reduction
+//! ([`ft_pdgehrd`]) and Householder QR ([`ft_pdgeqrf`]).
 //!
 //! Per panel iteration:
 //!
 //! 1. at scope entry (`block_col ≡ 0 mod Q`): snapshot the panel scope
 //!    (Algorithm 2 line 4);
-//! 2. `PDLAHRD` (line 6);
-//! 3. pseudo checksum `Ve` of `V` (line 7) — Algorithm 2 computes it every
-//!    panel, Algorithm 3 only when it updates the checksums;
+//! 2. the solver's panel kernel — `PDLAHRD` / `PDLAQRF` (line 6);
+//! 3. pseudo checksum `Ve` of `V` (line 7) — only for solvers with a right
+//!    update; Algorithm 2 computes it every panel, Algorithm 3 only when it
+//!    updates the checksums;
 //! 4. bookkeeping of `(panel, Y, T)` to the next process column (lines 8–9);
 //! 5. right update `trail(Aₑ) −= Y·(Vₑ)ᵀ` (line 10) — Algorithm 2 includes
 //!    the checksum columns of the groups after the scope, Algorithm 3 only
-//!    the original columns;
+//!    the original columns. A left-only solver (QR) has no right update:
+//!    the step still commits its boundary, so fail-point ids and the chaos
+//!    rollback protocol are identical for every solver;
 //! 6. left update `trail(Aₑ) −= V·Tᵀ·Vᵀ·trail(Aₑ)` (line 11), same column
-//!    scope rule;
+//!    scope rule — row checksums are invariant under left updates for both
+//!    solvers (Theorem 1), whether or not the checksum columns ride along;
 //! 7. at scope end: Algorithm 3 catches the checksum columns up
 //!    (lines 10–17 of Algorithm 3), then the finished group's checksum is
 //!    recomputed once — it protects the finished columns (Area 2) forever.
@@ -25,8 +31,9 @@ use crate::encode::Encoded;
 use crate::recovery;
 use crate::scope::{ChkProgress, ScopeState};
 use crate::scrub::{ScrubEngine, ScrubEscalation, ScrubPolicy, ScrubReport, TrailingScan};
+use crate::solver::{FtSolver, Hessenberg, HouseholderQr};
 use ft_dense::Matrix;
-use ft_pblas::{left_update, pdlahrd, right_update, PanelFactors};
+use ft_pblas::{left_update, right_update, PanelFactors};
 use ft_runtime::{catch_interrupt, Ctx, FailCheck, Tag};
 use std::time::Instant;
 
@@ -205,16 +212,17 @@ pub fn ve_row_index(enc: &Encoded, g: usize, copy: usize, off: usize) -> usize {
 pub fn ve_rows(enc: &Encoded, f: &PanelFactors) -> Matrix {
     let nb = enc.nb();
     let ncopies = enc.ncopies();
+    let r0 = f.v_row0();
     let mut ve = Matrix::zeros(ncopies * enc.groups() * nb, f.w);
     for copy in 0..ncopies {
         for g in 0..enc.groups() {
             for off in 0..nb {
                 let r = ve_row_index(enc, g, copy, off);
                 for c in enc.member_cols(g, off) {
-                    if c > f.k && c < f.n {
+                    if c >= r0 && c < f.n {
                         let w = enc.col_weight(copy, c);
                         for l in 0..f.w {
-                            ve[(r, l)] += w * f.vfull[(c - f.k - 1, l)];
+                            ve[(r, l)] += w * f.vfull[(c - r0, l)];
                         }
                     }
                 }
@@ -331,7 +339,7 @@ pub(crate) fn ft_left(ctx: &Ctx, enc: &mut Encoded, f: &PanelFactors, from: usiz
     }
     let v_myrows = f.v_for_local_rows(&enc.a);
     let n = enc.n();
-    left_update(ctx, &mut enc.a, f.k, n, &locals, &v_myrows, &f.t);
+    left_update(ctx, &mut enc.a, f.v_row0(), n, &locals, &v_myrows, &f.t);
 }
 
 /// Left update on the checksum columns only (Algorithm 3 catch-up).
@@ -339,20 +347,31 @@ pub(crate) fn ft_left_chk_only(ctx: &Ctx, enc: &mut Encoded, f: &PanelFactors, s
     let (locals, _) = local_chk_cols_after(enc, s);
     let v_myrows = f.v_for_local_rows(&enc.a);
     let n = enc.n();
-    left_update(ctx, &mut enc.a, f.k, n, &locals, &v_myrows, &f.t);
+    left_update(ctx, &mut enc.a, f.v_row0(), n, &locals, &v_myrows, &f.t);
 }
 
 /// Algorithm 3: bring the checksum columns up to date with the data state
 /// "(full updates of `factors[0..full]`) + (right update of `factors[full]`
 /// when `extra_right`)". Tracks progress in `st.chk` so updates are applied
-/// exactly once.
-pub(crate) fn alg3_catch_up(ctx: &Ctx, enc: &mut Encoded, st: &mut ScopeState, s: usize, full: usize, extra_right: bool) {
+/// exactly once. For a left-only solver the right halves are no-ops (the
+/// progress marker still advances identically, keeping recovery's phase
+/// bookkeeping solver-agnostic).
+pub(crate) fn alg3_catch_up(
+    ctx: &Ctx,
+    solver: &dyn FtSolver,
+    enc: &mut Encoded,
+    st: &mut ScopeState,
+    s: usize,
+    full: usize,
+    extra_right: bool,
+) {
+    let right = solver.has_right_update();
     let mut done = st.chk.panels_done;
     let mut right_done = st.chk.right_done_for_next;
     while done < full {
         let f = st.factors[done].clone();
-        let ve = ve_rows(enc, &f);
-        if !right_done {
+        if right && !right_done {
+            let ve = ve_rows(enc, &f);
             ft_right_chk_only(enc, &f, &ve, s);
         }
         ft_left_chk_only(ctx, enc, &f, s);
@@ -360,9 +379,11 @@ pub(crate) fn alg3_catch_up(ctx: &Ctx, enc: &mut Encoded, st: &mut ScopeState, s
         right_done = false;
     }
     if extra_right && !right_done {
-        let f = st.factors[full].clone();
-        let ve = ve_rows(enc, &f);
-        ft_right_chk_only(enc, &f, &ve, s);
+        if right {
+            let f = st.factors[full].clone();
+            let ve = ve_rows(enc, &f);
+            ft_right_chk_only(enc, &f, &ve, s);
+        }
         right_done = true;
     }
     st.chk.panels_done = done;
@@ -680,6 +701,90 @@ pub fn ft_pdgehrd(ctx: &Ctx, enc: &mut Encoded, variant: Variant, tau: &mut [f64
     ft_pdgehrd_full(ctx, enc, variant, tau, ScrubPolicy::disabled(), &mut |_, _, _, _| {})
 }
 
+/// The fault-tolerant distributed Householder QR (SPMD) — the second solver
+/// of the ABFT framework, running on the **identical** shared driver,
+/// recovery, scrub and chaos machinery as [`ft_pdgehrd`] via the
+/// [`FtSolver`] contract.
+///
+/// Factors the logical `N×N` part of `enc` in place: `R` in the upper
+/// triangle, reflectors below the diagonal, `tau` (length ≥ N) replicated
+/// on exit — exactly [`ft_pblas::pdgeqrf`]'s output. QR applies only left
+/// updates, so the checksum columns stay consistent without pseudo-checksum
+/// (`Ve`) machinery; everything else (scopes, bookkeeping, §5.3 recovery,
+/// boundary images) is the shared code path.
+///
+/// ```
+/// use ft_hess::{failpoint, ft_pdgeqrf, Encoded, Phase, Variant};
+/// use ft_runtime::{run_spmd, FaultScript};
+///
+/// // Rank 1 dies right after the second QR panel's factorization …
+/// let script = FaultScript::one(1, failpoint(1, Phase::AfterPanel));
+/// let recoveries = run_spmd(2, 2, script, |ctx| {
+///     let mut enc = Encoded::from_global_fn(&ctx, 12, 2, |i, j| {
+///         ft_dense::gen::uniform_entry(7, i, j)
+///     });
+///     let mut tau = vec![0.0; 12];
+///     ft_pdgeqrf(&ctx, &mut enc, Variant::NonDelayed, &mut tau)
+///         .expect("one failure per row is within the fault model")
+///         .recoveries
+/// });
+/// // … and every process reports exactly one transparent recovery.
+/// assert_eq!(recoveries, vec![1, 1, 1, 1]);
+/// ```
+pub fn ft_pdgeqrf(ctx: &Ctx, enc: &mut Encoded, variant: Variant, tau: &mut [f64]) -> Result<FtReport, FtError> {
+    ft_pdgeqrf_full(ctx, enc, variant, tau, ScrubPolicy::disabled(), &mut |_, _, _, _| {})
+}
+
+/// [`ft_pdgeqrf`] with the online SDC scrub engine enabled — the QR
+/// counterpart of [`ft_pdgehrd_scrubbed`].
+pub fn ft_pdgeqrf_scrubbed(
+    ctx: &Ctx,
+    enc: &mut Encoded,
+    variant: Variant,
+    tau: &mut [f64],
+    policy: ScrubPolicy,
+) -> Result<FtReport, FtError> {
+    ft_pdgeqrf_full(ctx, enc, variant, tau, policy, &mut |_, _, _, _| {})
+}
+
+/// [`ft_pdgeqrf`] with an observation hook — the QR counterpart of
+/// [`ft_pdgehrd_hooked`] (same hook contract and caveats).
+pub fn ft_pdgeqrf_hooked(
+    ctx: &Ctx,
+    enc: &mut Encoded,
+    variant: Variant,
+    tau: &mut [f64],
+    hook: &mut dyn FnMut(&Ctx, &mut Encoded, usize, Phase),
+) -> Result<FtReport, FtError> {
+    ft_pdgeqrf_full(ctx, enc, variant, tau, ScrubPolicy::disabled(), hook)
+}
+
+/// The full-surface QR driver: scrub policy + observation hook. All other
+/// `ft_pdgeqrf*` entry points delegate here.
+pub fn ft_pdgeqrf_full(
+    ctx: &Ctx,
+    enc: &mut Encoded,
+    variant: Variant,
+    tau: &mut [f64],
+    policy: ScrubPolicy,
+    hook: &mut dyn FnMut(&Ctx, &mut Encoded, usize, Phase),
+) -> Result<FtReport, FtError> {
+    ft_solver_driver(ctx, &HouseholderQr, enc, variant, tau, policy, hook, false)
+}
+
+/// Replacement-process entry point for a distributed QR run — the QR
+/// counterpart of [`ft_pdgehrd_replacement`].
+pub fn ft_pdgeqrf_replacement(
+    ctx: &Ctx,
+    enc: &mut Encoded,
+    variant: Variant,
+    tau: &mut [f64],
+    policy: ScrubPolicy,
+) -> Result<FtReport, FtError> {
+    assert!(ctx.distributed(), "ft_pdgeqrf_replacement only makes sense on a real transport");
+    ft_solver_driver(ctx, &HouseholderQr, enc, variant, tau, policy, &mut |_, _, _, _| {}, true)
+}
+
 /// [`ft_pdgehrd`] with the online SDC scrub engine enabled: at the
 /// boundaries `policy` schedules, the engine verifies every live checksum
 /// copy, separates data from checksum corruption, localizes and corrects
@@ -724,7 +829,7 @@ pub fn ft_pdgehrd_full(
     policy: ScrubPolicy,
     hook: &mut dyn FnMut(&Ctx, &mut Encoded, usize, Phase),
 ) -> Result<FtReport, FtError> {
-    ft_pdgehrd_driver(ctx, enc, variant, tau, policy, hook, false)
+    ft_solver_driver(ctx, &Hessenberg, enc, variant, tau, policy, hook, false)
 }
 
 /// Entry point for a **respawned replacement process** in a distributed run:
@@ -744,12 +849,16 @@ pub fn ft_pdgehrd_replacement(
     policy: ScrubPolicy,
 ) -> Result<FtReport, FtError> {
     assert!(ctx.distributed(), "ft_pdgehrd_replacement only makes sense on a real transport");
-    ft_pdgehrd_driver(ctx, enc, variant, tau, policy, &mut |_, _, _, _| {}, true)
+    ft_solver_driver(ctx, &Hessenberg, enc, variant, tau, policy, &mut |_, _, _, _| {}, true)
 }
 
+/// The generic driver every `ft_pdgehrd*` / `ft_pdgeqrf*` entry point
+/// delegates to: the whole ABFT state machine, written once over the
+/// [`FtSolver`] contract.
 #[allow(clippy::too_many_arguments)] // internal plumbing of the driver loop
-fn ft_pdgehrd_driver(
+fn ft_solver_driver(
     ctx: &Ctx,
+    solver: &dyn FtSolver,
     enc: &mut Encoded,
     variant: Variant,
     tau: &mut [f64],
@@ -765,9 +874,7 @@ fn ft_pdgehrd_driver(
     // detects and corrects silent corruption there — each group has exactly
     // one member, so localization is trivial.
     assert!(q >= 2 || ctx.grid().size() == 1, "Q = 1 is only supported on a 1×1 grid");
-    if n > 1 {
-        assert!(tau.len() >= n - 1, "ft_pdgehrd: tau too short");
-    }
+    assert!(tau.len() >= solver.tau_len(n), "ft driver ({}): tau too short", solver.name());
 
     let mut report = FtReport::default();
     let t_total = Instant::now();
@@ -814,7 +921,8 @@ fn ft_pdgehrd_driver(
 
     'run: loop {
         if !need_recovery {
-            match catch_interrupt(|| run_loop(ctx, enc, variant, tau, hook, &mut st, &mut imgs, &mut scrub, &mut report)) {
+            match catch_interrupt(|| run_loop(ctx, solver, enc, variant, tau, hook, &mut st, &mut imgs, &mut scrub, &mut report))
+            {
                 Ok(done) => {
                     done?;
                     break 'run;
@@ -859,7 +967,7 @@ fn ft_pdgehrd_driver(
                 let (phase, s, id) = (image.phase, image.s, image.id);
                 dtrace!(ctx, "driver: rolled back to boundary id={id} panel={} phase={phase:?}", st.panel_idx);
                 let sc = st.scope.get_or_insert_with(|| ScopeState::empty(ctx, enc));
-                recovery::recover(ctx, enc, sc, &agreed.victims, me, variant, phase, s);
+                recovery::recover(ctx, solver, enc, sc, &agreed.victims, me, variant, phase, s);
                 dtrace!(ctx, "driver: §5.3 recovery done");
                 (phase, s, id)
             });
@@ -954,6 +1062,7 @@ fn apply_sdc_flips(ctx: &Ctx, enc: &mut Encoded) {
 #[allow(clippy::too_many_arguments)] // internal plumbing of the driver loop
 fn run_loop(
     ctx: &Ctx,
+    solver: &dyn FtSolver,
     enc: &mut Encoded,
     variant: Variant,
     tau: &mut [f64],
@@ -968,8 +1077,8 @@ fn run_loop(
     let q = ctx.npcol();
     let include_chk = variant == Variant::NonDelayed;
 
-    while st.k + 2 < n {
-        let w = nb.min(n - 2 - st.k);
+    while solver.panel_exists(st.k, n) {
+        let w = solver.panel_width(st.k, n, nb);
         let bc = st.k / nb;
         let s = bc / q;
 
@@ -980,15 +1089,16 @@ fn run_loop(
                 report.snapshot_secs += t.elapsed().as_secs_f64();
             }
             let sc = st.scope.as_mut().expect("scope always begins before panels");
-            handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::BeforePanel, scrub, report)?;
+            handle_failpoint(ctx, solver, enc, sc, variant, s, st.panel_idx, Phase::BeforePanel, scrub, report)?;
             commit_boundary_image(ctx, enc, tau, st, imgs, Step::Panel, Phase::BeforePanel, s);
             hook(ctx, enc, st.panel_idx, Phase::BeforePanel);
         }
 
         if st.resume == Step::Panel {
-            let f = pdlahrd(ctx, &mut enc.a, n, st.k, w);
-            let ve = ve_rows(enc, &f);
-            if variant == Variant::NonDelayed {
+            let f = solver.factor_panel(ctx, &mut enc.a, n, st.k, w);
+            debug_assert_eq!(f.v_row_offset, solver.v_row_offset(), "panel kernel/solver geometry mismatch");
+            if solver.has_right_update() && variant == Variant::NonDelayed {
+                let ve = ve_rows(enc, &f);
                 store_ve(enc, &f, &ve);
             }
             {
@@ -997,7 +1107,7 @@ fn run_loop(
                 report.bookkeeping_secs += t.elapsed().as_secs_f64();
             }
             let sc = st.scope.as_mut().unwrap();
-            handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::AfterPanel, scrub, report)?;
+            handle_failpoint(ctx, solver, enc, sc, variant, s, st.panel_idx, Phase::AfterPanel, scrub, report)?;
             commit_boundary_image(ctx, enc, tau, st, imgs, Step::Right, Phase::AfterPanel, s);
             hook(ctx, enc, st.panel_idx, Phase::AfterPanel);
         }
@@ -1005,12 +1115,17 @@ fn run_loop(
         if st.resume == Step::Right {
             // On resume after a rollback the panel's factors come from the
             // scope bookkeeping (replicated and deterministic), not from a
-            // re-run of pdlahrd.
-            let f = st.scope.as_ref().unwrap().factors.last().expect("panel factored").clone();
-            let ve = ve_rows(enc, &f);
-            ft_right(enc, &f, &ve, st.k + w, n, include_chk, s);
+            // re-run of the panel kernel. A left-only solver does no work
+            // here, but the step still runs its fail point and commits its
+            // boundary so fail-point ids and the rollback protocol are
+            // solver-independent.
+            if solver.has_right_update() {
+                let f = st.scope.as_ref().unwrap().factors.last().expect("panel factored").clone();
+                let ve = ve_rows(enc, &f);
+                ft_right(enc, &f, &ve, st.k + w, n, include_chk, s);
+            }
             let sc = st.scope.as_mut().unwrap();
-            handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::AfterRightUpdate, scrub, report)?;
+            handle_failpoint(ctx, solver, enc, sc, variant, s, st.panel_idx, Phase::AfterRightUpdate, scrub, report)?;
             commit_boundary_image(ctx, enc, tau, st, imgs, Step::Left, Phase::AfterRightUpdate, s);
             hook(ctx, enc, st.panel_idx, Phase::AfterRightUpdate);
         }
@@ -1019,7 +1134,7 @@ fn run_loop(
             let f = st.scope.as_ref().unwrap().factors.last().expect("panel factored").clone();
             ft_left(ctx, enc, &f, st.k + w, n, include_chk, s);
             let sc = st.scope.as_mut().unwrap();
-            handle_failpoint(ctx, enc, sc, variant, s, st.panel_idx, Phase::AfterLeftUpdate, scrub, report)?;
+            handle_failpoint(ctx, solver, enc, sc, variant, s, st.panel_idx, Phase::AfterLeftUpdate, scrub, report)?;
             commit_boundary_image(ctx, enc, tau, st, imgs, Step::ScopeEnd, Phase::AfterLeftUpdate, s);
             hook(ctx, enc, st.panel_idx, Phase::AfterLeftUpdate);
         }
@@ -1040,14 +1155,14 @@ fn run_loop(
         if ctx.sdc_enabled() {
             apply_sdc_flips(ctx, enc);
         }
-        let last_panel_overall = st.k + w + 2 >= n;
+        let last_panel_overall = !solver.panel_exists(st.k + w, n);
         let scope_closing = bc % q == q - 1 || last_panel_overall;
         let scan_due = scrub.engine.due(st.panel_idx, scope_closing);
         if scope_closing {
             let t = Instant::now();
             let sc = st.scope.as_mut().unwrap();
             if variant == Variant::Delayed {
-                alg3_catch_up(ctx, enc, sc, s, sc.factors.len(), false);
+                alg3_catch_up(ctx, solver, enc, sc, s, sc.factors.len(), false);
             }
             // The scope-boundary scan runs after the catch-up (every live
             // copy satisfies Theorem 1 now, both variants) and strictly
@@ -1064,7 +1179,10 @@ fn run_loop(
                     TrailingScan::Suspect
                 };
                 let sc = st.scope.as_ref().unwrap();
-                if let Err(esc) = scrub.engine.scrub_pass(ctx, enc, sc, s, Phase::AfterLeftUpdate, trailing) {
+                if let Err(esc) = scrub
+                    .engine
+                    .scrub_pass(ctx, solver, enc, sc, s, Phase::AfterLeftUpdate, trailing)
+                {
                     scrub_escalate(enc, tau, st, scrub, st.panel_idx, esc)?;
                     continue; // re-execute from the restored verified boundary
                 }
@@ -1084,7 +1202,10 @@ fn run_loop(
             } else {
                 TrailingScan::Skip
             };
-            if let Err(esc) = scrub.engine.scrub_pass(ctx, enc, sc, s, Phase::AfterLeftUpdate, trailing) {
+            if let Err(esc) = scrub
+                .engine
+                .scrub_pass(ctx, solver, enc, sc, s, Phase::AfterLeftUpdate, trailing)
+            {
                 scrub_escalate(enc, tau, st, scrub, st.panel_idx, esc)?;
                 continue;
             }
@@ -1103,7 +1224,7 @@ fn run_loop(
         // image; only full-coverage scans move it forward.
         let full_coverage = scope_closing || variant == Variant::NonDelayed;
         if scan_due && full_coverage && scrub.engine.policy.rollback {
-            let s_next = if st.k + 2 < n { (st.k / nb) / q } else { enc.groups() };
+            let s_next = if solver.panel_exists(st.k, n) { (st.k / nb) / q } else { enc.groups() };
             // Scrub images never enter the distributed boundary agreement
             // (they are rollback-only, per rank), so their id is unused.
             scrub.img = Some(capture_image(enc, tau, st, Phase::BeforePanel, s_next, 0));
@@ -1124,6 +1245,7 @@ fn run_loop(
 #[allow(clippy::too_many_arguments)] // internal plumbing of the driver loop
 fn handle_failpoint(
     ctx: &Ctx,
+    solver: &dyn FtSolver,
     enc: &mut Encoded,
     st: &mut ScopeState,
     variant: Variant,
@@ -1151,7 +1273,7 @@ fn handle_failpoint(
             // chaos injector can target it (ChaosPoint::RecoveryOp) and
             // exercise re-entrant recovery.
             ctx.begin_recovery();
-            recovery::recover(ctx, enc, st, &victims, me, variant, phase, s);
+            recovery::recover(ctx, solver, enc, st, &victims, me, variant, phase, s);
             ctx.end_recovery();
             report.recoveries += 1;
             report.victims.extend_from_slice(&victims);
@@ -1171,7 +1293,7 @@ fn handle_failpoint(
                 } else {
                     TrailingScan::Suspect
                 };
-                if let Err(esc) = scrub.engine.scrub_pass(ctx, enc, st, s, phase, trailing) {
+                if let Err(esc) = scrub.engine.scrub_pass(ctx, solver, enc, st, s, phase, trailing) {
                     return Err(FtError::ScrubUnrecoverable { panel: panel_idx, group: esc.group, block_col: esc.block_col });
                 }
             }

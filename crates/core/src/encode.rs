@@ -145,6 +145,13 @@ impl Encoded {
         (c / self.nb) % self.q
     }
 
+    /// Member blocks per checksum group (= the grid width `Q` the encoding
+    /// was built on).
+    #[inline]
+    pub fn members_per_group(&self) -> usize {
+        self.q
+    }
+
     /// Weight of logical column `c` in checksum copy `copy` of its group.
     #[inline]
     pub fn col_weight(&self, copy: usize, c: usize) -> f64 {
@@ -223,31 +230,14 @@ impl Encoded {
     /// cost the paper's §6 model charges (`T_Q · N/(nb·Q)` at encode time).
     pub fn compute_group_checksum(&mut self, ctx: &Ctx, g: usize) {
         let lrn = self.a.local_rows_below(self.n);
-        let ldl = self.a.local().ld().max(1);
         for copy in 0..self.ncopies() {
-            // Weighted partial block: Σ w(copy, idx)·member columns I own.
-            let mut partial = vec![0.0f64; lrn * self.nb];
-            for off in 0..self.nb {
-                for c in self.member_cols(g, off) {
-                    if self.a.owns_col(c) {
-                        let w = self.col_weight(copy, c);
-                        let lc = self.a.g2l_col(c);
-                        let col = &self.a.local().as_slice()[lc * ldl..lc * ldl + lrn];
-                        for (i, v) in col.iter().enumerate() {
-                            partial[i + off * lrn] += w * v;
-                        }
-                    }
-                }
-            }
+            // Weighted partial block: Σ w(copy, idx)·member columns I own —
+            // the shared loop in `areas`, so encode/recover/scrub accumulate
+            // in the identical order.
+            let mut partial = crate::areas::weighted_partial_block(self, g, lrn, |_| true, |c| self.col_weight(copy, c));
             let owner_q = self.a.col_owner(self.chk_col(g, copy, 0));
             ctx.reduce_sum_row(owner_q, &mut partial, TAG_ENCODE.offset(copy as u16));
-            if ctx.mycol() == owner_q {
-                for off in 0..self.nb {
-                    let lc = self.a.g2l_col(self.chk_col(g, copy, off));
-                    let dst = &mut self.a.local_mut().as_mut_slice()[lc * ldl..lc * ldl + lrn];
-                    dst.copy_from_slice(&partial[off * lrn..(off + 1) * lrn]);
-                }
-            }
+            self.write_chk_block(g, copy, &partial);
         }
     }
 

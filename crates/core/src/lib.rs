@@ -1,15 +1,25 @@
-//! # ft-hess — algorithm-based fault tolerant Hessenberg reduction
+//! # ft-hess — a solver-agnostic ABFT framework, instantiated for the
+//! # fault-tolerant Hessenberg reduction and Householder QR
 //!
 //! The paper's contribution (Jia, Bosilca, Luszczek, Dongarra, SC '13): a
 //! hybrid ABFT + diskless-checkpointing scheme that makes the distributed
 //! blocked Hessenberg reduction resilient to fail-stop process failures.
+//! The machinery is written once against the [`FtSolver`] contract
+//! (DESIGN.md §12) and instantiated twice: [`ft_pdgehrd`] (the paper's
+//! solver) and [`ft_pdgeqrf`] (right-looking Householder QR, a left-only
+//! solver that needs none of the pseudo-checksum `Ve` machinery).
 //!
+//! * [`solver`] — the [`FtSolver`] trait: panel geometry, reflector offset,
+//!   and whether a trailing right update exists.
 //! * [`encode`] — checksum encoding of the input matrix (§4): duplicated
 //!   row-checksum block columns on the right, pseudo-checksum rows at the
 //!   bottom for `Ve`.
-//! * [`algorithm`] — [`ft_pdgehrd`], Algorithm 2 (non-delayed) and
-//!   Algorithm 3 (delayed checksum updates), with scripted fail points
-//!   between the phases of every iteration.
+//! * `areas` (crate-internal) — the shared checksum-group address
+//!   arithmetic and the one copy of the weighted partial-sum loop that
+//!   encoding, recovery and scrub correction all use.
+//! * [`algorithm`] — [`ft_pdgehrd`] / [`ft_pdgeqrf`], Algorithm 2
+//!   (non-delayed) and Algorithm 3 (delayed checksum updates), with
+//!   scripted fail points between the phases of every iteration.
 //! * [`scope`] — the panel-scope diskless checkpoints: snapshots and the
 //!   per-panel `(panel, Y, T)` bookkeeping on the next process column.
 //! * [`recovery`] — the §5.3 recovery procedure over the four areas of
@@ -29,16 +39,18 @@
 //! across every (iteration × phase × victim) combination.
 
 pub mod algorithm;
+pub(crate) mod areas;
 pub mod checkpoint_restart;
 pub mod encode;
 pub mod model;
 pub mod recovery;
 pub mod scope;
 pub mod scrub;
+pub mod solver;
 
 pub use algorithm::{
-    failpoint, ft_pdgehrd, ft_pdgehrd_full, ft_pdgehrd_hooked, ft_pdgehrd_replacement, ft_pdgehrd_scrubbed, ve_rows, FtError,
-    FtReport, Phase, Variant,
+    failpoint, ft_pdgehrd, ft_pdgehrd_full, ft_pdgehrd_hooked, ft_pdgehrd_replacement, ft_pdgehrd_scrubbed, ft_pdgeqrf,
+    ft_pdgeqrf_full, ft_pdgeqrf_hooked, ft_pdgeqrf_replacement, ft_pdgeqrf_scrubbed, ve_rows, FtError, FtReport, Phase, Variant,
 };
 pub use checkpoint_restart::{cr_failpoint, cr_pdgehrd, CrReport};
 pub use encode::{Encoded, Redundancy};
@@ -49,3 +61,4 @@ pub use scrub::{
     assert_theorem1, diagnose, first_theorem1_violation, local_row_span, locate_member, scan_group, scrub_groups, Diagnosis,
     GroupScan, ScrubCadence, ScrubEngine, ScrubEscalation, ScrubFinding, ScrubPolicy, ScrubReport, TrailingScan,
 };
+pub use solver::{FtSolver, Hessenberg, HouseholderQr};

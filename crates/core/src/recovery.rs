@@ -32,6 +32,7 @@
 use crate::algorithm::{alg3_catch_up, ft_left, ft_right, store_ve, ve_rows, Phase, Variant};
 use crate::encode::{Encoded, Redundancy};
 use crate::scope::ScopeState;
+use crate::solver::FtSolver;
 use ft_runtime::{Ctx, Tag};
 use std::collections::{BTreeSet, HashMap};
 
@@ -113,6 +114,7 @@ pub fn check_tolerance(ctx: &Ctx, redundancy: Redundancy, victims: &[usize]) -> 
 #[allow(clippy::too_many_arguments)]
 pub fn recover(
     ctx: &Ctx,
+    solver: &dyn FtSolver,
     enc: &mut Encoded,
     st: &mut ScopeState,
     victims: &[usize],
@@ -172,7 +174,7 @@ pub fn recover(
             Phase::AfterPanel => (st.factors.len() - 1, false),
             Phase::AfterRightUpdate => (st.factors.len() - 1, true),
         };
-        alg3_catch_up(ctx, enc, st, s, full, extra_right);
+        alg3_catch_up(ctx, solver, enc, st, s, full, extra_right);
     }
 
     // Step 4: Areas 1 and 2 — per process row, solve for the lost member
@@ -181,7 +183,7 @@ pub fn recover(
 
     // Step 5: Area 4 — roll the unfactorized scope columns back to the
     // snapshot everywhere, then replay the saved panel updates.
-    replay_area4(ctx, enc, st, s, phase);
+    replay_area4(ctx, solver, enc, st, s, phase);
 
     // Step 6: restore the victims' lost checksum blocks. With the paper's
     // duplicated checksums, copy from the surviving duplicate (§5.2); with
@@ -209,8 +211,9 @@ pub fn recover(
     }
 
     // Step 7: restore the Ve bottom-row storage for the current panel
-    // (local writes; owners overwrite with identical values).
-    if variant == Variant::NonDelayed {
+    // (local writes; owners overwrite with identical values). Left-only
+    // solvers never store Ve, so there is nothing to restore.
+    if solver.has_right_update() && variant == Variant::NonDelayed {
         if let Some(f) = st.factors.last() {
             let f = f.clone();
             let ve = ve_rows(enc, &f);
@@ -226,7 +229,7 @@ pub fn recover(
 /// rebuild is bit-identical on clean processes and only wrong blocks
 /// actually change — which is what makes it safe to run over a
 /// *suspected-corrupt* matrix as well as after a fail-stop wipe.
-pub(crate) fn replay_area4(ctx: &Ctx, enc: &mut Encoded, st: &ScopeState, s: usize, phase: Phase) {
+pub(crate) fn replay_area4(ctx: &Ctx, solver: &dyn FtSolver, enc: &mut Encoded, st: &ScopeState, s: usize, phase: Phase) {
     // (At BeforePanel the interrupted panel has not run, but `factors` then
     // holds only completed panels, so this bound is right at every phase.)
     let a4_start = st.factors.last().map(|f| f.k + f.w).unwrap_or(st.start_col);
@@ -248,7 +251,7 @@ pub(crate) fn replay_area4(ctx: &Ctx, enc: &mut Encoded, st: &ScopeState, s: usi
                 Phase::AfterLeftUpdate => (true, true),
             }
         };
-        if do_right {
+        if do_right && solver.has_right_update() {
             let ve = ve_rows(enc, &f);
             ft_right(enc, &f, &ve, a4_start, st.end_col, false, s);
         }
@@ -292,10 +295,6 @@ fn restore_checksum_duplicates(ctx: &Ctx, enc: &mut Encoded, victims: &[usize]) 
 /// * one weighted live-sum row-reduction per equation, solved element-wise
 ///   on the first victim, which sends the second victim its block.
 fn recover_areas_1_2(ctx: &Ctx, enc: &mut Encoded, rows: &HashMap<usize, Vec<usize>>, s: usize) {
-    let nb = enc.nb();
-    let q = ctx.npcol();
-    let ldl = enc.a.local().ld().max(1);
-
     let mut row_list: Vec<(&usize, &Vec<usize>)> = rows.iter().collect();
     row_list.sort_by_key(|(p, _)| **p);
 
@@ -318,7 +317,7 @@ fn recover_areas_1_2(ctx: &Ctx, enc: &mut Encoded, rows: &HashMap<usize, Vec<usi
                 .iter()
                 .zip(&victim_cols)
                 .filter_map(|(&v, &qv)| {
-                    let base = (g * q + qv) * nb;
+                    let base = crate::areas::member_base(enc, g, qv);
                     (base < enc.n()).then_some((v, qv, base))
                 })
                 .collect();
@@ -338,19 +337,7 @@ fn recover_areas_1_2(ctx: &Ctx, enc: &mut Encoded, rows: &HashMap<usize, Vec<usi
             for &c in &eq_copies {
                 // Weighted live partial over my member columns (victims'
                 // wiped columns contribute zero, as required).
-                let mut partial = vec![0.0f64; lrn * nb];
-                for off in 0..nb {
-                    for col in enc.member_cols(g, off) {
-                        if enc.a.owns_col(col) {
-                            let w = enc.col_weight(c, col);
-                            let lc = enc.a.g2l_col(col);
-                            let data = &enc.a.local().as_slice()[lc * ldl..lc * ldl + lrn];
-                            for (i, x) in data.iter().enumerate() {
-                                partial[i + off * lrn] += w * x;
-                            }
-                        }
-                    }
-                }
+                let mut partial = crate::areas::weighted_partial_block(enc, g, lrn, |_| true, |col| enc.col_weight(c, col));
                 let solver_col = ctx.grid().coords_of(solver).1;
                 ctx.reduce_sum_row(solver_col, &mut partial, TAG_A12_RED.offset(c as u16));
 
@@ -385,11 +372,7 @@ fn recover_areas_1_2(ctx: &Ctx, enc: &mut Encoded, rows: &HashMap<usize, Vec<usi
                 };
                 for ((v, _, base), sol) in unknowns.iter().zip(sols) {
                     if *v == solver {
-                        for off in 0..nb {
-                            let lc = enc.a.g2l_col(base + off);
-                            enc.a.local_mut().as_mut_slice()[lc * ldl..lc * ldl + lrn]
-                                .copy_from_slice(&sol[off * lrn..(off + 1) * lrn]);
-                        }
+                        crate::areas::write_member_block(enc, *base, lrn, &sol);
                     } else {
                         ctx.send(*v, TAG_A12_PEER, &sol);
                     }
@@ -398,11 +381,7 @@ fn recover_areas_1_2(ctx: &Ctx, enc: &mut Encoded, rows: &HashMap<usize, Vec<usi
             for &(v, _, base) in &unknowns {
                 if ctx.rank() == v && v != solver {
                     let sol = ctx.recv(solver, TAG_A12_PEER);
-                    for off in 0..nb {
-                        let lc = enc.a.g2l_col(base + off);
-                        enc.a.local_mut().as_mut_slice()[lc * ldl..lc * ldl + lrn]
-                            .copy_from_slice(&sol[off * lrn..(off + 1) * lrn]);
-                    }
+                    crate::areas::write_member_block(enc, base, lrn, &sol);
                 }
             }
         }

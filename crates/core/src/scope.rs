@@ -348,7 +348,9 @@ impl ScopeState {
     }
 }
 
-/// Flatten a factor list into one `f64` buffer (victim restoration).
+/// Flatten a factor list into one `f64` buffer (victim restoration). Each
+/// factor carries a 5-word header `[k, w, n, y_rows, v_row_offset]` so the
+/// receiver can rebuild the solver-specific reflector geometry.
 pub fn serialize_factors(fs: &[PanelFactors]) -> Vec<f64> {
     let mut out = vec![fs.len() as f64];
     for f in fs {
@@ -356,6 +358,7 @@ pub fn serialize_factors(fs: &[PanelFactors]) -> Vec<f64> {
         out.push(f.w as f64);
         out.push(f.n as f64);
         out.push(f.y_loc.rows() as f64);
+        out.push(f.v_row_offset as f64);
         out.extend_from_slice(&f.tau);
         out.extend_from_slice(f.t.as_slice());
         out.extend_from_slice(f.vfull.as_slice());
@@ -375,17 +378,18 @@ pub fn deserialize_factors(buf: &[f64]) -> Vec<PanelFactors> {
         let w = buf[p + 1] as usize;
         let n = buf[p + 2] as usize;
         let yrows = buf[p + 3] as usize;
-        p += 4;
+        let v_row_offset = buf[p + 4] as usize;
+        p += 5;
         let tau = buf[p..p + w].to_vec();
         p += w;
         let t = Matrix::from_vec(w, w, buf[p..p + w * w].to_vec());
         p += w * w;
-        let vm = n - k - 1;
+        let vm = n - k - v_row_offset;
         let vfull = Matrix::from_vec(vm, w, buf[p..p + vm * w].to_vec());
         p += vm * w;
         let y_loc = Matrix::from_vec(yrows, w, buf[p..p + yrows * w].to_vec());
         p += yrows * w;
-        fs.push(PanelFactors { k, w, n, tau, t, vfull, y_loc });
+        fs.push(PanelFactors { k, w, n, v_row_offset, tau, t, vfull, y_loc });
     }
     assert_eq!(p, buf.len(), "factor deserialization length mismatch");
     fs
@@ -403,19 +407,38 @@ mod tests {
             k: 4,
             w: 2,
             n: 9,
+            v_row_offset: 1,
             tau: vec![0.5, 0.25],
             t: Matrix::from_fn(2, 2, |i, j| (i * 2 + j) as f64),
             vfull: Matrix::from_fn(4, 2, |i, j| (10 * i + j) as f64),
             y_loc: Matrix::from_fn(5, 2, |i, j| (100 * i + j) as f64),
         };
-        let buf = serialize_factors(&[f.clone(), f.clone()]);
+        // A QR-shaped factor: reflectors start on the diagonal (offset 0,
+        // one more vfull row) and there is no right update (empty Y).
+        let g = PanelFactors {
+            k: 4,
+            w: 2,
+            n: 9,
+            v_row_offset: 0,
+            tau: vec![0.75, 0.125],
+            t: Matrix::from_fn(2, 2, |i, j| (7 * i + j) as f64),
+            vfull: Matrix::from_fn(5, 2, |i, j| (20 * i + j) as f64),
+            y_loc: Matrix::zeros(0, 2),
+        };
+        let buf = serialize_factors(&[f.clone(), g.clone(), f.clone()]);
         let back = deserialize_factors(&buf);
-        assert_eq!(back.len(), 2);
-        assert_eq!(back[1].k, 4);
-        assert_eq!(back[1].tau, f.tau);
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[2].k, 4);
+        assert_eq!(back[2].tau, f.tau);
         assert_eq!(back[0].t, f.t);
         assert_eq!(back[0].vfull, f.vfull);
         assert_eq!(back[0].y_loc, f.y_loc);
+        assert_eq!(back[0].v_row_offset, 1);
+        assert_eq!(back[1].v_row_offset, 0);
+        assert_eq!(back[1].vfull, g.vfull);
+        assert_eq!(back[1].y_loc.rows(), 0);
+        assert_eq!(back[1].v_row0(), 4);
+        assert_eq!(back[0].v_row0(), 5);
     }
 
     #[test]

@@ -16,43 +16,27 @@ use super::residual::TAG_SCRUB;
 /// state is all zeros and the formula reproduces exactly that.
 pub(crate) fn correct_member(ctx: &Ctx, enc: &mut Encoded, g: usize, idx: usize) {
     let nb = enc.nb();
-    let q = ctx.npcol();
-    let base = (g * q + idx) * nb;
+    let base = crate::areas::member_base(enc, g, idx);
     if base >= enc.n_pad() {
         return;
     }
     let owner_q = enc.a.col_owner(base);
     let lrn = enc.a.local_rows_below(enc.n());
-    let ldl = enc.a.local().ld().max(1);
 
-    // Partial sums of the *other* members over my columns. `member_cols`
-    // clamps to the logical N, so clean padding blocks contribute their
-    // true zeros without being read.
-    let mut partial = vec![0.0f64; lrn * nb];
-    for off in 0..nb {
-        for c in enc.member_cols(g, off) {
-            if c != base + off && enc.a.owns_col(c) {
-                let lc = enc.a.g2l_col(c);
-                let col = &enc.a.local().as_slice()[lc * ldl..lc * ldl + lrn];
-                for (i, v) in col.iter().enumerate() {
-                    partial[i + off * lrn] += v;
-                }
-            }
-        }
-    }
+    // Partial sums of the *other* members over my columns — the convicted
+    // block is excluded entirely (its contents may be Inf/NaN garbage that
+    // a zero weight would not neutralize). `member_cols` clamps to the
+    // logical N, so clean padding blocks contribute their true zeros
+    // without being read.
+    let mut partial = crate::areas::weighted_partial_block(enc, g, lrn, |c| c < base || c >= base + nb, |_| 1.0);
     ctx.reduce_sum_row(owner_q, &mut partial, TAG_SCRUB.offset(32));
 
     // Checksum copy 0 travels to the member owner's process column.
     let chk = enc.move_chk_block_to(ctx, g, 0, owner_q, TAG_SCRUB.offset(34));
     if ctx.mycol() == owner_q {
         let chk = chk.expect("destination column holds the moved block");
-        for off in 0..nb {
-            let lc = enc.a.g2l_col(base + off);
-            let dst = &mut enc.a.local_mut().as_mut_slice()[lc * ldl..lc * ldl + lrn];
-            for i in 0..lrn {
-                dst[i] = chk[i + off * lrn] - partial[i + off * lrn];
-            }
-        }
+        let fixed: Vec<f64> = chk.iter().zip(&partial).map(|(c, p)| c - p).collect();
+        crate::areas::write_member_block(enc, base, lrn, &fixed);
     }
 }
 
@@ -92,6 +76,13 @@ pub(crate) fn heal_area3(enc: &mut Encoded, st: &ScopeState) -> usize {
 /// detected — snapshot rollback plus deterministic replay of the saved
 /// panel updates rebuilds them bit-identically from trusted sources (the
 /// scope snapshot and the replicated factors). Collective.
-pub(crate) fn refresh_area4(ctx: &Ctx, enc: &mut Encoded, st: &ScopeState, s: usize, phase: crate::algorithm::Phase) {
-    crate::recovery::replay_area4(ctx, enc, st, s, phase);
+pub(crate) fn refresh_area4(
+    ctx: &Ctx,
+    solver: &dyn crate::solver::FtSolver,
+    enc: &mut Encoded,
+    st: &ScopeState,
+    s: usize,
+    phase: crate::algorithm::Phase,
+) {
+    crate::recovery::replay_area4(ctx, solver, enc, st, s, phase);
 }

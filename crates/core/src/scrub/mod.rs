@@ -44,6 +44,7 @@ pub use residual::{diagnose, first_theorem1_violation, scan_group, Diagnosis, Gr
 use crate::algorithm::Phase;
 use crate::encode::Encoded;
 use crate::scope::ScopeState;
+use crate::solver::FtSolver;
 use ft_runtime::{Ctx, Tag};
 use residual::TAG_SCRUB;
 use std::time::Instant;
@@ -60,14 +61,10 @@ use std::time::Instant;
 /// Delayed variant (Algorithm 3) restores it at scope boundaries after the
 /// catch-up. The core test suites call this helper instead of hand-rolling
 /// the loop.
-pub fn assert_theorem1(ctx: &Ctx, enc: &Encoded, scope: usize, tol: f64, context: &str) -> usize {
-    let (checked, hit) = first_theorem1_violation(ctx, enc, scope, tol);
+pub fn assert_theorem1(ctx: &Ctx, enc: &Encoded, scope: usize, tol: f64, solver: &'static str, context: &str) -> usize {
+    let (checked, hit) = first_theorem1_violation(ctx, enc, scope, tol, solver);
     if let Some((g, copy, v)) = hit {
-        panic!(
-            "Theorem 1 violated at {context}: group {g} copy {copy} (checksum block column {}): \
-             max |residual| {:.3e} ≥ {tol}",
-            v.block_col, v.max_abs
-        );
+        panic!("Theorem 1 violated at {context}: group {g} copy {copy} — {v} ≥ {tol}");
     }
     checked
 }
@@ -266,9 +263,11 @@ impl ScrubEngine {
     ///
     /// Collective. Returns the first uncorrectable group as a
     /// [`ScrubEscalation`] (replicated — every rank agrees).
+    #[allow(clippy::too_many_arguments)] // driver-internal plumbing
     pub fn scrub_pass(
         &mut self,
         ctx: &Ctx,
+        solver: &dyn FtSolver,
         enc: &mut Encoded,
         st: &ScopeState,
         s: usize,
@@ -285,7 +284,7 @@ impl ScrubEngine {
         // would absorb any lingering scope corruption for good.
         self.report.area3_repairs += correct::heal_area3(enc, st);
         if st.scope < enc.groups() {
-            correct::refresh_area4(ctx, enc, st, s, phase);
+            correct::refresh_area4(ctx, solver, enc, st, s, phase);
         }
 
         let mut escalation: Option<ScrubEscalation> = None;
@@ -316,13 +315,19 @@ impl ScrubEngine {
                     if enc.checksum_violation(ctx, g, 1, TAG_SCRUB.offset(36)) <= self.policy.tol {
                         self.report.corrections += 1;
                     } else {
-                        escalation = Some(ScrubEscalation { group: g, block_col: g * ctx.npcol() + idx });
+                        escalation = Some(ScrubEscalation {
+                            group: g,
+                            block_col: crate::areas::member_block_col(enc, g, idx),
+                        });
                         break;
                     }
                 }
                 Diagnosis::DataCorrupt { .. } => {
                     self.report.detections += 1;
-                    escalation = Some(ScrubEscalation { group: g, block_col: g * ctx.npcol() });
+                    escalation = Some(ScrubEscalation {
+                        group: g,
+                        block_col: crate::areas::member_block_col(enc, g, 0),
+                    });
                     break;
                 }
             }

@@ -78,25 +78,30 @@ pub fn diagnose(enc: &Encoded, scan: &GroupScan, q: usize, tol: f64) -> Diagnosi
     }
 }
 
-/// The first Theorem-1 violation among the live copies of groups strictly
-/// after `scope`, as `(group, copy, violation)` — plus the number of
+/// The first Theorem-1 violation among the live copies of every group
+/// except the active scope itself (whose checksums are legitimately stale
+/// mid-scope), as `(group, copy, violation)` — plus the number of
 /// `(group, copy)` pairs that were checked before one failed (all of them
-/// on a clean pass). Collective; the verdict is replicated, so every rank
-/// early-returns at the same pair.
+/// on a clean pass). `solver` names the running [`crate::FtSolver`] in the
+/// violation report; the area label is solver-relative (`g > scope` is the
+/// trailing Area 1, `g < scope` the finished Area 2). Collective; the
+/// verdict is replicated, so every rank early-returns at the same pair.
 pub fn first_theorem1_violation(
     ctx: &Ctx,
     enc: &Encoded,
     scope: usize,
     tol: f64,
+    solver: &'static str,
 ) -> (usize, Option<(usize, usize, Theorem1Violation)>) {
     let mut checked = 0usize;
-    for g in scope + 1..enc.groups() {
+    for g in (0..enc.groups()).filter(|&g| g != scope) {
         for copy in 0..enc.ncopies() {
             let members = enc.weighted_members(g, copy);
             let chk_base = enc.chk_col(g, copy, 0);
             let (max_abs, _) = pd_chk_block_residual(ctx, &enc.a, enc.n(), enc.nb(), &members, chk_base, TAG_T1);
             if max_abs >= tol {
-                let v = Theorem1Violation { block_col: chk_base / enc.nb(), max_abs };
+                let area = if g > scope { "trailing (Area 1)" } else { "finished (Area 2)" };
+                let v = Theorem1Violation { block_col: chk_base / enc.nb(), max_abs, solver, area };
                 return (checked, Some((g, copy, v)));
             }
             checked += 1;
@@ -151,7 +156,7 @@ mod tests {
         run_spmd(1, 2, FaultScript::none(), |ctx| {
             let mut enc = Encoded::from_global_fn(&ctx, 8, 2, |i, j| uniform_entry(22, i, j));
             enc.compute_initial_checksums(&ctx);
-            let (checked, none) = first_theorem1_violation(&ctx, &enc, 0, 1e-9);
+            let (checked, none) = first_theorem1_violation(&ctx, &enc, 0, 1e-9, "hessenberg");
             assert_eq!(checked, 2); // group 1, both copies
             assert!(none.is_none());
 
@@ -162,11 +167,15 @@ mod tests {
                 let v = enc.a.get(2, cc);
                 enc.a.set(2, cc, v + 4.0);
             }
-            let (_, hit) = first_theorem1_violation(&ctx, &enc, 0, 1e-9);
+            let (_, hit) = first_theorem1_violation(&ctx, &enc, 0, 1e-9, "hessenberg");
             let (g, copy, viol) = hit.expect("corruption missed");
             assert_eq!((g, copy), (1, 1));
             assert_eq!(viol.block_col, cc / enc.nb());
             assert!((viol.max_abs - 4.0).abs() < 1e-9);
+            // Satellite check: the human-facing message names solver + area.
+            let msg = viol.to_string();
+            assert!(msg.contains("solver hessenberg"), "{msg}");
+            assert!(msg.contains("trailing (Area 1)"), "{msg}");
         });
     }
 }

@@ -155,7 +155,7 @@ fn delayed_recovery_preserves_future_checksums() {
             // is only owed at scope-opening boundaries.
             if phase == Phase::BeforePanel && panel % ctx.npcol() == 0 {
                 let s = panel / ctx.npcol();
-                assert_theorem1(ctx, enc, s, 1e-9, &format!("scope {s} open (post-recovery)"));
+                assert_theorem1(ctx, enc, s, 1e-9, "hessenberg", &format!("scope {s} open (post-recovery)"));
             }
         })
         .expect("within the fault model");

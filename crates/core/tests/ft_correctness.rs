@@ -69,7 +69,7 @@ fn theorem1_invariant_all_phases() {
         let mut checked = 0usize;
         ft_pdgehrd_hooked(&ctx, &mut enc, Variant::NonDelayed, &mut tau, &mut |ctx, enc, panel, phase| {
             let s = (panel * nb / nb) / ctx.npcol(); // scope of this panel
-            checked += assert_theorem1(ctx, enc, s, 1e-11, &format!("panel {panel} {phase:?}"));
+            checked += assert_theorem1(ctx, enc, s, 1e-11, "hessenberg", &format!("panel {panel} {phase:?}"));
         })
         .expect("within the fault model");
         // The sweep actually exercised trailing groups.
@@ -90,7 +90,7 @@ fn theorem1_invariant_delayed_at_scope_boundaries() {
             let bc = panel; // w == nb here, so panel index == block column
             if phase == Phase::BeforePanel && bc % ctx.npcol() == 0 {
                 let s = bc / ctx.npcol();
-                assert_theorem1(ctx, enc, s, 1e-11, &format!("scope boundary at panel {panel}"));
+                assert_theorem1(ctx, enc, s, 1e-11, "hessenberg", &format!("scope boundary at panel {panel}"));
             }
         })
         .expect("within the fault model");

@@ -8,6 +8,8 @@
 //!   `A = Q·H·Qᵀ`, the panel kernel `lahr2`, and `orghr` to form `Q`;
 //! * [`eig`] — Francis double-shift QR iteration on the Hessenberg form
 //!   (the second phase of the dense eigensolver the paper motivates);
+//! * [`qr`] — blocked Householder QR (`geqr2`/`geqrf`/`orgqr`), the
+//!   sequential oracle for the ABFT framework's second solver;
 //! * [`residual`] — the paper's `r∞` residual (§7.3, Table 1) and structure
 //!   checks.
 //!
@@ -19,6 +21,7 @@ pub mod eig;
 pub mod eigvec;
 pub mod hessenberg;
 pub mod householder;
+pub mod qr;
 pub mod residual;
 
 pub use eig::{eigenvalues, hessenberg_eigenvalues, Eigenvalue};
@@ -30,4 +33,5 @@ pub fn householder_iamax(x: &[f64]) -> usize {
     ft_dense::level1::iamax(x).expect("nonempty vector")
 }
 pub use hessenberg::{extract_h, gehd2, gehrd, hessenberg, lahr2, orghr, DEFAULT_NB};
+pub use qr::{extract_r, geqr2, geqrf, is_upper_triangular, orgqr, qr_residual};
 pub use residual::{hessenberg_residual, is_hessenberg, orthogonality_residual, RESIDUAL_THRESHOLD};

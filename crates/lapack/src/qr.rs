@@ -1,0 +1,210 @@
+//! Shared-memory Householder QR (`geqr2`/`geqrf`/`orgqr`) — the sequential
+//! correctness oracle for the distributed `pdgeqrf` and the FT
+//! `ft_pdgeqrf` (the second solver of the ABFT framework).
+//!
+//! Storage follows LAPACK: `R` in the upper triangle (diagonal included),
+//! reflector `j` below the diagonal of column `j` with an implicit unit at
+//! the diagonal. `tau` has length `n` for an `n×n` matrix.
+//!
+//! QR is verified **eigen-free**: unlike the Hessenberg pipeline there is
+//! no spectrum to compare, so correctness is the pair of scaled residuals
+//! `‖A − Q·R‖∞/(‖A‖∞·N·ε)` ([`qr_residual`]) and `‖QᵀQ − I‖∞/(N·ε)`
+//! ([`crate::residual::orthogonality_residual`]).
+
+use crate::householder::{larfb, larfg, larft};
+use ft_dense::level3::gemm;
+use ft_dense::norms::inf_norm;
+use ft_dense::{Matrix, Side, Trans, EPS};
+
+/// Unblocked Householder QR of the `m×w` sub-panel `A(k..n, k..k+w)`
+/// (LAPACK `dgeqr2` restricted to a panel). Reflector units sit on the
+/// diagonal; `tau[j]` receives the scalar for column `k+j`.
+pub fn geqr2(a: &mut Matrix, k: usize, w: usize, tau: &mut [f64]) {
+    let n = a.rows();
+    let lda = n;
+    assert!(k + w <= a.cols() && k + w <= n, "geqr2: panel out of range");
+    assert!(tau.len() >= w, "geqr2: tau too short");
+    for (j, t) in tau.iter_mut().enumerate().take(w) {
+        let c = k + j;
+        let buf = a.as_mut_slice();
+        // Generate H_j annihilating A(c+1..n, c).
+        let mut alpha = buf[c + c * lda];
+        let tau_j = {
+            let x = &mut buf[c * lda + c + 1..c * lda + n];
+            larfg(&mut alpha, x)
+        };
+        buf[c + c * lda] = alpha;
+        *t = tau_j;
+        // Apply H_j to the remaining panel columns (rows c..n).
+        let rem = k + w - c - 1;
+        if rem > 0 && tau_j != 0.0 {
+            let mut v = vec![0.0; n - c];
+            v[0] = 1.0;
+            v[1..].copy_from_slice(&buf[c * lda + c + 1..c * lda + n]);
+            let (_, cpart) = buf.split_at_mut((c + 1) * lda);
+            crate::householder::larf_left(tau_j, &v, n - c, rem, &mut cpart[c..], lda);
+        }
+    }
+}
+
+/// Extract the explicit `(n−k)×w` reflector block `V` of panel `k` (unit
+/// diagonal materialized, zeros above).
+fn panel_v(a: &Matrix, k: usize, w: usize) -> Matrix {
+    let n = a.rows();
+    let m = n - k;
+    Matrix::from_fn(m, w, |i, l| match i.cmp(&l) {
+        std::cmp::Ordering::Less => 0.0,
+        std::cmp::Ordering::Equal => 1.0,
+        std::cmp::Ordering::Greater => a[(k + i, k + l)],
+    })
+}
+
+/// Blocked Householder QR of the square matrix `a` (LAPACK `dgeqrf` with
+/// panel width `nb`). On exit: `R` in the upper triangle, reflectors below
+/// the diagonal, `tau` (length ≥ n) filled.
+pub fn geqrf(a: &mut Matrix, nb: usize, tau: &mut [f64]) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "geqrf: matrix must be square");
+    assert!(tau.len() >= n, "geqrf: tau too short");
+    assert!(nb >= 1, "geqrf: nb must be positive");
+    let lda = n;
+    let mut k = 0;
+    while k < n {
+        let w = nb.min(n - k);
+        geqr2(a, k, w, &mut tau[k..k + w]);
+        // Block-apply Qᵀ = I − V·Tᵀ·Vᵀ to the trailing columns k+w..n.
+        let trail = n - k - w;
+        if trail > 0 {
+            let v = panel_v(a, k, w);
+            let m = v.rows();
+            let mut t = Matrix::zeros(w, w);
+            larft(m, w, v.as_slice(), m.max(1), &tau[k..k + w], t.as_mut_slice(), w);
+            let (_, cpart) = a.as_mut_slice().split_at_mut((k + w) * lda);
+            larfb(Side::Left, Trans::Yes, m, trail, w, v.as_slice(), m.max(1), t.as_slice(), w, &mut cpart[k..], lda);
+        }
+        k += w;
+    }
+}
+
+/// Form the orthogonal `Q` of a [`geqrf`] factorization (LAPACK `dorgqr`):
+/// `Q = H₀·H₁⋯H_{n−1}` applied to the identity, accumulated in reverse.
+pub fn orgqr(a: &Matrix, tau: &[f64]) -> Matrix {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "orgqr: matrix must be square");
+    assert!(tau.len() >= n, "orgqr: tau too short");
+    let mut q = Matrix::identity(n);
+    let ldq = n;
+    for c in (0..n).rev() {
+        let m = n - c;
+        let mut v = vec![0.0; m];
+        v[0] = 1.0;
+        for i in 1..m {
+            v[i] = a[(c + i, c)];
+        }
+        let qbuf = q.as_mut_slice();
+        crate::householder::larf_left(tau[c], &v, m, m, &mut qbuf[c * ldq + c..], ldq);
+    }
+    q
+}
+
+/// Extract the upper-triangular `R` (diagonal included) from a [`geqrf`]
+/// output, zeroing the reflector storage below.
+pub fn extract_r(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    Matrix::from_fn(n, a.cols(), |i, j| if i <= j { a[(i, j)] } else { 0.0 })
+}
+
+/// Scaled QR residual `‖A − Q·R‖∞ / (‖A‖∞·N·ε)` — the eigen-free
+/// correctness oracle, judged against the same
+/// [`crate::residual::RESIDUAL_THRESHOLD`] as the Hessenberg `r∞`.
+pub fn qr_residual(a: &Matrix, q: &Matrix, r: &Matrix) -> f64 {
+    let n = a.rows();
+    assert!(n > 0, "empty matrix");
+    assert_eq!(a.cols(), n);
+    assert_eq!((q.rows(), q.cols()), (n, n));
+    assert_eq!((r.rows(), r.cols()), (n, n));
+    let mut res = a.clone();
+    gemm(Trans::No, Trans::No, n, n, n, -1.0, q.as_slice(), n, r.as_slice(), n, 1.0, res.as_mut_slice(), n);
+    let na = inf_norm(a);
+    if na == 0.0 {
+        return 0.0;
+    }
+    inf_norm(&res) / (na * n as f64 * EPS)
+}
+
+/// `true` if every entry strictly below the diagonal is exactly 0.
+pub fn is_upper_triangular(r: &Matrix) -> bool {
+    for j in 0..r.cols() {
+        for i in j + 1..r.rows() {
+            if r[(i, j)] != 0.0 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::residual::{orthogonality_residual, RESIDUAL_THRESHOLD};
+    use ft_dense::gen::uniform_indexed_matrix;
+
+    #[test]
+    fn geqrf_factorizes_random_matrices() {
+        for (n, nb, seed) in [(16usize, 4usize, 1u64), (17, 4, 2), (9, 3, 3), (5, 8, 4), (1, 2, 5)] {
+            let a0 = uniform_indexed_matrix(n, n, seed);
+            let mut a = a0.clone();
+            let mut tau = vec![0.0; n];
+            geqrf(&mut a, nb, &mut tau);
+            let q = orgqr(&a, &tau);
+            let r = extract_r(&a);
+            assert!(is_upper_triangular(&r));
+            let res = qr_residual(&a0, &q, &r);
+            let orth = orthogonality_residual(&q);
+            assert!(res < RESIDUAL_THRESHOLD, "n={n} nb={nb}: residual {res}");
+            assert!(orth < RESIDUAL_THRESHOLD, "n={n} nb={nb}: orthogonality {orth}");
+        }
+    }
+
+    #[test]
+    fn blocked_matches_unblocked() {
+        let n = 13;
+        let a0 = uniform_indexed_matrix(n, n, 7);
+        let mut a1 = a0.clone();
+        let mut tau1 = vec![0.0; n];
+        geqr2(&mut a1, 0, n, &mut tau1);
+        for nb in [1usize, 3, 4, 16] {
+            let mut a2 = a0.clone();
+            let mut tau2 = vec![0.0; n];
+            geqrf(&mut a2, nb, &mut tau2);
+            // Same reflectors (the blocked algorithm runs the identical
+            // column math, just batched), so R and tau agree to roundoff.
+            let d = extract_r(&a1).max_abs_diff(&extract_r(&a2));
+            assert!(d < 1e-10, "nb={nb}: |R1 − R2| = {d}");
+            for j in 0..n {
+                assert!((tau1[j] - tau2[j]).abs() < 1e-12, "nb={nb}: tau[{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn already_triangular_is_fixpoint_up_to_signs() {
+        // An upper-triangular input with positive diagonal: every larfg sees
+        // a zero tail except for sign flips; Q must be diagonal ±1.
+        let n = 6;
+        let a0 = Matrix::from_fn(n, n, |i, j| if i <= j { 1.0 + (i + 2 * j) as f64 } else { 0.0 });
+        let mut a = a0.clone();
+        let mut tau = vec![0.0; n];
+        geqrf(&mut a, 3, &mut tau);
+        let q = orgqr(&a, &tau);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    assert!(q[(i, j)].abs() < 1e-12);
+                }
+            }
+        }
+        assert!(qr_residual(&a0, &q, &extract_r(&a)) < RESIDUAL_THRESHOLD);
+    }
+}

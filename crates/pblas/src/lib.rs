@@ -7,30 +7,34 @@
 //!   `l2g`);
 //! * [`dist`] — [`DistMatrix`], each process's local share of a global
 //!   matrix (Figure 1 of the paper);
-//! * [`panel`] — the distributed Hessenberg panel factorization
-//!   (`PDLAHRD`), returning the `(V, T, Y)` factors the ABFT layer must
-//!   checkpoint;
+//! * [`panel`] — the distributed panel factorizations (`PDLAHRD` for
+//!   Hessenberg, `PDLAQRF` for QR), returning the `(V, T, Y)` factors the
+//!   ABFT layer must checkpoint;
 //! * [`update`] — the `PDGEMM` right update and `PDLARFB` left update,
 //!   parameterized over explicit column sets so the ABFT layer can route
 //!   checksum columns through the identical code path;
 //! * [`hessd`] — [`pdgehrd`], the fault-*intolerant* baseline (Algorithm 1)
-//!   every experiment compares against.
+//!   every experiment compares against;
+//! * [`qrd`] — [`pdgeqrf`], the plain blocked QR baseline for the second
+//!   solver of the ABFT framework.
 
 pub mod dist;
 pub mod hessd;
 pub mod layout;
 pub mod panel;
 pub mod pdgemm;
+pub mod qrd;
 pub mod update;
 pub mod verify;
 
 pub use dist::{Desc, DistMatrix};
 pub use hessd::pdgehrd;
 pub use layout::{g2l, g2p, l2g, numroc};
-pub use panel::{pdlahrd, replicate_reflector_block, PanelFactors};
+pub use panel::{pdlahrd, pdlaqrf, replicate_reflector_block, PanelFactors};
 pub use pdgemm::pdgemm;
-pub use update::{apply_panel_updates, left_update, left_update_op, right_update};
+pub use qrd::pdgeqrf;
+pub use update::{apply_panel_updates, apply_qr_panel_updates, left_update, left_update_op, right_update};
 pub use verify::{
-    pd_chk_block_residual, pd_extract_h, pd_gather_traffic, pd_gather_transport, pd_hessenberg_residual, pd_inf_norm, pd_orghr,
-    Theorem1Violation,
+    pd_chk_block_residual, pd_extract_h, pd_extract_r, pd_gather_traffic, pd_gather_transport, pd_hessenberg_residual,
+    pd_inf_norm, pd_orghr, pd_orgqr, pd_orthogonality_residual, pd_qr_residual, Theorem1Violation,
 };

@@ -51,54 +51,72 @@ pub struct PanelFactors {
     /// Logical matrix dimension `n` (the distributed matrix may be larger —
     /// the ABFT layer appends checksum rows/columns beyond `n`).
     pub n: usize,
+    /// Row offset of the reflector block relative to the panel column:
+    /// reflector `l`'s implicit unit sits at global row `k + l +
+    /// v_row_offset` and `vfull` covers global rows `k + v_row_offset .. n`.
+    /// Hessenberg panels (`pdlahrd`) use 1 (reflectors below the
+    /// subdiagonal); QR panels (`pdlaqrf`) use 0 (reflectors at the
+    /// diagonal).
+    pub v_row_offset: usize,
     /// Reflector scalars, replicated everywhere.
     pub tau: Vec<f64>,
     /// `w×w` upper triangular WY factor, replicated everywhere.
     pub t: Matrix,
-    /// `V` with explicit units/zeros, rows `k+1..n` of the global matrix
-    /// (`(n−k−1)×w`), replicated everywhere.
+    /// `V` with explicit units/zeros, rows `k+v_row_offset..n` of the global
+    /// matrix (`(n−k−v_row_offset)×w`), replicated everywhere.
     pub vfull: Matrix,
     /// `Y = Â·V·T` restricted to this process's local rows `< n`
     /// (`local_rows_below(n) × w`), identical across the process row.
+    /// Empty (`0×w`) for solvers without a trailing right update.
     pub y_loc: Matrix,
 }
 
 impl PanelFactors {
+    /// First global row covered by `vfull` (and by the left update).
+    #[inline]
+    pub fn v_row0(&self) -> usize {
+        self.k + self.v_row_offset
+    }
+
     /// Build the `len(cols)×w` matrix whose row `i` is the `V` row of global
     /// index `cols[i]` (used as the right operand of the right update
     /// `A ← A − Y·Vᵀ` for those global columns).
     pub fn vrows_for(&self, cols: &[usize]) -> Matrix {
         let m = self.vfull.rows();
+        let r0 = self.v_row0();
         Matrix::from_fn(cols.len(), self.w, |i, l| {
             let g = cols[i];
-            debug_assert!(g > self.k && g < self.n);
-            self.vfull.as_slice()[(g - self.k - 1) + l * m]
+            debug_assert!(g >= r0 && g < self.n);
+            self.vfull.as_slice()[(g - r0) + l * m]
         })
     }
 
-    /// `V` restricted to the caller's local rows in `[k+1, n)`, given the
-    /// distributed matrix it belongs to.
+    /// `V` restricted to the caller's local rows in `[k+v_row_offset, n)`,
+    /// given the distributed matrix it belongs to.
     pub fn v_for_local_rows(&self, a: &DistMatrix) -> Matrix {
-        let lr0 = a.local_rows_below(self.k + 1);
+        let r0 = self.v_row0();
+        let lr0 = a.local_rows_below(r0);
         let lrn = a.local_rows_below(self.n);
         let m = self.vfull.rows();
         Matrix::from_fn(lrn - lr0, self.w, |i, l| {
             let g = a.l2g_row(lr0 + i);
-            self.vfull.as_slice()[(g - self.k - 1) + l * m]
+            self.vfull.as_slice()[(g - r0) + l * m]
         })
     }
 }
 
 /// Extract this process's local rows in `[from_g, n)` of reflector columns
-/// `0..j` of panel `k`, with explicit unit/zero structure. Only meaningful
-/// on the panel-owning process column.
-fn extract_v_local(a: &DistMatrix, k: usize, j: usize, from_g: usize, n: usize) -> Matrix {
+/// `0..j` of panel `k`, with explicit unit/zero structure. Reflector `l`'s
+/// unit sits at global row `k + l + off` (`off` = the solver's
+/// `v_row_offset`: 1 for Hessenberg, 0 for QR). Only meaningful on the
+/// panel-owning process column.
+fn extract_v_local(a: &DistMatrix, k: usize, j: usize, from_g: usize, n: usize, off: usize) -> Matrix {
     let lr0 = a.local_rows_below(from_g);
     let lrn = a.local_rows_below(n);
     let m = lrn - lr0;
     let mut v = Matrix::zeros(m, j);
     for l in 0..j {
-        let unit = k + l + 1;
+        let unit = k + l + off;
         let lc = a.g2l_col(k + l);
         for i in 0..m {
             let g = a.l2g_row(lr0 + i);
@@ -113,22 +131,25 @@ fn extract_v_local(a: &DistMatrix, k: usize, j: usize, from_g: usize, n: usize) 
 }
 
 /// Replicate the reflector block of panel `[k, k+w)` on every process:
-/// the `(n−k−1)×w` matrix `V` (global rows `k+1..n`) with explicit
-/// unit/zero structure, read from the reflectors stored below the first
-/// subdiagonal of `a`. Collective. Used by the panel factorization itself
-/// and by [`crate::verify::pd_orghr`] to rebuild `Q` after the fact.
-pub fn replicate_reflector_block(ctx: &Ctx, a: &DistMatrix, n: usize, k: usize, w: usize) -> Matrix {
+/// the `(n−k−off)×w` matrix `V` (global rows `k+off..n`, where `off` is the
+/// solver's `v_row_offset` — 1 for Hessenberg reflectors below the first
+/// subdiagonal, 0 for QR reflectors at the diagonal) with explicit
+/// unit/zero structure, read from the reflectors stored in `a`. Collective.
+/// Used by the panel factorizations themselves and by
+/// [`crate::verify::pd_orghr`] / [`crate::verify::pd_orgqr`] to rebuild `Q`
+/// after the fact.
+pub fn replicate_reflector_block(ctx: &Ctx, a: &DistMatrix, n: usize, k: usize, w: usize, off: usize) -> Matrix {
     let q_pan = a.col_owner(k);
     let on_panel = ctx.mycol() == q_pan;
-    let vm = n - k - 1;
+    let vm = n - k - off;
     let mut vfull_buf = vec![0.0f64; vm * w];
     if on_panel {
-        let vmine = extract_v_local(a, k, w, k + 1, n);
-        let lr0 = a.local_rows_below(k + 1);
+        let vmine = extract_v_local(a, k, w, k + off, n, off);
+        let lr0 = a.local_rows_below(k + off);
         for l in 0..w {
             for i in 0..vmine.rows() {
                 let g = a.l2g_row(lr0 + i);
-                vfull_buf[(g - k - 1) + l * vm] = vmine[(i, l)];
+                vfull_buf[(g - k - off) + l * vm] = vmine[(i, l)];
             }
         }
         ctx.allreduce_sum_col(&mut vfull_buf, TAG_VFULL);
@@ -183,7 +204,7 @@ pub fn pdlahrd(ctx: &Ctx, a: &mut DistMatrix, n: usize, k: usize, w: usize) -> P
                 }
 
                 // ---- left update of column c: b −= V·Tᵀ·Vᵀ·b over rows k+1..n
-                let vfix = extract_v_local(a, k, j, k + 1, n);
+                let vfix = extract_v_local(a, k, j, k + 1, n, 1);
                 let mut wv = vec![0.0; j];
                 if mlen > 0 {
                     let bcol = &a.local().as_slice()[lc * ldl + lr0..lc * ldl + lr_n];
@@ -291,7 +312,7 @@ pub fn pdlahrd(ctx: &Ctx, a: &mut DistMatrix, n: usize, k: usize, w: usize) -> P
     }
 
     // ---- replicate V (rows k+1..n, explicit structure) everywhere ---------
-    let vfull = replicate_reflector_block(ctx, a, n, k, w);
+    let vfull = replicate_reflector_block(ctx, a, n, k, w, 1);
 
     // ---- Y top rows (0..=k): Y_top = A(0..=k, k+1..n)·V·T ------------------
     let lrtop = a.local_rows_below(k + 1);
@@ -343,7 +364,120 @@ pub fn pdlahrd(ctx: &Ctx, a: &mut DistMatrix, n: usize, k: usize, w: usize) -> P
     let t = Matrix::from_vec(w, w, tbuf);
     ctx.bcast_row(q_pan, &mut tau, TAG_TAUB);
 
-    PanelFactors { k, w, n, tau, t, vfull, y_loc }
+    PanelFactors { k, w, n, v_row_offset: 1, tau, t, vfull, y_loc }
+}
+
+/// Distributed right-looking QR panel factorization (ScaLAPACK `PDGEQR2`
+/// within one block column, plus replicated WY factor assembly). SPMD: call
+/// on every process.
+///
+/// Reduces columns `k..k+w` of the distributed matrix to upper-triangular
+/// form with Householder reflectors whose units sit **on the diagonal**
+/// (`v_row_offset = 0`), storing reflectors below the diagonal with β at
+/// the unit positions — the same storage convention as `pdlahrd`, shifted
+/// up one row. Unlike Hessenberg, a QR panel needs no `Y = Â·V·T` running
+/// product (the trailing matrix is touched only by the *left* update), so
+/// only the panel-owning process column does per-column work; all other
+/// processes participate solely in the final replication collectives.
+/// `y_loc` comes back empty (`0×w`).
+///
+/// Requires the panel `[k, k+w)` to lie within one block column
+/// (`w ≤ nb` and `k % nb == 0`) and `k + w ≤ n`.
+pub fn pdlaqrf(ctx: &Ctx, a: &mut DistMatrix, n: usize, k: usize, w: usize) -> PanelFactors {
+    assert!(w >= 1 && k + w <= n, "pdlaqrf: bad panel (k={k}, w={w}, n={n})");
+    assert_eq!(k % a.desc().nb, 0, "pdlaqrf: panel must start on a block boundary");
+    assert!(w <= a.desc().nb, "pdlaqrf: panel wider than the blocking factor");
+    assert!(n <= a.desc().m && n <= a.desc().n, "pdlaqrf: logical n exceeds the matrix");
+
+    let q_pan = a.col_owner(k);
+    let on_panel = ctx.mycol() == q_pan;
+    let ldl = a.local().ld().max(1);
+    let lr_n = a.local_rows_below(n);
+    let mut tau = vec![0.0f64; w];
+
+    for (j, t) in tau.iter_mut().enumerate() {
+        let c = k + j;
+        let u = c; // unit on the diagonal
+        if !on_panel {
+            continue;
+        }
+        let lc = a.g2l_col(c);
+
+        // ---- generate the reflector for column c (distributed larfg) ------
+        let lr_u1 = a.local_rows_below(u + 1);
+        let mut ss = [0.0f64];
+        for lr in lr_u1..lr_n {
+            let x = a.local()[(lr, lc)];
+            ss[0] += x * x;
+        }
+        ctx.allreduce_sum_col(&mut ss, TAG_NRM);
+        let p_u = a.row_owner(u);
+        let mut al = vec![0.0f64];
+        if ctx.myrow() == p_u {
+            al[0] = a.get(u, c);
+        }
+        ctx.bcast_col(p_u, &mut al, TAG_ALPHA);
+        let alpha = al[0];
+        let xnorm = ss[0].sqrt();
+        let tau_j = if xnorm == 0.0 {
+            0.0
+        } else {
+            let beta = -f64::hypot(alpha, xnorm) * alpha.signum();
+            let s = 1.0 / (alpha - beta);
+            for lr in lr_u1..lr_n {
+                let v = &mut a.local_mut()[(lr, lc)];
+                *v *= s;
+            }
+            if ctx.myrow() == p_u {
+                a.set(u, c, beta);
+            }
+            (beta - alpha) / beta
+        };
+        *t = tau_j;
+
+        // ---- eager left application of H_j to the remaining panel columns
+        // (rows u..n), the geqr2 step distributed over the process column.
+        let rem = w - j - 1;
+        if rem > 0 && tau_j != 0.0 {
+            let lr_u = a.local_rows_below(u);
+            let mt = lr_n - lr_u;
+            let vj: Vec<f64> = (lr_u..lr_n)
+                .map(|lr| {
+                    let g = a.l2g_row(lr);
+                    if g == u {
+                        1.0
+                    } else {
+                        a.local()[(lr, lc)]
+                    }
+                })
+                .collect();
+            let lcc = a.g2l_col(c + 1);
+            let mut wv = vec![0.0f64; rem];
+            if mt > 0 {
+                let cbuf = &a.local().as_slice()[lcc * ldl + lr_u..];
+                gemv(Trans::Yes, mt, rem, 1.0, cbuf, ldl, &vj, 0.0, &mut wv);
+            }
+            ctx.allreduce_sum_col(&mut wv, TAG_LEFTW);
+            if mt > 0 {
+                for (jj, &wj) in wv.iter().enumerate() {
+                    let cbuf = &mut a.local_mut().as_mut_slice()[(lcc + jj) * ldl + lr_u..(lcc + jj) * ldl + lr_n];
+                    for (i, &vv) in vj.iter().enumerate() {
+                        cbuf[i] -= tau_j * wj * vv;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- replicate V (rows k..n) and tau, assemble T locally --------------
+    // T = larft(V, tau) is deterministic from replicated inputs, so every
+    // process computes an identical copy without further communication.
+    let vfull = replicate_reflector_block(ctx, a, n, k, w, 0);
+    ctx.bcast_row(q_pan, &mut tau, TAG_TAUB);
+    let mut t = Matrix::zeros(w, w);
+    ft_lapack::householder::larft(vfull.rows(), w, vfull.as_slice(), vfull.rows().max(1), &tau, t.as_mut_slice(), w);
+    let y_loc = Matrix::zeros(0, w);
+    PanelFactors { k, w, n, v_row_offset: 0, tau, t, vfull, y_loc }
 }
 
 #[cfg(test)]

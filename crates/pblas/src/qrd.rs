@@ -1,0 +1,114 @@
+//! Distributed blocked right-looking Householder QR — the plain (non-FT)
+//! baseline for the second solver, structurally the QR sibling of
+//! [`crate::hessd::pdgehrd`].
+//!
+//! Unlike Hessenberg reduction, QR applies **only left** updates to the
+//! trailing matrix: `A ← QᵀA` per panel. That asymmetry is what makes QR
+//! the simplest second solver for the ABFT framework — column checksums are
+//! invariant under left updates without any pseudo-checksum (`Ve`)
+//! machinery (paper §4, and Coti's FT-QR in PAPERS.md).
+
+use crate::dist::DistMatrix;
+use crate::panel::pdlaqrf;
+use crate::update::apply_qr_panel_updates;
+use ft_runtime::Ctx;
+
+/// Distributed blocked QR factorization (SPMD; call on every process).
+///
+/// Factors the leading `n×n` part of `a` in place (`n = a.desc().n` for the
+/// plain routine): `R` in the upper triangle, reflectors below the diagonal
+/// with β at the unit positions; `tau` (length ≥ n) is replicated on exit.
+pub fn pdgeqrf(ctx: &Ctx, a: &mut DistMatrix, tau: &mut [f64]) {
+    let n = a.desc().n;
+    assert_eq!(a.desc().m, n, "pdgeqrf: matrix must be square");
+    assert!(tau.len() >= n, "pdgeqrf: tau too short");
+    let nb = a.desc().nb;
+    let mut k = 0;
+    while k < n {
+        let w = nb.min(n - k);
+        let f = pdlaqrf(ctx, a, n, k, w);
+        apply_qr_panel_updates(ctx, a, &f, n);
+        tau[k..k + w].copy_from_slice(&f.tau);
+        k += w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Desc;
+    use ft_dense::gen::{uniform_entry, uniform_indexed_matrix};
+    use ft_lapack::qr::{extract_r, geqrf, orgqr, qr_residual};
+    use ft_lapack::residual::orthogonality_residual;
+    use ft_runtime::{run_spmd, FaultScript};
+
+    fn check_distributed_qr(p: usize, q: usize, n: usize, nb: usize, seed: u64) {
+        // Shared-memory reference with the same panel width.
+        let a0 = uniform_indexed_matrix(n, n, seed);
+        let mut aref = a0.clone();
+        let mut tau_ref = vec![0.0; n];
+        geqrf(&mut aref, nb, &mut tau_ref);
+
+        run_spmd(p, q, FaultScript::none(), move |ctx| {
+            let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
+            let mut tau = vec![0.0; n];
+            pdgeqrf(&ctx, &mut a, &mut tau);
+            let ag = a.gather_all(&ctx, 994);
+            if ctx.rank() == 0 {
+                // Valid factorization in its own right.
+                let r = extract_r(&ag);
+                let qm = orgqr(&ag, &tau);
+                let res = qr_residual(&a0, &qm, &r);
+                let orth = orthogonality_residual(&qm);
+                assert!(res < 10.0, "{p}x{q} n={n} nb={nb}: QR residual {res}");
+                assert!(orth < 10.0, "{p}x{q} n={n} nb={nb}: orthogonality {orth}");
+                // And it matches the shared-memory R to roundoff.
+                let rref = extract_r(&aref);
+                let d = r.max_abs_diff(&rref);
+                assert!(d < 1e-9, "{p}x{q} n={n} nb={nb}: |R - Rref| = {d}");
+                for (j, tr) in tau_ref.iter().enumerate() {
+                    assert!((tau[j] - tr).abs() < 1e-12, "tau[{j}]");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn pdgeqrf_matches_shared_2x2() {
+        check_distributed_qr(2, 2, 24, 4, 11);
+    }
+
+    #[test]
+    fn pdgeqrf_matches_shared_2x3() {
+        check_distributed_qr(2, 3, 23, 3, 12);
+    }
+
+    #[test]
+    fn pdgeqrf_matches_shared_3x2() {
+        check_distributed_qr(3, 2, 20, 5, 13);
+    }
+
+    #[test]
+    fn pdgeqrf_matches_shared_1x1() {
+        check_distributed_qr(1, 1, 15, 4, 14);
+    }
+
+    #[test]
+    fn pdgeqrf_ragged_and_tiny() {
+        check_distributed_qr(2, 2, 13, 4, 15);
+        for n in [1usize, 2, 3] {
+            run_spmd(2, 2, FaultScript::none(), move |ctx| {
+                let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb: 2 }, |i, j| uniform_entry(16, i, j));
+                let mut tau = vec![0.0; n];
+                pdgeqrf(&ctx, &mut a, &mut tau);
+                let ag = a.gather_all(&ctx, 995);
+                if ctx.rank() == 0 {
+                    let a0 = uniform_indexed_matrix(n, n, 16);
+                    let qm = orgqr(&ag, &tau);
+                    let r = extract_r(&ag);
+                    assert!(qr_residual(&a0, &qm, &r) < 10.0);
+                }
+            });
+        }
+    }
+}

@@ -66,7 +66,7 @@ pub fn right_update(a: &mut DistMatrix, row_limit_g: usize, local_cols: &[usize]
     }
 }
 
-/// Left update `A(k+1..row_limit_g, cols) ← (I − V·T·Vᵀ)ᵀ·A(…)`
+/// Left update `A(row0_g..row_limit_g, cols) ← (I − V·T·Vᵀ)ᵀ·A(…)`
 /// (the paper's `PDLARFB: trail(Aₑ) −= V·Tᵀ·Vᵀ·trail(Aₑ)`).
 ///
 /// Collective within each process **column** (the `W = Vᵀ·C` reduction runs
@@ -74,19 +74,21 @@ pub fn right_update(a: &mut DistMatrix, row_limit_g: usize, local_cols: &[usize]
 /// column list — the reduction shape only depends on the caller's own list,
 /// which is identical down a process column.
 ///
+/// * `row0_g` — first global row the block reflector acts on (the panel's
+///   `k + v_row_offset`: `k+1` for Hessenberg, `k` for QR);
 /// * `v_myrows` — `V` restricted to this process's local rows in
-///   `[k+1, row_limit_g)` (see [`PanelFactors::v_for_local_rows`]);
+///   `[row0_g, row_limit_g)` (see [`PanelFactors::v_for_local_rows`]);
 /// * `t` — the replicated `w×w` WY factor.
 pub fn left_update(
     ctx: &Ctx,
     a: &mut DistMatrix,
-    k: usize,
+    row0_g: usize,
     row_limit_g: usize,
     local_cols: &[usize],
     v_myrows: &Matrix,
     t: &Matrix,
 ) {
-    left_update_op(ctx, a, k, row_limit_g, local_cols, v_myrows, t, Trans::Yes)
+    left_update_op(ctx, a, row0_g, row_limit_g, local_cols, v_myrows, t, Trans::Yes)
 }
 
 /// [`left_update`] with an explicit choice of the `T` operator:
@@ -97,7 +99,7 @@ pub fn left_update(
 pub fn left_update_op(
     ctx: &Ctx,
     a: &mut DistMatrix,
-    k: usize,
+    row0_g: usize,
     row_limit_g: usize,
     local_cols: &[usize],
     v_myrows: &Matrix,
@@ -107,7 +109,7 @@ pub fn left_update_op(
     let w = t.rows();
     assert_eq!(t.cols(), w);
     assert_eq!(v_myrows.cols(), w);
-    let lr0 = a.local_rows_below(k + 1);
+    let lr0 = a.local_rows_below(row0_g);
     let lrn = a.local_rows_below(row_limit_g);
     let m = lrn - lr0;
     assert_eq!(v_myrows.rows(), m, "left_update: v_myrows rows");
@@ -165,6 +167,22 @@ pub fn apply_panel_updates(ctx: &Ctx, a: &mut DistMatrix, f: &PanelFactors, col_
     // ABFT bookkeeping copy is its final state.)
 
     // ---- left update of trailing columns (rows k+1..n) --------------------
+    let v_myrows = f.v_for_local_rows(a);
+    left_update(ctx, a, k + 1, n, &trail_cols, &v_myrows, &f.t);
+}
+
+/// The full post-panel update of right-looking QR on the **original**
+/// matrix columns: the left update `A(k..n, k+w..col_limit_g) ← Qᵀ·A(…)` —
+/// QR has no trailing right update (the factorization only multiplies from
+/// the left), which is exactly why its checksum *columns* survive every
+/// update untouched (paper §4: left updates preserve column checksums).
+pub fn apply_qr_panel_updates(ctx: &Ctx, a: &mut DistMatrix, f: &PanelFactors, col_limit_g: usize) {
+    let (k, w, n) = (f.k, f.w, f.n);
+    debug_assert!(col_limit_g <= n);
+    debug_assert_eq!(f.v_row_offset, 0);
+    let lc_t0 = a.local_cols_below(k + w);
+    let lc_t1 = a.local_cols_below(col_limit_g);
+    let trail_cols: Vec<usize> = (lc_t0..lc_t1).collect();
     let v_myrows = f.v_for_local_rows(a);
     left_update(ctx, a, k, n, &trail_cols, &v_myrows, &f.t);
 }

@@ -1,7 +1,8 @@
 //! Distributed verification: assemble `Q` from the stored reflectors
-//! (`pd_orghr`, the distributed `DORGHR`), extract `H`, and compute the
-//! paper's `r∞` residual — all without gathering the matrices to one
-//! process, so verification scales with the computation.
+//! (`pd_orghr` / `pd_orgqr`, the distributed `DORGHR`/`DORGQR`), extract
+//! `H` or `R`, and compute the paper's `r∞`-style residuals — all without
+//! gathering the matrices to one process, so verification scales with the
+//! computation.
 
 use crate::dist::DistMatrix;
 use crate::panel::replicate_reflector_block;
@@ -14,12 +15,26 @@ use ft_runtime::{Ctx, Tag, TrafficLedger, TransportStats};
 
 const TAG_NORM: Tag = Tag::User(0x170);
 
-/// The panel partition `(k, w)` the blocked reduction used for `n`/`nb`.
+/// The panel partition `(k, w)` the blocked Hessenberg reduction used for
+/// `n`/`nb`.
 pub fn panel_blocks(n: usize, nb: usize) -> Vec<(usize, usize)> {
     let mut blocks = Vec::new();
     let mut k = 0;
     while k + 2 < n {
         let w = nb.min(n - 2 - k);
+        blocks.push((k, w));
+        k += w;
+    }
+    blocks
+}
+
+/// The panel partition `(k, w)` the blocked QR factorization used for
+/// `n`/`nb` (QR reduces every column; Hessenberg stops two short).
+pub fn qr_panel_blocks(n: usize, nb: usize) -> Vec<(usize, usize)> {
+    let mut blocks = Vec::new();
+    let mut k = 0;
+    while k < n {
+        let w = nb.min(n - k);
         blocks.push((k, w));
         k += w;
     }
@@ -39,7 +54,7 @@ pub fn pd_orghr(ctx: &Ctx, a: &DistMatrix, n: usize, tau: &[f64]) -> DistMatrix 
     // Q = B₀·B₁⋯B_last·I: apply the block reflectors from the last panel
     // backwards, each as Q ← (I − V·T·Vᵀ)·Q restricted to rows k+1..n.
     for &(k, w) in panel_blocks(n, nb).iter().rev() {
-        let vfull = replicate_reflector_block(ctx, a, n, k, w);
+        let vfull = replicate_reflector_block(ctx, a, n, k, w, 1);
         // T from V and tau (replicated → local larft).
         let mut t = Matrix::zeros(w, w);
         larft(vfull.rows(), w, vfull.as_slice(), vfull.rows().max(1), &tau[k..k + w], t.as_mut_slice(), w);
@@ -61,6 +76,36 @@ pub fn pd_orghr(ctx: &Ctx, a: &DistMatrix, n: usize, tau: &[f64]) -> DistMatrix 
         // work, exactly like DORGHR.
         let lc0 = qm.local_cols_below(k + 1);
         let cols: Vec<usize> = (lc0..qm.lcols()).collect();
+        left_update_op(ctx, &mut qm, k + 1, n, &cols, &v_myrows, &t, Trans::No);
+    }
+    qm
+}
+
+/// Assemble the orthogonal factor `Q` of a completed distributed QR
+/// factorization (the output of `pdgeqrf`/`ft_pdgeqrf` with its `tau`):
+/// distributed `DORGQR`. SPMD, collective. Mirrors [`pd_orghr`] with the
+/// QR panel partition and reflector units on the diagonal
+/// (`v_row_offset = 0`).
+pub fn pd_orgqr(ctx: &Ctx, a: &DistMatrix, n: usize, tau: &[f64]) -> DistMatrix {
+    let nb = a.desc().nb;
+    let mut qm = DistMatrix::from_global_fn(ctx, crate::dist::Desc { m: n, n, nb }, |i, j| if i == j { 1.0 } else { 0.0 });
+    for &(k, w) in qr_panel_blocks(n, nb).iter().rev() {
+        let vfull = replicate_reflector_block(ctx, a, n, k, w, 0);
+        let mut t = Matrix::zeros(w, w);
+        larft(vfull.rows(), w, vfull.as_slice(), vfull.rows().max(1), &tau[k..k + w], t.as_mut_slice(), w);
+        // V restricted to my local rows in [k, n).
+        let lr0 = qm.local_rows_below(k);
+        let lrn = qm.local_rows_below(n);
+        let v_myrows = Matrix::from_fn(lrn - lr0, w, |i, l| {
+            let g = qm.l2g_row(lr0 + i);
+            vfull[(g - k, l)]
+        });
+        // Going backwards, columns j < k are still e_j with zeros in the
+        // reflector's row range [k, n) — a mathematical no-op we skip,
+        // exactly like DORGQR. Column k itself IS in range (the unit sits
+        // on the diagonal), so the restriction starts at k, not k+1.
+        let lc0 = qm.local_cols_below(k);
+        let cols: Vec<usize> = (lc0..qm.lcols()).collect();
         left_update_op(ctx, &mut qm, k, n, &cols, &v_myrows, &t, Trans::No);
     }
     qm
@@ -80,6 +125,22 @@ pub fn pd_extract_h(ctx: &Ctx, a: &DistMatrix, n: usize) -> DistMatrix {
         }
     }
     h
+}
+
+/// `R` of a completed QR factorization: copy with the reflectors zeroed
+/// strictly below the diagonal (local; no communication).
+pub fn pd_extract_r(ctx: &Ctx, a: &DistMatrix, n: usize) -> DistMatrix {
+    let nb = a.desc().nb;
+    let mut r = DistMatrix::zeros(ctx, crate::dist::Desc { m: n, n, nb });
+    for lc in 0..r.lcols() {
+        let gc = r.l2g_col(lc);
+        for lr in 0..r.lrows() {
+            let gr = r.l2g_row(lr);
+            let v = if gr > gc { 0.0 } else { a.local()[(lr, lc)] };
+            r.local_mut()[(lr, lc)] = v;
+        }
+    }
+    r
 }
 
 /// Distributed infinity norm of the logical `n×n` part (replicated result).
@@ -108,6 +169,12 @@ pub fn pd_inf_norm(ctx: &Ctx, a: &DistMatrix, n: usize, tag: impl Into<Tag>) -> 
 /// The first checksum block column found violating Theorem 1 — the scan
 /// result the ABFT layer's `assert_theorem1` and the scrub engine both
 /// report instead of a bare pass/fail bool.
+///
+/// Carries the **solver** and **recovery-area** labels so diagnostics name
+/// the right invariant: the area partition is solver-relative (Area 1 =
+/// trailing scope groups, Area 2 = finished groups — §5.3's numbering for
+/// Hessenberg, reused by every `FtSolver`), and a violation printed for a
+/// QR run must not be mislabeled with Hessenberg wording.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Theorem1Violation {
     /// Global block-column index (global column ÷ nb) of the violating
@@ -116,6 +183,23 @@ pub struct Theorem1Violation {
     /// Largest absolute residual entry of that block, replicated on every
     /// process. `f64::INFINITY` when the residual contains Inf/NaN.
     pub max_abs: f64,
+    /// Name of the solver whose invariant was violated (e.g. `"hessenberg"`,
+    /// `"qr"`) — filled by the ABFT layer, which knows which `FtSolver` is
+    /// running.
+    pub solver: &'static str,
+    /// Recovery-area label of the violating group relative to the solver's
+    /// current scope (e.g. `"trailing (Area 1)"`, `"finished (Area 2)"`).
+    pub area: &'static str,
+}
+
+impl std::fmt::Display for Theorem1Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "solver {} {} checksum block column {}: max |residual| {:e}",
+            self.solver, self.area, self.block_col, self.max_abs
+        )
+    }
 }
 
 /// Theorem-1 residual of one checksum block column, fully distributed:
@@ -226,6 +310,44 @@ pub fn pd_hessenberg_residual(ctx: &Ctx, a0: &DistMatrix, reduced: &DistMatrix, 
     pd_inf_norm(ctx, &r, n, TAG_NORM.offset(4)) / (na * n as f64 * EPS)
 }
 
+/// The QR analogue of the §7.3 residual, computed fully distributed:
+/// `r∞ = ‖A − Q·R‖∞ / (‖A‖∞·N·ε)`. `a0` holds the *original* matrix,
+/// `reduced` the factorization output (reflectors below the diagonal),
+/// `tau` its scalars. Result replicated on every process.
+pub fn pd_qr_residual(ctx: &Ctx, a0: &DistMatrix, reduced: &DistMatrix, n: usize, tau: &[f64]) -> f64 {
+    let qm = pd_orgqr(ctx, reduced, n, tau);
+    let rm = pd_extract_r(ctx, reduced, n);
+    let nb = a0.desc().nb;
+    let mut r = DistMatrix::zeros(ctx, crate::dist::Desc { m: n, n, nb });
+    // r = a0 (copy elementwise by global index — a0 may be encoded).
+    for lc in 0..r.lcols() {
+        let gc = r.l2g_col(lc);
+        for lr in 0..r.lrows() {
+            let gr = r.l2g_row(lr);
+            r.local_mut()[(lr, lc)] = a0.local()[(a0.g2l_row(gr), a0.g2l_col(gc))];
+        }
+    }
+    // r ← a0 − Q·R
+    pdgemm(ctx, Trans::No, -1.0, &qm, &rm, 1.0, &mut r);
+    let na = pd_inf_norm(ctx, a0, n, TAG_NORM.offset(8));
+    if na == 0.0 {
+        return 0.0;
+    }
+    pd_inf_norm(ctx, &r, n, TAG_NORM.offset(12)) / (na * n as f64 * EPS)
+}
+
+/// Scaled orthogonality residual `‖Q·Qᵀ − I‖∞ / (N·ε)` of a distributed
+/// square `Q`, replicated on every process. (For square `Q`,
+/// `‖QQᵀ − I‖ = ‖QᵀQ − I‖` up to the norm's row/column asymmetry — both
+/// vanish exactly when `Q` is orthogonal.)
+pub fn pd_orthogonality_residual(ctx: &Ctx, qm: &DistMatrix, n: usize) -> f64 {
+    let nb = qm.desc().nb;
+    let mut g = DistMatrix::from_global_fn(ctx, crate::dist::Desc { m: n, n, nb }, |i, j| if i == j { 1.0 } else { 0.0 });
+    // g ← Q·Qᵀ − I
+    pdgemm(ctx, Trans::Yes, 1.0, qm, qm, -1.0, &mut g);
+    pd_inf_norm(ctx, &g, n, TAG_NORM.offset(16)) / (n as f64 * EPS)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +398,34 @@ mod tests {
             assert!(r < 3.0, "distributed residual {r}");
             // Same ballpark as the shared-memory residual.
             assert!(r < 10.0 * r_shared.max(0.01), "{r} vs shared {r_shared}");
+        });
+    }
+
+    #[test]
+    fn pd_orgqr_and_qr_residual_match_shared() {
+        let (n, nb) = (18, 4);
+        let seed = 35;
+        let a0g = uniform_indexed_matrix(n, n, seed);
+        let mut aref = a0g.clone();
+        let mut tau_ref = vec![0.0; n];
+        ft_lapack::qr::geqrf(&mut aref, nb, &mut tau_ref);
+        let q_ref = ft_lapack::qr::orgqr(&aref, &tau_ref);
+
+        run_spmd(2, 3, FaultScript::none(), move |ctx| {
+            let a0 = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
+            let mut a = a0.clone();
+            let mut tau = vec![0.0; n];
+            crate::qrd::pdgeqrf(&ctx, &mut a, &mut tau);
+            let qd = pd_orgqr(&ctx, &a, n, &tau);
+            let qg = qd.gather_all(&ctx, 891);
+            if ctx.rank() == 0 {
+                let d = qg.max_abs_diff(&q_ref);
+                assert!(d < 1e-10, "Q mismatch: {d}");
+            }
+            let r = pd_qr_residual(&ctx, &a0, &a, n, &tau);
+            assert!(r < 3.0, "distributed QR residual {r}");
+            let orth = pd_orthogonality_residual(&ctx, &qd, n);
+            assert!(orth < 3.0, "distributed orthogonality {orth}");
         });
     }
 

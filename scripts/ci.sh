@@ -32,65 +32,87 @@ echo "== kernels perf smoke"
 FT_KERNELS_SMOKE=1 cargo bench -q --bench kernels
 
 # Deterministic chaos soak: seeded kills at arbitrary message-op boundaries
-# through the release CLI. A run must either recover and pass verification
-# (exit 0) or reject a beyond-tolerance victim set with the typed error
-# (exit 3) — any panic or other exit code fails the gate. Same seeds, same
-# outcomes, every run.
-echo "== chaos soak (release)"
+# through the release CLI, for BOTH solvers on the shared framework. A run
+# must either recover and pass verification (exit 0) or reject a
+# beyond-tolerance victim set with the typed error (exit 3) — any panic or
+# other exit code fails the gate. Same seeds, same outcomes, every run.
+# The per-solver run counters make a silently skipped battery a hard fail.
+echo "== chaos soak (release, both solvers)"
 cargo build --release -q
 CHAOS_SEEDS=${CHAOS_SEEDS:-"1 2 3 5 8 13 21 34"}
-for seed in $CHAOS_SEEDS; do
-    for variant in alg2 alg3; do
-        set +e
-        ./target/release/abft-hessenberg \
-            --n 96 --nb 8 --grid 2x3 --variant "$variant" \
-            --chaos "$seed:3" --verify >/dev/null
-        rc=$?
-        set -e
-        case $rc in
-            0) echo "  seed $seed $variant: recovered, verified" ;;
-            3) echo "  seed $seed $variant: beyond tolerance, typed rejection" ;;
-            *) echo "  seed $seed $variant: FAILED (exit $rc)"; exit 1 ;;
-        esac
-    done
-done
-
-# Deterministic SDC soak: seeded silent bit flips at message-op boundaries
-# with the scrub engine at cadence 1. A run must either correct (or roll
-# back) every detectable flip and pass verification (exit 0) or reject
-# uncorrectable corruption with the typed error (exit 3) — any panic,
-# silent verification failure (exit 1), or other exit code fails the gate.
-echo "== sdc soak (release)"
-SDC_SEEDS=${SDC_SEEDS:-"1 2 3 5 8 13 21 34"}
-for seed in $SDC_SEEDS; do
-    for variant in alg2 alg3; do
-        for flips in 1 2; do
+chaos_hessenberg_runs=0
+chaos_qr_runs=0
+for solver in hessenberg qr; do
+    for seed in $CHAOS_SEEDS; do
+        for variant in alg2 alg3; do
             set +e
             ./target/release/abft-hessenberg \
-                --n 96 --nb 8 --grid 2x4 --variant "$variant" --redundancy dual \
-                --sdc "$seed:$flips" --verify >/dev/null
+                --n 96 --nb 8 --grid 2x3 --solver "$solver" --variant "$variant" \
+                --chaos "$seed:3" --verify >/dev/null
             rc=$?
             set -e
             case $rc in
-                0) echo "  seed $seed $variant x$flips: scrubbed, verified" ;;
-                3) echo "  seed $seed $variant x$flips: uncorrectable, typed rejection" ;;
-                *) echo "  seed $seed $variant x$flips: FAILED (exit $rc)"; exit 1 ;;
+                0) echo "  $solver seed $seed $variant: recovered, verified" ;;
+                3) echo "  $solver seed $seed $variant: beyond tolerance, typed rejection" ;;
+                *) echo "  $solver seed $seed $variant: FAILED (exit $rc)"; exit 1 ;;
             esac
+            eval "chaos_${solver}_runs=\$((chaos_${solver}_runs + 1))"
         done
     done
 done
+if [ "$chaos_hessenberg_runs" -eq 0 ] || [ "$chaos_qr_runs" -eq 0 ]; then
+    echo "chaos soak: a solver battery was skipped (hessenberg=$chaos_hessenberg_runs qr=$chaos_qr_runs)"
+    exit 1
+fi
+
+# Deterministic SDC soak: seeded silent bit flips at message-op boundaries
+# with the scrub engine at cadence 1, again for BOTH solvers. A run must
+# either correct (or roll back) every detectable flip and pass verification
+# (exit 0) or reject uncorrectable corruption with the typed error (exit 3)
+# — any panic, silent verification failure (exit 1), or other exit code
+# fails the gate; an empty solver battery fails it too.
+echo "== sdc soak (release, both solvers)"
+SDC_SEEDS=${SDC_SEEDS:-"1 2 3 5 8 13 21 34"}
+sdc_hessenberg_runs=0
+sdc_qr_runs=0
+for solver in hessenberg qr; do
+    for seed in $SDC_SEEDS; do
+        for variant in alg2 alg3; do
+            for flips in 1 2; do
+                set +e
+                ./target/release/abft-hessenberg \
+                    --n 96 --nb 8 --grid 2x4 --solver "$solver" --variant "$variant" \
+                    --redundancy dual --sdc "$seed:$flips" --verify >/dev/null
+                rc=$?
+                set -e
+                case $rc in
+                    0) echo "  $solver seed $seed $variant x$flips: scrubbed, verified" ;;
+                    3) echo "  $solver seed $seed $variant x$flips: uncorrectable, typed rejection" ;;
+                    *) echo "  $solver seed $seed $variant x$flips: FAILED (exit $rc)"; exit 1 ;;
+                esac
+                eval "sdc_${solver}_runs=\$((sdc_${solver}_runs + 1))"
+            done
+        done
+    done
+done
+if [ "$sdc_hessenberg_runs" -eq 0 ] || [ "$sdc_qr_runs" -eq 0 ]; then
+    echo "sdc soak: a solver battery was skipped (hessenberg=$sdc_hessenberg_runs qr=$sdc_qr_runs)"
+    exit 1
+fi
 
 # Distributed smoke: the real multi-process TCP transport on localhost —
 # one OS process per rank, wired by the launcher's probed ports. Both ABFT
 # variants must finish fault-free and pass verification. The shortened
 # receive timeout turns any protocol wedge into a typed abort instead of a
 # CI hang (the launcher's own 600 s watchdog is the backstop).
-echo "== distributed smoke (localhost TCP, 2x2)"
-for variant in alg2 alg3; do
-    FT_RECV_TIMEOUT_MS=60000 ./target/release/abft-hessenberg \
-        --distributed --grid 2x2 --n 64 --nb 8 --variant "$variant" \
-        --verify >/dev/null
-    echo "  $variant: fault-free, verified"
+echo "== distributed smoke (localhost TCP, 2x2, both solvers)"
+for solver in hessenberg qr; do
+    for variant in alg2 alg3; do
+        FT_RECV_TIMEOUT_MS=60000 ./target/release/abft-hessenberg \
+            --distributed --grid 2x2 --n 64 --nb 8 --solver "$solver" \
+            --variant "$variant" --verify >/dev/null
+        echo "  $solver $variant: fault-free, verified"
+    done
 done
 
 # Deterministic distributed kill-soak: seeded real SIGKILLs mid-run — the

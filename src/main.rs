@@ -1,5 +1,5 @@
-//! `abft-hessenberg` — command-line driver for the fault-tolerant
-//! Hessenberg reduction.
+//! `abft-hessenberg` — command-line driver for the solver-agnostic ABFT
+//! framework: fault-tolerant Hessenberg reduction or Householder QR.
 //!
 //! ```text
 //! abft-hessenberg [OPTIONS]
@@ -7,6 +7,9 @@
 //!   --n <N>              matrix dimension (default 512)
 //!   --nb <NB>            blocking factor / panel width (default 16)
 //!   --grid <PxQ>         process grid (default 2x2)
+//!   --solver <S>         hessenberg | qr (default hessenberg); qr is the
+//!                        left-only second solver on the same framework
+//!                        (no --variant cr, no --print-eigs)
 //!   --variant <V>        plain | alg2 | alg3 | cr (default alg2)
 //!   --redundancy <R>     single | dual (default single; dual needs Q ≥ 4)
 //!   --fail <P:PH:R>      scripted failure: panel : phase(0-3) : rank
@@ -56,16 +59,18 @@
 //! abft-hessenberg --n 512 --grid 4x4 --variant cr --mtti 10
 //! abft-hessenberg --n 512 --grid 2x4 --redundancy dual --sdc 7:2 --verify
 //! abft-hessenberg --n 256 --grid 2x2 --distributed --kill-at 3@120 --verify
+//! abft-hessenberg --n 512 --grid 2x2 --solver qr --chaos 5:2 --verify
 //! ```
 
 use abft_hessenberg::dense::gen::uniform_entry;
 use abft_hessenberg::hess::{
-    cr_pdgehrd, failpoint, ft_pdgehrd_replacement, ft_pdgehrd_scrubbed, Encoded, Phase, Redundancy, ScrubPolicy, ScrubReport,
-    Variant,
+    cr_pdgehrd, failpoint, ft_pdgehrd_replacement, ft_pdgehrd_scrubbed, ft_pdgeqrf_replacement, ft_pdgeqrf_scrubbed, Encoded,
+    FtSolver, Hessenberg, HouseholderQr, Phase, Redundancy, ScrubPolicy, ScrubReport, Variant,
 };
 use abft_hessenberg::lapack::hessenberg_eigenvalues;
 use abft_hessenberg::pblas::{
-    pd_extract_h, pd_gather_traffic, pd_gather_transport, pd_hessenberg_residual, pdgehrd, Desc, DistMatrix,
+    pd_extract_h, pd_gather_traffic, pd_gather_transport, pd_hessenberg_residual, pd_orgqr, pd_orthogonality_residual,
+    pd_qr_residual, pdgehrd, pdgeqrf, Desc, DistMatrix,
 };
 use abft_hessenberg::runtime::{
     poisson_failures, run_distributed, run_spmd_full, ChaosKill, ChaosPoint, ChaosScript, Ctx, FaultScript, PeerCounters,
@@ -83,12 +88,36 @@ enum Mode {
     Cr,
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SolverKind {
+    Hessenberg,
+    Qr,
+}
+
+impl SolverKind {
+    /// The framework-side geometry object for this choice.
+    fn ft(self) -> &'static dyn FtSolver {
+        match self {
+            SolverKind::Hessenberg => &Hessenberg,
+            SolverKind::Qr => &HouseholderQr,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            SolverKind::Hessenberg => "hessenberg",
+            SolverKind::Qr => "qr",
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Opts {
     n: usize,
     nb: usize,
     p: usize,
     q: usize,
+    solver: SolverKind,
     mode: Mode,
     redundancy: Redundancy,
     failures: Vec<PlannedFailure>,
@@ -118,6 +147,7 @@ impl Default for Opts {
             nb: 16,
             p: 2,
             q: 2,
+            solver: SolverKind::Hessenberg,
             mode: Mode::Alg2,
             redundancy: Redundancy::Single,
             failures: Vec::new(),
@@ -169,6 +199,13 @@ fn parse_args() -> Opts {
                 let (ps, qs) = v.split_once(['x', 'X']).unwrap_or_else(|| fail("--grid: use PxQ"));
                 o.p = ps.parse().unwrap_or_else(|_| fail("--grid: bad P"));
                 o.q = qs.parse().unwrap_or_else(|_| fail("--grid: bad Q"));
+            }
+            "--solver" => {
+                o.solver = match val("--solver").as_str() {
+                    "hessenberg" => SolverKind::Hessenberg,
+                    "qr" => SolverKind::Qr,
+                    other => fail(&format!("--solver: unknown '{other}'")),
+                }
             }
             "--variant" => {
                 o.mode = match val("--variant").as_str() {
@@ -308,10 +345,12 @@ fn print_scrub_summary(s: &ScrubReport) {
     println!("  {:<22} {:>10.3e}", "residual mass (frob2)", s.residual_mass);
 }
 
-fn panel_count(n: usize, nb: usize) -> usize {
+/// Panel iterations this solver runs on an N×N matrix — straight from the
+/// framework's geometry contract, so the CLI never re-derives it.
+fn panel_count(solver: &dyn FtSolver, n: usize, nb: usize) -> usize {
     let (mut c, mut k) = (0, 0);
-    while k + 2 < n {
-        k += nb.min(n - 2 - k);
+    while solver.panel_exists(k, n) {
+        k += solver.panel_width(k, n, nb);
         c += 1;
     }
     c
@@ -333,6 +372,19 @@ fn print_transport_summary(stats: &abft_hessenberg::runtime::TransportStats) {
         row(&r.to_string(), c);
     }
     row("all", &stats.total());
+}
+
+/// Flag combinations that make no sense for the chosen solver, rejected
+/// identically in both in-process and distributed modes.
+fn sanity_check_solver(o: &Opts) {
+    if o.solver == SolverKind::Qr {
+        if o.mode == Mode::Cr {
+            fail("--variant cr is the Hessenberg checkpoint/restart baseline; not available with --solver qr");
+        }
+        if o.print_eigs {
+            fail("--print-eigs needs the Hessenberg form (QR has no spectrum to extract); not available with --solver qr");
+        }
+    }
 }
 
 fn sanity_check_distributed(o: &Opts) {
@@ -370,7 +422,7 @@ fn sanity_check_distributed(o: &Opts) {
 /// The chaos schedule a distributed rank evaluates against its op clock:
 /// seeded kills (if `--chaos`) plus every explicit `--kill-at`.
 fn dist_chaos_script(o: &Opts) -> ChaosScript {
-    let op_hi = (panel_count(o.n, o.nb) as u64 * (4 * o.nb as u64 + 20)).max(200);
+    let op_hi = (panel_count(o.solver.ft(), o.n, o.nb) as u64 * (4 * o.nb as u64 + 20)).max(200);
     let mut kills: Vec<ChaosKill> = match o.chaos {
         Some((cseed, n_kills)) => ChaosScript::seeded(cseed, o.p * o.q, n_kills, 50, op_hi).kills().to_vec(),
         None => Vec::new(),
@@ -389,21 +441,25 @@ fn dist_rank_body(ctx: &Ctx, o: &Opts) -> i32 {
         None => ScrubPolicy::disabled(),
     };
     let t = Instant::now();
-    let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
+    let mut tau = vec![0.0; o.solver.ft().tau_len(n).max(1)];
     let (mut plain, mut enc) = (None, None);
     let rep = if o.mode == Mode::Plain {
         let mut a = DistMatrix::from_global_fn(ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
-        pdgehrd(ctx, &mut a, &mut tau);
+        match o.solver {
+            SolverKind::Hessenberg => pdgehrd(ctx, &mut a, &mut tau),
+            SolverKind::Qr => pdgeqrf(ctx, &mut a, &mut tau),
+        }
         plain = Some(a);
         None
     } else {
         let mut e = Encoded::with_redundancy(ctx, n, nb, redundancy, |i, j| uniform_entry(seed, i, j));
-        let res = if o.respawn > 0 {
+        let res = match (o.solver, o.respawn > 0) {
             // A re-spawned replacement joins an already-running
             // factorization: skip encoding, enter recovery first (§5.3).
-            ft_pdgehrd_replacement(ctx, &mut e, variant, &mut tau, policy)
-        } else {
-            ft_pdgehrd_scrubbed(ctx, &mut e, variant, &mut tau, policy)
+            (SolverKind::Hessenberg, true) => ft_pdgehrd_replacement(ctx, &mut e, variant, &mut tau, policy),
+            (SolverKind::Hessenberg, false) => ft_pdgehrd_scrubbed(ctx, &mut e, variant, &mut tau, policy),
+            (SolverKind::Qr, true) => ft_pdgeqrf_replacement(ctx, &mut e, variant, &mut tau, policy),
+            (SolverKind::Qr, false) => ft_pdgeqrf_scrubbed(ctx, &mut e, variant, &mut tau, policy),
         };
         match res {
             Ok(rep) => {
@@ -424,7 +480,16 @@ fn dist_rank_body(ctx: &Ctx, o: &Opts) -> i32 {
     let secs = t.elapsed().as_secs_f64();
     let residual = verify.then(|| {
         let a0 = DistMatrix::from_global_fn(ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
-        pd_hessenberg_residual(ctx, &a0, a, n, &tau)
+        match o.solver {
+            SolverKind::Hessenberg => pd_hessenberg_residual(ctx, &a0, a, n, &tau),
+            // QR's eigen-free oracle: factorization residual and loss of
+            // orthogonality, both on the paper's r∞ scale — report the worse.
+            SolverKind::Qr => {
+                let r = pd_qr_residual(ctx, &a0, a, n, &tau);
+                let qm = pd_orgqr(ctx, a, n, &tau);
+                r.max(pd_orthogonality_residual(ctx, &qm, n))
+            }
+        }
     });
     let scrub = match (&rep, policy.active()) {
         (Some(rep), true) => Some(rep.scrub.gathered(ctx, 622)),
@@ -437,7 +502,8 @@ fn dist_rank_body(ctx: &Ctx, o: &Opts) -> i32 {
     if ctx.rank() != 0 {
         return 0;
     }
-    let gf = 10.0 / 3.0 * (n as f64).powi(3) / secs / 1e9;
+    let flop_coef = if o.solver == SolverKind::Qr { 4.0 / 3.0 } else { 10.0 / 3.0 };
+    let gf = flop_coef * (n as f64).powi(3) / secs / 1e9;
     println!("time: {secs:.3} s  ({gf:.2} effective GFLOP/s)");
     if let Some(rep) = &rep {
         println!("recoveries: {}, chaos aborts: {}", rep.recoveries, rep.chaos_aborts);
@@ -554,6 +620,7 @@ fn spawn_rank(
         Mode::Cr => "cr",
     };
     cmd.arg("--variant").arg(variant);
+    cmd.arg("--solver").arg(o.solver.name());
     let red = match o.redundancy {
         Redundancy::Single => "single",
         Redundancy::Dual => "dual",
@@ -635,11 +702,12 @@ fn parent_main(o: Opts) -> ! {
         exit(3)
     });
     println!(
-        "abft-hessenberg (distributed): N={} nb={} grid={}x{} variant={:?} redundancy={:?} ports={}..{} kills={} seed={}",
+        "abft-hessenberg (distributed): N={} nb={} grid={}x{} solver={} variant={:?} redundancy={:?} ports={}..{} kills={} seed={}",
         o.n,
         o.nb,
         o.p,
         o.q,
+        o.solver.name(),
         o.mode,
         o.redundancy,
         port_base,
@@ -728,6 +796,7 @@ fn parent_main(o: Opts) -> ! {
 
 fn main() {
     let mut o = parse_args();
+    sanity_check_solver(&o);
     if o.distributed || o.rank.is_some() {
         sanity_check_distributed(&o);
         if let Some(rank) = o.rank {
@@ -747,7 +816,7 @@ fn main() {
     }
     // Ragged N is handled by the encoder (zero-padded to whole blocks, see
     // DESIGN.md §10) — no round-up needed.
-    let panels = panel_count(o.n, o.nb);
+    let panels = panel_count(o.solver.ft(), o.n, o.nb);
     if let Some(mtti) = o.mtti {
         let extra = poisson_failures(panels as u64, mtti, o.p * o.q, o.seed)
             .into_iter()
@@ -758,11 +827,12 @@ fn main() {
         o.failures.extend(extra);
     }
     println!(
-        "abft-hessenberg: N={} nb={} grid={}x{} variant={:?} redundancy={:?} failures={} seed={}",
+        "abft-hessenberg: N={} nb={} grid={}x{} solver={} variant={:?} redundancy={:?} failures={} seed={}",
         o.n,
         o.nb,
         o.p,
         o.q,
+        o.solver.name(),
         o.mode,
         o.redundancy,
         o.failures.len(),
@@ -775,7 +845,19 @@ fn main() {
     if (o.sdc.is_some() || o.scrub_every.is_some()) && !matches!(o.mode, Mode::Alg2 | Mode::Alg3) {
         fail("--sdc / --scrub-every need --variant alg2 or alg3 (the scrub engine lives in the ABFT driver)");
     }
-    let Opts { n, nb, p, q, mode, redundancy, cr_interval, seed, verify, .. } = o.clone();
+    let Opts {
+        n,
+        nb,
+        p,
+        q,
+        solver,
+        mode,
+        redundancy,
+        cr_interval,
+        seed,
+        verify,
+        ..
+    } = o.clone();
     let script = FaultScript::new(o.failures.clone());
     // A rank performs roughly `4*nb + 20` message ops per panel iteration
     // (measured via `Ctx::chaos_ops`, conservative at common grids), so this
@@ -796,29 +878,45 @@ fn main() {
         (None, Some(_)) => ScrubPolicy::every_panels(1),
         (None, None) => ScrubPolicy::disabled(),
     };
+    // The residual printed under --verify: solver-specific oracle, both on
+    // the paper's r∞ scale (QR reports the worse of factorization residual
+    // and loss of orthogonality — there is no spectrum to fall back on).
+    let residual_of = move |ctx: &Ctx, a: &DistMatrix, tau: &[f64]| {
+        let a0 = DistMatrix::from_global_fn(ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
+        match solver {
+            SolverKind::Hessenberg => pd_hessenberg_residual(ctx, &a0, a, n, tau),
+            SolverKind::Qr => {
+                let r = pd_qr_residual(ctx, &a0, a, n, tau);
+                let qm = pd_orgqr(ctx, a, n, tau);
+                r.max(pd_orthogonality_residual(ctx, &qm, n))
+            }
+        }
+    };
+    let tau_len = o.solver.ft().tau_len(o.n).max(1);
     let t = Instant::now();
     let outcome = run_spmd_full(p, q, script, chaos, sdc, move |ctx| {
         let (events, lost, r, err, scrub) = match mode {
             Mode::Plain => {
                 let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
-                let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
-                pdgehrd(&ctx, &mut a, &mut tau);
-                let r = verify.then(|| {
-                    let a0 = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
-                    pd_hessenberg_residual(&ctx, &a0, &a, n, &tau)
-                });
+                let mut tau = vec![0.0; tau_len];
+                match solver {
+                    SolverKind::Hessenberg => pdgehrd(&ctx, &mut a, &mut tau),
+                    SolverKind::Qr => pdgeqrf(&ctx, &mut a, &mut tau),
+                }
+                let r = verify.then(|| residual_of(&ctx, &a, &tau));
                 (0usize, 0usize, r, None, None)
             }
             Mode::Alg2 | Mode::Alg3 => {
                 let variant = if mode == Mode::Alg2 { Variant::NonDelayed } else { Variant::Delayed };
                 let mut enc = Encoded::with_redundancy(&ctx, n, nb, redundancy, |i, j| uniform_entry(seed, i, j));
-                let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
-                match ft_pdgehrd_scrubbed(&ctx, &mut enc, variant, &mut tau, policy) {
+                let mut tau = vec![0.0; tau_len];
+                let res = match solver {
+                    SolverKind::Hessenberg => ft_pdgehrd_scrubbed(&ctx, &mut enc, variant, &mut tau, policy),
+                    SolverKind::Qr => ft_pdgeqrf_scrubbed(&ctx, &mut enc, variant, &mut tau, policy),
+                };
+                match res {
                     Ok(rep) => {
-                        let r = verify.then(|| {
-                            let a0 = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
-                            pd_hessenberg_residual(&ctx, &a0, &enc.a, n, &tau)
-                        });
+                        let r = verify.then(|| residual_of(&ctx, &enc.a, &tau));
                         // Aggregate the per-rank scrub statistics while the
                         // grid is still up (collective).
                         let scrub = policy.active().then(|| rep.scrub.gathered(&ctx, 622));
@@ -829,12 +927,9 @@ fn main() {
             }
             Mode::Cr => {
                 let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
-                let mut tau = vec![0.0; n.saturating_sub(1).max(1)];
+                let mut tau = vec![0.0; tau_len];
                 let rep = cr_pdgehrd(&ctx, &mut a, cr_interval, &mut tau);
-                let r = verify.then(|| {
-                    let a0 = DistMatrix::from_global_fn(&ctx, Desc { m: n, n, nb }, |i, j| uniform_entry(seed, i, j));
-                    pd_hessenberg_residual(&ctx, &a0, &a, n, &tau)
-                });
+                let r = verify.then(|| residual_of(&ctx, &a, &tau));
                 (rep.rollbacks, rep.lost_panels, r, None, None)
             }
         };
@@ -852,7 +947,8 @@ fn main() {
         eprintln!("UNRECOVERABLE: {e}");
         exit(3);
     }
-    let gf = 10.0 / 3.0 * (o.n as f64).powi(3) / secs / 1e9;
+    let flop_coef = if o.solver == SolverKind::Qr { 4.0 / 3.0 } else { 10.0 / 3.0 };
+    let gf = flop_coef * (o.n as f64).powi(3) / secs / 1e9;
     println!("time: {secs:.3} s  ({gf:.2} effective GFLOP/s)");
     match o.mode {
         Mode::Plain => {}

@@ -15,12 +15,23 @@
 //! The 1×1 grid leg runs the *plain* `pdgehrd` (the FT encoder requires
 //! Q ≥ 2 so checksum copies land on distinct process columns — a 1×1 grid
 //! has nowhere redundant to put them); 2×2 and 2×3 run both FT variants.
+//!
+//! The QR battery mirrors the Hessenberg one for the framework's second
+//! solver (`ft_pdgeqrf` vs sequential `geqrf`) with an **eigen-free**
+//! oracle: scaled `‖A − QR‖` and `‖QᵀQ − I‖` residuals, plus entrywise
+//! agreement of `R` and `tau` with the sequential factorization to 1e-10.
+//! And the golden-hash test pins the Hessenberg output **bitwise** to the
+//! values captured before the solver-agnostic refactor — the safety net
+//! that the `FtSolver` framework changed nothing about the paper's solver.
 
 use abft_hessenberg::dense::gen::{uniform_entry, uniform_indexed_matrix};
 use abft_hessenberg::dense::Matrix;
-use abft_hessenberg::hess::{ft_pdgehrd, Encoded, Variant};
-use abft_hessenberg::lapack::{extract_h, gehrd, hessenberg_eigenvalues, hessenberg_residual, is_hessenberg, orghr, Eigenvalue};
-use abft_hessenberg::pblas::{pdgehrd, Desc, DistMatrix};
+use abft_hessenberg::hess::{ft_pdgehrd, ft_pdgeqrf, Encoded, Variant};
+use abft_hessenberg::lapack::{
+    extract_h, extract_r, gehrd, geqrf, hessenberg_eigenvalues, hessenberg_residual, is_hessenberg, is_upper_triangular, orghr,
+    orgqr, orthogonality_residual, qr_residual, Eigenvalue, RESIDUAL_THRESHOLD,
+};
+use abft_hessenberg::pblas::{pdgehrd, pdgeqrf, Desc, DistMatrix};
 use abft_hessenberg::runtime::{run_spmd, FaultScript};
 
 const N: usize = 32;
@@ -126,4 +137,108 @@ fn differential_spectrum_vs_original_matrix() {
     let dist = sorted_eigs(&extract_h(&out.into_iter().next().unwrap()));
     let d = max_eig_dist(&seq, &dist);
     assert!(d < EIG_TOL, "spectrum drift {d}");
+}
+
+/// Assert the QR obligations for a distributed factorization gathered as
+/// `(afact, tau)`: scaled residual + orthogonality under the shared
+/// threshold, and `R`/`tau` parity with the sequential `geqrf` to 1e-10
+/// (both paths run the identical Householder column math, so the
+/// factorizations agree far below the stability bound).
+fn check_qr_against_sequential(label: &str, n: usize, seed: u64, afact: &Matrix, tau: &[f64], seq_a: &Matrix, seq_tau: &[f64]) {
+    let a0 = uniform_indexed_matrix(n, n, seed);
+    let r = extract_r(afact);
+    assert!(is_upper_triangular(&r), "{label}: R not triangular");
+    let q = orgqr(afact, tau);
+    let res = qr_residual(&a0, &q, &r);
+    let orth = orthogonality_residual(&q);
+    assert!(res < RESIDUAL_BOUND.min(RESIDUAL_THRESHOLD), "{label}: QR residual {res}");
+    assert!(orth < RESIDUAL_BOUND.min(RESIDUAL_THRESHOLD), "{label}: orthogonality {orth}");
+    let dr = r.max_abs_diff(&extract_r(seq_a));
+    assert!(dr < EIG_TOL, "{label}: |R − R_seq| = {dr}");
+    let dt = tau.iter().zip(seq_tau).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+    assert!(dt < EIG_TOL, "{label}: |tau − tau_seq| = {dt}");
+}
+
+#[test]
+fn differential_qr_plain_1x1_and_ft_grids() {
+    for nb in [4usize, 8] {
+        let seed = 4100 + nb as u64;
+        let (seq_a, seq_tau) = {
+            let mut a = uniform_indexed_matrix(N, N, seed);
+            let mut tau = vec![0.0; N];
+            geqrf(&mut a, nb, &mut tau);
+            (a, tau)
+        };
+        check_qr_against_sequential(&format!("sequential nb={nb}"), N, seed, &seq_a, &seq_tau, &seq_a, &seq_tau);
+
+        // 1×1 grid: plain pdgeqrf (ft_pdgeqrf requires Q ≥ 2, as for
+        // Hessenberg — the checksum copies need distinct process columns).
+        {
+            let out = run_spmd(1, 1, FaultScript::none(), move |ctx| {
+                let mut a = DistMatrix::from_global_fn(&ctx, Desc { m: N, n: N, nb }, |i, j| uniform_entry(seed, i, j));
+                let mut tau = vec![0.0; N];
+                pdgeqrf(&ctx, &mut a, &mut tau);
+                (a.gather_all(&ctx, 630), tau)
+            });
+            let (ag, tau) = out.into_iter().next().unwrap();
+            check_qr_against_sequential(&format!("plain qr 1x1 nb={nb}"), N, seed, &ag, &tau, &seq_a, &seq_tau);
+        }
+
+        // 2×2 and 2×3 grids: the fault-tolerant QR, both variants.
+        for (p, q) in [(2usize, 2usize), (2, 3)] {
+            for variant in [Variant::NonDelayed, Variant::Delayed] {
+                let out = run_spmd(p, q, FaultScript::none(), move |ctx| {
+                    let mut enc = Encoded::from_global_fn(&ctx, N, nb, |i, j| uniform_entry(seed, i, j));
+                    let mut tau = vec![0.0; N];
+                    ft_pdgeqrf(&ctx, &mut enc, variant, &mut tau).expect("fault-free run");
+                    (enc.gather_logical(&ctx, 632), tau)
+                });
+                let (ag, tau) = out.into_iter().next().unwrap();
+                check_qr_against_sequential(&format!("ft qr {p}x{q} nb={nb} {variant:?}"), N, seed, &ag, &tau, &seq_a, &seq_tau);
+            }
+        }
+    }
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+/// Bitwise regression pin for the Hessenberg solver across the `FtSolver`
+/// refactor: the FNV-1a hash of the gathered factorization (matrix bits
+/// then `tau` bits) must equal the values captured from the pre-refactor
+/// driver, for both variants on both grids. Any change in accumulation
+/// order, update scheduling or checksum plumbing that perturbs even one
+/// mantissa bit of the logical output fails here.
+#[test]
+fn hessenberg_bitwise_parity_with_pre_refactor_golden() {
+    const GOLDEN: [(usize, usize, usize, u64); 4] = [
+        (4, 2, 2, 0x0a7fc7501c588c9c),
+        (4, 2, 3, 0xa09e7209f64fc337),
+        (8, 2, 2, 0x385be914b3bc5298),
+        (8, 2, 3, 0xdfda8a23125c9613),
+    ];
+    for (nb, p, q, want) in GOLDEN {
+        let seed = 4000 + nb as u64;
+        for variant in [Variant::NonDelayed, Variant::Delayed] {
+            let out = run_spmd(p, q, FaultScript::none(), move |ctx| {
+                let mut enc = Encoded::from_global_fn(&ctx, N, nb, |i, j| uniform_entry(seed, i, j));
+                let mut tau = vec![0.0; N - 1];
+                ft_pdgehrd(&ctx, &mut enc, variant, &mut tau).expect("fault-free run");
+                (enc.gather_logical(&ctx, 622), tau)
+            });
+            let (ag, tau) = out.into_iter().next().unwrap();
+            let mut h = 0xcbf29ce484222325u64;
+            for v in ag.as_slice() {
+                fnv1a(&mut h, &v.to_bits().to_le_bytes());
+            }
+            for v in &tau {
+                fnv1a(&mut h, &v.to_bits().to_le_bytes());
+            }
+            assert_eq!(h, want, "nb={nb} {p}x{q} {variant:?}: hash 0x{h:016x} != golden 0x{want:016x}");
+        }
+    }
 }
