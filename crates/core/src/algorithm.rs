@@ -117,9 +117,13 @@ pub fn failpoint(panel: usize, phase: Phase) -> u64 {
 /// agreed victim set) — no rank panics and no rank proceeds with garbage.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FtError {
-    /// More simultaneous failures in one process row than the encoding
-    /// tolerates (see [`crate::recovery::check_tolerance`]).
-    Unrecoverable {
+    /// More simultaneous failures in one process row than the code distance
+    /// of the active redundancy level — the victim set erases more blocks
+    /// per (row × group) than the surviving checksum copies can determine
+    /// (see [`crate::recovery::check_tolerance`]). Raised at the
+    /// deterministic tolerance gate, before any recovery work, for every
+    /// redundancy level (`Single`, `Dual`, `Coded(f)`).
+    ExceededCodeDistance {
         /// The agreed victim set (sorted for chaos failures, announcement
         /// order for scripted ones).
         victims: Vec<usize>,
@@ -131,8 +135,14 @@ pub enum FtError {
         row: usize,
         /// Victims observed in that row.
         count: usize,
-        /// Per-row tolerance of the active redundancy level.
+        /// Effective per-row tolerance: `min(encoding_max, Q − 1)`.
         max_per_row: usize,
+        /// The encoding's own per-row distance, before the backup-holder
+        /// cap.
+        encoding_max: usize,
+        /// Which constraint bound the budget (the encoding's distance or
+        /// the `Q − 1` backup holders).
+        cap: crate::recovery::ToleranceCap,
     },
     /// Silent data corruption the scrub engine detected but could neither
     /// correct in place nor clear by rolling back to its last verified
@@ -152,11 +162,28 @@ pub enum FtError {
 impl std::fmt::Display for FtError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FtError::Unrecoverable { victims, panel, phase, row, count, max_per_row } => write!(
-                f,
-                "unrecoverable failure at panel {panel} ({phase:?}): victims {victims:?} put {count} \
-                 failure(s) in process row {row}, but the encoding tolerates {max_per_row} per row"
-            ),
+            FtError::ExceededCodeDistance {
+                victims,
+                panel,
+                phase,
+                row,
+                count,
+                max_per_row,
+                encoding_max,
+                cap,
+            } => {
+                let bound = match cap {
+                    crate::recovery::ToleranceCap::Encoding => "the code distance".to_string(),
+                    crate::recovery::ToleranceCap::BackupHolders => {
+                        format!("the Q-1 backup holders (the code itself would tolerate {encoding_max})")
+                    }
+                };
+                write!(
+                    f,
+                    "exceeded code distance at panel {panel} ({phase:?}): victims {victims:?} put {count} \
+                     failure(s) in process row {row}, but {bound} caps recovery at {max_per_row} per row"
+                )
+            }
             FtError::ScrubUnrecoverable { panel, group, block_col } => write!(
                 f,
                 "unrecoverable silent corruption at panel {panel}: checksum group {group} (block \
@@ -677,7 +704,7 @@ fn dist_align_boundary(ctx: &Ctx, enc: &Encoded, imgs: &mut Images, victims: &[u
 /// detected by the runtime's agreement layer and rolled back to the last
 /// committed boundary. The returned [`FtReport`] counts both. A victim set
 /// beyond the redundancy level's tolerance yields
-/// [`FtError::Unrecoverable`] — identically on every rank.
+/// [`FtError::ExceededCodeDistance`] — identically on every rank.
 ///
 /// ```
 /// use ft_hess::{failpoint, ft_pdgehrd, Encoded, Phase, Variant};
@@ -947,13 +974,15 @@ fn ft_solver_driver(
                 // this same error, none panics. A replacement has no image
                 // yet — it reports the pre-loop boundary.
                 let (panel, phase) = imgs.cur.as_ref().map_or((0, Phase::BeforePanel), |i| (i.panel_idx, i.phase));
-                return Err(FtError::Unrecoverable {
+                return Err(FtError::ExceededCodeDistance {
                     victims: agreed.victims,
                     panel,
                     phase,
                     row: tol.row,
                     count: tol.count,
                     max_per_row: tol.max_per_row,
+                    encoding_max: tol.encoding_max,
+                    cap: tol.cap,
                 });
             }
             let t = Instant::now();
@@ -1259,13 +1288,15 @@ fn handle_failpoint(
         FailCheck::AllGood => Ok(()),
         FailCheck::Failure { victims, me } => {
             if let Err(tol) = recovery::check_tolerance(ctx, enc.redundancy(), &victims) {
-                return Err(FtError::Unrecoverable {
+                return Err(FtError::ExceededCodeDistance {
                     victims,
                     panel: panel_idx,
                     phase,
                     row: tol.row,
                     count: tol.count,
                     max_per_row: tol.max_per_row,
+                    encoding_max: tol.encoding_max,
+                    cap: tol.cap,
                 });
             }
             let t = Instant::now();

@@ -123,4 +123,98 @@ mod tests {
             }
         });
     }
+
+    /// Ragged N: the last group's member bases run past the logical N (into
+    /// the zero padding, or past storage for the final group) and the
+    /// partial sum only ever reads clamped member columns.
+    #[test]
+    fn member_addressing_and_partials_with_ragged_n() {
+        run_spmd(1, 2, FaultScript::none(), |ctx| {
+            // N = 7, nb = 2 → n_pad = 8, 4 block columns, Q = 2 → 2 groups.
+            let enc = Encoded::from_global_fn(&ctx, 7, 2, |i, j| (1 + i * 7 + j) as f64);
+            assert_eq!(member_base(&enc, 1, 0), 4);
+            // Member 1 of group 1 is the ragged block: base 6 < n_pad = 8,
+            // but its second column (global 7) is pure padding.
+            assert_eq!(member_base(&enc, 1, 1), 6);
+            let lrn = enc.a.local_rows_below(enc.n());
+            let partial = weighted_partial_block(&enc, 1, lrn, |_| true, |c| enc.col_weight(0, c));
+            assert_eq!(partial.len(), lrn * 2);
+            for off in 0..2 {
+                for lr in 0..lrn {
+                    let gr = enc.a.l2g_row(lr);
+                    // member_cols clamps at N, so offset 1 has only col 5.
+                    let want: f64 = enc
+                        .member_cols(1, off)
+                        .filter(|&c| enc.a.owns_col(c))
+                        .map(|c| enc.a.get(gr, c))
+                        .sum();
+                    assert_eq!(partial[lr + off * lrn], want);
+                }
+            }
+        });
+    }
+
+    /// 1×1 grid: one member per group, every block column its own group,
+    /// and the partial sum degenerates to a weighted copy of that member.
+    #[test]
+    fn partial_block_on_1x1_grid() {
+        run_spmd(1, 1, FaultScript::none(), |ctx| {
+            let enc = Encoded::from_global_fn(&ctx, 6, 2, |i, j| (1 + i * 6 + j) as f64);
+            assert_eq!(enc.groups(), 3);
+            for g in 0..enc.groups() {
+                assert_eq!(member_block_col(&enc, g, 0), g);
+                assert_eq!(member_base(&enc, g, 0), 2 * g);
+                let lrn = enc.a.local_rows_below(enc.n());
+                let partial = weighted_partial_block(&enc, g, lrn, |_| true, |c| enc.col_weight(1, c));
+                for off in 0..2 {
+                    for r in 0..lrn {
+                        // Single's copy-1 weight is still 1.0 (duplicates).
+                        assert_eq!(partial[r + off * lrn], enc.a.get(r, 2 * g + off));
+                    }
+                }
+            }
+        });
+    }
+
+    /// Dual weights: the weighted partial applies (idx+1)^copy per member —
+    /// checked against a direct per-element sum, and the write-back twin
+    /// round-trips a member block exactly.
+    #[test]
+    fn dual_weighted_partial_and_write_back_round_trip() {
+        run_spmd(1, 4, FaultScript::none(), |ctx| {
+            use crate::encode::Redundancy;
+            let mut enc = Encoded::with_redundancy(&ctx, 8, 2, Redundancy::Dual, |i, j| (1 + i * 8 + j) as f64);
+            let lrn = enc.a.local_rows_below(enc.n());
+            for copy in 0..enc.ncopies() {
+                let partial = weighted_partial_block(&enc, 0, lrn, |_| true, |c| enc.col_weight(copy, c));
+                for off in 0..2 {
+                    for lr in 0..lrn {
+                        let gr = enc.a.l2g_row(lr);
+                        let want: f64 = enc
+                            .member_cols(0, off)
+                            .filter(|&c| enc.a.owns_col(c))
+                            .map(|c| (1.0 + enc.member_index(c) as f64 / 4.0).powi(copy as i32) * enc.a.get(gr, c))
+                            .sum();
+                        assert_eq!(partial[lr + off * lrn], want, "copy {copy} off {off} lr {lr}");
+                    }
+                }
+            }
+            // Round-trip: read member 2's block via an include-one partial
+            // with weight 1, write it back, and nothing changes.
+            let base = member_base(&enc, 0, 2);
+            if enc.a.owns_col(base) {
+                let before: Vec<f64> = (0..2)
+                    .flat_map(|off| (0..lrn).map(move |r| (r, off)))
+                    .map(|(r, off)| enc.a.get(enc.a.l2g_row(r), base + off))
+                    .collect();
+                let block = weighted_partial_block(&enc, 0, lrn, |c| c >= base && c < base + 2, |_| 1.0);
+                write_member_block(&mut enc, base, lrn, &block);
+                let after: Vec<f64> = (0..2)
+                    .flat_map(|off| (0..lrn).map(move |r| (r, off)))
+                    .map(|(r, off)| enc.a.get(enc.a.l2g_row(r), base + off))
+                    .collect();
+                assert_eq!(before, after);
+            }
+        });
+    }
 }

@@ -35,13 +35,27 @@ const TAG_ENCODE: Tag = Tag::Checksum(0);
 /// process row. [`Redundancy::Dual`] implements the paper's stated future
 /// work ("exploring methods to tolerate multiple simultaneous failures",
 /// §8): four *Vandermonde-weighted* checksums per group — checksum `c` of
-/// group `g` stores `Σ_q (q+1)^c·A(:, member_q)`. Any two of the four
-/// weight rows are linearly independent, so any two lost blocks per
+/// group `g` stores `Σ_q node(q)^c·A(:, member_q)` with the nodes
+/// `node(q) = 1 + q/Q` (see [`Redundancy::node`] for why the nodes live in
+/// `[1, 2)`). Any two of the four weight rows are linearly independent, so
+/// any two lost blocks per
 /// (process row × group) — data or checksum — are recoverable: two
 /// surviving checksums give a 2×2 Vandermonde system for the two lost
 /// member blocks, and lost checksum blocks are recomputed afterwards.
 /// Requires `Q ≥ 4` so the four checksum block columns land on distinct
 /// process columns.
+///
+/// [`Redundancy::Coded`]`(f)` generalizes Dual to an arbitrary distance:
+/// `2f` Vandermonde-weighted checksum copies per group (checksum `c`
+/// stores `Σ_q node(q)^c·A(:, member_q)`), tolerating up to `f` simultaneous
+/// failures per (process row × group). The count is `2f`, not `f+1`: a
+/// worst-case failure of `f` ranks in one process row erases up to `f`
+/// member blocks *and* up to `f` checksum copies of the same group, and
+/// the `f` surviving copies (any `f` rows of a Vandermonde matrix with
+/// distinct nodes are independent) still determine the `f` lost members.
+/// `Dual` is exactly `Coded(2)` — same geometry, same weights — and is
+/// kept as a named level for the CLI and the existing test batteries.
+/// Requires `Q ≥ 2f` distinct process columns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Redundancy {
     /// Paper §5.2: duplicated checksums; ≤ 1 failure per process row.
@@ -49,6 +63,9 @@ pub enum Redundancy {
     Single,
     /// Weighted checksums; ≤ 2 simultaneous failures per process row.
     Dual,
+    /// Reed–Solomon/Vandermonde checksums with `2f` copies per group;
+    /// ≤ `f` simultaneous failures per process row.
+    Coded(usize),
 }
 
 impl Redundancy {
@@ -57,6 +74,7 @@ impl Redundancy {
         match self {
             Redundancy::Single => 2,
             Redundancy::Dual => 4,
+            Redundancy::Coded(f) => 2 * f,
         }
     }
 
@@ -65,16 +83,55 @@ impl Redundancy {
         match self {
             Redundancy::Single => 1,
             Redundancy::Dual => 2,
+            Redundancy::Coded(f) => f,
         }
     }
 
-    /// Weight of group-member index `idx` (0-based within the group) in
-    /// checksum copy `copy`.
+    /// Vandermonde node of group-member index `idx` (0-based) in a group of
+    /// `members` blocks: `1 + idx/members ∈ [1, 2)`.
+    ///
+    /// The nodes are distinct and strictly positive, so the weight matrix
+    /// `w_c(idx) = node(idx)^c` is strictly totally positive and **every**
+    /// square submatrix is invertible — any `m` surviving copies determine
+    /// any `m` lost members. Keeping the nodes inside `[1, 2)` caps the
+    /// largest weight at `2^(ncopies-1)` independently of the grid width;
+    /// the naive integer nodes `idx+1` reach `Q^(2f-1)` (7776 already at
+    /// `Q = 6`, `f = 3`), which amplifies the checksums' accumulated
+    /// rounding and the recovery solve's conditioning enough to push a
+    /// recovered run past the paper's `r_t` verification threshold.
     #[inline]
-    pub fn weight(self, copy: usize, idx: usize) -> f64 {
+    pub fn node(self, idx: usize, members: usize) -> f64 {
+        match self {
+            Redundancy::Single => 1.0, // flat duplicates carry no position
+            Redundancy::Dual | Redundancy::Coded(_) => 1.0 + idx as f64 / members as f64,
+        }
+    }
+
+    /// Weight of group-member index `idx` (0-based within the group, out of
+    /// `members`) in checksum copy `copy`: `node(idx, members)^copy`.
+    #[inline]
+    pub fn weight(self, copy: usize, idx: usize, members: usize) -> f64 {
         match self {
             Redundancy::Single => 1.0, // both copies are plain duplicates
-            Redundancy::Dual => ((idx + 1) as f64).powi(copy as i32),
+            Redundancy::Dual | Redundancy::Coded(_) => self.node(idx, members).powi(copy as i32),
+        }
+    }
+
+    /// Whether the per-copy weights carry position information (the
+    /// Vandermonde ratio signal scrub localization reads). `Single`'s flat
+    /// duplicates do not.
+    #[inline]
+    pub fn weights_localize(self) -> bool {
+        !matches!(self, Redundancy::Single)
+    }
+
+    /// Minimum grid width `Q` this level needs so every checksum copy of a
+    /// group lands on a distinct process column and enough survive any
+    /// in-tolerance failure.
+    pub fn min_q(self) -> usize {
+        match self {
+            Redundancy::Single => 2,
+            Redundancy::Dual | Redundancy::Coded(_) => self.ncopies(),
         }
     }
 }
@@ -114,8 +171,19 @@ impl Encoded {
     pub fn with_redundancy(ctx: &Ctx, n: usize, nb: usize, redundancy: Redundancy, f: impl Fn(usize, usize) -> f64) -> Self {
         assert!(nb > 0 && n > 0, "encoding requires N > 0 and nb > 0");
         let q = ctx.npcol();
-        if redundancy == Redundancy::Dual {
-            assert!(q >= 4, "Dual redundancy needs Q >= 4 distinct process columns for its checksums");
+        match redundancy {
+            Redundancy::Single => {}
+            Redundancy::Dual => {
+                assert!(q >= 4, "Dual redundancy needs Q >= 4 distinct process columns for its checksums");
+            }
+            Redundancy::Coded(f) => {
+                assert!(f >= 1, "Coded redundancy needs f >= 1");
+                assert!(
+                    q >= 2 * f,
+                    "Coded({f}) redundancy needs Q >= {} distinct process columns for its checksums (got Q = {q})",
+                    2 * f
+                );
+            }
         }
         let nblocks = n.div_ceil(nb);
         let n_pad = nblocks * nb;
@@ -155,7 +223,7 @@ impl Encoded {
     /// Weight of logical column `c` in checksum copy `copy` of its group.
     #[inline]
     pub fn col_weight(&self, copy: usize, c: usize) -> f64 {
-        self.redundancy.weight(copy, self.member_index(c))
+        self.redundancy.weight(copy, self.member_index(c), self.q)
     }
 
     /// Logical dimension `N`.
@@ -268,7 +336,7 @@ impl Encoded {
     /// storage, hold zeros, and contribute zero to every weighted sum.
     pub fn weighted_members(&self, g: usize, copy: usize) -> Vec<(usize, f64)> {
         (0..self.q)
-            .map(|qq| ((g * self.q + qq) * self.nb, self.redundancy.weight(copy, qq)))
+            .map(|qq| ((g * self.q + qq) * self.nb, self.redundancy.weight(copy, qq, self.q)))
             .filter(|&(base, _)| base < self.n_pad)
             .collect()
     }

@@ -24,10 +24,11 @@
 //! Tolerated failure set: any number of simultaneous victims with at most
 //! `max_failures_per_row()` per process row — 1 with the paper's duplicated
 //! checksums ([`Redundancy::Single`]), 2 with the weighted extension
-//! ([`Redundancy::Dual`], the paper's §8 future work). For multiple victims
-//! in one row, Areas 1/2 become a per-element Vandermonde solve: the
-//! surviving weighted checksums give as many independent equations as there
-//! are lost member blocks.
+//! ([`Redundancy::Dual`], the paper's §8 future work), and `f` with the
+//! Reed–Solomon generalization ([`Redundancy::Coded`]`(f)`, DESIGN.md §13).
+//! For multiple victims in one row, Areas 1/2 become a per-element
+//! Vandermonde solve: the surviving weighted checksums give as many
+//! independent equations as there are lost member blocks.
 
 use crate::algorithm::{alg3_catch_up, ft_left, ft_right, store_ve, ve_rows, Phase, Variant};
 use crate::encode::{Encoded, Redundancy};
@@ -160,9 +161,9 @@ pub fn recover(
     // bit-identical at any quiescent point, so restore the victims' blocks
     // from the surviving duplicates first; the copies then flow through the
     // catch-up like everyone else's and step 6 has nothing left to do.
-    // Under `Dual` the Area 1/2 solve never reads victim-column copies and
-    // step 6 recomputes every affected group from the recovered data, so
-    // the contamination window is already closed there.
+    // Under `Dual`/`Coded` the Area 1/2 solve never reads victim-column
+    // copies and step 6 recomputes every affected group from the recovered
+    // data, so the contamination window is already closed there.
     let chk_catch_up = variant == Variant::Delayed && !st.factors.is_empty();
     let pre_restored = chk_catch_up && enc.redundancy() == Redundancy::Single;
     if pre_restored {
@@ -192,7 +193,7 @@ pub fn recover(
     match enc.redundancy() {
         Redundancy::Single if pre_restored => {} // done before the catch-up
         Redundancy::Single => restore_checksum_duplicates(ctx, enc, victims),
-        Redundancy::Dual => {
+        Redundancy::Dual | Redundancy::Coded(_) => {
             let mut affected: BTreeSet<usize> = BTreeSet::new();
             for &v in victims {
                 let (_, qv) = ctx.grid().coords_of(v);
@@ -285,15 +286,19 @@ fn restore_checksum_duplicates(ctx: &Ctx, enc: &mut Encoded, victims: &[usize]) 
     }
 }
 
-/// §5.3 step 3: Areas 1 and 2, generalized to `m ≤ 2` victims per process
-/// row. For each victim row and each group `g ≠ s`:
+/// §5.3 step 3: Areas 1 and 2, generalized to `m ≤ max_failures_per_row()`
+/// victims per process row. For each victim row and each group `g ≠ s`:
 ///
-/// * unknowns: the victims' member blocks `x₁(, x₂)` of the group;
+/// * unknowns: the victims' member blocks `x₁ … x_m` of the group;
 /// * equations: the first `m` checksum copies whose owner column is live —
 ///   `Σᵥ w_c(idxᵥ)·xᵥ = chk_c − Σ_live w_c(idx)·a` (any `m` Vandermonde
 ///   rows are independent);
 /// * one weighted live-sum row-reduction per equation, solved element-wise
-///   on the first victim, which sends the second victim its block.
+///   on the first victim, which sends the other victims their blocks.
+///
+/// The `m ≤ 2` solves use the historical closed forms (division, Cramer) so
+/// `Single`/`Dual` recoveries stay bit-identical across releases; `m ≥ 3`
+/// goes through [`solve_block_system`].
 fn recover_areas_1_2(ctx: &Ctx, enc: &mut Encoded, rows: &HashMap<usize, Vec<usize>>, s: usize) {
     let mut row_list: Vec<(&usize, &Vec<usize>)> = rows.iter().collect();
     row_list.sort_by_key(|(p, _)| **p);
@@ -351,24 +356,31 @@ fn recover_areas_1_2(ctx: &Ctx, enc: &mut Encoded, rows: &HashMap<usize, Vec<usi
 
             if ctx.rank() == solver {
                 // Solve the m×m Vandermonde system element-wise.
+                let nmem = enc.members_per_group();
                 let widx: Vec<usize> = unknowns.iter().map(|&(_, qv, _)| qv).collect();
                 let sols: Vec<Vec<f64>> = match m {
                     1 => {
-                        let w = enc.redundancy().weight(eq_copies[0], widx[0]);
+                        let w = enc.redundancy().weight(eq_copies[0], widx[0], nmem);
                         vec![rhs[0].iter().map(|r| r / w).collect()]
                     }
                     2 => {
-                        let a11 = enc.redundancy().weight(eq_copies[0], widx[0]);
-                        let a12 = enc.redundancy().weight(eq_copies[0], widx[1]);
-                        let a21 = enc.redundancy().weight(eq_copies[1], widx[0]);
-                        let a22 = enc.redundancy().weight(eq_copies[1], widx[1]);
+                        let a11 = enc.redundancy().weight(eq_copies[0], widx[0], nmem);
+                        let a12 = enc.redundancy().weight(eq_copies[0], widx[1], nmem);
+                        let a21 = enc.redundancy().weight(eq_copies[1], widx[0], nmem);
+                        let a22 = enc.redundancy().weight(eq_copies[1], widx[1], nmem);
                         let det = a11 * a22 - a12 * a21;
                         assert!(det.abs() > 1e-12, "singular recovery system");
                         let x1: Vec<f64> = rhs[0].iter().zip(&rhs[1]).map(|(r1, r2)| (r1 * a22 - r2 * a12) / det).collect();
                         let x2: Vec<f64> = rhs[0].iter().zip(&rhs[1]).map(|(r1, r2)| (a11 * r2 - a21 * r1) / det).collect();
                         vec![x1, x2]
                     }
-                    _ => unreachable!("max two unknowns per row"),
+                    _ => {
+                        let a: Vec<Vec<f64>> = eq_copies
+                            .iter()
+                            .map(|&c| widx.iter().map(|&w| enc.redundancy().weight(c, w, nmem)).collect())
+                            .collect();
+                        solve_block_system(a, &rhs)
+                    }
                 };
                 for ((v, _, base), sol) in unknowns.iter().zip(sols) {
                     if *v == solver {
@@ -386,6 +398,118 @@ fn recover_areas_1_2(ctx: &Ctx, enc: &mut Encoded, rows: &HashMap<usize, Vec<usi
             }
         }
     }
+}
+
+/// Solve the `m×m` system `A·X = R` for `m` unknown blocks at once, where
+/// every position of the `lrn·nb`-long blocks shares the same coefficient
+/// matrix (the Vandermonde weights of the surviving checksum copies over
+/// the lost member indices). Used for `m ≥ 3` ([`Redundancy::Coded`] with
+/// `f ≥ 3`); the `m ≤ 2` closed forms in [`recover_areas_1_2`] are kept
+/// verbatim for bit-stability.
+///
+/// The solve itself is [`ge_block_solve`] plus one
+/// step of iterative refinement: the residual
+/// `R − A·X` is evaluated with compensated (`mul_add`-split) products and
+/// Neumaier accumulation, the correction re-solved through the same
+/// factorization path, and added back. For the worst-conditioned victim sets
+/// (adjacent member indices — Vandermonde nodes only `1/Q` apart) plain
+/// elimination leaves an error `~ε·κ(A)` that the refinement step removes,
+/// because `κ(A)·ε ≪ 1` always holds here (`m ≤ f`, nodes in `[1, 2)`).
+/// step of iterative refinement on top of [`ge_block_solve`]: the residual
+/// `R − A·X` is evaluated with compensated (`mul_add`-split) products and
+/// Neumaier accumulation, the correction re-solved through the same
+/// factorization path, and added back. For the worst-conditioned victim sets
+/// (adjacent member indices — Vandermonde nodes only `1/Q` apart) plain
+/// elimination leaves an error `~ε·κ(A)` that the refinement step removes,
+/// because `κ(A)·ε ≪ 1` always holds here (`m ≤ f`, nodes in `[1, 2)`).
+fn solve_block_system(a: Vec<Vec<f64>>, rhs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let m = a.len();
+    debug_assert!(rhs.len() == m && a.iter().all(|row| row.len() == m));
+    let len = rhs.first().map_or(0, |r| r.len());
+    let mut x = ge_block_solve(a.clone(), rhs.to_vec());
+    // Compensated residual r = rhs − A·x: each product is split into its
+    // rounded value and exact rounding error via mul_add, and both streams
+    // are folded with a Neumaier running compensation, so r carries the
+    // true residual to well below working precision.
+    let mut r: Vec<Vec<f64>> = vec![vec![0.0; len]; m];
+    for i in 0..m {
+        let ri = &mut r[i];
+        for (t, r_it) in ri.iter_mut().enumerate() {
+            let mut s = rhs[i][t];
+            let mut c = 0.0f64;
+            for j in 0..m {
+                let aij = -a[i][j];
+                let p = aij * x[j][t];
+                let e = aij.mul_add(x[j][t], -p);
+                for add in [p, e] {
+                    let t0 = s + add;
+                    c += if s.abs() >= add.abs() { (s - t0) + add } else { (add - t0) + s };
+                    s = t0;
+                }
+            }
+            *r_it = s + c;
+        }
+    }
+    let delta = ge_block_solve(a, r);
+    for (xi, di) in x.iter_mut().zip(&delta) {
+        for (x_t, d_t) in xi.iter_mut().zip(di) {
+            *x_t += d_t;
+        }
+    }
+    x
+}
+
+/// Gaussian elimination with partial pivoting on `m` stacked right-hand-side
+/// blocks; the row operations apply to whole blocks so the factorization
+/// cost is paid once, not per element.
+fn ge_block_solve(mut a: Vec<Vec<f64>>, mut b: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    let m = a.len();
+    let len = b.first().map_or(0, |r| r.len());
+    for k in 0..m {
+        let piv = (k..m)
+            .max_by(|&i, &j| a[i][k].abs().partial_cmp(&a[j][k].abs()).expect("finite weights"))
+            .expect("non-empty pivot range");
+        if piv != k {
+            a.swap(k, piv);
+            b.swap(k, piv);
+        }
+        assert!(a[k][k].abs() > 1e-12, "singular recovery system");
+        let bk = b[k].clone();
+        let ak = a[k].clone();
+        for i in k + 1..m {
+            let l = a[i][k] / ak[k];
+            if l == 0.0 {
+                continue;
+            }
+            for (aij, akj) in a[i][k..m].iter_mut().zip(&ak[k..m]) {
+                *aij -= l * akj;
+            }
+            let bi = &mut b[i];
+            for t in 0..len {
+                bi[t] -= l * bk[t];
+            }
+        }
+    }
+    let mut x: Vec<Vec<f64>> = vec![Vec::new(); m];
+    for k in (0..m).rev() {
+        let mut acc = std::mem::take(&mut b[k]);
+        for j in k + 1..m {
+            let akj = a[k][j];
+            if akj == 0.0 {
+                continue;
+            }
+            let xj = &x[j];
+            for t in 0..len {
+                acc[t] -= akj * xj[t];
+            }
+        }
+        let d = a[k][k];
+        for t in acc.iter_mut() {
+            *t /= d;
+        }
+        x[k] = acc;
+    }
+    x
 }
 
 #[cfg(test)]
@@ -441,6 +565,58 @@ mod tests {
         let verdicts = run_spmd(2, 2, FaultScript::none(), |ctx| check_tolerance(&ctx, Redundancy::Single, &[0, 3]));
         for v in verdicts {
             v.expect("one victim per process row is within Single's budget");
+        }
+    }
+
+    /// `Coded(3)` accepts three same-row victims on a wide grid and rejects
+    /// the fourth with the encoding named as the binding cap.
+    #[test]
+    fn tolerance_coded3_budget() {
+        let verdicts = run_spmd(1, 6, FaultScript::none(), |ctx| {
+            check_tolerance(&ctx, Redundancy::Coded(3), &[0, 2, 4]).expect("three victims within Coded(3)");
+            check_tolerance(&ctx, Redundancy::Coded(3), &[0, 1, 2, 3])
+        });
+        for v in verdicts {
+            let e = v.expect_err("four victims in one row exceed Coded(3)");
+            assert_eq!(
+                e,
+                ToleranceExceeded {
+                    row: 0,
+                    count: 4,
+                    max_per_row: 3,
+                    encoding_max: 3,
+                    cap: ToleranceCap::Encoding,
+                }
+            );
+        }
+    }
+
+    /// The general elimination path agrees with a hand-solved Vandermonde
+    /// system (integer nodes {1, 3, 5}, powers {0, 1, 2} — the solver takes
+    /// any coefficient matrix; the encoding's `[1, 2)` nodes share the
+    /// structure).
+    #[test]
+    fn block_system_solves_vandermonde_exactly() {
+        let idx = [0usize, 2, 4];
+        let copies = [0usize, 1, 2];
+        let a: Vec<Vec<f64>> = copies
+            .iter()
+            .map(|&c| idx.iter().map(|&i| ((i + 1) as f64).powi(c as i32)).collect())
+            .collect();
+        // Known solution blocks (len 4), rhs = A·x.
+        let x_want = [
+            vec![1.0, -2.0, 0.5, 3.0],
+            vec![4.0, 0.0, -1.5, 2.0],
+            vec![-0.25, 7.0, 1.0, -3.5],
+        ];
+        let rhs: Vec<Vec<f64>> = (0..3)
+            .map(|r| (0..4).map(|t| (0..3).map(|c| a[r][c] * x_want[c][t]).sum()).collect())
+            .collect();
+        let x = solve_block_system(a, &rhs);
+        for (got, want) in x.iter().zip(&x_want) {
+            for (g, w) in got.iter().zip(want) {
+                assert!((g - w).abs() < 1e-12, "{g} vs {w}");
+            }
         }
     }
 }

@@ -2,12 +2,15 @@
 //! corrupted one.
 //!
 //! For a single corrupted member block `idx`, copy `c`'s residual is the
-//! *same* row vector scaled by the Vandermonde weight `w_c(idx) = (idx+1)^c`
-//! ([`crate::Redundancy::Dual`]). The max-abs ratios between copies are
-//! therefore exact — `viol_c / viol_0 = (idx+1)^c` — and reveal `idx`; a
-//! consistency check across every copy rejects multi-block damage (the
-//! residuals then mix two differently-weighted vectors and the ratios drift
-//! off the single-member curve).
+//! *same* row vector scaled by the Vandermonde weight
+//! `w_c(idx) = node(idx)^c` with the nodes `node(idx) = 1 + idx/Q`
+//! ([`crate::Redundancy::Dual`] and [`crate::Redundancy::Coded`], which
+//! share the weight form). The max-abs ratios between copies are
+//! therefore exact — `viol_1 / viol_0 = node(idx)` — and the nearest node
+//! reveals `idx`; a consistency check across every copy rejects
+//! multi-block damage (the residuals then mix two differently-weighted
+//! vectors and the ratios drift off the single-member curve, which the
+//! higher copies' faster-diverging weights expose).
 //!
 //! [`crate::Redundancy::Single`] weights everything 1, so its ratios carry
 //! no position information and data corruption stays unlocalizable — except
@@ -17,11 +20,13 @@ use crate::encode::Redundancy;
 
 use super::residual::GroupScan;
 
-/// Acceptance band for the ratio consistency check: 25% of the expected
-/// violation. Single-member ratios are exact, so this only needs to be
-/// tight enough to reject multi-block damage, whose ratios are generically
-/// far off.
-const RATIO_BAND: f64 = 0.25;
+/// Acceptance band for the ratio consistency check: 5% of the expected
+/// violation. Single-member ratios are exact to rounding (every copy's
+/// residual is the same vector rescaled), so a tight band is safe — and it
+/// needs to be tight, because the `[1, 2)` node packing makes a two-member
+/// mixture resemble an intermediate member's curve far more closely than
+/// integer nodes would.
+const RATIO_BAND: f64 = 0.05;
 
 /// Locate the corrupted member block of a group whose copies are *all*
 /// violated. `None` means uncorrectable in place: escalate.
@@ -35,20 +40,31 @@ pub fn locate_member(redundancy: Redundancy, scan: &GroupScan, q: usize) -> Opti
         // Inf/NaN corruption destroys the ratios; rollback handles it.
         return None;
     }
-    if redundancy != Redundancy::Dual {
-        return None; // flat weights carry no position information
+    if !redundancy.weights_localize() {
+        return None; // Single's flat weights carry no position information
     }
     let ratio = scan.viol.get(1).copied()? / v0;
     if !ratio.is_finite() {
         return None;
     }
-    let idx = (ratio.round() as usize).saturating_sub(1);
-    if idx >= q {
+    // The copy-1/copy-0 ratio is the member's node; pick the nearest.
+    let idx = (0..q)
+        .min_by(|&a, &b| {
+            let da = (ratio - redundancy.node(a, q)).abs();
+            let db = (ratio - redundancy.node(b, q)).abs();
+            da.partial_cmp(&db).expect("finite ratio")
+        })
+        .expect("q >= 1");
+    // Every copy must sit on the single-member curve viol_c = node(idx)^c·v0.
+    let node = redundancy.node(idx, q);
+    // A ratio farther than half a node gap from every node is not a
+    // single-member signature at all (this is the only mixture rejection a
+    // 2-copy `Coded(1)` encoding has — its band check below is vacuous).
+    if (ratio - node).abs() > 0.5 / q as f64 {
         return None;
     }
-    // Every copy must sit on the single-member curve viol_c = (idx+1)^c·v0.
     for (c, &v) in scan.viol.iter().enumerate() {
-        let expect = ((idx + 1) as f64).powi(c as i32) * v0;
+        let expect = node.powi(c as i32) * v0;
         if !v.is_finite() || (v - expect).abs() > RATIO_BAND * expect.max(v0) {
             return None;
         }
@@ -94,15 +110,23 @@ mod tests {
     fn dual_ratios_locate_each_member() {
         for idx in 0..4usize {
             let d = 3.0;
-            let viol: Vec<f64> = (0..4).map(|c| d * ((idx + 1) as f64).powi(c)).collect();
+            let node = Redundancy::Dual.node(idx, 4);
+            let viol: Vec<f64> = (0..4).map(|c| d * node.powi(c)).collect();
             assert_eq!(locate_member(Redundancy::Dual, &scan(viol), 4), Some(idx), "idx {idx}");
         }
     }
 
     #[test]
     fn inconsistent_ratios_reject() {
-        // Two corrupted members (idx 0 and 2) mix their weight curves.
+        // A ratio far off every node's curve (e.g. checksum-vs-data damage
+        // mixing two weight curves) must not localize.
         let viol = vec![2.0, 4.0, 10.0, 28.0];
+        assert_eq!(locate_member(Redundancy::Dual, &scan(viol), 4), None);
+        // Two corrupted members (idx 0 and 3) mix their node curves: the
+        // copy-1 ratio lands near a middle node but the higher copies
+        // diverge off its curve.
+        let (n0, n3) = (Redundancy::Dual.node(0, 4), Redundancy::Dual.node(3, 4));
+        let viol: Vec<f64> = (0..4).map(|c| 2.0 * n0.powi(c) + 3.0 * n3.powi(c)).collect();
         assert_eq!(locate_member(Redundancy::Dual, &scan(viol), 4), None);
     }
 
@@ -116,6 +140,24 @@ mod tests {
     #[test]
     fn non_finite_violations_reject() {
         assert_eq!(locate_member(Redundancy::Dual, &scan(vec![f64::INFINITY; 4]), 4), None);
+    }
+
+    #[test]
+    fn coded_ratios_locate_each_member() {
+        // Coded(3) carries 6 copies; the same node(idx)^c curve locates any
+        // member of a Q = 6 group.
+        for idx in 0..6usize {
+            let d = 0.75;
+            let node = Redundancy::Coded(3).node(idx, 6);
+            let viol: Vec<f64> = (0..6).map(|c| d * node.powi(c)).collect();
+            assert_eq!(locate_member(Redundancy::Coded(3), &scan(viol), 6), Some(idx), "idx {idx}");
+        }
+        // Coded(1) has only the degenerate two-copy check, but it still
+        // locates (and the node-gap gate still rejects off-curve ratios).
+        let node = Redundancy::Coded(1).node(2, 4);
+        let viol: Vec<f64> = (0..2).map(|c| 2.0 * node.powi(c)).collect();
+        assert_eq!(locate_member(Redundancy::Coded(1), &scan(viol), 4), Some(2));
+        assert_eq!(locate_member(Redundancy::Coded(1), &scan(vec![2.0, 11.0]), 4), None);
     }
 
     #[test]

@@ -141,10 +141,11 @@ mod tests {
                 enc.a.set(9, 5, v - 2.5);
             }
             let scan = scan_group(&ctx, &enc, 0, TAG_SCRUB);
-            // Violations scale as (idx+1)^copy with idx = member of col 5.
+            // Violations scale as node(idx)^copy with idx = member of col 5.
             let idx = enc.member_index(5);
+            let node = enc.redundancy().node(idx, enc.members_per_group());
             for (c, &v) in scan.viol.iter().enumerate() {
-                let want = 2.5 * ((idx + 1) as f64).powi(c as i32);
+                let want = 2.5 * node.powi(c as i32);
                 assert!((v - want).abs() < 1e-9, "copy {c}: {v} vs {want}");
             }
             assert_eq!(diagnose(&enc, &scan, 4, 1e-9), Diagnosis::DataCorrupt { member: Some(idx) });

@@ -222,8 +222,8 @@ fn chaos_beyond_tolerance_identical_typed_error() {
     });
     for e in &errs {
         assert_eq!(e, &errs[0], "ranks diverge on the error");
-        let FtError::Unrecoverable { victims, row, count, max_per_row, .. } = e else {
-            panic!("expected Unrecoverable, got {e:?}");
+        let FtError::ExceededCodeDistance { victims, row, count, max_per_row, .. } = e else {
+            panic!("expected ExceededCodeDistance, got {e:?}");
         };
         assert_eq!(victims, &[0, 1]);
         assert_eq!((*row, *count, *max_per_row), (0, 2, 1));
@@ -276,8 +276,8 @@ fn scripted_storm_beyond_tolerance_typed_error() {
     });
     for e in &errs {
         assert_eq!(e, &errs[0]);
-        let FtError::Unrecoverable { victims, .. } = e else {
-            panic!("expected Unrecoverable, got {e:?}");
+        let FtError::ExceededCodeDistance { victims, .. } = e else {
+            panic!("expected ExceededCodeDistance, got {e:?}");
         };
         assert_eq!(victims, &[0, 1]);
     }

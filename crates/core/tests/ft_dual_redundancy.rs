@@ -142,8 +142,8 @@ fn three_failures_same_row_rejected_even_dual() {
     });
     for e in &errs {
         assert_eq!(e, &errs[0], "ranks diverge on the error");
-        let FtError::Unrecoverable { victims, row, count, max_per_row, .. } = e else {
-            panic!("expected Unrecoverable, got {e:?}");
+        let FtError::ExceededCodeDistance { victims, row, count, max_per_row, .. } = e else {
+            panic!("expected ExceededCodeDistance, got {e:?}");
         };
         assert_eq!(victims, &[4, 5, 6]);
         assert_eq!((*row, *count, *max_per_row), (1, 3, 2));
@@ -175,10 +175,11 @@ fn weighted_checksums_detect_corruption() {
         let v0 = enc.checksum_violation(&ctx, 0, 0, 7200);
         let v1 = enc.checksum_violation(&ctx, 0, 1, 7210);
         let v2 = enc.checksum_violation(&ctx, 0, 2, 7220);
+        // Member 2 of a 4-member group has node 1 + 2/4 = 1.5.
         assert!((v0 - 5.0).abs() < 1e-9, "copy0 violation {v0}");
-        assert!((v1 - 15.0).abs() < 1e-9, "copy1 violation {v1} (weight 3)");
-        assert!((v2 - 45.0).abs() < 1e-9, "copy2 violation {v2} (weight 9)");
-        // Ratio v1/v0 = weight of the corrupted member → locates it.
-        assert!(((v1 / v0) - 3.0).abs() < 1e-9);
+        assert!((v1 - 7.5).abs() < 1e-9, "copy1 violation {v1} (node 1.5)");
+        assert!((v2 - 11.25).abs() < 1e-9, "copy2 violation {v2} (node² 2.25)");
+        // Ratio v1/v0 = node of the corrupted member → locates it.
+        assert!(((v1 / v0) - 1.5).abs() < 1e-9);
     });
 }

@@ -129,8 +129,8 @@ fn two_failures_same_row_rejected() {
     });
     for e in &errs {
         assert_eq!(e, &errs[0], "ranks diverge on the error");
-        let FtError::Unrecoverable { victims, panel, phase, row, count, max_per_row } = e else {
-            panic!("expected Unrecoverable, got {e:?}");
+        let FtError::ExceededCodeDistance { victims, panel, phase, row, count, max_per_row, .. } = e else {
+            panic!("expected ExceededCodeDistance, got {e:?}");
         };
         assert_eq!(victims, &[0, 1]);
         assert_eq!((*panel, *phase), (1, Phase::AfterPanel));

@@ -269,6 +269,60 @@ fn qr_sdc_flip_corrected_in_place_dual() {
     }
 }
 
+/// Coded(f) on the second solver: k simultaneous same-row victims for every
+/// k ≤ f = 3 reconstruct through the shared Vandermonde solve and reproduce
+/// the fault-free QR factorization to 1e-10 parity.
+#[test]
+fn qr_coded3_multi_kill_same_row_recovers_exactly() {
+    let (n, nb, p, q) = (24usize, 2usize, 1usize, 6usize);
+    let seed = 69;
+    let reference = clean_run(n, nb, p, q, seed, Variant::NonDelayed, Redundancy::Coded(3));
+    for victims in [vec![4usize], vec![0, 3], vec![1, 3, 5]] {
+        let script = FaultScript::new(
+            victims
+                .iter()
+                .map(|&v| PlannedFailure { victim: v, point: failpoint(3, Phase::AfterLeftUpdate) })
+                .collect(),
+        );
+        let (ag, tau, rec) = run_spmd(p, q, script, move |ctx| {
+            let mut enc = Encoded::with_redundancy(&ctx, n, nb, Redundancy::Coded(3), |i, j| uniform_entry(seed, i, j));
+            let mut tau = vec![0.0; n];
+            let rep = ft_pdgeqrf(&ctx, &mut enc, Variant::NonDelayed, &mut tau).expect("within the fault model");
+            (enc.gather_logical(&ctx, 906), tau, rep.recoveries)
+        })
+        .into_iter()
+        .next()
+        .unwrap();
+        assert_eq!(rec, 1, "victims {victims:?}");
+        assert_qr_residuals(&format!("qr coded3 {victims:?}"), n, seed, &ag, &tau);
+        assert_parity(&format!("qr coded3 {victims:?}"), &(ag, tau), &reference);
+    }
+}
+
+/// Beyond-distance on QR: k = f + 1 same-row victims yield the identical
+/// typed `ExceededCodeDistance` on every rank of the second solver too.
+#[test]
+fn qr_coded2_beyond_distance_rejected() {
+    let script = FaultScript::new(
+        (0..3)
+            .map(|v| PlannedFailure { victim: v, point: failpoint(2, Phase::AfterPanel) })
+            .collect(),
+    );
+    let errs = run_spmd(1, 4, script, |ctx| {
+        let mut enc = Encoded::with_redundancy(&ctx, 16, 2, Redundancy::Coded(2), |i, j| uniform_entry(71, i, j));
+        let mut tau = vec![0.0; 16];
+        ft_pdgeqrf(&ctx, &mut enc, Variant::NonDelayed, &mut tau).unwrap_err()
+    });
+    for e in &errs {
+        assert_eq!(e, &errs[0], "ranks diverge on the error");
+        let ft_hess::FtError::ExceededCodeDistance { victims, row, count, max_per_row, .. } = e else {
+            panic!("expected ExceededCodeDistance, got {e:?}");
+        };
+        assert_eq!(victims, &[0, 1, 2]);
+        assert_eq!((*row, *count, *max_per_row), (0, 3, 2));
+    }
+}
+
 /// Determinism witness: two identical fault-injected runs produce bitwise
 /// identical factorizations — the property all parity checks above lean on.
 #[test]

@@ -205,6 +205,16 @@ pub struct Ctx {
     bytes_sent: Cell<u64>,
     msgs_sent: Cell<u64>,
     ledger: RefCell<TrafficLedger>,
+    /// Elastic-shrink hook: when the launcher will not re-spawn a dead
+    /// rank, the lowest-ranked survivor invokes this with `(victim,
+    /// next_incarnation)` to adopt the victim's rank into its own process
+    /// (see [`crate::dist`]'s agreement loop). `None` = shrink disabled.
+    #[allow(clippy::type_complexity)] // a handler alias would obscure the (victim, incarnation) contract
+    shrink_handler: RefCell<Option<Box<dyn Fn(usize, u32) + Send>>>,
+    /// Victims this rank has adopted (world-length, idempotence guard).
+    shrink_adopted: RefCell<Vec<bool>>,
+    /// Seconds the agreement loop spent waiting out adoptions I triggered.
+    shrink_stall: Cell<f64>,
 }
 
 impl Ctx {
@@ -246,6 +256,9 @@ impl Ctx {
             bytes_sent: Cell::new(0),
             msgs_sent: Cell::new(0),
             ledger: RefCell::new(TrafficLedger::default()),
+            shrink_handler: RefCell::new(None),
+            shrink_adopted: RefCell::new(vec![false; world]),
+            shrink_stall: Cell::new(0.0),
         }
     }
 
@@ -265,6 +278,56 @@ impl Ctx {
     /// the in-process fabric).
     pub fn transport_stats(&self) -> crate::transport::TransportStats {
         self.transport.stats()
+    }
+
+    /// Arm elastic-shrink mode: when a peer is agreed dead and no
+    /// replacement arrives, the adopter (lowest-ranked survivor by this
+    /// rank's view) invokes `handler` with the victim's rank and the
+    /// incarnation its successor must announce. The handler must start the
+    /// successor *concurrently* (e.g. a thread hosting a fresh transport
+    /// bound to the victim's freed port) and return promptly — the
+    /// agreement loop keeps pumping while the adopted rank comes up.
+    pub fn set_shrink_handler(&self, handler: impl Fn(usize, u32) + Send + 'static) {
+        *self.shrink_handler.borrow_mut() = Some(Box::new(handler));
+    }
+
+    /// Shrink bookkeeping: world-length "I adopted this rank" flags plus
+    /// the seconds of agreement stall attributed to adoptions this rank
+    /// triggered. All zeros/false when shrink never fired.
+    pub fn shrink_stats(&self) -> (Vec<bool>, f64) {
+        (self.shrink_adopted.borrow().clone(), self.shrink_stall.get())
+    }
+
+    /// Invoke the shrink handler for every agreed-dead rank not yet
+    /// adopted, if this rank is the adopter. Each rank applies the same
+    /// rule to its own failure view — lowest-ranked survivor wins — so at
+    /// most one survivor starts each adoption (transient view divergence
+    /// is bounded by the agreement this is called from). Returns whether a
+    /// new adoption was started.
+    pub(crate) fn try_shrink_adoptions(&self, dead: &[usize]) -> bool {
+        if dead.is_empty() || self.shrink_handler.borrow().is_none() {
+            return false;
+        }
+        if (0..self.grid.size()).find(|r| !dead.contains(r)) != Some(self.rank) {
+            return false;
+        }
+        let mut started = false;
+        for &v in dead {
+            if std::mem::replace(&mut self.shrink_adopted.borrow_mut()[v], true) {
+                continue;
+            }
+            let inc = self.transport.peer_incarnation(v) + 1;
+            if let Some(h) = self.shrink_handler.borrow().as_ref() {
+                h(v, inc);
+            }
+            started = true;
+        }
+        started
+    }
+
+    /// Attribute `secs` of agreement stall to this rank's adoptions.
+    pub(crate) fn add_shrink_stall(&self, secs: f64) {
+        self.shrink_stall.set(self.shrink_stall.get() + secs);
     }
 
     /// Pre-seed the fired set of the chaos injector — a respawned

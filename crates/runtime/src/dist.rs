@@ -231,11 +231,22 @@ impl Ctx {
         // Freshest `(epoch, victims)` view seen from each peer so far.
         let mut latest: Vec<Option<(u64, Vec<usize>)>> = vec![None; world];
         let deadline = Instant::now() + ctrl_timeout();
+        // When shrink mode armed an adoption during this agreement, the
+        // time from launching it to convergence is the stall the shrink
+        // protocol cost the survivors.
+        let mut adoption_started: Option<Instant> = None;
         loop {
             self.sweep_dead_peers();
             let mut mine = self.detector.current_victims();
             mine.sort_unstable();
             mine.dedup();
+            // Elastic shrink: agreement requires a frame from *every* rank,
+            // so a dead rank that no launcher will re-spawn must be adopted
+            // by a survivor from inside this very loop — the adopted thread
+            // then joins the gossip like any replacement would.
+            if self.try_shrink_adoptions(&mine) && adoption_started.is_none() {
+                adoption_started = Some(Instant::now());
+            }
             let epoch = self.detector.epoch();
             let mut frame = Vec::with_capacity(3 + mine.len());
             frame.push(inc);
@@ -296,6 +307,9 @@ impl Ctx {
                     })
             });
             if all_equal && mine == union {
+                if let Some(t0) = adoption_started {
+                    self.add_shrink_stall(t0.elapsed().as_secs_f64());
+                }
                 let epoch_new = emax + 1;
                 self.detector.apply_remote_agreement(&union, epoch_new);
                 self.epoch.set(epoch_new);

@@ -96,13 +96,18 @@ pub struct TcpConfig {
     pub incarnation: u32,
     /// Seed for the backoff jitter (kept deterministic per rank).
     pub jitter_seed: u64,
+    /// First reconnect backoff pause (doubles per failed attempt).
+    pub backoff_init: Duration,
+    /// Ceiling the exponential backoff saturates at.
+    pub backoff_cap: Duration,
 }
 
 impl TcpConfig {
     /// Defaults tuned for localhost child processes: 100 ms beats, dead
-    /// after 30 missed (3 s), 10 s connect budget. Generous on purpose —
-    /// CI boxes with a single core timeslice several ranks onto one CPU,
-    /// and a starved heartbeat thread must not read as a death.
+    /// after 30 missed (3 s), 10 s connect budget, 10 ms → 400 ms backoff.
+    /// Generous on purpose — CI boxes with a single core timeslice several
+    /// ranks onto one CPU, and a starved heartbeat thread must not read as
+    /// a death.
     pub fn new(rank: usize, world: usize) -> Self {
         TcpConfig {
             rank,
@@ -112,7 +117,62 @@ impl TcpConfig {
             conn_timeout: Duration::from_secs(10),
             incarnation: 0,
             jitter_seed: 0x9e3779b97f4a7c15 ^ rank as u64,
+            backoff_init: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(400),
         }
+    }
+
+    /// Overlay the `FT_HB_*` environment knobs onto this config:
+    /// `FT_HB_INTERVAL_MS`, `FT_HB_MISS_LIMIT`, `FT_HB_BACKOFF_INIT_MS`,
+    /// `FT_HB_BACKOFF_CAP_MS`. Unset variables leave the field alone; a
+    /// set-but-invalid value is a configuration error the caller must
+    /// surface *before* any socket work starts.
+    pub fn apply_env(&mut self) -> Result<(), String> {
+        fn ms(name: &str) -> Result<Option<u64>, String> {
+            match std::env::var(name) {
+                Ok(v) => match v.parse::<u64>() {
+                    Ok(n) if n > 0 => Ok(Some(n)),
+                    _ => Err(format!("{name}: '{v}' is not a positive integer of milliseconds")),
+                },
+                Err(_) => Ok(None),
+            }
+        }
+        if let Some(n) = ms("FT_HB_INTERVAL_MS")? {
+            self.hb_interval = Duration::from_millis(n);
+        }
+        if let Some(n) = ms("FT_HB_MISS_LIMIT")? {
+            self.hb_miss_limit = u32::try_from(n).map_err(|_| "FT_HB_MISS_LIMIT: too large".to_string())?;
+        }
+        if let Some(n) = ms("FT_HB_BACKOFF_INIT_MS")? {
+            self.backoff_init = Duration::from_millis(n);
+        }
+        if let Some(n) = ms("FT_HB_BACKOFF_CAP_MS")? {
+            self.backoff_cap = Duration::from_millis(n);
+        }
+        self.validate()
+    }
+
+    /// Reject inconsistent liveness settings up front — a zero interval
+    /// spins the beat thread, a zero miss limit declares everyone dead, and
+    /// an inverted backoff range would make the "exponential" pause shrink.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hb_interval.is_zero() {
+            return Err("heartbeat interval must be positive".into());
+        }
+        if self.hb_miss_limit == 0 {
+            return Err("heartbeat miss limit must be at least 1".into());
+        }
+        if self.conn_timeout.is_zero() {
+            return Err("connect timeout must be positive".into());
+        }
+        if self.backoff_init.is_zero() || self.backoff_cap < self.backoff_init {
+            return Err(format!(
+                "reconnect backoff range {} ms → {} ms is invalid (need 0 < init <= cap)",
+                self.backoff_init.as_millis(),
+                self.backoff_cap.as_millis()
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -165,6 +225,8 @@ struct Shared {
     start: Instant,
     hb_interval: Duration,
     hb_miss_limit: u32,
+    backoff_init: Duration,
+    backoff_cap: Duration,
     shutdown: AtomicBool,
     peers: Vec<PeerState>,
     inbox_tx: Mutex<Sender<Msg>>,
@@ -258,6 +320,8 @@ impl TcpTransport {
             start: Instant::now(),
             hb_interval: cfg.hb_interval,
             hb_miss_limit: cfg.hb_miss_limit,
+            backoff_init: cfg.backoff_init,
+            backoff_cap: cfg.backoff_cap,
             shutdown: AtomicBool::new(false),
             peers: (0..cfg.world)
                 .map(|_| PeerState {
@@ -608,7 +672,7 @@ fn establish(
     ever_connected: bool,
 ) -> Option<TcpStream> {
     let deadline = Instant::now() + conn_timeout;
-    let mut backoff = Duration::from_millis(10);
+    let mut backoff = shared.backoff_init;
     let mut attempt = 0u64;
     loop {
         // During teardown the budget shrinks to two quick attempts: a frame
@@ -643,7 +707,7 @@ fn establish(
         }
         let pause = jittered(backoff, jitter).min(deadline.saturating_duration_since(Instant::now()));
         std::thread::sleep(pause);
-        backoff = (backoff * 2).min(Duration::from_millis(400));
+        backoff = (backoff * 2).min(shared.backoff_cap);
     }
 }
 
@@ -725,6 +789,27 @@ mod tests {
 
     fn msg(src: usize, wire: u64, vals: &[f64]) -> Msg {
         Msg { src, wire, epoch: 0, payload: Arc::from(vals) }
+    }
+
+    #[test]
+    fn config_validation_rejects_inconsistent_liveness_settings() {
+        let ok = TcpConfig::new(0, 2);
+        assert!(ok.validate().is_ok());
+        let mut c = ok.clone();
+        c.hb_interval = Duration::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = ok.clone();
+        c.hb_miss_limit = 0;
+        assert!(c.validate().is_err());
+        let mut c = ok.clone();
+        c.conn_timeout = Duration::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = ok.clone();
+        c.backoff_init = Duration::from_millis(500); // > 400 ms cap
+        assert!(c.validate().is_err());
+        let mut c = ok;
+        c.backoff_init = Duration::ZERO;
+        assert!(c.validate().is_err());
     }
 
     #[test]

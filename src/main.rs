@@ -11,7 +11,9 @@
 //!                        left-only second solver on the same framework
 //!                        (no --variant cr, no --print-eigs)
 //!   --variant <V>        plain | alg2 | alg3 | cr (default alg2)
-//!   --redundancy <R>     single | dual (default single; dual needs Q ≥ 4)
+//!   --redundancy <R>     single | dual | <f> (default single; dual needs
+//!                        Q ≥ 4, numeric f tolerates f same-row failures
+//!                        and needs Q ≥ 2f)
 //!   --fail <P:PH:R>      scripted failure: panel : phase(0-3) : rank
 //!                        (repeatable)
 //!   --mtti <PANELS>      Poisson failures with this MTTI (in panels)
@@ -41,10 +43,23 @@
 //!   --rank <R>           internal: run as the child process of rank R
 //!   --port-base <B>      listen ports B..B+P*Q-1 (default: probed)
 //!   --hb-interval-ms <T> heartbeat period (default 100)
+//!   --hb-miss-limit <K>  beats of silence before a peer is suspected
+//!                        dead (default 30)
 //!   --conn-timeout-ms <T> connect/reconnect budget (default 10000)
+//!
+//!   Env knobs (CLI flags win): FT_HB_INTERVAL_MS, FT_HB_MISS_LIMIT,
+//!   FT_HB_BACKOFF_INIT_MS, FT_HB_BACKOFF_CAP_MS (reconnect backoff
+//!   range, default 10..400), FT_RECV_TIMEOUT_MS. All validated at
+//!   startup; inconsistent values exit with code 2.
 //!   --kill-at <R@OP>     scripted kill: rank R at its OP-th message op;
 //!                        R@rROUND:OP kills inside recovery round ROUND
 //!                        (repeatable; distributed mode only)
+//!   --shrink             elastic shrink: a chaos-killed rank is NOT
+//!                        re-spawned — the lowest-ranked survivor adopts
+//!                        the victim's rank as a thread of its own process
+//!                        and the run completes on fewer processes;
+//!                        adopted ranks / redistributed bytes / stall time
+//!                        are reported in the summary (distributed only)
 //!
 //!   --fail / --mtti / --sdc are not available with --distributed
 //!   (scripted fail points and flip injection assume the in-process
@@ -133,8 +148,10 @@ struct Opts {
     rank: Option<usize>,
     port_base: Option<u16>,
     hb_interval_ms: Option<u64>,
+    hb_miss_limit: Option<u32>,
     conn_timeout_ms: Option<u64>,
     kill_at: Vec<ChaosKill>,
+    shrink: bool,
     respawn: u32,
     chaos_fired: Vec<usize>,
     print_eigs: bool,
@@ -162,8 +179,10 @@ impl Default for Opts {
             rank: None,
             port_base: None,
             hb_interval_ms: None,
+            hb_miss_limit: None,
             conn_timeout_ms: None,
             kill_at: Vec::new(),
+            shrink: false,
             respawn: 0,
             chaos_fired: Vec::new(),
             print_eigs: false,
@@ -220,7 +239,10 @@ fn parse_args() -> Opts {
                 o.redundancy = match val("--redundancy").as_str() {
                     "single" => Redundancy::Single,
                     "dual" => Redundancy::Dual,
-                    other => fail(&format!("--redundancy: unknown '{other}'")),
+                    other => match other.parse::<usize>() {
+                        Ok(f) if f >= 1 => Redundancy::Coded(f),
+                        _ => fail(&format!("--redundancy: unknown '{other}' (single | dual | f ≥ 1)")),
+                    },
                 }
             }
             "--fail" => {
@@ -288,6 +310,15 @@ fn parse_args() -> Opts {
                 }
                 o.hb_interval_ms = Some(ms);
             }
+            "--hb-miss-limit" => {
+                let k: u32 = val("--hb-miss-limit")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--hb-miss-limit: bad integer"));
+                if k == 0 {
+                    fail("--hb-miss-limit: must be at least 1");
+                }
+                o.hb_miss_limit = Some(k);
+            }
             "--conn-timeout-ms" => {
                 let ms: u64 = val("--conn-timeout-ms")
                     .parse()
@@ -319,6 +350,7 @@ fn parse_args() -> Opts {
                 };
                 o.kill_at.push(ChaosKill { victim, at });
             }
+            "--shrink" => o.shrink = true,
             "--respawn" => o.respawn = val("--respawn").parse().unwrap_or_else(|_| fail("--respawn: bad integer")),
             "--chaos-fired" => {
                 for part in val("--chaos-fired").split(',').filter(|s| !s.is_empty()) {
@@ -387,6 +419,28 @@ fn sanity_check_solver(o: &Opts) {
     }
 }
 
+/// Reject redundancy/grid combinations up front with a usage error (exit 2)
+/// instead of letting the encoder's construction assert fire mid-run.
+fn sanity_check_redundancy(o: &Opts) {
+    match o.redundancy {
+        Redundancy::Single => {}
+        Redundancy::Dual => {
+            if o.q < 4 {
+                fail(&format!("--redundancy dual needs Q >= 4 process columns (got Q = {})", o.q));
+            }
+        }
+        Redundancy::Coded(f) => {
+            if o.q < 2 * f {
+                fail(&format!(
+                    "--redundancy {f} needs Q >= {} process columns for its checksums (got Q = {})",
+                    2 * f,
+                    o.q
+                ));
+            }
+        }
+    }
+}
+
 fn sanity_check_distributed(o: &Opts) {
     let world = o.p * o.q;
     if !o.failures.is_empty() || o.mtti.is_some() {
@@ -400,6 +454,9 @@ fn sanity_check_distributed(o: &Opts) {
     }
     if (o.chaos.is_some() || !o.kill_at.is_empty()) && !matches!(o.mode, Mode::Alg2 | Mode::Alg3) {
         fail("--chaos / --kill-at need --variant alg2 or alg3");
+    }
+    if o.shrink && !matches!(o.mode, Mode::Alg2 | Mode::Alg3) {
+        fail("--shrink needs --variant alg2 or alg3 (an adopted rank re-enters through ABFT recovery)");
     }
     if let Some(k) = o.kill_at.iter().find(|k| k.victim >= world) {
         fail(&format!("--kill-at: rank {} is outside the {}-rank grid", k.victim, world));
@@ -497,6 +554,30 @@ fn dist_rank_body(ctx: &Ctx, o: &Opts) -> i32 {
     };
     let traffic = pd_gather_traffic(ctx, 620);
     let wire = pd_gather_transport(ctx, 624);
+    // Shrink report (collective): every rank contributes its adopted-rank
+    // flags and agreement-stall seconds; rank 0 aggregates. The adopted
+    // threads participate like any rank, so the gather is world-complete
+    // even after the process count shrank.
+    let shrink = o.shrink.then(|| {
+        let world = o.p * o.q;
+        let (flags, stall) = ctx.shrink_stats();
+        if ctx.rank() == 0 {
+            let mut ranks: Vec<usize> = (0..world).filter(|&r| flags[r]).collect();
+            let mut stall_total = stall;
+            for r in 1..world {
+                let p = ctx.recv(r, 628u64);
+                ranks.extend((0..world).filter(|&v| p[v] != 0.0));
+                stall_total += p[world];
+            }
+            ranks.sort_unstable();
+            (ranks, stall_total)
+        } else {
+            let mut payload: Vec<f64> = (0..world).map(|r| if flags[r] { 1.0 } else { 0.0 }).collect();
+            payload.push(stall);
+            ctx.send(0, 628u64, &payload);
+            (Vec::new(), 0.0)
+        }
+    });
     let eigs = o.print_eigs.then(|| pd_extract_h(ctx, a, n).gather_root(ctx, 626));
 
     if ctx.rank() != 0 {
@@ -519,6 +600,16 @@ fn dist_rank_body(ctx: &Ctx, o: &Opts) -> i32 {
         }
     }
     println!("  {:<16} {:>12} bytes  {:>8} msgs", "total", traffic.total_bytes(), traffic.total_msgs());
+    if let Some((ranks, stall)) = &shrink {
+        if ranks.is_empty() {
+            println!("shrink: armed, no rank adopted");
+        } else {
+            println!("shrink (survivor-adopted ranks):");
+            println!("  {:<22} {:?}", "adopted ranks", ranks);
+            println!("  {:<22} {:>10} bytes", "redistributed", traffic.phase(TrafficPhase::Recovery).bytes);
+            println!("  {:<22} {:>10.3} s", "agreement stall", stall);
+        }
+    }
     print_transport_summary(&wire);
     if let Some(Some(h)) = eigs {
         let mut ev = hessenberg_eigenvalues(&h).unwrap_or_else(|e| {
@@ -542,18 +633,65 @@ fn dist_rank_body(ctx: &Ctx, o: &Opts) -> i32 {
     0
 }
 
+/// The transport config a rank actually runs with: built-in defaults,
+/// overlaid with the `FT_HB_*` environment, overlaid with CLI flags — and
+/// validated, so inconsistent liveness settings die as a usage error (exit
+/// 2) before any socket work starts. The launcher dry-runs this too, to
+/// reject bad configs before spawning a single child.
+fn resolved_tcp_config(o: &Opts, rank: usize, world: usize) -> TcpConfig {
+    let mut cfg = TcpConfig::new(rank, world);
+    if let Err(e) = cfg.apply_env() {
+        fail(&format!("transport config: {e}"));
+    }
+    if let Some(ms) = o.hb_interval_ms {
+        cfg.hb_interval = Duration::from_millis(ms);
+    }
+    if let Some(k) = o.hb_miss_limit {
+        cfg.hb_miss_limit = k;
+    }
+    if let Some(ms) = o.conn_timeout_ms {
+        cfg.conn_timeout = Duration::from_millis(ms);
+    }
+    if let Err(e) = cfg.validate() {
+        fail(&format!("transport config: {e}"));
+    }
+    cfg
+}
+
+/// Host a dead peer's rank inside this process (elastic shrink): bind the
+/// victim's freed port under its next incarnation, join the fabric exactly
+/// like a launcher re-spawn would, and run the rank to completion through
+/// the §5.3 replacement entry. The adopted rank's exit code is published
+/// as an `FT_SHRINK_CODE` stdout marker so the launcher can honor rank 0's
+/// verdict even when rank 0's original process is gone.
+fn adopt_rank(o: Opts, victim: usize, incarnation: u32, port_base: u16) {
+    let world = o.p * o.q;
+    eprintln!("shrink: adopting rank {victim} (incarnation {incarnation})");
+    let mut cfg = resolved_tcp_config(&o, victim, world);
+    cfg.incarnation = incarnation;
+    let transport = match TcpTransport::connect(cfg, port_base) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("shrink: adopting rank {victim} failed: transport: {e}");
+            println!("FT_SHRINK_CODE rank={victim} code=3");
+            return;
+        }
+    };
+    let mut o2 = o;
+    // The replacement entry: skip encoding, enter recovery first. The
+    // incarnation doubles as the respawn counter, exactly as the launcher's
+    // `--respawn` flag would.
+    o2.respawn = incarnation.max(1);
+    let code = run_distributed(o2.p, o2.q, ChaosScript::none(), Box::new(transport), |ctx| dist_rank_body(&ctx, &o2));
+    println!("FT_SHRINK_CODE rank={victim} code={code}");
+}
+
 /// Child mode: run as rank `rank` of the TCP fabric and exit with the
 /// rank's code. The parent launcher spawns one of these per rank.
 fn child_main(o: Opts, rank: usize) -> ! {
     let world = o.p * o.q;
     let port_base = o.port_base.expect("checked in sanity_check_distributed");
-    let mut cfg = TcpConfig::new(rank, world);
-    if let Some(ms) = o.hb_interval_ms {
-        cfg.hb_interval = Duration::from_millis(ms);
-    }
-    if let Some(ms) = o.conn_timeout_ms {
-        cfg.conn_timeout = Duration::from_millis(ms);
-    }
+    let mut cfg = resolved_tcp_config(&o, rank, world);
     cfg.incarnation = o.respawn;
     let transport = match TcpTransport::connect(cfg, port_base) {
         Ok(t) => t,
@@ -563,12 +701,28 @@ fn child_main(o: Opts, rank: usize) -> ! {
         }
     };
     let chaos = dist_chaos_script(&o);
+    // Threads hosting adopted ranks (shrink mode). The process must outlive
+    // them: their epilogue (collectives, the FT_SHRINK_CODE marker) runs
+    // after this rank's own body has already returned.
+    let adoptions: std::sync::Arc<std::sync::Mutex<Vec<std::thread::JoinHandle<()>>>> = Default::default();
     let code = run_distributed(o.p, o.q, chaos, Box::new(transport), |ctx| {
         // A replacement is told which kills already struck its predecessor
         // so they do not re-fire against the fresh op clock.
         ctx.mark_chaos_fired(&o.chaos_fired);
+        if o.shrink {
+            let o2 = o.clone();
+            let adoptions = std::sync::Arc::clone(&adoptions);
+            ctx.set_shrink_handler(move |victim, incarnation| {
+                let o3 = o2.clone();
+                let h = std::thread::spawn(move || adopt_rank(o3, victim, incarnation, port_base));
+                adoptions.lock().unwrap().push(h);
+            });
+        }
         dist_rank_body(&ctx, &o)
     });
+    for h in std::mem::take(&mut *adoptions.lock().unwrap()) {
+        let _ = h.join();
+    }
     exit(code)
 }
 
@@ -592,12 +746,23 @@ fn probe_port_base(world: usize) -> u16 {
 
 enum LauncherEvent {
     /// A child announced its scripted death (`FT_CHAOS_KILL` marker):
-    /// SIGKILL it for real and re-spawn a replacement.
+    /// SIGKILL it for real and re-spawn a replacement (or, with
+    /// `--shrink`, leave it dead for the survivors to adopt).
     Marker { rank: usize, idx: usize },
-    /// A line of child stdout (rank 0's are passed through).
+    /// A surviving process finished hosting an adopted rank and reports
+    /// that rank's exit code (`FT_SHRINK_CODE` marker) — the only route to
+    /// rank 0's verdict when rank 0's original process is gone.
+    ShrinkCode { rank: usize, code: i32 },
+    /// A line of child stdout (rank 0's are passed through; under
+    /// `--shrink` every process's, since rank 0 may be hosted anywhere).
     Line { rank: usize, line: String },
     /// A child's stdout closed — it is dead, reap it.
     Eof { rank: usize },
+}
+
+/// Parse `key=value` tokens of a launcher marker line.
+fn marker_field<T: std::str::FromStr>(rest: &str, key: &str) -> Option<T> {
+    rest.split_whitespace().find_map(|tok| tok.strip_prefix(key)?.parse().ok())
 }
 
 fn spawn_rank(
@@ -622,8 +787,9 @@ fn spawn_rank(
     cmd.arg("--variant").arg(variant);
     cmd.arg("--solver").arg(o.solver.name());
     let red = match o.redundancy {
-        Redundancy::Single => "single",
-        Redundancy::Dual => "dual",
+        Redundancy::Single => "single".to_string(),
+        Redundancy::Dual => "dual".to_string(),
+        Redundancy::Coded(f) => f.to_string(),
     };
     cmd.arg("--redundancy").arg(red);
     cmd.arg("--seed").arg(o.seed.to_string());
@@ -646,11 +812,17 @@ fn spawn_rank(
     if let Some(ms) = o.hb_interval_ms {
         cmd.arg("--hb-interval-ms").arg(ms.to_string());
     }
+    if let Some(k) = o.hb_miss_limit {
+        cmd.arg("--hb-miss-limit").arg(k.to_string());
+    }
     if let Some(ms) = o.conn_timeout_ms {
         cmd.arg("--conn-timeout-ms").arg(ms.to_string());
     }
     if o.verify {
         cmd.arg("--verify");
+    }
+    if o.shrink {
+        cmd.arg("--shrink");
     }
     if o.print_eigs {
         cmd.arg("--print-eigs");
@@ -671,16 +843,14 @@ fn spawn_rank(
         for line in std::io::BufReader::new(stdout).lines() {
             let Ok(line) = line else { break };
             if let Some(rest) = line.strip_prefix("FT_CHAOS_KILL ") {
-                let (mut r, mut i) = (None, None);
-                for tok in rest.split_whitespace() {
-                    if let Some(v) = tok.strip_prefix("rank=") {
-                        r = v.parse().ok();
-                    } else if let Some(v) = tok.strip_prefix("idx=") {
-                        i = v.parse().ok();
-                    }
-                }
-                if let (Some(rank), Some(idx)) = (r, i) {
+                if let (Some(rank), Some(idx)) = (marker_field(rest, "rank="), marker_field(rest, "idx=")) {
                     let _ = tx.send(LauncherEvent::Marker { rank, idx });
+                    continue;
+                }
+            }
+            if let Some(rest) = line.strip_prefix("FT_SHRINK_CODE ") {
+                if let (Some(rank), Some(code)) = (marker_field(rest, "rank="), marker_field(rest, "code=")) {
+                    let _ = tx.send(LauncherEvent::ShrinkCode { rank, code });
                     continue;
                 }
             }
@@ -696,6 +866,9 @@ fn spawn_rank(
 /// and exit with rank 0's code.
 fn parent_main(o: Opts) -> ! {
     let world = o.p * o.q;
+    // Validate the liveness config once, up front — a bad FT_HB_* value or
+    // CLI combination must not get as far as spawning children.
+    let _ = resolved_tcp_config(&o, 0, world);
     let port_base = o.port_base.unwrap_or_else(|| probe_port_base(world));
     let exe = std::env::current_exe().unwrap_or_else(|e| {
         eprintln!("cannot locate own binary: {e}");
@@ -734,6 +907,9 @@ fn parent_main(o: Opts) -> ! {
     let deadline = Instant::now() + Duration::from_secs(600);
     let mut incarnation = vec![0u32; world];
     let mut pending_respawn = vec![false; world];
+    // Shrink mode: ranks whose death is expected and final — no respawn;
+    // a survivor adopts them and reports their code via FT_SHRINK_CODE.
+    let mut shrunk = vec![false; world];
     let mut fired: Vec<usize> = Vec::new();
     let mut live = world;
     let mut code0: i32 = 3;
@@ -758,12 +934,26 @@ fn parent_main(o: Opts) -> ! {
                 }
                 if let Some(c) = children.get_mut(rank).and_then(|c| c.as_mut()) {
                     let _ = c.kill();
-                    pending_respawn[rank] = true;
-                    println!("launcher: SIGKILL rank {rank} (chaos kill #{idx})");
+                    if o.shrink {
+                        // Final: the survivors must adopt this rank.
+                        shrunk[rank] = true;
+                        println!("launcher: SIGKILL rank {rank} (chaos kill #{idx}, shrink — no re-spawn)");
+                    } else {
+                        pending_respawn[rank] = true;
+                        println!("launcher: SIGKILL rank {rank} (chaos kill #{idx})");
+                    }
+                }
+            }
+            LauncherEvent::ShrinkCode { rank, code } => {
+                println!("launcher: adopted rank {rank} finished with code {code}");
+                if rank == 0 {
+                    code0 = code;
                 }
             }
             LauncherEvent::Line { rank, line } => {
-                if rank == 0 {
+                // Under --shrink, rank 0 may end up hosted by any process,
+                // so every survivor's stdout is passed through.
+                if rank == 0 || o.shrink {
                     println!("{line}");
                 }
             }
@@ -784,7 +974,9 @@ fn parent_main(o: Opts) -> ! {
                     }
                 } else {
                     live -= 1;
-                    if rank == 0 {
+                    // A shrunk rank 0's SIGKILL status is meaningless; its
+                    // verdict arrives via FT_SHRINK_CODE from its adopter.
+                    if rank == 0 && !shrunk[0] {
                         code0 = status.and_then(|s| s.code()).unwrap_or(3);
                     }
                 }
@@ -797,6 +989,7 @@ fn parent_main(o: Opts) -> ! {
 fn main() {
     let mut o = parse_args();
     sanity_check_solver(&o);
+    sanity_check_redundancy(&o);
     if o.distributed || o.rank.is_some() {
         sanity_check_distributed(&o);
         if let Some(rank) = o.rank {
@@ -805,14 +998,16 @@ fn main() {
         parent_main(o);
     }
     if !o.kill_at.is_empty()
+        || o.shrink
         || o.port_base.is_some()
         || o.hb_interval_ms.is_some()
+        || o.hb_miss_limit.is_some()
         || o.conn_timeout_ms.is_some()
         || o.print_eigs
         || o.respawn > 0
         || !o.chaos_fired.is_empty()
     {
-        fail("--kill-at / --port-base / --hb-interval-ms / --conn-timeout-ms / --print-eigs need --distributed");
+        fail("--kill-at / --shrink / --port-base / --hb-interval-ms / --hb-miss-limit / --conn-timeout-ms / --print-eigs need --distributed");
     }
     // Ragged N is handled by the encoder (zero-padded to whole blocks, see
     // DESIGN.md §10) — no round-up needed.
