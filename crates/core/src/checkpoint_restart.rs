@@ -18,7 +18,14 @@
 //!   reconstruction;
 //! * no extra flops during computation (no checksum updates), so the
 //!   fault-free overhead is pure copy/communication time.
+//!
+//! The module also provides [`FtCheckpoint`], a serializable per-rank
+//! snapshot of a mid-factorization **encoded** state (extended local
+//! matrix + completed `tau` prefix) that round-trips through bytes
+//! bit-exactly — the bridge between the ABFT drivers' in-memory scope
+//! checkpoints and external storage.
 
+use crate::encode::Encoded;
 use ft_pblas::{apply_panel_updates, pdlahrd, DistMatrix};
 use ft_runtime::{Ctx, FailCheck, Tag};
 use std::time::Instant;
@@ -42,6 +49,137 @@ pub struct CrReport {
     pub restore_secs: f64,
     /// Total wall seconds.
     pub total_secs: f64,
+}
+
+/// Magic prefix of the [`FtCheckpoint`] wire format (versioned).
+const FT_CKPT_MAGIC: [u8; 8] = *b"FTHCKPT1";
+
+/// A serializable per-rank checkpoint of a mid-factorization **encoded**
+/// state: the rank's full extended local matrix (logical data *and* its
+/// checksum columns/rows travel together, so Theorem 1 can be re-verified
+/// on the restored image), plus the `tau` prefix completed so far.
+///
+/// This is the externalizable counterpart of the in-memory diskless
+/// checkpoint [`cr_pdgehrd`] keeps on a neighbor: the byte format lets a
+/// checkpoint outlive the process (disk, object store, a spare's memory).
+/// Capture it from an observation hook
+/// ([`crate::ft_pdgehrd_hooked`] / [`crate::ft_pdgeqrf_hooked`]); the hook
+/// holds no borrow of `tau`, so the reflector prefix is attached afterwards
+/// via [`FtCheckpoint::record_tau`] — sound because every driver writes
+/// each `tau` entry exactly once (a completed panel's entries never change
+/// later in the run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtCheckpoint {
+    /// Logical dimension `N` of the encoding this snapshot came from.
+    n: usize,
+    /// Blocking factor of the encoding.
+    nb: usize,
+    /// Panel index the snapshot was taken at.
+    panel: usize,
+    /// This rank's full extended local matrix (data + checksums).
+    local: Vec<f64>,
+    /// The `tau` prefix written by the panels completed so far.
+    tau: Vec<f64>,
+}
+
+impl FtCheckpoint {
+    /// Snapshot this rank's extended local state at `panel`. `tau` is the
+    /// reflector prefix completed so far — pass `&[]` when capturing from
+    /// inside an observation hook and attach it later with
+    /// [`FtCheckpoint::record_tau`].
+    pub fn capture(enc: &Encoded, tau: &[f64], panel: usize) -> Self {
+        Self {
+            n: enc.n(),
+            nb: enc.nb(),
+            panel,
+            local: enc.a.local().as_slice().to_vec(),
+            tau: tau.to_vec(),
+        }
+    }
+
+    /// Attach (or replace) the completed-`tau` prefix. Callable after the
+    /// driver returns because `tau` entries are write-once per panel: the
+    /// final run's prefix is bitwise the capture-time prefix.
+    pub fn record_tau(&mut self, tau: &[f64]) {
+        self.tau = tau.to_vec();
+    }
+
+    /// Panel index this checkpoint was captured at.
+    pub fn panel(&self) -> usize {
+        self.panel
+    }
+
+    /// Serialize: magic, five `u64` header words (`n`, `nb`, `panel`,
+    /// local length, tau length), then the two payloads as little-endian
+    /// IEEE bit patterns (bit-exact round-trip, `-0.0` and subnormals
+    /// included).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 5 * 8 + 8 * (self.local.len() + self.tau.len()));
+        out.extend_from_slice(&FT_CKPT_MAGIC);
+        for v in [self.n, self.nb, self.panel, self.local.len(), self.tau.len()] {
+            out.extend_from_slice(&(v as u64).to_le_bytes());
+        }
+        for &x in self.local.iter().chain(&self.tau) {
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse a [`FtCheckpoint::to_bytes`] image. Fails (never panics) on a
+    /// foreign magic, a truncated buffer, or trailing garbage — the three
+    /// ways a stored checkpoint goes bad.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        fn take<'a>(bytes: &'a [u8], off: &mut usize, len: usize) -> Result<&'a [u8], String> {
+            let end = off
+                .checked_add(len)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| format!("checkpoint truncated: need {len} bytes at offset {off}, buffer has {}", bytes.len()))?;
+            let s = &bytes[*off..end];
+            *off = end;
+            Ok(s)
+        }
+        fn take_u64(bytes: &[u8], off: &mut usize) -> Result<usize, String> {
+            Ok(u64::from_le_bytes(take(bytes, off, 8)?.try_into().unwrap()) as usize)
+        }
+        fn take_f64s(bytes: &[u8], off: &mut usize, count: usize) -> Result<Vec<f64>, String> {
+            let raw = take(bytes, off, count.checked_mul(8).ok_or("checkpoint header overflows")?)?;
+            Ok(raw
+                .chunks_exact(8)
+                .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+                .collect())
+        }
+        let mut off = 0usize;
+        let magic = take(bytes, &mut off, 8)?;
+        if magic != FT_CKPT_MAGIC {
+            return Err(format!("bad checkpoint magic {magic:02x?}"));
+        }
+        let n = take_u64(bytes, &mut off)?;
+        let nb = take_u64(bytes, &mut off)?;
+        let panel = take_u64(bytes, &mut off)?;
+        let nlocal = take_u64(bytes, &mut off)?;
+        let ntau = take_u64(bytes, &mut off)?;
+        let local = take_f64s(bytes, &mut off, nlocal)?;
+        let tau = take_f64s(bytes, &mut off, ntau)?;
+        if off != bytes.len() {
+            return Err(format!("trailing garbage: {} bytes past the checkpoint payload", bytes.len() - off));
+        }
+        Ok(Self { n, nb, panel, local, tau })
+    }
+
+    /// Restore this snapshot into a freshly allocated encoding of the same
+    /// shape: overwrite the rank's full extended local matrix and the
+    /// completed-`tau` prefix (entries past the prefix are untouched).
+    /// Panics on a shape mismatch — restoring into the wrong geometry is a
+    /// deployment bug, not a runtime condition.
+    pub fn restore(&self, enc: &mut Encoded, tau: &mut [f64]) {
+        assert_eq!(self.n, enc.n(), "checkpoint N does not match the target encoding");
+        assert_eq!(self.nb, enc.nb(), "checkpoint nb does not match the target encoding");
+        let local = enc.a.local_mut().as_mut_slice();
+        assert_eq!(self.local.len(), local.len(), "checkpoint local size does not match the target rank's local matrix");
+        assert!(self.tau.len() <= tau.len(), "checkpoint tau prefix longer than the target tau buffer");
+        local.copy_from_slice(&self.local);
+        tau[..self.tau.len()].copy_from_slice(&self.tau);
+    }
 }
 
 struct Checkpoint {
@@ -295,6 +433,154 @@ mod tests {
             rep_large.lost_panels,
             rep_small.lost_panels
         );
+    }
+
+    #[test]
+    fn ft_checkpoint_bytes_roundtrip_bit_exact() {
+        let ckpt = FtCheckpoint {
+            n: 8,
+            nb: 2,
+            panel: 3,
+            local: vec![0.5, -1.25, f64::MIN_POSITIVE, -0.0, 3.5e300],
+            tau: vec![1.75, 3e-300],
+        };
+        let bytes = ckpt.to_bytes();
+        let back = FtCheckpoint::from_bytes(&bytes).expect("well-formed image parses");
+        assert_eq!(back.n, ckpt.n);
+        assert_eq!(back.nb, ckpt.nb);
+        assert_eq!(back.panel(), ckpt.panel);
+        // Element-wise bit equality: `-0.0` and subnormals must survive.
+        for (a, b) in back.local.iter().zip(&ckpt.local) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in back.tau.iter().zip(&ckpt.tau) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back.local.len(), ckpt.local.len());
+        assert_eq!(back.tau.len(), ckpt.tau.len());
+    }
+
+    #[test]
+    fn ft_checkpoint_from_bytes_rejects_malformed_images() {
+        let ckpt = FtCheckpoint { n: 4, nb: 2, panel: 1, local: vec![1.0, 2.0], tau: vec![0.5] };
+        let bytes = ckpt.to_bytes();
+        assert!(FtCheckpoint::from_bytes(&[]).is_err(), "empty buffer");
+        for cut in [4usize, 8, 24, bytes.len() - 1] {
+            assert!(FtCheckpoint::from_bytes(&bytes[..cut]).is_err(), "truncation at {cut} must not parse");
+        }
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        let e = FtCheckpoint::from_bytes(&bad_magic).expect_err("foreign magic");
+        assert!(e.contains("magic"), "unexpected error: {e}");
+        let mut long = bytes.clone();
+        long.push(0);
+        let e = FtCheckpoint::from_bytes(&long).expect_err("trailing byte");
+        assert!(e.contains("trailing"), "unexpected error: {e}");
+    }
+
+    #[test]
+    fn ft_checkpoint_capture_restore_single_redundancy_grid() {
+        use crate::encode::Encoded;
+        run_spmd(1, 2, FaultScript::none(), |ctx| {
+            let enc = Encoded::from_global_fn(&ctx, 12, 2, |i, j| uniform_entry(9, i, j));
+            let tau = [0.25, 0.5];
+            let mut ckpt = FtCheckpoint::capture(&enc, &[], 1);
+            ckpt.record_tau(&tau);
+            let back = FtCheckpoint::from_bytes(&ckpt.to_bytes()).expect("round-trip");
+            let mut enc2 = Encoded::from_global_fn(&ctx, 12, 2, |_, _| 0.0);
+            let mut tau2 = vec![0.0; 5];
+            back.restore(&mut enc2, &mut tau2);
+            for (a, b) in enc2.a.local().as_slice().iter().zip(enc.a.local().as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "restored local state must be bitwise identical");
+            }
+            assert_eq!(&tau2[..2], &tau[..]);
+            assert!(tau2[2..].iter().all(|&x| x == 0.0), "entries past the prefix stay untouched");
+        });
+    }
+
+    /// The ISSUE's round-trip scenario: capture a mid-factorization
+    /// checkpoint under Coded(3) from the observation hook, push it through
+    /// bytes, restore it into a **fresh** encoding in a separate SPMD world,
+    /// and prove the restored state is a genuine mid-factorization image:
+    /// Theorem 1 holds for every group strictly after the captured panel's
+    /// scope, and the restored `tau` prefix is bitwise the solver's.
+    fn ft_checkpoint_roundtrip(solver: &'static str) {
+        use crate::algorithm::{ft_pdgehrd_hooked, ft_pdgeqrf_hooked, Phase, Variant};
+        use crate::encode::{Encoded, Redundancy};
+        use crate::scrub::assert_theorem1;
+        use std::sync::Arc;
+
+        // Coded(3) needs Q >= 6; n/nb = 12 block columns over Q = 6 gives
+        // two checksum groups, so a panel-2 capture (scope 0) leaves group 1
+        // strictly-after-scope for the Theorem-1 re-verification.
+        let (n, nb, p, q) = (96usize, 8usize, 1usize, 6usize);
+        const CAPTURE_PANEL: usize = 2;
+        let seed = 77u64;
+        let tau_len = match solver {
+            "hessenberg" => n - 1,
+            _ => n,
+        };
+
+        // Run 1: fault-free factorization; the hook snapshots the encoded
+        // state right after panel 2's left update, tau rides along after
+        // the driver returns (write-once per panel).
+        let per_rank: Vec<(Vec<u8>, Vec<f64>)> = run_spmd(p, q, FaultScript::none(), move |ctx| {
+            let mut enc = Encoded::with_redundancy(&ctx, n, nb, Redundancy::Coded(3), |i, j| uniform_entry(seed, i, j));
+            let mut tau = vec![0.0; tau_len];
+            let mut ckpt: Option<FtCheckpoint> = None;
+            let mut hook = |_: &Ctx, enc: &mut Encoded, panel: usize, phase: Phase| {
+                if panel == CAPTURE_PANEL && phase == Phase::AfterLeftUpdate {
+                    ckpt = Some(FtCheckpoint::capture(enc, &[], panel));
+                }
+            };
+            match solver {
+                "hessenberg" => ft_pdgehrd_hooked(&ctx, &mut enc, Variant::NonDelayed, &mut tau, &mut hook),
+                _ => ft_pdgeqrf_hooked(&ctx, &mut enc, Variant::NonDelayed, &mut tau, &mut hook),
+            }
+            .expect("fault-free run");
+            let mut ckpt = ckpt.expect("capture hook fired at panel 2");
+            ckpt.record_tau(&tau[..(CAPTURE_PANEL + 1) * nb]);
+            (ckpt.to_bytes(), tau)
+        });
+
+        // Run 2: a separate world restores the serialized checkpoint into a
+        // freshly allocated encoding and re-verifies the invariant.
+        let payload = Arc::new(per_rank);
+        run_spmd(p, q, FaultScript::none(), move |ctx| {
+            let (bytes, tau_final) = &payload[ctx.rank()];
+            let ckpt = FtCheckpoint::from_bytes(bytes).expect("stored checkpoint parses");
+            assert_eq!(ckpt.panel(), CAPTURE_PANEL);
+            let mut enc = Encoded::with_redundancy(&ctx, n, nb, Redundancy::Coded(3), |_, _| 0.0);
+            let mut tau = vec![0.0; tau_len];
+            ckpt.restore(&mut enc, &mut tau);
+            // tau prefix: write-once per panel means the completed run's
+            // prefix IS the capture-time prefix — bitwise.
+            let written = (CAPTURE_PANEL + 1) * nb;
+            for (a, b) in tau[..written].iter().zip(&tau_final[..written]) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{solver}: restored tau prefix diverged");
+            }
+            assert!(tau[written..].iter().all(|&x| x == 0.0));
+            // Theorem 1 on the restored image: every group strictly after
+            // the captured scope, every Coded(3) checksum copy.
+            let scope = CAPTURE_PANEL / ctx.npcol();
+            let checked = assert_theorem1(&ctx, &enc, scope, 1e-11, solver, "restored checkpoint");
+            assert_eq!(
+                checked,
+                (enc.groups() - scope - 1) * enc.ncopies(),
+                "{solver}: Theorem-1 re-verification did not cover every trailing (group, copy) pair"
+            );
+            assert!(checked > 0, "{solver}: no trailing groups were checked — the capture point is miscalibrated");
+        });
+    }
+
+    #[test]
+    fn ft_checkpoint_roundtrip_theorem1_hessenberg_coded3() {
+        ft_checkpoint_roundtrip("hessenberg");
+    }
+
+    #[test]
+    fn ft_checkpoint_roundtrip_theorem1_qr_coded3() {
+        ft_checkpoint_roundtrip("qr");
     }
 
     #[test]

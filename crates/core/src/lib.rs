@@ -52,7 +52,7 @@ pub use algorithm::{
     failpoint, ft_pdgehrd, ft_pdgehrd_full, ft_pdgehrd_hooked, ft_pdgehrd_replacement, ft_pdgehrd_scrubbed, ft_pdgeqrf,
     ft_pdgeqrf_full, ft_pdgeqrf_hooked, ft_pdgeqrf_replacement, ft_pdgeqrf_scrubbed, ve_rows, FtError, FtReport, Phase, Variant,
 };
-pub use checkpoint_restart::{cr_failpoint, cr_pdgehrd, CrReport};
+pub use checkpoint_restart::{cr_failpoint, cr_pdgehrd, CrReport, FtCheckpoint};
 pub use encode::{Encoded, Redundancy};
 pub use model::{asymptotic_overhead, flop_model, storage_overhead_elements, FlopModel};
 pub use recovery::{check_tolerance, recover, ToleranceCap, ToleranceExceeded};

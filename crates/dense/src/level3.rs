@@ -25,13 +25,30 @@
 //!   buffer, which is what makes the checksum update cost the paper's §6
 //!   model charges proportional to column count only.
 //!
+//! Two further knobs were added for the fig6a overhead work (DESIGN.md §14):
+//!
+//! * **Runtime ISA dispatch.** The register tile comes in a portable scalar
+//!   flavor plus explicit `std::arch` AVX2, AVX-512 and NEON flavors
+//!   ([`crate::simd`]); `FT_GEMM_ISA` / [`set_isa_override`] select one at
+//!   runtime. All vector flavors are bitwise-identical to each other; the
+//!   scalar flavor is its own contraction class (mul-then-add rounding).
+//! * **Opt-in in-rank threading.** `FT_GEMM_THREADS` /
+//!   [`set_threads_override`] partition the macro-kernel's panel loop over a
+//!   std-only worker pool ([`crate::pool`]); results are bitwise identical
+//!   for every thread count because the partition never changes per-element
+//!   arithmetic.
+//!
 //! [`gemm_naive`] is the deliberately simple triple-loop oracle used by the
 //! test suites (and the kernel-equivalence fuzzer) to validate every faster
 //! path.
 
 use crate::counters::{add_flops, add_gemm_call};
-use crate::{Diag, Side, Trans, UpLo};
+use crate::simd::Isa;
+use crate::{pool, simd, Diag, Side, Trans, UpLo};
 use std::sync::OnceLock;
+
+pub use crate::pool::{active_threads, set_threads_override};
+pub use crate::simd::{active_isa, detected_isas, set_isa_override};
 
 /// Register block: rows of the micro-tile. One AVX-512 lane-group (8 f64),
 /// two AVX2 lanes — a full cache line either way.
@@ -105,22 +122,57 @@ fn env_block(name: &str) -> Option<usize> {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).filter(|&v| v > 0)
 }
 
-fn probe_blocking() -> Blocking {
-    let l1 = sysfs_cache_size(1).unwrap_or(32 << 10);
-    let l2 = sysfs_cache_size(2).unwrap_or(256 << 10);
-    let l3 = sysfs_cache_size(3).unwrap_or(8 << 20).max(l2);
+/// Conservative cache sizes assumed when the platform exposes nothing
+/// (sandboxed containers frequently mount no `/sys/devices/system/cpu`).
+const FALLBACK_L1: usize = 32 << 10;
+const FALLBACK_L2: usize = 256 << 10;
+const FALLBACK_L3: usize = 8 << 20;
+
+/// Pure blocking computation: cache sizes (`None` = use the conservative
+/// fallback for that level) plus per-dimension overrides (`FT_GEMM_KC/MC/NC`
+/// values; an override wins over any probed size). Split out from
+/// [`blocking`] so the no-sysfs path and the override precedence are unit
+/// testable without touching the process environment.
+pub fn compute_blocking(
+    l1: Option<usize>,
+    l2: Option<usize>,
+    l3: Option<usize>,
+    kc_ov: Option<usize>,
+    mc_ov: Option<usize>,
+    nc_ov: Option<usize>,
+) -> Blocking {
+    let l1 = l1.unwrap_or(FALLBACK_L1);
+    let l2 = l2.unwrap_or(FALLBACK_L2);
+    let l3 = l3.unwrap_or(FALLBACK_L3).max(l2);
     // KC: one MR×KC A micro-panel plus one KC×NR B micro-panel should fill
     // about half of L1, leaving the C tile and streaming lines resident.
     let kc = (l1 / (2 * 8 * (MR + NR))).clamp(64, 512) & !7;
-    // MC: the packed MC×KC A block occupies about half of L2.
-    let mc = (l2 / (2 * 8 * kc)).clamp(2 * MR, 2048) / MR * MR;
+    // MC: the packed MC×KC A block occupies about half of L2. Rounded to a
+    // multiple of 2·MR so the AVX-512 paired-panel tile sees full 16-row
+    // units everywhere except the final fringe (per-element bits do not
+    // depend on MC — this is purely a throughput choice).
+    let mc = (l2 / (2 * 8 * kc)).clamp(2 * MR, 2048) / (2 * MR) * (2 * MR);
     // NC: the packed KC×NC B block stays well inside L3.
     let nc = (l3 / (4 * 8 * kc)).clamp(2 * NR, 8160) / NR * NR;
     Blocking {
-        kc: env_block("FT_GEMM_KC").map(|v| (v.max(8)) & !7).unwrap_or(kc),
-        mc: env_block("FT_GEMM_MC").map(|v| v.max(MR) / MR * MR).unwrap_or(mc),
-        nc: env_block("FT_GEMM_NC").map(|v| v.max(NR) / NR * NR).unwrap_or(nc),
+        kc: kc_ov.map(|v| (v.max(8)) & !7).unwrap_or(kc),
+        mc: mc_ov.map(|v| v.max(MR) / MR * MR).unwrap_or(mc),
+        nc: nc_ov.map(|v| v.max(NR) / NR * NR).unwrap_or(nc),
     }
+}
+
+fn probe_blocking() -> Blocking {
+    let (l1, l2, l3) = (sysfs_cache_size(1), sysfs_cache_size(2), sysfs_cache_size(3));
+    let (kc_ov, mc_ov, nc_ov) = (env_block("FT_GEMM_KC"), env_block("FT_GEMM_MC"), env_block("FT_GEMM_NC"));
+    // Containers often hide the cache hierarchy; say so once instead of
+    // silently running with the clamp floors.
+    if (l1.is_none() || l2.is_none() || l3.is_none()) && (kc_ov.is_none() || mc_ov.is_none() || nc_ov.is_none()) {
+        eprintln!(
+            "ft-dense: cache sizes not fully exposed via sysfs (L1={l1:?} L2={l2:?} L3={l3:?}); \
+             using conservative fallback blocking — set FT_GEMM_KC/MC/NC to tune"
+        );
+    }
+    compute_blocking(l1, l2, l3, kc_ov, mc_ov, nc_ov)
 }
 
 #[inline]
@@ -200,34 +252,40 @@ pub fn gemm(
     add_gemm_call();
 
     // --- packed blocked multiply, β fused into the first k-block ----------
+    // The ISA is sampled once per call so a mid-call override flip (tests)
+    // can never mix tile flavors within one multiply.
+    let isa = simd::active_isa();
     let bl = blocking();
     let kc_cap = bl.kc.min(k);
     let mc_cap = bl.mc.min(m.div_ceil(MR) * MR);
     let nc_cap = bl.nc.min(n.div_ceil(NR) * NR);
-    let mut apack = vec![0.0f64; mc_cap * kc_cap];
-    let mut bpack = vec![0.0f64; kc_cap * nc_cap];
+    PACK_SCRATCH.with_borrow_mut(|(apack, bpack)| {
+        grow(apack, mc_cap * kc_cap);
+        grow(bpack, kc_cap * nc_cap);
+        let (apack, bpack) = (&mut apack[..mc_cap * kc_cap], &mut bpack[..kc_cap * nc_cap]);
 
-    let mut jc = 0;
-    while jc < n {
-        let nc = bl.nc.min(n - jc);
-        let mut pc = 0;
-        while pc < k {
-            let kc = bl.kc.min(k - pc);
-            // β is applied exactly once per C element: by the k-block that
-            // sees it first.
-            let beta_eff = if pc == 0 { beta } else { 1.0 };
-            pack_b(transb, b, ldb, pc, jc, kc, nc, &mut bpack);
-            let mut ic = 0;
-            while ic < m {
-                let mc = bl.mc.min(m - ic);
-                pack_a(transa, a, lda, ic, pc, mc, kc, &mut apack);
-                macro_kernel(mc, nc, kc, alpha, &apack, &bpack, beta_eff, &mut c[ic + jc * ldc..], ldc);
-                ic += bl.mc;
+        let mut jc = 0;
+        while jc < n {
+            let nc = bl.nc.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kc = bl.kc.min(k - pc);
+                // β is applied exactly once per C element: by the k-block that
+                // sees it first.
+                let beta_eff = if pc == 0 { beta } else { 1.0 };
+                pack_b(transb, b, ldb, pc, jc, kc, nc, bpack);
+                let mut ic = 0;
+                while ic < m {
+                    let mc = bl.mc.min(m - ic);
+                    pack_a(transa, a, lda, ic, pc, mc, kc, apack);
+                    macro_kernel(mc, nc, kc, alpha, apack, bpack, beta_eff, &mut c[ic + jc * ldc..], ldc, isa);
+                    ic += bl.mc;
+                }
+                pc += bl.kc;
             }
-            pc += bl.kc;
+            jc += bl.nc;
         }
-        jc += bl.nc;
-    }
+    });
 }
 
 /// `op(A)` packed once into the micro-kernel's panel layout, for repeated
@@ -323,33 +381,38 @@ pub fn gemm_packed_a(
     add_flops(2 * m as u64 * n as u64 * k as u64);
     add_gemm_call();
 
+    let isa = simd::active_isa();
     let bl = blocking();
     let nc_cap = bl.nc.min(n.div_ceil(NR) * NR);
-    let mut bpack = vec![0.0f64; pa.kc.min(k) * nc_cap];
-    // MC must stay MR-aligned so the packed panels slice cleanly.
+    // MC must stay MR-aligned so the packed panels slice cleanly (the probed
+    // default is 2·MR-aligned so super-tile pairing sees full units).
     let mc_step = (bl.mc / MR * MR).max(MR);
+    PACK_SCRATCH.with_borrow_mut(|(_, bpack)| {
+        grow(bpack, pa.kc.min(k) * nc_cap);
+        let bpack = &mut bpack[..pa.kc.min(k) * nc_cap];
 
-    let mut jc = 0;
-    while jc < n {
-        let nc = bl.nc.min(n - jc);
-        let mut pc = 0;
-        while pc < k {
-            let kc = pa.kc.min(k - pc);
-            let beta_eff = if pc == 0 { beta } else { 1.0 };
-            pack_b(transb, b, ldb, pc, jc, kc, nc, &mut bpack);
-            let block = &pa.data[pa.m_pad * pc..pa.m_pad * (pc + kc)];
-            let mut ic = 0;
-            while ic < m {
-                let mc = mc_step.min(m - ic);
-                // Panels ic/MR.. of this k-block are contiguous: MR·kc each.
-                let ap = &block[(ic / MR) * MR * kc..];
-                macro_kernel(mc, nc, kc, alpha, ap, &bpack, beta_eff, &mut c[ic + jc * ldc..], ldc);
-                ic += mc_step;
+        let mut jc = 0;
+        while jc < n {
+            let nc = bl.nc.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kc = pa.kc.min(k - pc);
+                let beta_eff = if pc == 0 { beta } else { 1.0 };
+                pack_b(transb, b, ldb, pc, jc, kc, nc, bpack);
+                let block = &pa.data[pa.m_pad * pc..pa.m_pad * (pc + kc)];
+                let mut ic = 0;
+                while ic < m {
+                    let mc = mc_step.min(m - ic);
+                    // Panels ic/MR.. of this k-block are contiguous: MR·kc each.
+                    let ap = &block[(ic / MR) * MR * kc..];
+                    macro_kernel(mc, nc, kc, alpha, ap, bpack, beta_eff, &mut c[ic + jc * ldc..], ldc, isa);
+                    ic += mc_step;
+                }
+                pc += pa.kc;
             }
-            pc += pa.kc;
+            jc += bl.nc;
         }
-        jc += bl.nc;
-    }
+    });
 }
 
 /// Pack the `mc×kc` block of `op(A)` starting at logical `(ic, pc)` into
@@ -391,6 +454,20 @@ fn pack_b(trans: Trans, b: &[f64], ldb: usize, pc: usize, jc: usize, kc: usize, 
         let c0 = q * NR;
         let colsn = NR.min(nc - c0);
         let base = q * NR * kc;
+        if colsn == NR && trans == Trans::No {
+            // Full panel, no transpose: interleave NR source columns. Fixed
+            // column views + a fixed-width destination chunk elide every
+            // bounds check in the hot loop (this pack runs once per k-block
+            // per GEMM call and was a measurable slice of the wall clock).
+            let col = |cdx: usize| &b[(pc) + (jc + c0 + cdx) * ldb..][..kc];
+            let cols: [&[f64]; NR] = [col(0), col(1), col(2), col(3), col(4), col(5)];
+            for (j, dst) in out[base..base + kc * NR].chunks_exact_mut(NR).enumerate() {
+                for (cdx, c) in cols.iter().enumerate() {
+                    dst[cdx] = c[j];
+                }
+            }
+            continue;
+        }
         for j in 0..kc {
             let dst = &mut out[base + j * NR..base + j * NR + NR];
             for cdx in 0..colsn {
@@ -403,30 +480,167 @@ fn pack_b(trans: Trans, b: &[f64], ldb: usize, pc: usize, jc: usize, kc: usize, 
     }
 }
 
+thread_local! {
+    /// Per-thread packing scratch (`apack`, `bpack`), grown on demand and
+    /// reused across GEMM calls: skips an allocation + zero-fill of up to
+    /// MC·KC + KC·NC doubles per call. Safe to reuse un-zeroed because
+    /// `pack_a`/`pack_b` fully overwrite (and explicitly zero-pad) every
+    /// region the macro-kernel reads.
+    static PACK_SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> = const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
+fn grow(buf: &mut Vec<f64>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+}
+
+/// `*mut f64` that may cross into pool worker closures. Safe because the
+/// macro-kernel partition hands each lane a disjoint row band of C.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the raw `*mut f64` field (RFC 2229 disjoint
+    /// captures would otherwise un-`Sync` the closure).
+    fn get(&self) -> *mut f64 {
+        self.0
+    }
+}
+
 /// Multiply the packed `mc×kc` A block by the packed `kc×nc` B block into the
 /// `mc×nc` C window at `c` (leading dimension `ldc`):
-/// `C ← α·A·B + β_eff·C` tile by tile.
+/// `C ← α·A·B + β_eff·C` tile by tile, on the active ISA, optionally
+/// partitioned over the in-rank worker pool.
+///
+/// The unit of work distribution is a *pair* of packed A panels (a 16-row
+/// band of C) — the AVX-512 super-tile's granularity — so every lane runs
+/// whole tiles. Lanes write disjoint row bands; the per-element arithmetic
+/// is identical regardless of lane count, so threading never changes bits.
 #[allow(clippy::too_many_arguments)]
-fn macro_kernel(mc: usize, nc: usize, kc: usize, alpha: f64, apack: &[f64], bpack: &[f64], beta: f64, c: &mut [f64], ldc: usize) {
+fn macro_kernel(
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    alpha: f64,
+    apack: &[f64],
+    bpack: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+    isa: Isa,
+) {
+    let units = mc.div_ceil(2 * MR);
+    let lanes = pool::plan_threads(units, 2 * mc as u64 * nc as u64 * kc as u64);
+    if lanes <= 1 {
+        macro_kernel_units(0, units, mc, nc, kc, alpha, apack, bpack, beta, c.as_mut_ptr(), ldc, isa);
+        return;
+    }
+    let cp = SendPtr(c.as_mut_ptr());
+    pool::run(lanes, &|lane| {
+        let (u0, u1) = pool::split_units(units, lanes, lane);
+        macro_kernel_units(u0, u1, mc, nc, kc, alpha, apack, bpack, beta, cp.get(), ldc, isa);
+    });
+}
+
+/// Run panel-pair units `[u0, u1)` of one macro-kernel block (unit `u` owns
+/// C rows `[16u, 16u+16) ∩ [0, mc)`).
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel_units(
+    u0: usize,
+    u1: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    alpha: f64,
+    apack: &[f64],
+    bpack: &[f64],
+    beta: f64,
+    c: *mut f64,
+    ldc: usize,
+    isa: Isa,
+) {
     let mpan = mc.div_ceil(MR);
     let npan = nc.div_ceil(NR);
+    let (p0, p1) = ((u0 * 2).min(mpan), (u1 * 2).min(mpan));
+
+    #[cfg(target_arch = "x86_64")]
+    if isa == Isa::Avx512 {
+        // Super-tiles: pairs of A panels × pairs of B panels. Pairing only
+        // groups elements into one tile invocation; each element's op
+        // sequence is unchanged, so fringe variants (AP/BQ = 1) and the
+        // paired fast path produce identical bits.
+        for q2 in 0..npan.div_ceil(2) {
+            let q = q2 * 2;
+            let bq = 2.min(npan - q);
+            let cols = [NR.min(nc - q * NR), if bq == 2 { NR.min(nc - (q + 1) * NR) } else { 0 }];
+            let bp = bpack[q * NR * kc..].as_ptr();
+            let mut p = p0;
+            while p < p1 {
+                let ap_cnt = 2.min(p1 - p);
+                let rows = [MR.min(mc - p * MR), if ap_cnt == 2 { MR.min(mc - (p + 1) * MR) } else { 0 }];
+                let ap = apack[p * MR * kc..].as_ptr();
+                let ct = unsafe { c.add(p * MR + q * NR * ldc) };
+                unsafe {
+                    match (ap_cnt, bq) {
+                        (2, 2) => simd::x86::super_tile_avx512::<2, 2>(kc, alpha, ap, bp, beta, rows, cols, ct, ldc),
+                        (2, 1) => simd::x86::super_tile_avx512::<2, 1>(kc, alpha, ap, bp, beta, rows, cols, ct, ldc),
+                        (1, 2) => simd::x86::super_tile_avx512::<1, 2>(kc, alpha, ap, bp, beta, rows, cols, ct, ldc),
+                        _ => simd::x86::super_tile_avx512::<1, 1>(kc, alpha, ap, bp, beta, rows, cols, ct, ldc),
+                    }
+                }
+                p += 2;
+            }
+        }
+        return;
+    }
+
     for q in 0..npan {
         let c0 = q * NR;
         let ncols = NR.min(nc - c0);
         let bp = &bpack[q * NR * kc..];
-        for p in 0..mpan {
+        for p in p0..p1 {
             let r0 = p * MR;
             let nrows = MR.min(mc - r0);
             let ap = &apack[p * MR * kc..];
-            micro_kernel(kc, alpha, ap, bp, beta, nrows, ncols, &mut c[r0 + c0 * ldc..], ldc);
+            let ct = unsafe { c.add(r0 + c0 * ldc) };
+            match isa {
+                #[cfg(target_arch = "x86_64")]
+                Isa::Avx2 => unsafe {
+                    simd::x86::micro_8x6_avx2(kc, alpha, ap.as_ptr(), bp.as_ptr(), beta, nrows, ncols, ct, ldc)
+                },
+                #[cfg(target_arch = "aarch64")]
+                Isa::Neon => unsafe {
+                    simd::arm::micro_8x6_neon(kc, alpha, ap.as_ptr(), bp.as_ptr(), beta, nrows, ncols, ct, ldc)
+                },
+                _ => unsafe { micro_kernel(kc, alpha, ap, bp, beta, nrows, ncols, ct, ldc) },
+            }
         }
     }
 }
 
-/// The MR×NR register kernel: `acc += ap(:,l) ⊗ bp(:,l)` over `l`, then
-/// `C[0..nrows, 0..ncols] ← α·acc + β·C` (β = 0 never reads `C`).
+/// The portable MR×NR register kernel: `acc += ap(:,l) ⊗ bp(:,l)` over `l`,
+/// then `C[0..nrows, 0..ncols] ← α·acc + β·C` (β = 0 never reads `C`).
+/// This is the scalar contraction class: multiply and add round separately.
+///
+/// # Safety
+/// `c` must point at a writable `nrows×ncols` window with leading dimension
+/// `ldc` (rows beyond `nrows` within a column are never touched).
 #[inline]
-fn micro_kernel(kc: usize, alpha: f64, ap: &[f64], bp: &[f64], beta: f64, nrows: usize, ncols: usize, c: &mut [f64], ldc: usize) {
+unsafe fn micro_kernel(
+    kc: usize,
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    beta: f64,
+    nrows: usize,
+    ncols: usize,
+    c: *mut f64,
+    ldc: usize,
+) {
     let mut acc = [[0.0f64; MR]; NR];
     // Fixed-size chunk views let LLVM keep the whole accumulator in
     // registers and vectorize the rank-1 update without bounds checks.
@@ -443,7 +657,7 @@ fn micro_kernel(kc: usize, alpha: f64, ap: &[f64], bp: &[f64], beta: f64, nrows:
     if nrows == MR {
         // Full-height tile: unit-stride whole-column stores.
         for (j, accj) in acc.iter().enumerate().take(ncols) {
-            let col: &mut [f64; MR] = (&mut c[j * ldc..j * ldc + MR]).try_into().unwrap();
+            let col: &mut [f64; MR] = unsafe { &mut *(c.add(j * ldc) as *mut [f64; MR]) };
             if beta == 0.0 {
                 for (cv, &a) in col.iter_mut().zip(accj.iter()) {
                     *cv = alpha * a;
@@ -460,7 +674,7 @@ fn micro_kernel(kc: usize, alpha: f64, ap: &[f64], bp: &[f64], beta: f64, nrows:
         }
     } else {
         for (j, accj) in acc.iter().enumerate().take(ncols) {
-            let col = &mut c[j * ldc..j * ldc + nrows];
+            let col = unsafe { std::slice::from_raw_parts_mut(c.add(j * ldc), nrows) };
             if beta == 0.0 {
                 for (cv, &a) in col.iter_mut().zip(accj.iter()) {
                     *cv = alpha * a;
@@ -641,6 +855,38 @@ mod tests {
         assert!(bl.kc >= 8 && bl.kc.is_multiple_of(8), "{bl:?}");
         assert!(bl.mc >= MR && bl.mc.is_multiple_of(MR), "{bl:?}");
         assert!(bl.nc >= NR && bl.nc.is_multiple_of(NR), "{bl:?}");
+    }
+
+    #[test]
+    fn compute_blocking_no_sysfs_fallback() {
+        // The containerized path: no cache sizes at all. Must yield the
+        // deterministic conservative blocking, not a degenerate clamp.
+        let bl = compute_blocking(None, None, None, None, None, None);
+        assert_eq!(bl, compute_blocking(Some(FALLBACK_L1), Some(FALLBACK_L2), Some(FALLBACK_L3), None, None, None));
+        assert!(bl.kc >= 64 && bl.kc <= 512 && bl.kc.is_multiple_of(8), "{bl:?}");
+        assert!(bl.mc >= 2 * MR && bl.mc.is_multiple_of(2 * MR), "{bl:?}");
+        assert!(bl.nc >= 2 * NR && bl.nc.is_multiple_of(NR), "{bl:?}");
+        // Partially-missing levels use the fallback for the missing level only.
+        let big = compute_blocking(Some(1 << 20), None, None, None, None, None);
+        assert_eq!(big.kc, 512, "1 MiB L1 saturates the KC clamp: {big:?}");
+    }
+
+    #[test]
+    fn compute_blocking_override_precedence() {
+        // FT_GEMM_* overrides beat probed sizes, with alignment enforced.
+        let bl = compute_blocking(Some(48 << 10), Some(2 << 20), Some(32 << 20), Some(203), Some(100), Some(50));
+        assert_eq!(bl.kc, 200, "KC override rounds down to a multiple of 8");
+        assert_eq!(bl.mc, 96, "MC override rounds down to a multiple of MR");
+        assert_eq!(bl.nc, 48, "NC override rounds down to a multiple of NR");
+        // Overrides clamp up from degenerate values instead of panicking.
+        let tiny = compute_blocking(None, None, None, Some(1), Some(1), Some(1));
+        assert_eq!((tiny.kc, tiny.mc, tiny.nc), (8, MR, NR));
+        // Each override is independent: forcing KC leaves MC/NC at their
+        // probed values (the MC/NC formulas use the probed KC).
+        let only_kc = compute_blocking(None, None, None, Some(128), None, None);
+        let none = compute_blocking(None, None, None, None, None, None);
+        assert_eq!(only_kc.kc, 128);
+        assert_eq!((only_kc.mc, only_kc.nc), (none.mc, none.nc));
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //!
 //! This crate provides the sequential building blocks that the rest of the
 //! ABFT Hessenberg reproduction is built on: a column-major [`Matrix`] type
-//! and BLAS level 1/2/3 kernels written from scratch in safe Rust (no BLAS
+//! and BLAS level 1/2/3 kernels written from scratch in Rust (no BLAS
 //! bindings — the paper's evaluation platform used vendor BLAS, which we
-//! substitute per DESIGN.md §2).
+//! substitute per DESIGN.md §2). The GEMM register tile additionally has
+//! explicit `std::arch` AVX2/AVX-512/NEON flavors behind runtime dispatch
+//! ([`simd`]) and opt-in in-rank threading ([`pool`]); see DESIGN.md §14.
 //!
 //! ## Conventions
 //!
@@ -37,7 +39,9 @@ pub mod level2;
 pub mod level3;
 pub mod matrix;
 pub mod norms;
+pub mod pool;
 pub mod rng;
+pub mod simd;
 
 pub use matrix::Matrix;
 

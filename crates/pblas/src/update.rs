@@ -6,6 +6,13 @@
 //! per-column right-operand rows, so the ABFT layer can extend them to the
 //! checksum columns (whose "V row" is the pseudo checksum `Ve` row rather
 //! than a row of `V` — see paper §4/§5).
+//!
+//! The [`PackedA`] prepacks below inherit the full DESIGN.md §14
+//! determinism contract: `gemm_packed_a` is bitwise identical to
+//! pack-on-the-fly `gemm` under every microkernel ISA and every
+//! `FT_GEMM_THREADS` setting, so routing data and checksum columns through
+//! the same prepacked panel keeps Theorem 1's "same linear update" literal
+//! regardless of how the host dispatches or partitions the kernel.
 
 use crate::dist::DistMatrix;
 use crate::panel::PanelFactors;

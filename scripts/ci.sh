@@ -12,15 +12,35 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo test -q"
-cargo test -q
+# The full suite runs twice: once pinned to the scalar microkernel (the
+# pre-SIMD reference semantics) and once on the best detected ISA
+# (DESIGN.md §14). A determinism bug that only manifests under one
+# contraction class cannot hide behind the other.
+echo "== cargo test -q (FT_GEMM_ISA=scalar)"
+FT_GEMM_ISA=scalar cargo test -q
+
+echo "== cargo test -q (FT_GEMM_ISA=auto)"
+FT_GEMM_ISA=auto cargo test -q
 
 # Kernel-equivalence fuzz loop at a pinned seed: the packed/pre-packed GEMM
-# paths against the naive oracle over adversarial fringe shapes. The seed is
-# fixed so a CI failure reproduces exactly; bump FT_FUZZ_ROUNDS locally to
-# sweep wider.
-echo "== kernel fuzz (pinned seed)"
-FT_FUZZ_SEED=20130926 FT_FUZZ_ROUNDS=600 cargo test -q -p ft-dense --test kernel_fuzz
+# paths against the naive oracle over adversarial fringe shapes, under every
+# detected ISA and thread count. FT_REQUIRE_ISAS is computed from the host's
+# cpuinfo so a build/detection regression that silently exercises only the
+# scalar path is a hard failure, not a quiet skip. The seed is fixed so a CI
+# failure reproduces exactly; bump FT_FUZZ_ROUNDS locally to sweep wider.
+echo "== kernel fuzz (pinned seed, cross-ISA battery)"
+require_isas="scalar"
+if [ -r /proc/cpuinfo ]; then
+    if grep -qm1 avx2 /proc/cpuinfo && grep -qm1 fma /proc/cpuinfo; then
+        require_isas="$require_isas,avx2"
+    fi
+    if grep -qm1 avx512f /proc/cpuinfo && grep -qm1 fma /proc/cpuinfo; then
+        require_isas="$require_isas,avx512"
+    fi
+fi
+echo "  requiring ISAs: $require_isas"
+FT_REQUIRE_ISAS=$require_isas FT_FUZZ_SEED=20130926 FT_FUZZ_ROUNDS=600 \
+    cargo test -q -p ft-dense --test kernel_fuzz
 
 echo "== cargo bench --no-run (compile gate)"
 cargo bench --no-run -q
@@ -64,6 +84,28 @@ if [ "$chaos_hessenberg_runs" -eq 0 ] || [ "$chaos_qr_runs" -eq 0 ]; then
     echo "chaos soak: a solver battery was skipped (hessenberg=$chaos_hessenberg_runs qr=$chaos_qr_runs)"
     exit 1
 fi
+
+# Threaded chaos leg: one seed, both solvers, with the in-rank GEMM worker
+# pool engaged (FT_GEMM_THREADS=4). Recovery replays GEMMs; the DESIGN.md
+# §14 contract says the thread count can never change a bit, so the
+# recover-or-typed-reject outcomes must match the single-threaded runs of
+# the same seed exactly.
+echo "== threaded chaos soak (FT_GEMM_THREADS=4, one seed, both solvers)"
+for solver in hessenberg qr; do
+    for variant in alg2 alg3; do
+        set +e
+        FT_GEMM_THREADS=4 ./target/release/abft-hessenberg \
+            --n 96 --nb 8 --grid 2x3 --solver "$solver" --variant "$variant" \
+            --chaos "1:3" --verify >/dev/null
+        rc=$?
+        set -e
+        case $rc in
+            0) echo "  $solver $variant threads=4: recovered, verified" ;;
+            3) echo "  $solver $variant threads=4: beyond tolerance, typed rejection" ;;
+            *) echo "  $solver $variant threads=4: FAILED (exit $rc)"; exit 1 ;;
+        esac
+    done
+done
 
 # Deterministic SDC soak: seeded silent bit flips at message-op boundaries
 # with the scrub engine at cadence 1, again for BOTH solvers. A run must
