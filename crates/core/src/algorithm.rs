@@ -796,7 +796,7 @@ pub fn ft_pdgeqrf_full(
     policy: ScrubPolicy,
     hook: &mut dyn FnMut(&Ctx, &mut Encoded, usize, Phase),
 ) -> Result<FtReport, FtError> {
-    ft_solver_driver(ctx, &HouseholderQr, enc, variant, tau, policy, hook, false)
+    ft_solver_driver(ctx, &HouseholderQr, enc, variant, tau, policy, hook, DriverControl::default())
 }
 
 /// Replacement-process entry point for a distributed QR run — the QR
@@ -809,7 +809,16 @@ pub fn ft_pdgeqrf_replacement(
     policy: ScrubPolicy,
 ) -> Result<FtReport, FtError> {
     assert!(ctx.distributed(), "ft_pdgeqrf_replacement only makes sense on a real transport");
-    ft_solver_driver(ctx, &HouseholderQr, enc, variant, tau, policy, &mut |_, _, _, _| {}, true)
+    ft_solver_driver(
+        ctx,
+        &HouseholderQr,
+        enc,
+        variant,
+        tau,
+        policy,
+        &mut |_, _, _, _| {},
+        DriverControl { replacement: true, ..DriverControl::default() },
+    )
 }
 
 /// [`ft_pdgehrd`] with the online SDC scrub engine enabled: at the
@@ -856,7 +865,7 @@ pub fn ft_pdgehrd_full(
     policy: ScrubPolicy,
     hook: &mut dyn FnMut(&Ctx, &mut Encoded, usize, Phase),
 ) -> Result<FtReport, FtError> {
-    ft_solver_driver(ctx, &Hessenberg, enc, variant, tau, policy, hook, false)
+    ft_solver_driver(ctx, &Hessenberg, enc, variant, tau, policy, hook, DriverControl::default())
 }
 
 /// Entry point for a **respawned replacement process** in a distributed run:
@@ -876,7 +885,84 @@ pub fn ft_pdgehrd_replacement(
     policy: ScrubPolicy,
 ) -> Result<FtReport, FtError> {
     assert!(ctx.distributed(), "ft_pdgehrd_replacement only makes sense on a real transport");
-    ft_solver_driver(ctx, &Hessenberg, enc, variant, tau, policy, &mut |_, _, _, _| {}, true)
+    ft_solver_driver(
+        ctx,
+        &Hessenberg,
+        enc,
+        variant,
+        tau,
+        policy,
+        &mut |_, _, _, _| {},
+        DriverControl { replacement: true, ..DriverControl::default() },
+    )
+}
+
+/// Serving-layer controls for a driver run: resume a factorization from a
+/// checkpointed scope boundary, join as a replacement, and/or observe scope
+/// closes for checkpoint capture. The plain entry points are all shorthands
+/// for specific settings of this struct.
+///
+/// ## Resume contract
+///
+/// `start_panel` must be a *scope entry* — a panel index whose block column
+/// is a multiple of Q (the state [`crate::FtCheckpoint`] captures, because
+/// the scope sink only fires at scope closes). Before calling the driver
+/// with `start_panel > 0`, the caller must have restored the encoded matrix
+/// and the tau prefix from such a checkpoint on **every** rank
+/// ([`crate::FtCheckpoint::restore`]); the driver then skips the initial
+/// encoding (the restored matrix already carries live checksums — at a
+/// scope close the Theorem 1 invariant holds under both variants, the
+/// delayed catch-up included) and re-enters the loop at the recorded panel.
+/// Re-execution from a restored scope boundary is deterministic (DESIGN.md
+/// §14), so a resumed run's result is bitwise identical to an uninterrupted
+/// one.
+#[derive(Default)]
+pub struct DriverControl<'a> {
+    /// First panel iteration to execute; 0 runs from the start. Must be a
+    /// scope entry (see the resume contract above).
+    pub start_panel: usize,
+    /// This process is a respawned replacement joining an in-flight run
+    /// (see [`ft_pdgehrd_replacement`]). Mutually exclusive with a nonzero
+    /// `start_panel`: a replacement's state comes from its peers, not from
+    /// a checkpoint.
+    pub replacement: bool,
+    /// Called (collectively, on every rank) after each scope close except
+    /// the final one, with the just-finished panel index — the exact
+    /// boundary [`crate::FtCheckpoint::capture`] serializes and the resume
+    /// contract re-enters at (`start_panel` = panel + 1). Under chaos a
+    /// rolled-back scope can fire the sink again; re-execution is
+    /// deterministic, so the re-captured image is bitwise identical.
+    pub scope_sink: Option<&'a mut ScopeSink<'a>>,
+}
+
+/// Callback fired at every scope close with `(ctx, enc, tau, panel)` — the
+/// checkpointable boundary state (see [`DriverControl::scope_sink`]).
+pub type ScopeSink<'a> = dyn FnMut(&Ctx, &Encoded, &[f64], usize) + 'a;
+
+/// [`ft_pdgehrd`] under explicit [`DriverControl`] — the serving layer's
+/// entry point (checkpoint capture and restart-resume).
+pub fn ft_pdgehrd_ctl(
+    ctx: &Ctx,
+    enc: &mut Encoded,
+    variant: Variant,
+    tau: &mut [f64],
+    policy: ScrubPolicy,
+    ctl: DriverControl,
+) -> Result<FtReport, FtError> {
+    ft_solver_driver(ctx, &Hessenberg, enc, variant, tau, policy, &mut |_, _, _, _| {}, ctl)
+}
+
+/// [`ft_pdgeqrf`] under explicit [`DriverControl`] — the QR counterpart of
+/// [`ft_pdgehrd_ctl`].
+pub fn ft_pdgeqrf_ctl(
+    ctx: &Ctx,
+    enc: &mut Encoded,
+    variant: Variant,
+    tau: &mut [f64],
+    policy: ScrubPolicy,
+    ctl: DriverControl,
+) -> Result<FtReport, FtError> {
+    ft_solver_driver(ctx, &HouseholderQr, enc, variant, tau, policy, &mut |_, _, _, _| {}, ctl)
 }
 
 /// The generic driver every `ft_pdgehrd*` / `ft_pdgeqrf*` entry point
@@ -891,9 +977,11 @@ fn ft_solver_driver(
     tau: &mut [f64],
     policy: ScrubPolicy,
     hook: &mut dyn FnMut(&Ctx, &mut Encoded, usize, Phase),
-    replacement: bool,
+    ctl: DriverControl,
 ) -> Result<FtReport, FtError> {
+    let DriverControl { start_panel, replacement, mut scope_sink } = ctl;
     let n = enc.n();
+    let nb = enc.nb();
     let q = ctx.npcol();
     // Q = 1 keeps both checksum copies on the one process column: useless
     // against fail-stop loss (check_tolerance caps the per-row budget at
@@ -906,10 +994,33 @@ fn ft_solver_driver(
     let mut report = FtReport::default();
     let t_total = Instant::now();
 
-    let mut st = DriverState { scope: None, k: 0, panel_idx: 0, resume: Step::Begin };
+    // A resumed run re-enters at a checkpointed scope entry: walk the panel
+    // widths to the matching matrix offset and verify the alignment the
+    // resume contract promises.
+    assert!(!(replacement && start_panel > 0), "a replacement cannot also resume from a checkpoint");
+    let mut start_k = 0usize;
+    for p in 0..start_panel {
+        assert!(
+            solver.panel_exists(start_k, n),
+            "start_panel {start_panel} is beyond the final panel (stuck at {p})"
+        );
+        start_k += solver.panel_width(start_k, n, nb);
+    }
+    assert!(
+        start_panel == 0 || !solver.panel_exists(start_k, n) || (start_k / nb).is_multiple_of(q),
+        "resume must start at a scope entry (block column a multiple of Q)"
+    );
+    let resuming = start_panel > 0;
+
+    let mut st = DriverState {
+        scope: None,
+        k: start_k,
+        panel_idx: start_panel,
+        resume: Step::Begin,
+    };
     let mut imgs = Images::default();
 
-    if !replacement {
+    if !replacement && !resuming {
         let t0 = Instant::now();
         enc.compute_initial_checksums(ctx);
         report.encode_secs = t0.elapsed().as_secs_f64();
@@ -923,7 +1034,10 @@ fn ft_solver_driver(
     if ft_live(ctx) && !replacement {
         // Pre-loop boundary: a kill before the first panel's fail point
         // rolls back to "everything encoded, nothing factorized", where the
-        // whole matrix is reconstructible from the initial checksums.
+        // whole matrix is reconstructible from the initial checksums. A
+        // resumed run's pre-loop boundary is its restored checkpoint — the
+        // same shape (no scope open, every group solvable from its stored
+        // checksum), just at a later panel.
         ctx.barrier();
         imgs.cur = Some(capture_image(enc, tau, &st, Phase::BeforePanel, enc.groups(), 0));
         ctx.commit_boundary(0);
@@ -948,8 +1062,9 @@ fn ft_solver_driver(
 
     'run: loop {
         if !need_recovery {
-            match catch_interrupt(|| run_loop(ctx, solver, enc, variant, tau, hook, &mut st, &mut imgs, &mut scrub, &mut report))
-            {
+            match catch_interrupt(|| {
+                run_loop(ctx, solver, enc, variant, tau, hook, &mut scope_sink, &mut st, &mut imgs, &mut scrub, &mut report)
+            }) {
                 Ok(done) => {
                     done?;
                     break 'run;
@@ -1096,6 +1211,7 @@ fn run_loop(
     variant: Variant,
     tau: &mut [f64],
     hook: &mut dyn FnMut(&Ctx, &mut Encoded, usize, Phase),
+    sink: &mut Option<&mut ScopeSink>,
     st: &mut DriverState,
     imgs: &mut Images,
     scrub: &mut ScrubCtl,
@@ -1220,6 +1336,16 @@ fn run_loop(
             // checksum is recomputed once and protects Area 2 forever.
             enc.compute_group_checksum(ctx, s);
             report.scope_end_secs += t.elapsed().as_secs_f64();
+            // The scope is closed and every live checksum copy satisfies
+            // Theorem 1 (catch-up included): the exact boundary the resume
+            // contract of [`DriverControl`] re-enters at. Hand it to the
+            // checkpoint sink — except after the final panel, where there
+            // is nothing left to resume.
+            if !last_panel_overall {
+                if let Some(f) = sink.as_mut() {
+                    f(ctx, enc, tau, st.panel_idx);
+                }
+            }
         } else if scan_due {
             // Mid-scope: under the delayed variant the trailing checksums
             // lag the data until the catch-up, so only the finished groups

@@ -583,6 +583,74 @@ mod tests {
         ft_checkpoint_roundtrip("qr");
     }
 
+    /// The serving layer's resume path: run once uninterrupted with the
+    /// driver's scope sink collecting checkpoints, then restore a mid-run
+    /// checkpoint into a fresh encoding and resume via
+    /// `DriverControl::start_panel` — the factorization and tau must come
+    /// out bitwise identical for both solvers.
+    fn driver_resume_roundtrip(qr: bool) {
+        use crate::algorithm::{ft_pdgehrd_ctl, ft_pdgeqrf_ctl, DriverControl, Variant};
+        use crate::encode::Encoded;
+        use crate::scrub::ScrubPolicy;
+
+        let (n, nb, seed) = (16usize, 2usize, 91u64);
+        run_spmd(2, 2, FaultScript::none(), move |ctx| {
+            let mut enc = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
+            let mut tau = vec![0.0; n];
+            let mut ckpts: Vec<FtCheckpoint> = Vec::new();
+            {
+                let mut sink = |_: &Ctx, e: &Encoded, t: &[f64], panel: usize| {
+                    ckpts.push(FtCheckpoint::capture(e, t, panel));
+                };
+                let ctl = DriverControl { scope_sink: Some(&mut sink), ..DriverControl::default() };
+                if qr {
+                    ft_pdgeqrf_ctl(&ctx, &mut enc, Variant::NonDelayed, &mut tau, ScrubPolicy::disabled(), ctl)
+                } else {
+                    ft_pdgehrd_ctl(&ctx, &mut enc, Variant::NonDelayed, &mut tau, ScrubPolicy::disabled(), ctl)
+                }
+                .expect("fault-free run");
+            }
+            let reference = enc.gather_logical(&ctx, 650);
+            assert!(!ckpts.is_empty(), "no scope close fired the sink");
+            // Scope closes land on odd block columns for Q = 2, so every
+            // captured panel + 1 is a scope entry.
+            let ck = ckpts.first().unwrap();
+            let mut enc2 = Encoded::from_global_fn(&ctx, n, nb, |i, j| uniform_entry(seed, i, j));
+            let mut tau2 = vec![0.0; n];
+            ck.restore(&mut enc2, &mut tau2);
+            let ctl = DriverControl { start_panel: ck.panel() + 1, ..DriverControl::default() };
+            if qr {
+                ft_pdgeqrf_ctl(&ctx, &mut enc2, Variant::NonDelayed, &mut tau2, ScrubPolicy::disabled(), ctl)
+            } else {
+                ft_pdgehrd_ctl(&ctx, &mut enc2, Variant::NonDelayed, &mut tau2, ScrubPolicy::disabled(), ctl)
+            }
+            .expect("resumed run");
+            let resumed = enc2.gather_logical(&ctx, 652);
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(
+                        reference[(i, j)].to_bits(),
+                        resumed[(i, j)].to_bits(),
+                        "qr={qr}: resumed factorization diverged at ({i},{j})"
+                    );
+                }
+            }
+            for (a, b) in tau.iter().zip(&tau2) {
+                assert_eq!(a.to_bits(), b.to_bits(), "qr={qr}: resumed tau diverged");
+            }
+        });
+    }
+
+    #[test]
+    fn driver_resume_from_scope_checkpoint_is_bitwise_identical_hessenberg() {
+        driver_resume_roundtrip(false);
+    }
+
+    #[test]
+    fn driver_resume_from_scope_checkpoint_is_bitwise_identical_qr() {
+        driver_resume_roundtrip(true);
+    }
+
     #[test]
     fn cr_survives_multiple_failures() {
         use ft_runtime::PlannedFailure;

@@ -49,8 +49,9 @@ pub mod scrub;
 pub mod solver;
 
 pub use algorithm::{
-    failpoint, ft_pdgehrd, ft_pdgehrd_full, ft_pdgehrd_hooked, ft_pdgehrd_replacement, ft_pdgehrd_scrubbed, ft_pdgeqrf,
-    ft_pdgeqrf_full, ft_pdgeqrf_hooked, ft_pdgeqrf_replacement, ft_pdgeqrf_scrubbed, ve_rows, FtError, FtReport, Phase, Variant,
+    failpoint, ft_pdgehrd, ft_pdgehrd_ctl, ft_pdgehrd_full, ft_pdgehrd_hooked, ft_pdgehrd_replacement, ft_pdgehrd_scrubbed,
+    ft_pdgeqrf, ft_pdgeqrf_ctl, ft_pdgeqrf_full, ft_pdgeqrf_hooked, ft_pdgeqrf_replacement, ft_pdgeqrf_scrubbed, ve_rows,
+    DriverControl, FtError, FtReport, Phase, Variant,
 };
 pub use checkpoint_restart::{cr_failpoint, cr_pdgehrd, CrReport, FtCheckpoint};
 pub use encode::{Encoded, Redundancy};

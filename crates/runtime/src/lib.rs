@@ -53,7 +53,8 @@ pub use comm::{Ctx, FailCheck};
 pub use detect::{catch_interrupt, FailureAgreement, Interrupt, InterruptReason};
 pub use fault::{poisson_failures, ChaosKill, ChaosPoint, ChaosScript, FaultScript, PlannedFailure, SdcFlip, SdcScript};
 pub use grid::Grid;
-pub use tag::{PhaseTraffic, Tag, TrafficLedger, TrafficPhase};
+pub use tag::{PhaseTraffic, Tag, TrafficLedger, TrafficPhase, JOB_TAG_CHANNELS, JOB_TAG_LANES};
+pub use tcp::jobs::{self, JobFrame};
 pub use tcp::{TcpConfig, TcpTransport};
 pub use transport::{CommError, MpscTransport, Msg, PeerCounters, Transport, TransportStats};
 

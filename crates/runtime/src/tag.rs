@@ -88,7 +88,22 @@ pub enum Tag {
     Checkpoint(u16),
     /// Recovery-protocol channels. Phase: `Recovery`.
     Recovery(u16),
+    /// Serving-layer per-job channels (result gathers, residual checks,
+    /// ledger aggregation of one scheduled job). Construct through
+    /// [`Tag::job`], which folds the job id into the channel number so two
+    /// concurrent grids whose TCP connections overlap can never alias each
+    /// other's collective tags. Phase: `Other`.
+    Job(u16),
 }
+
+/// Number of per-job channels available to [`Tag::job`] (low bits of the
+/// [`Tag::Job`] channel number).
+pub const JOB_TAG_CHANNELS: u16 = 1 << 6;
+
+/// Number of distinct job lanes [`Tag::job`] spreads job ids over (high
+/// bits of the [`Tag::Job`] channel number). `JOB_TAG_LANES ·
+/// JOB_TAG_CHANNELS` exactly fills the `u16` channel space.
+pub const JOB_TAG_LANES: u16 = 1 << 10;
 
 /// Collective sub-channel, encoded in the low wire bits so a collective
 /// can never be confused with point-to-point traffic on the same [`Tag`]
@@ -101,6 +116,21 @@ pub(crate) enum Leg {
 }
 
 impl Tag {
+    /// Tag for serving-layer traffic of one scheduled job.
+    ///
+    /// `job` is the job id (folded modulo [`JOB_TAG_LANES`] into the lane
+    /// bits) and `chan` the channel within the job (must be below
+    /// [`JOB_TAG_CHANNELS`]). Jobs run on disjoint rank subsets with
+    /// private fabrics, but the lane separation guarantees that even if
+    /// two grids ever shared a connection their collectives could not
+    /// alias. A debug assertion rejects out-of-range channels.
+    #[must_use]
+    pub fn job(job: u64, chan: u16) -> Tag {
+        debug_assert!(chan < JOB_TAG_CHANNELS, "job tag channel {chan} out of range (must be < {JOB_TAG_CHANNELS})");
+        let lane = (job % JOB_TAG_LANES as u64) as u16;
+        Tag::Job(lane * JOB_TAG_CHANNELS + (chan % JOB_TAG_CHANNELS))
+    }
+
     /// The ledger bucket this tag's traffic is accounted under.
     #[inline]
     pub fn phase(self) -> TrafficPhase {
@@ -111,6 +141,7 @@ impl Tag {
             Tag::Checksum(_) => TrafficPhase::ChecksumUpdate,
             Tag::Checkpoint(_) => TrafficPhase::Checkpoint,
             Tag::Recovery(_) => TrafficPhase::Recovery,
+            Tag::Job(_) => TrafficPhase::Other,
         }
     }
 
@@ -127,6 +158,13 @@ impl Tag {
             Tag::Checksum(t) => Tag::Checksum(t.checked_add(k).expect("tag offset overflow")),
             Tag::Checkpoint(t) => Tag::Checkpoint(t.checked_add(k).expect("tag offset overflow")),
             Tag::Recovery(t) => Tag::Recovery(t.checked_add(k).expect("tag offset overflow")),
+            Tag::Job(t) => {
+                let chan = t.checked_add(k).expect("tag offset overflow");
+                // Offsetting must stay inside the owning job's lane, or two
+                // jobs' channels would alias after all.
+                debug_assert_eq!(chan / JOB_TAG_CHANNELS, t / JOB_TAG_CHANNELS, "job tag offset crosses into another job's lane");
+                Tag::Job(chan)
+            }
         }
     }
 
@@ -141,8 +179,14 @@ impl Tag {
             Tag::Checksum(t) => (3, t as u64),
             Tag::Checkpoint(t) => (4, t as u64),
             Tag::Recovery(t) => (5, t as u64),
+            Tag::Job(t) => (6, t as u64),
         };
-        (disc << 34) | (chan << 2) | leg as u64
+        let key = (disc << 34) | (chan << 2) | leg as u64;
+        debug_assert!(
+            key < crate::comm::DIST_CTRL_MIN,
+            "tag wire key {key:#x} reaches the runtime's reserved control channels"
+        );
+        key
     }
 
     /// Inverse of [`Tag::wire`]: recover the tag and a human-readable leg
@@ -164,6 +208,7 @@ impl Tag {
             3 => Tag::Checksum(u16::try_from(chan).ok()?),
             4 => Tag::Checkpoint(u16::try_from(chan).ok()?),
             5 => Tag::Recovery(u16::try_from(chan).ok()?),
+            6 => Tag::Job(u16::try_from(chan).ok()?),
             _ => return None,
         };
         Some((tag, leg))
@@ -280,6 +325,7 @@ mod tests {
             Tag::Checksum(7),
             Tag::Checkpoint(7),
             Tag::Recovery(7),
+            Tag::Job(7),
         ];
         let mut seen = std::collections::HashSet::new();
         for t in tags {
@@ -298,6 +344,7 @@ mod tests {
             Tag::Checksum(0x210),
             Tag::Checkpoint(0x300),
             Tag::Recovery(0x1000),
+            Tag::Job(0x2222),
         ];
         for t in tags {
             for (leg, name) in [(Leg::P2p, "p2p"), (Leg::Reduce, "reduce"), (Leg::Bcast, "bcast")] {
@@ -323,6 +370,7 @@ mod tests {
             Tag::Checksum(u16::MAX),
             Tag::Checkpoint(u16::MAX),
             Tag::Recovery(u16::MAX),
+            Tag::Job(u16::MAX),
         ]
         .into_iter()
         .map(|t| t.wire(Leg::Bcast))
@@ -337,6 +385,30 @@ mod tests {
         assert_eq!(t, Tag::Checkpoint(0x13));
         assert_eq!(t.phase(), TrafficPhase::Checkpoint);
         assert_eq!(Tag::from(600u64), Tag::User(600));
+    }
+
+    #[test]
+    fn job_tags_are_disjoint_across_jobs_and_channels() {
+        // Every (job lane, channel) pair maps to its own wire key: a full
+        // sweep of two adjacent lanes and the edges of the lane space.
+        let mut seen = std::collections::HashSet::new();
+        for job in [0u64, 1, 2, JOB_TAG_LANES as u64 - 1] {
+            for chan in 0..JOB_TAG_CHANNELS {
+                assert!(seen.insert(Tag::job(job, chan).wire(Leg::P2p)), "job tag collision for job {job} chan {chan}");
+            }
+        }
+        // Lanes wrap modulo JOB_TAG_LANES: far-apart ids may share a lane
+        // (documented), but equal ids always agree on the tag.
+        assert_eq!(Tag::job(7, 3), Tag::job(7 + JOB_TAG_LANES as u64, 3));
+        // Offsets stay inside the job's channel budget.
+        assert_eq!(Tag::job(5, 1).offset(2), Tag::job(5, 3));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "job tag channel")]
+    fn job_tag_rejects_out_of_range_channel() {
+        let _ = Tag::job(0, JOB_TAG_CHANNELS);
     }
 
     #[test]

@@ -68,6 +68,10 @@ const KIND_DATA: u8 = 2;
 /// and left" from "died": a departed peer is not judged dead no matter how
 /// long its sockets stay silent.
 const KIND_GOODBYE: u8 = 3;
+// Kinds 4..=8 belong to the serving layer's job frames (see [`jobs`]).
+// They share the 32-byte header but travel on dedicated client↔daemon and
+// daemon↔worker connections, never on the rank fabric; `reader_loop`
+// ignores them like any other unknown kind if one ever strays there.
 
 const HEADER_LEN: usize = 32;
 /// Sanity cap on a frame's payload (words): a corrupt length prefix must
@@ -578,6 +582,155 @@ fn read_frame(shared: &Shared, stream: &mut TcpStream) -> io::Result<Option<Fram
         .collect::<Vec<f64>>()
         .into();
     Ok(Some(Frame { kind, src, incarnation, wire, epoch, payload }))
+}
+
+// --- job frames (serving layer) ---------------------------------------------
+
+/// Job-stream framing for the persistent solver service.
+///
+/// The serving layer (`crates/serve`) reuses the transport's 32-byte frame
+/// header verbatim, with the fields re-purposed for job routing:
+///
+/// ```text
+/// header field        job-frame meaning
+/// kind                SUBMIT / ACCEPT / RESULT / REJECT / CKPT
+/// source rank         tenant id
+/// source incarnation  unused (0)
+/// wire key            job id
+/// sender epoch        request sequence number (echoed in replies)
+/// payload             f64 words, grammar per kind (see crates/serve)
+/// ```
+///
+/// Job frames travel on their own client↔daemon and daemon↔worker
+/// connections — never on the rank fabric — so they need a plain blocking
+/// reader rather than the fabric's shutdown-polling [`read_full`].
+pub mod jobs {
+    use super::{HEADER_LEN, MAX_PAYLOAD_WORDS};
+    use std::io::{self, Read, Write};
+    use std::net::TcpStream;
+
+    /// Submit a job (client → daemon) or assign one (daemon → worker).
+    pub const KIND_SUBMIT: u8 = 4;
+    /// Admission acknowledgement carrying the allocated job id; also the
+    /// worker → daemon registration frame (job field = pool slot).
+    pub const KIND_ACCEPT: u8 = 5;
+    /// Completed-job payload (worker → daemon → client).
+    pub const KIND_RESULT: u8 = 6;
+    /// Typed rejection: backpressure, quota, malformed spec, or a job that
+    /// failed beyond the code distance. Payload starts with a reason code.
+    pub const KIND_REJECT: u8 = 7;
+    /// Checkpoint upload (worker → daemon): one rank's serialized
+    /// `FtCheckpoint` image at a scope boundary.
+    pub const KIND_CKPT: u8 = 8;
+
+    /// One frame of the job stream.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct JobFrame {
+        /// One of the `KIND_*` constants above.
+        pub kind: u8,
+        /// Tenant id (rides the header's source-rank field).
+        pub tenant: u32,
+        /// Job id (rides the header's wire-key field).
+        pub job: u64,
+        /// Request sequence number (rides the header's epoch field);
+        /// replies echo the sequence of the request they answer.
+        pub seq: u64,
+        /// Frame body, grammar per kind.
+        pub payload: Vec<f64>,
+    }
+
+    /// Serialize and send one job frame.
+    pub fn write_job_frame(stream: &mut TcpStream, frame: &JobFrame) -> io::Result<()> {
+        debug_assert!((KIND_SUBMIT..=KIND_CKPT).contains(&frame.kind), "frame kind {} is not a job kind", frame.kind);
+        let buf = super::encode_frame(frame.kind, frame.tenant as usize, 0, frame.job, frame.seq, &frame.payload);
+        stream.write_all(&buf)?;
+        stream.flush()
+    }
+
+    /// Blocking read of one job frame. Errors on EOF, a malformed header,
+    /// or a kind outside the job range (a fabric frame straying onto a job
+    /// connection is a protocol violation, not data).
+    pub fn read_job_frame(stream: &mut TcpStream) -> io::Result<JobFrame> {
+        let mut header = [0u8; HEADER_LEN];
+        stream.read_exact(&mut header)?;
+        let words = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        if words > MAX_PAYLOAD_WORDS {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "job frame length out of range"));
+        }
+        let kind = header[4];
+        if !(KIND_SUBMIT..=KIND_CKPT).contains(&kind) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, format!("frame kind {kind} is not a job frame")));
+        }
+        let tenant = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        let job = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        let seq = u64::from_le_bytes(header[24..32].try_into().unwrap());
+        let mut raw = vec![0u8; 8 * words as usize];
+        stream.read_exact(&mut raw)?;
+        let payload = raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect::<Vec<f64>>();
+        Ok(JobFrame { kind, tenant, job, seq, payload })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::net::TcpListener;
+
+        #[test]
+        fn job_frames_round_trip_over_a_socket() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let sent = JobFrame {
+                kind: KIND_SUBMIT,
+                tenant: 42,
+                job: 7,
+                seq: 3,
+                payload: vec![1.0, -2.5, std::f64::consts::PI],
+            };
+            let tx = sent.clone();
+            let writer = std::thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).unwrap();
+                write_job_frame(&mut s, &tx).unwrap();
+                // Empty payloads are legal (pure control frames).
+                write_job_frame(
+                    &mut s,
+                    &JobFrame {
+                        kind: KIND_ACCEPT,
+                        tenant: 0,
+                        job: 9,
+                        seq: 4,
+                        payload: vec![],
+                    },
+                )
+                .unwrap();
+            });
+            let (mut s, _) = listener.accept().unwrap();
+            let got = read_job_frame(&mut s).unwrap();
+            assert_eq!(got, sent);
+            let ctl = read_job_frame(&mut s).unwrap();
+            assert_eq!((ctl.kind, ctl.job, ctl.seq, ctl.payload.len()), (KIND_ACCEPT, 9, 4, 0));
+            writer.join().unwrap();
+        }
+
+        #[test]
+        fn fabric_kinds_are_rejected_on_job_connections() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let writer = std::thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).unwrap();
+                // A DATA frame (kind 2) must not parse as a job frame.
+                let buf = crate::tcp::encode_frame(super::super::KIND_DATA, 1, 0, 5, 0, &[1.0]);
+                use std::io::Write;
+                s.write_all(&buf).unwrap();
+            });
+            let (mut s, _) = listener.accept().unwrap();
+            let err = read_job_frame(&mut s).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            writer.join().unwrap();
+        }
+    }
 }
 
 // --- threads ----------------------------------------------------------------

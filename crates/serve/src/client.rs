@@ -1,0 +1,126 @@
+//! Submit-side library: the thin typed wrapper the `submit` CLI verb, the
+//! throughput bench, and the integration tests all share.
+//!
+//! A [`Client`] is one tenant connection. Submissions are pipelined — you
+//! may fire many [`Client::submit`] calls before draining events — and the
+//! daemon correlates replies by the per-connection sequence number the
+//! client stamps on each SUBMIT.
+
+use crate::job::{JobResult, JobSpec, RejectReason, REQ_JOB, REQ_SHUTDOWN};
+use ft_runtime::{jobs, JobFrame};
+use std::io;
+use std::net::TcpStream;
+
+/// One reply from the daemon.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// The job was admitted; `seq` echoes the SUBMIT it answers.
+    Accepted { job: u64, seq: u64 },
+    /// Typed refusal: admission backpressure (`seq` correlates) or a
+    /// post-admission failure (`job` correlates).
+    Rejected { job: u64, seq: u64, reason: RejectReason },
+    /// The job finished; the full result payload.
+    Completed { job: u64, result: JobResult },
+}
+
+/// One tenant's connection to the daemon.
+pub struct Client {
+    stream: TcpStream,
+    tenant: u32,
+    seq: u64,
+}
+
+impl Client {
+    /// Connect to a daemon on localhost `port` as `tenant`.
+    pub fn connect(port: u16, tenant: u32) -> io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(("127.0.0.1", port))?,
+            tenant,
+            seq: 0,
+        })
+    }
+
+    /// Submit a job (pipelined). Returns the sequence number identifying
+    /// this submission in the [`Event::Accepted`] / [`Event::Rejected`]
+    /// reply.
+    pub fn submit(&mut self, spec: &JobSpec) -> io::Result<u64> {
+        self.seq += 1;
+        let mut payload = vec![REQ_JOB];
+        payload.extend_from_slice(&spec.to_words());
+        jobs::write_job_frame(
+            &mut self.stream,
+            &JobFrame {
+                kind: jobs::KIND_SUBMIT,
+                tenant: self.tenant,
+                job: 0,
+                seq: self.seq,
+                payload,
+            },
+        )?;
+        Ok(self.seq)
+    }
+
+    /// Block for the next daemon reply.
+    pub fn next_event(&mut self) -> io::Result<Event> {
+        loop {
+            let f = jobs::read_job_frame(&mut self.stream)?;
+            match f.kind {
+                k if k == jobs::KIND_ACCEPT => return Ok(Event::Accepted { job: f.job, seq: f.seq }),
+                k if k == jobs::KIND_REJECT => {
+                    let reason = f
+                        .payload
+                        .first()
+                        .ok_or(())
+                        .and_then(|&c| RejectReason::from_code(c).map_err(|_| ()))
+                        .map_err(|()| io::Error::new(io::ErrorKind::InvalidData, "malformed REJECT payload"))?;
+                    return Ok(Event::Rejected { job: f.job, seq: f.seq, reason });
+                }
+                k if k == jobs::KIND_RESULT => {
+                    let result = JobResult::from_words(&f.payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                    return Ok(Event::Completed { job: f.job, result });
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Submit one job and block until its terminal reply: the result, or
+    /// the typed rejection. Intended for one-outstanding-job use; events
+    /// for other pipelined jobs on this connection are NOT consumed safely
+    /// here.
+    pub fn run(&mut self, spec: &JobSpec) -> io::Result<Result<JobResult, RejectReason>> {
+        let seq = self.submit(spec)?;
+        let mut job_id = None;
+        loop {
+            match self.next_event()? {
+                Event::Accepted { job, seq: s } if s == seq => job_id = Some(job),
+                Event::Rejected { job, seq: s, reason } if s == seq || Some(job) == job_id => return Ok(Err(reason)),
+                Event::Completed { job, result } if Some(job) == job_id => return Ok(Ok(result)),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Ask the daemon to drain and exit. Returns once the shutdown is
+    /// acknowledged (jobs already admitted still finish before the daemon
+    /// actually exits).
+    pub fn shutdown(port: u16) -> io::Result<()> {
+        let mut stream = TcpStream::connect(("127.0.0.1", port))?;
+        jobs::write_job_frame(
+            &mut stream,
+            &JobFrame {
+                kind: jobs::KIND_SUBMIT,
+                tenant: 0,
+                job: 0,
+                seq: 1,
+                payload: vec![REQ_SHUTDOWN],
+            },
+        )?;
+        let f = jobs::read_job_frame(&mut stream)?;
+        if f.kind == jobs::KIND_ACCEPT {
+            Ok(())
+        } else {
+            Err(io::Error::new(io::ErrorKind::InvalidData, "shutdown not acknowledged"))
+        }
+    }
+}

@@ -1,0 +1,503 @@
+//! Job specs, results, rejection reasons, and their `f64`-word codecs.
+//!
+//! Every serving-layer message body is a vector of `f64` words — the
+//! transport's native payload type — so job frames ride the existing wire
+//! format with zero framing changes. Small integers are exact in `f64`
+//! (they stay far below 2⁵³); raw byte blobs (serialized checkpoints) are
+//! packed eight bytes per word through the IEEE bit pattern, which the
+//! frame codec round-trips bit-exactly.
+
+use ft_hess::{Redundancy, Variant};
+
+/// Which factorization a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverId {
+    /// Fault-tolerant Hessenberg reduction ([`ft_hess::ft_pdgehrd`]).
+    Hessenberg,
+    /// Fault-tolerant Householder QR ([`ft_hess::ft_pdgeqrf`]).
+    Qr,
+}
+
+impl SolverId {
+    fn code(self) -> f64 {
+        match self {
+            SolverId::Hessenberg => 0.0,
+            SolverId::Qr => 1.0,
+        }
+    }
+
+    fn from_code(c: f64) -> Result<Self, String> {
+        match c as i64 {
+            0 => Ok(SolverId::Hessenberg),
+            1 => Ok(SolverId::Qr),
+            k => Err(format!("unknown solver code {k}")),
+        }
+    }
+
+    /// CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverId::Hessenberg => "hessenberg",
+            SolverId::Qr => "qr",
+        }
+    }
+}
+
+/// Typed rejection reasons — the backpressure and failure-containment
+/// vocabulary of the daemon. Every REJECT frame's payload starts with one
+/// of these codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded job queue is at capacity (global backpressure).
+    QueueFull,
+    /// This tenant already has its quota of queued + running jobs.
+    QuotaExceeded,
+    /// The spec failed validation (shape, solver/redundancy codes, grid).
+    BadRequest,
+    /// The job wants more ranks than the pool has slots.
+    PoolTooSmall,
+    /// The daemon is draining for shutdown and admits no new work.
+    ShuttingDown,
+    /// A 1-rank job's worker died and its one retry was already spent.
+    WorkerLost,
+    /// The job's ABFT run failed beyond the redundancy's code distance
+    /// ([`ft_hess::FtError::ExceededCodeDistance`]).
+    CodeDistance,
+    /// The job's scrub engine hit unrecoverable silent corruption
+    /// ([`ft_hess::FtError::ScrubUnrecoverable`]).
+    Unrecoverable,
+}
+
+impl RejectReason {
+    /// Stable wire code.
+    pub fn code(self) -> f64 {
+        match self {
+            RejectReason::QueueFull => 0.0,
+            RejectReason::QuotaExceeded => 1.0,
+            RejectReason::BadRequest => 2.0,
+            RejectReason::PoolTooSmall => 3.0,
+            RejectReason::ShuttingDown => 4.0,
+            RejectReason::WorkerLost => 5.0,
+            RejectReason::CodeDistance => 6.0,
+            RejectReason::Unrecoverable => 7.0,
+        }
+    }
+
+    /// Inverse of [`RejectReason::code`].
+    pub fn from_code(c: f64) -> Result<Self, String> {
+        match c as i64 {
+            0 => Ok(RejectReason::QueueFull),
+            1 => Ok(RejectReason::QuotaExceeded),
+            2 => Ok(RejectReason::BadRequest),
+            3 => Ok(RejectReason::PoolTooSmall),
+            4 => Ok(RejectReason::ShuttingDown),
+            5 => Ok(RejectReason::WorkerLost),
+            6 => Ok(RejectReason::CodeDistance),
+            7 => Ok(RejectReason::Unrecoverable),
+            k => Err(format!("unknown reject reason code {k}")),
+        }
+    }
+
+    /// Human-readable name for logs and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue-full",
+            RejectReason::QuotaExceeded => "quota-exceeded",
+            RejectReason::BadRequest => "bad-request",
+            RejectReason::PoolTooSmall => "pool-too-small",
+            RejectReason::ShuttingDown => "shutting-down",
+            RejectReason::WorkerLost => "worker-lost",
+            RejectReason::CodeDistance => "code-distance-exceeded",
+            RejectReason::Unrecoverable => "scrub-unrecoverable",
+        }
+    }
+}
+
+/// SUBMIT payload word 0: what the client asks for.
+pub const REQ_JOB: f64 = 0.0;
+/// SUBMIT payload word 0: drain the pool and exit cleanly.
+pub const REQ_SHUTDOWN: f64 = 1.0;
+
+/// One reduction job as submitted by a tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    pub solver: SolverId,
+    pub variant: Variant,
+    pub redundancy: Redundancy,
+    /// Logical matrix dimension.
+    pub n: usize,
+    /// Blocking factor.
+    pub nb: usize,
+    /// Process-grid rows the job wants.
+    pub p: usize,
+    /// Process-grid columns.
+    pub q: usize,
+    /// Capture scope-boundary checkpoints so the job survives a whole-pool
+    /// restart (needs the daemon's `--state-dir`).
+    pub ckpt: bool,
+    /// The `n×n` input matrix, row-major.
+    pub matrix: Vec<f64>,
+}
+
+impl JobSpec {
+    /// Ranks this job occupies.
+    pub fn ranks(&self) -> usize {
+        self.p * self.q
+    }
+
+    fn variant_code(v: Variant) -> f64 {
+        match v {
+            Variant::NonDelayed => 0.0,
+            Variant::Delayed => 1.0,
+        }
+    }
+
+    fn redundancy_code(r: Redundancy) -> (f64, f64) {
+        match r {
+            Redundancy::Single => (0.0, 0.0),
+            Redundancy::Dual => (1.0, 0.0),
+            Redundancy::Coded(f) => (2.0, f as f64),
+        }
+    }
+
+    /// Serialize to SUBMIT payload words (after the request-kind word).
+    pub fn to_words(&self) -> Vec<f64> {
+        let (rk, rf) = Self::redundancy_code(self.redundancy);
+        let mut w = vec![
+            self.solver.code(),
+            Self::variant_code(self.variant),
+            rk,
+            rf,
+            self.n as f64,
+            self.nb as f64,
+            self.p as f64,
+            self.q as f64,
+            if self.ckpt { 1.0 } else { 0.0 },
+        ];
+        w.extend_from_slice(&self.matrix);
+        w
+    }
+
+    /// Parse and validate SUBMIT payload words. Every failure is a
+    /// [`RejectReason::BadRequest`] — the daemon echoes it typed, it never
+    /// tears down the connection.
+    pub fn from_words(w: &[f64]) -> Result<JobSpec, String> {
+        if w.len() < 9 {
+            return Err(format!("spec header truncated: {} words", w.len()));
+        }
+        let solver = SolverId::from_code(w[0])?;
+        let variant = match w[1] as i64 {
+            0 => Variant::NonDelayed,
+            1 => Variant::Delayed,
+            k => return Err(format!("unknown variant code {k}")),
+        };
+        let redundancy = match (w[2] as i64, w[3] as i64) {
+            (0, _) => Redundancy::Single,
+            (1, _) => Redundancy::Dual,
+            (2, f) if f >= 1 => Redundancy::Coded(f as usize),
+            (k, f) => return Err(format!("unknown redundancy code {k}/{f}")),
+        };
+        let (n, nb, p, q) = (w[4] as usize, w[5] as usize, w[6] as usize, w[7] as usize);
+        let ckpt = w[8] != 0.0;
+        if n == 0 || nb == 0 || nb > n {
+            return Err(format!("bad shape n={n} nb={nb}"));
+        }
+        if p == 0 || q == 0 {
+            return Err(format!("bad grid {p}x{q}"));
+        }
+        if q == 1 && p * q != 1 {
+            return Err(format!("Q = 1 is only supported on a 1x1 grid (got {p}x{q})"));
+        }
+        let matrix = &w[9..];
+        if matrix.len() != n * n {
+            return Err(format!("matrix payload is {} words, spec says n*n = {}", matrix.len(), n * n));
+        }
+        Ok(JobSpec {
+            solver,
+            variant,
+            redundancy,
+            n,
+            nb,
+            p,
+            q,
+            ckpt,
+            matrix: matrix.to_vec(),
+        })
+    }
+}
+
+/// A completed job's payload: the verification residual, recovery and
+/// traffic accounting, and the reduced factorization itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// The paper's `r∞` residual of the factorization (§7.3 scale).
+    pub residual: f64,
+    /// Transparent ABFT recoveries the job survived.
+    pub recoveries: u64,
+    /// Wall-clock milliseconds inside the solver (job-fabric side).
+    pub wall_ms: f64,
+    /// Grid-wide payload bytes the job's fabric moved ([`ft_runtime::TrafficLedger`]).
+    pub bytes: u64,
+    /// Logical dimension of `factor`.
+    pub n: usize,
+    /// The reduced matrix (reflectors included), row-major.
+    pub factor: Vec<f64>,
+    /// Householder scalars.
+    pub tau: Vec<f64>,
+}
+
+impl JobResult {
+    /// Serialize to RESULT payload words.
+    pub fn to_words(&self) -> Vec<f64> {
+        let mut w = vec![
+            self.residual,
+            self.recoveries as f64,
+            self.wall_ms,
+            self.bytes as f64,
+            self.n as f64,
+            self.tau.len() as f64,
+        ];
+        w.extend_from_slice(&self.factor);
+        w.extend_from_slice(&self.tau);
+        w
+    }
+
+    /// Inverse of [`JobResult::to_words`].
+    pub fn from_words(w: &[f64]) -> Result<JobResult, String> {
+        if w.len() < 6 {
+            return Err(format!("result header truncated: {} words", w.len()));
+        }
+        let n = w[4] as usize;
+        let tau_len = w[5] as usize;
+        let need = 6 + n * n + tau_len;
+        if w.len() != need {
+            return Err(format!("result payload is {} words, header says {need}", w.len()));
+        }
+        Ok(JobResult {
+            residual: w[0],
+            recoveries: w[1] as u64,
+            wall_ms: w[2],
+            bytes: w[3] as u64,
+            n,
+            factor: w[6..6 + n * n].to_vec(),
+            tau: w[6 + n * n..].to_vec(),
+        })
+    }
+}
+
+/// Daemon → worker directive word 0: run the job that follows.
+pub const ASSIGN_RUN: f64 = 0.0;
+/// Daemon → worker directive word 0: exit cleanly (pool shutdown).
+pub const ASSIGN_STOP: f64 = 1.0;
+
+/// One rank's share of a dispatched job — everything a worker needs to
+/// build (or rejoin) the job's private fabric and run its rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    pub spec: JobSpec,
+    /// This worker's rank within the job grid.
+    pub job_rank: usize,
+    /// First port of the job fabric's contiguous port range (unused for
+    /// 1-rank jobs, which run on an in-process fabric).
+    pub port_base: u16,
+    /// Fabric incarnation for this rank (respawned replacements bump it).
+    pub incarnation: u32,
+    /// Join as a replacement: skip encoding, enter recovery, let the
+    /// survivors ship the rollback boundary (the in-flight recovery path).
+    pub replacement: bool,
+    /// Pool-resolved heartbeat knobs — workers never read `FT_HB_*`
+    /// themselves, so daemon and clients can disagree freely.
+    pub hb_interval_ms: u64,
+    pub hb_miss_limit: u32,
+    pub conn_timeout_ms: u64,
+    /// Serialized [`ft_hess::FtCheckpoint`] to resume from (whole-pool
+    /// restart), or empty for a fresh run.
+    pub resume: Vec<u8>,
+}
+
+impl Assignment {
+    /// Serialize to a daemon → worker SUBMIT payload (after [`ASSIGN_RUN`]).
+    pub fn to_words(&self) -> Vec<f64> {
+        let mut w = vec![
+            self.job_rank as f64,
+            self.port_base as f64,
+            self.incarnation as f64,
+            if self.replacement { 1.0 } else { 0.0 },
+            self.hb_interval_ms as f64,
+            self.hb_miss_limit as f64,
+            self.conn_timeout_ms as f64,
+            self.resume.len() as f64,
+        ];
+        w.extend_from_slice(&self.spec.to_words());
+        w.extend_from_slice(&pack_bytes(&self.resume));
+        w
+    }
+
+    /// Inverse of [`Assignment::to_words`].
+    pub fn from_words(w: &[f64]) -> Result<Assignment, String> {
+        if w.len() < 8 {
+            return Err(format!("assignment header truncated: {} words", w.len()));
+        }
+        let resume_len = w[7] as usize;
+        let resume_words = resume_len.div_ceil(8);
+        if w.len() < 8 + resume_words {
+            return Err("assignment resume blob truncated".into());
+        }
+        let spec_words = &w[8..w.len() - resume_words];
+        let spec = JobSpec::from_words(spec_words)?;
+        let resume = unpack_bytes(&w[w.len() - resume_words..], resume_len);
+        Ok(Assignment {
+            spec,
+            job_rank: w[0] as usize,
+            port_base: w[1] as u16,
+            incarnation: w[2] as u32,
+            replacement: w[3] != 0.0,
+            hb_interval_ms: w[4] as u64,
+            hb_miss_limit: w[5] as u32,
+            conn_timeout_ms: w[6] as u64,
+            resume,
+        })
+    }
+}
+
+/// Pack raw bytes into `f64` words through the IEEE bit pattern (8 bytes
+/// per word, zero-padded tail). The frame codec ships bit patterns
+/// losslessly, NaN payloads included.
+pub fn pack_bytes(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks(8)
+        .map(|c| {
+            let mut b = [0u8; 8];
+            b[..c.len()].copy_from_slice(c);
+            f64::from_bits(u64::from_le_bytes(b))
+        })
+        .collect()
+}
+
+/// Inverse of [`pack_bytes`]: recover exactly `len` bytes.
+pub fn unpack_bytes(words: &[f64], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    for w in words {
+        out.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_words_round_trip() {
+        let spec = JobSpec {
+            solver: SolverId::Qr,
+            variant: Variant::Delayed,
+            redundancy: Redundancy::Coded(2),
+            n: 4,
+            nb: 2,
+            p: 1,
+            q: 4,
+            ckpt: true,
+            matrix: (0..16).map(|i| i as f64 * 0.5).collect(),
+        };
+        assert_eq!(JobSpec::from_words(&spec.to_words()).unwrap(), spec);
+    }
+
+    #[test]
+    fn spec_validation_rejects_malformed_requests() {
+        let good = JobSpec {
+            solver: SolverId::Hessenberg,
+            variant: Variant::NonDelayed,
+            redundancy: Redundancy::Single,
+            n: 4,
+            nb: 2,
+            p: 1,
+            q: 2,
+            ckpt: false,
+            matrix: vec![0.0; 16],
+        };
+        let mut w = good.to_words();
+        w.truncate(5);
+        assert!(JobSpec::from_words(&w).is_err(), "truncated header");
+        let mut w = good.to_words();
+        w[0] = 9.0;
+        assert!(JobSpec::from_words(&w).is_err(), "unknown solver");
+        let mut w = good.to_words();
+        w.pop();
+        assert!(JobSpec::from_words(&w).is_err(), "short matrix");
+        let mut w = good.to_words();
+        w[6] = 2.0; // 2x2 wants 4 ranks but matrix checks still pass;
+        w[7] = 1.0; // Q = 1 on a multi-rank grid is rejected
+        assert!(JobSpec::from_words(&w).is_err(), "Q=1 multi-rank grid");
+    }
+
+    #[test]
+    fn result_words_round_trip() {
+        let res = JobResult {
+            residual: 0.125,
+            recoveries: 3,
+            wall_ms: 17.5,
+            bytes: 1 << 40,
+            n: 3,
+            factor: (0..9).map(|i| -(i as f64)).collect(),
+            tau: vec![0.5, 0.25, 0.0],
+        };
+        assert_eq!(JobResult::from_words(&res.to_words()).unwrap(), res);
+        assert!(JobResult::from_words(&res.to_words()[..5]).is_err());
+    }
+
+    #[test]
+    fn assignment_words_round_trip_with_resume_blob() {
+        let spec = JobSpec {
+            solver: SolverId::Hessenberg,
+            variant: Variant::NonDelayed,
+            redundancy: Redundancy::Single,
+            n: 2,
+            nb: 1,
+            p: 1,
+            q: 2,
+            ckpt: true,
+            matrix: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        for blob_len in [0usize, 1, 7, 8, 9, 23] {
+            let a = Assignment {
+                spec: spec.clone(),
+                job_rank: 1,
+                port_base: 23000,
+                incarnation: 2,
+                replacement: true,
+                hb_interval_ms: 50,
+                hb_miss_limit: 40,
+                conn_timeout_ms: 9000,
+                resume: (0..blob_len).map(|i| (i * 37 % 251) as u8).collect(),
+            };
+            assert_eq!(Assignment::from_words(&a.to_words()).unwrap(), a, "blob_len={blob_len}");
+        }
+    }
+
+    #[test]
+    fn byte_packing_is_exact_for_every_tail_length() {
+        for len in 0..40usize {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 131 + 7) as u8).collect();
+            assert_eq!(unpack_bytes(&pack_bytes(&bytes), len), bytes, "len={len}");
+        }
+    }
+
+    #[test]
+    fn reject_reasons_round_trip() {
+        for r in [
+            RejectReason::QueueFull,
+            RejectReason::QuotaExceeded,
+            RejectReason::BadRequest,
+            RejectReason::PoolTooSmall,
+            RejectReason::ShuttingDown,
+            RejectReason::WorkerLost,
+            RejectReason::CodeDistance,
+            RejectReason::Unrecoverable,
+        ] {
+            assert_eq!(RejectReason::from_code(r.code()).unwrap(), r);
+        }
+        assert!(RejectReason::from_code(99.0).is_err());
+    }
+}

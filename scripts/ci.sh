@@ -293,4 +293,46 @@ if [ "$shrink_hessenberg_runs" -ne 2 ] || [ "$shrink_qr_runs" -ne 2 ]; then
     exit 1
 fi
 
+# Daemon soak: the persistent multi-tenant serving plane through the real
+# CLI verbs — spawn a pool, stream pipelined jobs from two tenants across
+# both solvers, drain, and require a clean daemon exit. Exit 0 from each
+# submit asserts every job's residual passed the paper threshold; exit 0
+# from the daemon asserts the pool drained quiescent (no leaked jobs).
+echo "== daemon soak (serve/submit verbs, both solvers, drain)"
+SERVE_PORT=34567
+./target/release/abft-hessenberg serve --pool 4 --port "$SERVE_PORT" --job-ports 34600 &
+SERVE_PID=$!
+ready=0
+for _ in $(seq 1 100); do
+    if ./target/release/abft-hessenberg submit --port "$SERVE_PORT" \
+        --n 32 --nb 8 --grid 1x1 >/dev/null 2>&1; then
+        ready=1; break
+    fi
+    sleep 0.1
+done
+if [ "$ready" -ne 1 ]; then
+    echo "daemon soak: pool never came up"; kill -9 "$SERVE_PID" 2>/dev/null || true; exit 1
+fi
+./target/release/abft-hessenberg submit --port "$SERVE_PORT" \
+    --n 64 --nb 8 --grid 1x2 --count 4 --tenant 1 >/dev/null
+./target/release/abft-hessenberg submit --port "$SERVE_PORT" \
+    --solver qr --n 64 --nb 8 --grid 1x2 --count 2 --tenant 2 >/dev/null
+./target/release/abft-hessenberg submit --port "$SERVE_PORT" --shutdown >/dev/null
+if ! wait "$SERVE_PID"; then
+    echo "daemon soak: daemon did not drain cleanly"; exit 1
+fi
+echo "  pool of 4: 7 jobs across 2 tenants + both solvers, drained clean"
+
+# Serve throughput smoke: regenerates BENCH_serve.json in smoke mode. The
+# hard gates (every job completes, jobs/sec > 0, finite p50/p99, >= 1
+# recovery in the kill phase, 0 in the baseline) live inside the bench
+# binary; here we additionally pin the artifact schema.
+echo "== serve throughput smoke (open-loop, SIGKILL mid-phase)"
+FT_SERVE_SMOKE=1 cargo bench -q --bench serve
+for key in jobs_per_sec p50_ms p99_ms recoveries baseline one_kill; do
+    if ! grep -q "\"$key\"" BENCH_serve.json; then
+        echo "BENCH_serve.json missing key: $key"; exit 1
+    fi
+done
+
 echo "CI OK"

@@ -16,9 +16,13 @@
 //! * [`hess`] — the paper's contribution: the ABFT Hessenberg reduction
 //!   (Algorithms 2 and 3), checksum encoding, diskless checkpointing and
 //!   the recovery procedure.
+//! * [`serve`] — the persistent multi-tenant solver service: a daemonized
+//!   pool of worker processes streaming reduction jobs over the TCP
+//!   transport's job frames (DESIGN.md §15).
 
 pub use ft_dense as dense;
 pub use ft_hess as hess;
 pub use ft_lapack as lapack;
 pub use ft_pblas as pblas;
 pub use ft_runtime as runtime;
+pub use ft_serve as serve;

@@ -986,7 +986,15 @@ fn parent_main(o: Opts) -> ! {
     exit(code0)
 }
 
+mod serve_cli;
+
 fn main() {
+    // Serving-plane verbs (`serve` / `submit` / `serve-worker`) route
+    // before the classic flag parser — they have their own flag grammar
+    // (and `submit` must work without --distributed).
+    if let Some(code) = serve_cli::route() {
+        exit(code);
+    }
     let mut o = parse_args();
     sanity_check_solver(&o);
     sanity_check_redundancy(&o);
