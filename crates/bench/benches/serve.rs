@@ -1,9 +1,11 @@
 //! Daemon throughput: seeded open-loop job streams from concurrent tenants
-//! against the persistent pool, measured twice over the **identical**
+//! against the persistent pool, measured three times over the **identical**
 //! workload — once undisturbed, once with a SIGKILL of a busy rank
-//! mid-factorization. The delta between the two phases is the serving-plane
-//! price of one transparent ABFT recovery; jobs/sec and client-observed
-//! p50/p99 latency land in `BENCH_serve.json`.
+//! mid-factorization, and once over a lossy submit path (1% seeded frame
+//! drop on every client). The kill delta is the serving-plane price of one
+//! transparent ABFT recovery; the lossy delta is the price of the
+//! idempotent-resubmit masking. jobs/sec and client-observed p50/p99
+//! latency land in `BENCH_serve.json`.
 //!
 //! Open loop: every job's submit time is fixed on a schedule before the
 //! run starts, independent of completions, so a slow daemon shows up as
@@ -129,6 +131,7 @@ struct Phase {
     p50_ms: f64,
     p99_ms: f64,
     recoveries: u64,
+    frames_dropped: u64,
 }
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -139,7 +142,9 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 /// Run one phase: the big victim job submitted at t0 by tenant 0 plus an
 /// open-loop stream of `jobs_per_tenant` small jobs from each of `tenants`
 /// tenants. With `kill`, the victim's second rank is SIGKILLed `delay`
-/// after its assignment.
+/// after its assignment. With `lossy`, every client arms the seeded
+/// SUBMIT-loss injector at that drop probability — the idempotent-resubmit
+/// path must mask the loss without a single failed job.
 fn run_phase(
     d: &Daemon,
     tenants: u32,
@@ -147,6 +152,7 @@ fn run_phase(
     small_n: usize,
     interval: Duration,
     kill: Option<Duration>,
+    lossy: Option<f64>,
 ) -> Phase {
     let port = d.port;
     let mark0 = d.marker_count();
@@ -155,8 +161,11 @@ fn run_phase(
     let victim = std::thread::spawn(move || {
         let t_submit = Instant::now();
         let mut c = Client::connect(port, 0).expect("victim connect");
+        if let Some(p) = lossy {
+            c.set_lossy(1, p);
+        }
         let r = c.run(&victim_spec).expect("victim io").expect("victim completes");
-        (t_submit.elapsed().as_secs_f64() * 1e3, r.recoveries)
+        (t_submit.elapsed().as_secs_f64() * 1e3, r.recoveries, c.frames_dropped())
     });
     let mut handles = Vec::new();
     for t in 1..=tenants {
@@ -178,8 +187,11 @@ fn run_phase(
                 }
                 let t_submit = Instant::now();
                 let mut c = Client::connect(port, t).expect("tenant connect");
+                if let Some(p) = lossy {
+                    c.set_lossy(t as u64 * 1000 + j as u64, p);
+                }
                 let r = c.run(&s).expect("tenant io").expect("tenant completes");
-                (t_submit.elapsed().as_secs_f64() * 1e3, r.recoveries)
+                (t_submit.elapsed().as_secs_f64() * 1e3, r.recoveries, c.frames_dropped())
             }));
         }
     }
@@ -191,13 +203,16 @@ fn run_phase(
     }
     let mut lat = Vec::new();
     let mut recoveries = 0u64;
-    let (l, r) = victim.join().expect("victim thread");
+    let mut frames_dropped = 0u64;
+    let (l, r, fd) = victim.join().expect("victim thread");
     lat.push(l);
     recoveries += r;
+    frames_dropped += fd;
     for h in handles {
-        let (l, r) = h.join().expect("tenant thread");
+        let (l, r, fd) = h.join().expect("tenant thread");
         lat.push(l);
         recoveries += r;
+        frames_dropped += fd;
     }
     let wall = t0.elapsed().as_secs_f64();
     lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -207,6 +222,7 @@ fn run_phase(
         p50_ms: percentile(&lat, 0.50),
         p99_ms: percentile(&lat, 0.99),
         recoveries,
+        frames_dropped,
     }
 }
 
@@ -217,6 +233,7 @@ fn phase_json(p: &Phase) -> String {
         .num("p50_ms", p.p50_ms)
         .num("p99_ms", p.p99_ms)
         .int("recoveries", p.recoveries)
+        .int("frames_dropped", p.frames_dropped)
         .finish()
 }
 
@@ -238,27 +255,36 @@ fn main() {
     );
 
     let d = Daemon::spawn(&bin, pool);
-    let baseline = run_phase(&d, tenants, jobs_per_tenant, small_n, interval, None);
+    let baseline = run_phase(&d, tenants, jobs_per_tenant, small_n, interval, None, None);
     println!(
         "# baseline: {} jobs, {:.2} jobs/s, p50 {:.1} ms, p99 {:.1} ms",
         baseline.jobs, baseline.jobs_per_sec, baseline.p50_ms, baseline.p99_ms
     );
-    let one_kill = run_phase(&d, tenants, jobs_per_tenant, small_n, interval, Some(Duration::from_millis(300)));
+    let one_kill = run_phase(&d, tenants, jobs_per_tenant, small_n, interval, Some(Duration::from_millis(300)), None);
     println!(
         "# one_kill: {} jobs, {:.2} jobs/s, p50 {:.1} ms, p99 {:.1} ms, {} recoveries",
         one_kill.jobs, one_kill.jobs_per_sec, one_kill.p50_ms, one_kill.p99_ms, one_kill.recoveries
+    );
+    let lossy = run_phase(&d, tenants, jobs_per_tenant, small_n, interval, None, Some(0.01));
+    println!(
+        "# lossy(1%): {} jobs, {:.2} jobs/s, p50 {:.1} ms, p99 {:.1} ms, {} frames dropped",
+        lossy.jobs, lossy.jobs_per_sec, lossy.p50_ms, lossy.p99_ms, lossy.frames_dropped
     );
     d.shutdown();
 
     let expect = tenants as u64 * jobs_per_tenant as u64 + 1;
     gate(baseline.jobs == expect, "baseline did not complete every admitted job");
     gate(one_kill.jobs == expect, "kill phase did not complete every admitted job");
+    gate(lossy.jobs == expect, "lossy phase did not complete every admitted job");
     gate(baseline.jobs_per_sec > 0.0, "baseline jobs/sec not positive");
     gate(one_kill.jobs_per_sec > 0.0, "kill-phase jobs/sec not positive");
+    gate(lossy.jobs_per_sec > 0.0, "lossy-phase jobs/sec not positive");
     gate(baseline.p50_ms.is_finite() && baseline.p99_ms.is_finite(), "baseline percentiles not finite");
     gate(one_kill.p50_ms.is_finite() && one_kill.p99_ms.is_finite(), "kill-phase percentiles not finite");
+    gate(lossy.p50_ms.is_finite() && lossy.p99_ms.is_finite(), "lossy-phase percentiles not finite");
     gate(baseline.recoveries == 0, "baseline phase recovered — an unintended fault fired");
     gate(one_kill.recoveries >= 1, "kill phase saw no recovery — the SIGKILL missed the driver window");
+    gate(lossy.recoveries == 0, "lossy phase recovered — frame loss must never read as a solver fault");
 
     let report = json::Obj::new()
         .str("bench", "serve")
@@ -270,6 +296,7 @@ fn main() {
         .int("interval_ms", interval.as_millis() as u64)
         .raw("baseline", &phase_json(&baseline))
         .raw("one_kill", &phase_json(&one_kill))
+        .raw("lossy", &phase_json(&lossy))
         .finish();
     if let Ok(p) = json::write_artifact("BENCH_serve.json", &report) {
         println!("# wrote {}", p.display());

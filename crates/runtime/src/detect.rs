@@ -71,15 +71,20 @@ pub fn catch_interrupt<R>(f: impl FnOnce() -> R) -> Result<R, Interrupt> {
 }
 
 /// Install a panic hook that silences [`Interrupt`] unwinds (they are
-/// control flow, not errors) while delegating everything else to the
-/// previously installed hook. Idempotent; called when chaos injection is
-/// actually in play so fault-free runs keep the pristine default hook.
+/// control flow, not errors) and typed [`CommError`] unwinds (the
+/// partition verdict already printed its one-line diagnosis; the default
+/// hook's backtrace banner would bury it) while delegating everything
+/// else to the previously installed hook. Idempotent; called when chaos
+/// injection or a distributed fabric is actually in play so plain
+/// shared-memory runs keep the pristine default hook.
 pub(crate) fn install_quiet_interrupt_hook() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<Interrupt>().is_none() {
+            let quiet = info.payload().downcast_ref::<Interrupt>().is_some()
+                || info.payload().downcast_ref::<crate::transport::CommError>().is_some();
+            if !quiet {
                 prev(info);
             }
         }));

@@ -131,12 +131,7 @@ impl Ctx {
                     }
                     waited += CTRL_POLL;
                     if waited >= ctrl_timeout() {
-                        panic!(
-                            "rank {}: distributed control recv (src={src}, wire={wire:#x}) timed out after {:?} — protocol wedged; known dead/failed ranks: {:?}",
-                            self.rank(),
-                            ctrl_timeout(),
-                            self.known_dead()
-                        );
+                        self.partition_panic(&format!("distributed control recv (src={src}, wire={wire:#x})"));
                     }
                 }
                 Err(e) => panic!("rank {}: distributed control recv failed: {e}", self.rank()),
@@ -219,6 +214,21 @@ impl Ctx {
         }
     }
 
+    /// The control plane wedged past its deadline: some set of ranks is
+    /// unreachable and no replacement ever healed the view — an
+    /// unhealable partition. Raise the *typed* [`CommError::Partitioned`]
+    /// as an unwind payload so every surviving rank that hits its own
+    /// deadline surfaces the identical error (and the identical exit
+    /// code) instead of a hang or an anonymous panic string.
+    fn partition_panic(&self, what: &str) -> ! {
+        let mut unreachable = self.known_dead();
+        unreachable.sort_unstable();
+        unreachable.dedup();
+        let err = CommError::Partitioned { unreachable };
+        eprintln!("rank {}: {what} timed out after {:?} — {err}", self.rank(), ctrl_timeout());
+        std::panic::panic_any(err);
+    }
+
     /// Latest-wins gossip agreement; see the module docs. Converges to the
     /// identical sorted victim union and new epoch on every rank, installs
     /// both into the local detector, resets the barrier generation, and
@@ -279,12 +289,7 @@ impl Ctx {
                 }
             }
             if Instant::now() >= deadline {
-                panic!(
-                    "rank {}: distributed agreement timed out after {:?} — a dead rank was never replaced; known dead/failed ranks: {:?}",
-                    self.rank(),
-                    ctrl_timeout(),
-                    self.known_dead()
-                );
+                self.partition_panic("distributed agreement");
             }
             if (0..world).any(|r| r != self.rank() && latest[r].is_none()) {
                 continue; // someone has never spoken: rebroadcast and wait

@@ -44,6 +44,7 @@ pub mod detect;
 pub mod dist;
 pub mod fault;
 pub mod grid;
+pub mod netchaos;
 pub mod tag;
 pub mod tcp;
 pub mod transport;
@@ -53,6 +54,7 @@ pub use comm::{Ctx, FailCheck};
 pub use detect::{catch_interrupt, FailureAgreement, Interrupt, InterruptReason};
 pub use fault::{poisson_failures, ChaosKill, ChaosPoint, ChaosScript, FaultScript, PlannedFailure, SdcFlip, SdcScript};
 pub use grid::Grid;
+pub use netchaos::{NetChaosScript, NetFault, NetPartition};
 pub use tag::{PhaseTraffic, Tag, TrafficLedger, TrafficPhase, JOB_TAG_CHANNELS, JOB_TAG_LANES};
 pub use tcp::jobs::{self, JobFrame};
 pub use tcp::{TcpConfig, TcpTransport};
@@ -144,12 +146,29 @@ where
 /// rank's op clock exactly as in-process, but a strike is a *real* process
 /// death: the victim emits a `FT_CHAOS_KILL` marker for the launcher to
 /// SIGKILL it (aborting itself if nobody does).
-pub fn run_distributed<R>(p: usize, q: usize, chaos: ChaosScript, transport: Box<dyn Transport>, f: impl FnOnce(Ctx) -> R) -> R {
+/// Terminal communication faults (an unhealable partition's agreement
+/// deadline, raised as a typed [`CommError::Partitioned`] unwind) are
+/// caught and surfaced as `Err` so every surviving rank process can exit
+/// with the identical typed error instead of a panic trace. Genuine
+/// panics still propagate.
+pub fn run_distributed<R>(
+    p: usize,
+    q: usize,
+    chaos: ChaosScript,
+    transport: Box<dyn Transport>,
+    f: impl FnOnce(Ctx) -> R,
+) -> Result<R, CommError> {
     // Real peers can die at any time, chaos script or not: interrupt
     // unwinds are normal control flow here, keep them off stderr.
     detect::install_quiet_interrupt_hook();
     let ctx = comm::World::distributed_ctx(Grid::new(p, q), Arc::new(chaos), transport);
-    f(ctx)
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx))) {
+        Ok(v) => Ok(v),
+        Err(payload) => match payload.downcast::<CommError>() {
+            Ok(e) => Err(*e),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
 }
 
 fn run_world<R, F>(p: usize, q: usize, world: comm::World, f: F) -> Vec<R>

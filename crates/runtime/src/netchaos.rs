@@ -1,0 +1,324 @@
+//! Deterministic, seeded network-fault injection for the TCP transport —
+//! the wire-level sibling of [`crate::ChaosScript`] (process kills) and
+//! [`crate::SdcScript`] (memory bit flips).
+//!
+//! A [`NetChaosScript`] is parsed from `SEED[:SPEC]` (the `--net-chaos`
+//! flag / `FT_NET_CHAOS` variable) and consulted by the transport's sender
+//! threads once per **first transmission** of each sequenced DATA frame.
+//! Retransmits and resume replays are never re-faulted, so every injected
+//! fault is recoverable by construction and a faulted run that completes is
+//! bitwise identical to the fault-free run (the hardening layer delivers
+//! exactly-once, in-order per link).
+//!
+//! ```text
+//! SPEC     := item (',' item)*
+//! item     := 'drop=' P          drop the frame's first transmission
+//!           | 'delay=' P '@' MS  stall the sender thread MS before writing
+//!           | 'dup=' P           write the frame twice back to back
+//!           | 'reorder=' P       swap the frame with the next queued one
+//!           | 'corrupt=' P       flip one payload bit after CRC stamping
+//!           | 'reset=' P         close the connection before writing
+//!           | 'part=' A '-' B '@' S ['+' D]
+//!                                blackhole the directed link A→B from
+//!                                transport-relative time S ms for D ms
+//!                                (no '+D' = permanent partition)
+//! P        := probability in [0, 1]
+//! ```
+//!
+//! Example: `--net-chaos 7:drop=0.05,corrupt=0.01,part=0-3@500+1500`.
+//!
+//! Decisions are pure functions of `(seed, src, dst, seq)` — two runs with
+//! the same spec perturb exactly the same frames, which is what makes the
+//! chaos soak's recover-or-typed-reject contract reproducible.
+
+/// One fault decision for a frame's first transmission. At most one fault
+/// fires per frame, picked in the fixed priority order
+/// corrupt > reset > drop > dup > reorder > delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Skip the write; the frame stays in the retransmit window.
+    Drop,
+    /// Sleep this many milliseconds before the write (head-of-line stall).
+    Delay(u64),
+    /// Write the frame twice (receiver must suppress the duplicate).
+    Dup,
+    /// Write the *next* queued frame first (sequence inversion on the wire).
+    Reorder,
+    /// Flip one bit of the encoded bytes after the CRC was stamped.
+    Corrupt,
+    /// Close the connection without writing (mid-stream RST).
+    Reset,
+}
+
+/// A directed link blackhole: frames from `a` to `b` vanish during the
+/// window. Asymmetric by construction — add the mirrored entry for a
+/// symmetric partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetPartition {
+    /// Source rank of the blackholed link.
+    pub a: usize,
+    /// Destination rank of the blackholed link.
+    pub b: usize,
+    /// Window start, in ms since the transport came up.
+    pub start_ms: u64,
+    /// Window length in ms; `None` = the partition never heals.
+    pub dur_ms: Option<u64>,
+}
+
+/// Seeded per-frame network-fault schedule. See the module docs for the
+/// spec grammar.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetChaosScript {
+    seed: u64,
+    drop_p: f64,
+    delay_p: f64,
+    delay_ms: u64,
+    dup_p: f64,
+    reorder_p: f64,
+    corrupt_p: f64,
+    reset_p: f64,
+    parts: Vec<NetPartition>,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Uniform fraction in `[0, 1)` from a hash.
+fn frac(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl NetChaosScript {
+    /// No injection at all (the default for every transport).
+    pub fn none() -> NetChaosScript {
+        NetChaosScript::default()
+    }
+
+    /// Whether this script can never fire.
+    pub fn is_empty(&self) -> bool {
+        self.drop_p == 0.0
+            && self.delay_p == 0.0
+            && self.dup_p == 0.0
+            && self.reorder_p == 0.0
+            && self.corrupt_p == 0.0
+            && self.reset_p == 0.0
+            && self.parts.is_empty()
+    }
+
+    /// Parse a `SEED[:SPEC]` string. A bare seed yields an empty script
+    /// (useful as a placeholder); errors name the offending item.
+    pub fn parse(s: &str) -> Result<NetChaosScript, String> {
+        let (seed_s, spec) = match s.split_once(':') {
+            Some((a, b)) => (a, Some(b)),
+            None => (s, None),
+        };
+        let seed: u64 = seed_s
+            .trim()
+            .parse()
+            .map_err(|_| format!("net-chaos: seed '{seed_s}' is not an unsigned integer"))?;
+        let mut sc = NetChaosScript { seed, ..NetChaosScript::default() };
+        let Some(spec) = spec else {
+            return Ok(sc);
+        };
+        if spec.trim().is_empty() {
+            return Err("net-chaos: empty spec after ':'".into());
+        }
+        for item in spec.split(',') {
+            let item = item.trim();
+            let (key, val) = item
+                .split_once('=')
+                .ok_or_else(|| format!("net-chaos: item '{item}' is not key=value"))?;
+            match key {
+                "drop" => sc.drop_p = prob(val, "drop")?,
+                "dup" => sc.dup_p = prob(val, "dup")?,
+                "reorder" => sc.reorder_p = prob(val, "reorder")?,
+                "corrupt" => sc.corrupt_p = prob(val, "corrupt")?,
+                "reset" => sc.reset_p = prob(val, "reset")?,
+                "delay" => {
+                    let (p, ms) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("net-chaos: delay needs P@MS, got '{val}'"))?;
+                    sc.delay_p = prob(p, "delay")?;
+                    sc.delay_ms = ms
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("net-chaos: delay ms '{ms}' is not a positive integer"))?;
+                }
+                "part" => sc.parts.push(parse_part(val)?),
+                _ => return Err(format!("net-chaos: unknown item '{key}' (know drop/delay/dup/reorder/corrupt/reset/part)")),
+            }
+        }
+        Ok(sc)
+    }
+
+    /// The fault (if any) to inject on the **first transmission** of the
+    /// DATA frame with sequence number `seq` on the link `src → dst`.
+    /// Deterministic in `(seed, src, dst, seq)`.
+    pub fn decide(&self, src: usize, dst: usize, seq: u64) -> Option<NetFault> {
+        if self.is_empty() {
+            return None;
+        }
+        let link = splitmix64(self.seed ^ ((src as u64) << 32 | dst as u64).wrapping_mul(0xD6E8FEB86659FD93));
+        let draw = |salt: u64| frac(splitmix64(link ^ seq.wrapping_mul(0x2545F4914F6CDD1D) ^ salt));
+        if self.corrupt_p > 0.0 && draw(0xC0) < self.corrupt_p {
+            return Some(NetFault::Corrupt);
+        }
+        if self.reset_p > 0.0 && draw(0x51) < self.reset_p {
+            return Some(NetFault::Reset);
+        }
+        if self.drop_p > 0.0 && draw(0xD0) < self.drop_p {
+            return Some(NetFault::Drop);
+        }
+        if self.dup_p > 0.0 && draw(0xDD) < self.dup_p {
+            return Some(NetFault::Dup);
+        }
+        if self.reorder_p > 0.0 && draw(0x0E) < self.reorder_p {
+            return Some(NetFault::Reorder);
+        }
+        if self.delay_p > 0.0 && draw(0xDE) < self.delay_p {
+            return Some(NetFault::Delay(self.delay_ms));
+        }
+        None
+    }
+
+    /// Whether the directed link `src → dst` is inside a partition window
+    /// at `now_ms` (ms since the transport started). While blackholed, the
+    /// sender writes nothing on the link — data, heartbeats, handshakes.
+    pub fn blackholed(&self, src: usize, dst: usize, now_ms: u64) -> bool {
+        self.parts
+            .iter()
+            .any(|p| p.a == src && p.b == dst && now_ms >= p.start_ms && p.dur_ms.is_none_or(|d| now_ms < p.start_ms + d))
+    }
+
+    /// Deterministic bit index for the [`NetFault::Corrupt`] flip of frame
+    /// `seq` on `src → dst`, reduced modulo the frame's bit length by the
+    /// caller.
+    pub fn corrupt_bit(&self, src: usize, dst: usize, seq: u64) -> u64 {
+        let link = splitmix64(self.seed ^ ((src as u64) << 32 | dst as u64).wrapping_mul(0xD6E8FEB86659FD93));
+        splitmix64(link ^ seq.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xB17)
+    }
+
+    /// The partition windows of this script (diagnostics / tests).
+    pub fn partitions(&self) -> &[NetPartition] {
+        &self.parts
+    }
+}
+
+fn prob(v: &str, what: &str) -> Result<f64, String> {
+    let p: f64 = v
+        .parse()
+        .map_err(|_| format!("net-chaos: {what} probability '{v}' is not a number"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("net-chaos: {what} probability {v} outside [0, 1]"));
+    }
+    Ok(p)
+}
+
+fn parse_part(v: &str) -> Result<NetPartition, String> {
+    let err = || format!("net-chaos: part needs A-B@START[+DUR], got '{v}'");
+    let (link, when) = v.split_once('@').ok_or_else(err)?;
+    let (a, b) = link.split_once('-').ok_or_else(err)?;
+    let a: usize = a.parse().map_err(|_| err())?;
+    let b: usize = b.parse().map_err(|_| err())?;
+    if a == b {
+        return Err(format!("net-chaos: part {a}-{b} is a self-link"));
+    }
+    let (start, dur) = match when.split_once('+') {
+        Some((s, d)) => {
+            let d: u64 = d.parse().map_err(|_| err())?;
+            if d == 0 {
+                return Err("net-chaos: part duration must be positive (omit +DUR for permanent)".into());
+            }
+            (s, Some(d))
+        }
+        None => (when, None),
+    };
+    let start_ms: u64 = start.parse().map_err(|_| err())?;
+    Ok(NetPartition { a, b, start_ms, dur_ms: dur })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_seed_parses_to_an_empty_script() {
+        let sc = NetChaosScript::parse("42").unwrap();
+        assert!(sc.is_empty());
+        assert_eq!(sc.decide(0, 1, 1), None);
+        assert!(!sc.blackholed(0, 1, 0));
+    }
+
+    #[test]
+    fn full_spec_round_trips_every_item() {
+        let sc = NetChaosScript::parse("7:drop=0.5,delay=0.25@30,dup=0.1,reorder=0.1,corrupt=0.05,reset=0.02,part=0-3@500+1500")
+            .unwrap();
+        assert!(!sc.is_empty());
+        assert_eq!(sc.partitions(), &[NetPartition { a: 0, b: 3, start_ms: 500, dur_ms: Some(1500) }]);
+        assert!(!sc.blackholed(0, 3, 499));
+        assert!(sc.blackholed(0, 3, 500));
+        assert!(sc.blackholed(0, 3, 1999));
+        assert!(!sc.blackholed(0, 3, 2000));
+        assert!(!sc.blackholed(3, 0, 1000), "partition must be directed");
+    }
+
+    #[test]
+    fn permanent_partition_never_heals() {
+        let sc = NetChaosScript::parse("1:part=2-0@100").unwrap();
+        assert!(sc.blackholed(2, 0, u64::MAX));
+        assert!(!sc.blackholed(2, 0, 99));
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        for bad in [
+            "x",
+            "1:",
+            "1:drop",
+            "1:drop=2.0",
+            "1:drop=-0.1",
+            "1:drop=abc",
+            "1:delay=0.5",
+            "1:delay=0.5@0",
+            "1:warp=0.5",
+            "1:part=0@5",
+            "1:part=0-0@5",
+            "1:part=0-1@5+0",
+            "1:part=0-1",
+        ] {
+            assert!(NetChaosScript::parse(bad).is_err(), "'{bad}' parsed");
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = NetChaosScript::parse("5:drop=0.3,dup=0.3").unwrap();
+        let b = NetChaosScript::parse("5:drop=0.3,dup=0.3").unwrap();
+        let c = NetChaosScript::parse("6:drop=0.3,dup=0.3").unwrap();
+        let seq_a: Vec<_> = (0..256).map(|s| a.decide(0, 1, s)).collect();
+        let seq_b: Vec<_> = (0..256).map(|s| b.decide(0, 1, s)).collect();
+        let seq_c: Vec<_> = (0..256).map(|s| c.decide(0, 1, s)).collect();
+        assert_eq!(seq_a, seq_b, "same seed must give identical schedules");
+        assert_ne!(seq_a, seq_c, "different seeds should differ");
+        let fired = seq_a.iter().filter(|f| f.is_some()).count();
+        assert!(fired > 64 && fired < 256, "p=0.3+0.3 fired {fired}/256");
+        // Links are independent streams.
+        let other: Vec<_> = (0..256).map(|s| a.decide(1, 0, s)).collect();
+        assert_ne!(seq_a, other, "links share a fault stream");
+    }
+
+    #[test]
+    fn probability_one_always_fires_and_priority_holds() {
+        let sc = NetChaosScript::parse("9:drop=1.0,corrupt=1.0").unwrap();
+        for s in 0..32 {
+            assert_eq!(sc.decide(0, 1, s), Some(NetFault::Corrupt), "corrupt outranks drop");
+        }
+        let sc = NetChaosScript::parse("9:delay=1.0@25").unwrap();
+        assert_eq!(sc.decide(0, 1, 3), Some(NetFault::Delay(25)));
+    }
+}

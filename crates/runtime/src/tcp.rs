@@ -2,20 +2,25 @@
 //! std-only) — the second [`Transport`] implementation next to the default
 //! in-process [`crate::transport::MpscTransport`].
 //!
-//! ## Wire format
+//! ## Wire format (v2: integrity + sequencing)
 //!
-//! Every frame is length-prefixed and self-describing:
+//! Every frame is length-prefixed, self-describing, and CRC-protected:
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     payload length in f64 words (u32 LE)
-//! 4       1     kind: 0 = HELLO, 1 = HEARTBEAT, 2 = DATA
+//! 4       1     kind: 0 HELLO, 1 HEARTBEAT, 2 DATA, 3 GOODBYE,
+//!               9 HELLO_ACK, 10 ACK, 11 NAK (4..=8: job frames)
 //! 5       3     reserved (zero)
 //! 8       4     source rank (u32 LE)
 //! 12      4     source incarnation (u32 LE)
 //! 16      8     wire key — the encoded (Tag, Leg) mailbox (u64 LE)
 //! 24      8     sender communication epoch (u64 LE)
-//! 32      8·len payload (f64 LE)
+//! 32      8     per-link sequence number (u64 LE; 0 = unsequenced)
+//! 40      4     CRC32 (IEEE) of the whole frame with this field zeroed
+//! 44      4     CRC32 (IEEE) of header bytes 0..40 (checked before the
+//!               length prefix is trusted)
+//! 48      8·len payload (f64 LE)
 //! ```
 //!
 //! The epoch stamped in every frame is the sender's detector epoch, so the
@@ -23,40 +28,66 @@
 //! identically over TCP and over the in-process fabric. The incarnation in
 //! every frame (and in the HELLO handshake that opens each connection) is
 //! how a respawned replacement rank is told apart from its dead
-//! predecessor: peers track the highest incarnation seen per rank, and the
-//! distributed agreement discards frames from older incarnations.
+//! predecessor.
 //!
-//! ## Topology and threads
+//! ## Reliability: go-back-N with session resume
 //!
-//! Rank `r` listens on `addrs[r]`; the *sender* owns the outbound
-//! connection of each `(src → dst)` pair. Per endpoint:
+//! DATA frames carry a per-`(src → dst)` sequence number starting at 1.
+//! The sender keeps every unacknowledged frame in a bounded in-flight
+//! window ([`TcpConfig::net_window`]); the receiver delivers strictly in
+//! sequence, answers each delivery with a cumulative ACK, suppresses
+//! duplicates, and NAKs the first gap it observes. A NAK — or a window
+//! whose head has gone stale — rewinds the sender (go-back-N). When a
+//! connection dies mid-stream, the sender reconnects and the HELLO /
+//! HELLO_ACK handshake resumes the session: the receiver announces the
+//! highest sequence it delivered and the sender replays everything after
+//! it, so a mid-stream RST loses nothing. A frame that fails its CRC is
+//! never delivered: the receiver counts the rejection, drops the
+//! connection (the only safe resync once framing is suspect), and lets
+//! the replay repair the stream. Because delivery is in-sequence-order
+//! exactly once, every hardening path preserves bitwise determinism.
 //!
-//! * one accept thread (registers inbound connections after their HELLO),
-//! * one reader thread per inbound connection (frames → shared inbox),
-//! * one sender thread per peer, fed by a bounded queue ([`Transport::send`]
-//!   never blocks — when the queue is full because the peer is gone, frames
-//!   are dropped, which is exactly the fail-stop "sends to a dead endpoint
-//!   vanish" semantics of the mpsc fabric),
-//! * one heartbeat thread (beats every [`TcpConfig::hb_interval`], counts
-//!   missed beats per peer).
+//! Control frames (ACK/NAK/HELLO_ACK) travel *backwards* on the inbound
+//! connection. The receiver writes them with a 1 ms write timeout and a
+//! bounded pending buffer — it never blocks on the reverse path, so it
+//! always keeps draining DATA and the classic full-duplex TCP deadlock
+//! cannot arise.
 //!
-//! ## Failure detection
+//! ## Fault injection
+//!
+//! A seeded [`NetChaosScript`] ([`TcpConfig::net_chaos`], from
+//! `FT_NET_CHAOS` / `--net-chaos`) is consulted once per first
+//! transmission of each sequenced frame: drop, delay, duplicate, reorder
+//! (hold back behind the next frame), corrupt (bit flip after the CRC is
+//! stamped), and mid-stream reset, plus time-windowed asymmetric
+//! partitions that black-hole connects, heartbeats, and frames per
+//! direction. Retransmissions are never re-injected (the
+//! `injected_up_to` watermark), so every scripted fault is exercised
+//! exactly once and recovery always converges.
+//!
+//! ## Failure detection: suspicion before verdict
 //!
 //! [`Transport::is_peer_dead`] reports a peer whose inbound connection hit
-//! EOF/error and did not come back within a couple of heartbeats, or whose
-//! last frame (heartbeats included) is older than
-//! `hb_miss_limit × hb_interval`. A SIGKILLed process trips the EOF fast
-//! path as the kernel closes its sockets; a hung one trips the silence
-//! threshold. The death feeds the existing ULFM-style detector through
-//! [`crate::Ctx`]'s dead-peer sweep, so agreement and recovery upstairs run
-//! unchanged. Connection establishment retries with exponential backoff and
+//! EOF/error and did not come back within [`TcpConfig::hb_grace_beats`]
+//! heartbeats, or whose last frame (heartbeats included) is older than
+//! `hb_miss_limit × hb_interval`. Between "slow" and "dead" sits a
+//! *suspicion* level: after 2 beats of silence the heartbeat thread marks
+//! the peer suspected, and any later frame rescinds the suspicion (counted
+//! in the traffic ledger) — an injected sub-grace stall never escalates to
+//! a spurious recovery. A peer that keeps sending unparseable frames
+//! (oversize length, repeated CRC failures across [`STRIKE_LIMIT`]
+//! consecutive connections) is marked *faulted* — a typed clean peer-fault
+//! the detector handles like a death, instead of an abrupt recv-thread
+//! teardown. Connection establishment retries with exponential backoff and
 //! deterministic jitter until [`TcpConfig::conn_timeout`] is exhausted.
 
+use crate::netchaos::{NetChaosScript, NetFault};
 use crate::transport::{CommError, Msg, PeerCounters, Transport, TransportStats};
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -69,18 +100,35 @@ const KIND_DATA: u8 = 2;
 /// long its sockets stay silent.
 const KIND_GOODBYE: u8 = 3;
 // Kinds 4..=8 belong to the serving layer's job frames (see [`jobs`]).
-// They share the 32-byte header but travel on dedicated client↔daemon and
+// They share the 48-byte header but travel on dedicated client↔daemon and
 // daemon↔worker connections, never on the rank fabric; `reader_loop`
 // ignores them like any other unknown kind if one ever strays there.
+/// Session-resume reply to HELLO: the `seq` field carries the highest
+/// sequence number the receiver has delivered from this sender.
+const KIND_HELLO_ACK: u8 = 9;
+/// Cumulative acknowledgement: every DATA frame up to and including `seq`
+/// was delivered.
+const KIND_ACK: u8 = 10;
+/// Gap report: the receiver is still waiting for `seq` — rewind and
+/// retransmit from there (go-back-N).
+const KIND_NAK: u8 = 11;
 
-const HEADER_LEN: usize = 32;
+const HEADER_LEN: usize = 48;
 /// Sanity cap on a frame's payload (words): a corrupt length prefix must
-/// not turn into a multi-gigabyte allocation.
+/// not turn into a multi-gigabyte allocation. Exceeding it is a typed
+/// frame rejection (an integrity strike), not an abrupt reader teardown.
 const MAX_PAYLOAD_WORDS: u32 = 1 << 28;
 /// Depth of each per-peer outbound queue.
 const SEND_QUEUE_DEPTH: usize = 1024;
 /// Granularity at which blocking socket reads re-check the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(100);
+/// Consecutive unparseable-frame connections after which a peer is marked
+/// faulted (a clean typed peer-fault for the detector). Any valid DATA or
+/// HEARTBEAT frame resets the count.
+const STRIKE_LIMIT: u32 = 8;
+/// Bound on the receiver's pending reverse-path control bytes. ACKs are
+/// cumulative, so dropping one when the buffer is full is always safe.
+const ACK_PUMP_CAP: usize = HEADER_LEN * 32;
 
 /// Knobs for a [`TcpTransport`] endpoint.
 #[derive(Debug, Clone)]
@@ -93,6 +141,10 @@ pub struct TcpConfig {
     pub hb_interval: Duration,
     /// Beats of silence after which a peer is suspected dead.
     pub hb_miss_limit: u32,
+    /// Beats of grace after an inbound EOF before the peer is declared
+    /// dead: a reconnect (session resume) inside the grace window makes
+    /// the EOF a non-event. Distinguishes slow/stalled from dead.
+    pub hb_grace_beats: u32,
     /// Total budget for establishing one outbound connection (spent across
     /// exponentially backed-off, jittered attempts).
     pub conn_timeout: Duration,
@@ -104,39 +156,48 @@ pub struct TcpConfig {
     pub backoff_init: Duration,
     /// Ceiling the exponential backoff saturates at.
     pub backoff_cap: Duration,
+    /// Frames each per-peer sender may hold in flight awaiting ACK.
+    pub net_window: usize,
+    /// Seeded network-fault injection script (empty = faithful wire).
+    pub net_chaos: NetChaosScript,
 }
 
 impl TcpConfig {
     /// Defaults tuned for localhost child processes: 100 ms beats, dead
-    /// after 30 missed (3 s), 10 s connect budget, 10 ms → 400 ms backoff.
-    /// Generous on purpose — CI boxes with a single core timeslice several
-    /// ranks onto one CPU, and a starved heartbeat thread must not read as
-    /// a death.
+    /// after 30 missed (3 s), 4 beats of post-EOF grace, 10 s connect
+    /// budget, 10 ms → 400 ms backoff. Generous on purpose — CI boxes
+    /// with a single core timeslice several ranks onto one CPU, and a
+    /// starved heartbeat thread must not read as a death.
     pub fn new(rank: usize, world: usize) -> Self {
         TcpConfig {
             rank,
             world,
             hb_interval: Duration::from_millis(100),
             hb_miss_limit: 30,
+            hb_grace_beats: 4,
             conn_timeout: Duration::from_secs(10),
             incarnation: 0,
             jitter_seed: 0x9e3779b97f4a7c15 ^ rank as u64,
             backoff_init: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(400),
+            net_window: SEND_QUEUE_DEPTH,
+            net_chaos: NetChaosScript::none(),
         }
     }
 
-    /// Overlay the `FT_HB_*` environment knobs onto this config:
-    /// `FT_HB_INTERVAL_MS`, `FT_HB_MISS_LIMIT`, `FT_HB_BACKOFF_INIT_MS`,
-    /// `FT_HB_BACKOFF_CAP_MS`. Unset variables leave the field alone; a
-    /// set-but-invalid value is a configuration error the caller must
-    /// surface *before* any socket work starts.
+    /// Overlay the `FT_HB_*` / `FT_NET_*` environment knobs onto this
+    /// config: `FT_HB_INTERVAL_MS`, `FT_HB_MISS_LIMIT`,
+    /// `FT_HB_GRACE_BEATS`, `FT_HB_BACKOFF_INIT_MS`,
+    /// `FT_HB_BACKOFF_CAP_MS`, `FT_NET_WINDOW`, `FT_NET_CHAOS`. Unset
+    /// variables leave the field alone; a set-but-invalid value is a
+    /// configuration error the caller must surface *before* any socket
+    /// work starts.
     pub fn apply_env(&mut self) -> Result<(), String> {
         fn ms(name: &str) -> Result<Option<u64>, String> {
             match std::env::var(name) {
                 Ok(v) => match v.parse::<u64>() {
                     Ok(n) if n > 0 => Ok(Some(n)),
-                    _ => Err(format!("{name}: '{v}' is not a positive integer of milliseconds")),
+                    _ => Err(format!("{name}: '{v}' is not a positive integer")),
                 },
                 Err(_) => Ok(None),
             }
@@ -147,24 +208,37 @@ impl TcpConfig {
         if let Some(n) = ms("FT_HB_MISS_LIMIT")? {
             self.hb_miss_limit = u32::try_from(n).map_err(|_| "FT_HB_MISS_LIMIT: too large".to_string())?;
         }
+        if let Some(n) = ms("FT_HB_GRACE_BEATS")? {
+            self.hb_grace_beats = u32::try_from(n).map_err(|_| "FT_HB_GRACE_BEATS: too large".to_string())?;
+        }
         if let Some(n) = ms("FT_HB_BACKOFF_INIT_MS")? {
             self.backoff_init = Duration::from_millis(n);
         }
         if let Some(n) = ms("FT_HB_BACKOFF_CAP_MS")? {
             self.backoff_cap = Duration::from_millis(n);
         }
+        if let Some(n) = ms("FT_NET_WINDOW")? {
+            self.net_window = usize::try_from(n).map_err(|_| "FT_NET_WINDOW: too large".to_string())?;
+        }
+        if let Ok(v) = std::env::var("FT_NET_CHAOS") {
+            self.net_chaos = NetChaosScript::parse(&v).map_err(|e| format!("FT_NET_CHAOS: {e}"))?;
+        }
         self.validate()
     }
 
     /// Reject inconsistent liveness settings up front — a zero interval
-    /// spins the beat thread, a zero miss limit declares everyone dead, and
-    /// an inverted backoff range would make the "exponential" pause shrink.
+    /// spins the beat thread, a zero miss limit declares everyone dead,
+    /// an inverted backoff range would make the "exponential" pause
+    /// shrink, and a zero grace or window wedges the resume protocol.
     pub fn validate(&self) -> Result<(), String> {
         if self.hb_interval.is_zero() {
             return Err("heartbeat interval must be positive".into());
         }
         if self.hb_miss_limit == 0 {
             return Err("heartbeat miss limit must be at least 1".into());
+        }
+        if self.hb_grace_beats == 0 {
+            return Err("heartbeat grace must be at least 1 beat".into());
         }
         if self.conn_timeout.is_zero() {
             return Err("connect timeout must be positive".into());
@@ -176,9 +250,45 @@ impl TcpConfig {
                 self.backoff_cap.as_millis()
             ));
         }
+        if self.net_window == 0 {
+            return Err("retransmit window must hold at least 1 frame".into());
+        }
         Ok(())
     }
 }
+
+// --- CRC32 (IEEE 802.3, the zlib/PNG polynomial) -----------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        t[i] = c;
+        i += 1;
+    }
+    t
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+fn crc32_update(mut c: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+fn crc32(data: &[u8]) -> u32 {
+    !crc32_update(!0, data)
+}
+
+// --- counters / peer state ---------------------------------------------------
 
 #[derive(Default)]
 struct Counters {
@@ -189,6 +299,12 @@ struct Counters {
     retries: AtomicU64,
     reconnects: AtomicU64,
     hb_misses: AtomicU64,
+    retransmits: AtomicU64,
+    dup_suppressed: AtomicU64,
+    resumes: AtomicU64,
+    crc_rejects: AtomicU64,
+    frame_rejects: AtomicU64,
+    rescinds: AtomicU64,
 }
 
 impl Counters {
@@ -201,6 +317,12 @@ impl Counters {
             retries: self.retries.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
             hb_misses: self.hb_misses.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            dup_suppressed: self.dup_suppressed.load(Ordering::Relaxed),
+            resumes: self.resumes.load(Ordering::Relaxed),
+            crc_rejects: self.crc_rejects.load(Ordering::Relaxed),
+            frame_rejects: self.frame_rejects.load(Ordering::Relaxed),
+            rescinds: self.rescinds.load(Ordering::Relaxed),
         }
     }
 }
@@ -220,6 +342,17 @@ struct PeerState {
     /// EOF from it are departure, not death. Cleared when a later
     /// incarnation's HELLO re-opens the slot.
     departed: AtomicBool,
+    /// Next DATA sequence number expected from this peer (delivery
+    /// cursor); survives reconnects of the same incarnation so the
+    /// HELLO_ACK resume handshake can announce `recv_next - 1`.
+    recv_next: AtomicU64,
+    /// Silent past 2 beats but not yet past the grace/miss thresholds:
+    /// slow-or-dead is undecided. Any frame rescinds the suspicion.
+    suspected: AtomicBool,
+    /// The peer burned [`STRIKE_LIMIT`] consecutive connections on
+    /// unparseable frames: typed peer-fault, treated like a death.
+    faulted: AtomicBool,
+    strikes: AtomicU32,
     counters: Counters,
 }
 
@@ -229,6 +362,9 @@ struct Shared {
     start: Instant,
     hb_interval: Duration,
     hb_miss_limit: u32,
+    grace_beats: u32,
+    window_cap: usize,
+    net_chaos: NetChaosScript,
     backoff_init: Duration,
     backoff_cap: Duration,
     shutdown: AtomicBool,
@@ -242,11 +378,21 @@ impl Shared {
     }
 
     fn touch(&self, peer: usize) {
-        self.peers[peer].last_seen_ms.store(self.now_ms().max(1), Ordering::Relaxed);
+        let st = &self.peers[peer];
+        st.last_seen_ms.store(self.now_ms().max(1), Ordering::Relaxed);
+        if st.suspected.swap(false, Ordering::AcqRel) {
+            st.counters.rescinds.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn done(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+fn strike(st: &PeerState) {
+    if st.strikes.fetch_add(1, Ordering::AcqRel) + 1 >= STRIKE_LIMIT {
+        st.faulted.store(true, Ordering::Release);
     }
 }
 
@@ -296,8 +442,15 @@ impl TcpTransport {
     /// the test host has: nobody in these fabrics dies for real, so fast
     /// detection buys nothing and scheduler starvation must not look like
     /// a death. Death-detection tests build their own tight configs via
-    /// [`TcpTransport::with_listener`].
+    /// [`TcpTransport::with_listener`] or [`TcpTransport::fabric_localhost_with`].
     pub fn fabric_localhost(n: usize) -> io::Result<Vec<TcpTransport>> {
+        Self::fabric_localhost_with(n, |_| {})
+    }
+
+    /// [`TcpTransport::fabric_localhost`] with a per-rank config tweak
+    /// applied after the generous test defaults — the hook the chaos
+    /// batteries use to install a [`NetChaosScript`] or tight heartbeats.
+    pub fn fabric_localhost_with(n: usize, tweak: impl Fn(&mut TcpConfig)) -> io::Result<Vec<TcpTransport>> {
         let listeners: Vec<TcpListener> = (0..n).map(|_| TcpListener::bind("127.0.0.1:0")).collect::<io::Result<_>>()?;
         let addrs: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr()).collect::<io::Result<_>>()?;
         listeners
@@ -307,6 +460,7 @@ impl TcpTransport {
                 let mut cfg = TcpConfig::new(rank, n);
                 cfg.hb_interval = Duration::from_millis(500);
                 cfg.hb_miss_limit = 60;
+                tweak(&mut cfg);
                 Self::with_listener(cfg, addrs.clone(), l)
             })
             .collect()
@@ -324,6 +478,9 @@ impl TcpTransport {
             start: Instant::now(),
             hb_interval: cfg.hb_interval,
             hb_miss_limit: cfg.hb_miss_limit,
+            grace_beats: cfg.hb_grace_beats,
+            window_cap: cfg.net_window,
+            net_chaos: cfg.net_chaos.clone(),
             backoff_init: cfg.backoff_init,
             backoff_cap: cfg.backoff_cap,
             shutdown: AtomicBool::new(false),
@@ -334,6 +491,10 @@ impl TcpTransport {
                     conn_gen: AtomicU64::new(0),
                     incarnation: AtomicU32::new(0),
                     departed: AtomicBool::new(false),
+                    recv_next: AtomicU64::new(1),
+                    suspected: AtomicBool::new(false),
+                    faulted: AtomicBool::new(false),
+                    strikes: AtomicU32::new(0),
                     counters: Counters::default(),
                 })
                 .collect(),
@@ -443,14 +604,17 @@ impl Transport for TcpTransport {
         if st.departed.load(Ordering::Acquire) {
             return false; // announced a clean shutdown: gone, not dead
         }
+        if st.faulted.load(Ordering::Acquire) {
+            return true; // persistent protocol violations: typed peer-fault
+        }
         let last = st.last_seen_ms.load(Ordering::Relaxed);
         if last == 0 {
             return false; // never heard from them: absent, not dead
         }
         let silent = self.shared.now_ms().saturating_sub(last);
         let hb_ms = self.shared.hb_interval.as_millis().max(1) as u64;
-        if !st.inbound_alive.load(Ordering::Acquire) && silent > 2 * hb_ms {
-            return true; // EOF observed (e.g. SIGKILL) and no reconnect
+        if !st.inbound_alive.load(Ordering::Acquire) && silent > self.shared.grace_beats as u64 * hb_ms {
+            return true; // EOF observed (e.g. SIGKILL) and no resume within grace
         }
         silent > self.dead_after_ms()
     }
@@ -512,7 +676,7 @@ impl Drop for TcpTransport {
 
 // --- framing ----------------------------------------------------------------
 
-fn encode_frame(kind: u8, src: usize, incarnation: u32, wire: u64, epoch: u64, payload: &[f64]) -> Vec<u8> {
+fn encode_frame(kind: u8, src: usize, incarnation: u32, wire: u64, epoch: u64, seq: u64, payload: &[f64]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(HEADER_LEN + 8 * payload.len());
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     buf.push(kind);
@@ -521,9 +685,21 @@ fn encode_frame(kind: u8, src: usize, incarnation: u32, wire: u64, epoch: u64, p
     buf.extend_from_slice(&incarnation.to_le_bytes());
     buf.extend_from_slice(&wire.to_le_bytes());
     buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&[0u8; 8]); // frame CRC + header CRC (stamped below)
+                                      // Header CRC first (over bytes 0..40): the receiver verifies it
+                                      // *before* trusting the length prefix, so a flipped length bit is an
+                                      // immediate typed rejection instead of a desynchronized stream stuck
+                                      // mid-read on a phantom payload.
+    let hcrc = crc32(&buf[..40]);
+    buf[44..48].copy_from_slice(&hcrc.to_le_bytes());
     for v in payload {
         buf.extend_from_slice(&v.to_le_bytes());
     }
+    // Frame CRC over everything (header-CRC bytes included, its own field
+    // zeroed) — payload integrity on top of the header's self-check.
+    let crc = crc32(&buf);
+    buf[40..44].copy_from_slice(&crc.to_le_bytes());
     buf
 }
 
@@ -533,7 +709,24 @@ struct Frame {
     incarnation: u32,
     wire: u64,
     epoch: u64,
+    seq: u64,
     payload: Arc<[f64]>,
+}
+
+/// Why a frame failed to arrive: an I/O condition (EOF, reset), a CRC
+/// mismatch (injected or real corruption), or an oversize length prefix.
+/// The two integrity variants are *typed rejections* — the reader counts
+/// them and strikes the peer instead of silently tearing down.
+enum FrameErr {
+    Io,
+    Crc,
+    Oversize,
+}
+
+impl From<io::Error> for FrameErr {
+    fn from(_: io::Error) -> FrameErr {
+        FrameErr::Io
+    }
 }
 
 /// `read_exact` that survives the read-timeout polls used for shutdown
@@ -558,46 +751,97 @@ fn read_full(shared: &Shared, stream: &mut TcpStream, buf: &mut [u8]) -> io::Res
     Ok(true)
 }
 
-fn read_frame(shared: &Shared, stream: &mut TcpStream) -> io::Result<Option<Frame>> {
+fn read_frame(shared: &Shared, stream: &mut TcpStream) -> Result<Option<Frame>, FrameErr> {
     let mut header = [0u8; HEADER_LEN];
     if !read_full(shared, stream, &mut header)? {
         return Ok(None);
     }
+    // The header carries its own CRC (bytes 44..48, over bytes 0..40):
+    // check it before believing the length prefix, or a single flipped
+    // length bit would wedge this reader mid-frame on a phantom payload.
+    let hcrc = u32::from_le_bytes(header[44..48].try_into().unwrap());
+    if crc32(&header[..40]) != hcrc {
+        return Err(FrameErr::Crc);
+    }
     let words = u32::from_le_bytes(header[0..4].try_into().unwrap());
     if words > MAX_PAYLOAD_WORDS {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame length out of range"));
+        return Err(FrameErr::Oversize);
     }
     let kind = header[4];
     let src = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
     let incarnation = u32::from_le_bytes(header[12..16].try_into().unwrap());
     let wire = u64::from_le_bytes(header[16..24].try_into().unwrap());
     let epoch = u64::from_le_bytes(header[24..32].try_into().unwrap());
+    let seq = u64::from_le_bytes(header[32..40].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[40..44].try_into().unwrap());
     let mut raw = vec![0u8; 8 * words as usize];
     if !read_full(shared, stream, &mut raw)? {
         return Ok(None);
+    }
+    let mut zeroed = header;
+    zeroed[40..44].copy_from_slice(&[0u8; 4]);
+    if !crc32_update(crc32_update(!0, &zeroed), &raw) != crc {
+        return Err(FrameErr::Crc);
     }
     let payload: Arc<[f64]> = raw
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
         .collect::<Vec<f64>>()
         .into();
-    Ok(Some(Frame { kind, src, incarnation, wire, epoch, payload }))
+    Ok(Some(Frame { kind, src, incarnation, wire, epoch, seq, payload }))
+}
+
+/// Validate a 48-byte payloadless control frame (HELLO_ACK / ACK / NAK)
+/// and return its `(kind, seq)`. `None` = corrupt or not a control frame.
+fn parse_control(header: &[u8; HEADER_LEN]) -> Option<(u8, u64)> {
+    let words = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if words != 0 {
+        return None;
+    }
+    let crc = u32::from_le_bytes(header[40..44].try_into().unwrap());
+    let mut zeroed = *header;
+    zeroed[40..44].copy_from_slice(&[0u8; 4]);
+    if crc32(&zeroed) != crc {
+        return None;
+    }
+    Some((header[4], u64::from_le_bytes(header[32..40].try_into().unwrap())))
+}
+
+/// `read_exact` against a wall-clock deadline over a stream whose read
+/// timeout is short: used for the HELLO_ACK leg of the resume handshake.
+fn read_exact_deadline(stream: &mut TcpStream, buf: &mut [u8], deadline: Instant) -> bool {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if Instant::now() >= deadline {
+            return false;
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return false,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
 }
 
 // --- job frames (serving layer) ---------------------------------------------
 
 /// Job-stream framing for the persistent solver service.
 ///
-/// The serving layer (`crates/serve`) reuses the transport's 32-byte frame
-/// header verbatim, with the fields re-purposed for job routing:
+/// The serving layer (`crates/serve`) reuses the transport's 48-byte frame
+/// header verbatim — CRC32 included — with the fields re-purposed for job
+/// routing:
 ///
 /// ```text
 /// header field        job-frame meaning
 /// kind                SUBMIT / ACCEPT / RESULT / REJECT / CKPT
 /// source rank         tenant id
 /// source incarnation  unused (0)
-/// wire key            job id
+/// wire key            job id (SUBMIT: client-chosen idempotency id)
 /// sender epoch        request sequence number (echoed in replies)
+/// sequence            unused (0)
 /// payload             f64 words, grammar per kind (see crates/serve)
 /// ```
 ///
@@ -605,7 +849,7 @@ fn read_frame(shared: &Shared, stream: &mut TcpStream) -> io::Result<Option<Fram
 /// connections — never on the rank fabric — so they need a plain blocking
 /// reader rather than the fabric's shutdown-polling [`read_full`].
 pub mod jobs {
-    use super::{HEADER_LEN, MAX_PAYLOAD_WORDS};
+    use super::{crc32, crc32_update, encode_frame, HEADER_LEN, MAX_PAYLOAD_WORDS};
     use std::io::{self, Read, Write};
     use std::net::TcpStream;
 
@@ -642,17 +886,21 @@ pub mod jobs {
     /// Serialize and send one job frame.
     pub fn write_job_frame(stream: &mut TcpStream, frame: &JobFrame) -> io::Result<()> {
         debug_assert!((KIND_SUBMIT..=KIND_CKPT).contains(&frame.kind), "frame kind {} is not a job kind", frame.kind);
-        let buf = super::encode_frame(frame.kind, frame.tenant as usize, 0, frame.job, frame.seq, &frame.payload);
+        let buf = encode_frame(frame.kind, frame.tenant as usize, 0, frame.job, frame.seq, 0, &frame.payload);
         stream.write_all(&buf)?;
         stream.flush()
     }
 
     /// Blocking read of one job frame. Errors on EOF, a malformed header,
-    /// or a kind outside the job range (a fabric frame straying onto a job
-    /// connection is a protocol violation, not data).
+    /// a CRC mismatch, or a kind outside the job range (a fabric frame
+    /// straying onto a job connection is a protocol violation, not data).
     pub fn read_job_frame(stream: &mut TcpStream) -> io::Result<JobFrame> {
         let mut header = [0u8; HEADER_LEN];
         stream.read_exact(&mut header)?;
+        let hcrc = u32::from_le_bytes(header[44..48].try_into().unwrap());
+        if crc32(&header[..40]) != hcrc {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "job frame header failed its CRC"));
+        }
         let words = u32::from_le_bytes(header[0..4].try_into().unwrap());
         if words > MAX_PAYLOAD_WORDS {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "job frame length out of range"));
@@ -664,8 +912,14 @@ pub mod jobs {
         let tenant = u32::from_le_bytes(header[8..12].try_into().unwrap());
         let job = u64::from_le_bytes(header[16..24].try_into().unwrap());
         let seq = u64::from_le_bytes(header[24..32].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[40..44].try_into().unwrap());
         let mut raw = vec![0u8; 8 * words as usize];
         stream.read_exact(&mut raw)?;
+        let mut zeroed = header;
+        zeroed[40..44].copy_from_slice(&[0u8; 4]);
+        if !crc32_update(crc32_update(!0, &zeroed), &raw) != crc {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "job frame failed its CRC"));
+        }
         let payload = raw
             .chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
@@ -721,7 +975,25 @@ pub mod jobs {
             let writer = std::thread::spawn(move || {
                 let mut s = TcpStream::connect(addr).unwrap();
                 // A DATA frame (kind 2) must not parse as a job frame.
-                let buf = crate::tcp::encode_frame(super::super::KIND_DATA, 1, 0, 5, 0, &[1.0]);
+                let buf = crate::tcp::encode_frame(super::super::KIND_DATA, 1, 0, 5, 0, 0, &[1.0]);
+                use std::io::Write;
+                s.write_all(&buf).unwrap();
+            });
+            let (mut s, _) = listener.accept().unwrap();
+            let err = read_job_frame(&mut s).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            writer.join().unwrap();
+        }
+
+        #[test]
+        fn corrupted_job_frames_fail_their_crc() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let writer = std::thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).unwrap();
+                let mut buf = encode_frame(KIND_RESULT, 1, 0, 5, 2, 0, &[1.0, 2.0]);
+                let last = buf.len() - 1;
+                buf[last] ^= 0x10; // flip one payload bit after the CRC stamp
                 use std::io::Write;
                 s.write_all(&buf).unwrap();
             });
@@ -752,6 +1024,36 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
     }
 }
 
+/// Queue a 48-byte control frame on the receiver's reverse path. Bounded:
+/// when the pending buffer is full the frame is skipped — ACKs are
+/// cumulative and NAK loss is covered by the sender's stale-window timer.
+fn push_ctl(shared: &Shared, st: &PeerState, pending: &mut Vec<u8>, kind: u8, seq: u64) {
+    if pending.len() + HEADER_LEN > ACK_PUMP_CAP {
+        return;
+    }
+    pending.extend_from_slice(&encode_frame(kind, shared.rank, shared.incarnation, 0, 0, seq, &[]));
+    st.counters.frames_tx.fetch_add(1, Ordering::Relaxed);
+    st.counters.bytes_tx.fetch_add(HEADER_LEN as u64, Ordering::Relaxed);
+}
+
+/// Flush as much of the pending reverse-path buffer as the socket will
+/// take without blocking (the stream has a 1 ms write timeout). Partial
+/// writes are preserved. `false` = the connection is broken.
+fn pump_acks(stream: &mut TcpStream, pending: &mut Vec<u8>) -> bool {
+    while !pending.is_empty() {
+        match stream.write(pending) {
+            Ok(0) => return false,
+            Ok(n) => {
+                pending.drain(..n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
 fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
@@ -767,8 +1069,14 @@ fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream) {
         return;
     }
     if hello.incarnation > st.incarnation.load(Ordering::Acquire) {
-        // A fresh incarnation re-opens a slot its predecessor vacated.
+        // A fresh incarnation re-opens a slot its predecessor vacated,
+        // with a clean slate: sequence space, strikes, and suspicion all
+        // belonged to the dead process, not its replacement.
         st.departed.store(false, Ordering::Release);
+        st.faulted.store(false, Ordering::Release);
+        st.strikes.store(0, Ordering::Release);
+        st.suspected.store(false, Ordering::Release);
+        st.recv_next.store(1, Ordering::Release);
     }
     st.incarnation.store(hello.incarnation, Ordering::Release);
     let my_gen = st.conn_gen.fetch_add(1, Ordering::AcqRel) + 1;
@@ -776,6 +1084,24 @@ fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream) {
     shared.touch(src);
     st.counters.frames_rx.fetch_add(1, Ordering::Relaxed);
     st.counters.bytes_rx.fetch_add(HEADER_LEN as u64, Ordering::Relaxed);
+
+    // Session resume: announce the highest sequence delivered so far so
+    // the sender can prune its window and replay only what was lost. The
+    // write is blocking (the socket is fresh, the frame is 48 bytes).
+    let delivered = st.recv_next.load(Ordering::Acquire).saturating_sub(1);
+    let hello_ack = encode_frame(KIND_HELLO_ACK, shared.rank, shared.incarnation, 0, 0, delivered, &[]);
+    if stream.write_all(&hello_ack).is_err() {
+        if st.conn_gen.load(Ordering::Acquire) == my_gen {
+            st.inbound_alive.store(false, Ordering::Release);
+        }
+        return;
+    }
+    st.counters.frames_tx.fetch_add(1, Ordering::Relaxed);
+    st.counters.bytes_tx.fetch_add(HEADER_LEN as u64, Ordering::Relaxed);
+    // From here the reverse path must never block the forward one.
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(1)));
+    let mut pending: Vec<u8> = Vec::new();
+    let mut last_nak: Option<(u64, Instant)> = None;
 
     while !shared.done() {
         match read_frame(&shared, &mut stream) {
@@ -785,20 +1111,68 @@ fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream) {
                 st.counters
                     .bytes_rx
                     .fetch_add((HEADER_LEN + 8 * f.payload.len()) as u64, Ordering::Relaxed);
+                st.strikes.store(0, Ordering::Release);
                 if f.incarnation > st.incarnation.load(Ordering::Acquire) {
                     st.incarnation.store(f.incarnation, Ordering::Release);
                 }
-                if f.kind == KIND_DATA {
-                    let msg = Msg { src, wire: f.wire, epoch: f.epoch, payload: f.payload };
-                    if shared.inbox_tx.lock().expect("inbox poisoned").send(msg).is_err() {
-                        break;
+                match f.kind {
+                    KIND_DATA => {
+                        let expected = st.recv_next.load(Ordering::Acquire);
+                        if f.seq == 0 {
+                            // Unsequenced data (defensive): deliver as-is.
+                            let msg = Msg { src, wire: f.wire, epoch: f.epoch, payload: f.payload };
+                            if shared.inbox_tx.lock().expect("inbox poisoned").send(msg).is_err() {
+                                break;
+                            }
+                        } else if f.seq < expected {
+                            // Replay overlap or injected duplicate.
+                            st.counters.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+                            push_ctl(&shared, st, &mut pending, KIND_ACK, expected - 1);
+                        } else if f.seq > expected {
+                            // Gap: ask for a rewind, rate-limited so a
+                            // burst of in-flight frames yields one NAK.
+                            let renak = match last_nak {
+                                Some((s, t)) => s != expected || t.elapsed() > Duration::from_millis(50),
+                                None => true,
+                            };
+                            if renak {
+                                push_ctl(&shared, st, &mut pending, KIND_NAK, expected);
+                                last_nak = Some((expected, Instant::now()));
+                            }
+                        } else {
+                            let msg = Msg { src, wire: f.wire, epoch: f.epoch, payload: f.payload };
+                            if shared.inbox_tx.lock().expect("inbox poisoned").send(msg).is_err() {
+                                break;
+                            }
+                            st.recv_next.store(expected + 1, Ordering::Release);
+                            push_ctl(&shared, st, &mut pending, KIND_ACK, expected);
+                        }
                     }
-                } else if f.kind == KIND_GOODBYE {
-                    st.departed.store(true, Ordering::Release);
+                    KIND_GOODBYE => st.departed.store(true, Ordering::Release),
+                    _ => {}
+                }
+                if !pump_acks(&mut stream, &mut pending) {
+                    break;
                 }
             }
             Ok(None) => break, // shutdown
-            Err(_) => break,   // EOF or hard error: the peer is gone
+            Err(FrameErr::Crc) => {
+                // Typed corruption rejection: count it, strike the peer,
+                // and drop the connection — once framing is suspect the
+                // only safe resync is a fresh stream, whose session
+                // resume replays everything lost.
+                st.counters.crc_rejects.fetch_add(1, Ordering::Relaxed);
+                strike(st);
+                break;
+            }
+            Err(FrameErr::Oversize) => {
+                // Typed frame rejection (satellite: no abrupt teardown) —
+                // repeated offenses escalate to a clean peer-fault.
+                st.counters.frame_rejects.fetch_add(1, Ordering::Relaxed);
+                strike(st);
+                break;
+            }
+            Err(FrameErr::Io) => break, // EOF or hard error: peer gone
         }
     }
     // Only the *current* connection's reader may declare the peer down.
@@ -847,7 +1221,7 @@ fn establish(
         let per_attempt = remaining.min(Duration::from_millis(250));
         if let Ok(mut stream) = TcpStream::connect_timeout(&addr, per_attempt) {
             let _ = stream.set_nodelay(true);
-            let hello = encode_frame(KIND_HELLO, shared.rank, shared.incarnation, 0, 0, &[]);
+            let hello = encode_frame(KIND_HELLO, shared.rank, shared.incarnation, 0, 0, 0, &[]);
             if stream.write_all(&hello).is_ok() {
                 let c = &shared.peers[dst].counters;
                 c.frames_tx.fetch_add(1, Ordering::Relaxed);
@@ -864,16 +1238,397 @@ fn establish(
     }
 }
 
+/// One frame of the sender's in-flight window: the decoded message parts
+/// are kept (not the encoded bytes) so replays can re-stamp a renumbered
+/// sequence after a session resume against a fresh receiver.
+struct WinEntry {
+    seq: u64,
+    sent_at: Instant,
+    wire: u64,
+    epoch: u64,
+    payload: Arc<[f64]>,
+}
+
+/// Per-`(src → dst)` sender state: the stream, the go-back-N window, the
+/// reverse-path parse buffer, and the injection watermark.
+struct Link {
+    dst: usize,
+    addr: SocketAddr,
+    conn_timeout: Duration,
+    jitter: u64,
+    stream: Option<TcpStream>,
+    ever_connected: bool,
+    /// Next sequence number to assign (starts at 1; 0 = unsequenced).
+    next_seq: u64,
+    /// Highest sequence that already had its injection draw: faults fire
+    /// on first transmission only, never on retransmits.
+    injected_up_to: u64,
+    window: VecDeque<WinEntry>,
+    /// Unparsed bytes read back from the receiver (ACK/NAK stream).
+    ackbuf: Vec<u8>,
+    /// Sequences held back by an injected reorder, flushed after the next
+    /// first transmission so they hit the wire out of order.
+    held_back: Vec<u64>,
+    /// Consecutive stale-head rewinds with no ACK progress. In-place
+    /// retransmission cannot resynchronize a receiver stuck mid-frame
+    /// (e.g. a corrupted length field), so after a few fruitless rounds
+    /// the link escalates to a fresh connection and session resume.
+    stale_rounds: u32,
+}
+
+impl Link {
+    fn drop_stream(&mut self) {
+        self.stream = None;
+        self.ackbuf.clear();
+    }
+
+    /// Establish (or re-establish) the connection and run the session
+    /// resume: read the receiver's HELLO_ACK, prune the window up to the
+    /// acknowledged sequence, renumber if the receiver's state is behind
+    /// the window (a respawned receiver lost it), and replay the rest.
+    fn connect_and_resume(&mut self, shared: &Shared) {
+        if shared.net_chaos.blackholed(shared.rank, self.dst, shared.now_ms()) {
+            return; // partitioned: connects black-hole too
+        }
+        let was_connected = self.ever_connected;
+        let Some(mut stream) = establish(shared, self.dst, self.addr, self.conn_timeout, &mut self.jitter, was_connected) else {
+            return;
+        };
+        self.ever_connected = true;
+        self.ackbuf.clear();
+        self.held_back.clear();
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let mut hdr = [0u8; HEADER_LEN];
+        if !read_exact_deadline(&mut stream, &mut hdr, Instant::now() + Duration::from_secs(2)) {
+            return;
+        }
+        let delivered = match parse_control(&hdr) {
+            Some((k, seq)) if k == KIND_HELLO_ACK => seq,
+            _ => return,
+        };
+        while self.window.front().is_some_and(|e| e.seq <= delivered) {
+            self.window.pop_front();
+        }
+        if self.window.is_empty() {
+            // Everything in flight is delivered (or there was nothing):
+            // continue exactly after the receiver's cursor. Handles a
+            // respawned receiver (delivered = 0) without wedging.
+            self.next_seq = delivered + 1;
+        } else if self.window.front().expect("nonempty").seq > delivered + 1 {
+            // The receiver lost state beyond our window (fresh
+            // incarnation): renumber the survivors consecutively so the
+            // stream stays gap-free.
+            let mut s = delivered + 1;
+            for e in self.window.iter_mut() {
+                e.seq = s;
+                s += 1;
+            }
+            self.next_seq = s;
+        }
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
+        self.stream = Some(stream);
+        let c = &shared.peers[self.dst].counters;
+        if was_connected {
+            c.resumes.fetch_add(1, Ordering::Relaxed);
+        }
+        // Replay the surviving window in order. On a first connect this
+        // IS the first transmission (frames admitted before the peer was
+        // reachable), so only true resumes count as retransmits.
+        let seqs: Vec<u64> = self.window.iter().map(|e| e.seq).collect();
+        for s in seqs {
+            if was_connected {
+                c.retransmits.fetch_add(1, Ordering::Relaxed);
+            }
+            if !self.write_entry(shared, s, None, false) {
+                return;
+            }
+        }
+    }
+
+    /// Encode and write the window entry holding `seq`. `corrupt` flips
+    /// one bit of a copy *after* the CRC stamp (the window keeps the
+    /// clean frame); `dup` writes the clean frame twice. `true` = the
+    /// stream survived (or the entry was already pruned).
+    fn write_entry(&mut self, shared: &Shared, seq: u64, corrupt: Option<u64>, dup: bool) -> bool {
+        let Some(e) = self.window.iter_mut().find(|e| e.seq == seq) else {
+            return true; // ACKed while held back or rewinding: nothing to do
+        };
+        e.sent_at = Instant::now();
+        let buf = encode_frame(KIND_DATA, shared.rank, shared.incarnation, e.wire, e.epoch, seq, &e.payload);
+        let Some(s) = &mut self.stream else { return false };
+        let wrote = if let Some(bit) = corrupt {
+            let mut bad = buf.clone();
+            let i = (bit % (bad.len() as u64 * 8)) as usize;
+            bad[i / 8] ^= 1 << (i % 8);
+            s.write_all(&bad)
+        } else {
+            s.write_all(&buf)
+        };
+        let c = &shared.peers[self.dst].counters;
+        match wrote {
+            Ok(()) => {
+                c.frames_tx.fetch_add(1, Ordering::Relaxed);
+                c.bytes_tx.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                if dup && self.stream.as_mut().expect("stream live").write_all(&buf).is_ok() {
+                    c.frames_tx.fetch_add(1, Ordering::Relaxed);
+                    c.bytes_tx.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                }
+                true
+            }
+            Err(_) => {
+                self.drop_stream();
+                false
+            }
+        }
+    }
+
+    /// First transmission of a freshly admitted sequence: run the
+    /// injection draw (exactly once per sequence), then write.
+    fn transmit_seq(&mut self, shared: &Shared, seq: u64) {
+        if shared.net_chaos.blackholed(shared.rank, self.dst, shared.now_ms()) {
+            return; // stays in the window; heals when the partition does
+        }
+        if self.stream.is_none() {
+            // The resume replay covers this entry (without injection —
+            // a frame first sent through a reconnect is a retransmission
+            // for injection purposes).
+            self.injected_up_to = self.injected_up_to.max(seq);
+            self.connect_and_resume(shared);
+            return;
+        }
+        let mut corrupt = None;
+        let mut dup = false;
+        if seq > self.injected_up_to {
+            self.injected_up_to = seq;
+            match shared.net_chaos.decide(shared.rank, self.dst, seq) {
+                None => {}
+                Some(NetFault::Drop) => return, // the window will heal it
+                Some(NetFault::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms.min(10_000))),
+                Some(NetFault::Dup) => dup = true,
+                Some(NetFault::Corrupt) => corrupt = Some(shared.net_chaos.corrupt_bit(shared.rank, self.dst, seq)),
+                Some(NetFault::Reset) => {
+                    self.drop_stream(); // mid-stream RST; resume replays
+                    return;
+                }
+                Some(NetFault::Reorder) => {
+                    self.held_back.push(seq);
+                    return; // hits the wire after the next frame
+                }
+            }
+        }
+        if self.write_entry(shared, seq, corrupt, dup) {
+            self.flush_held(shared, seq);
+        }
+    }
+
+    /// Write any reorder-held frames now that a later one has gone out.
+    fn flush_held(&mut self, shared: &Shared, just_sent: u64) {
+        if self.held_back.is_empty() {
+            return;
+        }
+        let held = std::mem::take(&mut self.held_back);
+        for h in held {
+            if h != just_sent && !self.write_entry(shared, h, None, false) {
+                return;
+            }
+        }
+    }
+
+    /// Drain the reverse path: prune the window on cumulative ACKs and
+    /// rewind on the lowest NAK. Garbage on the control channel drops the
+    /// stream (resync by resume).
+    fn drain_control(&mut self, shared: &Shared) {
+        {
+            let Some(s) = &mut self.stream else { return };
+            let mut buf = [0u8; HEADER_LEN * 32];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) => {
+                        self.drop_stream();
+                        return;
+                    }
+                    Ok(n) => {
+                        self.ackbuf.extend_from_slice(&buf[..n]);
+                        if n < buf.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.drop_stream();
+                        return;
+                    }
+                }
+            }
+        }
+        let mut consumed = 0;
+        let mut min_nak: Option<u64> = None;
+        let mut garbage = false;
+        while self.ackbuf.len() - consumed >= HEADER_LEN {
+            let chunk: &[u8; HEADER_LEN] = self.ackbuf[consumed..consumed + HEADER_LEN].try_into().expect("sized");
+            match parse_control(chunk) {
+                Some((k, seq)) if k == KIND_ACK => {
+                    while self.window.front().is_some_and(|e| e.seq <= seq) {
+                        self.window.pop_front();
+                        self.stale_rounds = 0;
+                    }
+                }
+                Some((k, seq)) if k == KIND_NAK => {
+                    min_nak = Some(min_nak.map_or(seq, |m: u64| m.min(seq)));
+                }
+                _ => {
+                    garbage = true;
+                    break;
+                }
+            }
+            consumed += HEADER_LEN;
+        }
+        self.ackbuf.drain(..consumed);
+        if garbage {
+            self.drop_stream();
+            return;
+        }
+        if let Some(from) = min_nak {
+            self.go_back_n(shared, from);
+        }
+    }
+
+    /// Retransmit every windowed frame at or after `from` (clamped into
+    /// the window — a NAK below it is stale and must not panic a rewind).
+    fn go_back_n(&mut self, shared: &Shared, from: u64) {
+        let from = self.window.front().map_or(from, |e| e.seq.max(from));
+        self.held_back.clear();
+        let seqs: Vec<u64> = self.window.iter().filter(|e| e.seq >= from).map(|e| e.seq).collect();
+        for s in seqs {
+            shared.peers[self.dst].counters.retransmits.fetch_add(1, Ordering::Relaxed);
+            if !self.write_entry(shared, s, None, false) {
+                return;
+            }
+        }
+    }
+
+    /// Idle-tick maintenance: reconnect if the window is stranded without
+    /// a stream, rewind if its head has gone stale (a lost NAK or a
+    /// dropped frame with no later traffic to expose the gap), and let
+    /// the window go when the peer announced a clean departure.
+    fn service(&mut self, shared: &Shared) {
+        if shared.peers[self.dst].departed.load(Ordering::Acquire) {
+            self.window.clear();
+            self.held_back.clear();
+            return;
+        }
+        if self.window.is_empty() {
+            return;
+        }
+        if self.stream.is_none() {
+            self.connect_and_resume(shared);
+            return;
+        }
+        let stale = (shared.hb_interval * 2).max(Duration::from_millis(200));
+        let head = self.window.front().expect("nonempty");
+        if head.sent_at.elapsed() > stale {
+            self.stale_rounds += 1;
+            if self.stale_rounds > 2 {
+                // Repeated in-place rewinds bought no ACK progress: the
+                // stream is desynchronized (the receiver may be blocked
+                // mid-frame on a mangled length). Force a fresh session;
+                // the resume handshake replays the window on a clean
+                // stream the receiver can parse from byte zero.
+                self.stale_rounds = 0;
+                self.drop_stream();
+                self.connect_and_resume(shared);
+            } else {
+                let from = head.seq;
+                self.go_back_n(shared, from);
+            }
+        }
+    }
+
+    /// Admit a message into the window (blocking briefly on a full window
+    /// for ACKs to free space) and run its first transmission. A window
+    /// still full after the wait drops the message *before* a sequence is
+    /// assigned — fail-stop, and the sequence space stays contiguous.
+    fn admit(&mut self, shared: &Shared, m: Msg) {
+        if self.window.len() >= shared.window_cap {
+            let deadline = Instant::now() + (shared.hb_interval * 2).max(Duration::from_millis(100));
+            while self.window.len() >= shared.window_cap && Instant::now() < deadline && !shared.done() {
+                if self.stream.is_none() {
+                    self.connect_and_resume(shared);
+                    if self.stream.is_none() {
+                        break;
+                    }
+                }
+                self.drain_control(shared);
+                if self.window.len() >= shared.window_cap {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+            if self.window.len() >= shared.window_cap {
+                return;
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.window.push_back(WinEntry {
+            seq,
+            sent_at: Instant::now(),
+            wire: m.wire,
+            epoch: m.epoch,
+            payload: m.payload,
+        });
+        self.transmit_seq(shared, seq);
+    }
+
+    /// Heartbeats and GOODBYEs travel outside the sequence space: best
+    /// effort, two establishment cycles at most, dropped under partition.
+    fn send_unsequenced(&mut self, shared: &Shared, kind: u8) {
+        if shared.net_chaos.blackholed(shared.rank, self.dst, shared.now_ms()) {
+            return;
+        }
+        let buf = encode_frame(kind, shared.rank, shared.incarnation, 0, 0, 0, &[]);
+        for _ in 0..2 {
+            if self.stream.is_none() {
+                self.connect_and_resume(shared);
+            }
+            match &mut self.stream {
+                Some(s) => match s.write_all(&buf) {
+                    Ok(()) => {
+                        let c = &shared.peers[self.dst].counters;
+                        c.frames_tx.fetch_add(1, Ordering::Relaxed);
+                        c.bytes_tx.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                        return;
+                    }
+                    Err(_) => self.drop_stream(), // retry once on a fresh stream
+                },
+                None => return, // couldn't connect within budget: drop frame
+            }
+        }
+    }
+}
+
 fn sender_loop(
     shared: Arc<Shared>,
     dst: usize,
     addr: SocketAddr,
     conn_timeout: Duration,
-    mut jitter: u64,
+    jitter_seed: u64,
     rx: Receiver<Outbound>,
 ) {
-    let mut stream: Option<TcpStream> = None;
-    let mut ever_connected = false;
+    let mut link = Link {
+        dst,
+        addr,
+        conn_timeout,
+        jitter: jitter_seed,
+        stream: None,
+        ever_connected: false,
+        next_seq: 1,
+        injected_up_to: 0,
+        window: VecDeque::new(),
+        ackbuf: Vec::new(),
+        held_back: Vec::new(),
+        stale_rounds: 0,
+    };
     // Keeps draining after shutdown: frames queued before close() must
     // still reach the wire (a rank leaves a barrier as soon as it has
     // *heard* everyone — its own final ARRIVE may still sit in this
@@ -881,39 +1636,47 @@ fn sender_loop(
     // drain is bounded: `establish` refuses new connections once
     // shutdown is set, and the queue stops growing because `send`
     // rejects new frames.
-    while let Ok(out) = rx.recv() {
-        let buf = match out {
-            Outbound::Heartbeat => {
-                if shared.done() {
-                    continue; // beats are pointless during teardown
-                }
-                encode_frame(KIND_HEARTBEAT, shared.rank, shared.incarnation, 0, 0, &[])
-            }
-            Outbound::Frame(m) => encode_frame(KIND_DATA, shared.rank, shared.incarnation, m.wire, m.epoch, &m.payload),
-            Outbound::Goodbye => encode_frame(KIND_GOODBYE, shared.rank, shared.incarnation, 0, 0, &[]),
-        };
-        // Two establishment cycles per frame at most: a stale stream whose
-        // peer died gets one reconnect; if that fails too the frame is
-        // dropped (fail-stop) and the next frame starts fresh.
-        for _ in 0..2 {
-            if stream.is_none() {
-                stream = establish(&shared, dst, addr, conn_timeout, &mut jitter, ever_connected);
-                if stream.is_some() {
-                    ever_connected = true;
+    loop {
+        match rx.recv_timeout(shared.hb_interval) {
+            Ok(Outbound::Frame(m)) => link.admit(&shared, m),
+            Ok(Outbound::Heartbeat) => {
+                if !shared.done() {
+                    link.send_unsequenced(&shared, KIND_HEARTBEAT);
                 }
             }
-            match &mut stream {
-                Some(s) => match s.write_all(&buf) {
-                    Ok(()) => {
-                        let c = &shared.peers[dst].counters;
-                        c.frames_tx.fetch_add(1, Ordering::Relaxed);
-                        c.bytes_tx.fetch_add(buf.len() as u64, Ordering::Relaxed);
-                        break;
-                    }
-                    Err(_) => stream = None, // retry once on a fresh stream
-                },
-                None => break, // couldn't connect within budget: drop frame
+            Ok(Outbound::Goodbye) => link.send_unsequenced(&shared, KIND_GOODBYE),
+            Err(RecvTimeoutError::Timeout) => {} // idle tick
+            Err(RecvTimeoutError::Disconnected) => {
+                // Teardown closed the queue. Frames still unACKed in the
+                // window are someone's pending recv — the gather's final
+                // frame to rank 0, a barrier ARRIVE. Abandoning them turns
+                // one injected drop into a permanent protocol hole: this
+                // exit is a clean GOODBYE, so the receiver neither declares
+                // us dead nor ever sees a retransmission. Keep the go-back-N
+                // machinery running until the window empties, the peer
+                // departs, or a bounded deadline passes (a dead peer must
+                // not wedge teardown).
+                let deadline = Instant::now() + (shared.hb_interval * 20).max(Duration::from_secs(2));
+                while !link.window.is_empty() && Instant::now() < deadline && !shared.peers[dst].departed.load(Ordering::Acquire)
+                {
+                    link.drain_control(&shared);
+                    link.service(&shared);
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                break;
             }
+        }
+        if !link.window.is_empty() {
+            link.drain_control(&shared);
+            link.service(&shared);
+        } else if link.stream.is_some() {
+            // Idle-link EOF detection: a receiver that tore down the
+            // stream (CRC strike, desync resync) starts the peer's grace
+            // clock immediately — noticing only when the next admission
+            // happens to write would burn most of that budget. A
+            // non-blocking drain sees the EOF within one lap; the next
+            // heartbeat then re-establishes and resumes the session.
+            link.drain_control(&shared);
         }
     }
 }
@@ -929,8 +1692,18 @@ fn heartbeat_loop(shared: Arc<Shared>, senders: Vec<Option<SyncSender<Outbound>>
             let _ = tx.try_send(Outbound::Heartbeat);
             let st = &shared.peers[peer];
             let last = st.last_seen_ms.load(Ordering::Relaxed);
-            if last != 0 && shared.now_ms().saturating_sub(last) > hb_ms {
+            if last == 0 {
+                continue;
+            }
+            let silent = shared.now_ms().saturating_sub(last);
+            if silent > hb_ms {
                 st.counters.hb_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            // Two beats of silence: suspicion, not a verdict. The next
+            // frame rescinds it (counted); only the grace/miss
+            // thresholds in `is_peer_dead` escalate to dead.
+            if silent > 2 * hb_ms && !st.departed.load(Ordering::Acquire) {
+                st.suspected.store(true, Ordering::Release);
             }
         }
     }
@@ -945,6 +1718,32 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_the_ieee_check_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_carry_seq_and_a_valid_crc() {
+        let buf = encode_frame(KIND_DATA, 3, 1, 42, 7, 99, &[1.0, -2.0]);
+        assert_eq!(buf.len(), HEADER_LEN + 16);
+        assert_eq!(u64::from_le_bytes(buf[32..40].try_into().unwrap()), 99);
+        let crc = u32::from_le_bytes(buf[40..44].try_into().unwrap());
+        let mut zeroed = buf.clone();
+        zeroed[40..44].copy_from_slice(&[0u8; 4]);
+        assert_eq!(crc32(&zeroed), crc);
+        // Control frames parse and round-trip; any single-bit flip is caught.
+        let ack = encode_frame(KIND_ACK, 0, 0, 0, 0, 17, &[]);
+        let hdr: [u8; HEADER_LEN] = ack[..].try_into().unwrap();
+        assert_eq!(parse_control(&hdr), Some((KIND_ACK, 17)));
+        for bit in 0..(HEADER_LEN * 8) {
+            let mut bad = hdr;
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(parse_control(&bad), None, "bit {bit} flip went undetected");
+        }
+    }
+
+    #[test]
     fn config_validation_rejects_inconsistent_liveness_settings() {
         let ok = TcpConfig::new(0, 2);
         assert!(ok.validate().is_ok());
@@ -953,6 +1752,12 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = ok.clone();
         c.hb_miss_limit = 0;
+        assert!(c.validate().is_err());
+        let mut c = ok.clone();
+        c.hb_grace_beats = 0;
+        assert!(c.validate().is_err());
+        let mut c = ok.clone();
+        c.net_window = 0;
         assert!(c.validate().is_err());
         let mut c = ok.clone();
         c.conn_timeout = Duration::ZERO;
@@ -1100,7 +1905,7 @@ mod tests {
         let _ = a.recv(Duration::from_secs(10)).unwrap();
         let _ = b.recv(Duration::from_secs(10)).unwrap();
         drop(b); // graceful exit: GOODBYE travels over the live stream
-                 // Far past both the EOF (2 beats) and silence (4 beats) windows.
+                 // Far past both the EOF (grace beats) and silence windows.
         std::thread::sleep(Duration::from_millis(400));
         assert!(!a.is_peer_dead(1), "clean shutdown misread as a death");
     }
@@ -1151,5 +1956,131 @@ mod tests {
         a.send(1, msg(0, 5, &[1.0]));
         let _ = b.recv(Duration::from_secs(10)).unwrap();
         assert_eq!(b.peer_incarnation(0), 3, "handshake incarnation lost");
+    }
+
+    /// A raw fake peer: connects, HELLOs as `src`, reads the HELLO_ACK,
+    /// and hands the stream back for protocol-violation tests.
+    fn raw_hello(addr: SocketAddr, src: usize, incarnation: u32) -> TcpStream {
+        let mut s = TcpStream::connect(addr).expect("raw connect");
+        s.write_all(&encode_frame(KIND_HELLO, src, incarnation, 0, 0, 0, &[]))
+            .expect("raw hello");
+        let mut ack = [0u8; HEADER_LEN];
+        s.read_exact(&mut ack).expect("hello ack");
+        assert_eq!(parse_control(&ack).map(|(k, _)| k), Some(KIND_HELLO_ACK));
+        s
+    }
+
+    #[test]
+    fn oversize_frames_are_typed_rejections_that_escalate_to_a_peer_fault() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let my_addr = listener.local_addr().unwrap();
+        let peer_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![my_addr, peer_listener.local_addr().unwrap()];
+        let mut cfg = TcpConfig::new(0, 2);
+        cfg.hb_interval = Duration::from_millis(20);
+        let t = TcpTransport::with_listener(cfg, addrs, listener).unwrap();
+        // A peer that opens a fresh connection and sends an oversize
+        // length prefix, STRIKE_LIMIT times in a row: each one is a typed
+        // frame rejection, and the streak becomes a clean peer-fault.
+        for i in 0..STRIKE_LIMIT {
+            let mut s = raw_hello(my_addr, 1, 0);
+            let mut bad = encode_frame(KIND_DATA, 1, 0, 0, 0, u64::from(i) + 1, &[]);
+            bad[0..4].copy_from_slice(&(MAX_PAYLOAD_WORDS + 1).to_le_bytes());
+            // Re-stamp both CRCs so only the length is at fault.
+            let hcrc = crc32(&bad[..40]);
+            bad[44..48].copy_from_slice(&hcrc.to_le_bytes());
+            bad[40..44].copy_from_slice(&[0u8; 4]);
+            let crc = crc32(&bad);
+            bad[40..44].copy_from_slice(&crc.to_le_bytes());
+            s.write_all(&bad).unwrap();
+            // Wait for the reader to reject and close this connection.
+            let mut probe = [0u8; 1];
+            let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+            let _ = s.read(&mut probe);
+        }
+        let t0 = Instant::now();
+        while !t.is_peer_dead(1) {
+            assert!(t0.elapsed() < Duration::from_secs(10), "oversize streak never became a peer fault");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let st = t.stats();
+        assert!(st.peers[1].frame_rejects >= STRIKE_LIMIT as u64, "frame rejections not counted");
+    }
+
+    #[test]
+    fn corrupt_frames_are_counted_and_never_delivered() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let my_addr = listener.local_addr().unwrap();
+        let peer_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![my_addr, peer_listener.local_addr().unwrap()];
+        let t = TcpTransport::with_listener(TcpConfig::new(0, 2), addrs, listener).unwrap();
+        let mut s = raw_hello(my_addr, 1, 0);
+        let mut bad = encode_frame(KIND_DATA, 1, 0, 7, 0, 1, &[42.0]);
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01; // payload bit flip after the CRC stamp
+        s.write_all(&bad).unwrap();
+        let t0 = Instant::now();
+        while t.stats().peers[1].crc_rejects == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(10), "CRC rejection not counted");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The corrupted payload must never surface as a message.
+        assert!(matches!(t.recv(Duration::from_millis(100)), Err(CommError::Timeout)));
+        assert!(!t.is_peer_dead(1), "one corrupt frame must not kill the peer");
+    }
+
+    #[test]
+    fn sub_grace_stall_is_suspected_then_rescinded_never_dead() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let my_addr = listener.local_addr().unwrap();
+        let peer_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![my_addr, peer_listener.local_addr().unwrap()];
+        let mut cfg = TcpConfig::new(0, 2);
+        cfg.hb_interval = Duration::from_millis(30);
+        cfg.hb_miss_limit = 40; // silence threshold 1.2 s, far beyond the stall
+        cfg.hb_grace_beats = 40;
+        let t = TcpTransport::with_listener(cfg, addrs, listener).unwrap();
+        let mut s = raw_hello(my_addr, 1, 0);
+        // Beat once, stall for > 2 beats but far under every death
+        // threshold, then resume: suspicion must rise and be rescinded.
+        s.write_all(&encode_frame(KIND_HEARTBEAT, 1, 0, 0, 0, 0, &[])).unwrap();
+        std::thread::sleep(Duration::from_millis(150)); // 5 beats of silence
+        assert!(!t.is_peer_dead(1), "sub-grace stall misread as a death");
+        s.write_all(&encode_frame(KIND_HEARTBEAT, 1, 0, 0, 0, 0, &[])).unwrap();
+        let t0 = Instant::now();
+        while t.stats().peers[1].rescinds == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(10), "suspicion never rescinded");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(!t.is_peer_dead(1), "rescinded peer still reads as dead");
+    }
+
+    #[test]
+    fn mid_stream_reset_resumes_without_loss_or_reorder() {
+        // Scripted connection resets on the 0→1 link: every frame still
+        // arrives exactly once, in order, bit-identical — the session
+        // resume replays what the RST swallowed.
+        let mut eps = TcpTransport::fabric_localhost_with(2, |c| {
+            c.hb_interval = Duration::from_millis(40);
+            if c.rank == 0 {
+                c.net_chaos = NetChaosScript::parse("7:reset=0.4").unwrap();
+            }
+        })
+        .unwrap();
+        let b = eps.remove(1);
+        let a = eps.remove(0);
+        let n = 64;
+        for i in 0..n {
+            a.send(1, msg(0, 5, &[i as f64, (i * i) as f64]));
+        }
+        for i in 0..n {
+            let m = b.recv(Duration::from_secs(30)).expect("frame lost to a reset");
+            assert_eq!(m.payload[0].to_bits(), (i as f64).to_bits(), "stream reordered or corrupted");
+        }
+        let t0 = Instant::now();
+        while a.stats().peers[1].resumes == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(10), "no session resume recorded");
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 }

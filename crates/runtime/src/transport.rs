@@ -44,6 +44,14 @@ pub enum CommError {
     Revoked,
     /// This endpoint itself is closed / the fabric was torn down.
     Closed,
+    /// The fabric is partitioned: the listed peers stayed unreachable past
+    /// every retry and agreement deadline. Unlike a death, nobody can
+    /// recover this — the run ends with this same typed error on every
+    /// rank that can still make progress.
+    Partitioned {
+        /// Sorted ranks this endpoint could not reach.
+        unreachable: Vec<usize>,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -53,6 +61,9 @@ impl std::fmt::Display for CommError {
             CommError::PeerDead { peer } => write!(f, "peer rank {peer} is dead (endpoint closed)"),
             CommError::Revoked => write!(f, "communication epoch revoked by a failure"),
             CommError::Closed => write!(f, "local endpoint closed"),
+            CommError::Partitioned { unreachable } => {
+                write!(f, "network partition: agreement timed out, ranks {unreachable:?} unreachable")
+            }
         }
     }
 }
@@ -92,11 +103,27 @@ pub struct PeerCounters {
     pub reconnects: u64,
     /// Heartbeat intervals that elapsed with no traffic from the peer.
     pub hb_misses: u64,
+    /// Sequenced frames written more than once (NAK rewinds, stale-window
+    /// timer resends, resume replays).
+    pub retransmits: u64,
+    /// Inbound frames discarded as already-delivered duplicates.
+    pub dup_suppressed: u64,
+    /// Session resumes: reconnect handshakes that replayed a non-empty
+    /// in-flight window.
+    pub resumes: u64,
+    /// Inbound frames rejected for a CRC mismatch.
+    pub crc_rejects: u64,
+    /// Inbound frames rejected for a malformed header (oversize length,
+    /// bad kind).
+    pub frame_rejects: u64,
+    /// Suspicions rescinded: the peer crossed the slow-peer grace line and
+    /// then proved alive before being declared dead.
+    pub rescinds: u64,
 }
 
 impl PeerCounters {
     /// Number of `f64` slots one peer row occupies in the flat encoding.
-    pub const WIDTH: usize = 7;
+    pub const WIDTH: usize = 13;
 
     /// Accumulate another peer's counters into this one.
     pub fn merge(&mut self, o: &PeerCounters) {
@@ -107,6 +134,12 @@ impl PeerCounters {
         self.retries += o.retries;
         self.reconnects += o.reconnects;
         self.hb_misses += o.hb_misses;
+        self.retransmits += o.retransmits;
+        self.dup_suppressed += o.dup_suppressed;
+        self.resumes += o.resumes;
+        self.crc_rejects += o.crc_rejects;
+        self.frame_rejects += o.frame_rejects;
+        self.rescinds += o.rescinds;
     }
 
     fn to_row(self) -> [f64; Self::WIDTH] {
@@ -118,6 +151,12 @@ impl PeerCounters {
             self.retries as f64,
             self.reconnects as f64,
             self.hb_misses as f64,
+            self.retransmits as f64,
+            self.dup_suppressed as f64,
+            self.resumes as f64,
+            self.crc_rejects as f64,
+            self.frame_rejects as f64,
+            self.rescinds as f64,
         ]
     }
 
@@ -130,6 +169,12 @@ impl PeerCounters {
             retries: r[4] as u64,
             reconnects: r[5] as u64,
             hb_misses: r[6] as u64,
+            retransmits: r[7] as u64,
+            dup_suppressed: r[8] as u64,
+            resumes: r[9] as u64,
+            crc_rejects: r[10] as u64,
+            frame_rejects: r[11] as u64,
+            rescinds: r[12] as u64,
         }
     }
 }

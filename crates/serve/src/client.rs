@@ -5,11 +5,25 @@
 //! may fire many [`Client::submit`] calls before draining events — and the
 //! daemon correlates replies by the per-connection sequence number the
 //! client stamps on each SUBMIT.
+//!
+//! # Idempotent submission
+//!
+//! Every client mints a process-unique nonzero `client_id` and rides it in
+//! the SUBMIT frame's (otherwise unused) job field. The daemon dedupes on
+//! `(tenant, client_id, seq)`: resubmitting the same sequence number —
+//! because an ACCEPT was slow, a frame was lost on a lossy link, or the
+//! connection broke and was re-established — re-targets the original job
+//! instead of admitting a duplicate, and a job that already finished gets
+//! its terminal reply replayed from the daemon's cache. [`Client::recover`]
+//! reconnects and replays every submission still awaiting a terminal
+//! reply; [`Client::run`] does all of this automatically.
 
 use crate::job::{JobResult, JobSpec, RejectReason, REQ_JOB, REQ_SHUTDOWN};
 use ft_runtime::{jobs, JobFrame};
+use std::collections::HashMap;
 use std::io;
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// One reply from the daemon.
 #[derive(Debug, Clone)]
@@ -23,11 +37,56 @@ pub enum Event {
     Completed { job: u64, result: JobResult },
 }
 
+/// Seeded frame-loss injector for the submit path: each outbound SUBMIT is
+/// dropped with probability `drop_p` instead of being written. Determinism
+/// comes from the LCG seed; the retry protocol must mask every loss.
+struct Lossy {
+    state: u64,
+    drop_p: f64,
+    dropped: u64,
+}
+
+impl Lossy {
+    fn drop_next(&mut self) -> bool {
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let u = (self.state >> 11) as f64 / (1u64 << 53) as f64;
+        let hit = u < self.drop_p;
+        if hit {
+            self.dropped += 1;
+        }
+        hit
+    }
+}
+
+/// Mint a process-unique nonzero client id: wall-clock nanoseconds mixed
+/// with the pid through a splitmix64 finalizer. Uniqueness only needs to
+/// hold per daemon lifetime per tenant — collisions would merely alias two
+/// clients' dedup windows.
+fn fresh_client_id(tenant: u32) -> u64 {
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9E3779B97F4A7C15);
+    let mut x = t ^ ((std::process::id() as u64) << 32) ^ ((tenant as u64) << 17);
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    (x ^ (x >> 31)) | 1
+}
+
 /// One tenant's connection to the daemon.
 pub struct Client {
     stream: TcpStream,
+    port: u16,
     tenant: u32,
     seq: u64,
+    client_id: u64,
+    /// Submissions awaiting a terminal reply, by sequence number — the
+    /// replay set for [`Client::recover`].
+    pending: HashMap<u64, JobSpec>,
+    /// job id → submit sequence, learned from ACCEPT events.
+    job_seq: HashMap<u64, u64>,
+    lossy: Option<Lossy>,
 }
 
 impl Client {
@@ -35,16 +94,33 @@ impl Client {
     pub fn connect(port: u16, tenant: u32) -> io::Result<Client> {
         Ok(Client {
             stream: TcpStream::connect(("127.0.0.1", port))?,
+            port,
             tenant,
             seq: 0,
+            client_id: fresh_client_id(tenant),
+            pending: HashMap::new(),
+            job_seq: HashMap::new(),
+            lossy: None,
         })
     }
 
-    /// Submit a job (pipelined). Returns the sequence number identifying
-    /// this submission in the [`Event::Accepted`] / [`Event::Rejected`]
-    /// reply.
-    pub fn submit(&mut self, spec: &JobSpec) -> io::Result<u64> {
-        self.seq += 1;
+    /// Arm seeded frame loss on the submit path (tests and the lossy
+    /// bench phase): each SUBMIT is dropped with probability `drop_p`.
+    pub fn set_lossy(&mut self, seed: u64, drop_p: f64) {
+        self.lossy = Some(Lossy { state: seed ^ 0xD1B54A32D192ED03, drop_p, dropped: 0 });
+    }
+
+    /// SUBMIT frames swallowed by the loss injector so far.
+    pub fn frames_dropped(&self) -> u64 {
+        self.lossy.as_ref().map(|l| l.dropped).unwrap_or(0)
+    }
+
+    fn write_submit(&mut self, seq: u64, spec: &JobSpec) -> io::Result<()> {
+        if let Some(l) = &mut self.lossy {
+            if l.drop_next() {
+                return Ok(()); // injected loss: the frame never leaves
+            }
+        }
         let mut payload = vec![REQ_JOB];
         payload.extend_from_slice(&spec.to_words());
         jobs::write_job_frame(
@@ -52,51 +128,158 @@ impl Client {
             &JobFrame {
                 kind: jobs::KIND_SUBMIT,
                 tenant: self.tenant,
-                job: 0,
-                seq: self.seq,
+                job: self.client_id,
+                seq,
                 payload,
             },
-        )?;
-        Ok(self.seq)
+        )
+    }
+
+    /// Submit a job (pipelined). Returns the sequence number identifying
+    /// this submission in the [`Event::Accepted`] / [`Event::Rejected`]
+    /// reply.
+    pub fn submit(&mut self, spec: &JobSpec) -> io::Result<u64> {
+        self.seq += 1;
+        let seq = self.seq;
+        self.pending.insert(seq, spec.clone());
+        self.write_submit(seq, spec)?;
+        Ok(seq)
+    }
+
+    /// Re-establish the connection and replay every submission still
+    /// awaiting a terminal reply, under its original sequence number. The
+    /// daemon's `(tenant, client_id, seq)` dedup makes this idempotent:
+    /// running jobs are re-targeted at the new connection, finished jobs
+    /// get their cached terminal reply replayed, lost frames are admitted
+    /// as if for the first time.
+    pub fn recover(&mut self) -> io::Result<()> {
+        self.stream = TcpStream::connect(("127.0.0.1", self.port))?;
+        let mut seqs: Vec<u64> = self.pending.keys().copied().collect();
+        seqs.sort_unstable();
+        for seq in seqs {
+            let spec = self.pending[&seq].clone();
+            self.write_submit(seq, &spec)?;
+        }
+        Ok(())
+    }
+
+    /// Submissions still awaiting a terminal reply.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn note(&mut self, ev: &Event) {
+        match ev {
+            Event::Accepted { job, seq } => {
+                self.job_seq.insert(*job, *seq);
+            }
+            Event::Rejected { seq, .. } => {
+                self.pending.remove(seq);
+            }
+            Event::Completed { job, .. } => {
+                if let Some(seq) = self.job_seq.get(job) {
+                    self.pending.remove(seq);
+                }
+            }
+        }
+    }
+
+    fn parse_event(f: JobFrame) -> io::Result<Option<Event>> {
+        match f.kind {
+            k if k == jobs::KIND_ACCEPT => Ok(Some(Event::Accepted { job: f.job, seq: f.seq })),
+            k if k == jobs::KIND_REJECT => {
+                let reason = f
+                    .payload
+                    .first()
+                    .ok_or(())
+                    .and_then(|&c| RejectReason::from_code(c).map_err(|_| ()))
+                    .map_err(|()| io::Error::new(io::ErrorKind::InvalidData, "malformed REJECT payload"))?;
+                Ok(Some(Event::Rejected { job: f.job, seq: f.seq, reason }))
+            }
+            k if k == jobs::KIND_RESULT => {
+                let result = JobResult::from_words(&f.payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                Ok(Some(Event::Completed { job: f.job, result }))
+            }
+            _ => Ok(None),
+        }
     }
 
     /// Block for the next daemon reply.
     pub fn next_event(&mut self) -> io::Result<Event> {
+        self.stream.set_read_timeout(None)?;
         loop {
             let f = jobs::read_job_frame(&mut self.stream)?;
-            match f.kind {
-                k if k == jobs::KIND_ACCEPT => return Ok(Event::Accepted { job: f.job, seq: f.seq }),
-                k if k == jobs::KIND_REJECT => {
-                    let reason = f
-                        .payload
-                        .first()
-                        .ok_or(())
-                        .and_then(|&c| RejectReason::from_code(c).map_err(|_| ()))
-                        .map_err(|()| io::Error::new(io::ErrorKind::InvalidData, "malformed REJECT payload"))?;
-                    return Ok(Event::Rejected { job: f.job, seq: f.seq, reason });
+            if let Some(ev) = Self::parse_event(f)? {
+                self.note(&ev);
+                return Ok(ev);
+            }
+        }
+    }
+
+    /// Like [`Client::next_event`] but bounded: `Ok(None)` after `wait` of
+    /// silence. A timeout that lands mid-frame desynchronizes the stream;
+    /// the subsequent read error is the caller's cue to [`Client::recover`].
+    pub fn next_event_timeout(&mut self, wait: Duration) -> io::Result<Option<Event>> {
+        self.stream.set_read_timeout(Some(wait))?;
+        loop {
+            match jobs::read_job_frame(&mut self.stream) {
+                Ok(f) => {
+                    if let Some(ev) = Self::parse_event(f)? {
+                        self.note(&ev);
+                        return Ok(Some(ev));
+                    }
                 }
-                k if k == jobs::KIND_RESULT => {
-                    let result = JobResult::from_words(&f.payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-                    return Ok(Event::Completed { job: f.job, result });
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+                    return Ok(None);
                 }
-                _ => continue,
+                Err(e) => return Err(e),
             }
         }
     }
 
     /// Submit one job and block until its terminal reply: the result, or
-    /// the typed rejection. Intended for one-outstanding-job use; events
-    /// for other pipelined jobs on this connection are NOT consumed safely
-    /// here.
+    /// the typed rejection. Resilient: silence before the ACCEPT triggers
+    /// an idempotent resubmit (masking lost frames), a broken connection
+    /// triggers [`Client::recover`]. Intended for one-outstanding-job use;
+    /// events for other pipelined jobs on this connection are NOT consumed
+    /// safely here.
     pub fn run(&mut self, spec: &JobSpec) -> io::Result<Result<JobResult, RejectReason>> {
         let seq = self.submit(spec)?;
         let mut job_id = None;
+        let mut repairs = 0u32;
+        let mut repair = |c: &mut Client, err: io::Error| -> io::Result<()> {
+            repairs += 1;
+            if repairs > 20 {
+                return Err(err);
+            }
+            std::thread::sleep(Duration::from_millis(25 * repairs as u64));
+            let _ = c.recover(); // a failed reconnect retries on the next lap
+            Ok(())
+        };
         loop {
-            match self.next_event()? {
-                Event::Accepted { job, seq: s } if s == seq => job_id = Some(job),
-                Event::Rejected { job, seq: s, reason } if s == seq || Some(job) == job_id => return Ok(Err(reason)),
-                Event::Completed { job, result } if Some(job) == job_id => return Ok(Ok(result)),
-                _ => continue,
+            let wait = if job_id.is_none() {
+                Duration::from_millis(250)
+            } else {
+                Duration::from_secs(120)
+            };
+            match self.next_event_timeout(wait) {
+                Ok(Some(Event::Accepted { job, seq: s })) if s == seq => job_id = Some(job),
+                Ok(Some(Event::Rejected { job, seq: s, reason })) if s == seq || Some(job) == job_id => {
+                    return Ok(Err(reason));
+                }
+                Ok(Some(Event::Completed { job, result })) if Some(job) == job_id => return Ok(Ok(result)),
+                Ok(Some(_)) => continue,
+                Ok(None) if job_id.is_none() => {
+                    // No ACCEPT yet: the SUBMIT (or its ACCEPT) was lost.
+                    // Resubmitting the same seq is idempotent.
+                    let to = io::Error::new(io::ErrorKind::TimedOut, "no ACCEPT from daemon");
+                    repair(self, to)?;
+                }
+                Ok(None) => {
+                    let to = io::Error::new(io::ErrorKind::TimedOut, "accepted job went silent");
+                    repair(self, to)?;
+                }
+                Err(e) => repair(self, e)?,
             }
         }
     }

@@ -19,7 +19,7 @@
 use crate::job::{Assignment, JobResult, JobSpec, RejectReason, ASSIGN_RUN, ASSIGN_STOP, REQ_JOB, REQ_SHUTDOWN};
 use crate::scheduler::{Admission, Dispatch, Limits, Scheduler};
 use ft_runtime::{jobs, JobFrame};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -97,6 +97,10 @@ struct JobState {
     /// resubmitted from persisted state after a restart (their results go
     /// to `result-<id>.bin`).
     client: Option<(u64, u64)>,
+    /// Idempotency key `(tenant, client_id, seq)` when the submitter
+    /// stamped a nonzero client id; duplicate SUBMITs re-target this job
+    /// instead of admitting a second copy.
+    dedup_key: Option<(u32, u64, u64)>,
     slots: Vec<usize>,
     incarnations: Vec<u32>,
     port_base: u16,
@@ -122,9 +126,19 @@ struct Daemon {
     conns: HashMap<u64, ConnState>,
     slots: Vec<Slot>,
     jobs: HashMap<u64, JobState>,
+    /// Live idempotency index: `(tenant, client_id, seq)` → running job.
+    dedup: HashMap<(u32, u64, u64), u64>,
+    /// Terminal replies of recently finished idempotent jobs, replayed
+    /// verbatim when a duplicate SUBMIT arrives after completion (e.g. the
+    /// client reconnected across the finish). Bounded FIFO.
+    finished: VecDeque<((u32, u64, u64), u64, JobFrame)>,
     next_ports: u16,
     draining: bool,
 }
+
+/// Terminal-reply cache depth; old entries age out FIFO. A client replays
+/// at most its in-flight window, far below this.
+const FINISHED_CACHE: usize = 64;
 
 /// Run the daemon until a shutdown request drains the pool. Returns the
 /// process exit code.
@@ -148,6 +162,8 @@ pub fn serve_main(cfg: ServeConfig) -> i32 {
         conns: HashMap::new(),
         slots: Vec::new(),
         jobs: HashMap::new(),
+        dedup: HashMap::new(),
+        finished: VecDeque::new(),
         next_ports: cfg.job_port_base,
         draining: false,
         cfg,
@@ -324,11 +340,55 @@ impl Daemon {
                 return;
             }
         };
+        // Idempotency: a SUBMIT that rides a nonzero client id is deduped
+        // on (tenant, client_id, seq). A duplicate of a RUNNING job
+        // re-ACCEPTs and re-targets its replies at this connection (the
+        // client reconnected); a duplicate of a FINISHED job replays the
+        // cached terminal frame. Either way: no second admission.
+        let dedup_key = (frame.job != 0).then_some((frame.tenant, frame.job, frame.seq));
+        if let Some(key) = dedup_key {
+            if let Some(&job) = self.dedup.get(&key) {
+                if let Some(js) = self.jobs.get_mut(&job) {
+                    js.client = Some((id, frame.seq));
+                }
+                marker!("FT_SERVE_DEDUP job={job} tenant={} state=running", frame.tenant);
+                self.send_to(
+                    id,
+                    &JobFrame {
+                        kind: jobs::KIND_ACCEPT,
+                        tenant: frame.tenant,
+                        job,
+                        seq: frame.seq,
+                        payload: vec![],
+                    },
+                );
+                return;
+            }
+            if let Some((_, job, terminal)) = self.finished.iter().find(|(k, _, _)| *k == key) {
+                let (job, terminal) = (*job, terminal.clone());
+                marker!("FT_SERVE_DEDUP job={job} tenant={} state=finished", frame.tenant);
+                self.send_to(
+                    id,
+                    &JobFrame {
+                        kind: jobs::KIND_ACCEPT,
+                        tenant: frame.tenant,
+                        job,
+                        seq: frame.seq,
+                        payload: vec![],
+                    },
+                );
+                self.send_to(id, &terminal);
+                return;
+            }
+        }
         match self.sched.submit(frame.tenant, spec.ranks(), None) {
             Admission::Reject(r) => reply_reject(self, r),
             Admission::Accept(job) => {
                 if spec.ckpt {
                     self.persist_spec(job, frame.tenant, &spec);
+                }
+                if let Some(key) = dedup_key {
+                    self.dedup.insert(key, job);
                 }
                 self.jobs.insert(
                     job,
@@ -336,6 +396,7 @@ impl Daemon {
                         spec,
                         tenant: frame.tenant,
                         client: Some((id, frame.seq)),
+                        dedup_key,
                         slots: Vec::new(),
                         incarnations: Vec::new(),
                         port_base: 0,
@@ -549,6 +610,13 @@ impl Daemon {
                 )
             }
         };
+        if let Some(key) = js.dedup_key {
+            self.dedup.remove(&key);
+            self.finished.push_back((key, job, frame.clone()));
+            while self.finished.len() > FINISHED_CACHE {
+                self.finished.pop_front();
+            }
+        }
         match js.client {
             Some((conn, _)) => {
                 self.send_to(conn, &frame);
@@ -702,6 +770,7 @@ impl Daemon {
                             spec,
                             tenant,
                             client: None,
+                            dedup_key: None,
                             slots: Vec::new(),
                             incarnations: Vec::new(),
                             port_base: 0,

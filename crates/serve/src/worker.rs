@@ -70,7 +70,7 @@ fn run_assignment(job: u64, tenant: u32, a: Assignment, writer: &Arc<Mutex<TcpSt
     let replacement = a.replacement;
     let resume = a.resume;
     let matrix = spec.matrix.clone();
-    run_distributed(spec.p, spec.q, ChaosScript::none(), transport, move |ctx: Ctx| {
+    let run = run_distributed(spec.p, spec.q, ChaosScript::none(), transport, move |ctx: Ctx| {
         let t0 = Instant::now();
         let mut enc = Encoded::with_redundancy(&ctx, n, nb, spec.redundancy, |i, j| matrix[i * n + j]);
         let tau_len = match spec.solver {
@@ -175,6 +175,22 @@ fn run_assignment(job: u64, tenant: u32, a: Assignment, writer: &Arc<Mutex<TcpSt
             }
         }
     });
+    if let Err(err) = run {
+        // The job fabric wedged (e.g. an unhealed partition): report the
+        // rank as lost so the daemon fails the job instead of waiting out
+        // its own watchdog. Other ranks of the job agree on the same error.
+        eprintln!("worker: job {job} rank {job_rank}: fabric error: {err}");
+        send(
+            writer,
+            &JobFrame {
+                kind: jobs::KIND_REJECT,
+                tenant,
+                job,
+                seq: job_rank as u64,
+                payload: vec![RejectReason::WorkerLost.code()],
+            },
+        );
+    }
 }
 
 /// Worker process entry point: register with the daemon at `port` as pool

@@ -257,6 +257,78 @@ for seed in $KILL_SEEDS; do
     done
 done
 
+# Seeded network-chaos soak: the wire-hardening contract (DESIGN.md §16)
+# through the release CLI. Three fault classes per seed per solver:
+#   drop    — frame loss + duplication (go-back-N retransmit, dup suppress)
+#   corrupt — bit flips (header+frame CRC rejection, bounded retransmit)
+#   part    — a transient one-link partition that heals mid-run (session
+#             resume replays the window; suspicion must rescind)
+# A chaos run that completes must complete CLEAN: exit 0, verification
+# passed, zero §5.3 recoveries (chaos is transport noise, never a rank
+# death). The permanent-partition leg must produce the typed Partitioned
+# agreement on every surviving rank — exit 3, bounded by the receive
+# timeout, never a hang. Any other exit code fails the gate.
+echo "== network-chaos soak (seeded drop/corrupt/partition, both solvers)"
+NET_CHAOS_SEEDS=${NET_CHAOS_SEEDS:-"1 2 3 5 8 13 21 34"}
+nc_hessenberg_runs=0
+nc_qr_runs=0
+for solver in hessenberg qr; do
+    for seed in $NET_CHAOS_SEEDS; do
+        for class in drop corrupt part; do
+            case $class in
+                drop)    chaosspec="$seed:drop=0.05,dup=0.05,reorder=0.05" ;;
+                corrupt) chaosspec="$seed:corrupt=0.03" ;;
+                part)    chaosspec="$seed:part=1-2@150+500,part=2-1@150+500" ;;
+            esac
+            set +e
+            out=$(FT_RECV_TIMEOUT_MS=60000 ./target/release/abft-hessenberg \
+                --distributed --grid 2x2 --n 64 --nb 8 --solver "$solver" \
+                --net-chaos "$chaosspec" --verify 2>&1)
+            rc=$?
+            set -e
+            if [ "$rc" -ne 0 ]; then
+                echo "  $solver seed $seed $class: FAILED (exit $rc)"; echo "$out" | tail -5; exit 1
+            fi
+            if ! echo "$out" | grep -q "recoveries: 0"; then
+                echo "  $solver seed $seed $class: FAILED (chaos triggered a spurious recovery)"; exit 1
+            fi
+            echo "  $solver seed $seed $class: survived, verified, zero recoveries"
+            eval "nc_${solver}_runs=\$((nc_${solver}_runs + 1))"
+        done
+    done
+    # Permanent partition: rank 3 fully cut from the fabric. Agreement must
+    # time out as the typed Partitioned error — exit 3 — on a short receive
+    # timeout, never a hang (the launcher watchdog is the backstop).
+    set +e
+    FT_RECV_TIMEOUT_MS=6000 ./target/release/abft-hessenberg \
+        --distributed --grid 2x2 --n 32 --nb 8 --solver "$solver" \
+        --net-chaos "7:part=3-0@0,part=3-1@0,part=3-2@0,part=0-3@0,part=1-3@0,part=2-3@0" \
+        >/dev/null 2>&1
+    rc=$?
+    set -e
+    if [ "$rc" -ne 3 ]; then
+        echo "  $solver permanent partition: FAILED (exit $rc, want typed 3)"; exit 1
+    fi
+    echo "  $solver permanent partition: typed rejection on every survivor"
+    eval "nc_${solver}_runs=\$((nc_${solver}_runs + 1))"
+done
+if [ "$nc_hessenberg_runs" -ne 25 ] || [ "$nc_qr_runs" -ne 25 ]; then
+    echo "network-chaos soak: legs skipped (hessenberg=$nc_hessenberg_runs qr=$nc_qr_runs, want 25 each)"
+    exit 1
+fi
+# Bitwise determinism spot-check: the hardened transport's reference
+# acceptance — a chaos run's eigenvalues must match the fault-free run's
+# bit for bit (the distributed test battery sweeps this wider).
+clean_eigs=$(FT_RECV_TIMEOUT_MS=60000 ./target/release/abft-hessenberg \
+    --distributed --grid 2x2 --n 64 --nb 8 --variant alg2 --print-eigs 2>/dev/null | grep '^eig ')
+chaos_eigs=$(FT_RECV_TIMEOUT_MS=60000 ./target/release/abft-hessenberg \
+    --distributed --grid 2x2 --n 64 --nb 8 --variant alg2 --print-eigs \
+    --net-chaos "9:drop=0.08,dup=0.1,reorder=0.1,corrupt=0.04" 2>/dev/null | grep '^eig ')
+if [ -z "$clean_eigs" ] || [ "$clean_eigs" != "$chaos_eigs" ]; then
+    echo "network-chaos soak: chaos run is not bitwise identical to the clean run"; exit 1
+fi
+echo "  bitwise spot-check: chaos eigenvalues identical to fault-free run"
+
 # Shrink soak: a real SIGKILL with re-spawn disabled (--shrink) must
 # complete through survivor-side rank adoption (EXPERIMENTS.md "Shrink
 # soak methodology"): exit 0, verification passed, AND the shrink report
@@ -329,7 +401,7 @@ echo "  pool of 4: 7 jobs across 2 tenants + both solvers, drained clean"
 # binary; here we additionally pin the artifact schema.
 echo "== serve throughput smoke (open-loop, SIGKILL mid-phase)"
 FT_SERVE_SMOKE=1 cargo bench -q --bench serve
-for key in jobs_per_sec p50_ms p99_ms recoveries baseline one_kill; do
+for key in jobs_per_sec p50_ms p99_ms recoveries baseline one_kill lossy frames_dropped; do
     if ! grep -q "\"$key\"" BENCH_serve.json; then
         echo "BENCH_serve.json missing key: $key"; exit 1
     fi

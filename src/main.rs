@@ -46,11 +46,24 @@
 //!   --hb-miss-limit <K>  beats of silence before a peer is suspected
 //!                        dead (default 30)
 //!   --conn-timeout-ms <T> connect/reconnect budget (default 10000)
+//!   --net-chaos <SEED[:SPEC]>
+//!                        deterministic network-fault injection on every
+//!                        rank's outbound links. SPEC is comma-separated:
+//!                        drop=P, delay=P@MS, dup=P, reorder=P, corrupt=P,
+//!                        reset=P, part=A-B@S[+D] (one-way partition of
+//!                        ranks A→B from S ms, healing after D ms). The
+//!                        hardened transport (CRC frames, go-back-N
+//!                        retransmit, session resume) must mask all of it;
+//!                        an unhealed partition exits with code 3 and the
+//!                        same typed error on every surviving rank
 //!
 //!   Env knobs (CLI flags win): FT_HB_INTERVAL_MS, FT_HB_MISS_LIMIT,
-//!   FT_HB_BACKOFF_INIT_MS, FT_HB_BACKOFF_CAP_MS (reconnect backoff
-//!   range, default 10..400), FT_RECV_TIMEOUT_MS. All validated at
-//!   startup; inconsistent values exit with code 2.
+//!   FT_HB_GRACE_BEATS (beats of reconnect grace before a closed-socket
+//!   peer is declared dead, default 4), FT_HB_BACKOFF_INIT_MS,
+//!   FT_HB_BACKOFF_CAP_MS (reconnect backoff range, default 10..400),
+//!   FT_NET_WINDOW (go-back-N in-flight frame cap, default 1024),
+//!   FT_NET_CHAOS (same grammar as --net-chaos), FT_RECV_TIMEOUT_MS.
+//!   All validated at startup; inconsistent values exit with code 2.
 //!   --kill-at <R@OP>     scripted kill: rank R at its OP-th message op;
 //!                        R@rROUND:OP kills inside recovery round ROUND
 //!                        (repeatable; distributed mode only)
@@ -88,8 +101,8 @@ use abft_hessenberg::pblas::{
     pd_qr_residual, pdgehrd, pdgeqrf, Desc, DistMatrix,
 };
 use abft_hessenberg::runtime::{
-    poisson_failures, run_distributed, run_spmd_full, ChaosKill, ChaosPoint, ChaosScript, Ctx, FaultScript, PeerCounters,
-    PlannedFailure, SdcScript, TcpConfig, TcpTransport, TrafficPhase,
+    poisson_failures, run_distributed, run_spmd_full, ChaosKill, ChaosPoint, ChaosScript, CommError, Ctx, FaultScript,
+    NetChaosScript, PeerCounters, PlannedFailure, SdcScript, TcpConfig, TcpTransport, TrafficPhase,
 };
 use std::io::BufRead;
 use std::process::exit;
@@ -150,6 +163,7 @@ struct Opts {
     hb_interval_ms: Option<u64>,
     hb_miss_limit: Option<u32>,
     conn_timeout_ms: Option<u64>,
+    net_chaos: Option<String>,
     kill_at: Vec<ChaosKill>,
     shrink: bool,
     respawn: u32,
@@ -181,6 +195,7 @@ impl Default for Opts {
             hb_interval_ms: None,
             hb_miss_limit: None,
             conn_timeout_ms: None,
+            net_chaos: None,
             kill_at: Vec::new(),
             shrink: false,
             respawn: 0,
@@ -328,6 +343,16 @@ fn parse_args() -> Opts {
                 }
                 o.conn_timeout_ms = Some(ms);
             }
+            "--net-chaos" => {
+                let v = val("--net-chaos");
+                // Parse eagerly so a malformed script is a usage error (exit
+                // 2) before any process is spawned, but keep the raw string:
+                // it is forwarded verbatim to every child rank.
+                if let Err(e) = NetChaosScript::parse(&v) {
+                    fail(&format!("--net-chaos: {e}"));
+                }
+                o.net_chaos = Some(v);
+            }
             "--kill-at" => {
                 let v = val("--kill-at");
                 let (rank_s, at_s) = v
@@ -391,13 +416,39 @@ fn panel_count(solver: &dyn FtSolver, n: usize, nb: usize) -> usize {
 fn print_transport_summary(stats: &abft_hessenberg::runtime::TransportStats) {
     println!("transport (grid-wide, by peer):");
     println!(
-        "  {:>4} {:>9} {:>12} {:>9} {:>12} {:>7} {:>10} {:>9}",
-        "peer", "frames_tx", "bytes_tx", "frames_rx", "bytes_rx", "retries", "reconnects", "hb_misses"
+        "  {:>4} {:>9} {:>12} {:>9} {:>12} {:>7} {:>10} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8}",
+        "peer",
+        "frames_tx",
+        "bytes_tx",
+        "frames_rx",
+        "bytes_rx",
+        "retries",
+        "reconnects",
+        "hb_misses",
+        "rexmit",
+        "dupsup",
+        "resumes",
+        "crc_rej",
+        "frm_rej",
+        "rescinds"
     );
     let row = |label: &str, c: &PeerCounters| {
         println!(
-            "  {:>4} {:>9} {:>12} {:>9} {:>12} {:>7} {:>10} {:>9}",
-            label, c.frames_tx, c.bytes_tx, c.frames_rx, c.bytes_rx, c.retries, c.reconnects, c.hb_misses
+            "  {:>4} {:>9} {:>12} {:>9} {:>12} {:>7} {:>10} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8}",
+            label,
+            c.frames_tx,
+            c.bytes_tx,
+            c.frames_rx,
+            c.bytes_rx,
+            c.retries,
+            c.reconnects,
+            c.hb_misses,
+            c.retransmits,
+            c.dup_suppressed,
+            c.resumes,
+            c.crc_rejects,
+            c.frame_rejects,
+            c.rescinds
         );
     };
     for (r, c) in stats.peers.iter().enumerate() {
@@ -652,6 +703,9 @@ fn resolved_tcp_config(o: &Opts, rank: usize, world: usize) -> TcpConfig {
     if let Some(ms) = o.conn_timeout_ms {
         cfg.conn_timeout = Duration::from_millis(ms);
     }
+    if let Some(spec) = &o.net_chaos {
+        cfg.net_chaos = NetChaosScript::parse(spec).unwrap_or_else(|e| fail(&format!("--net-chaos: {e}")));
+    }
     if let Err(e) = cfg.validate() {
         fail(&format!("transport config: {e}"));
     }
@@ -682,7 +736,17 @@ fn adopt_rank(o: Opts, victim: usize, incarnation: u32, port_base: u16) {
     // incarnation doubles as the respawn counter, exactly as the launcher's
     // `--respawn` flag would.
     o2.respawn = incarnation.max(1);
-    let code = run_distributed(o2.p, o2.q, ChaosScript::none(), Box::new(transport), |ctx| dist_rank_body(&ctx, &o2));
+    let code = match run_distributed(o2.p, o2.q, ChaosScript::none(), Box::new(transport), |ctx| dist_rank_body(&ctx, &o2)) {
+        Ok(code) => code,
+        Err(err @ CommError::Partitioned { .. }) => {
+            eprintln!("shrink: adopted rank {victim}: UNRECOVERABLE: {err}");
+            3
+        }
+        Err(err) => {
+            eprintln!("shrink: adopted rank {victim}: transport: {err}");
+            3
+        }
+    };
     println!("FT_SHRINK_CODE rank={victim} code={code}");
 }
 
@@ -705,7 +769,7 @@ fn child_main(o: Opts, rank: usize) -> ! {
     // them: their epilogue (collectives, the FT_SHRINK_CODE marker) runs
     // after this rank's own body has already returned.
     let adoptions: std::sync::Arc<std::sync::Mutex<Vec<std::thread::JoinHandle<()>>>> = Default::default();
-    let code = run_distributed(o.p, o.q, chaos, Box::new(transport), |ctx| {
+    let code = match run_distributed(o.p, o.q, chaos, Box::new(transport), |ctx| {
         // A replacement is told which kills already struck its predecessor
         // so they do not re-fire against the fresh op clock.
         ctx.mark_chaos_fired(&o.chaos_fired);
@@ -719,7 +783,20 @@ fn child_main(o: Opts, rank: usize) -> ! {
             });
         }
         dist_rank_body(&ctx, &o)
-    });
+    }) {
+        Ok(code) => code,
+        // Partition agreement: every surviving rank lands here with the
+        // same typed error and the same exit code — no hang, no split
+        // verdicts (see DESIGN.md §16).
+        Err(err @ CommError::Partitioned { .. }) => {
+            eprintln!("rank {rank}: UNRECOVERABLE: {err}");
+            3
+        }
+        Err(err) => {
+            eprintln!("rank {rank}: transport: {err}");
+            3
+        }
+    };
     for h in std::mem::take(&mut *adoptions.lock().unwrap()) {
         let _ = h.join();
     }
@@ -818,6 +895,9 @@ fn spawn_rank(
     if let Some(ms) = o.conn_timeout_ms {
         cmd.arg("--conn-timeout-ms").arg(ms.to_string());
     }
+    if let Some(spec) = &o.net_chaos {
+        cmd.arg("--net-chaos").arg(spec);
+    }
     if o.verify {
         cmd.arg("--verify");
     }
@@ -893,7 +973,12 @@ fn parent_main(o: Opts) -> ! {
     let mut children: Vec<Option<std::process::Child>> = Vec::with_capacity(world);
     for rank in 0..world {
         match spawn_rank(&exe, &o, port_base, rank, 0, &[], &tx) {
-            Ok(c) => children.push(Some(c)),
+            Ok(c) => {
+                // The pid marker lets external harnesses (stall soaks,
+                // SIGSTOP tests) target a specific rank's process.
+                println!("FT_RANK_SPAWN rank={rank} pid={} incarnation=0", c.id());
+                children.push(Some(c));
+            }
             Err(e) => {
                 eprintln!("failed to spawn rank {rank}: {e}");
                 for c in children.iter_mut().flatten() {
@@ -965,6 +1050,7 @@ fn parent_main(o: Opts) -> ! {
                     match spawn_rank(&exe, &o, port_base, rank, incarnation[rank], &fired, &tx) {
                         Ok(c) => {
                             println!("launcher: re-spawned rank {rank} (incarnation {})", incarnation[rank]);
+                            println!("FT_RANK_SPAWN rank={rank} pid={} incarnation={}", c.id(), incarnation[rank]);
                             children[rank] = Some(c);
                         }
                         Err(e) => {
@@ -1011,11 +1097,12 @@ fn main() {
         || o.hb_interval_ms.is_some()
         || o.hb_miss_limit.is_some()
         || o.conn_timeout_ms.is_some()
+        || o.net_chaos.is_some()
         || o.print_eigs
         || o.respawn > 0
         || !o.chaos_fired.is_empty()
     {
-        fail("--kill-at / --shrink / --port-base / --hb-interval-ms / --hb-miss-limit / --conn-timeout-ms / --print-eigs need --distributed");
+        fail("--kill-at / --shrink / --port-base / --hb-interval-ms / --hb-miss-limit / --conn-timeout-ms / --net-chaos / --print-eigs need --distributed");
     }
     // Ragged N is handled by the encoder (zero-padded to whole blocks, see
     // DESIGN.md §10) — no round-up needed.

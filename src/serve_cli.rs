@@ -239,9 +239,9 @@ fn submit_verb(args: &[String]) -> i32 {
             return 3;
         }
     }
-    let mut outstanding = count;
     let mut worst = 0i32;
-    while outstanding > 0 {
+    let mut repairs = 0u32;
+    while client.outstanding() > 0 {
         match client.next_event() {
             Ok(Event::Accepted { job, seq }) => {
                 println!("FT_SUBMIT_ACCEPT job={job} seq={seq}");
@@ -251,7 +251,6 @@ fn submit_verb(args: &[String]) -> i32 {
                 println!("FT_SUBMIT_REJECT job={job} seq={seq} reason={}", reason.name());
                 let _ = std::io::stdout().flush();
                 worst = worst.max(3);
-                outstanding -= 1;
             }
             Ok(Event::Completed { job, result }) => {
                 println!(
@@ -263,11 +262,21 @@ fn submit_verb(args: &[String]) -> i32 {
                     eprintln!("submit: job {job} residual {:.4} above the paper threshold", result.residual);
                     worst = worst.max(1);
                 }
-                outstanding -= 1;
             }
             Err(e) => {
-                eprintln!("submit: daemon connection lost: {e}");
-                return 3;
+                // The control connection broke with jobs still in flight:
+                // reconnect and replay every unfinished submission under
+                // its original sequence number. The daemon's client-id
+                // dedup makes the replay idempotent — running jobs are
+                // re-targeted, finished ones replayed from cache.
+                repairs += 1;
+                if repairs > 5 {
+                    eprintln!("submit: daemon connection lost: {e}");
+                    return 3;
+                }
+                eprintln!("submit: daemon connection lost ({e}); reconnect attempt {repairs}");
+                std::thread::sleep(std::time::Duration::from_millis(100 * repairs as u64));
+                let _ = client.recover(); // a failed reconnect retries on the next error
             }
         }
     }

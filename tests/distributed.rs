@@ -11,7 +11,10 @@
 
 use abft_hessenberg::dense::gen::uniform_indexed_matrix;
 use abft_hessenberg::lapack::eigenvalues;
+use std::io::BufRead;
 use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const BIN: &str = env!("CARGO_BIN_EXE_abft-hessenberg");
@@ -54,6 +57,84 @@ fn run(args: &[&str], recv_timeout_ms: u64) -> RunOutput {
         assert!(Instant::now() < deadline, "launcher exceeded {WALL_LIMIT:?}: {args:?}");
         std::thread::sleep(Duration::from_millis(50));
     }
+}
+
+/// Send a signal to `pid` via the system `kill` — std has no raw-signal
+/// API, and the target is a grandchild the launcher owns, not ours.
+fn signal(pid: u32, sig: &str) {
+    let _ = Command::new("kill")
+        .args([sig, &pid.to_string()])
+        .stderr(Stdio::null())
+        .status();
+}
+
+/// Like [`run`], but streams the launcher's stdout live: when the
+/// `FT_RANK_SPAWN` marker for `stall_rank` appears, a helper thread waits
+/// `settle` (letting the fabric form), SIGSTOPs that rank's process for
+/// `pause`, then SIGCONTs it. A watchdog SIGKILLs the whole launcher at
+/// [`WALL_LIMIT`] so a wedged stall can never hang the suite.
+fn run_stalled(args: &[&str], recv_timeout_ms: u64, stall_rank: usize, settle: Duration, pause: Duration) -> RunOutput {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .env("FT_RECV_TIMEOUT_MS", recv_timeout_ms.to_string())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn launcher");
+    let launcher_pid = child.id();
+    let done = Arc::new(AtomicBool::new(false));
+    let watchdog = {
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + WALL_LIMIT;
+            while !done.load(Ordering::Relaxed) {
+                if Instant::now() >= deadline {
+                    signal(launcher_pid, "-KILL");
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        })
+    };
+    let mut stderr_pipe = child.stderr.take().expect("stderr is piped");
+    let stderr_thread = std::thread::spawn(move || {
+        let mut buf = String::new();
+        use std::io::Read;
+        let _ = stderr_pipe.read_to_string(&mut buf);
+        buf
+    });
+    let mut stdout = String::new();
+    let mut stalled = false;
+    for line in std::io::BufReader::new(child.stdout.take().expect("stdout is piped")).lines() {
+        let Ok(line) = line else { break };
+        if !stalled {
+            if let Some(rest) = line.strip_prefix("FT_RANK_SPAWN ") {
+                let field = |k: &str| {
+                    rest.split_whitespace()
+                        .find_map(|t| t.strip_prefix(k))
+                        .and_then(|v| v.parse::<u32>().ok())
+                };
+                if field("rank=") == Some(stall_rank as u32) {
+                    if let Some(pid) = field("pid=") {
+                        stalled = true;
+                        std::thread::spawn(move || {
+                            std::thread::sleep(settle);
+                            signal(pid, "-STOP");
+                            std::thread::sleep(pause);
+                            signal(pid, "-CONT");
+                        });
+                    }
+                }
+            }
+        }
+        stdout.push_str(&line);
+        stdout.push('\n');
+    }
+    let status = child.wait().expect("reap launcher").code().unwrap_or(-1);
+    done.store(true, Ordering::Relaxed);
+    watchdog.join().expect("watchdog");
+    let stderr = stderr_thread.join().expect("stderr reader");
+    RunOutput { status, stdout, stderr }
 }
 
 fn parse_eigs(stdout: &str) -> Vec<(f64, f64)> {
@@ -179,6 +260,176 @@ fn second_failure_mid_recovery_over_tcp() {
     assert_eq!(out.status, 0, "{}\n{}", out.stdout, out.stderr);
     assert!(out.stdout.contains("recoveries: 2"), "{}", out.stdout);
     assert!(out.stdout.contains("verification passed"), "{}", out.stdout);
+}
+
+fn assert_bitwise_eigs(clean: &str, chaotic: &str, what: &str) {
+    let a = parse_eigs(clean);
+    let b = parse_eigs(chaotic);
+    assert!(!a.is_empty(), "{what}: clean run printed no eigenvalues");
+    assert_eq!(a.len(), b.len(), "{what}: eigenvalue counts differ");
+    for (x, y) in a.iter().zip(&b) {
+        assert!(
+            x.0.to_bits() == y.0.to_bits() && x.1.to_bits() == y.1.to_bits(),
+            "{what}: eigenvalues are not bitwise identical: {x:?} vs {y:?}"
+        );
+    }
+}
+
+/// Tentpole acceptance: a run under an aggressive (but recoverable) chaos
+/// spec must complete with *zero* §5.3 recoveries — every fault is masked
+/// inside the transport — and its eigenvalues must be **bitwise** identical
+/// to the fault-free run's. Retransmission, duplicate suppression, and
+/// session resume may reorder wall-clock events, never data.
+#[test]
+fn net_chaos_run_is_bitwise_identical_to_clean() {
+    let base = [
+        "--distributed",
+        "--grid",
+        "2x2",
+        "--n",
+        "64",
+        "--nb",
+        "8",
+        "--variant",
+        "alg2",
+        "--print-eigs",
+    ];
+    let clean = run(&base, 60_000);
+    assert_eq!(clean.status, 0, "{}\n{}", clean.stdout, clean.stderr);
+    let mut chaos_args = base.to_vec();
+    chaos_args.extend_from_slice(&["--net-chaos", "9:drop=0.08,dup=0.1,reorder=0.1,corrupt=0.04"]);
+    let chaos = run(&chaos_args, 60_000);
+    assert_eq!(chaos.status, 0, "{}\n{}", chaos.stdout, chaos.stderr);
+    assert!(chaos.stdout.contains("recoveries: 0"), "chaos leaked into §5.3 recovery:\n{}", chaos.stdout);
+    assert_bitwise_eigs(&clean.stdout, &chaos.stdout, "net-chaos");
+}
+
+/// Slow-vs-dead discrimination, end to end: injected delays of 2× the
+/// heartbeat interval on every frame may raise suspicion, but must never
+/// escalate to a death verdict or a spurious recovery.
+#[test]
+fn sub_grace_delays_never_trigger_spurious_recovery() {
+    let out = run(
+        &[
+            "--distributed",
+            "--grid",
+            "2x2",
+            "--n",
+            "32",
+            "--nb",
+            "4",
+            "--variant",
+            "alg2",
+            "--net-chaos",
+            "13:delay=0.2@200",
+            "--verify",
+        ],
+        60_000,
+    );
+    assert_eq!(out.status, 0, "{}\n{}", out.stdout, out.stderr);
+    assert!(out.stdout.contains("verification passed"), "{}", out.stdout);
+    assert!(out.stdout.contains("recoveries: 0"), "a sub-grace delay was misread as a death:\n{}", out.stdout);
+}
+
+/// An unhealable partition (one rank black-holed in both directions,
+/// forever) must end with the *same typed error and exit code 3* on every
+/// rank that can still make progress — never a hang, never a split-brain
+/// where some ranks exit 0.
+#[test]
+fn permanent_partition_exits_typed_on_every_rank() {
+    let start = Instant::now();
+    let out = run(
+        &[
+            "--distributed",
+            "--grid",
+            "2x2",
+            "--n",
+            "32",
+            "--nb",
+            "4",
+            "--variant",
+            "alg2",
+            "--net-chaos",
+            "3:part=3-0@0,part=3-1@0,part=3-2@0,part=0-3@0,part=1-3@0,part=2-3@0",
+        ],
+        6_000,
+    );
+    assert_eq!(out.status, 3, "an unhealable partition must exit 3:\n{}\n{}", out.stdout, out.stderr);
+    assert!(
+        out.stderr.contains("UNRECOVERABLE") && out.stderr.contains("partition"),
+        "expected the typed partition diagnostic, got:\n{}",
+        out.stderr
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(90),
+        "partition verdict took {:?} — effectively a hang",
+        start.elapsed()
+    );
+}
+
+/// Stall soak, short arm: a rank SIGSTOPped for well under the death
+/// budget (default 30 misses × 100 ms) is *slow*, not dead — the run must
+/// complete with zero recoveries and bitwise-identical eigenvalues.
+#[test]
+fn sigstop_within_grace_resumes_without_recovery() {
+    let base = [
+        "--distributed",
+        "--grid",
+        "2x2",
+        "--n",
+        "64",
+        "--nb",
+        "8",
+        "--variant",
+        "alg2",
+        "--print-eigs",
+    ];
+    let clean = run(&base, 60_000);
+    assert_eq!(clean.status, 0, "{}\n{}", clean.stdout, clean.stderr);
+    let out = run_stalled(&base, 60_000, 3, Duration::from_millis(100), Duration::from_millis(1200));
+    assert_eq!(out.status, 0, "{}\n{}", out.stdout, out.stderr);
+    assert!(out.stdout.contains("recoveries: 0"), "a sub-grace SIGSTOP was misread as a death:\n{}", out.stdout);
+    assert_bitwise_eigs(&clean.stdout, &out.stdout, "sigstop-within-grace");
+}
+
+/// Stall soak, long arm: a rank SIGSTOPped past a deliberately small death
+/// budget must be declared dead and replaced by survivor adoption
+/// (`--shrink`), or — if the run outpaced the stall — resume cleanly.
+/// Either way: no hang, exit 0, and eigenvalue parity (bitwise when no
+/// recovery ran, 1e-10 through the §5.3 checksum solve otherwise).
+#[test]
+fn sigstop_past_death_budget_is_replaced_or_resumed() {
+    let base = [
+        "--distributed",
+        "--grid",
+        "2x2",
+        "--n",
+        "64",
+        "--nb",
+        "8",
+        "--variant",
+        "alg2",
+        "--print-eigs",
+    ];
+    let clean = run(&base, 60_000);
+    assert_eq!(clean.status, 0, "{}\n{}", clean.stdout, clean.stderr);
+    let mut args = base.to_vec();
+    args.extend_from_slice(&["--shrink", "--hb-interval-ms", "50", "--hb-miss-limit", "20"]);
+    let out = run_stalled(&args, 15_000, 3, Duration::from_millis(150), Duration::from_secs(4));
+    assert_eq!(out.status, 0, "{}\n{}", out.stdout, out.stderr);
+    if out.stdout.contains("recoveries: 0") {
+        assert_bitwise_eigs(&clean.stdout, &out.stdout, "sigstop-outpaced");
+    } else {
+        let a = parse_eigs(&clean.stdout);
+        let b = parse_eigs(&out.stdout);
+        assert_eq!(a.len(), b.len(), "adopted run lost eigenvalues");
+        for (x, y) in a.iter().zip(&b) {
+            assert!(
+                (x.0 - y.0).abs() < 1e-10 && (x.1 - y.1).abs() < 1e-10,
+                "adopted run's eigenvalue drifted past 1e-10: {x:?} vs {y:?}"
+            );
+        }
+    }
 }
 
 /// A wedged protocol must fail *typed*, never hang: a lone child rank whose
